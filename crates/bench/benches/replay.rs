@@ -1,0 +1,51 @@
+//! Microbenchmarks of the trace-replay runtime and MapReduce scheduler.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spotbid_client::runtime::run_job;
+use spotbid_core::{BidDecision, JobSpec};
+use spotbid_mapred::schedule::{simulate, Availability, Phase, ScheduleConfig, TaskSpec};
+use spotbid_market::units::{Hours, Price};
+use spotbid_numerics::rng::Rng;
+use spotbid_trace::catalog;
+use spotbid_trace::synthetic::{generate, SyntheticConfig};
+use std::hint::black_box;
+
+fn bench_job_replay(c: &mut Criterion) {
+    let inst = catalog::by_name("r3.xlarge").unwrap();
+    let cfg = SyntheticConfig::for_instance(&inst);
+    let h = generate(&cfg, 12 * 24 * 14, &mut Rng::seed_from_u64(1)).unwrap();
+    let job = JobSpec::builder(8.0).recovery_secs(30.0).build().unwrap();
+    let decision = BidDecision::Spot {
+        price: Price::new(0.034),
+        persistent: true,
+    };
+    c.bench_function("job_replay/2_week_trace", |b| {
+        b.iter(|| run_job(black_box(&h), decision, &job, 0).unwrap())
+    });
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    let tasks: Vec<TaskSpec> = (0..64)
+        .map(|i| TaskSpec {
+            id: i,
+            phase: if i < 48 { Phase::Map } else { Phase::Reduce },
+            duration: Hours::from_minutes(7.0),
+        })
+        .collect();
+    let cfg = ScheduleConfig {
+        slot: Hours::from_minutes(5.0),
+        recovery: Hours::from_secs(30.0),
+        max_slots: 10_000,
+    };
+    c.bench_function("mapreduce_schedule/64_tasks_8_slaves", |b| {
+        b.iter(|| {
+            simulate(black_box(&tasks), &cfg, |t| Availability {
+                master: true,
+                slaves: vec![t % 17 != 0; 8], // periodic outage
+            })
+        })
+    });
+}
+
+criterion_group!(benches, bench_job_replay, bench_schedule);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Regenerates Figure 4: a persistent job's running/idle timeline against
+//! one day of spot prices.
+
+use spotbid_bench::experiments::fig4;
+
+fn main() {
+    let f = fig4::run(5, 4.0);
+    println!("== Figure 4 — persistent job timeline (r3.xlarge-like day) ==");
+    println!(
+        "bid = ${:.4}/h   interruptions = {}   completed = {}",
+        f.bid, f.interruptions, f.completed
+    );
+    println!(
+        "completion = {:.2} h   running = {:.2} h\n",
+        f.completion_hours, f.running_hours
+    );
+    println!("hour  price($/h)  state");
+    for p in f.timeline.iter().step_by(6) {
+        let h = p.slot as f64 / 12.0;
+        let state = if p.running { "RUN " } else { "IDLE" };
+        let peak = 0.1f64;
+        let bars = ((p.price / peak) * 40.0).min(40.0) as usize;
+        println!("{h:>5.1}  {:>9.4}  {state} |{}", p.price, "*".repeat(bars));
+    }
+}

@@ -1,0 +1,32 @@
+//! Validates Propositions 1 and 2: bid-queue stability and equilibrium.
+
+use spotbid_bench::experiments::stability;
+use spotbid_bench::report::Table;
+
+fn main() {
+    let mut t = Table::new("Propositions 1–2 — queue stability and equilibrium").headers([
+        "arrivals",
+        "mean λ",
+        "avg L (50k)",
+        "avg L (200k)",
+        "fixed point L*",
+        "top-bucket drift",
+        "neg-drift threshold",
+        "|π*(L*) − h(λ)|",
+    ]);
+    for r in stability::run(0x57AB) {
+        t.row([
+            r.arrivals,
+            format!("{:.2}", r.lambda_mean),
+            format!("{:.2}", r.avg_queue_short),
+            format!("{:.2}", r.avg_queue_long),
+            format!("{:.2}", r.equilibrium_demand),
+            format!("{:.3}", r.top_bucket_drift),
+            format!("{:.1}", r.drift_threshold),
+            format!("{:.2e}", r.equilibrium_price_error),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("\nNegative top-bucket drift + settling time-averages = stable queues (Prop. 1);");
+    println!("posted price at the fixed point equals h(λ) (Prop. 2).");
+}

@@ -1,0 +1,26 @@
+//! Regenerates Table 2: the EC2 instance-type catalog.
+
+use spotbid_bench::experiments::table2;
+use spotbid_bench::report::{usd, Table};
+
+fn main() {
+    let mut t = Table::new("Table 2 — EC2 instance types (2014 us-east-1)").headers([
+        "instance",
+        "vCPU",
+        "mem GiB",
+        "SSD",
+        "on-demand $/h",
+        "spot floor $/h",
+    ]);
+    for r in table2::run() {
+        t.row([
+            r.name,
+            r.vcpu.to_string(),
+            format!("{:.1}", r.memory_gib),
+            r.ssd,
+            usd(r.on_demand),
+            usd(r.spot_floor),
+        ]);
+    }
+    print!("{}", t.render());
+}

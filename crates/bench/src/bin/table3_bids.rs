@@ -1,0 +1,26 @@
+//! Regenerates Table 3: optimal bid prices per instance type.
+
+use spotbid_bench::experiments::table3;
+use spotbid_bench::report::{usd, Table};
+
+fn main() {
+    let mut t = Table::new("Table 3 — optimal bid prices ($/h), 1-hour job").headers([
+        "instance",
+        "on-demand",
+        "one-time p*",
+        "persistent p* (t_r=10s)",
+        "persistent p* (t_r=30s)",
+        "best offline p̂ (10 h)",
+    ]);
+    for r in table3::run(0x7AB3) {
+        t.row([
+            r.instance,
+            usd(r.on_demand),
+            usd(r.one_time),
+            usd(r.persistent_10s),
+            usd(r.persistent_30s),
+            r.best_offline.map(usd).unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    print!("{}", t.render());
+}

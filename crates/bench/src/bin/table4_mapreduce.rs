@@ -1,0 +1,31 @@
+//! Regenerates Table 4: MapReduce bidding plans for the five client
+//! settings.
+
+use spotbid_bench::experiments::table4;
+use spotbid_bench::report::{usd, Table};
+
+fn main() {
+    let mut t = Table::new("Table 4 — MapReduce plans (t_r = 30 s, t_o = 60 s)").headers([
+        "master",
+        "slave",
+        "master bid $/h",
+        "slave bid $/h",
+        "M",
+        "master cost $",
+        "slave cost $",
+        "master/slave",
+    ]);
+    for r in table4::run(0x7AB4) {
+        t.row([
+            r.master_instance,
+            r.slave_instance,
+            usd(r.master_bid),
+            usd(r.slave_bid),
+            r.m.to_string(),
+            usd(r.master_cost),
+            usd(r.slave_cost),
+            format!("{:.1}%", r.master_to_slave_ratio * 100.0),
+        ]);
+    }
+    print!("{}", t.render());
+}

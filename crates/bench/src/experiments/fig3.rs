@@ -1,0 +1,352 @@
+//! Figure 3: fitting the provider model's spot-price PDF to price
+//! histograms under Pareto and exponential arrival hypotheses.
+//!
+//! For each of the four §4.3 instance types we generate a two-month
+//! synthetic history, histogram its PDF, and least-squares fit the paper's
+//! Eq. 7 density `f_π(π) ∝ f_Λ(h⁻¹(π))` — normalized over the observed
+//! price range, exactly as the paper's fitting procedure does — over the
+//! parameters `(β, θ, α)` (Pareto) and `(β, θ, η)` (exponential). The
+//! paper reports both families fitting well (MSE below `1e-6` on its
+//! densities); the shape target here is a good normalized fit for both,
+//! with the fitted density decreasing from the price floor.
+
+use spotbid_market::equilibrium::h_inverse;
+use spotbid_market::units::Price;
+use spotbid_market::MarketParams;
+use spotbid_numerics::optimize::nelder_mead;
+use spotbid_numerics::rng::Rng;
+use spotbid_trace::analyze;
+use spotbid_trace::catalog::{figure3_instances, PaperFit};
+use spotbid_trace::history::TWO_MONTHS_SLOTS;
+use spotbid_trace::synthetic::{generate, SyntheticConfig};
+
+/// Which arrival family a fit used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalFamily {
+    /// Pareto arrivals with shape `α` (scale tied to the observed floor).
+    Pareto,
+    /// Exponential arrivals with mean `η`.
+    Exponential,
+}
+
+/// One fitted arrival hypothesis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitOutcome {
+    /// Which family was fitted.
+    pub family: ArrivalFamily,
+    /// Fitted utilization weight `β`.
+    pub beta: f64,
+    /// Fitted departure fraction `θ`.
+    pub theta: f64,
+    /// Fitted shape: `α` for Pareto, `η` for exponential.
+    pub shape: f64,
+    /// Mean squared error against the histogram densities.
+    pub mse: f64,
+    /// MSE normalized by the squared peak density (scale-free fit
+    /// quality; ≈ 0 is perfect).
+    pub normalized_mse: f64,
+    /// The fitted density evaluated at the histogram bin centers.
+    pub fitted_density: Vec<f64>,
+}
+
+/// One panel of Figure 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3Panel {
+    /// Instance type name.
+    pub instance: String,
+    /// The paper's fitted parameters for this panel (Figure 3 caption).
+    pub paper_fit: PaperFit,
+    /// Histogram bin centers.
+    pub centers: Vec<f64>,
+    /// Histogram densities (the blue bars of Figure 3).
+    pub densities: Vec<f64>,
+    /// The Pareto-arrival fit.
+    pub pareto: FitOutcome,
+    /// The exponential-arrival fit.
+    pub exponential: FitOutcome,
+    /// §4.3's day/night Kolmogorov–Smirnov p-value (on the i.i.d. variant
+    /// of the trace, matching the equilibrium assumption).
+    pub ks_day_night_p: f64,
+}
+
+/// Evaluates the *unnormalized* Eq. 7 density at `price` for parameters
+/// `(β, θ, shape)` under the given family, with the Pareto scale tied to
+/// the observed floor (the paper's `Λ_min = h⁻¹(π_min)`).
+///
+/// Prices the model cannot produce — at or above `π̄/2`, or below the
+/// arrival support — get density 0: the empirical histograms include rare
+/// spike bins up there, which the Eq. 7 model simply cannot explain (a
+/// small, honest residual in the fit).
+fn raw_density(
+    family: ArrivalFamily,
+    params: &MarketParams,
+    shape: f64,
+    lambda_min: f64,
+    price: f64,
+) -> f64 {
+    let lam = match h_inverse(params, Price::new(price)) {
+        Some(l) if l >= 0.0 => l,
+        _ => return 0.0,
+    };
+    match family {
+        ArrivalFamily::Pareto => {
+            // f(Λ) = α Λ_min^α / Λ^(α+1), Λ ≥ Λ_min.
+            if lam < lambda_min {
+                0.0
+            } else {
+                shape * lambda_min.powf(shape) / lam.powf(shape + 1.0)
+            }
+        }
+        ArrivalFamily::Exponential => (-lam / shape).exp() / shape,
+    }
+}
+
+/// The normalized model curve at the bin centers, or `None` for invalid
+/// parameters.
+fn model_curve(
+    family: ArrivalFamily,
+    pi_bar: f64,
+    obs_min: f64,
+    obs_max: f64,
+    centers: &[f64],
+    p: &[f64],
+) -> Option<Vec<f64>> {
+    let (beta, theta, shape) = (p[0], p[1], p[2]);
+    if !(beta > 0.0 && theta > 0.0 && theta <= 1.0 && shape > 0.0) {
+        return None;
+    }
+    // The model only produces prices below π̄/2; it must at least cover
+    // the observed floor.
+    if obs_min >= pi_bar / 2.0 {
+        return None;
+    }
+    let params = MarketParams::new(Price::new(pi_bar), Price::new(0.0), beta, theta).ok()?;
+    // Λ_min for the Pareto family: the arrival level reproducing the
+    // observed floor. Must be positive, i.e. β > π̄ − 2·obs_min.
+    let lambda_min = match family {
+        ArrivalFamily::Pareto => {
+            let lm = h_inverse(&params, Price::new(obs_min))?;
+            if lm <= 0.0 {
+                return None;
+            }
+            lm
+        }
+        ArrivalFamily::Exponential => 0.0,
+    };
+    // Normalize over the observed range (truncated at the model's π̄/2
+    // ceiling), by trapezoid on a fine grid.
+    let hi = obs_max.min(pi_bar / 2.0 - 1e-9);
+    if hi <= obs_min {
+        return None;
+    }
+    const GRID: usize = 600;
+    let h = (hi - obs_min) / GRID as f64;
+    let mut mass = 0.0;
+    let mut prev = raw_density(family, &params, shape, lambda_min, obs_min);
+    for i in 1..=GRID {
+        let x = obs_min + i as f64 * h;
+        let cur = raw_density(family, &params, shape, lambda_min, x);
+        mass += 0.5 * (prev + cur) * h;
+        prev = cur;
+    }
+    if !(mass > 0.0 && mass.is_finite()) {
+        return None;
+    }
+    Some(
+        centers
+            .iter()
+            .map(|&c| raw_density(family, &params, shape, lambda_min, c) / mass)
+            .collect(),
+    )
+}
+
+/// Least-squares fit of one arrival family to a histogram.
+///
+/// The departure fraction `θ` is held at the caption's value: after
+/// normalization over the observed range, `θ` only rescales the arrival
+/// axis and is not identifiable from the price histogram alone (the paper
+/// likewise shares one `θ` across instance types). `β` is bounded to
+/// `[β_floor, 2.5]` — large-`β` limits collapse onto the same normalized
+/// family, so an unbounded fit wanders without improving the error.
+pub fn fit_family(
+    family: ArrivalFamily,
+    pi_bar: f64,
+    obs_min: f64,
+    obs_max: f64,
+    centers: &[f64],
+    densities: &[f64],
+    paper: &PaperFit,
+) -> FitOutcome {
+    let beta_floor = (pi_bar - 2.0 * obs_min).max(1e-3);
+    let theta = paper.theta;
+    let objective = |p: &[f64]| -> f64 {
+        let (beta, shape) = (p[0], p[1]);
+        if !(beta_floor..=2.5).contains(&beta) {
+            return f64::INFINITY;
+        }
+        match model_curve(
+            family,
+            pi_bar,
+            obs_min,
+            obs_max,
+            centers,
+            &[beta, theta, shape],
+        ) {
+            Some(curve) => {
+                curve
+                    .iter()
+                    .zip(densities)
+                    .map(|(m, d)| (m - d).powi(2))
+                    .sum::<f64>()
+                    / centers.len() as f64
+            }
+            None => f64::INFINITY,
+        }
+    };
+    // Multi-start around the paper's caption values and generic guesses.
+    let paper_shape = match family {
+        ArrivalFamily::Pareto => paper.alpha,
+        ArrivalFamily::Exponential => paper.eta,
+    };
+    let starts: Vec<Vec<f64>> = vec![
+        vec![paper.beta.max(beta_floor * 1.2), paper_shape],
+        vec![beta_floor * 1.5, paper_shape],
+        vec![(beta_floor * 3.0).min(2.0), paper_shape * 2.0],
+        vec![beta_floor * 1.05, paper_shape * 0.5],
+    ];
+    let steps = [beta_floor * 0.2, paper_shape * 0.3];
+    let mut best: Option<(Vec<f64>, f64)> = None;
+    for s in &starts {
+        if let Ok((p, v)) = nelder_mead(objective, s, &steps, 1e-12, 3000) {
+            if best.as_ref().is_none_or(|(_, bv)| v < *bv) {
+                best = Some((p, v));
+            }
+        }
+    }
+    let (p, mse) = best.expect("at least one start converges");
+    let fitted = model_curve(
+        family,
+        pi_bar,
+        obs_min,
+        obs_max,
+        centers,
+        &[p[0], theta, p[1]],
+    )
+    .unwrap_or_else(|| vec![0.0; centers.len()]);
+    let peak = densities.iter().cloned().fold(0.0, f64::max).max(1e-12);
+    FitOutcome {
+        family,
+        beta: p[0],
+        theta,
+        shape: p[1],
+        mse,
+        normalized_mse: mse / (peak * peak),
+        fitted_density: fitted,
+    }
+}
+
+/// Runs the full Figure 3 reproduction.
+pub fn run(seed: u64, bins: usize) -> Vec<Fig3Panel> {
+    figure3_instances()
+        .into_iter()
+        .enumerate()
+        .map(|(i, (inst, paper_fit))| {
+            let cfg = SyntheticConfig::for_instance(&inst);
+            let mut rng = Rng::seed_from_u64(seed ^ (i as u64 + 1));
+            let history = generate(&cfg, TWO_MONTHS_SLOTS, &mut rng).unwrap();
+            let (centers, densities) = analyze::price_histogram(&history, bins).unwrap();
+            let obs_min = history.min_price().as_f64();
+            let obs_max = history.max_price().as_f64();
+            let pi_bar = inst.on_demand.as_f64();
+            let pareto = fit_family(
+                ArrivalFamily::Pareto,
+                pi_bar,
+                obs_min,
+                obs_max,
+                &centers,
+                &densities,
+                &paper_fit,
+            );
+            let exponential = fit_family(
+                ArrivalFamily::Exponential,
+                pi_bar,
+                obs_min,
+                obs_max,
+                &centers,
+                &densities,
+                &paper_fit,
+            );
+            // Stationarity check on the i.i.d. variant of the same
+            // calibration (the equilibrium-model assumption).
+            let iid = generate(
+                &cfg.clone().with_persistence(0.0),
+                TWO_MONTHS_SLOTS,
+                &mut rng,
+            )
+            .unwrap();
+            let ks = analyze::ks_day_night(&iid).unwrap();
+            Fig3Panel {
+                instance: inst.name,
+                paper_fit,
+                centers,
+                densities,
+                pareto,
+                exponential,
+                ks_day_night_p: ks.p_value,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_families_fit_the_synthetic_histograms() {
+        let panels = run(11, 24);
+        assert_eq!(panels.len(), 4);
+        for p in &panels {
+            // Scale-free fit quality: both families explain the histogram.
+            assert!(
+                p.pareto.normalized_mse < 0.05,
+                "{}: Pareto nMSE {}",
+                p.instance,
+                p.pareto.normalized_mse
+            );
+            assert!(
+                p.exponential.normalized_mse < 0.05,
+                "{}: exp nMSE {}",
+                p.instance,
+                p.exponential.normalized_mse
+            );
+            // The §4.3 stationarity check passes on i.i.d. traces.
+            assert!(
+                p.ks_day_night_p > 0.01,
+                "{}: p {}",
+                p.instance,
+                p.ks_day_night_p
+            );
+        }
+    }
+
+    #[test]
+    fn fitted_density_decreases_from_the_floor() {
+        // The paper's empirical PDFs "approximately follow a power-law or
+        // exponential pattern": monotone decay from the floor. The fitted
+        // curves must reproduce that over the bulk of the range.
+        let panels = run(13, 24);
+        for p in &panels {
+            for fit in [&p.pareto, &p.exponential] {
+                let d = &fit.fitted_density;
+                assert!(
+                    d[0] >= d[d.len() / 2],
+                    "{} {:?}: density not decaying",
+                    p.instance,
+                    fit.family
+                );
+                assert!(d[0] > 0.0);
+            }
+        }
+    }
+}

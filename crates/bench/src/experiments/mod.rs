@@ -1,0 +1,12 @@
+//! One module per reproduced table/figure.
+
+pub mod ablations;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod stability;
+pub mod table2;
+pub mod table3;
+pub mod table4;

@@ -1,0 +1,135 @@
+//! Propositions 1 & 2: queue stability and equilibrium, numerically.
+//!
+//! The paper proves the bid queue is Lyapunov-stable under the Eq. 3 price
+//! policy (Prop. 1) and identifies the equilibrium price map `h(Λ)`
+//! (Prop. 2). This experiment validates both on simulated queues under the
+//! three arrival hypotheses §4.3 discusses — Pareto, exponential, and
+//! Poisson — reporting time-averaged queue sizes across horizons,
+//! per-bucket conditional drift against the analytic bound's sign, and
+//! the posted-price-vs-`h(λ)` equilibrium error.
+
+use spotbid_market::arrivals::{collect_arrivals, ArrivalProcess, IidArrivals, PoissonArrivals};
+use spotbid_market::equilibrium::equilibrium_price;
+use spotbid_market::lyapunov::{conditional_drift, negative_drift_threshold, time_averaged_queue};
+use spotbid_market::queue::QueueSim;
+use spotbid_market::units::Price;
+use spotbid_market::MarketParams;
+use spotbid_numerics::dist::{Exponential, Pareto};
+use spotbid_numerics::rng::Rng;
+
+/// Results for one arrival hypothesis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StabilityRow {
+    /// Arrival process label.
+    pub arrivals: String,
+    /// Mean arrivals per slot.
+    pub lambda_mean: f64,
+    /// Time-averaged queue over a short horizon (50k slots).
+    pub avg_queue_short: f64,
+    /// Time-averaged queue over a long horizon (200k slots).
+    pub avg_queue_long: f64,
+    /// The analytic fixed-point demand for the mean arrival rate.
+    pub equilibrium_demand: f64,
+    /// Conditional drift in the top-L bucket (must be negative:
+    /// mean-reversion).
+    pub top_bucket_drift: f64,
+    /// Proposition 1's negative-drift threshold for these arrivals.
+    pub drift_threshold: f64,
+    /// |posted price at the fixed point − h(λ)| (Proposition 2; ≈ 0).
+    pub equilibrium_price_error: f64,
+}
+
+/// The market used throughout the stability study.
+pub fn market() -> MarketParams {
+    MarketParams::new(Price::new(0.35), Price::new(0.02), 0.05, 0.02).unwrap()
+}
+
+fn study<A: ArrivalProcess>(
+    label: &str,
+    mut arrivals: A,
+    lambda_var: f64,
+    seed: u64,
+) -> StabilityRow {
+    let params = market();
+    let sim = QueueSim::new(params);
+    let lambda_mean = arrivals.mean().expect("known-mean arrivals");
+    let mut rng = Rng::seed_from_u64(seed);
+    let lam_long = collect_arrivals(&mut arrivals, &mut rng, 200_000);
+    // Start far above equilibrium so large-L buckets are populated.
+    let l0 = 5.0 * sim.equilibrium_demand(lambda_mean);
+    let steps_long = sim.run(l0, lam_long.iter().copied());
+    let steps_short = &steps_long[..50_000];
+    let buckets = conditional_drift(&steps_long, 20);
+    let top = buckets.last().map(|b| b.1).unwrap_or(0.0);
+
+    let l_star = sim.equilibrium_demand(lambda_mean);
+    let posted = sim.step(0, l_star, lambda_mean).price;
+    let h = equilibrium_price(&params, lambda_mean);
+    StabilityRow {
+        arrivals: label.to_string(),
+        lambda_mean,
+        avg_queue_short: time_averaged_queue(steps_short),
+        avg_queue_long: time_averaged_queue(&steps_long),
+        equilibrium_demand: l_star,
+        top_bucket_drift: top,
+        drift_threshold: negative_drift_threshold(&params, lambda_mean, lambda_var),
+        equilibrium_price_error: (posted.as_f64() - h.as_f64()).abs(),
+    }
+}
+
+/// Runs the stability study for the three arrival hypotheses.
+pub fn run(seed: u64) -> Vec<StabilityRow> {
+    let pareto = Pareto::new(0.5, 3.0).unwrap();
+    let pareto_var = pareto_variance(0.5, 3.0);
+    let expo = Exponential::new(1.0).unwrap();
+    vec![
+        study(
+            "Pareto(0.5, 3.0)",
+            IidArrivals::new(pareto),
+            pareto_var,
+            seed,
+        ),
+        study("Exponential(1.0)", IidArrivals::new(expo), 1.0, seed ^ 1),
+        study("Poisson(1.0)", PoissonArrivals::new(1.0), 1.0, seed ^ 2),
+    ]
+}
+
+fn pareto_variance(x_min: f64, alpha: f64) -> f64 {
+    x_min * x_min * alpha / ((alpha - 1.0).powi(2) * (alpha - 2.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queues_stable_under_all_hypotheses() {
+        for row in run(3) {
+            // Time-average settles: long horizon within 15% of short.
+            let rel =
+                (row.avg_queue_long - row.avg_queue_short).abs() / row.avg_queue_short.max(1e-9);
+            assert!(rel < 0.15, "{}: averages diverge ({rel})", row.arrivals);
+            // Mean-reversion at large L.
+            assert!(
+                row.top_bucket_drift < 0.0,
+                "{}: positive drift in top bucket",
+                row.arrivals
+            );
+            // Proposition 2's equilibrium price matches the posted price.
+            assert!(
+                row.equilibrium_price_error < 1e-6,
+                "{}: equilibrium error {}",
+                row.arrivals,
+                row.equilibrium_price_error
+            );
+            assert!(row.drift_threshold.is_finite() && row.drift_threshold > 0.0);
+        }
+    }
+
+    #[test]
+    fn heavier_arrivals_mean_bigger_queues() {
+        let params = market();
+        let sim = QueueSim::new(params);
+        assert!(sim.equilibrium_demand(2.0) > sim.equilibrium_demand(0.5));
+    }
+}

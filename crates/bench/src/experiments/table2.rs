@@ -1,0 +1,54 @@
+//! Table 2: the EC2 instance-type catalog.
+
+use spotbid_trace::catalog::{catalog, InstanceType};
+
+/// One rendered catalog row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogRow {
+    /// Instance name.
+    pub name: String,
+    /// vCPU count.
+    pub vcpu: u32,
+    /// Memory in GiB.
+    pub memory_gib: f64,
+    /// SSD spec `count x GB`.
+    pub ssd: String,
+    /// On-demand $/h.
+    pub on_demand: f64,
+    /// Default spot floor $/h.
+    pub spot_floor: f64,
+}
+
+impl From<&InstanceType> for CatalogRow {
+    fn from(i: &InstanceType) -> Self {
+        CatalogRow {
+            name: i.name.clone(),
+            vcpu: i.vcpu,
+            memory_gib: i.memory_gib,
+            ssd: format!("{}x{}", i.ssd.0, i.ssd.1),
+            on_demand: i.on_demand.as_f64(),
+            spot_floor: i.default_spot_floor().as_f64(),
+        }
+    }
+}
+
+/// Renders the whole catalog.
+pub fn run() -> Vec<CatalogRow> {
+    catalog().iter().map(CatalogRow::from).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_cover_catalog() {
+        let rows = run();
+        assert_eq!(rows.len(), 10);
+        let r3x = rows.iter().find(|r| r.name == "r3.xlarge").unwrap();
+        assert_eq!(r3x.vcpu, 4);
+        assert_eq!(r3x.ssd, "1x80");
+        assert!((r3x.on_demand - 0.35).abs() < 1e-12);
+        assert!(r3x.spot_floor < r3x.on_demand);
+    }
+}

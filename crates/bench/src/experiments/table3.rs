@@ -1,0 +1,128 @@
+//! Table 3: optimal bid prices for the five single-instance experiment
+//! types.
+//!
+//! For each instance the paper lists the one-time optimal bid, the
+//! persistent optimal bids for `t_r ∈ {10 s, 30 s}`, and the
+//! best-offline-price-in-retrospect `p̂` from the last 10 hours. The shape
+//! targets: persistent bids below the one-time bid, the 10 s bid below
+//! the 30 s bid, every spot bid far below on-demand, and `p̂` sometimes
+//! *below* the safe one-time bid (the paper's point that 10 hours of
+//! history under-predicts).
+
+use spotbid_core::price_model::EmpiricalPrices;
+use spotbid_core::{baselines, onetime, persistent, JobSpec};
+use spotbid_numerics::rng::Rng;
+use spotbid_trace::catalog::{table3_instances, InstanceType};
+use spotbid_trace::history::TWO_MONTHS_SLOTS;
+use spotbid_trace::synthetic::{generate, SyntheticConfig};
+use spotbid_trace::SpotPriceHistory;
+
+/// One Table 3 row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table3Row {
+    /// Instance name.
+    pub instance: String,
+    /// On-demand price.
+    pub on_demand: f64,
+    /// One-time optimal bid (Prop. 4).
+    pub one_time: f64,
+    /// Persistent optimal bid, `t_r = 10 s` (Prop. 5).
+    pub persistent_10s: f64,
+    /// Persistent optimal bid, `t_r = 30 s`.
+    pub persistent_30s: f64,
+    /// Best offline price in retrospect over the last 10 hours.
+    pub best_offline: Option<f64>,
+}
+
+/// Computes one row from a two-month history.
+pub fn row_from_history(inst: &InstanceType, history: &SpotPriceHistory) -> Table3Row {
+    let model = EmpiricalPrices::from_history_with_cap(history, inst.on_demand).unwrap();
+    let j1 = JobSpec::builder(1.0).build().unwrap();
+    let j10 = JobSpec::builder(1.0).recovery_secs(10.0).build().unwrap();
+    let j30 = JobSpec::builder(1.0).recovery_secs(30.0).build().unwrap();
+    Table3Row {
+        instance: inst.name.clone(),
+        on_demand: inst.on_demand.as_f64(),
+        one_time: onetime::optimal_bid(&model, &j1).unwrap().price.as_f64(),
+        persistent_10s: persistent::optimal_bid(&model, &j10)
+            .unwrap()
+            .price
+            .as_f64(),
+        persistent_30s: persistent::optimal_bid(&model, &j30)
+            .unwrap()
+            .price
+            .as_f64(),
+        best_offline: baselines::best_offline_bid_paper(history, &j1).map(|p| p.as_f64()),
+    }
+}
+
+/// Runs the full Table 3 reproduction over the five instance types.
+pub fn run(seed: u64) -> Vec<Table3Row> {
+    table3_instances()
+        .iter()
+        .enumerate()
+        .map(|(i, inst)| {
+            let cfg = SyntheticConfig::for_instance(inst);
+            let mut rng = Rng::seed_from_u64(seed ^ (0x7AB3 + i as u64));
+            let h = generate(&cfg, TWO_MONTHS_SLOTS, &mut rng).unwrap();
+            row_from_history(inst, &h)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bid_ordering_matches_the_paper() {
+        for r in run(17) {
+            // Figure 6(a): persistent bids sit below the one-time bid.
+            assert!(
+                r.persistent_10s <= r.one_time + 1e-12,
+                "{}: 10s {} vs one-time {}",
+                r.instance,
+                r.persistent_10s,
+                r.one_time
+            );
+            assert!(r.persistent_30s <= r.one_time + 1e-12, "{}", r.instance);
+            // Longer recovery ⇒ higher persistent bid.
+            assert!(
+                r.persistent_10s <= r.persistent_30s + 1e-12,
+                "{}: 10s {} vs 30s {}",
+                r.instance,
+                r.persistent_10s,
+                r.persistent_30s
+            );
+            // All spot bids far below on-demand.
+            assert!(r.one_time < 0.5 * r.on_demand, "{}", r.instance);
+            assert!(r.best_offline.is_some());
+        }
+    }
+
+    #[test]
+    fn rows_cover_the_five_types() {
+        let rows = run(18);
+        assert_eq!(rows.len(), 5);
+        let names: Vec<&str> = rows.iter().map(|r| r.instance.as_str()).collect();
+        assert!(names.contains(&"r3.xlarge"));
+        assert!(names.contains(&"c3.8xlarge"));
+    }
+
+    #[test]
+    fn best_offline_undercuts_the_safe_bid_sometimes() {
+        // "This retrospective price is lower than the actual bid price in
+        // some cases": across seeds, at least one row must show it.
+        let mut undercut = false;
+        for seed in 0..6 {
+            for r in run(seed) {
+                if let Some(b) = r.best_offline {
+                    if b < r.one_time {
+                        undercut = true;
+                    }
+                }
+            }
+        }
+        assert!(undercut, "best-offline never undercut the one-time bid");
+    }
+}

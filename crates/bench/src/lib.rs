@@ -1,0 +1,25 @@
+//! # spotbid-bench
+//!
+//! Experiment harness for the *How to Bid the Cloud* reproduction: one
+//! module (and one binary) per table/figure in the paper's evaluation,
+//! plus the §8 ablations. Each module exposes a `run(...)` returning the
+//! rows the paper reports, so the integration tests can assert the shape
+//! results while the binaries render them as text tables.
+//!
+//! | paper artifact | module | binary |
+//! |---|---|---|
+//! | Table 2 | [`experiments::table2`] | `table2_catalog` |
+//! | Figure 3 + §4.3 K-S | [`experiments::fig3`] | `fig3_price_pdf` |
+//! | Props. 1–2 | [`experiments::stability`] | `prop1_stability` |
+//! | Figure 4 | [`experiments::fig4`] | `fig4_timeline` |
+//! | Table 3 | [`experiments::table3`] | `table3_bids` |
+//! | Figure 5 | [`experiments::fig5`] | `fig5_onetime` |
+//! | Figure 6 | [`experiments::fig6`] | `fig6_persistent` |
+//! | Table 4 | [`experiments::table4`] | `table4_mapreduce` |
+//! | Figure 7 | [`experiments::fig7`] | `fig7_mapreduce` |
+//! | §8 ablations | [`experiments::ablations`] | `ablations` |
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;

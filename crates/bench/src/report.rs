@@ -1,0 +1,143 @@
+//! Plain-text table rendering for experiment binaries.
+//!
+//! Every experiment binary prints the rows its paper table/figure reports;
+//! this module keeps the formatting consistent and the binaries thin.
+
+/// A simple left-padded text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title.
+    pub fn new(title: &str) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets the column headers.
+    pub fn headers<S: Into<String>, I: IntoIterator<Item = S>>(mut self, hs: I) -> Self {
+        self.headers = hs.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends a row (ragged rows are padded with blanks on render).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders to a string.
+    pub fn render(&self) -> String {
+        let ncols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; ncols];
+        let measure = |widths: &mut Vec<usize>, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        };
+        measure(&mut widths, &self.headers);
+        for r in &self.rows {
+            measure(&mut widths, r);
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:<w$}", w = w));
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        if !self.headers.is_empty() {
+            let h = fmt_row(&self.headers, &widths);
+            out.push_str(&h);
+            out.push('\n');
+            out.push_str(&"-".repeat(h.chars().count()));
+            out.push('\n');
+        }
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a dollar amount with four decimals.
+pub fn usd(x: f64) -> String {
+    format!("${x:.4}")
+}
+
+/// Formats a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:+.1}%", x * 100.0)
+}
+
+/// Formats hours as `h:mm`.
+pub fn hours(h: f64) -> String {
+    let total_min = (h * 60.0).round() as i64;
+    format!("{}:{:02}", total_min / 60, total_min % 60)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo").headers(["name", "value"]);
+        t.row(["alpha", "1"]);
+        t.row(["b", "22.5"]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("name   value"));
+        assert!(s.lines().count() >= 5);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn ragged_rows_padded() {
+        let mut t = Table::new("ragged").headers(["a", "b", "c"]);
+        t.row(["1"]);
+        t.row(["1", "2", "3"]);
+        let s = t.render();
+        assert!(s.lines().count() == 5);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(usd(0.0321), "$0.0321");
+        assert_eq!(pct(0.905), "+90.5%");
+        assert_eq!(pct(-0.12), "-12.0%");
+        assert_eq!(hours(1.25), "1:15");
+        assert_eq!(hours(0.5), "0:30");
+    }
+}

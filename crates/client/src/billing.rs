@@ -1,0 +1,170 @@
+//! Billing: the auditable substitute for the paper's Amazon bills.
+//!
+//! §7's costs are read off real AWS bills ("to ensure accuracy, we use our
+//! bills from Amazon to calculate the job costs"). Here every charge is a
+//! line item — one per (partial) slot of usage — so experiments can report
+//! exact costs and break them down by source (spot vs on-demand, master vs
+//! slave).
+
+use serde::{Deserialize, Serialize};
+use spotbid_market::units::{Cost, Hours, Price};
+
+/// What a line item pays for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UsageKind {
+    /// Spot-instance usage, charged at the slot's spot price.
+    Spot,
+    /// On-demand usage, charged at the on-demand price.
+    OnDemand,
+}
+
+/// One charge: a duration of usage at a price.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LineItem {
+    /// Slot index when the usage occurred.
+    pub slot: u64,
+    /// Price charged per hour.
+    pub price: Price,
+    /// Duration charged.
+    pub duration: Hours,
+    /// Spot or on-demand usage.
+    pub kind: UsageKind,
+    /// Free-form tag, e.g. `"master"` / `"slave-3"`.
+    pub tag: u32,
+}
+
+impl LineItem {
+    /// The dollar amount of this item.
+    pub fn amount(&self) -> Cost {
+        self.price * self.duration
+    }
+}
+
+/// An accumulating bill.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Bill {
+    items: Vec<LineItem>,
+}
+
+impl Bill {
+    /// An empty bill.
+    pub fn new() -> Self {
+        Bill::default()
+    }
+
+    /// Records a charge.
+    pub fn charge(&mut self, item: LineItem) {
+        self.items.push(item);
+    }
+
+    /// Convenience: records spot usage.
+    pub fn charge_spot(&mut self, slot: u64, price: Price, duration: Hours, tag: u32) {
+        self.charge(LineItem {
+            slot,
+            price,
+            duration,
+            kind: UsageKind::Spot,
+            tag,
+        });
+    }
+
+    /// Convenience: records on-demand usage.
+    pub fn charge_on_demand(&mut self, slot: u64, price: Price, duration: Hours, tag: u32) {
+        self.charge(LineItem {
+            slot,
+            price,
+            duration,
+            kind: UsageKind::OnDemand,
+            tag,
+        });
+    }
+
+    /// All line items, in charge order.
+    pub fn items(&self) -> &[LineItem] {
+        &self.items
+    }
+
+    /// Total amount.
+    pub fn total(&self) -> Cost {
+        self.items.iter().map(LineItem::amount).sum()
+    }
+
+    /// Total for one usage kind.
+    pub fn total_for_kind(&self, kind: UsageKind) -> Cost {
+        self.items
+            .iter()
+            .filter(|i| i.kind == kind)
+            .map(LineItem::amount)
+            .sum()
+    }
+
+    /// Total for one tag (e.g. one node of a MapReduce job).
+    pub fn total_for_tag(&self, tag: u32) -> Cost {
+        self.items
+            .iter()
+            .filter(|i| i.tag == tag)
+            .map(LineItem::amount)
+            .sum()
+    }
+
+    /// Total charged duration.
+    pub fn total_duration(&self) -> Hours {
+        self.items.iter().map(|i| i.duration).sum()
+    }
+
+    /// Merges another bill into this one.
+    pub fn absorb(&mut self, other: Bill) {
+        self.items.extend(other.items);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_breakdowns() {
+        let mut b = Bill::new();
+        let slot = Hours::from_minutes(5.0);
+        b.charge_spot(0, Price::new(0.036), slot, 0);
+        b.charge_spot(1, Price::new(0.048), slot, 1);
+        b.charge_on_demand(2, Price::new(0.350), Hours::new(1.0), 0);
+        let expected = 0.036 / 12.0 + 0.048 / 12.0 + 0.35;
+        assert!((b.total().as_f64() - expected).abs() < 1e-12);
+        assert!(
+            (b.total_for_kind(UsageKind::Spot).as_f64() - (0.036 + 0.048) / 12.0).abs() < 1e-12
+        );
+        assert!((b.total_for_kind(UsageKind::OnDemand).as_f64() - 0.35).abs() < 1e-12);
+        assert!((b.total_for_tag(0).as_f64() - (0.036 / 12.0 + 0.35)).abs() < 1e-12);
+        assert!((b.total_duration().as_f64() - (2.0 / 12.0 + 1.0)).abs() < 1e-12);
+        assert_eq!(b.items().len(), 3);
+    }
+
+    #[test]
+    fn empty_bill() {
+        let b = Bill::new();
+        assert_eq!(b.total(), Cost::ZERO);
+        assert_eq!(b.total_duration(), Hours::ZERO);
+        assert!(b.items().is_empty());
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = Bill::new();
+        a.charge_spot(0, Price::new(0.04), Hours::from_minutes(5.0), 0);
+        let mut b = Bill::new();
+        b.charge_spot(1, Price::new(0.05), Hours::from_minutes(5.0), 1);
+        a.absorb(b);
+        assert_eq!(a.items().len(), 2);
+        assert!((a.total().as_f64() - 0.09 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut b = Bill::new();
+        b.charge_spot(3, Price::new(0.04), Hours::from_minutes(5.0), 7);
+        let s = serde_json::to_string(&b).unwrap();
+        let back: Bill = serde_json::from_str(&s).unwrap();
+        assert_eq!(b, back);
+    }
+}

@@ -1,0 +1,341 @@
+//! Repeated-trial experiment harness.
+//!
+//! §7 repeats every EC2 experiment ten times per instance type and reports
+//! averages; this module does the same over seeded synthetic traces, with
+//! trials running in parallel on scoped threads. Each trial draws a fresh
+//! two-month history (the client's price-monitor window), makes the bid at
+//! the end of it, and replays the job against a fresh future.
+
+use crate::client::{SpotClient, TrialResult};
+use crate::ClientError;
+use spotbid_core::{BiddingStrategy, JobSpec};
+use spotbid_market::units::Price;
+use spotbid_numerics::rng::Rng;
+use spotbid_numerics::stats::{summarize, Summary};
+use spotbid_trace::catalog::InstanceType;
+use spotbid_trace::history::TWO_MONTHS_SLOTS;
+use spotbid_trace::synthetic::{generate, SyntheticConfig};
+
+/// Experiment shape: trials, seeding, and trace sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentConfig {
+    /// Number of independent trials (the paper uses 10).
+    pub trials: usize,
+    /// Master seed; trial `i` derives its own stream from it.
+    pub seed: u64,
+    /// Past slots the client observes before bidding (two months by
+    /// default).
+    pub warmup_slots: usize,
+    /// Future slots available for the job to run in.
+    pub horizon_slots: usize,
+    /// When true, a spot run that fails to complete finishes its remaining
+    /// work on an on-demand instance (§5.1's fallback), so every trial
+    /// completes and the cost blends spot and on-demand charges.
+    pub on_demand_fallback: bool,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            trials: 10,
+            seed: 0xC10D,
+            warmup_slots: TWO_MONTHS_SLOTS,
+            horizon_slots: 12 * 24 * 14, // two weeks of future
+            on_demand_fallback: false,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::InvalidConfig`] describing the violated constraint.
+    pub fn validate(&self) -> Result<(), ClientError> {
+        if self.trials == 0 {
+            return Err(ClientError::InvalidConfig {
+                what: "at least one trial required".into(),
+            });
+        }
+        if self.warmup_slots == 0 || self.horizon_slots == 0 {
+            return Err(ClientError::InvalidConfig {
+                what: "warmup and horizon must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Aggregated results of a single-instance experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Per-trial raw results, in trial order.
+    pub trials: Vec<TrialResult>,
+    /// Bid prices across trials (empty entries for on-demand decisions).
+    pub bids: Vec<Option<Price>>,
+    /// Cost summary over *completed* trials.
+    pub cost: Summary,
+    /// Completion-time summary over completed trials.
+    pub completion_time: Summary,
+    /// Interruption-count summary over completed trials.
+    pub interruptions: Summary,
+    /// How many trials completed their work.
+    pub completed: usize,
+}
+
+impl ExperimentResult {
+    /// Fraction of trials that completed.
+    pub fn completion_rate(&self) -> f64 {
+        self.completed as f64 / self.trials.len() as f64
+    }
+
+    /// Mean predicted (analytic) cost across trials that carried a
+    /// prediction, if any did.
+    pub fn mean_predicted_cost(&self) -> Option<f64> {
+        let preds: Vec<f64> = self
+            .trials
+            .iter()
+            .filter_map(|t| t.prediction.map(|p| p.expected_cost.as_f64()))
+            .collect();
+        summarize(&preds).ok().map(|s| s.mean)
+    }
+
+    /// Bootstrap 95% confidence interval for the mean cost over completed
+    /// trials (percentile method; more honest than the normal
+    /// approximation at the paper's n = 10).
+    pub fn cost_ci_bootstrap(&self, rng: &mut Rng, resamples: usize) -> Option<(f64, f64)> {
+        let costs: Vec<f64> = self
+            .trials
+            .iter()
+            .filter(|t| t.outcome.completed())
+            .map(|t| t.outcome.cost.as_f64())
+            .collect();
+        spotbid_numerics::stats::bootstrap_mean_ci(&costs, 0.95, resamples, rng).ok()
+    }
+
+    /// Mean predicted completion time across predicted trials.
+    pub fn mean_predicted_completion(&self) -> Option<f64> {
+        let preds: Vec<f64> = self
+            .trials
+            .iter()
+            .filter_map(|t| t.prediction.map(|p| p.expected_completion_time.as_f64()))
+            .collect();
+        summarize(&preds).ok().map(|s| s.mean)
+    }
+}
+
+/// Runs a single-instance experiment: `cfg.trials` independent seeded
+/// trials of `strategy` on synthetic traces of `inst`, in parallel.
+///
+/// # Errors
+///
+/// Configuration errors up front; the first trial error otherwise.
+pub fn run_single_instance(
+    inst: &InstanceType,
+    strategy: BiddingStrategy,
+    job: &JobSpec,
+    cfg: &ExperimentConfig,
+) -> Result<ExperimentResult, ClientError> {
+    cfg.validate()?;
+    job.validate().map_err(ClientError::Core)?;
+    let trace_cfg = SyntheticConfig::for_instance(inst);
+    run_with_trace_config(inst, &trace_cfg, strategy, job, cfg)
+}
+
+/// As [`run_single_instance`] but with an explicit trace generator
+/// configuration (used by the temporal-correlation ablation).
+///
+/// # Errors
+///
+/// Same contract as [`run_single_instance`].
+pub fn run_with_trace_config(
+    inst: &InstanceType,
+    trace_cfg: &SyntheticConfig,
+    strategy: BiddingStrategy,
+    job: &JobSpec,
+    cfg: &ExperimentConfig,
+) -> Result<ExperimentResult, ClientError> {
+    cfg.validate()?;
+    let client = SpotClient {
+        strategy,
+        on_demand: inst.on_demand,
+    };
+    let total_slots = cfg.warmup_slots + cfg.horizon_slots;
+    let mut master = Rng::seed_from_u64(cfg.seed);
+    let seeds: Vec<u64> = (0..cfg.trials).map(|_| master.next_u64()).collect();
+
+    let mut slots: Vec<Option<Result<TrialResult, ClientError>>> = Vec::new();
+    slots.resize_with(cfg.trials, || None);
+    crossbeam::thread::scope(|scope| {
+        for (i, out) in slots.iter_mut().enumerate() {
+            let seed = seeds[i];
+            let job = *job;
+            let trace_cfg = trace_cfg.clone();
+            scope.spawn(move |_| {
+                let mut rng = Rng::seed_from_u64(seed);
+                let result = generate(&trace_cfg, total_slots, &mut rng)
+                    .map_err(ClientError::Trace)
+                    .and_then(|h| {
+                        client.run_at_with_fallback(
+                            &h,
+                            cfg.warmup_slots,
+                            &job,
+                            i as u32,
+                            cfg.on_demand_fallback,
+                        )
+                    });
+                *out = Some(result);
+            });
+        }
+    })
+    .expect("experiment worker panicked");
+
+    let mut trials = Vec::with_capacity(cfg.trials);
+    for slot in slots {
+        trials.push(slot.expect("every trial filled")?);
+    }
+    aggregate(trials)
+}
+
+fn aggregate(trials: Vec<TrialResult>) -> Result<ExperimentResult, ClientError> {
+    let bids = trials.iter().map(|t| t.outcome.bid).collect();
+    let done: Vec<&TrialResult> = trials.iter().filter(|t| t.outcome.completed()).collect();
+    let completed = done.len();
+    let series = |f: &dyn Fn(&TrialResult) -> f64| -> Result<Summary, ClientError> {
+        let xs: Vec<f64> = done.iter().map(|t| f(t)).collect();
+        summarize(&xs).map_err(|_| ClientError::InvalidConfig {
+            what: "no trial completed; cannot summarize outcomes".into(),
+        })
+    };
+    let cost = series(&|t| t.outcome.cost.as_f64())?;
+    let completion_time = series(&|t| t.outcome.completion_time.as_f64())?;
+    let interruptions = series(&|t| t.outcome.interruptions as f64)?;
+    Ok(ExperimentResult {
+        trials,
+        bids,
+        cost,
+        completion_time,
+        interruptions,
+        completed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotbid_trace::catalog;
+
+    fn quick_cfg() -> ExperimentConfig {
+        ExperimentConfig {
+            trials: 4,
+            seed: 7,
+            warmup_slots: 4000,
+            horizon_slots: 2000,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut c = quick_cfg();
+        c.trials = 0;
+        assert!(c.validate().is_err());
+        let mut c = quick_cfg();
+        c.warmup_slots = 0;
+        assert!(c.validate().is_err());
+        assert!(quick_cfg().validate().is_ok());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let inst = catalog::by_name("r3.xlarge").unwrap();
+        let job = JobSpec::builder(1.0).recovery_secs(30.0).build().unwrap();
+        let a = run_single_instance(
+            &inst,
+            BiddingStrategy::OptimalPersistent,
+            &job,
+            &quick_cfg(),
+        )
+        .unwrap();
+        let b = run_single_instance(
+            &inst,
+            BiddingStrategy::OptimalPersistent,
+            &job,
+            &quick_cfg(),
+        )
+        .unwrap();
+        assert_eq!(a.bids, b.bids);
+        assert_eq!(a.cost.mean, b.cost.mean);
+    }
+
+    #[test]
+    fn persistent_strategy_completes_all_trials() {
+        let inst = catalog::by_name("r3.xlarge").unwrap();
+        let job = JobSpec::builder(1.0).recovery_secs(30.0).build().unwrap();
+        let r = run_single_instance(
+            &inst,
+            BiddingStrategy::OptimalPersistent,
+            &job,
+            &quick_cfg(),
+        )
+        .unwrap();
+        assert_eq!(r.completed, 4);
+        assert_eq!(r.completion_rate(), 1.0);
+        assert!(r.mean_predicted_cost().is_some());
+        // Spot cost well below on-demand for every completed trial.
+        assert!(r.cost.max < 0.5 * inst.on_demand.as_f64());
+    }
+
+    #[test]
+    fn on_demand_baseline_costs_exactly_list_price() {
+        let inst = catalog::by_name("c3.4xlarge").unwrap();
+        let job = JobSpec::builder(1.0).build().unwrap();
+        let r = run_single_instance(&inst, BiddingStrategy::OnDemand, &job, &quick_cfg()).unwrap();
+        assert!((r.cost.mean - inst.on_demand.as_f64()).abs() < 1e-12);
+        assert_eq!(r.cost.std_dev, 0.0);
+        assert!(r.mean_predicted_cost().is_none());
+    }
+
+    #[test]
+    fn onetime_cheaper_than_on_demand_and_mostly_completes() {
+        let inst = catalog::by_name("r3.xlarge").unwrap();
+        let job = JobSpec::builder(1.0).build().unwrap();
+        let cfg = ExperimentConfig {
+            trials: 8,
+            ..quick_cfg()
+        };
+        let r = run_single_instance(&inst, BiddingStrategy::OptimalOneTime, &job, &cfg).unwrap();
+        // The bid is calibrated to survive ~1 hour; most trials complete.
+        assert!(r.completion_rate() >= 0.5, "rate {}", r.completion_rate());
+        assert!(r.cost.mean < 0.35 * inst.on_demand.as_f64());
+    }
+}
+
+#[cfg(test)]
+mod bootstrap_tests {
+    use super::*;
+    use spotbid_trace::catalog;
+
+    #[test]
+    fn bootstrap_ci_brackets_the_trial_mean() {
+        let inst = catalog::by_name("r3.xlarge").unwrap();
+        let job = JobSpec::builder(1.0).recovery_secs(30.0).build().unwrap();
+        let cfg = ExperimentConfig {
+            trials: 8,
+            seed: 0xB007,
+            warmup_slots: 4000,
+            horizon_slots: 2000,
+            ..Default::default()
+        };
+        let r = run_single_instance(&inst, BiddingStrategy::OptimalPersistent, &job, &cfg).unwrap();
+        let mut rng = Rng::seed_from_u64(1);
+        let (lo, hi) = r.cost_ci_bootstrap(&mut rng, 1000).unwrap();
+        assert!(
+            lo <= r.cost.mean && r.cost.mean <= hi,
+            "[{lo}, {hi}] vs {}",
+            r.cost.mean
+        );
+        assert!(hi < inst.on_demand.as_f64());
+    }
+}

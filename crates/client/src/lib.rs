@@ -1,0 +1,105 @@
+//! # spotbid-client
+//!
+//! The user-side client of *How to Bid the Cloud* (Figure 1): a price
+//! monitor that maintains the empirical spot-price distribution, a job
+//! monitor tracking interruptions and recovery, a billing ledger standing
+//! in for the paper's AWS bills, a trace-replay runtime implementing the
+//! EC2 spot rules, and an experiment harness that repeats trials the way
+//! §7 does — plus EC2's actual 2014 hourly billing rules
+//! ([`hourly`]): partial hours forgiven on provider interruption, charged
+//! in full on user termination.
+//!
+//! ## Example
+//!
+//! ```
+//! use spotbid_client::experiment::{run_single_instance, ExperimentConfig};
+//! use spotbid_core::{BiddingStrategy, JobSpec};
+//! use spotbid_trace::catalog;
+//!
+//! let inst = catalog::by_name("r3.xlarge").unwrap();
+//! let job = JobSpec::builder(1.0).recovery_secs(30.0).build().unwrap();
+//! let cfg = ExperimentConfig { trials: 3, warmup_slots: 3000, horizon_slots: 1500,
+//!                              ..Default::default() };
+//! let spot = run_single_instance(&inst, BiddingStrategy::OptimalPersistent, &job, &cfg).unwrap();
+//! // The paper's headline: spot costs a fraction of on-demand.
+//! assert!(spot.cost.mean < 0.5 * inst.on_demand.as_f64());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod billing;
+pub mod client;
+pub mod experiment;
+pub mod hourly;
+pub mod job_monitor;
+pub mod price_monitor;
+pub mod runtime;
+
+pub use client::{SpotClient, TrialResult};
+pub use experiment::{ExperimentConfig, ExperimentResult};
+pub use runtime::{JobOutcome, RunStatus};
+
+use std::fmt;
+
+/// Errors produced by the client crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// A strategy/model error from `spotbid-core`.
+    Core(spotbid_core::CoreError),
+    /// A history error from `spotbid-trace`.
+    Trace(spotbid_trace::TraceError),
+    /// Invalid experiment or runtime configuration.
+    InvalidConfig {
+        /// Description of the problem.
+        what: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Core(e) => write!(f, "core error: {e}"),
+            ClientError::Trace(e) => write!(f, "trace error: {e}"),
+            ClientError::InvalidConfig { what } => write!(f, "invalid config: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Core(e) => Some(e),
+            ClientError::Trace(e) => Some(e),
+            ClientError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<spotbid_core::CoreError> for ClientError {
+    fn from(e: spotbid_core::CoreError) -> Self {
+        ClientError::Core(e)
+    }
+}
+
+impl From<spotbid_trace::TraceError> for ClientError {
+    fn from(e: spotbid_trace::TraceError) -> Self {
+        ClientError::Trace(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_source() {
+        let e = ClientError::Core(spotbid_core::CoreError::InvalidJob { what: "x".into() });
+        assert!(e.to_string().contains("core error"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = ClientError::InvalidConfig { what: "y".into() };
+        assert!(e.to_string().contains("invalid config"));
+        assert!(std::error::Error::source(&e).is_none());
+        let e: ClientError = spotbid_trace::TraceError::Parse { what: "z".into() }.into();
+        assert!(e.to_string().contains("trace error"));
+    }
+}

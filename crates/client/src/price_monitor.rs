@@ -1,0 +1,147 @@
+//! The price monitor: keeps the client's view of the spot-price
+//! distribution up to date (Figure 1).
+//!
+//! Amazon exposed a rolling two-month price history; the paper's client
+//! recomputes its empirical distribution from that window before bidding.
+//! [`PriceMonitor`] mirrors that: a bounded sliding window of observed
+//! prices plus convenience constructors for the bidding model.
+
+use spotbid_core::price_model::EmpiricalPrices;
+use spotbid_core::CoreError;
+use spotbid_market::units::Price;
+use spotbid_trace::history::TWO_MONTHS_SLOTS;
+use spotbid_trace::SpotPriceHistory;
+use std::collections::VecDeque;
+
+/// A bounded sliding window of observed spot prices.
+#[derive(Debug, Clone)]
+pub struct PriceMonitor {
+    window: usize,
+    on_demand: Price,
+    prices: VecDeque<Price>,
+}
+
+impl PriceMonitor {
+    /// Creates a monitor retaining at most `window` slots (the paper's
+    /// two-month horizon is [`TWO_MONTHS_SLOTS`]).
+    pub fn new(window: usize, on_demand: Price) -> Self {
+        PriceMonitor {
+            window: window.max(1),
+            on_demand,
+            prices: VecDeque::new(),
+        }
+    }
+
+    /// Creates a monitor with the paper's two-month window.
+    pub fn two_months(on_demand: Price) -> Self {
+        Self::new(TWO_MONTHS_SLOTS, on_demand)
+    }
+
+    /// Records one observed price, evicting the oldest beyond the window.
+    pub fn observe(&mut self, price: Price) {
+        if self.prices.len() == self.window {
+            self.prices.pop_front();
+        }
+        self.prices.push_back(price);
+    }
+
+    /// Bulk-loads a history (e.g. the initial two-month download).
+    pub fn observe_history(&mut self, history: &SpotPriceHistory) {
+        for &p in history.prices() {
+            self.observe(p);
+        }
+    }
+
+    /// Number of retained observations.
+    pub fn len(&self) -> usize {
+        self.prices.len()
+    }
+
+    /// Whether no price has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.prices.is_empty()
+    }
+
+    /// The configured on-demand cap.
+    pub fn on_demand(&self) -> Price {
+        self.on_demand
+    }
+
+    /// Builds the bidding model from the current window.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidModel`] when the window is empty or an observed
+    /// price exceeds the on-demand cap.
+    pub fn model(&self) -> Result<EmpiricalPrices, CoreError> {
+        let raw: Vec<f64> = self.prices.iter().map(|p| p.as_f64()).collect();
+        EmpiricalPrices::from_samples(&raw, self.on_demand)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotbid_core::PriceModel;
+    use spotbid_numerics::rng::Rng;
+    use spotbid_trace::catalog;
+    use spotbid_trace::synthetic::{generate, SyntheticConfig};
+
+    #[test]
+    fn window_evicts_oldest() {
+        let mut m = PriceMonitor::new(3, Price::new(1.0));
+        for p in [0.1, 0.2, 0.3, 0.4] {
+            m.observe(Price::new(p));
+        }
+        assert_eq!(m.len(), 3);
+        let model = m.model().unwrap();
+        // 0.1 was evicted: the minimum retained is 0.2.
+        assert_eq!(model.min_price(), Price::new(0.2));
+    }
+
+    #[test]
+    fn empty_monitor_has_no_model() {
+        let m = PriceMonitor::new(10, Price::new(1.0));
+        assert!(m.is_empty());
+        assert!(m.model().is_err());
+    }
+
+    #[test]
+    fn bulk_load_matches_history() {
+        let inst = catalog::by_name("r3.xlarge").unwrap();
+        let cfg = SyntheticConfig::for_instance(&inst);
+        let h = generate(&cfg, 500, &mut Rng::seed_from_u64(31)).unwrap();
+        let mut m = PriceMonitor::two_months(inst.on_demand);
+        m.observe_history(&h);
+        assert_eq!(m.len(), 500);
+        let model = m.model().unwrap();
+        assert_eq!(model.min_price(), h.min_price());
+        assert_eq!(model.on_demand(), inst.on_demand);
+    }
+
+    #[test]
+    fn sliding_window_tracks_regime_change() {
+        // After a price regime shift, a small window forgets the old
+        // regime while a big one remembers it.
+        let mut small = PriceMonitor::new(10, Price::new(1.0));
+        let mut big = PriceMonitor::new(1000, Price::new(1.0));
+        for _ in 0..100 {
+            small.observe(Price::new(0.02));
+            big.observe(Price::new(0.02));
+        }
+        for _ in 0..10 {
+            small.observe(Price::new(0.08));
+            big.observe(Price::new(0.08));
+        }
+        assert_eq!(small.model().unwrap().min_price(), Price::new(0.08));
+        assert_eq!(big.model().unwrap().min_price(), Price::new(0.02));
+    }
+
+    #[test]
+    fn zero_window_clamps_to_one() {
+        let mut m = PriceMonitor::new(0, Price::new(1.0));
+        m.observe(Price::new(0.1));
+        m.observe(Price::new(0.2));
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests of the client runtime's accounting invariants.
+
+use proptest::prelude::*;
+use spotbid_client::job_monitor::{JobMonitor, JobState};
+use spotbid_client::runtime::{run_job, RunStatus};
+use spotbid_core::{BidDecision, JobSpec};
+use spotbid_market::units::{Hours, Price};
+use spotbid_trace::history::default_slot_len;
+use spotbid_trace::SpotPriceHistory;
+
+fn job_strategy() -> impl Strategy<Value = JobSpec> {
+    (0.1f64..3.0, 0.0f64..200.0)
+        .prop_map(|(ts, tr)| JobSpec::builder(ts).recovery_secs(tr).build().unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn job_monitor_work_conservation(job in job_strategy(),
+                                     accepts in proptest::collection::vec(any::<bool>(), 1..400)) {
+        let mut m = JobMonitor::new(job);
+        let mut interruption_events = 0u32;
+        for &a in &accepts {
+            let e = m.advance(a);
+            if e.interrupted {
+                interruption_events += 1;
+            }
+        }
+        prop_assert_eq!(interruption_events, m.interruptions());
+        // Work consumed never exceeds execution + interruptions × recovery.
+        let max_running =
+            job.execution.as_f64() + m.interruptions() as f64 * job.recovery.as_f64();
+        prop_assert!(m.running_time().as_f64() <= max_running + 1e-9);
+        if m.state() == JobState::Finished {
+            // On completion the identity is exact (recovery replays in
+            // progress count only once finished).
+            prop_assert!((m.running_time().as_f64() - max_running).abs() < 1e-9);
+            prop_assert_eq!(m.remaining_work(), Hours::ZERO);
+        }
+        // Elapsed decomposes into its three ledgers.
+        let total = m.waiting_time() + m.idle_time() + m.running_time();
+        prop_assert!((m.elapsed().as_f64() - total.as_f64()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn replay_bill_matches_price_trace(
+        prices in proptest::collection::vec(0.01f64..0.5, 12..200),
+        bid in 0.01f64..0.5,
+        job in job_strategy(),
+    ) {
+        let h = SpotPriceHistory::new(
+            default_slot_len(),
+            prices.iter().map(|&p| Price::new(p)).collect(),
+        )
+        .unwrap();
+        let out = run_job(
+            &h,
+            BidDecision::Spot { price: Price::new(bid), persistent: true },
+            &job,
+            7,
+        )
+        .unwrap();
+        // Every line item is priced at the trace's slot price and tagged.
+        for item in out.bill.items() {
+            let slot_price = h.price_at_slot(item.slot as usize).unwrap();
+            prop_assert_eq!(item.price, slot_price);
+            prop_assert!(Price::new(bid) >= slot_price, "charged while outbid");
+            // Up to one ulp over the slot from rec + (slot − rec) rounding.
+            prop_assert!(item.duration.as_f64() <= job.slot.as_f64() + 1e-12);
+            prop_assert_eq!(item.tag, 7);
+        }
+        // Total = sum of items; durations bill only running time.
+        let total: f64 = out.bill.items().iter().map(|i| i.amount().as_f64()).sum();
+        prop_assert!((out.cost.as_f64() - total).abs() < 1e-12);
+        prop_assert!(
+            (out.bill.total_duration().as_f64() - out.running_time.as_f64()).abs() < 1e-9
+        );
+        // Completed persistent runs did all their work.
+        if out.status == RunStatus::Completed {
+            let expect = job.execution.as_f64()
+                + out.interruptions as f64 * job.recovery.as_f64();
+            prop_assert!((out.running_time.as_f64() - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn onetime_replay_never_outlives_first_rejection(
+        prices in proptest::collection::vec(0.01f64..0.5, 5..100),
+        bid in 0.01f64..0.5,
+    ) {
+        let h = SpotPriceHistory::new(
+            default_slot_len(),
+            prices.iter().map(|&p| Price::new(p)).collect(),
+        )
+        .unwrap();
+        let job = JobSpec::builder(10.0).build().unwrap(); // longer than trace
+        let out = run_job(
+            &h,
+            BidDecision::Spot { price: Price::new(bid), persistent: false },
+            &job,
+            0,
+        )
+        .unwrap();
+        let bid = Price::new(bid);
+        match prices.iter().position(|&p| bid < Price::new(p)) {
+            Some(first_reject) => {
+                prop_assert_eq!(out.status, RunStatus::TerminatedEarly);
+                // It ran exactly the accepted prefix.
+                let expect_slots = first_reject as f64;
+                prop_assert!(
+                    (out.running_time.as_f64() - expect_slots / 12.0).abs() < 1e-9
+                );
+            }
+            None => {
+                // Never rejected: it runs off the end of the trace.
+                prop_assert_eq!(out.status, RunStatus::HistoryExhausted);
+                prop_assert_eq!(out.interruptions, 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Job specifications (Table 1's user-side symbols).
+
+use crate::CoreError;
+use spotbid_market::units::Hours;
+
+/// A user job's timing characteristics.
+///
+/// | field       | paper symbol | meaning |
+/// |-------------|--------------|---------|
+/// | `execution` | `t_s`        | execution time without interruptions |
+/// | `recovery`  | `t_r`        | recovery delay per interruption |
+/// | `overhead`  | `t_o`        | extra time from splitting into sub-jobs |
+/// | `slot`      | `t_k`        | length of one pricing slot |
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobSpec {
+    /// Execution time `t_s` (uninterrupted).
+    pub execution: Hours,
+    /// Recovery time `t_r` per interruption.
+    pub recovery: Hours,
+    /// Parallelization overhead `t_o` (0 for single-instance jobs).
+    pub overhead: Hours,
+    /// Pricing-slot length `t_k` (five minutes on EC2).
+    pub slot: Hours,
+}
+
+impl JobSpec {
+    /// Starts building a job with the given execution time in hours.
+    pub fn builder(execution_hours: f64) -> JobSpecBuilder {
+        JobSpecBuilder {
+            execution: Hours::new(execution_hours),
+            recovery: Hours::ZERO,
+            overhead: Hours::ZERO,
+            slot: Hours::from_minutes(5.0),
+        }
+    }
+
+    /// Validates the invariants: all durations non-negative and finite,
+    /// `execution > 0`, `slot > 0`, and `execution > recovery` (Eq. 13's
+    /// numerator `t_s − t_r` must be positive for the persistent-cost model
+    /// to be meaningful).
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let bad = |what: String| Err(CoreError::InvalidJob { what });
+        if !self.execution.is_valid_duration() || self.execution <= Hours::ZERO {
+            return bad(format!(
+                "execution time {} must be positive",
+                self.execution
+            ));
+        }
+        if !self.recovery.is_valid_duration() {
+            return bad(format!("recovery time {} must be >= 0", self.recovery));
+        }
+        if !self.overhead.is_valid_duration() {
+            return bad(format!("overhead time {} must be >= 0", self.overhead));
+        }
+        if !self.slot.is_valid_duration() || self.slot <= Hours::ZERO {
+            return bad(format!("slot length {} must be positive", self.slot));
+        }
+        if self.recovery >= self.execution {
+            return bad(format!(
+                "recovery {} must be shorter than execution {}",
+                self.recovery, self.execution
+            ));
+        }
+        Ok(())
+    }
+
+    /// Number of whole slots the job needs to execute, `⌈t_s/t_k⌉`.
+    pub fn slots_needed(&self) -> u64 {
+        (self.execution / self.slot).ceil() as u64
+    }
+
+    /// The ratio `t_r/t_k` that drives the persistent-bid optimum (Eq. 16).
+    pub fn recovery_slot_ratio(&self) -> f64 {
+        self.recovery / self.slot
+    }
+
+    /// Proposition 5's target value `t_k/t_r − 1` for `ψ(p*)`, or `None`
+    /// when the job has no recovery cost (`t_r = 0`, where the optimum
+    /// degenerates to the lowest viable bid).
+    pub fn psi_target(&self) -> Option<f64> {
+        if self.recovery <= Hours::ZERO {
+            None
+        } else {
+            Some(self.slot / self.recovery - 1.0)
+        }
+    }
+}
+
+/// Builder for [`JobSpec`].
+#[derive(Debug, Clone, Copy)]
+pub struct JobSpecBuilder {
+    execution: Hours,
+    recovery: Hours,
+    overhead: Hours,
+    slot: Hours,
+}
+
+impl JobSpecBuilder {
+    /// Sets the recovery time in seconds (the paper uses 10 s and 30 s).
+    pub fn recovery_secs(mut self, s: f64) -> Self {
+        self.recovery = Hours::from_secs(s);
+        self
+    }
+
+    /// Sets the recovery time.
+    pub fn recovery(mut self, t: Hours) -> Self {
+        self.recovery = t;
+        self
+    }
+
+    /// Sets the parallelization overhead in seconds (the paper uses 60 s).
+    pub fn overhead_secs(mut self, s: f64) -> Self {
+        self.overhead = Hours::from_secs(s);
+        self
+    }
+
+    /// Sets the parallelization overhead.
+    pub fn overhead(mut self, t: Hours) -> Self {
+        self.overhead = t;
+        self
+    }
+
+    /// Sets the pricing-slot length (default five minutes).
+    pub fn slot(mut self, t: Hours) -> Self {
+        self.slot = t;
+        self
+    }
+
+    /// Finalizes and validates the job.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidJob`] when any invariant of
+    /// [`JobSpec::validate`] fails.
+    pub fn build(self) -> Result<JobSpec, CoreError> {
+        let job = JobSpec {
+            execution: self.execution,
+            recovery: self.recovery,
+            overhead: self.overhead,
+            slot: self.slot,
+        };
+        job.validate()?;
+        Ok(job)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults() {
+        let j = JobSpec::builder(1.0).build().unwrap();
+        assert_eq!(j.execution, Hours::new(1.0));
+        assert_eq!(j.recovery, Hours::ZERO);
+        assert_eq!(j.overhead, Hours::ZERO);
+        assert!((j.slot.as_minutes() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_paper_settings() {
+        // §7.2: t_r = 30 s, t_o = 60 s.
+        let j = JobSpec::builder(1.0)
+            .recovery_secs(30.0)
+            .overhead_secs(60.0)
+            .build()
+            .unwrap();
+        assert!((j.recovery.as_secs() - 30.0).abs() < 1e-9);
+        assert!((j.overhead.as_secs() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_rejects_bad_jobs() {
+        assert!(JobSpec::builder(0.0).build().is_err());
+        assert!(JobSpec::builder(-1.0).build().is_err());
+        assert!(JobSpec::builder(1.0)
+            .recovery(Hours::new(-0.1))
+            .build()
+            .is_err());
+        assert!(JobSpec::builder(1.0)
+            .overhead(Hours::new(-0.1))
+            .build()
+            .is_err());
+        assert!(JobSpec::builder(1.0).slot(Hours::ZERO).build().is_err());
+        // Recovery must be shorter than execution.
+        assert!(JobSpec::builder(0.001).recovery_secs(30.0).build().is_err());
+        assert!(JobSpec::builder(f64::NAN).build().is_err());
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let j = JobSpec::builder(1.0).recovery_secs(30.0).build().unwrap();
+        assert_eq!(j.slots_needed(), 12);
+        assert!((j.recovery_slot_ratio() - 0.1).abs() < 1e-12);
+        // t_k/t_r − 1 = 300/30 − 1 = 9.
+        assert!((j.psi_target().unwrap() - 9.0).abs() < 1e-9);
+        let j10 = JobSpec::builder(1.0).recovery_secs(10.0).build().unwrap();
+        assert!((j10.psi_target().unwrap() - 29.0).abs() < 1e-9);
+        let j0 = JobSpec::builder(1.0).build().unwrap();
+        assert!(j0.psi_target().is_none());
+    }
+
+    #[test]
+    fn slots_needed_rounds_up() {
+        let j = JobSpec::builder(0.51).build().unwrap();
+        assert_eq!(j.slots_needed(), 7); // 0.51 h / (1/12 h) = 6.12 → 7
+        let exact = JobSpec::builder(0.5).build().unwrap();
+        assert_eq!(exact.slots_needed(), 6);
+    }
+}

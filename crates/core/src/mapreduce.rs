@@ -1,0 +1,304 @@
+//! Joint master/slave bidding for MapReduce jobs (§6.2, Eq. 20).
+//!
+//! The master node must stay up while any slave is still working, so it
+//! gets a *one-time* request (no interruptions tolerated) while the `M`
+//! slaves get parallel *persistent* requests. Aside from the coupling
+//! constraint — the master's expected uninterrupted run must cover the
+//! slaves' worst-case completion —
+//!
+//! ```text
+//! t_k/(1 − F_m(p_m)) ≥ (1/F_v(p_v))·(t_s + t_o − M·t_r)/(1 − (t_r/t_k)(1 − F_v)) − (M−1)·t_k/(1 − F_v)
+//! ```
+//!
+//! the two bids separate: `p_m` is Proposition 4's one-time optimum for the
+//! job's execution time and `p_v` is the Eq. 19 parallel-persistent
+//! optimum. The constraint is then satisfied by submitting *enough slaves*:
+//! splitting shrinks the slaves' completion time below what the master's
+//! bid already covers. [`minimum_parallelism`] computes that threshold `M̄`
+//! (§7.2 finds it as low as 3–4), and [`plan`] assembles the full
+//! recommendation.
+
+use crate::job::JobSpec;
+use crate::price_model::PriceModel;
+use crate::recommendation::BidRecommendation;
+use crate::{onetime, parallel, CoreError};
+use spotbid_market::units::{Cost, Hours, Price};
+
+/// A complete MapReduce bidding plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapReducePlan {
+    /// Number of slave instances `M`.
+    pub m: u32,
+    /// One-time bid for the master node.
+    pub master: BidRecommendation,
+    /// Parallel persistent bid for the slave nodes (totals across all `M`).
+    pub slaves: BidRecommendation,
+    /// Worst-case slave completion time (Eq. 20's right-hand side).
+    pub worst_case_completion: Hours,
+    /// Expected master cost over the worst-case completion horizon.
+    pub master_cost: Cost,
+    /// Expected total cost: master plus all slaves.
+    pub total_cost: Cost,
+}
+
+impl MapReducePlan {
+    /// The master's share of total cost (the paper reports 10–25%).
+    pub fn master_cost_fraction(&self) -> f64 {
+        if self.total_cost.as_f64() <= 0.0 {
+            return 0.0;
+        }
+        self.master_cost / self.total_cost
+    }
+}
+
+/// Eq. 20's right-hand side: the worst-case completion time of `M`
+/// parallel sub-jobs at slave bid `p_v`,
+/// `Σ_i T_i − (M−1)·t_k/(1 − F_v(p_v))`
+/// (total completion time minus the best case for the other `M−1`).
+/// `None` when the slave bid is infeasible at this `M`.
+pub fn worst_case_completion<V: PriceModel>(
+    slave_model: &V,
+    job: &JobSpec,
+    m: u32,
+    p_v: Price,
+) -> Option<Hours> {
+    let sum_running = parallel::sum_running_time(slave_model, job, m, p_v)?;
+    let f = slave_model.cdf(p_v);
+    let total_completion = sum_running / f;
+    if f >= 1.0 {
+        return Some(total_completion);
+    }
+    let slack = job.slot * ((m - 1) as f64 / (1.0 - f));
+    Some((total_completion - slack).max(job.slot))
+}
+
+/// The master-node constraint of Eq. 20 at a given plan point.
+pub fn master_constraint_holds<Mm: PriceModel, V: PriceModel>(
+    master_model: &Mm,
+    slave_model: &V,
+    job: &JobSpec,
+    m: u32,
+    p_m: Price,
+    p_v: Price,
+) -> bool {
+    let Some(wc) = worst_case_completion(slave_model, job, m, p_v) else {
+        return false;
+    };
+    onetime::expected_uninterrupted_run(master_model, job, p_m) >= wc
+}
+
+/// The smallest `M ≤ m_max` for which Eq. 20's constraint holds with the
+/// independently optimal `p_m` and `p_v` — §7.2's `M̄` ("as low as 3 or
+/// 4"). `None` when no `M` in range works.
+pub fn minimum_parallelism<Mm: PriceModel, V: PriceModel>(
+    master_model: &Mm,
+    slave_model: &V,
+    job: &JobSpec,
+    m_max: u32,
+) -> Option<u32> {
+    let p_m = onetime::optimal_bid(master_model, job).ok()?.price;
+    let cap = m_max.min(parallel::max_parallelism(job));
+    for m in 1..=cap {
+        let Ok(slave) = parallel::optimal_bid(slave_model, job, m) else {
+            continue;
+        };
+        if master_constraint_holds(master_model, slave_model, job, m, p_m, slave.price) {
+            return Some(m);
+        }
+    }
+    None
+}
+
+/// Assembles the full §6.2 plan: independently optimal master (one-time)
+/// and slave (parallel persistent) bids at the smallest `M` satisfying the
+/// master-outlives-slaves constraint.
+///
+/// # Errors
+///
+/// - [`CoreError::InvalidJob`] for invalid jobs.
+/// - Propagates the per-role bid errors.
+/// - [`CoreError::NoFeasibleBid`] when no `M ≤ m_max` satisfies Eq. 20.
+/// # Example
+///
+/// ```
+/// use spotbid_core::{mapreduce, JobSpec};
+/// use spotbid_core::price_model::EmpiricalPrices;
+/// use spotbid_market::units::Price;
+///
+/// let mk = |spike: f64, cap: f64| {
+///     let mut s = vec![spike / 2.0; 110];
+///     s.extend(vec![spike; 10]);
+///     EmpiricalPrices::from_samples(&s, Price::new(cap)).unwrap()
+/// };
+/// let master = mk(0.05, 0.28); // cheap master instance type
+/// let slave = mk(0.15, 0.84); // compute-heavy slave type
+/// let job = JobSpec::builder(1.0)
+///     .recovery_secs(30.0)
+///     .overhead_secs(60.0)
+///     .build()
+///     .unwrap();
+/// let plan = mapreduce::plan(&master, &slave, &job, 16).unwrap();
+/// assert!(plan.m >= 1);
+/// assert!(plan.master_cost_fraction() < 1.0);
+/// ```
+pub fn plan<Mm: PriceModel, V: PriceModel>(
+    master_model: &Mm,
+    slave_model: &V,
+    job: &JobSpec,
+    m_max: u32,
+) -> Result<MapReducePlan, CoreError> {
+    job.validate()?;
+    let master = onetime::optimal_bid(master_model, job)?;
+    let m = minimum_parallelism(master_model, slave_model, job, m_max).ok_or_else(|| {
+        CoreError::NoFeasibleBid {
+            why: format!("no M ≤ {m_max} satisfies the master-outlives-slaves constraint"),
+        }
+    })?;
+    let slaves = parallel::optimal_bid(slave_model, job, m)?;
+    let wc = worst_case_completion(slave_model, job, m, slaves.price)
+        .expect("constraint implies feasibility");
+    // The master runs (uninterrupted, by construction) for as long as the
+    // slaves need — the worst-case completion horizon.
+    let master_cost = master.expected_hourly_price * wc;
+    Ok(MapReducePlan {
+        m,
+        master,
+        slaves,
+        worst_case_completion: wc,
+        master_cost,
+        total_cost: master_cost + slaves.expected_cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::price_model::EmpiricalPrices;
+    use spotbid_numerics::rng::Rng;
+    use spotbid_trace::catalog;
+    use spotbid_trace::synthetic::{generate, SyntheticConfig};
+
+    fn model_for(name: &str, seed: u64) -> EmpiricalPrices {
+        let inst = catalog::by_name(name).unwrap();
+        let cfg = SyntheticConfig::for_instance(&inst);
+        let h = generate(&cfg, 17_568, &mut Rng::seed_from_u64(seed)).unwrap();
+        EmpiricalPrices::from_history_with_cap(&h, inst.on_demand).unwrap()
+    }
+
+    fn job() -> JobSpec {
+        JobSpec::builder(1.0)
+            .recovery_secs(30.0)
+            .overhead_secs(60.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn worst_case_decreases_with_m() {
+        let v = model_for("c3.4xlarge", 10);
+        let j = job();
+        let p = v.quantile(0.85).unwrap();
+        let w2 = worst_case_completion(&v, &j, 2, p).unwrap();
+        let w4 = worst_case_completion(&v, &j, 4, p).unwrap();
+        let w8 = worst_case_completion(&v, &j, 8, p).unwrap();
+        assert!(w4 <= w2);
+        assert!(w8 <= w4);
+        assert!(worst_case_completion(&v, &j, 0, p).is_none());
+    }
+
+    #[test]
+    fn minimum_parallelism_is_small() {
+        // §7.2: "this minimum number of nodes ... can be as low as 3 or 4".
+        let master = model_for("m3.xlarge", 11);
+        let slave = model_for("c3.4xlarge", 12);
+        let j = job();
+        let m = minimum_parallelism(&master, &slave, &j, 64).unwrap();
+        assert!(
+            (1..=8).contains(&m),
+            "minimum parallelism {m} outside the paper's ballpark"
+        );
+    }
+
+    #[test]
+    fn plan_satisfies_the_constraint() {
+        let master = model_for("m3.xlarge", 13);
+        let slave = model_for("c3.4xlarge", 14);
+        let j = job();
+        let plan = plan(&master, &slave, &j, 64).unwrap();
+        assert!(master_constraint_holds(
+            &master,
+            &slave,
+            &j,
+            plan.m,
+            plan.master.price,
+            plan.slaves.price
+        ));
+        // The master's expected uninterrupted run covers the slaves.
+        let run = onetime::expected_uninterrupted_run(&master, &j, plan.master.price);
+        assert!(run >= plan.worst_case_completion);
+    }
+
+    #[test]
+    fn master_cost_fraction_in_paper_band() {
+        // Table 4: master cost is 10–25% of the slave cost. As a fraction
+        // of total that is roughly 9–20%; allow a generous band.
+        let master = model_for("m3.xlarge", 15);
+        let slave = model_for("c3.4xlarge", 16);
+        let j = job();
+        let p = plan(&master, &slave, &j, 64).unwrap();
+        let frac = p.master_cost_fraction();
+        assert!(
+            (0.02..0.45).contains(&frac),
+            "master fraction {frac:.3} implausible"
+        );
+        assert!(
+            (p.total_cost.as_f64() - (p.master_cost + p.slaves.expected_cost).as_f64()).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn plan_is_cheaper_than_on_demand() {
+        // Figure 7: spot MapReduce cost ≪ on-demand cost. Compare against
+        // running master + M slaves on demand for the nominal hour.
+        let master_m = model_for("m3.xlarge", 17);
+        let slave_m = model_for("c3.4xlarge", 18);
+        let j = job();
+        let p = plan(&master_m, &slave_m, &j, 64).unwrap();
+        let od = master_m.on_demand() * j.execution
+            + slave_m.on_demand() * (j.execution / p.m as f64 * p.m as f64);
+        assert!(
+            p.total_cost.as_f64() < 0.4 * od.as_f64(),
+            "plan {} vs on-demand {}",
+            p.total_cost,
+            od
+        );
+    }
+
+    #[test]
+    fn higher_master_bid_than_slave_bid() {
+        // The master is one-time (high quantile); slaves are persistent
+        // (interior optimum). As fractions of their on-demand prices the
+        // master bids at least as aggressively.
+        let master_m = model_for("m3.xlarge", 19);
+        let slave_m = model_for("c3.4xlarge", 20);
+        let j = job();
+        let p = plan(&master_m, &slave_m, &j, 64).unwrap();
+        let master_frac = p.master.price / master_m.on_demand();
+        let slave_frac = p.slaves.price / slave_m.on_demand();
+        assert!(
+            master_frac >= slave_frac - 0.02,
+            "master {master_frac:.3} vs slave {slave_frac:.3}"
+        );
+    }
+
+    #[test]
+    fn infeasible_m_max_errors() {
+        let master = model_for("m3.xlarge", 21);
+        let slave = model_for("c3.4xlarge", 22);
+        // An extremely long job with m_max = 0 can never satisfy Eq. 20.
+        let j = job();
+        let r = plan(&master, &slave, &j, 0);
+        assert!(matches!(r, Err(CoreError::NoFeasibleBid { .. })));
+    }
+}

@@ -1,0 +1,284 @@
+//! One-time requests (§5.1): bid so the job is never interrupted.
+//!
+//! A one-time request exits the system the first time the spot price rises
+//! above its bid, so the user wants the *lowest* bid whose expected
+//! uninterrupted run (Eq. 8) still covers the execution time:
+//!
+//! ```text
+//! minimize   Φ_so(p) = t_s · E[π | π ≤ p]                       (Eq. 10)
+//! subject to Φ_so(p) ≤ t_s·π̄,   t_s ≤ t_k/(1 − F(p)),   π ≤ p ≤ π̄
+//! ```
+//!
+//! Because `E[π | π ≤ p]` is monotone increasing (Proposition 4's proof),
+//! the optimum is the quantile bid of Eq. 11:
+//! `p* = max(π_min, F⁻¹(1 − t_k/t_s))`.
+
+use crate::job::JobSpec;
+use crate::price_model::PriceModel;
+use crate::recommendation::BidRecommendation;
+use crate::CoreError;
+use spotbid_market::units::{Cost, Hours, Price};
+
+/// Expected time a bid at `p` keeps running before its first interruption
+/// (Eq. 8): `t_k / (1 − F(p))`; infinite when `F(p) = 1`.
+pub fn expected_uninterrupted_run<M: PriceModel>(model: &M, job: &JobSpec, p: Price) -> Hours {
+    let f = model.cdf(p);
+    if f >= 1.0 {
+        Hours::new(f64::INFINITY)
+    } else {
+        job.slot / (1.0 - f)
+    }
+}
+
+/// Expected cost of a one-time request at bid `p` (Eq. 10's objective):
+/// `t_s · E[π | π ≤ p]`. `None` when the bid is below every possible price
+/// (the job would never start).
+pub fn cost<M: PriceModel>(model: &M, job: &JobSpec, p: Price) -> Option<Cost> {
+    let e = model.expected_price_below(p)?;
+    Some(e * job.execution)
+}
+
+/// The non-interruption constraint of Eq. 10: the expected uninterrupted
+/// run at `p` covers the execution time, i.e. `t_s·(1 − F(p)) ≤ t_k`.
+/// Compared with a relative tolerance because Proposition 4's optimal bid
+/// sits *exactly* on this boundary (`F(p*) = 1 − t_k/t_s`), where f64
+/// rounding would otherwise flip the comparison.
+pub fn satisfies_no_interruption<M: PriceModel>(model: &M, job: &JobSpec, p: Price) -> bool {
+    let f = model.cdf(p);
+    job.execution.as_f64() * (1.0 - f) <= job.slot.as_f64() * (1.0 + 1e-9)
+}
+
+/// Proposition 4's optimal one-time bid: the `1 − t_k/t_s` quantile of the
+/// spot-price distribution (the lowest viable price when the job fits in a
+/// single slot).
+///
+/// # Errors
+///
+/// - [`CoreError::InvalidJob`] if the job fails validation.
+/// - [`CoreError::NotWorthwhile`] if even the optimal bid's expected cost
+///   exceeds the on-demand cost `t_s·π̄` (cannot occur when the model's
+///   prices respect the cap, but the constraint is checked, not assumed).
+/// # Example
+///
+/// ```
+/// use spotbid_core::{onetime, JobSpec};
+/// use spotbid_core::price_model::EmpiricalPrices;
+/// use spotbid_market::units::Price;
+///
+/// // Observed prices: mostly $0.03 with occasional $0.08 spikes
+/// // (spikes carry 1/6 of the mass — more than the 1/12 slack a
+/// // 12-slot job can tolerate).
+/// let mut samples = vec![0.03; 100];
+/// samples.extend(vec![0.08; 20]);
+/// let model = EmpiricalPrices::from_samples(&samples, Price::new(0.35)).unwrap();
+///
+/// // A 1-hour job must survive 12 five-minute slots: bid at the
+/// // 1 − 1/12 ≈ 0.917 quantile, which here is the spike price.
+/// let job = JobSpec::builder(1.0).build().unwrap();
+/// let rec = onetime::optimal_bid(&model, &job).unwrap();
+/// assert_eq!(rec.price, Price::new(0.08));
+/// assert!(rec.acceptance_prob >= 1.0 - 1.0 / 12.0);
+/// ```
+pub fn optimal_bid<M: PriceModel>(
+    model: &M,
+    job: &JobSpec,
+) -> Result<BidRecommendation, CoreError> {
+    job.validate()?;
+    let q = 1.0 - job.slot / job.execution;
+    let p = if q <= 0.0 {
+        // Job fits inside one slot: any accepted bid survives long enough;
+        // the cheapest viable bid is the lowest possible price.
+        model.min_price()
+    } else {
+        model.quantile(q)?
+    };
+    let p = p.max(model.min_price());
+    evaluate(model, job, p)
+}
+
+/// Evaluates a one-time bid at an explicit price, checking the Eq. 10
+/// constraints. Used by [`optimal_bid`] and by baseline strategies that
+/// pick their own price.
+///
+/// # Errors
+///
+/// - [`CoreError::NoFeasibleBid`] if `F(p) = 0` or the non-interruption
+///   constraint fails at `p`.
+/// - [`CoreError::NotWorthwhile`] if the expected cost exceeds on-demand.
+pub fn evaluate<M: PriceModel>(
+    model: &M,
+    job: &JobSpec,
+    p: Price,
+) -> Result<BidRecommendation, CoreError> {
+    job.validate()?;
+    let f = model.cdf(p);
+    let expected_hourly =
+        model
+            .expected_price_below(p)
+            .ok_or_else(|| CoreError::NoFeasibleBid {
+                why: format!("bid {p} is below every possible spot price"),
+            })?;
+    if !satisfies_no_interruption(model, job, p) {
+        return Err(CoreError::NoFeasibleBid {
+            why: format!(
+                "bid {p} gives expected uninterrupted run {} < execution time {}",
+                expected_uninterrupted_run(model, job, p),
+                job.execution
+            ),
+        });
+    }
+    let expected_cost = expected_hourly * job.execution;
+    let on_demand_cost = model.on_demand() * job.execution;
+    if expected_cost > on_demand_cost {
+        return Err(CoreError::NotWorthwhile {
+            spot_cost: expected_cost,
+            on_demand_cost,
+        });
+    }
+    Ok(BidRecommendation {
+        price: p,
+        acceptance_prob: f,
+        expected_hourly_price: expected_hourly,
+        expected_cost,
+        // A one-time job that completes does so uninterrupted: running and
+        // wall-clock times both equal the execution time.
+        expected_running_time: job.execution,
+        expected_completion_time: job.execution,
+        expected_interruptions: 0.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::price_model::{AnalyticPrices, EmpiricalPrices};
+    use spotbid_numerics::dist::Uniform;
+    use spotbid_numerics::rng::Rng;
+    use spotbid_trace::catalog;
+    use spotbid_trace::synthetic::{generate, SyntheticConfig};
+
+    fn model() -> EmpiricalPrices {
+        let inst = catalog::by_name("r3.xlarge").unwrap();
+        let cfg = SyntheticConfig::for_instance(&inst);
+        let h = generate(&cfg, 17_568, &mut Rng::seed_from_u64(2)).unwrap();
+        EmpiricalPrices::from_history_with_cap(&h, inst.on_demand).unwrap()
+    }
+
+    fn job_1h() -> JobSpec {
+        JobSpec::builder(1.0).build().unwrap()
+    }
+
+    #[test]
+    fn optimal_bid_is_the_paper_quantile() {
+        let m = model();
+        let j = job_1h();
+        let rec = optimal_bid(&m, &j).unwrap();
+        // 1 − t_k/t_s = 1 − 1/12 ≈ 0.9167.
+        let q = m.quantile(1.0 - 1.0 / 12.0).unwrap();
+        assert_eq!(rec.price, q);
+        assert!(rec.acceptance_prob >= 1.0 - 1.0 / 12.0);
+        assert_eq!(rec.expected_interruptions, 0.0);
+    }
+
+    #[test]
+    fn expected_run_covers_execution_at_optimum() {
+        let m = model();
+        let j = job_1h();
+        let rec = optimal_bid(&m, &j).unwrap();
+        assert!(satisfies_no_interruption(&m, &j, rec.price));
+        // One atom lower violates the constraint (the optimum is tight).
+        let cands = m.bid_candidates();
+        let pos = cands.iter().position(|&c| c == rec.price).unwrap();
+        if pos > 0 {
+            let lower = cands[pos - 1];
+            assert!(
+                !satisfies_no_interruption(&m, &j, lower),
+                "a cheaper bid {lower} also satisfies the constraint — not minimal"
+            );
+        }
+    }
+
+    #[test]
+    fn cost_is_execution_times_conditional_mean() {
+        let m = model();
+        let j = job_1h();
+        let rec = optimal_bid(&m, &j).unwrap();
+        let expect = m.expected_price_below(rec.price).unwrap() * j.execution;
+        assert!((rec.expected_cost.as_f64() - expect.as_f64()).abs() < 1e-12);
+        assert_eq!(cost(&m, &j, rec.price).unwrap(), rec.expected_cost);
+        assert!(cost(&m, &j, Price::ZERO).is_none());
+    }
+
+    #[test]
+    fn savings_are_paper_scale() {
+        // §7.1: one-time bids cut cost by up to 91% vs on-demand.
+        let m = model();
+        let j = job_1h();
+        let rec = optimal_bid(&m, &j).unwrap();
+        let od = m.on_demand() * j.execution;
+        let savings = rec.savings_vs(od);
+        assert!(
+            (0.75..0.97).contains(&savings),
+            "savings {savings:.3} out of the paper's range"
+        );
+    }
+
+    #[test]
+    fn longer_jobs_bid_higher() {
+        // Eq. 11: bid increases with t_s/t_k.
+        let m = model();
+        let short = optimal_bid(&m, &JobSpec::builder(0.5).build().unwrap()).unwrap();
+        let medium = optimal_bid(&m, &job_1h()).unwrap();
+        let long = optimal_bid(&m, &JobSpec::builder(8.0).build().unwrap()).unwrap();
+        assert!(short.price <= medium.price);
+        assert!(medium.price <= long.price);
+        assert!(short.price < long.price, "quantiles must separate");
+    }
+
+    #[test]
+    fn sub_slot_job_bids_minimum() {
+        let m = model();
+        let j = JobSpec::builder(0.05).build().unwrap(); // 3 minutes < 1 slot
+        let rec = optimal_bid(&m, &j).unwrap();
+        assert_eq!(rec.price, m.min_price());
+    }
+
+    #[test]
+    fn evaluate_rejects_hopeless_bids() {
+        let m = model();
+        let j = job_1h();
+        assert!(matches!(
+            evaluate(&m, &j, Price::ZERO),
+            Err(CoreError::NoFeasibleBid { .. })
+        ));
+        // The lowest atom is viable for a one-slot job but not for a 1-hour
+        // job (F too small).
+        let lowest = m.min_price();
+        assert!(matches!(
+            evaluate(&m, &j, lowest),
+            Err(CoreError::NoFeasibleBid { .. })
+        ));
+    }
+
+    #[test]
+    fn uniform_prices_closed_form() {
+        // Uniform on [a, b]: F⁻¹(q) = a + q(b−a); E[π|π≤p] = (a+p)/2.
+        let a = 0.1;
+        let b = 0.3;
+        let m = AnalyticPrices::new(Uniform::new(a, b).unwrap(), Price::new(0.4)).unwrap();
+        let j = job_1h();
+        let rec = optimal_bid(&m, &j).unwrap();
+        let q = 1.0 - 1.0 / 12.0;
+        let expect_p = a + q * (b - a);
+        assert!((rec.price.as_f64() - expect_p).abs() < 1e-9);
+        assert!((rec.expected_hourly_price.as_f64() - 0.5 * (a + expect_p)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn expected_run_infinite_at_certain_acceptance() {
+        let m = model();
+        let j = job_1h();
+        let run = expected_uninterrupted_run(&m, &j, m.on_demand());
+        assert!(run.as_f64().is_infinite());
+    }
+}

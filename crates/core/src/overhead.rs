@@ -1,0 +1,230 @@
+//! Parallelization-overhead models (§6.1, footnote 10).
+//!
+//! Eq. 17 treats the split overhead `t_o` as a constant, but the paper's
+//! footnote 10 notes it "may depend on M, the (fixed) number of
+//! sub-jobs". With constant overhead the optimal `M` degenerates (cost
+//! falls monotonically until Eq. 17's numerator dies); with a per-node
+//! overhead component the trade-off becomes real — more slaves amortize
+//! recovery but pay more coordination — and the optimal `M` is interior.
+//! This module provides both models and the overhead-aware slave-count
+//! optimizer.
+
+use crate::job::JobSpec;
+use crate::price_model::PriceModel;
+use crate::recommendation::BidRecommendation;
+use crate::{parallel, CoreError};
+use spotbid_market::units::Hours;
+
+/// How the split overhead grows with the number of sub-jobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OverheadModel {
+    /// The paper's baseline: a constant `t_o` regardless of `M`.
+    Fixed(Hours),
+    /// Footnote 10's refinement: `t_o(M) = base + per_node·M`
+    /// (coordination and shuffle traffic scale with the fan-out).
+    Linear {
+        /// Overhead independent of the fan-out.
+        base: Hours,
+        /// Additional overhead per slave node.
+        per_node: Hours,
+    },
+}
+
+impl OverheadModel {
+    /// Total overhead at fan-out `m`.
+    pub fn overhead(&self, m: u32) -> Hours {
+        match *self {
+            OverheadModel::Fixed(t) => t,
+            OverheadModel::Linear { base, per_node } => base + per_node * m as f64,
+        }
+    }
+
+    /// Validates the model's components.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidJob`] for negative or non-finite components.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let bad = |t: Hours| !t.is_valid_duration();
+        let invalid = match *self {
+            OverheadModel::Fixed(t) => bad(t),
+            OverheadModel::Linear { base, per_node } => bad(base) || bad(per_node),
+        };
+        if invalid {
+            return Err(CoreError::InvalidJob {
+                what: format!("invalid overhead model {self:?}"),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The job specification at fan-out `m`: same execution/recovery/slot,
+/// overhead from the model.
+fn job_at(job: &JobSpec, overhead: &OverheadModel, m: u32) -> Result<JobSpec, CoreError> {
+    let j = JobSpec {
+        overhead: overhead.overhead(m),
+        ..*job
+    };
+    j.validate()?;
+    Ok(j)
+}
+
+/// Chooses the slave count in `[1, m_max]` minimizing Eq. 19's cost under
+/// an overhead model, returning `(M, recommendation)` (ties to fewer
+/// slaves). With [`OverheadModel::Linear`] and `per_node > t_r` the
+/// optimum is interior: beyond it, each extra slave's coordination
+/// overhead exceeds the recovery it amortizes.
+///
+/// # Errors
+///
+/// Propagates job/overhead validation and per-`M` bid errors when every
+/// fan-out fails.
+pub fn best_m_with_overhead<M: PriceModel>(
+    model: &M,
+    job: &JobSpec,
+    overhead: &OverheadModel,
+    m_max: u32,
+) -> Result<(u32, BidRecommendation), CoreError> {
+    job.validate()?;
+    overhead.validate()?;
+    let mut best: Option<(u32, BidRecommendation)> = None;
+    let mut last_err = None;
+    for m in 1..=m_max.max(1) {
+        let j = match job_at(job, overhead, m) {
+            Ok(j) => j,
+            Err(e) => {
+                last_err = Some(e);
+                continue;
+            }
+        };
+        if m > parallel::max_parallelism(&j) {
+            continue;
+        }
+        match parallel::optimal_bid(model, &j, m) {
+            Ok(rec) => {
+                if best
+                    .as_ref()
+                    .is_none_or(|(_, b)| rec.expected_cost < b.expected_cost)
+                {
+                    best = Some((m, rec));
+                }
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    best.ok_or_else(|| {
+        last_err.unwrap_or(CoreError::NoFeasibleBid {
+            why: "no fan-out admits a feasible bid".into(),
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::price_model::EmpiricalPrices;
+
+    use spotbid_numerics::rng::Rng;
+    use spotbid_trace::catalog;
+    use spotbid_trace::synthetic::{generate, SyntheticConfig};
+
+    fn model() -> EmpiricalPrices {
+        let inst = catalog::by_name("c3.4xlarge").unwrap();
+        let cfg = SyntheticConfig::for_instance(&inst);
+        let h = generate(&cfg, 17_568, &mut Rng::seed_from_u64(91)).unwrap();
+        EmpiricalPrices::from_history_with_cap(&h, inst.on_demand).unwrap()
+    }
+
+    fn job() -> JobSpec {
+        JobSpec::builder(1.0).recovery_secs(30.0).build().unwrap()
+    }
+
+    #[test]
+    fn overhead_models_evaluate() {
+        let f = OverheadModel::Fixed(Hours::from_secs(60.0));
+        assert_eq!(f.overhead(1), f.overhead(100));
+        let l = OverheadModel::Linear {
+            base: Hours::from_secs(30.0),
+            per_node: Hours::from_secs(10.0),
+        };
+        assert!((l.overhead(3).as_secs() - 60.0).abs() < 1e-9);
+        assert!(l.overhead(10) > l.overhead(3));
+        assert!(f.validate().is_ok());
+        assert!(OverheadModel::Fixed(Hours::new(-1.0)).validate().is_err());
+        assert!(OverheadModel::Linear {
+            base: Hours::ZERO,
+            per_node: Hours::new(f64::NAN)
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn fixed_overhead_saturates_like_best_m() {
+        // With constant overhead this must agree with parallel::best_m.
+        let m = model();
+        let j = job();
+        let fixed = OverheadModel::Fixed(Hours::from_secs(60.0));
+        let j_with = JobSpec {
+            overhead: Hours::from_secs(60.0),
+            ..j
+        };
+        let (m_a, rec_a) = best_m_with_overhead(&m, &j, &fixed, 16).unwrap();
+        let (m_b, rec_b) = parallel::best_m(&m, &j_with, 16).unwrap();
+        assert_eq!(m_a, m_b);
+        assert_eq!(rec_a.price, rec_b.price);
+        assert!((rec_a.expected_cost.as_f64() - rec_b.expected_cost.as_f64()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heavy_per_node_overhead_gives_interior_optimum() {
+        // per_node (60 s) ≫ t_r (30 s): adding slaves quickly costs more
+        // than the recovery they amortize — the optimum stays small.
+        let m = model();
+        let j = job();
+        let heavy = OverheadModel::Linear {
+            base: Hours::from_secs(30.0),
+            per_node: Hours::from_secs(60.0),
+        };
+        let (m_star, _) = best_m_with_overhead(&m, &j, &heavy, 32).unwrap();
+        assert!(m_star < 32, "expected interior optimum, got saturation");
+        // And the cost curve really turns upward past the optimum.
+        let cost_at = |mm: u32| {
+            let jj = JobSpec {
+                overhead: heavy.overhead(mm),
+                ..j
+            };
+            parallel::optimal_bid(&m, &jj, mm).unwrap().expected_cost
+        };
+        assert!(cost_at(m_star + 5) > cost_at(m_star));
+    }
+
+    #[test]
+    fn light_per_node_overhead_prefers_more_slaves() {
+        let m = model();
+        let j = job();
+        let light = OverheadModel::Linear {
+            base: Hours::from_secs(30.0),
+            per_node: Hours::from_secs(5.0), // well under t_r = 30 s
+        };
+        let heavy = OverheadModel::Linear {
+            base: Hours::from_secs(30.0),
+            per_node: Hours::from_secs(120.0),
+        };
+        let (m_light, _) = best_m_with_overhead(&m, &j, &light, 32).unwrap();
+        let (m_heavy, _) = best_m_with_overhead(&m, &j, &heavy, 32).unwrap();
+        assert!(
+            m_light > m_heavy,
+            "light {m_light} should out-parallelize heavy {m_heavy}"
+        );
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let m = model();
+        let j = job();
+        let bad = OverheadModel::Fixed(Hours::new(-0.1));
+        assert!(best_m_with_overhead(&m, &j, &bad, 8).is_err());
+    }
+}

@@ -1,0 +1,347 @@
+//! Parallel persistent bids for split jobs (§6.1): the slave-node strategy.
+//!
+//! A job split into `M` equal sub-jobs (plus overhead `t_o` for message
+//! passing) places `M` simultaneous persistent bids at a common price. The
+//! aggregate running time generalizes Eq. 13 to (Eq. 17)
+//!
+//! ```text
+//! Σ_i T_i·F(p) = (t_s + t_o − M·t_r) / (1 − (t_r/t_k)(1 − F(p))),
+//! ```
+//!
+//! with the parallel completion time `max_i T_i = (Σ_i T_i)/M` for equal
+//! sub-jobs (Eq. 18) and cost `Φ_mp = Σ_i T_i·F·E[π | π ≤ p]` (Eq. 19).
+//! The cost factorizes as `(t_s + t_o − M·t_r)·g(p)`, so the optimal bid
+//! price is the same as the single persistent bid's (Proposition 5) and is
+//! independent of `M` — only the *value* of splitting depends on `M`,
+//! through the two §6.1 conditions implemented here.
+
+use crate::job::JobSpec;
+use crate::price_model::PriceModel;
+use crate::recommendation::BidRecommendation;
+use crate::CoreError;
+use spotbid_market::units::{Cost, Hours, Price};
+
+/// Validates a slave count for a job: `M ≥ 1` and the Eq. 17 numerator
+/// `t_s + t_o − M·t_r` must stay positive (more slaves than that and the
+/// per-interruption recovery alone exceeds the total work).
+pub fn max_parallelism(job: &JobSpec) -> u32 {
+    if job.recovery <= Hours::ZERO {
+        return u32::MAX;
+    }
+    let m = (job.execution + job.overhead) / job.recovery;
+    // Strictly positive numerator required: at exactly m the numerator is 0.
+    (m.ceil() as u32).saturating_sub(1).max(1)
+}
+
+/// Eq. 17: total expected running time summed over the `M` sub-jobs, or
+/// `None` when the bid is infeasible or `M` is out of range.
+pub fn sum_running_time<M: PriceModel>(
+    model: &M,
+    job: &JobSpec,
+    m: u32,
+    p: Price,
+) -> Option<Hours> {
+    if m == 0 {
+        return None;
+    }
+    let numer = job.execution + job.overhead - job.recovery * m as f64;
+    if numer <= Hours::ZERO {
+        return None;
+    }
+    let f = model.cdf(p);
+    if f <= 0.0 {
+        return None;
+    }
+    let a = job.recovery_slot_ratio();
+    let denom = 1.0 - a * (1.0 - f);
+    if denom <= 0.0 {
+        return None;
+    }
+    Some(numer / denom)
+}
+
+/// Eq. 18: the parallel job's expected completion time
+/// `max_i T_i = Σ_i T_i·F / (M·F)`.
+pub fn completion_time<M: PriceModel>(model: &M, job: &JobSpec, m: u32, p: Price) -> Option<Hours> {
+    let sum = sum_running_time(model, job, m, p)?;
+    Some(sum / (m as f64 * model.cdf(p)))
+}
+
+/// Eq. 19's objective: `Φ_mp(p) = Σ_i T_i·F(p) · E[π | π ≤ p]`.
+pub fn cost<M: PriceModel>(model: &M, job: &JobSpec, m: u32, p: Price) -> Option<Cost> {
+    let sum = sum_running_time(model, job, m, p)?;
+    let e = model.expected_price_below(p)?;
+    Some(e * sum)
+}
+
+/// §6.1's speedup condition: splitting across `M` instances beats a single
+/// instance's completion time iff `t_o < (M−1)·t_k/(1 − F(p))`.
+pub fn speedup_condition<M: PriceModel>(model: &M, job: &JobSpec, m: u32, p: Price) -> bool {
+    if m <= 1 {
+        return false;
+    }
+    let f = model.cdf(p);
+    if f >= 1.0 {
+        return true; // uninterrupted: any split with finite overhead helps
+    }
+    job.overhead.as_f64() < (m - 1) as f64 * job.slot.as_f64() / (1.0 - f)
+}
+
+/// §6.1's cost-reduction condition: `M` bids cost less than a single
+/// persistent bid iff `t_o < (M−1)·t_r`.
+pub fn cost_reduction_condition(job: &JobSpec, m: u32) -> bool {
+    m > 1 && job.overhead.as_f64() < (m - 1) as f64 * job.recovery.as_f64()
+}
+
+/// Optimal common bid price for `M` parallel persistent requests: exact
+/// scan of Eq. 19 over the model's candidates, with the on-demand ceiling
+/// `Φ_mp ≤ t_s·π̄`.
+///
+/// The returned recommendation's times are the *parallel* quantities: the
+/// completion time is Eq. 18's `max_i T_i` and the running time the
+/// per-instance average; the cost is the total across all `M` instances.
+///
+/// # Errors
+///
+/// - [`CoreError::InvalidJob`] for invalid jobs or `M` outside
+///   `[1, max_parallelism]`.
+/// - [`CoreError::NoFeasibleBid`] / [`CoreError::NotWorthwhile`] as for the
+///   single persistent bid.
+pub fn optimal_bid<M: PriceModel>(
+    model: &M,
+    job: &JobSpec,
+    m: u32,
+) -> Result<BidRecommendation, CoreError> {
+    job.validate()?;
+    if m == 0 || m > max_parallelism(job) {
+        return Err(CoreError::InvalidJob {
+            what: format!(
+                "M = {m} outside [1, {}]: Eq. 17's numerator must stay positive",
+                max_parallelism(job)
+            ),
+        });
+    }
+    let mut best: Option<(Price, Cost)> = None;
+    for p in model.bid_candidates() {
+        if let Some(c) = cost(model, job, m, p) {
+            if best.is_none_or(|(_, bc)| c < bc) {
+                best = Some((p, c));
+            }
+        }
+    }
+    let (p, c) = best.ok_or_else(|| CoreError::NoFeasibleBid {
+        why: "no feasible parallel bid".into(),
+    })?;
+    let on_demand_cost = model.on_demand() * job.execution;
+    if c > on_demand_cost {
+        return Err(CoreError::NotWorthwhile {
+            spot_cost: c,
+            on_demand_cost,
+        });
+    }
+    let f = model.cdf(p);
+    let sum = sum_running_time(model, job, m, p).expect("best candidate is feasible");
+    let completion = completion_time(model, job, m, p).expect("feasible");
+    let e = model.expected_price_below(p).expect("F > 0 at optimum");
+    // Interruptions per instance mirror the single persistent case over the
+    // parallel completion horizon.
+    let interruptions_per_instance = (completion / job.slot * f * (1.0 - f) - 1.0).max(0.0);
+    Ok(BidRecommendation {
+        price: p,
+        acceptance_prob: f,
+        expected_hourly_price: e,
+        expected_cost: c,
+        expected_running_time: sum / m as f64,
+        expected_completion_time: completion,
+        expected_interruptions: interruptions_per_instance * m as f64,
+    })
+}
+
+/// Chooses the slave count in `[1, m_max]` minimizing Eq. 19's total cost
+/// (ties broken toward fewer instances), returning `(M, recommendation)`.
+///
+/// With `t_o` independent of `M`, cost decreases in `M` (each extra split
+/// amortizes one more recovery), so this typically saturates `m_max` or
+/// [`max_parallelism`] — the paper caps `M` by the constraint of Eq. 20 in
+/// practice, which `mapreduce::plan` applies.
+///
+/// # Errors
+///
+/// Propagates [`optimal_bid`] errors when every `M` fails.
+pub fn best_m<M: PriceModel>(
+    model: &M,
+    job: &JobSpec,
+    m_max: u32,
+) -> Result<(u32, BidRecommendation), CoreError> {
+    job.validate()?;
+    let cap = m_max.min(max_parallelism(job)).max(1);
+    let mut best: Option<(u32, BidRecommendation)> = None;
+    let mut last_err = None;
+    for m in 1..=cap {
+        match optimal_bid(model, job, m) {
+            Ok(rec) => {
+                if best
+                    .as_ref()
+                    .is_none_or(|(_, b)| rec.expected_cost < b.expected_cost)
+                {
+                    best = Some((m, rec));
+                }
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    best.ok_or_else(|| {
+        last_err.unwrap_or(CoreError::NoFeasibleBid {
+            why: "no parallelism level admits a feasible bid".into(),
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::persistent;
+    use crate::price_model::EmpiricalPrices;
+    use spotbid_numerics::rng::Rng;
+    use spotbid_trace::catalog;
+    use spotbid_trace::synthetic::{generate, SyntheticConfig};
+
+    fn model() -> EmpiricalPrices {
+        let inst = catalog::by_name("c3.4xlarge").unwrap();
+        let cfg = SyntheticConfig::for_instance(&inst);
+        let h = generate(&cfg, 17_568, &mut Rng::seed_from_u64(4)).unwrap();
+        EmpiricalPrices::from_history_with_cap(&h, inst.on_demand).unwrap()
+    }
+
+    fn job() -> JobSpec {
+        // §7.2 settings: t_r = 30 s, t_o = 60 s, 1-hour job.
+        JobSpec::builder(1.0)
+            .recovery_secs(30.0)
+            .overhead_secs(60.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn max_parallelism_bounds() {
+        let j = job();
+        // (3600 + 60)/30 = 122 → max M = 121.
+        assert_eq!(max_parallelism(&j), 121);
+        let no_recovery = JobSpec::builder(1.0).build().unwrap();
+        assert_eq!(max_parallelism(&no_recovery), u32::MAX);
+    }
+
+    #[test]
+    fn eq17_reduces_to_eq13_at_m1_without_overhead() {
+        let m = model();
+        let j = JobSpec::builder(1.0).recovery_secs(30.0).build().unwrap();
+        let p = m.quantile(0.8).unwrap();
+        let sum = sum_running_time(&m, &j, 1, p).unwrap();
+        let single = persistent::expected_running_time(&m, &j, p).unwrap();
+        assert!((sum.as_f64() - single.as_f64()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn completion_shrinks_with_m() {
+        let m = model();
+        let j = job();
+        let p = m.quantile(0.8).unwrap();
+        let t1 = completion_time(&m, &j, 1, p).unwrap();
+        let t4 = completion_time(&m, &j, 4, p).unwrap();
+        let t16 = completion_time(&m, &j, 16, p).unwrap();
+        assert!(t4 < t1);
+        assert!(t16 < t4);
+    }
+
+    #[test]
+    fn cost_shrinks_with_m_when_overhead_small() {
+        // t_o = 60 s < (M−1)·t_r for M ≥ 4: cost reduction condition.
+        let m = model();
+        let j = job();
+        let c1 = optimal_bid(&m, &j, 1).unwrap().expected_cost;
+        let c4 = optimal_bid(&m, &j, 4).unwrap().expected_cost;
+        let c16 = optimal_bid(&m, &j, 16).unwrap().expected_cost;
+        assert!(c4 < c1);
+        assert!(c16 < c4);
+        assert!(cost_reduction_condition(&j, 4));
+        assert!(!cost_reduction_condition(&j, 2)); // 60 s >= 1·30 s
+        assert!(!cost_reduction_condition(&j, 1));
+    }
+
+    #[test]
+    fn optimal_price_independent_of_m() {
+        // Φ_mp factorizes: argmin is the same for every valid M.
+        let m = model();
+        let j = job();
+        let p1 = optimal_bid(&m, &j, 1).unwrap().price;
+        let p8 = optimal_bid(&m, &j, 8).unwrap().price;
+        let p64 = optimal_bid(&m, &j, 64).unwrap().price;
+        assert_eq!(p1, p8);
+        assert_eq!(p8, p64);
+        // And matches the single persistent optimum when t_o = 0 is not
+        // required — the factor (t_s + t_o − M t_r) does not move the
+        // argmin at all.
+        let single = persistent::optimal_bid(
+            &m,
+            &JobSpec::builder(1.0).recovery_secs(30.0).build().unwrap(),
+        )
+        .unwrap()
+        .price;
+        assert_eq!(p1, single);
+    }
+
+    #[test]
+    fn speedup_condition_matches_paper() {
+        let m = model();
+        let j = job();
+        let p = m.quantile(0.8).unwrap();
+        // t_o = 1 min; (M−1)·t_k/(1−F) at M=2, F=0.8: 25 min > 1 min ✓.
+        assert!(speedup_condition(&m, &j, 2, p));
+        assert!(!speedup_condition(&m, &j, 1, p));
+        // And the actual completion times agree with the condition.
+        let t1 = completion_time(&m, &j, 1, p).unwrap();
+        let t2 = completion_time(&m, &j, 2, p).unwrap();
+        assert!(t2 < t1);
+    }
+
+    #[test]
+    fn m_bounds_rejected() {
+        let m = model();
+        let j = job();
+        assert!(matches!(
+            optimal_bid(&m, &j, 0),
+            Err(CoreError::InvalidJob { .. })
+        ));
+        assert!(matches!(
+            optimal_bid(&m, &j, 200),
+            Err(CoreError::InvalidJob { .. })
+        ));
+        assert!(sum_running_time(&m, &j, 0, m.quantile(0.9).unwrap()).is_none());
+        assert!(sum_running_time(&m, &j, 122, m.quantile(0.9).unwrap()).is_none());
+    }
+
+    #[test]
+    fn best_m_saturates_under_constant_overhead() {
+        let m = model();
+        let j = job();
+        let (m_star, rec) = best_m(&m, &j, 16).unwrap();
+        assert_eq!(m_star, 16, "cost decreases in M under constant overhead");
+        assert!(rec.expected_cost.as_f64() > 0.0);
+        // Capped by max_parallelism when m_max exceeds it.
+        let (m_cap, _) = best_m(&m, &j, 10_000).unwrap();
+        assert_eq!(m_cap, max_parallelism(&j));
+    }
+
+    #[test]
+    fn total_interruptions_scale_with_m() {
+        let m = model();
+        let j = job();
+        let r1 = optimal_bid(&m, &j, 1).unwrap();
+        let r8 = optimal_bid(&m, &j, 8).unwrap();
+        // Each of the 8 instances runs a shorter job, but there are 8 of
+        // them; totals need not be equal, just non-negative and finite.
+        assert!(r1.expected_interruptions >= 0.0);
+        assert!(r8.expected_interruptions >= 0.0);
+        assert!(r8.expected_interruptions.is_finite());
+    }
+}

@@ -1,0 +1,404 @@
+//! Spot-price models: everything the bidding strategies need to know about
+//! the price distribution.
+//!
+//! All of Section 5's optimization problems consume the price distribution
+//! through exactly four quantities: the acceptance probability `F(p)`, its
+//! inverse (quantiles), the expected charged price `E[π | π ≤ p]` (Eq. 9),
+//! and the partial first moment `S(p) = ∫ x f(x) dx` that appears in `ψ`
+//! (Proposition 5). [`PriceModel`] abstracts those, with two
+//! implementations:
+//!
+//! - [`EmpiricalPrices`] — built from an observed history (the paper's
+//!   client uses the previous two months of spot prices). All quantities
+//!   are exact sums over the sample atoms; cost curves only change at the
+//!   atoms, so [`PriceModel::bid_candidates`] returns them for exact
+//!   scanning.
+//! - [`AnalyticPrices`] — wraps any [`ContinuousDist`] (e.g. the
+//!   equilibrium model's price distribution) with quadrature for the
+//!   partial moment; used to cross-validate the closed forms.
+
+use crate::CoreError;
+use spotbid_market::units::Price;
+use spotbid_numerics::dist::ContinuousDist;
+use spotbid_numerics::empirical::Empirical;
+use spotbid_numerics::integrate::adaptive_simpson;
+use spotbid_trace::SpotPriceHistory;
+
+/// A model of the spot-price distribution, sufficient for all the
+/// strategies in this crate.
+pub trait PriceModel {
+    /// The on-demand price `π̄`: the bid cap and the cost baseline in every
+    /// strategy's "is spot worth it" constraint.
+    fn on_demand(&self) -> Price;
+
+    /// The lowest possible spot price (the support's lower end).
+    fn min_price(&self) -> Price;
+
+    /// Acceptance probability `F(p) = P(π ≤ p)` — the chance a bid at `p`
+    /// is (or stays) accepted in a slot.
+    fn cdf(&self, p: Price) -> f64;
+
+    /// Smallest price with `F(p) ≥ q`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidProbability`] when `q` is outside `[0, 1]`.
+    fn quantile(&self, q: f64) -> Result<Price, CoreError>;
+
+    /// Expected charged price `E[π | π ≤ p]` (Eq. 9), or `None` when
+    /// `F(p) = 0` (a bid below every observed price never runs).
+    fn expected_price_below(&self, p: Price) -> Option<Price>;
+
+    /// Partial first moment `S(p) = ∫_{π_min}^{p} x f(x) dx =
+    /// F(p)·E[π | π ≤ p]` (0 when `F(p) = 0`).
+    fn partial_moment(&self, p: Price) -> f64 {
+        match self.expected_price_below(p) {
+            Some(e) => self.cdf(p) * e.as_f64(),
+            None => 0.0,
+        }
+    }
+
+    /// Candidate bid prices at which the strategies' cost curves can
+    /// change. For empirical models these are the distinct observed prices
+    /// (exact); for analytic models a fine quantile grid.
+    fn bid_candidates(&self) -> Vec<Price>;
+}
+
+/// Empirical price model built from an observed [`SpotPriceHistory`].
+#[derive(Debug, Clone)]
+pub struct EmpiricalPrices {
+    emp: Empirical,
+    on_demand: Price,
+}
+
+impl EmpiricalPrices {
+    /// Builds the model from a history, taking the highest observed price
+    /// as the on-demand cap. Prefer
+    /// [`from_history_with_cap`](Self::from_history_with_cap) when the real
+    /// on-demand price is known (observed maxima understate the cap).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidModel`] if the history is degenerate.
+    pub fn from_history(history: &SpotPriceHistory) -> Result<Self, CoreError> {
+        Self::from_history_with_cap(history, history.max_price())
+    }
+
+    /// Builds the model from a history with an explicit on-demand price.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidModel`] if the history is degenerate or the cap
+    /// lies below the highest observed price.
+    pub fn from_history_with_cap(
+        history: &SpotPriceHistory,
+        on_demand: Price,
+    ) -> Result<Self, CoreError> {
+        if on_demand < history.max_price() {
+            return Err(CoreError::InvalidModel {
+                what: format!(
+                    "on-demand cap {on_demand} below observed maximum {}",
+                    history.max_price()
+                ),
+            });
+        }
+        let emp = Empirical::from_samples(&history.raw()).map_err(|e| CoreError::InvalidModel {
+            what: format!("building empirical distribution: {e}"),
+        })?;
+        Ok(EmpiricalPrices { emp, on_demand })
+    }
+
+    /// Builds the model directly from raw price samples.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidModel`] on empty or non-finite samples, or a cap
+    /// below the sample maximum.
+    pub fn from_samples(samples: &[f64], on_demand: Price) -> Result<Self, CoreError> {
+        let emp = Empirical::from_samples(samples).map_err(|e| CoreError::InvalidModel {
+            what: format!("building empirical distribution: {e}"),
+        })?;
+        if on_demand.as_f64() < emp.max() {
+            return Err(CoreError::InvalidModel {
+                what: format!(
+                    "on-demand cap {on_demand} below observed maximum {}",
+                    emp.max()
+                ),
+            });
+        }
+        Ok(EmpiricalPrices { emp, on_demand })
+    }
+
+    /// Number of underlying samples.
+    pub fn sample_count(&self) -> usize {
+        self.emp.len()
+    }
+
+    /// The underlying empirical distribution.
+    pub fn empirical(&self) -> &Empirical {
+        &self.emp
+    }
+}
+
+impl PriceModel for EmpiricalPrices {
+    fn on_demand(&self) -> Price {
+        self.on_demand
+    }
+
+    fn min_price(&self) -> Price {
+        Price::new(self.emp.min())
+    }
+
+    fn cdf(&self, p: Price) -> f64 {
+        self.emp.cdf(p.as_f64())
+    }
+
+    fn quantile(&self, q: f64) -> Result<Price, CoreError> {
+        self.emp
+            .quantile(q)
+            .map(Price::new)
+            .map_err(|_| CoreError::InvalidProbability { value: q })
+    }
+
+    fn expected_price_below(&self, p: Price) -> Option<Price> {
+        self.emp.mean_below(p.as_f64()).map(Price::new)
+    }
+
+    fn partial_moment(&self, p: Price) -> f64 {
+        self.emp.sum_below(p.as_f64()) / self.emp.len() as f64
+    }
+
+    fn bid_candidates(&self) -> Vec<Price> {
+        self.emp.atoms().into_iter().map(Price::new).collect()
+    }
+}
+
+/// Analytic price model over a continuous distribution, e.g. the
+/// equilibrium model's price law or a fitted parametric shape.
+#[derive(Debug, Clone)]
+pub struct AnalyticPrices<D> {
+    dist: D,
+    on_demand: Price,
+    grid: usize,
+}
+
+impl<D: ContinuousDist> AnalyticPrices<D> {
+    /// Wraps a distribution with an on-demand cap. `grid` controls the
+    /// resolution of [`PriceModel::bid_candidates`]; 512 by default via
+    /// [`Self::new`].
+    pub fn with_grid(dist: D, on_demand: Price, grid: usize) -> Result<Self, CoreError> {
+        if !on_demand.is_valid_price() || on_demand <= Price::ZERO {
+            return Err(CoreError::InvalidModel {
+                what: format!("on-demand cap {on_demand} must be positive"),
+            });
+        }
+        if grid < 2 {
+            return Err(CoreError::InvalidModel {
+                what: "candidate grid needs at least 2 points".into(),
+            });
+        }
+        Ok(AnalyticPrices {
+            dist,
+            on_demand,
+            grid,
+        })
+    }
+
+    /// Wraps a distribution with an on-demand cap and a 512-point candidate
+    /// grid.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidModel`] when the cap is not positive.
+    pub fn new(dist: D, on_demand: Price) -> Result<Self, CoreError> {
+        Self::with_grid(dist, on_demand, 512)
+    }
+
+    /// The underlying distribution.
+    pub fn dist(&self) -> &D {
+        &self.dist
+    }
+}
+
+impl<D: ContinuousDist> PriceModel for AnalyticPrices<D> {
+    fn on_demand(&self) -> Price {
+        self.on_demand
+    }
+
+    fn min_price(&self) -> Price {
+        Price::new(self.dist.support().0)
+    }
+
+    fn cdf(&self, p: Price) -> f64 {
+        // The cap truncates the distribution: bids at π̄ are always
+        // accepted.
+        if p >= self.on_demand {
+            1.0
+        } else {
+            self.dist.cdf(p.as_f64())
+        }
+    }
+
+    fn quantile(&self, q: f64) -> Result<Price, CoreError> {
+        if !(0.0..=1.0).contains(&q) {
+            return Err(CoreError::InvalidProbability { value: q });
+        }
+        Ok(Price::new(self.dist.quantile(q)).min(self.on_demand))
+    }
+
+    fn expected_price_below(&self, p: Price) -> Option<Price> {
+        let f = self.cdf(p);
+        if f <= 0.0 {
+            return None;
+        }
+        Some(Price::new(self.partial_moment(p) / f))
+    }
+
+    fn partial_moment(&self, p: Price) -> f64 {
+        let (lo, _) = self.dist.support();
+        let hi = p.as_f64().min(self.on_demand.as_f64());
+        if hi <= lo {
+            return 0.0;
+        }
+        // Cap the integration at a high quantile: the cap's truncation mass
+        // is charged at π̄ itself (prices above π̄ cannot occur; the
+        // distribution is conditioned on π ≤ π̄, which the cdf() override
+        // realizes).
+        let top = self.dist.quantile(1.0 - 1e-12).min(hi);
+        adaptive_simpson(|x| x * self.dist.pdf(x), lo, top, 1e-12, 32)
+    }
+
+    fn bid_candidates(&self) -> Vec<Price> {
+        let mut out = Vec::with_capacity(self.grid + 1);
+        for i in 0..=self.grid {
+            let q = 1e-6 + (1.0 - 2e-6) * i as f64 / self.grid as f64;
+            let p = Price::new(self.dist.quantile(q)).min(self.on_demand);
+            if out.last() != Some(&p) {
+                out.push(p);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotbid_market::units::Hours;
+    use spotbid_numerics::dist::{Exponential, Uniform};
+    use spotbid_numerics::rng::Rng;
+    use spotbid_trace::synthetic::{generate, SyntheticConfig};
+    use spotbid_trace::{catalog, SpotPriceHistory};
+
+    fn history() -> SpotPriceHistory {
+        let cfg = SyntheticConfig::for_instance(&catalog::by_name("r3.xlarge").unwrap());
+        generate(&cfg, 10_000, &mut Rng::seed_from_u64(1)).unwrap()
+    }
+
+    #[test]
+    fn empirical_from_history() {
+        let h = history();
+        let m = EmpiricalPrices::from_history(&h).unwrap();
+        assert_eq!(m.sample_count(), 10_000);
+        assert_eq!(m.on_demand(), h.max_price());
+        assert_eq!(m.min_price(), h.min_price());
+        assert_eq!(m.cdf(h.max_price()), 1.0);
+        assert_eq!(m.cdf(Price::ZERO), 0.0);
+    }
+
+    #[test]
+    fn empirical_cap_validation() {
+        let h = history();
+        assert!(EmpiricalPrices::from_history_with_cap(&h, Price::new(0.001)).is_err());
+        let capped = EmpiricalPrices::from_history_with_cap(&h, Price::new(0.35)).unwrap();
+        assert_eq!(capped.on_demand(), Price::new(0.35));
+        assert!(EmpiricalPrices::from_samples(&[], Price::new(1.0)).is_err());
+        assert!(EmpiricalPrices::from_samples(&[2.0], Price::new(1.0)).is_err());
+    }
+
+    #[test]
+    fn empirical_eq9_consistency() {
+        // E[π|π≤p]·F(p) == S(p) and E is monotone in p.
+        let m = EmpiricalPrices::from_history(&history()).unwrap();
+        let mut prev = 0.0;
+        for c in m.bid_candidates() {
+            let f = m.cdf(c);
+            let e = m.expected_price_below(c).unwrap().as_f64();
+            let s = m.partial_moment(c);
+            assert!((e * f - s).abs() < 1e-10, "at {c}");
+            assert!(e >= prev - 1e-12, "conditional mean decreased at {c}");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn empirical_quantile_matches_cdf() {
+        let m = EmpiricalPrices::from_history(&history()).unwrap();
+        for &q in &[0.1, 0.5, 0.9, 0.99] {
+            let p = m.quantile(q).unwrap();
+            assert!(m.cdf(p) >= q);
+        }
+        assert!(m.quantile(1.2).is_err());
+    }
+
+    #[test]
+    fn empirical_candidates_are_sorted_unique() {
+        let m = EmpiricalPrices::from_history(&history()).unwrap();
+        let c = m.bid_candidates();
+        assert!(!c.is_empty());
+        assert!(c.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn analytic_uniform_known_values() {
+        // Uniform prices on [0.1, 0.3]: E[π|π≤p] = (0.1+p)/2.
+        let m = AnalyticPrices::new(Uniform::new(0.1, 0.3).unwrap(), Price::new(0.4)).unwrap();
+        assert!((m.cdf(Price::new(0.2)) - 0.5).abs() < 1e-9);
+        let e = m.expected_price_below(Price::new(0.2)).unwrap();
+        assert!((e.as_f64() - 0.15).abs() < 1e-6, "{e}");
+        let s = m.partial_moment(Price::new(0.3));
+        assert!((s - 0.2).abs() < 1e-6, "{s}"); // full mean
+        assert!(m.expected_price_below(Price::new(0.05)).is_none());
+        assert_eq!(m.min_price(), Price::new(0.1));
+    }
+
+    #[test]
+    fn analytic_cap_truncates() {
+        let m = AnalyticPrices::new(Exponential::new(0.1).unwrap(), Price::new(0.3)).unwrap();
+        assert_eq!(m.cdf(Price::new(0.3)), 1.0);
+        assert_eq!(m.cdf(Price::new(0.5)), 1.0);
+        assert!(m.quantile(0.9999).unwrap() <= Price::new(0.3));
+        let cands = m.bid_candidates();
+        assert!(cands.iter().all(|&p| p <= Price::new(0.3)));
+        assert!(cands.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn analytic_validation() {
+        assert!(AnalyticPrices::new(Exponential::new(1.0).unwrap(), Price::ZERO).is_err());
+        assert!(
+            AnalyticPrices::with_grid(Exponential::new(1.0).unwrap(), Price::new(1.0), 1).is_err()
+        );
+        assert!(AnalyticPrices::new(Exponential::new(1.0).unwrap(), Price::new(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn empirical_and_analytic_agree_on_same_law() {
+        // Large empirical sample from a known distribution must agree with
+        // the analytic model on F and E[π|π≤p].
+        let dist = Exponential::new(0.05).unwrap();
+        let mut rng = Rng::seed_from_u64(5);
+        let samples: Vec<f64> = dist.sample_n(&mut rng, 100_000);
+        let cap = Price::new(samples.iter().cloned().fold(0.0, f64::max) + 0.01);
+        let emp = EmpiricalPrices::from_samples(&samples, cap).unwrap();
+        let ana = AnalyticPrices::new(dist, cap).unwrap();
+        for &p in &[0.02, 0.05, 0.1, 0.2] {
+            let p = Price::new(p);
+            assert!((emp.cdf(p) - ana.cdf(p)).abs() < 0.01, "cdf at {p}");
+            let ee = emp.expected_price_below(p).unwrap().as_f64();
+            let ea = ana.expected_price_below(p).unwrap().as_f64();
+            assert!((ee - ea).abs() < 0.001, "E[π|π≤{p}]: {ee} vs {ea}");
+        }
+        let _ = Hours::ZERO;
+    }
+}

@@ -1,0 +1,73 @@
+//! The common output type of every bidding strategy.
+
+use spotbid_market::units::{Cost, Hours, Price};
+
+/// A fully evaluated bid: the price to submit plus the model's predictions
+/// for what that bid buys. These are the analytic quantities the paper
+/// compares against measured EC2 outcomes in Figures 5–7 ("expected" vs
+/// "actual").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BidRecommendation {
+    /// The bid price `p` to submit.
+    pub price: Price,
+    /// Acceptance probability `F(p)` per slot.
+    pub acceptance_prob: f64,
+    /// Expected charged price `E[π | π ≤ p]` (Eq. 9) while running.
+    pub expected_hourly_price: Price,
+    /// Expected total job cost.
+    pub expected_cost: Cost,
+    /// Expected time actually running on instances (execution + recovery).
+    pub expected_running_time: Hours,
+    /// Expected wall-clock completion time (running + idle).
+    pub expected_completion_time: Hours,
+    /// Expected number of interruptions over the job's lifetime.
+    pub expected_interruptions: f64,
+}
+
+impl BidRecommendation {
+    /// Expected idle time: completion minus running.
+    pub fn expected_idle_time(&self) -> Hours {
+        (self.expected_completion_time - self.expected_running_time).max(Hours::ZERO)
+    }
+
+    /// Predicted saving versus running the same execution time on demand:
+    /// `1 − cost/(t_s·π̄)`, given the on-demand comparison cost.
+    pub fn savings_vs(&self, on_demand_cost: Cost) -> f64 {
+        if on_demand_cost.as_f64() <= 0.0 {
+            return 0.0;
+        }
+        1.0 - self.expected_cost / on_demand_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec() -> BidRecommendation {
+        BidRecommendation {
+            price: Price::new(0.05),
+            acceptance_prob: 0.9,
+            expected_hourly_price: Price::new(0.035),
+            expected_cost: Cost::new(0.035),
+            expected_running_time: Hours::new(1.0),
+            expected_completion_time: Hours::new(1.2),
+            expected_interruptions: 0.5,
+        }
+    }
+
+    #[test]
+    fn idle_time() {
+        assert!((rec().expected_idle_time().as_f64() - 0.2).abs() < 1e-12);
+        let mut r = rec();
+        r.expected_completion_time = Hours::new(0.5); // inconsistent input
+        assert_eq!(r.expected_idle_time(), Hours::ZERO); // clamped
+    }
+
+    #[test]
+    fn savings() {
+        let r = rec();
+        assert!((r.savings_vs(Cost::new(0.35)) - 0.9).abs() < 1e-12);
+        assert_eq!(r.savings_vs(Cost::ZERO), 0.0);
+    }
+}

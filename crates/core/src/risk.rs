@@ -1,0 +1,367 @@
+//! Risk-averse and deadline-constrained bidding (§8's extensions).
+//!
+//! The paper's strategies minimize *expected* cost; §8 sketches two
+//! refinements this module implements:
+//!
+//! - **risk-averseness**: "minimize the expected cost subject to an upper
+//!   bound on the cost variance" — here a bound on the cost standard
+//!   deviation;
+//! - **deadlines**: "constrain the user's bid price so that the
+//!   probability of exceeding this deadline is lower than a given small
+//!   threshold".
+//!
+//! Neither the cost nor the completion-time distribution of a persistent
+//! bid has a usable closed form (both are stopped sums over a random
+//! number of slots), so candidate bids are evaluated by Monte Carlo over
+//! the price model: slots are drawn i.i.d. from the model — exactly the
+//! §4.2 equilibrium assumption the analytic formulas already make.
+
+use crate::job::JobSpec;
+use crate::price_model::PriceModel;
+use crate::CoreError;
+use spotbid_market::units::{Hours, Price};
+use spotbid_numerics::rng::Rng;
+use spotbid_numerics::stats::{summarize, Summary};
+
+/// Constraints a risk-aware bidder imposes on top of expected cost.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RiskProfile {
+    /// Maximum acceptable cost standard deviation, in dollars.
+    pub max_cost_std: Option<f64>,
+    /// `(deadline, epsilon)`: completion must exceed `deadline` with
+    /// probability at most `epsilon`.
+    pub deadline: Option<(Hours, f64)>,
+}
+
+/// Monte Carlo statistics of one candidate bid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BidRiskStats {
+    /// The candidate bid price.
+    pub price: Price,
+    /// Cost summary over replays.
+    pub cost: Summary,
+    /// Completion-time summary over replays (hours).
+    pub completion: Summary,
+    /// Fraction of replays exceeding the profile's deadline (0 when no
+    /// deadline was set).
+    pub deadline_exceed_prob: f64,
+}
+
+/// Replays a persistent job once against i.i.d. slot prices sampled from
+/// the model, returning `(cost, completion_hours)`.
+///
+/// The replay mirrors the client runtime's semantics (recovery replays on
+/// resume, pro-rata final slot) without requiring a materialized trace.
+pub fn replay_once<M: PriceModel>(
+    model: &M,
+    job: &JobSpec,
+    bid: Price,
+    rng: &mut Rng,
+) -> (f64, f64) {
+    let slot = job.slot.as_f64();
+    let mut remaining = job.execution.as_f64();
+    let mut pending_recovery = 0.0f64;
+    let mut was_running = false;
+    let mut cost = 0.0;
+    let mut elapsed = 0.0;
+    // Safety valve: a bid below every atom would never run; cap the loop.
+    let max_slots = 10_000_000usize;
+    for _ in 0..max_slots {
+        let price = model
+            .quantile(rng.next_f64())
+            .unwrap_or_else(|_| model.on_demand());
+        let accepted = bid >= price;
+        if accepted {
+            let mut budget = slot;
+            let rec = pending_recovery.min(budget);
+            pending_recovery -= rec;
+            budget -= rec;
+            let work = remaining.min(budget);
+            remaining -= work;
+            let used = rec + work;
+            cost += price.as_f64() * used;
+            if remaining <= 1e-12 && pending_recovery <= 1e-12 {
+                elapsed += used;
+                return (cost, elapsed);
+            }
+            was_running = true;
+        } else if was_running {
+            pending_recovery = job.recovery.as_f64();
+            was_running = false;
+        }
+        elapsed += slot;
+    }
+    (cost, elapsed)
+}
+
+/// Monte Carlo evaluation of one bid over `trials` replays.
+pub fn evaluate_bid<M: PriceModel>(
+    model: &M,
+    job: &JobSpec,
+    bid: Price,
+    profile: &RiskProfile,
+    rng: &mut Rng,
+    trials: usize,
+) -> BidRiskStats {
+    let mut costs = Vec::with_capacity(trials);
+    let mut times = Vec::with_capacity(trials);
+    let mut exceed = 0usize;
+    for _ in 0..trials.max(1) {
+        let (c, t) = replay_once(model, job, bid, rng);
+        if let Some((deadline, _)) = profile.deadline {
+            if t > deadline.as_f64() {
+                exceed += 1;
+            }
+        }
+        costs.push(c);
+        times.push(t);
+    }
+    BidRiskStats {
+        price: bid,
+        cost: summarize(&costs).expect("non-empty"),
+        completion: summarize(&times).expect("non-empty"),
+        deadline_exceed_prob: exceed as f64 / trials.max(1) as f64,
+    }
+}
+
+/// Risk-aware optimal bid: minimizes Monte Carlo mean cost over a quantile
+/// grid of candidate bids, subject to the profile's constraints and the
+/// on-demand ceiling.
+///
+/// Returns the winning bid's statistics. `grid` quantile points (e.g. 16)
+/// and `trials` replays per point (e.g. 200) trade accuracy for time.
+///
+/// # Errors
+///
+/// - [`CoreError::InvalidJob`] for invalid jobs.
+/// - [`CoreError::NoFeasibleBid`] when no candidate meets the constraints
+///   (the caller should fall back to on-demand, which has zero variance
+///   and deterministic completion).
+pub fn optimal_bid_risk_aware<M: PriceModel>(
+    model: &M,
+    job: &JobSpec,
+    profile: &RiskProfile,
+    rng: &mut Rng,
+    grid: usize,
+    trials: usize,
+) -> Result<BidRiskStats, CoreError> {
+    job.validate()?;
+    if let Some((deadline, eps)) = profile.deadline {
+        if deadline <= Hours::ZERO || !(0.0..=1.0).contains(&eps) {
+            return Err(CoreError::InvalidJob {
+                what: format!(
+                    "deadline must be positive with epsilon in [0,1]; got {deadline}, {eps}"
+                ),
+            });
+        }
+    }
+    let on_demand_cost = (model.on_demand() * job.execution).as_f64();
+    let mut best: Option<BidRiskStats> = None;
+    for i in 0..grid.max(2) {
+        // Quantiles from the middle of the distribution to (almost) sure
+        // acceptance: very low bids have unbounded completion times and
+        // are never deadline- or risk-feasible anyway.
+        let q = 0.5 + 0.5 * (i as f64 + 1.0) / grid.max(2) as f64;
+        let bid = model.quantile(q.min(1.0))?;
+        if best.as_ref().map(|b| b.price) == Some(bid) {
+            continue; // duplicate atom
+        }
+        let stats = evaluate_bid(model, job, bid, profile, rng, trials);
+        if stats.cost.mean > on_demand_cost {
+            continue;
+        }
+        if let Some(max_std) = profile.max_cost_std {
+            if stats.cost.std_dev > max_std {
+                continue;
+            }
+        }
+        if let Some((_, eps)) = profile.deadline {
+            if stats.deadline_exceed_prob > eps {
+                continue;
+            }
+        }
+        if best.as_ref().is_none_or(|b| stats.cost.mean < b.cost.mean) {
+            best = Some(stats);
+        }
+    }
+    best.ok_or_else(|| CoreError::NoFeasibleBid {
+        why: "no bid meets the risk profile; fall back to on-demand".into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::persistent;
+    use crate::price_model::EmpiricalPrices;
+    use spotbid_trace::catalog;
+    use spotbid_trace::synthetic::{generate, SyntheticConfig};
+
+    fn model() -> EmpiricalPrices {
+        let inst = catalog::by_name("r3.xlarge").unwrap();
+        let cfg = SyntheticConfig::for_instance(&inst);
+        let h = generate(&cfg, 17_568, &mut Rng::seed_from_u64(81)).unwrap();
+        EmpiricalPrices::from_history_with_cap(&h, inst.on_demand).unwrap()
+    }
+
+    fn job() -> JobSpec {
+        JobSpec::builder(1.0).recovery_secs(30.0).build().unwrap()
+    }
+
+    #[test]
+    fn replay_matches_analytic_expectations() {
+        // Monte Carlo means must agree with Eq. 13/15's analytic values at
+        // the same bid.
+        let m = model();
+        let j = job();
+        let bid = m.quantile(0.9).unwrap();
+        let mut rng = Rng::seed_from_u64(1);
+        let stats = evaluate_bid(&m, &j, bid, &RiskProfile::default(), &mut rng, 800);
+        let analytic_cost = persistent::cost(&m, &j, bid).unwrap().as_f64();
+        let analytic_t = persistent::expected_completion_time(&m, &j, bid)
+            .unwrap()
+            .as_f64();
+        let cost_rel = (stats.cost.mean - analytic_cost).abs() / analytic_cost;
+        let t_rel = (stats.completion.mean - analytic_t).abs() / analytic_t;
+        assert!(
+            cost_rel < 0.1,
+            "cost: MC {} vs analytic {analytic_cost}",
+            stats.cost.mean
+        );
+        assert!(
+            t_rel < 0.1,
+            "time: MC {} vs analytic {analytic_t}",
+            stats.completion.mean
+        );
+    }
+
+    #[test]
+    fn higher_bids_reduce_completion_spread() {
+        let m = model();
+        let j = job();
+        let mut rng = Rng::seed_from_u64(2);
+        let low = evaluate_bid(
+            &m,
+            &j,
+            m.quantile(0.75).unwrap(),
+            &RiskProfile::default(),
+            &mut rng,
+            500,
+        );
+        let high = evaluate_bid(
+            &m,
+            &j,
+            m.quantile(0.999).unwrap(),
+            &RiskProfile::default(),
+            &mut rng,
+            500,
+        );
+        assert!(high.completion.std_dev <= low.completion.std_dev + 1e-9);
+        assert!(high.completion.mean <= low.completion.mean);
+        // ... at a higher price paid per hour.
+        assert!(high.cost.mean >= low.cost.mean * 0.95);
+    }
+
+    #[test]
+    fn unconstrained_risk_aware_bid_tracks_the_analytic_optimum() {
+        let m = model();
+        let j = job();
+        let mut rng = Rng::seed_from_u64(3);
+        let risk =
+            optimal_bid_risk_aware(&m, &j, &RiskProfile::default(), &mut rng, 16, 300).unwrap();
+        let analytic = persistent::optimal_bid(&m, &j).unwrap();
+        // The grid restricts to q ≥ 0.5, so exact equality is not
+        // guaranteed; costs must be close.
+        assert!(
+            risk.cost.mean <= analytic.expected_cost.as_f64() * 1.25,
+            "risk-aware {} vs analytic {}",
+            risk.cost.mean,
+            analytic.expected_cost
+        );
+    }
+
+    #[test]
+    fn deadline_constraint_raises_the_bid() {
+        let m = model();
+        let j = job();
+        let mut rng = Rng::seed_from_u64(4);
+        let loose =
+            optimal_bid_risk_aware(&m, &j, &RiskProfile::default(), &mut rng, 16, 300).unwrap();
+        let tight = optimal_bid_risk_aware(
+            &m,
+            &j,
+            &RiskProfile {
+                max_cost_std: None,
+                deadline: Some((Hours::new(1.25), 0.05)),
+            },
+            &mut rng,
+            16,
+            300,
+        )
+        .unwrap();
+        assert!(
+            tight.price >= loose.price,
+            "deadline bid {} below unconstrained {}",
+            tight.price,
+            loose.price
+        );
+        assert!(tight.deadline_exceed_prob <= 0.05);
+    }
+
+    #[test]
+    fn impossible_profiles_are_rejected() {
+        let m = model();
+        let j = job();
+        let mut rng = Rng::seed_from_u64(5);
+        // Zero-variance requirement: unachievable on spot.
+        let r = optimal_bid_risk_aware(
+            &m,
+            &j,
+            &RiskProfile {
+                max_cost_std: Some(0.0),
+                deadline: None,
+            },
+            &mut rng,
+            8,
+            100,
+        );
+        assert!(matches!(r, Err(CoreError::NoFeasibleBid { .. })));
+        // Invalid deadline parameters.
+        let r = optimal_bid_risk_aware(
+            &m,
+            &j,
+            &RiskProfile {
+                max_cost_std: None,
+                deadline: Some((Hours::ZERO, 0.1)),
+            },
+            &mut rng,
+            8,
+            100,
+        );
+        assert!(matches!(r, Err(CoreError::InvalidJob { .. })));
+    }
+
+    #[test]
+    fn deterministic_given_rng_seed() {
+        let m = model();
+        let j = job();
+        let bid = m.quantile(0.9).unwrap();
+        let a = evaluate_bid(
+            &m,
+            &j,
+            bid,
+            &RiskProfile::default(),
+            &mut Rng::seed_from_u64(9),
+            50,
+        );
+        let b = evaluate_bid(
+            &m,
+            &j,
+            bid,
+            &RiskProfile::default(),
+            &mut Rng::seed_from_u64(9),
+            50,
+        );
+        assert_eq!(a, b);
+    }
+}

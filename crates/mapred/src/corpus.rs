@@ -1,0 +1,199 @@
+//! Synthetic Common-Crawl-like corpus.
+//!
+//! §7.2 runs word count over the Common Crawl web corpus. That dataset is
+//! hundreds of terabytes and irrelevant to the bidding behaviour under
+//! study; what matters is a realistically *skewed* word distribution (web
+//! text is Zipfian) over shardable documents. This module generates such a
+//! corpus deterministically from a seed.
+
+use crate::MapRedError;
+use spotbid_numerics::rng::Rng;
+
+/// Corpus generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorpusConfig {
+    /// Number of documents (the shardable unit).
+    pub documents: usize,
+    /// Words per document.
+    pub words_per_doc: usize,
+    /// Vocabulary size.
+    pub vocabulary: usize,
+    /// Zipf exponent `s` (≈ 1.0 for natural text).
+    pub zipf_s: f64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            documents: 200,
+            words_per_doc: 400,
+            vocabulary: 2000,
+            zipf_s: 1.0,
+        }
+    }
+}
+
+impl CorpusConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`MapRedError::InvalidConfig`] describing the violated constraint.
+    pub fn validate(&self) -> Result<(), MapRedError> {
+        if self.documents == 0 || self.words_per_doc == 0 || self.vocabulary == 0 {
+            return Err(MapRedError::InvalidConfig {
+                what: "documents, words_per_doc and vocabulary must be positive".into(),
+            });
+        }
+        if !(self.zipf_s > 0.0 && self.zipf_s.is_finite()) {
+            return Err(MapRedError::InvalidConfig {
+                what: "zipf_s must be positive and finite".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A generated corpus: documents of whitespace-separated words
+/// (`w1`, `w2`, … by frequency rank).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Corpus {
+    docs: Vec<String>,
+}
+
+impl Corpus {
+    /// Generates a corpus.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CorpusConfig::validate`].
+    pub fn generate(cfg: &CorpusConfig, rng: &mut Rng) -> Result<Self, MapRedError> {
+        cfg.validate()?;
+        // Zipf CDF over ranks 1..=V.
+        let mut cum = Vec::with_capacity(cfg.vocabulary);
+        let mut acc = 0.0;
+        for rank in 1..=cfg.vocabulary {
+            acc += 1.0 / (rank as f64).powf(cfg.zipf_s);
+            cum.push(acc);
+        }
+        let total = acc;
+        let mut docs = Vec::with_capacity(cfg.documents);
+        let mut buf = String::new();
+        for _ in 0..cfg.documents {
+            buf.clear();
+            for w in 0..cfg.words_per_doc {
+                let u = rng.next_f64() * total;
+                let rank = cum.partition_point(|&c| c < u) + 1;
+                if w > 0 {
+                    buf.push(' ');
+                }
+                buf.push('w');
+                buf.push_str(&rank.to_string());
+            }
+            docs.push(buf.clone());
+        }
+        Ok(Corpus { docs })
+    }
+
+    /// The documents.
+    pub fn docs(&self) -> &[String] {
+        &self.docs
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the corpus has no documents (cannot occur for a generated
+    /// corpus).
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Total number of words across all documents.
+    pub fn total_words(&self) -> usize {
+        self.docs.iter().map(|d| d.split_whitespace().count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn validation() {
+        let ok = CorpusConfig::default();
+        assert!(ok.validate().is_ok());
+        for bad in [
+            CorpusConfig { documents: 0, ..ok },
+            CorpusConfig {
+                words_per_doc: 0,
+                ..ok
+            },
+            CorpusConfig {
+                vocabulary: 0,
+                ..ok
+            },
+            CorpusConfig { zipf_s: 0.0, ..ok },
+            CorpusConfig {
+                zipf_s: f64::NAN,
+                ..ok
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn generates_requested_shape() {
+        let cfg = CorpusConfig {
+            documents: 10,
+            words_per_doc: 50,
+            vocabulary: 100,
+            zipf_s: 1.0,
+        };
+        let c = Corpus::generate(&cfg, &mut Rng::seed_from_u64(1)).unwrap();
+        assert_eq!(c.len(), 10);
+        assert!(!c.is_empty());
+        assert_eq!(c.total_words(), 500);
+        for d in c.docs() {
+            assert_eq!(d.split_whitespace().count(), 50);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = CorpusConfig::default();
+        let a = Corpus::generate(&cfg, &mut Rng::seed_from_u64(9)).unwrap();
+        let b = Corpus::generate(&cfg, &mut Rng::seed_from_u64(9)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn word_frequencies_are_zipfian() {
+        let cfg = CorpusConfig {
+            documents: 100,
+            words_per_doc: 1000,
+            vocabulary: 1000,
+            zipf_s: 1.0,
+        };
+        let c = Corpus::generate(&cfg, &mut Rng::seed_from_u64(2)).unwrap();
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for d in c.docs() {
+            for w in d.split_whitespace() {
+                *counts.entry(w).or_default() += 1;
+            }
+        }
+        let c1 = counts.get("w1").copied().unwrap_or(0) as f64;
+        let c10 = counts.get("w10").copied().unwrap_or(0) as f64;
+        let c100 = counts.get("w100").copied().unwrap_or(0) as f64;
+        // Zipf s=1: count(rank r) ∝ 1/r. Allow generous sampling noise.
+        assert!((c1 / c10 - 10.0).abs() < 3.0, "c1/c10 = {}", c1 / c10);
+        assert!((c1 / c100 - 100.0).abs() < 40.0, "c1/c100 = {}", c1 / c100);
+        // Most frequent word is the rank-1 word.
+        let max = counts.values().max().copied().unwrap();
+        assert_eq!(max as f64, c1);
+    }
+}

@@ -1,0 +1,196 @@
+//! Functional miniature MapReduce engine.
+//!
+//! This is the data-plane half of the §3.1 job model: map over input
+//! splits, partition intermediates by key hash, reduce per partition. The
+//! timing/failure half (master scheduling over spot instances) lives in
+//! [`crate::schedule`]; this half guarantees the *answers* are right, so
+//! the spot experiments compute real word counts, not mock ones.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+/// A MapReduce computation over string documents.
+pub trait MapReduceJob {
+    /// Intermediate/output key.
+    type Key: Ord + Hash + Clone;
+    /// Intermediate value.
+    type Value: Clone;
+    /// Reduced output per key.
+    type Out;
+
+    /// Map one input document to intermediate pairs.
+    fn map(&self, doc: &str) -> Vec<(Self::Key, Self::Value)>;
+
+    /// Reduce all values of one key.
+    fn reduce(&self, key: &Self::Key, values: &[Self::Value]) -> Self::Out;
+}
+
+/// Output of one map task: intermediate pairs partitioned for `r`
+/// reducers.
+#[derive(Debug, Clone)]
+pub struct MapOutput<K, V> {
+    /// `partitions[p]` holds the pairs destined for reducer `p`.
+    pub partitions: Vec<Vec<(K, V)>>,
+}
+
+/// Runs one map task over a slice of documents, partitioning for `r`
+/// reducers by key hash.
+pub fn run_map_task<J: MapReduceJob>(
+    job: &J,
+    docs: &[&str],
+    r: usize,
+) -> MapOutput<J::Key, J::Value> {
+    let r = r.max(1);
+    let mut partitions = vec![Vec::new(); r];
+    for doc in docs {
+        for (k, v) in job.map(doc) {
+            let mut h = DefaultHasher::new();
+            k.hash(&mut h);
+            let p = (h.finish() % r as u64) as usize;
+            partitions[p].push((k, v));
+        }
+    }
+    MapOutput { partitions }
+}
+
+/// Runs one reduce task over partition `p` of every map output, returning
+/// the reduced pairs in key order.
+pub fn run_reduce_task<J: MapReduceJob>(
+    job: &J,
+    map_outputs: &[MapOutput<J::Key, J::Value>],
+    p: usize,
+) -> Vec<(J::Key, J::Out)> {
+    let mut grouped: BTreeMap<J::Key, Vec<J::Value>> = BTreeMap::new();
+    for mo in map_outputs {
+        if let Some(part) = mo.partitions.get(p) {
+            for (k, v) in part {
+                grouped.entry(k.clone()).or_default().push(v.clone());
+            }
+        }
+    }
+    grouped
+        .into_iter()
+        .map(|(k, vs)| {
+            let out = job.reduce(&k, &vs);
+            (k, out)
+        })
+        .collect()
+}
+
+/// Runs a whole job sequentially: `m` map tasks over contiguous document
+/// shards, then `r` reduce tasks. The reference execution that the
+/// spot-scheduled run must agree with.
+pub fn run_local<J: MapReduceJob>(
+    job: &J,
+    docs: &[&str],
+    m: usize,
+    r: usize,
+) -> Vec<(J::Key, J::Out)> {
+    let m = m.clamp(1, docs.len().max(1));
+    let r = r.max(1);
+    let shards = shard(docs.len(), m);
+    let outputs: Vec<MapOutput<J::Key, J::Value>> = shards
+        .iter()
+        .map(|&(lo, hi)| run_map_task(job, &docs[lo..hi], r))
+        .collect();
+    let mut result = Vec::new();
+    for p in 0..r {
+        result.extend(run_reduce_task(job, &outputs, p));
+    }
+    result.sort_by(|a, b| a.0.cmp(&b.0));
+    result
+}
+
+/// Splits `n` documents into `m` near-equal contiguous shards
+/// (`[lo, hi)` ranges). Shards may be empty when `m > n`.
+pub fn shard(n: usize, m: usize) -> Vec<(usize, usize)> {
+    let m = m.max(1);
+    let base = n / m;
+    let extra = n % m;
+    let mut out = Vec::with_capacity(m);
+    let mut lo = 0;
+    for i in 0..m {
+        let len = base + usize::from(i < extra);
+        out.push((lo, lo + len));
+        lo += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wordcount::WordCount;
+
+    fn docs() -> Vec<&'static str> {
+        vec!["a b a", "b c", "a", "c c c"]
+    }
+
+    #[test]
+    fn shard_covers_everything() {
+        let s = shard(10, 3);
+        assert_eq!(s, vec![(0, 4), (4, 7), (7, 10)]);
+        let s = shard(2, 4);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.iter().map(|(l, h)| h - l).sum::<usize>(), 2);
+        assert_eq!(shard(0, 3).iter().map(|(l, h)| h - l).sum::<usize>(), 0);
+        // Contiguity.
+        for w in shard(17, 5).windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+    }
+
+    #[test]
+    fn word_count_end_to_end() {
+        let d = docs();
+        let result = run_local(&WordCount, &d, 2, 3);
+        let get = |w: &str| {
+            result
+                .iter()
+                .find(|(k, _)| k == w)
+                .map(|(_, c)| *c)
+                .unwrap_or(0)
+        };
+        assert_eq!(get("a"), 3);
+        assert_eq!(get("b"), 2);
+        assert_eq!(get("c"), 4);
+        assert_eq!(result.len(), 3);
+    }
+
+    #[test]
+    fn result_independent_of_m_and_r() {
+        let d = docs();
+        let base = run_local(&WordCount, &d, 1, 1);
+        for m in 1..=4 {
+            for r in 1..=5 {
+                assert_eq!(run_local(&WordCount, &d, m, r), base, "m={m} r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn partitioning_is_consistent() {
+        // Every occurrence of a key lands in the same partition.
+        let d = docs();
+        let out = run_map_task(&WordCount, &d, 4);
+        let mut seen: std::collections::HashMap<String, usize> = Default::default();
+        for (p, part) in out.partitions.iter().enumerate() {
+            for (k, _) in part {
+                if let Some(&prev) = seen.get(k) {
+                    assert_eq!(prev, p, "key {k} split across partitions");
+                } else {
+                    seen.insert(k.clone(), p);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let result = run_local(&WordCount, &[], 3, 3);
+        assert!(result.is_empty());
+        let out = run_map_task(&WordCount, &[], 0); // r clamped to 1
+        assert_eq!(out.partitions.len(), 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! Additional MapReduce computations beyond word count.
+//!
+//! §3.1 describes MapReduce generically; the engine is job-agnostic, and
+//! these two classic computations exercise that generality:
+//!
+//! - [`InvertedIndex`] — word → sorted list of containing document ids
+//!   (the original MapReduce paper's motivating example);
+//! - [`DistributedGrep`] — documents matching a needle, with match counts.
+//!
+//! Both run under the same spot-instance scheduling as word count; the
+//! bidding layer is indifferent to what the slaves compute.
+
+use crate::engine::MapReduceJob;
+
+/// Inverted index over `(doc_id, text)` records serialized as
+/// `"<id>\t<text>"` lines (the engine's inputs are plain strings).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InvertedIndex;
+
+impl InvertedIndex {
+    /// Serializes a document for this job's input format.
+    pub fn encode_doc(id: u64, text: &str) -> String {
+        format!("{id}\t{text}")
+    }
+}
+
+impl MapReduceJob for InvertedIndex {
+    type Key = String;
+    type Value = u64;
+    type Out = Vec<u64>;
+
+    fn map(&self, doc: &str) -> Vec<(String, u64)> {
+        let Some((id, text)) = doc.split_once('\t') else {
+            return Vec::new(); // malformed record: skip, like Hadoop would
+        };
+        let Ok(id) = id.parse::<u64>() else {
+            return Vec::new();
+        };
+        text.split_whitespace()
+            .map(|w| (w.to_string(), id))
+            .collect()
+    }
+
+    fn reduce(&self, _key: &String, values: &[u64]) -> Vec<u64> {
+        let mut ids = values.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+/// Distributed grep: emits `(doc_excerpt, match_count)` for documents
+/// containing the needle.
+#[derive(Debug, Clone)]
+pub struct DistributedGrep {
+    needle: String,
+}
+
+impl DistributedGrep {
+    /// Creates a grep job for the given needle (non-empty).
+    pub fn new(needle: &str) -> Self {
+        DistributedGrep {
+            needle: needle.to_string(),
+        }
+    }
+
+    /// The needle being searched.
+    pub fn needle(&self) -> &str {
+        &self.needle
+    }
+}
+
+impl MapReduceJob for DistributedGrep {
+    type Key = String;
+    type Value = u64;
+    type Out = u64;
+
+    fn map(&self, doc: &str) -> Vec<(String, u64)> {
+        if self.needle.is_empty() {
+            return Vec::new();
+        }
+        let count = doc.matches(&self.needle).count() as u64;
+        if count == 0 {
+            return Vec::new();
+        }
+        // Key on a bounded excerpt so the output stays readable.
+        let excerpt: String = doc.chars().take(32).collect();
+        vec![(excerpt, count)]
+    }
+
+    fn reduce(&self, _key: &String, values: &[u64]) -> u64 {
+        values.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run_local;
+
+    #[test]
+    fn inverted_index_end_to_end() {
+        let docs = [
+            InvertedIndex::encode_doc(1, "apple banana"),
+            InvertedIndex::encode_doc(2, "banana cherry"),
+            InvertedIndex::encode_doc(3, "apple apple cherry"),
+        ];
+        let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        let index = run_local(&InvertedIndex, &refs, 2, 3);
+        let get = |w: &str| {
+            index
+                .iter()
+                .find(|(k, _)| k == w)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_default()
+        };
+        assert_eq!(get("apple"), vec![1, 3]);
+        assert_eq!(get("banana"), vec![1, 2]);
+        assert_eq!(get("cherry"), vec![2, 3]);
+        // Duplicate occurrences within a document are deduplicated.
+        assert_eq!(get("apple").len(), 2);
+    }
+
+    #[test]
+    fn inverted_index_result_independent_of_topology() {
+        let docs: Vec<String> = (0..20)
+            .map(|i| InvertedIndex::encode_doc(i, if i % 2 == 0 { "even x" } else { "odd x" }))
+            .collect();
+        let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        let a = run_local(&InvertedIndex, &refs, 1, 1);
+        let b = run_local(&InvertedIndex, &refs, 7, 3);
+        assert_eq!(a, b);
+        // "x" appears in every document.
+        let x = a.iter().find(|(k, _)| k == "x").unwrap();
+        assert_eq!(x.1.len(), 20);
+    }
+
+    #[test]
+    fn inverted_index_skips_malformed_records() {
+        let docs = [
+            "no tab here".to_string(),
+            "abc\tnot a number? no: id first".to_string(),
+        ];
+        // Second record has a non-numeric id.
+        let bad = vec![docs[0].as_str(), "xyz\twords"];
+        assert!(run_local(&InvertedIndex, &bad, 1, 1).is_empty());
+    }
+
+    #[test]
+    fn grep_counts_matches() {
+        let docs = vec!["the cat sat", "dogs dogs dogs", "cat and cat again"];
+        let g = DistributedGrep::new("cat");
+        let hits = run_local(&g, &docs, 2, 2);
+        assert_eq!(hits.len(), 2);
+        let total: u64 = hits.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 3); // 1 in doc 0, 2 in doc 2
+        assert_eq!(g.needle(), "cat");
+    }
+
+    #[test]
+    fn grep_no_matches_and_empty_needle() {
+        let docs = vec!["alpha", "beta"];
+        assert!(run_local(&DistributedGrep::new("zzz"), &docs, 1, 1).is_empty());
+        assert!(run_local(&DistributedGrep::new(""), &docs, 1, 1).is_empty());
+    }
+}

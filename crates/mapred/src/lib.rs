@@ -1,0 +1,63 @@
+//! # spotbid-mapred
+//!
+//! The MapReduce substrate for §§6–7.2 of *How to Bid the Cloud*: a
+//! synthetic Common-Crawl-like corpus ([`corpus`]), a functional
+//! miniature MapReduce engine ([`engine`], [`wordcount`]), a master/slave
+//! scheduler with failure rescheduling ([`schedule`]), and the spot-market
+//! integration that runs the whole job under the bidding plan of Eq. 20
+//! and bills every up-slot at the slot's spot price ([`spot`]).
+//!
+//! The data plane is real — word counts are computed and checked against
+//! a sequential reference on every run — while timing and failures come
+//! from the spot-price traces, matching the paper's Elastic MapReduce
+//! setup with slave interruptions and a never-interrupted master.
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod engine;
+pub mod jobs;
+pub mod schedule;
+pub mod spot;
+pub mod wordcount;
+
+pub use corpus::{Corpus, CorpusConfig};
+pub use jobs::{DistributedGrep, InvertedIndex};
+pub use schedule::{ScheduleOutcome, ScheduleStatus};
+pub use spot::MapReduceOutcome;
+pub use wordcount::WordCount;
+
+use std::fmt;
+
+/// Errors produced by the MapReduce substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MapRedError {
+    /// Invalid corpus or run configuration.
+    InvalidConfig {
+        /// Description of the problem.
+        what: String,
+    },
+}
+
+impl fmt::Display for MapRedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapRedError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MapRedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = MapRedError::InvalidConfig { what: "x".into() };
+        assert!(e.to_string().contains("invalid configuration"));
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&e);
+    }
+}

@@ -1,0 +1,408 @@
+//! Master/slave task scheduling under interruptions — the control-plane
+//! half of the MapReduce substrate.
+//!
+//! The master (§3.1) assigns map tasks to slaves, waits for the map
+//! barrier, assigns reduce tasks, and *reschedules* any task whose slave
+//! fails mid-flight — exactly the failure semantics that make slave nodes
+//! interruption-tolerant (and the master not). Time advances in pricing
+//! slots; a slave that comes back from an interruption replays the
+//! recovery overhead `t_r` before doing useful work, and the in-flight
+//! task it lost restarts from scratch on whichever slave picks it up.
+
+use spotbid_market::units::Hours;
+
+/// Which phase a task belongs to; reduce tasks only start after every map
+/// task has finished (the shuffle barrier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Map over an input shard.
+    Map,
+    /// Reduce one partition.
+    Reduce,
+}
+
+/// A schedulable unit of work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskSpec {
+    /// Task identifier (unique across the job).
+    pub id: usize,
+    /// Map or reduce.
+    pub phase: Phase,
+    /// Uninterrupted processing time.
+    pub duration: Hours,
+}
+
+/// Per-slot availability of the cluster's instances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Availability {
+    /// Whether the master instance is up this slot.
+    pub master: bool,
+    /// Whether each slave instance is up this slot.
+    pub slaves: Vec<bool>,
+}
+
+/// Scheduler timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduleConfig {
+    /// Pricing-slot length.
+    pub slot: Hours,
+    /// Recovery replay a slave pays after each interruption.
+    pub recovery: Hours,
+    /// Give up after this many slots.
+    pub max_slots: usize,
+}
+
+/// How the scheduled job ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleStatus {
+    /// All tasks finished.
+    Completed,
+    /// The master went down after the job started — §6.2's failure mode a
+    /// one-time master bid is chosen to avoid.
+    MasterFailed,
+    /// `max_slots` elapsed first.
+    TimedOut,
+}
+
+/// Outcome of a scheduled run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleOutcome {
+    /// Terminal status.
+    pub status: ScheduleStatus,
+    /// Slots elapsed until the terminal event.
+    pub slots_elapsed: usize,
+    /// Wall-clock completion time (slots × slot length).
+    pub completion_time: Hours,
+    /// Total slave interruptions observed.
+    pub slave_interruptions: u32,
+    /// Tasks that had to be rescheduled after a slave failure.
+    pub task_reschedules: u32,
+    /// Per-slot uptime: `master_up[t]` and `slaves_up[t]` = number of
+    /// slaves up in slot `t` — what billing charges for.
+    pub master_up: Vec<bool>,
+    /// Count of slaves up per slot.
+    pub slaves_up: Vec<u32>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SlaveState {
+    /// Up, no task in hand.
+    Idle,
+    /// Up and processing; `remaining` includes recovery replay.
+    Busy { task: usize, remaining: Hours },
+    /// Down (outbid).
+    Down,
+}
+
+/// Simulates the job: `avail(t)` supplies slot `t`'s availability.
+///
+/// The master starts the job at slot 0 (availability at slot 0 must
+/// include the master, or the job simply waits; a master that disappears
+/// *after* appearing fails the job).
+pub fn simulate<F: FnMut(usize) -> Availability>(
+    tasks: &[TaskSpec],
+    cfg: &ScheduleConfig,
+    mut avail: F,
+) -> ScheduleOutcome {
+    let mut pending_map: Vec<usize> = tasks
+        .iter()
+        .filter(|t| t.phase == Phase::Map)
+        .map(|t| t.id)
+        .collect();
+    let mut pending_reduce: Vec<usize> = tasks
+        .iter()
+        .filter(|t| t.phase == Phase::Reduce)
+        .map(|t| t.id)
+        .collect();
+    // Preserve submission order: assign lowest id first.
+    pending_map.sort_unstable();
+    pending_reduce.sort_unstable();
+    pending_map.reverse();
+    pending_reduce.reverse();
+    let mut maps_left = pending_map.len();
+    let mut done = vec![false; tasks.len()];
+    let mut remaining_total = tasks.len();
+
+    let mut states: Vec<SlaveState> = Vec::new();
+    let mut pending_recovery: Vec<Hours> = Vec::new();
+    let mut master_seen_up = false;
+    let mut interruptions = 0u32;
+    let mut reschedules = 0u32;
+    let mut master_up_log = Vec::new();
+    let mut slaves_up_log = Vec::new();
+
+    for t in 0..cfg.max_slots {
+        let a = avail(t);
+        if states.len() < a.slaves.len() {
+            states.resize(a.slaves.len(), SlaveState::Down);
+            pending_recovery.resize(a.slaves.len(), Hours::ZERO);
+        }
+        master_up_log.push(a.master);
+        slaves_up_log.push(a.slaves.iter().filter(|&&u| u).count() as u32);
+
+        if a.master {
+            master_seen_up = true;
+        } else if master_seen_up {
+            return ScheduleOutcome {
+                status: ScheduleStatus::MasterFailed,
+                slots_elapsed: t + 1,
+                completion_time: cfg.slot * (t + 1) as f64,
+                slave_interruptions: interruptions,
+                task_reschedules: reschedules,
+                master_up: master_up_log,
+                slaves_up: slaves_up_log,
+            };
+        } else {
+            // Job hasn't started: nothing happens this slot.
+            continue;
+        }
+
+        // Transitions: slaves going down lose their in-flight task.
+        for (i, (&up, state)) in a.slaves.iter().zip(states.iter_mut()).enumerate() {
+            match (*state, up) {
+                (SlaveState::Busy { task, .. }, false) => {
+                    interruptions += 1;
+                    reschedules += 1;
+                    // Task restarts from scratch elsewhere.
+                    let spec = &tasks[task];
+                    match spec.phase {
+                        Phase::Map => pending_map.push(task),
+                        Phase::Reduce => pending_reduce.push(task),
+                    }
+                    *state = SlaveState::Down;
+                    pending_recovery[i] = cfg.recovery;
+                }
+                (SlaveState::Idle, false) => {
+                    *state = SlaveState::Down;
+                    // Idle slaves still pay recovery on resume (image
+                    // restart), matching the per-interruption overhead.
+                    pending_recovery[i] = cfg.recovery;
+                }
+                (SlaveState::Down, true) => {
+                    *state = SlaveState::Idle;
+                }
+                _ => {}
+            }
+        }
+
+        // Assignment + work, one slot of budget per up slave.
+        for (i, state) in states.iter_mut().enumerate() {
+            if !a.slaves.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            let mut budget = cfg.slot;
+            // Recovery replay first.
+            let rec = pending_recovery[i].min(budget);
+            pending_recovery[i] -= rec;
+            budget -= rec;
+            while budget > Hours::ZERO {
+                match *state {
+                    SlaveState::Busy { task, remaining } => {
+                        let spent = remaining.min(budget);
+                        let left = remaining - spent;
+                        budget -= spent;
+                        if left <= Hours::new(1e-12) {
+                            done[task] = true;
+                            remaining_total -= 1;
+                            if tasks[task].phase == Phase::Map {
+                                maps_left -= 1;
+                            }
+                            *state = SlaveState::Idle;
+                        } else {
+                            *state = SlaveState::Busy {
+                                task,
+                                remaining: left,
+                            };
+                            break;
+                        }
+                    }
+                    SlaveState::Idle => {
+                        let next = pending_map.pop().or_else(|| {
+                            if maps_left == 0 {
+                                pending_reduce.pop()
+                            } else {
+                                None // reduce barrier: wait for maps
+                            }
+                        });
+                        match next {
+                            Some(task) => {
+                                *state = SlaveState::Busy {
+                                    task,
+                                    remaining: tasks[task].duration,
+                                };
+                            }
+                            None => break,
+                        }
+                    }
+                    SlaveState::Down => break,
+                }
+            }
+        }
+
+        if remaining_total == 0 {
+            return ScheduleOutcome {
+                status: ScheduleStatus::Completed,
+                slots_elapsed: t + 1,
+                completion_time: cfg.slot * (t + 1) as f64,
+                slave_interruptions: interruptions,
+                task_reschedules: reschedules,
+                master_up: master_up_log,
+                slaves_up: slaves_up_log,
+            };
+        }
+    }
+    ScheduleOutcome {
+        status: ScheduleStatus::TimedOut,
+        slots_elapsed: cfg.max_slots,
+        completion_time: cfg.slot * cfg.max_slots as f64,
+        slave_interruptions: interruptions,
+        task_reschedules: reschedules,
+        master_up: master_up_log,
+        slaves_up: slaves_up_log,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ScheduleConfig {
+        ScheduleConfig {
+            slot: Hours::from_minutes(5.0),
+            recovery: Hours::from_secs(30.0),
+            max_slots: 10_000,
+        }
+    }
+
+    fn tasks(map: usize, reduce: usize, minutes_each: f64) -> Vec<TaskSpec> {
+        let mut out = Vec::new();
+        for i in 0..map {
+            out.push(TaskSpec {
+                id: i,
+                phase: Phase::Map,
+                duration: Hours::from_minutes(minutes_each),
+            });
+        }
+        for i in 0..reduce {
+            out.push(TaskSpec {
+                id: map + i,
+                phase: Phase::Reduce,
+                duration: Hours::from_minutes(minutes_each),
+            });
+        }
+        out
+    }
+
+    fn always_up(slaves: usize) -> impl FnMut(usize) -> Availability {
+        move |_| Availability {
+            master: true,
+            slaves: vec![true; slaves],
+        }
+    }
+
+    #[test]
+    fn uninterrupted_run_completes_in_expected_slots() {
+        // 4 map + 2 reduce of 5 min each on 2 slaves:
+        // maps take 2 slots (2 waves), reduces 1 slot → 3 slots.
+        let out = simulate(&tasks(4, 2, 5.0), &cfg(), always_up(2));
+        assert_eq!(out.status, ScheduleStatus::Completed);
+        assert_eq!(out.slots_elapsed, 3);
+        assert_eq!(out.slave_interruptions, 0);
+        assert_eq!(out.task_reschedules, 0);
+    }
+
+    #[test]
+    fn reduce_waits_for_map_barrier() {
+        // 1 long map (10 min) + 1 reduce (10 min) on 2 slaves: the second
+        // slave may NOT start the reduce while the map runs, so the phases
+        // serialize: map over slots 0–1, reduce starts in slot 1 only after
+        // the map completes (same-slot barrier release), finishing slot 2.
+        let out = simulate(&tasks(1, 1, 10.0), &cfg(), always_up(2));
+        assert_eq!(out.status, ScheduleStatus::Completed);
+        assert_eq!(out.slots_elapsed, 3);
+        // Without the barrier both 10-minute tasks would run concurrently
+        // and finish in 2 slots — verify we are strictly slower than that.
+        assert!(out.slots_elapsed > 2);
+    }
+
+    #[test]
+    fn more_slaves_finish_faster() {
+        let t = tasks(8, 4, 5.0);
+        let s1 = simulate(&t, &cfg(), always_up(1)).slots_elapsed;
+        let s4 = simulate(&t, &cfg(), always_up(4)).slots_elapsed;
+        assert!(s4 < s1, "{s4} vs {s1}");
+        assert_eq!(
+            simulate(&t, &cfg(), always_up(1)).status,
+            ScheduleStatus::Completed
+        );
+    }
+
+    #[test]
+    fn slave_failure_reschedules_task() {
+        // One slave goes down in slot 1 while holding a 10-min map task;
+        // the other picks it up from scratch.
+        let t = tasks(2, 0, 10.0);
+        let mut out = simulate(&t, &cfg(), |slot| Availability {
+            master: true,
+            slaves: vec![slot != 1, true],
+        });
+        assert_eq!(out.status, ScheduleStatus::Completed);
+        assert_eq!(out.task_reschedules, 1);
+        assert_eq!(out.slave_interruptions, 1);
+        // Progress was lost: strictly slower than the clean 2-slave run.
+        let clean = simulate(&t, &cfg(), always_up(2));
+        assert!(out.slots_elapsed > clean.slots_elapsed);
+        // Recovery replay shows up: completion includes the extra work.
+        out.master_up.truncate(0); // (just exercising field access)
+    }
+
+    #[test]
+    fn master_failure_aborts() {
+        let t = tasks(4, 2, 5.0);
+        let out = simulate(&t, &cfg(), |slot| Availability {
+            master: slot < 2,
+            slaves: vec![true, true],
+        });
+        assert_eq!(out.status, ScheduleStatus::MasterFailed);
+        assert_eq!(out.slots_elapsed, 3);
+    }
+
+    #[test]
+    fn job_waits_for_master_to_appear() {
+        let t = tasks(2, 0, 5.0);
+        let out = simulate(&t, &cfg(), |slot| Availability {
+            master: slot >= 3,
+            slaves: vec![true],
+        });
+        assert_eq!(out.status, ScheduleStatus::Completed);
+        // 3 slots waiting + 2 slots working.
+        assert_eq!(out.slots_elapsed, 5);
+    }
+
+    #[test]
+    fn timeout_reported() {
+        let mut c = cfg();
+        c.max_slots = 2;
+        let out = simulate(&tasks(10, 0, 30.0), &c, always_up(1));
+        assert_eq!(out.status, ScheduleStatus::TimedOut);
+        assert_eq!(out.slots_elapsed, 2);
+    }
+
+    #[test]
+    fn uptime_logs_cover_all_slots() {
+        let t = tasks(4, 2, 5.0);
+        let out = simulate(&t, &cfg(), always_up(3));
+        assert_eq!(out.master_up.len(), out.slots_elapsed);
+        assert_eq!(out.slaves_up.len(), out.slots_elapsed);
+        assert!(out.slaves_up.iter().all(|&n| n == 3));
+    }
+
+    #[test]
+    fn short_tasks_pack_into_one_slot() {
+        // Four 1-minute maps on one slave fit in a single 5-minute slot.
+        let t = tasks(4, 0, 1.0);
+        let out = simulate(&t, &cfg(), always_up(1));
+        assert_eq!(out.status, ScheduleStatus::Completed);
+        assert_eq!(out.slots_elapsed, 1);
+    }
+}

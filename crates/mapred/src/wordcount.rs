@@ -1,0 +1,47 @@
+//! The §7.2 "Common Crawl Word Count" job.
+
+use crate::engine::MapReduceJob;
+
+/// Classic word count: map each document to `(word, 1)` pairs, reduce by
+/// summation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WordCount;
+
+impl MapReduceJob for WordCount {
+    type Key = String;
+    type Value = u64;
+    type Out = u64;
+
+    fn map(&self, doc: &str) -> Vec<(String, u64)> {
+        doc.split_whitespace().map(|w| (w.to_string(), 1)).collect()
+    }
+
+    fn reduce(&self, _key: &String, values: &[u64]) -> u64 {
+        values.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_emits_one_per_word() {
+        let pairs = WordCount.map("hello world hello");
+        assert_eq!(pairs.len(), 3);
+        assert!(pairs.iter().all(|(_, v)| *v == 1));
+        assert_eq!(pairs[0].0, "hello");
+    }
+
+    #[test]
+    fn reduce_sums() {
+        assert_eq!(WordCount.reduce(&"x".to_string(), &[1, 1, 1]), 3);
+        assert_eq!(WordCount.reduce(&"x".to_string(), &[]), 0);
+    }
+
+    #[test]
+    fn map_handles_whitespace() {
+        assert!(WordCount.map("").is_empty());
+        assert_eq!(WordCount.map("  a \t b\n").len(), 2);
+    }
+}

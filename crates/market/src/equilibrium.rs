@@ -1,0 +1,296 @@
+//! Queue equilibrium and the induced spot-price distribution (§4.2–4.3).
+//!
+//! Proposition 2: the bid queue is in equilibrium (`L(t+1) = L(t)`) exactly
+//! when the spot price is
+//!
+//! ```text
+//! π*(t) = h(Λ(t)) = (π̄ − β/(1 + Λ(t)/θ)) / 2,
+//! ```
+//!
+//! so at equilibrium the spot price is an i.i.d. monotone transform of the
+//! arrival process. Proposition 3 then derives the spot-price PDF from the
+//! arrival PDF through the inverse `h⁻¹(π) = θ·(β/(π̄ − 2π) − 1)`.
+//!
+//! The paper's Eq. 7 writes `f_π(π) ≜ f_Λ(h⁻¹(π))` and normalizes when
+//! fitting; the exact change-of-variables density carries the Jacobian
+//! `|dh⁻¹/dπ| = 2θβ/(π̄ − 2π)²`. Both forms are provided —
+//! [`price_pdf_paper`] is what Figure 3's fit uses, [`price_pdf_exact`] is
+//! what sampling from the model actually follows.
+
+use crate::params::MarketParams;
+use crate::units::Price;
+use spotbid_numerics::dist::ContinuousDist;
+use spotbid_numerics::rng::Rng;
+
+/// The equilibrium price map `h(Λ)` of Proposition 2, clamped into
+/// `[π_min, π̄]` (the provider never prices outside its bounds).
+pub fn equilibrium_price(params: &MarketParams, lambda: f64) -> Price {
+    Price::new(equilibrium_price_unclamped(params, lambda)).clamp(params.pi_min, params.pi_bar)
+}
+
+/// The raw `h(Λ) = (π̄ − β/(1 + Λ/θ))/2`, without clamping. Strictly
+/// increasing in `Λ`, with range `((π̄ − β)/2, π̄/2)` over `Λ ∈ (0, ∞)`.
+pub fn equilibrium_price_unclamped(params: &MarketParams, lambda: f64) -> f64 {
+    let lambda = lambda.max(0.0);
+    0.5 * (params.pi_bar.as_f64() - params.beta / (1.0 + lambda / params.theta))
+}
+
+/// The inverse map `h⁻¹(π) = θ·(β/(π̄ − 2π) − 1)` (Proposition 3).
+///
+/// Returns `None` when `π ≥ π̄/2` (outside `h`'s range: no finite arrival
+/// count produces such a price) and `f64::NEG_INFINITY`-free negative
+/// values for `π < (π̄ − β)/2` (prices below `h(0)`, reachable only through
+/// clamping; callers treat the corresponding arrival mass as zero).
+pub fn h_inverse(params: &MarketParams, price: Price) -> Option<f64> {
+    let pi_bar = params.pi_bar.as_f64();
+    let gap = pi_bar - 2.0 * price.as_f64();
+    if gap <= 0.0 {
+        return None;
+    }
+    Some(params.theta * (params.beta / gap - 1.0))
+}
+
+/// Derivative `dh⁻¹/dπ = 2θβ/(π̄ − 2π)²`, the Jacobian of the price→arrival
+/// change of variables. `None` when `π ≥ π̄/2`.
+pub fn h_inverse_derivative(params: &MarketParams, price: Price) -> Option<f64> {
+    let gap = params.pi_bar.as_f64() - 2.0 * price.as_f64();
+    if gap <= 0.0 {
+        return None;
+    }
+    Some(2.0 * params.theta * params.beta / (gap * gap))
+}
+
+/// The paper's Eq. 7 spot-price density: `f_Λ(h⁻¹(π))`, **without** the
+/// Jacobian. This is the form the paper fits to the empirical histograms in
+/// Figure 3 (normalization over the observed price range is applied by the
+/// fitting code). Zero outside `h`'s range.
+pub fn price_pdf_paper<D: ContinuousDist>(
+    params: &MarketParams,
+    arrivals: &D,
+    price: Price,
+) -> f64 {
+    match h_inverse(params, price) {
+        Some(lam) if lam >= 0.0 => arrivals.pdf(lam),
+        _ => 0.0,
+    }
+}
+
+/// The exact spot-price density under the equilibrium model:
+/// `f_π(π) = f_Λ(h⁻¹(π)) · |dh⁻¹/dπ|`. Integrates to 1 over `h`'s range
+/// when no arrival mass is clamped at `π_min`.
+pub fn price_pdf_exact<D: ContinuousDist>(
+    params: &MarketParams,
+    arrivals: &D,
+    price: Price,
+) -> f64 {
+    match (
+        h_inverse(params, price),
+        h_inverse_derivative(params, price),
+    ) {
+        (Some(lam), Some(jac)) if lam >= 0.0 => arrivals.pdf(lam) * jac,
+        _ => 0.0,
+    }
+}
+
+/// The equilibrium spot-price distribution induced by an arrival process:
+/// `π = clamp(h(Λ), π_min, π̄)` with `Λ ~ arrivals`.
+///
+/// This is a *mixed* distribution: prices in `(max(π_min, h(0)), π̄/2)`
+/// are continuous with density [`price_pdf_exact`], and there may be an
+/// atom at `π_min` carrying the mass of arrivals with `h(Λ) < π_min`
+/// (small demand clamped at the provider's floor). Because of the atom this
+/// type exposes `cdf`/`sample` directly rather than implementing
+/// [`ContinuousDist`].
+#[derive(Debug, Clone)]
+pub struct EquilibriumPrices<D> {
+    params: MarketParams,
+    arrivals: D,
+}
+
+impl<D: ContinuousDist> EquilibriumPrices<D> {
+    /// Couples market parameters with an arrival distribution.
+    pub fn new(params: MarketParams, arrivals: D) -> Self {
+        EquilibriumPrices { params, arrivals }
+    }
+
+    /// The market parameters.
+    pub fn params(&self) -> &MarketParams {
+        &self.params
+    }
+
+    /// The arrival distribution.
+    pub fn arrivals(&self) -> &D {
+        &self.arrivals
+    }
+
+    /// `P(π ≤ p)`. Right-continuous; the atom at `π_min` appears as
+    /// `cdf(π_min) > 0`.
+    pub fn cdf(&self, price: Price) -> f64 {
+        if price < self.params.pi_min {
+            return 0.0;
+        }
+        match h_inverse(&self.params, price) {
+            None => 1.0,
+            Some(lam) => {
+                if lam < 0.0 {
+                    0.0
+                } else {
+                    self.arrivals.cdf(lam)
+                }
+            }
+        }
+    }
+
+    /// Mass of the atom at `π_min`: `P(h(Λ) ≤ π_min)`.
+    pub fn floor_atom(&self) -> f64 {
+        self.cdf(self.params.pi_min)
+    }
+
+    /// Draws one equilibrium spot price.
+    pub fn sample(&self, rng: &mut Rng) -> Price {
+        equilibrium_price(&self.params, self.arrivals.sample(rng))
+    }
+
+    /// Draws `n` equilibrium spot prices.
+    pub fn sample_n(&self, rng: &mut Rng, n: usize) -> Vec<Price> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotbid_numerics::dist::{Exponential, Pareto};
+    use spotbid_numerics::integrate::adaptive_simpson;
+
+    fn params() -> MarketParams {
+        // Calibrated so h has a visible spread: β comparable to π̄, θ small.
+        MarketParams::new(Price::new(0.35), Price::new(0.02), 0.30, 0.02).unwrap()
+    }
+
+    #[test]
+    fn h_is_increasing_and_bounded() {
+        let m = params();
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..100 {
+            let lam = i as f64 * 0.01;
+            let h = equilibrium_price_unclamped(&m, lam);
+            assert!(h > last);
+            assert!(h < m.pi_bar.as_f64() / 2.0);
+            last = h;
+        }
+        // h(0) = (π̄ − β)/2.
+        let h0 = equilibrium_price_unclamped(&m, 0.0);
+        assert!((h0 - 0.5 * (0.35 - 0.30)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn h_inverse_roundtrip() {
+        let m = params();
+        for &lam in &[0.001, 0.01, 0.1, 1.0, 10.0] {
+            let p = equilibrium_price_unclamped(&m, lam);
+            let back = h_inverse(&m, Price::new(p)).unwrap();
+            assert!(
+                (back - lam).abs() < 1e-9 * (1.0 + lam),
+                "λ={lam}, back={back}"
+            );
+        }
+    }
+
+    #[test]
+    fn h_inverse_domain() {
+        let m = params();
+        // At or above π̄/2 no arrival count reproduces the price.
+        assert!(h_inverse(&m, Price::new(0.175)).is_none());
+        assert!(h_inverse(&m, Price::new(0.3)).is_none());
+        // Below h(0) the inverse is negative.
+        assert!(h_inverse(&m, Price::new(0.01)).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn equilibrium_price_clamps() {
+        let m = params();
+        // Tiny demand → h(Λ) ≈ (π̄−β)/2 = 0.025 > π_min = 0.02: no clamp.
+        assert!(equilibrium_price(&m, 0.0).as_f64() >= m.pi_min.as_f64());
+        // Negative arrival counts are treated as zero.
+        assert_eq!(equilibrium_price(&m, -5.0), equilibrium_price(&m, 0.0));
+    }
+
+    #[test]
+    fn exact_pdf_integrates_to_one_minus_atom() {
+        let m = params();
+        let arr = Exponential::new(0.05).unwrap();
+        let eq = EquilibriumPrices::new(m, arr);
+        let atom = eq.floor_atom();
+        let lo = m.pi_min.as_f64();
+        let hi = m.pi_bar.as_f64() / 2.0 - 1e-9;
+        let mass = adaptive_simpson(
+            |p| price_pdf_exact(&m, &arr, Price::new(p)),
+            lo,
+            hi,
+            1e-10,
+            30,
+        );
+        assert!(
+            (mass + atom - 1.0).abs() < 1e-3,
+            "continuous mass {mass} + atom {atom} != 1"
+        );
+    }
+
+    #[test]
+    fn cdf_matches_sampling() {
+        let m = params();
+        let arr = Pareto::new(0.005, 2.5).unwrap();
+        let eq = EquilibriumPrices::new(m, arr);
+        let mut rng = Rng::seed_from_u64(3);
+        let samples = eq.sample_n(&mut rng, 20_000);
+        for &q in &[0.03, 0.05, 0.08, 0.12, 0.16] {
+            let p = Price::new(q);
+            let emp = samples.iter().filter(|&&s| s <= p).count() as f64 / samples.len() as f64;
+            let ana = eq.cdf(p);
+            assert!(
+                (emp - ana).abs() < 0.015,
+                "at {q}: empirical {emp} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn cdf_boundaries() {
+        let m = params();
+        let eq = EquilibriumPrices::new(m, Exponential::new(0.05).unwrap());
+        assert_eq!(eq.cdf(Price::new(0.0)), 0.0);
+        assert_eq!(eq.cdf(m.pi_bar), 1.0);
+        assert_eq!(eq.cdf(Price::new(0.1751)), 1.0); // just above π̄/2
+    }
+
+    #[test]
+    fn paper_pdf_vs_exact_pdf_shapes() {
+        // Both decay in price for exponential arrivals, but only the exact
+        // form carries the Jacobian blow-up toward π̄/2; verify the two
+        // differ by exactly the Jacobian factor.
+        let m = params();
+        let arr = Exponential::new(0.05).unwrap();
+        for &p in &[0.03, 0.06, 0.1, 0.15] {
+            let price = Price::new(p);
+            let paper = price_pdf_paper(&m, &arr, price);
+            let exact = price_pdf_exact(&m, &arr, price);
+            let jac = h_inverse_derivative(&m, price).unwrap();
+            assert!((exact - paper * jac).abs() < 1e-12);
+        }
+        // Outside the range both vanish.
+        assert_eq!(price_pdf_paper(&m, &arr, Price::new(0.2)), 0.0);
+        assert_eq!(price_pdf_exact(&m, &arr, Price::new(0.2)), 0.0);
+    }
+
+    #[test]
+    fn floor_atom_grows_with_beta() {
+        // A larger utilization weight pushes h(Λ) down, clamping more mass
+        // at the floor.
+        let arr = Exponential::new(0.02).unwrap();
+        let mk = |beta| MarketParams::new(Price::new(0.35), Price::new(0.03), beta, 0.02).unwrap();
+        let small = EquilibriumPrices::new(mk(0.10), arr).floor_atom();
+        let large = EquilibriumPrices::new(mk(0.60), arr).floor_atom();
+        assert!(large > small, "{large} vs {small}");
+    }
+}

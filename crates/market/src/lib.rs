@@ -1,0 +1,82 @@
+//! # spotbid-market
+//!
+//! The cloud provider's side of *How to Bid the Cloud* (SIGCOMM 2015,
+//! Section 4): how spot prices are set, how the bid queue evolves, why it
+//! is stable, and what spot-price distribution emerges at equilibrium —
+//! plus a per-bid spot-market simulator implementing EC2's spot rules.
+//!
+//! ## Model summary
+//!
+//! Each slot the provider chooses the spot price to maximize revenue plus a
+//! concave utilization bonus (Eq. 1); under uniformly distributed bids the
+//! optimum has the closed form of Eq. 3 ([`provider::optimal_price`]).
+//! Unsatisfied persistent bids re-enter the queue (Eq. 4,
+//! [`queue::QueueSim`]); Proposition 1 shows the queue is Lyapunov-stable
+//! ([`lyapunov`]); Proposition 2 identifies the equilibrium where the spot
+//! price becomes the i.i.d. transform `π = h(Λ)` of the arrival process,
+//! and Proposition 3 derives the resulting spot-price PDF
+//! ([`equilibrium`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use spotbid_market::params::MarketParams;
+//! use spotbid_market::provider::optimal_price;
+//! use spotbid_market::units::Price;
+//!
+//! let m = MarketParams::new(Price::new(0.35), Price::new(0.02), 0.05, 0.02).unwrap();
+//! // More demand → higher optimal spot price, capped at the on-demand price.
+//! assert!(optimal_price(&m, 100.0) > optimal_price(&m, 1.0));
+//! assert!(optimal_price(&m, 1e12) <= m.pi_bar);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod equilibrium;
+pub mod lyapunov;
+pub mod params;
+pub mod provider;
+pub mod queue;
+pub mod sim;
+pub mod units;
+
+pub use params::MarketParams;
+pub use units::{Cost, Hours, Price};
+
+use std::fmt;
+
+/// Errors produced by the market crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MarketError {
+    /// Market parameters violate their invariants.
+    InvalidParams {
+        /// Human-readable description of the violated invariant.
+        what: String,
+    },
+}
+
+impl fmt::Display for MarketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarketError::InvalidParams { what } => write!(f, "invalid market parameters: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MarketError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = MarketError::InvalidParams {
+            what: "beta must be >= 0".into(),
+        };
+        assert!(e.to_string().contains("beta"));
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&e);
+    }
+}

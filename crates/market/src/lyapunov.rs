@@ -1,0 +1,192 @@
+//! Lyapunov stability of the bid queue (Proposition 1).
+//!
+//! With the Lyapunov function `V(L) = L²/2` and drift
+//! `Δ(t) = V(L(t+1)) − V(L(t))`, Proposition 1 bounds the conditional
+//! expected drift by
+//!
+//! ```text
+//! E[Δ(t) | L(t)] ≤ (π̄ − π_min)·λ²/(2θπ̄) + σ/2 − ε·L(t),
+//! ε = θλπ̄ / (4(π̄ − π_min)),
+//! ```
+//!
+//! for arrivals with mean `λ` and variance `σ`. A drift that is negative
+//! for large `L` implies the time-averaged queue is uniformly bounded
+//! (Foster–Lyapunov), i.e. persistent bid resubmission cannot pile up
+//! unboundedly. This module provides the analytic bound and estimators of
+//! the empirical conditional drift from simulated queue paths; the
+//! stability experiment checks the former dominates the latter.
+
+use crate::params::MarketParams;
+use crate::queue::QueueStep;
+
+/// The drift coefficient `ε = θλπ̄ / (4(π̄ − π_min))` from Proposition 1.
+pub fn epsilon(params: &MarketParams, lambda_mean: f64) -> f64 {
+    params.theta * lambda_mean * params.pi_bar.as_f64() / (4.0 * params.spread().as_f64())
+}
+
+/// Proposition 1's upper bound on `E[Δ(t) | L(t) = l]`.
+pub fn drift_bound(params: &MarketParams, lambda_mean: f64, lambda_var: f64, l: f64) -> f64 {
+    let spread = params.spread().as_f64();
+    spread * lambda_mean * lambda_mean / (2.0 * params.theta * params.pi_bar.as_f64())
+        + lambda_var / 2.0
+        - epsilon(params, lambda_mean) * l
+}
+
+/// The queue size above which Proposition 1 guarantees strictly negative
+/// expected drift (the bound's zero crossing). Infinite when `ε = 0`.
+pub fn negative_drift_threshold(params: &MarketParams, lambda_mean: f64, lambda_var: f64) -> f64 {
+    let e = epsilon(params, lambda_mean);
+    if e <= 0.0 {
+        return f64::INFINITY;
+    }
+    let spread = params.spread().as_f64();
+    (spread * lambda_mean * lambda_mean / (2.0 * params.theta * params.pi_bar.as_f64())
+        + lambda_var / 2.0)
+        / e
+}
+
+/// One-step realized drift `Δ = (L(t+1)² − L(t)²)/2`.
+pub fn realized_drift(step: &QueueStep) -> f64 {
+    0.5 * (step.l_next * step.l_next - step.l * step.l)
+}
+
+/// Empirical estimate of the conditional drift `E[Δ | L ∈ bucket]` from a
+/// simulated queue path, bucketing `L` into `n_buckets` equal-width bins
+/// over the observed range.
+///
+/// Returns `(bucket_center, mean_drift, count)` for each non-empty bucket.
+pub fn conditional_drift(steps: &[QueueStep], n_buckets: usize) -> Vec<(f64, f64, usize)> {
+    if steps.is_empty() || n_buckets == 0 {
+        return Vec::new();
+    }
+    let lo = steps.iter().map(|s| s.l).fold(f64::INFINITY, f64::min);
+    let hi = steps.iter().map(|s| s.l).fold(f64::NEG_INFINITY, f64::max);
+    let width = if hi > lo {
+        (hi - lo) / n_buckets as f64
+    } else {
+        1.0
+    };
+    let mut sums = vec![0.0; n_buckets];
+    let mut counts = vec![0usize; n_buckets];
+    for s in steps {
+        let i = (((s.l - lo) / width) as usize).min(n_buckets - 1);
+        sums[i] += realized_drift(s);
+        counts[i] += 1;
+    }
+    (0..n_buckets)
+        .filter(|&i| counts[i] > 0)
+        .map(|i| {
+            (
+                lo + (i as f64 + 0.5) * width,
+                sums[i] / counts[i] as f64,
+                counts[i],
+            )
+        })
+        .collect()
+}
+
+/// Time-averaged queue length over a path — the quantity Proposition 1
+/// proves uniformly bounded.
+pub fn time_averaged_queue(steps: &[QueueStep]) -> f64 {
+    if steps.is_empty() {
+        return 0.0;
+    }
+    steps.iter().map(|s| s.l).sum::<f64>() / steps.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::QueueSim;
+    use crate::units::Price;
+    use spotbid_numerics::dist::{ContinuousDist, Exponential, Pareto};
+    use spotbid_numerics::rng::Rng;
+
+    fn params() -> MarketParams {
+        MarketParams::new(Price::new(0.35), Price::new(0.02), 0.05, 0.02).unwrap()
+    }
+
+    #[test]
+    fn bound_is_linear_decreasing_in_l() {
+        let m = params();
+        let b0 = drift_bound(&m, 1.0, 0.5, 0.0);
+        let b1 = drift_bound(&m, 1.0, 0.5, 100.0);
+        let b2 = drift_bound(&m, 1.0, 0.5, 200.0);
+        assert!(b1 < b0);
+        assert!((b2 - b1) - (b1 - b0) < 1e-9, "must be affine in L");
+        assert!(epsilon(&m, 1.0) > 0.0);
+    }
+
+    #[test]
+    fn threshold_is_bound_zero_crossing() {
+        let m = params();
+        let l0 = negative_drift_threshold(&m, 1.0, 0.5);
+        assert!(drift_bound(&m, 1.0, 0.5, l0).abs() < 1e-9);
+        assert!(drift_bound(&m, 1.0, 0.5, l0 * 1.01) < 0.0);
+        assert_eq!(negative_drift_threshold(&m, 0.0, 0.5), f64::INFINITY);
+    }
+
+    #[test]
+    fn drift_negative_for_large_queues_empirically() {
+        // Simulate with exponential arrivals; the conditional drift in the
+        // top L-buckets must be negative (the queue pulls back).
+        let m = params();
+        let sim = QueueSim::new(m);
+        let arr = Exponential::new(1.0).unwrap();
+        let mut rng = Rng::seed_from_u64(11);
+        let lambdas: Vec<f64> = (0..200_000).map(|_| arr.sample(&mut rng)).collect();
+        // Start far above equilibrium to populate large-L buckets.
+        let steps = sim.run(5.0 * sim.equilibrium_demand(1.0), lambdas);
+        let buckets = conditional_drift(&steps, 20);
+        assert!(!buckets.is_empty());
+        let top = buckets.last().unwrap();
+        assert!(
+            top.1 < 0.0,
+            "drift in top bucket (L≈{}) is {} — queue not mean-reverting",
+            top.0,
+            top.1
+        );
+    }
+
+    #[test]
+    fn time_averaged_queue_bounded_for_stable_arrivals() {
+        // Pareto arrivals with finite mean and variance (α > 2): the paper's
+        // stability condition holds and the time-averaged queue approaches a
+        // finite value independent of horizon.
+        let m = params();
+        let sim = QueueSim::new(m);
+        let arr = Pareto::new(0.5, 3.0).unwrap();
+        let mut rng = Rng::seed_from_u64(13);
+        let run = |n: usize, rng: &mut Rng| {
+            let lambdas: Vec<f64> = (0..n).map(|_| arr.sample(rng)).collect();
+            time_averaged_queue(&sim.run(0.0, lambdas))
+        };
+        let short = run(50_000, &mut rng);
+        let long = run(200_000, &mut rng);
+        assert!(
+            (long - short).abs() / short < 0.1,
+            "time-average not settling: {short} vs {long}"
+        );
+    }
+
+    #[test]
+    fn realized_drift_identity() {
+        let m = params();
+        let sim = QueueSim::new(m);
+        let s = sim.step(0, 50.0, 2.0);
+        assert!((realized_drift(&s) - 0.5 * (s.l_next.powi(2) - 2500.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn conditional_drift_handles_degenerate_input() {
+        assert!(conditional_drift(&[], 10).is_empty());
+        let m = params();
+        let sim = QueueSim::new(m);
+        let steps = sim.run(10.0, vec![1.0]);
+        assert!(conditional_drift(&steps, 0).is_empty());
+        let one = conditional_drift(&steps, 5);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].2, 1);
+        assert_eq!(time_averaged_queue(&[]), 0.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Provider-side market parameters.
+
+use crate::units::Price;
+use crate::MarketError;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the provider's spot-price optimization (§4.1).
+///
+/// | field    | paper symbol | meaning |
+/// |----------|--------------|---------|
+/// | `pi_bar` | `π̄`          | on-demand price: the cap on the spot price |
+/// | `pi_min` | `π`          | minimum spot price: the provider's marginal cost |
+/// | `beta`   | `β`          | weight of the capacity-utilization term `β log(1+N)` |
+/// | `theta`  | `θ`          | fraction of running instances that finish per slot |
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MarketParams {
+    /// On-demand price `π̄` — the maximum spot price.
+    pub pi_bar: Price,
+    /// Minimum spot price `π` — the provider's marginal cost of a spot
+    /// instance.
+    pub pi_min: Price,
+    /// Utilization weight `β ≥ 0` in the provider objective.
+    pub beta: f64,
+    /// Per-slot completion fraction `θ ∈ (0, 1]` in the queue dynamics.
+    pub theta: f64,
+}
+
+impl MarketParams {
+    /// Creates and validates market parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`MarketError::InvalidParams`] when any field is non-finite,
+    /// `pi_min` is not in `[0, pi_bar)`, `beta < 0`, or `theta` is outside
+    /// `(0, 1]`.
+    pub fn new(pi_bar: Price, pi_min: Price, beta: f64, theta: f64) -> Result<Self, MarketError> {
+        let p = MarketParams {
+            pi_bar,
+            pi_min,
+            beta,
+            theta,
+        };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Validates the invariants listed on [`MarketParams::new`].
+    pub fn validate(&self) -> Result<(), MarketError> {
+        if !self.pi_bar.is_valid_price() || self.pi_bar <= Price::ZERO {
+            return Err(MarketError::InvalidParams {
+                what: "pi_bar must be a finite positive price".into(),
+            });
+        }
+        if !self.pi_min.is_valid_price() || self.pi_min >= self.pi_bar {
+            return Err(MarketError::InvalidParams {
+                what: "pi_min must satisfy 0 <= pi_min < pi_bar".into(),
+            });
+        }
+        if !self.beta.is_finite() || self.beta < 0.0 {
+            return Err(MarketError::InvalidParams {
+                what: "beta must be finite and >= 0".into(),
+            });
+        }
+        if !self.theta.is_finite() || self.theta <= 0.0 || self.theta > 1.0 {
+            return Err(MarketError::InvalidParams {
+                what: "theta must lie in (0, 1]".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Price spread `π̄ − π`, the denominator of the accepted-bid fraction.
+    pub fn spread(&self) -> Price {
+        self.pi_bar - self.pi_min
+    }
+
+    /// The paper's standing assumption `β ≤ (L+1)(π̄ − 2π)`, under which
+    /// the optimal spot price stays strictly above `π` (see the discussion
+    /// after Eq. 3).
+    pub fn beta_assumption_holds(&self, l: f64) -> bool {
+        self.beta <= (l + 1.0) * (self.pi_bar.as_f64() - 2.0 * self.pi_min.as_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(pi_bar: f64, pi_min: f64, beta: f64, theta: f64) -> Result<MarketParams, MarketError> {
+        MarketParams::new(Price::new(pi_bar), Price::new(pi_min), beta, theta)
+    }
+
+    #[test]
+    fn accepts_paper_like_params() {
+        // Figure 3 caption scale: β = 0.3..1.2, θ = 0.02.
+        assert!(p(0.35, 0.03, 0.3, 0.02).is_ok());
+        assert!(p(0.28, 0.0, 0.6, 0.02).is_ok());
+    }
+
+    #[test]
+    fn rejects_invalid_params() {
+        assert!(p(0.0, 0.0, 0.1, 0.02).is_err()); // zero on-demand
+        assert!(p(-1.0, 0.0, 0.1, 0.02).is_err());
+        assert!(p(0.35, 0.35, 0.1, 0.02).is_err()); // pi_min == pi_bar
+        assert!(p(0.35, 0.5, 0.1, 0.02).is_err()); // pi_min > pi_bar
+        assert!(p(0.35, -0.1, 0.1, 0.02).is_err());
+        assert!(p(0.35, 0.03, -0.1, 0.02).is_err()); // negative beta
+        assert!(p(0.35, 0.03, f64::NAN, 0.02).is_err());
+        assert!(p(0.35, 0.03, 0.1, 0.0).is_err()); // theta = 0
+        assert!(p(0.35, 0.03, 0.1, 1.5).is_err()); // theta > 1
+    }
+
+    #[test]
+    fn spread_and_beta_assumption() {
+        let m = p(0.35, 0.05, 0.2, 0.02).unwrap();
+        assert!((m.spread().as_f64() - 0.30).abs() < 1e-12);
+        // (L+1)(pi_bar - 2 pi_min) = (L+1) * 0.25.
+        assert!(m.beta_assumption_holds(0.0)); // 0.2 <= 0.25
+        let tight = p(0.35, 0.05, 0.3, 0.02).unwrap();
+        assert!(!tight.beta_assumption_holds(0.0)); // 0.3 > 0.25
+        assert!(tight.beta_assumption_holds(1.0)); // 0.3 <= 0.5
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = p(0.35, 0.03, 0.3, 0.02).unwrap();
+        let s = serde_json::to_string(&m).unwrap();
+        let back: MarketParams = serde_json::from_str(&s).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,326 @@
+//! The provider's per-slot spot-price optimization (§4.1).
+//!
+//! In each slot the provider chooses `π(t)` to maximize
+//!
+//! ```text
+//! β·log(1 + N(t)) + π(t)·N(t),    N(t) = L(t)·(π̄ − π(t))/(π̄ − π)
+//! ```
+//!
+//! subject to `π ≤ π(t) ≤ π̄` (Eq. 1): revenue plus a concave capacity-
+//! utilization bonus, under the uniform-bid-distribution assumption that
+//! makes the accepted-bid count `N` linear in the price. The first-order
+//! condition is Eq. 2; solving the resulting quadratic gives Eq. 3's closed
+//! form, implemented here and cross-checked against direct numerical
+//! maximization in the tests.
+
+use crate::params::MarketParams;
+use crate::units::Price;
+
+/// The provider's objective (Eq. 1) at demand `l` and price `price`.
+///
+/// Prices outside `[π, π̄]` are evaluated as-is (useful for plotting); the
+/// accepted count is clamped at 0 so `N` never goes negative above `π̄`.
+pub fn objective(params: &MarketParams, l: f64, price: Price) -> f64 {
+    let n = accepted_bids(params, l, price);
+    params.beta * (1.0 + n).ln() + price.as_f64() * n
+}
+
+/// Number of accepted bids `N(t) = L·(π̄ − π)/(π̄ − π_min)`, clamped to
+/// `[0, L]` (the fraction of the uniformly distributed bids above `price`).
+pub fn accepted_bids(params: &MarketParams, l: f64, price: Price) -> f64 {
+    let frac = (params.pi_bar - price) / params.spread();
+    l * frac.clamp(0.0, 1.0)
+}
+
+/// The revenue-maximizing spot price `π*(t)` of Eq. 3, in closed form.
+///
+/// Derivation: with `k = (π̄ − π_min)/L`, the first-order condition (Eq. 2)
+/// reduces to the quadratic `2π² − (3π̄ + 2k)π + π̄² + kπ̄ − kβ = 0`, whose
+/// relevant root is
+///
+/// ```text
+/// π* = (3π̄ + 2k − √((π̄ + 2k)² + 8kβ)) / 4
+/// ```
+///
+/// clamped to `[π_min, π̄]`.
+///
+/// The price *increases* with demand: as `L → 0⁺` the utilization bonus
+/// dominates and `π* → (π̄ − β)/2` (for small `N`, the objective is
+/// `≈ N·(β + π)`, maximized at `(π̄ − β)/2`); as `L → ∞` it approaches the
+/// classic linear-demand revenue maximizer `π̄/2` from below. A larger `β`
+/// (more weight on utilization) lowers the price, exactly as the paper
+/// notes. `l <= 0` (no demand) returns the `L → 0⁺` limit, keeping the
+/// price path continuous when a simulated market momentarily empties.
+pub fn optimal_price(params: &MarketParams, l: f64) -> Price {
+    let pi_bar = params.pi_bar.as_f64();
+    let pi_min = params.pi_min.as_f64();
+    if l <= 0.0 {
+        return Price::new(0.5 * (pi_bar - params.beta)).clamp(params.pi_min, params.pi_bar);
+    }
+    let k = (pi_bar - pi_min) / l;
+    let disc = (pi_bar + 2.0 * k).powi(2) + 8.0 * k * params.beta;
+    let root = (3.0 * pi_bar + 2.0 * k - disc.sqrt()) / 4.0;
+    Price::new(root).clamp(params.pi_min, params.pi_bar)
+}
+
+/// The market-clearing price for a capacity of `capacity` instances: the
+/// lowest price at which accepted bids fit, `π_c = π̄ − C·(π̄−π_min)/L`,
+/// clamped to `[π_min, π̄]` (§4.1 mentions "other objectives, such as
+/// clearing the market" as alternatives to revenue maximization; §8
+/// returns to the theme). With demand below capacity the floor clears.
+pub fn clearing_price(params: &MarketParams, l: f64, capacity: f64) -> Price {
+    if l <= 0.0 || capacity <= 0.0 {
+        return if capacity <= 0.0 {
+            params.pi_bar
+        } else {
+            params.pi_min
+        };
+    }
+    let raw = params.pi_bar.as_f64() - capacity * params.spread().as_f64() / l;
+    Price::new(raw).clamp(params.pi_min, params.pi_bar)
+}
+
+/// The social-welfare-maximizing price (§8's "social welfare" provider
+/// objective): with uniformly distributed user valuations and a marginal
+/// serving cost of `π_min`, welfare
+/// `W(π) = L/(π̄−π_min)·∫_π^π̄ (v − π_min) dv + β·log(1 + N(π))`
+/// is strictly decreasing in the price — every user whose value exceeds
+/// the marginal cost should be served — so the optimum is the floor
+/// `π_min`. Returned as a function (rather than a constant) to keep the
+/// three objectives interchangeable in the ablations.
+pub fn welfare_price(params: &MarketParams, _l: f64) -> Price {
+    params.pi_min
+}
+
+/// The social-welfare objective value at a price (for plotting and for
+/// verifying [`welfare_price`] numerically): served users' surplus over
+/// the marginal cost plus the utilization bonus.
+pub fn welfare(params: &MarketParams, l: f64, price: Price) -> f64 {
+    let pi_bar = params.pi_bar.as_f64();
+    let pi_min = params.pi_min.as_f64();
+    let p = price.as_f64().clamp(pi_min, pi_bar);
+    // ∫_p^π̄ (v − π_min) dv, scaled by the bid density L/(π̄ − π_min).
+    let surplus = (pi_bar - p) * (0.5 * (pi_bar + p) - pi_min);
+    let n = accepted_bids(params, l, price);
+    l / params.spread().as_f64() * surplus + params.beta * (1.0 + n).ln()
+}
+
+/// Left-hand side of the first-order condition Eq. 2, as a function of the
+/// candidate price:
+///
+/// ```text
+/// resid(π) = L − (π̄ − π_min)/(π̄ − π) · (β/(π̄ − 2π) − 1)
+/// ```
+///
+/// Zero at the unconstrained optimum; exposed for diagnostics and tests.
+pub fn foc_residual(params: &MarketParams, l: f64, price: Price) -> f64 {
+    let pi_bar = params.pi_bar.as_f64();
+    let pi_min = params.pi_min.as_f64();
+    let p = price.as_f64();
+    l - (pi_bar - pi_min) / (pi_bar - p) * (params.beta / (pi_bar - 2.0 * p) - 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotbid_numerics::optimize::grid_min_refine;
+
+    fn params(pi_bar: f64, pi_min: f64, beta: f64) -> MarketParams {
+        MarketParams::new(Price::new(pi_bar), Price::new(pi_min), beta, 0.02).unwrap()
+    }
+
+    #[test]
+    fn zero_beta_large_l_gives_half_on_demand() {
+        let m = params(0.40, 0.0, 0.0);
+        let p = optimal_price(&m, 1e9);
+        assert!((p.as_f64() - 0.20).abs() < 1e-6, "expected π̄/2, got {p}");
+    }
+
+    #[test]
+    fn closed_form_matches_numeric_maximization() {
+        for &(pi_bar, pi_min, beta) in &[
+            (0.35, 0.01, 0.0),
+            (0.35, 0.01, 0.05),
+            (0.28, 0.0, 0.1),
+            (1.68, 0.1, 0.5),
+            (0.84, 0.05, 0.02),
+        ] {
+            let m = params(pi_bar, pi_min, beta);
+            for &l in &[0.5, 1.0, 5.0, 50.0, 1000.0] {
+                let closed = optimal_price(&m, l);
+                let (num, _) = grid_min_refine(
+                    |p| -objective(&m, l, Price::new(p)),
+                    pi_min,
+                    pi_bar,
+                    2001,
+                    6,
+                )
+                .unwrap();
+                assert!(
+                    (closed.as_f64() - num).abs() < 2e-4,
+                    "π̄={pi_bar} π_min={pi_min} β={beta} L={l}: closed {closed} vs numeric {num}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interior_optimum_satisfies_first_order_condition() {
+        let m = params(0.35, 0.01, 0.05);
+        let l = 20.0;
+        let p = optimal_price(&m, l);
+        assert!(p > m.pi_min && p < m.pi_bar, "interior optimum expected");
+        assert!(
+            foc_residual(&m, l, p).abs() < 1e-6,
+            "FOC residual {}",
+            foc_residual(&m, l, p)
+        );
+    }
+
+    #[test]
+    fn higher_beta_lowers_price() {
+        // "More weight on the utilization term leads to a lower spot price."
+        let l = 10.0;
+        let mut last = f64::INFINITY;
+        for &beta in &[0.0, 0.05, 0.1, 0.2, 0.4] {
+            let m = params(0.35, 0.0, beta);
+            let p = optimal_price(&m, l).as_f64();
+            assert!(p <= last + 1e-12, "β={beta}: {p} vs {last}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn higher_beta_accepts_more_bids() {
+        let l = 10.0;
+        let lo = params(0.35, 0.0, 0.0);
+        let hi = params(0.35, 0.0, 0.3);
+        let n_lo = accepted_bids(&lo, l, optimal_price(&lo, l));
+        let n_hi = accepted_bids(&hi, l, optimal_price(&hi, l));
+        assert!(n_hi > n_lo, "{n_hi} vs {n_lo}");
+    }
+
+    #[test]
+    fn price_monotone_in_demand() {
+        // More demand → provider can charge more.
+        let m = params(0.35, 0.01, 0.05);
+        let mut last = 0.0;
+        for &l in &[0.1, 1.0, 10.0, 100.0, 10_000.0] {
+            let p = optimal_price(&m, l).as_f64();
+            assert!(p >= last - 1e-12, "L={l}: {p} < {last}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn no_demand_matches_small_l_limit() {
+        let m = params(0.35, 0.01, 0.05);
+        let at_zero = optimal_price(&m, 0.0);
+        assert!((at_zero.as_f64() - 0.5 * (0.35 - 0.05)).abs() < 1e-12);
+        assert_eq!(optimal_price(&m, -3.0), at_zero);
+        // Continuity: tiny positive demand lands near the L → 0 limit.
+        let tiny = optimal_price(&m, 1e-9);
+        assert!((tiny.as_f64() - at_zero.as_f64()).abs() < 1e-6);
+        // Large beta clamps at the floor.
+        let heavy = params(0.35, 0.01, 10.0);
+        assert_eq!(optimal_price(&heavy, 0.0), heavy.pi_min);
+    }
+
+    #[test]
+    fn price_bracketed_by_model_limits() {
+        // π* ∈ [(π̄ − β)/2, π̄/2] before clamping: low demand sits at the
+        // utilization-driven floor, high demand at the revenue ceiling.
+        let m = params(0.35, 0.0, 0.05);
+        assert!(optimal_price(&m, 1e-6).as_f64() >= 0.5 * (0.35 - 0.05) - 1e-9);
+        assert!(optimal_price(&m, 1e12).as_f64() <= 0.5 * 0.35 + 1e-9);
+    }
+
+    #[test]
+    fn price_always_within_bounds() {
+        for &beta in &[0.0, 0.1, 1.0, 10.0] {
+            let m = params(0.35, 0.03, beta);
+            for &l in &[1e-6, 0.3, 1.0, 7.0, 1e4] {
+                let p = optimal_price(&m, l);
+                assert!(p >= m.pi_min && p <= m.pi_bar, "β={beta}, L={l}: {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn clearing_price_fills_capacity() {
+        let m = params(0.35, 0.05, 0.0);
+        // Demand 10, capacity 4: clear at π with N(π) = 4.
+        let p = clearing_price(&m, 10.0, 4.0);
+        assert!((accepted_bids(&m, 10.0, p) - 4.0).abs() < 1e-9);
+        // Excess capacity clears at the floor; zero capacity prices at cap.
+        assert_eq!(clearing_price(&m, 2.0, 10.0), m.pi_min);
+        assert_eq!(clearing_price(&m, 10.0, 0.0), m.pi_bar);
+        assert_eq!(clearing_price(&m, 0.0, 5.0), m.pi_min);
+        // Tighter capacity → higher clearing price.
+        assert!(clearing_price(&m, 10.0, 2.0) > clearing_price(&m, 10.0, 8.0));
+    }
+
+    #[test]
+    fn welfare_price_is_the_floor_and_welfare_decreases() {
+        let m = params(0.35, 0.05, 0.1);
+        assert_eq!(welfare_price(&m, 10.0), m.pi_min);
+        // Welfare is maximal at the floor across a grid.
+        let best = welfare(&m, 10.0, m.pi_min);
+        for i in 1..=20 {
+            let p = Price::new(0.05 + (0.35 - 0.05) * i as f64 / 20.0);
+            assert!(welfare(&m, 10.0, p) <= best + 1e-9, "at {p}");
+        }
+    }
+
+    #[test]
+    fn objective_ordering_revenue_above_clearing_above_welfare() {
+        // With tight capacity the three §8 objectives order naturally:
+        // welfare (floor) ≤ clearing ≤ revenue-max is not universal, but
+        // revenue-max always weakly exceeds the welfare floor, and the
+        // clearing price approaches the cap as capacity shrinks.
+        let m = params(0.35, 0.02, 0.05);
+        let l = 50.0;
+        let revenue = optimal_price(&m, l);
+        assert!(revenue >= welfare_price(&m, l));
+        assert!(clearing_price(&m, l, 1.0) > clearing_price(&m, l, 40.0));
+    }
+
+    #[test]
+    fn accepted_bids_clamped() {
+        let m = params(0.35, 0.05, 0.0);
+        assert_eq!(accepted_bids(&m, 10.0, Price::new(0.35)), 0.0);
+        assert_eq!(accepted_bids(&m, 10.0, Price::new(0.05)), 10.0);
+        assert_eq!(accepted_bids(&m, 10.0, Price::new(0.01)), 10.0); // clamped
+        assert_eq!(accepted_bids(&m, 10.0, Price::new(0.40)), 0.0); // clamped
+        let mid = accepted_bids(&m, 10.0, Price::new(0.20));
+        assert!((mid - 5.0).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn optimal_price_bounded_and_beats_grid(
+            pi_bar in 0.1f64..2.0,
+            pi_min_frac in 0.0f64..0.4,
+            beta in 0.0f64..0.5,
+            l in 0.01f64..1e4,
+        ) {
+            let pi_min = pi_bar * pi_min_frac;
+            let m = MarketParams::new(Price::new(pi_bar), Price::new(pi_min), beta, 0.02).unwrap();
+            let p = optimal_price(&m, l);
+            prop_assert!(p >= m.pi_min && p <= m.pi_bar);
+            // The closed form is at least as good as any coarse grid point.
+            let best = objective(&m, l, p);
+            for i in 0..=50 {
+                let cand = Price::new(pi_min + (pi_bar - pi_min) * i as f64 / 50.0);
+                prop_assert!(objective(&m, l, cand) <= best + 1e-9,
+                             "grid point {cand} beats closed form {p}");
+            }
+        }
+    }
+}

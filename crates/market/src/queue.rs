@@ -1,0 +1,210 @@
+//! Flow-level bid-queue dynamics (§4.2, Figure 2).
+//!
+//! At the start of slot `t` there are `L(t)` competing bids (carried-over
+//! persistent requests plus new arrivals). The provider posts the optimal
+//! price (Eq. 3), accepting `N(t) = L(t)·(π̄ − π*)/(π̄ − π_min)` of them; a
+//! fraction `θ` of the running instances finishes, and the remainder
+//! re-competes next slot together with `Λ(t)` fresh arrivals:
+//!
+//! ```text
+//! L(t+1) = (1 − θ·(π̄ − π*(t))/(π̄ − π_min))·L(t) + Λ(t)        (Eq. 4)
+//! ```
+//!
+//! [`QueueSim`] iterates this recursion; `spotbid-bench`'s stability
+//! experiment uses it to verify Propositions 1 and 2 numerically.
+
+use crate::params::MarketParams;
+use crate::provider::{accepted_bids, optimal_price};
+use crate::units::Price;
+use serde::{Deserialize, Serialize};
+
+/// One slot of the flow-level queue recursion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueueStep {
+    /// Slot index.
+    pub t: u64,
+    /// Demand `L(t)` at the start of the slot (before this slot's price).
+    pub l: f64,
+    /// Fresh arrivals `Λ(t)` during the slot.
+    pub arrivals: f64,
+    /// The optimal spot price `π*(t)` posted for the slot.
+    pub price: Price,
+    /// Accepted (running) bids `N(t)`.
+    pub accepted: f64,
+    /// Departures `θ·N(t)` (finished jobs and exiting one-time requests).
+    pub departed: f64,
+    /// Demand carried into the next slot, `L(t+1)`.
+    pub l_next: f64,
+}
+
+/// Iterates the Eq. 4 queue recursion under a given market.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueSim {
+    params: MarketParams,
+}
+
+impl QueueSim {
+    /// Creates a queue simulator for the given market parameters.
+    pub fn new(params: MarketParams) -> Self {
+        QueueSim { params }
+    }
+
+    /// The market parameters.
+    pub fn params(&self) -> &MarketParams {
+        &self.params
+    }
+
+    /// Advances one slot from demand `l` with fresh arrivals `lambda`.
+    pub fn step(&self, t: u64, l: f64, lambda: f64) -> QueueStep {
+        let l = l.max(0.0);
+        let lambda = lambda.max(0.0);
+        let price = optimal_price(&self.params, l);
+        let accepted = accepted_bids(&self.params, l, price);
+        let departed = self.params.theta * accepted;
+        QueueStep {
+            t,
+            l,
+            arrivals: lambda,
+            price,
+            accepted,
+            departed,
+            l_next: l - departed + lambda,
+        }
+    }
+
+    /// Runs the recursion from `l0` over a sequence of arrivals, returning
+    /// every step.
+    pub fn run(&self, l0: f64, arrivals: impl IntoIterator<Item = f64>) -> Vec<QueueStep> {
+        let mut l = l0;
+        let mut out = Vec::new();
+        for (t, lambda) in arrivals.into_iter().enumerate() {
+            let step = self.step(t as u64, l, lambda);
+            l = step.l_next;
+            out.push(step);
+        }
+        out
+    }
+
+    /// The fixed-point demand for constant arrivals `λ`: the `L` with
+    /// `θ·N(L) = λ`, i.e. `L = λ·(π̄ − π_min)/(θ·(π̄ − π*(L)))` (Eq. 21).
+    /// Solved by fixed-point iteration; converges because the right-hand
+    /// side is a contraction in the relevant range.
+    pub fn equilibrium_demand(&self, lambda: f64) -> f64 {
+        let spread = self.params.spread().as_f64();
+        let mut l = lambda.max(1e-9) / self.params.theta;
+        for _ in 0..10_000 {
+            let price = optimal_price(&self.params, l);
+            let next =
+                lambda * spread / (self.params.theta * (self.params.pi_bar - price).as_f64());
+            if (next - l).abs() < 1e-12 * (1.0 + l) {
+                return next;
+            }
+            // Damped update for stability at small L.
+            l = 0.5 * l + 0.5 * next;
+        }
+        l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equilibrium::equilibrium_price;
+
+    fn sim() -> QueueSim {
+        QueueSim::new(MarketParams::new(Price::new(0.35), Price::new(0.02), 0.05, 0.02).unwrap())
+    }
+
+    #[test]
+    fn conservation_per_slot() {
+        let s = sim();
+        let step = s.step(0, 100.0, 3.0);
+        assert!((step.l_next - (step.l - step.departed + step.arrivals)).abs() < 1e-12);
+        assert!(step.departed <= step.accepted);
+        assert!(step.accepted <= step.l);
+    }
+
+    #[test]
+    fn negative_inputs_are_clamped() {
+        let s = sim();
+        let step = s.step(0, -5.0, -1.0);
+        assert_eq!(step.l, 0.0);
+        assert_eq!(step.arrivals, 0.0);
+        assert_eq!(step.l_next, 0.0);
+    }
+
+    #[test]
+    fn run_is_consistent_with_step() {
+        let s = sim();
+        let steps = s.run(10.0, vec![1.0, 2.0, 0.5]);
+        assert_eq!(steps.len(), 3);
+        assert_eq!(steps[0].l, 10.0);
+        assert_eq!(steps[1].l, steps[0].l_next);
+        assert_eq!(steps[2].l, steps[1].l_next);
+    }
+
+    #[test]
+    fn constant_arrivals_converge_to_equilibrium() {
+        let s = sim();
+        let lambda = 0.8;
+        let l_star = s.equilibrium_demand(lambda);
+        // Iterate long enough from far away.
+        let steps = s.run(1000.0, std::iter::repeat_n(lambda, 5000));
+        let last = steps.last().unwrap();
+        assert!(
+            (last.l_next - l_star).abs() < 1e-3 * l_star,
+            "converged to {} but fixed point is {l_star}",
+            last.l_next
+        );
+        // At the fixed point, L(t+1) = L(t).
+        let check = s.step(0, l_star, lambda);
+        assert!(
+            (check.l_next - l_star).abs() < 1e-6 * l_star,
+            "fixed point drifts: {} vs {l_star}",
+            check.l_next
+        );
+    }
+
+    #[test]
+    fn equilibrium_price_matches_proposition_2() {
+        // At the fixed point under constant arrivals λ, the posted optimal
+        // price must equal h(λ) (Proposition 2), as long as neither is
+        // clamped.
+        let s = sim();
+        for &lambda in &[0.1, 0.5, 1.0, 5.0] {
+            let l_star = s.equilibrium_demand(lambda);
+            let posted = s.step(0, l_star, lambda).price;
+            let h = equilibrium_price(s.params(), lambda);
+            assert!(
+                (posted.as_f64() - h.as_f64()).abs() < 1e-6,
+                "λ={lambda}: posted {posted} vs h(λ) {h}"
+            );
+        }
+    }
+
+    #[test]
+    fn larger_arrivals_mean_larger_equilibrium_queue_and_price() {
+        let s = sim();
+        let l1 = s.equilibrium_demand(0.2);
+        let l2 = s.equilibrium_demand(2.0);
+        assert!(l2 > l1);
+        let p1 = s.step(0, l1, 0.2).price;
+        let p2 = s.step(0, l2, 2.0).price;
+        assert!(p2 >= p1);
+    }
+
+    #[test]
+    fn bursty_arrivals_queue_stays_bounded() {
+        // Alternating bursts and quiet periods: time-averaged queue must not
+        // diverge (Proposition 1's conclusion).
+        let s = sim();
+        let arrivals = (0..20_000).map(|t| if t % 10 == 0 { 8.0 } else { 0.1 });
+        let steps = s.run(0.0, arrivals);
+        let max_l = steps.iter().map(|st| st.l).fold(0.0, f64::max);
+        let eq = s.equilibrium_demand(0.89); // mean arrival rate
+        assert!(
+            max_l < 20.0 * eq.max(1.0),
+            "queue exploded: max L = {max_l}, equilibrium {eq}"
+        );
+    }
+}

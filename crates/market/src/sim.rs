@@ -1,0 +1,417 @@
+//! Micro-level spot-market simulator (Figure 2's state machine per bid).
+//!
+//! Where [`crate::queue`] iterates the *aggregate* demand recursion, this
+//! module tracks each bid individually through the states of Figure 2 —
+//! pending, running, finished, terminated — under the exact EC2 spot rules
+//! the paper describes in §3.2:
+//!
+//! - in each slot the provider posts the optimal price for the current
+//!   demand (Eq. 3) and every bid at or above it runs;
+//! - a *running* instance whose bid falls below the new spot price is
+//!   interrupted: one-time requests exit the system unfinished, persistent
+//!   requests return to pending and re-compete automatically;
+//! - new one-time bids below the spot price are rejected outright;
+//! - running instances are charged the *spot price* (not their bid) per
+//!   slot.
+//!
+//! The simulator is the substrate for the provider-model validation and
+//! for the §8 "collective user behavior" ablation (many strategic bidders
+//! sharing one market). Individual price-taking users — the paper's main
+//! setting — are simulated against a price *trace* by `spotbid-client`.
+
+use crate::params::MarketParams;
+use crate::provider::optimal_price;
+use crate::units::{Cost, Hours, Price};
+use spotbid_numerics::rng::Rng;
+
+/// How a bid requests to be treated on interruption (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BidKind {
+    /// Exits the system when outbid, even mid-job.
+    OneTime,
+    /// Re-submitted automatically every slot until the job finishes.
+    Persistent,
+}
+
+/// How much work a bid's job needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkModel {
+    /// Finishes after exactly this many slots of running time.
+    FixedSlots(u32),
+    /// Finishes each running slot with probability `θ` (the aggregate
+    /// model's departure process, Figure 2).
+    Geometric,
+}
+
+/// A bid submitted to the market.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BidRequest {
+    /// The bid price.
+    pub price: Price,
+    /// One-time or persistent handling.
+    pub kind: BidKind,
+    /// Work requirement.
+    pub work: WorkModel,
+}
+
+/// Identifier of a bid within one [`SpotMarket`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BidId(pub u64);
+
+/// Lifecycle phase of a bid (Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BidPhase {
+    /// Waiting for the spot price to fall to its bid.
+    Pending,
+    /// Currently running on an instance.
+    Running,
+    /// Completed all its work.
+    Finished,
+    /// Exited without completing (one-time bid outbid or rejected).
+    Terminated,
+}
+
+/// Full accounting for one bid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BidRecord {
+    /// The bid's identifier.
+    pub id: BidId,
+    /// The original request.
+    pub request: BidRequest,
+    /// Current phase.
+    pub phase: BidPhase,
+    /// Slot in which the bid was submitted.
+    pub submitted_at: u64,
+    /// Slots spent running so far.
+    pub slots_run: u32,
+    /// Total charged so far (spot price × slot length per running slot).
+    pub charged: Cost,
+    /// Number of interruptions suffered (running → not running).
+    pub interruptions: u32,
+    /// Slot in which the bid left the system, if it has.
+    pub closed_at: Option<u64>,
+}
+
+/// Per-slot outcome summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotReport {
+    /// Slot index.
+    pub t: u64,
+    /// Demand `L(t)` seen by the provider (pending + running + new bids).
+    pub demand: usize,
+    /// The posted spot price.
+    pub price: Price,
+    /// Bids that began (or resumed) running this slot.
+    pub started: Vec<BidId>,
+    /// Running bids that were interrupted this slot.
+    pub interrupted: Vec<BidId>,
+    /// Bids that finished their work this slot.
+    pub finished: Vec<BidId>,
+    /// One-time bids that exited unfinished this slot.
+    pub terminated: Vec<BidId>,
+}
+
+/// A discrete-time spot market with endogenous prices.
+#[derive(Debug, Clone)]
+pub struct SpotMarket {
+    params: MarketParams,
+    slot_len: Hours,
+    t: u64,
+    records: Vec<BidRecord>,
+    /// Indices into `records` of bids still in the system.
+    open: Vec<usize>,
+    /// Bids submitted since the last step, waiting for the next auction.
+    incoming: Vec<usize>,
+}
+
+impl SpotMarket {
+    /// Creates an empty market.
+    pub fn new(params: MarketParams, slot_len: Hours) -> Self {
+        SpotMarket {
+            params,
+            slot_len,
+            t: 0,
+            records: Vec::new(),
+            open: Vec::new(),
+            incoming: Vec::new(),
+        }
+    }
+
+    /// The market parameters.
+    pub fn params(&self) -> &MarketParams {
+        &self.params
+    }
+
+    /// Current slot index (number of completed steps).
+    pub fn now(&self) -> u64 {
+        self.t
+    }
+
+    /// Submits a bid; it competes from the next [`step`](Self::step) on.
+    pub fn submit(&mut self, request: BidRequest) -> BidId {
+        let id = BidId(self.records.len() as u64);
+        self.records.push(BidRecord {
+            id,
+            request,
+            phase: BidPhase::Pending,
+            submitted_at: self.t,
+            slots_run: 0,
+            charged: Cost::ZERO,
+            interruptions: 0,
+            closed_at: None,
+        });
+        let idx = self.records.len() - 1;
+        self.incoming.push(idx);
+        self.open.push(idx);
+        id
+    }
+
+    /// Read access to a bid's record.
+    pub fn record(&self, id: BidId) -> Option<&BidRecord> {
+        self.records.get(id.0 as usize)
+    }
+
+    /// All bid records (submitted order).
+    pub fn records(&self) -> &[BidRecord] {
+        &self.records
+    }
+
+    /// Number of bids still pending or running.
+    pub fn open_bids(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Advances one slot: runs the auction, interrupts/launches instances,
+    /// progresses work, and charges running bids.
+    pub fn step(&mut self, rng: &mut Rng) -> SlotReport {
+        let t = self.t;
+        let is_new = |idx: usize, incoming: &[usize]| incoming.contains(&idx);
+
+        // Demand: every open bid competes (carried-over pending persistent
+        // bids, running instances re-asserting their bids, and new
+        // arrivals) — the L(t) of Eq. 4.
+        let demand = self.open.len();
+        let price = optimal_price(&self.params, demand as f64);
+
+        let mut report = SlotReport {
+            t,
+            demand,
+            price,
+            started: Vec::new(),
+            interrupted: Vec::new(),
+            finished: Vec::new(),
+            terminated: Vec::new(),
+        };
+
+        let mut still_open = Vec::with_capacity(self.open.len());
+        for &idx in &self.open {
+            let accepted = self.records[idx].request.price >= price;
+            let was_running = self.records[idx].phase == BidPhase::Running;
+            let rec = &mut self.records[idx];
+            if accepted {
+                if !was_running {
+                    rec.phase = BidPhase::Running;
+                    report.started.push(rec.id);
+                }
+                // Run for this slot: charge at the spot price.
+                rec.slots_run += 1;
+                rec.charged += price * self.slot_len;
+                let done = match rec.request.work {
+                    WorkModel::FixedSlots(n) => rec.slots_run >= n,
+                    WorkModel::Geometric => rng.chance(self.params.theta),
+                };
+                if done {
+                    rec.phase = BidPhase::Finished;
+                    rec.closed_at = Some(t);
+                    report.finished.push(rec.id);
+                } else {
+                    still_open.push(idx);
+                }
+            } else {
+                // Outbid.
+                match rec.request.kind {
+                    BidKind::OneTime => {
+                        // Running one-time: terminated mid-job. New one-time
+                        // below the spot price: rejected. Either way it
+                        // leaves the system (§3.2).
+                        rec.phase = BidPhase::Terminated;
+                        rec.closed_at = Some(t);
+                        if was_running {
+                            rec.interruptions += 1;
+                            report.interrupted.push(rec.id);
+                        }
+                        report.terminated.push(rec.id);
+                    }
+                    BidKind::Persistent => {
+                        if was_running {
+                            rec.interruptions += 1;
+                            report.interrupted.push(rec.id);
+                        }
+                        rec.phase = BidPhase::Pending;
+                        still_open.push(idx);
+                    }
+                }
+            }
+            // `is_new` retained for clarity of intent; new and carried-over
+            // bids follow identical auction rules.
+            let _ = is_new;
+        }
+        self.open = still_open;
+        self.incoming.clear();
+        self.t += 1;
+        report
+    }
+
+    /// Runs `n` slots, returning every report.
+    pub fn run(&mut self, n: usize, rng: &mut Rng) -> Vec<SlotReport> {
+        (0..n).map(|_| self.step(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn market() -> SpotMarket {
+        let params = MarketParams::new(Price::new(0.35), Price::new(0.02), 0.05, 0.02).unwrap();
+        SpotMarket::new(params, Hours::from_minutes(5.0))
+    }
+
+    fn bid(price: f64, kind: BidKind, slots: u32) -> BidRequest {
+        BidRequest {
+            price: Price::new(price),
+            kind,
+            work: WorkModel::FixedSlots(slots),
+        }
+    }
+
+    #[test]
+    fn lone_high_bid_runs_to_completion() {
+        let mut m = market();
+        let mut rng = Rng::seed_from_u64(1);
+        let id = m.submit(bid(0.35, BidKind::OneTime, 3));
+        let reports = m.run(5, &mut rng);
+        let rec = m.record(id).unwrap();
+        assert_eq!(rec.phase, BidPhase::Finished);
+        assert_eq!(rec.slots_run, 3);
+        assert_eq!(rec.interruptions, 0);
+        assert!(rec.charged.as_f64() > 0.0);
+        assert_eq!(reports[2].finished, vec![id]);
+        assert_eq!(m.open_bids(), 0);
+    }
+
+    #[test]
+    fn low_one_time_bid_is_rejected() {
+        let mut m = market();
+        let mut rng = Rng::seed_from_u64(2);
+        // Even at minimal demand the price is (π̄ − β)/2 = 0.15, well above
+        // a bid at the floor; the one-time request loses and exits.
+        let id = m.submit(bid(0.02, BidKind::OneTime, 1));
+        let rep = m.step(&mut rng);
+        assert_eq!(rep.terminated, vec![id]);
+        let rec = m.record(id).unwrap();
+        assert_eq!(rec.phase, BidPhase::Terminated);
+        assert_eq!(rec.slots_run, 0);
+        assert_eq!(rec.charged, Cost::ZERO);
+    }
+
+    #[test]
+    fn persistent_bid_interrupted_by_demand_surge_then_resumes() {
+        // Price rises with demand in this market (toward π̄/2 = 0.175), so a
+        // moderate persistent bid runs while the market is quiet, is
+        // interrupted by a demand surge, and resumes once the surge clears.
+        let mut m = market();
+        let mut rng = Rng::seed_from_u64(3);
+        let victim = m.submit(bid(0.16, BidKind::Persistent, 10));
+        let r1 = m.step(&mut rng);
+        assert!(
+            r1.price < Price::new(0.16),
+            "quiet-market price {}",
+            r1.price
+        );
+        assert_eq!(m.record(victim).unwrap().phase, BidPhase::Running);
+
+        // Demand surge: 400 high bids push the price above 0.16.
+        for _ in 0..400 {
+            m.submit(bid(0.34, BidKind::Persistent, 2));
+        }
+        let r2 = m.step(&mut rng);
+        assert!(r2.price > Price::new(0.16), "surge price {}", r2.price);
+        assert!(r2.interrupted.contains(&victim));
+        assert_eq!(m.record(victim).unwrap().phase, BidPhase::Pending);
+        assert_eq!(m.record(victim).unwrap().interruptions, 1);
+
+        // The surge jobs need one more slot; after that the market quiets
+        // down and the victim resumes and eventually finishes.
+        let mut finished = false;
+        for _ in 0..20 {
+            let rep = m.step(&mut rng);
+            if rep.finished.contains(&victim) {
+                finished = true;
+                break;
+            }
+        }
+        assert!(finished, "victim never finished after the surge cleared");
+        let rec = m.record(victim).unwrap();
+        assert_eq!(rec.phase, BidPhase::Finished);
+        assert_eq!(rec.slots_run, 10);
+        assert_eq!(rec.interruptions, 1);
+    }
+
+    #[test]
+    fn charges_spot_price_not_bid_price() {
+        let mut m = market();
+        let mut rng = Rng::seed_from_u64(5);
+        let id = m.submit(bid(0.35, BidKind::OneTime, 1));
+        let rep = m.step(&mut rng);
+        let rec = m.record(id).unwrap();
+        let expected = rep.price * Hours::from_minutes(5.0);
+        assert!((rec.charged.as_f64() - expected.as_f64()).abs() < 1e-12);
+        assert!(rep.price < Price::new(0.35), "spot price below the bid");
+    }
+
+    #[test]
+    fn geometric_work_finishes_at_theta_rate() {
+        let mut m = market();
+        let mut rng = Rng::seed_from_u64(6);
+        let n = 2000;
+        for _ in 0..n {
+            m.submit(BidRequest {
+                price: Price::new(0.35),
+                kind: BidKind::Persistent,
+                work: WorkModel::Geometric,
+            });
+        }
+        let rep = m.step(&mut rng);
+        // All run; each finishes w.p. θ = 0.02.
+        let finished = rep.finished.len() as f64;
+        assert!(
+            (finished - 0.02 * n as f64).abs() < 15.0,
+            "finished {finished} of {n}"
+        );
+    }
+
+    #[test]
+    fn demand_counts_pending_running_and_new() {
+        let mut m = market();
+        let mut rng = Rng::seed_from_u64(7);
+        m.submit(bid(0.03, BidKind::Persistent, 10)); // will pend
+        m.submit(bid(0.35, BidKind::Persistent, 10)); // will run
+        m.step(&mut rng);
+        m.submit(bid(0.20, BidKind::Persistent, 10)); // new
+        let rep = m.step(&mut rng);
+        assert_eq!(rep.demand, 3);
+    }
+
+    #[test]
+    fn records_are_stable_and_ordered() {
+        let mut m = market();
+        let a = m.submit(bid(0.1, BidKind::OneTime, 1));
+        let b = m.submit(bid(0.2, BidKind::OneTime, 1));
+        assert_eq!(m.records().len(), 2);
+        assert_eq!(m.records()[0].id, a);
+        assert_eq!(m.records()[1].id, b);
+        assert!(m.record(BidId(99)).is_none());
+        assert_eq!(m.now(), 0);
+    }
+}

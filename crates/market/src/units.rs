@@ -1,0 +1,390 @@
+//! Domain units: time, prices, and money.
+//!
+//! The paper measures prices in $/instance-hour and times in hours
+//! (Table 1's conventions). These thin newtypes keep the two from being
+//! mixed up at API boundaries — `Price × Hours = Cost` is the only way to
+//! produce money — while staying `Copy` and arithmetic-friendly inside
+//! numeric kernels via [`Price::as_f64`] etc.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A duration (or instant on a simulation clock), in hours.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Hours(f64);
+
+impl Hours {
+    /// Zero duration.
+    pub const ZERO: Hours = Hours(0.0);
+
+    /// Const constructor (for constants in downstream crates).
+    pub const fn new_const(h: f64) -> Self {
+        Hours(h)
+    }
+
+    /// Creates a duration from a raw hour count.
+    pub fn new(h: f64) -> Self {
+        Hours(h)
+    }
+
+    /// Creates a duration from seconds.
+    pub fn from_secs(s: f64) -> Self {
+        Hours(s / 3600.0)
+    }
+
+    /// Creates a duration from minutes.
+    pub fn from_minutes(m: f64) -> Self {
+        Hours(m / 60.0)
+    }
+
+    /// The raw value in hours.
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// The value in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 * 3600.0
+    }
+
+    /// The value in minutes.
+    pub fn as_minutes(self) -> f64 {
+        self.0 * 60.0
+    }
+
+    /// True when finite and `>= 0`.
+    pub fn is_valid_duration(self) -> bool {
+        self.0.is_finite() && self.0 >= 0.0
+    }
+
+    /// Component-wise maximum.
+    pub fn max(self, other: Hours) -> Hours {
+        Hours(self.0.max(other.0))
+    }
+
+    /// Component-wise minimum.
+    pub fn min(self, other: Hours) -> Hours {
+        Hours(self.0.min(other.0))
+    }
+}
+
+impl Add for Hours {
+    type Output = Hours;
+    fn add(self, rhs: Hours) -> Hours {
+        Hours(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Hours {
+    fn add_assign(&mut self, rhs: Hours) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Hours {
+    type Output = Hours;
+    fn sub(self, rhs: Hours) -> Hours {
+        Hours(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Hours {
+    fn sub_assign(&mut self, rhs: Hours) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<f64> for Hours {
+    type Output = Hours;
+    fn mul(self, rhs: f64) -> Hours {
+        Hours(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Hours {
+    type Output = Hours;
+    fn div(self, rhs: f64) -> Hours {
+        Hours(self.0 / rhs)
+    }
+}
+
+/// Ratio of two durations (e.g. `t_s / t_k` = slots per job).
+impl Div<Hours> for Hours {
+    type Output = f64;
+    fn div(self, rhs: Hours) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Hours {
+    fn sum<I: Iterator<Item = Hours>>(iter: I) -> Hours {
+        Hours(iter.map(|h| h.0).sum())
+    }
+}
+
+impl fmt::Display for Hours {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.abs() < 1.0 / 60.0 {
+            write!(f, "{:.1} s", self.as_secs())
+        } else if self.0.abs() < 1.0 {
+            write!(f, "{:.1} min", self.as_minutes())
+        } else {
+            write!(f, "{:.3} h", self.0)
+        }
+    }
+}
+
+/// A price in dollars per instance-hour.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Price(f64);
+
+impl Price {
+    /// Zero price.
+    pub const ZERO: Price = Price(0.0);
+
+    /// Creates a price from a raw $/hour value.
+    pub fn new(p: f64) -> Self {
+        Price(p)
+    }
+
+    /// The raw $/hour value.
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// True when finite and `>= 0`.
+    pub fn is_valid_price(self) -> bool {
+        self.0.is_finite() && self.0 >= 0.0
+    }
+
+    /// Component-wise maximum.
+    pub fn max(self, other: Price) -> Price {
+        Price(self.0.max(other.0))
+    }
+
+    /// Component-wise minimum.
+    pub fn min(self, other: Price) -> Price {
+        Price(self.0.min(other.0))
+    }
+
+    /// Clamps into `[lo, hi]`.
+    pub fn clamp(self, lo: Price, hi: Price) -> Price {
+        Price(self.0.clamp(lo.0, hi.0))
+    }
+}
+
+impl Add for Price {
+    type Output = Price;
+    fn add(self, rhs: Price) -> Price {
+        Price(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Price {
+    type Output = Price;
+    fn sub(self, rhs: Price) -> Price {
+        Price(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Price {
+    type Output = Price;
+    fn mul(self, rhs: f64) -> Price {
+        Price(self.0 * rhs)
+    }
+}
+
+/// Charging: price times duration is money.
+impl Mul<Hours> for Price {
+    type Output = Cost;
+    fn mul(self, rhs: Hours) -> Cost {
+        Cost(self.0 * rhs.as_f64())
+    }
+}
+
+/// Ratio of two prices (dimensionless, e.g. savings fractions).
+impl Div<Price> for Price {
+    type Output = f64;
+    fn div(self, rhs: Price) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl fmt::Display for Price {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${:.4}/h", self.0)
+    }
+}
+
+/// An amount of money in dollars.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Cost(f64);
+
+impl Cost {
+    /// Zero dollars.
+    pub const ZERO: Cost = Cost(0.0);
+
+    /// Creates a cost from a raw dollar value.
+    pub fn new(c: f64) -> Self {
+        Cost(c)
+    }
+
+    /// The raw dollar value.
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// Component-wise maximum.
+    pub fn max(self, other: Cost) -> Cost {
+        Cost(self.0.max(other.0))
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+    fn add(self, rhs: Cost) -> Cost {
+        Cost(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cost {
+    fn add_assign(&mut self, rhs: Cost) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cost {
+    type Output = Cost;
+    fn sub(self, rhs: Cost) -> Cost {
+        Cost(self.0 - rhs.0)
+    }
+}
+
+impl Neg for Cost {
+    type Output = Cost;
+    fn neg(self) -> Cost {
+        Cost(-self.0)
+    }
+}
+
+impl Mul<f64> for Cost {
+    type Output = Cost;
+    fn mul(self, rhs: f64) -> Cost {
+        Cost(self.0 * rhs)
+    }
+}
+
+/// Ratio of two costs (dimensionless, e.g. "spot cost is 10% of on-demand").
+impl Div<Cost> for Cost {
+    type Output = f64;
+    fn div(self, rhs: Cost) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Cost {
+    fn sum<I: Iterator<Item = Cost>>(iter: I) -> Cost {
+        Cost(iter.map(|c| c.0).sum())
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${:.4}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hours_conversions() {
+        assert_eq!(Hours::from_secs(3600.0).as_f64(), 1.0);
+        assert_eq!(Hours::from_minutes(30.0).as_f64(), 0.5);
+        assert_eq!(Hours::new(2.0).as_secs(), 7200.0);
+        assert_eq!(Hours::new(0.25).as_minutes(), 15.0);
+    }
+
+    #[test]
+    fn hours_arithmetic() {
+        let a = Hours::new(1.5);
+        let b = Hours::new(0.5);
+        assert_eq!((a + b).as_f64(), 2.0);
+        assert_eq!((a - b).as_f64(), 1.0);
+        assert_eq!((a * 2.0).as_f64(), 3.0);
+        assert_eq!((a / 3.0).as_f64(), 0.5);
+        assert_eq!(a / b, 3.0);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.as_f64(), 2.0);
+        c -= b;
+        assert_eq!(c.as_f64(), 1.5);
+        let total: Hours = [a, b, b].into_iter().sum();
+        assert_eq!(total.as_f64(), 2.5);
+    }
+
+    #[test]
+    fn hours_validity_and_ordering() {
+        assert!(Hours::new(0.0).is_valid_duration());
+        assert!(!Hours::new(-1.0).is_valid_duration());
+        assert!(!Hours::new(f64::NAN).is_valid_duration());
+        assert!(Hours::new(1.0) < Hours::new(2.0));
+        assert_eq!(Hours::new(1.0).max(Hours::new(2.0)).as_f64(), 2.0);
+        assert_eq!(Hours::new(1.0).min(Hours::new(2.0)).as_f64(), 1.0);
+    }
+
+    #[test]
+    fn hours_display_scales() {
+        assert_eq!(Hours::from_secs(30.0).to_string(), "30.0 s");
+        assert_eq!(Hours::from_minutes(5.0).to_string(), "5.0 min");
+        assert_eq!(Hours::new(1.5).to_string(), "1.500 h");
+    }
+
+    #[test]
+    fn price_times_hours_is_cost() {
+        let c = Price::new(0.35) * Hours::new(2.0);
+        assert!((c.as_f64() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn price_arithmetic_and_clamp() {
+        let p = Price::new(0.10);
+        assert!(((p + Price::new(0.05)).as_f64() - 0.15).abs() < 1e-12);
+        assert!(((p - Price::new(0.04)).as_f64() - 0.06).abs() < 1e-12);
+        assert!(((p * 3.0).as_f64() - 0.30).abs() < 1e-12);
+        assert_eq!(Price::new(0.5) / Price::new(0.25), 2.0);
+        assert_eq!(
+            Price::new(0.9).clamp(Price::new(0.1), Price::new(0.5)),
+            Price::new(0.5)
+        );
+        assert!(Price::new(0.1).is_valid_price());
+        assert!(!Price::new(-0.1).is_valid_price());
+    }
+
+    #[test]
+    fn cost_accumulation() {
+        let mut bill = Cost::ZERO;
+        bill += Price::new(0.05) * Hours::from_minutes(5.0);
+        bill += Price::new(0.07) * Hours::from_minutes(5.0);
+        assert!((bill.as_f64() - 0.01).abs() < 1e-12);
+        let total: Cost = [Cost::new(1.0), Cost::new(2.5)].into_iter().sum();
+        assert_eq!(total.as_f64(), 3.5);
+        assert_eq!((-Cost::new(2.0)).as_f64(), -2.0);
+        assert_eq!((Cost::new(3.0) - Cost::new(1.0)).as_f64(), 2.0);
+        assert_eq!((Cost::new(3.0) * 2.0).as_f64(), 6.0);
+        assert_eq!(Cost::new(1.0) / Cost::new(4.0), 0.25);
+        assert_eq!(Cost::new(1.0).max(Cost::new(2.0)), Cost::new(2.0));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Price::new(0.0323).to_string(), "$0.0323/h");
+        assert_eq!(Cost::new(1.23456).to_string(), "$1.2346");
+    }
+}

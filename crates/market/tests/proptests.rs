@@ -1,0 +1,133 @@
+//! Property-based tests of the provider model and market simulator.
+
+use proptest::prelude::*;
+use spotbid_market::equilibrium::{equilibrium_price_unclamped, h_inverse};
+use spotbid_market::provider::{accepted_bids, objective, optimal_price};
+use spotbid_market::queue::QueueSim;
+use spotbid_market::sim::{BidKind, BidPhase, BidRequest, SpotMarket, WorkModel};
+use spotbid_market::units::{Hours, Price};
+use spotbid_market::MarketParams;
+use spotbid_numerics::rng::Rng;
+
+fn params_strategy() -> impl Strategy<Value = MarketParams> {
+    (0.1f64..2.0, 0.0f64..0.4, 0.0f64..0.5, 0.005f64..0.5).prop_map(
+        |(pi_bar, pmin_frac, beta, theta)| {
+            MarketParams::new(
+                Price::new(pi_bar),
+                Price::new(pi_bar * pmin_frac),
+                beta,
+                theta,
+            )
+            .unwrap()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn optimal_price_is_optimal_and_bounded(m in params_strategy(), l in 0.0f64..1e5) {
+        let p = optimal_price(&m, l);
+        prop_assert!(p >= m.pi_min && p <= m.pi_bar);
+        // Beats a coarse grid of alternatives.
+        let best = objective(&m, l, p);
+        for i in 0..=40 {
+            let cand = Price::new(
+                m.pi_min.as_f64()
+                    + (m.pi_bar - m.pi_min).as_f64() * i as f64 / 40.0,
+            );
+            prop_assert!(objective(&m, l, cand) <= best + 1e-9);
+        }
+    }
+
+    #[test]
+    fn accepted_bids_monotone_in_price(m in params_strategy(), l in 0.1f64..1000.0) {
+        let mut last = f64::INFINITY;
+        for i in 0..=20 {
+            let p = Price::new(
+                m.pi_min.as_f64() + (m.pi_bar - m.pi_min).as_f64() * i as f64 / 20.0,
+            );
+            let n = accepted_bids(&m, l, p);
+            prop_assert!(n <= last + 1e-12, "acceptance must fall as price rises");
+            prop_assert!((0.0..=l).contains(&n));
+            last = n;
+        }
+    }
+
+    #[test]
+    fn h_and_h_inverse_are_mutual_inverses(m in params_strategy(), lam in 1e-6f64..1e4) {
+        prop_assume!(m.beta > 1e-6);
+        let price = equilibrium_price_unclamped(&m, lam);
+        prop_assert!(price < m.pi_bar.as_f64() / 2.0);
+        if let Some(back) = h_inverse(&m, Price::new(price)) {
+            prop_assert!((back - lam).abs() < 1e-6 * (1.0 + lam),
+                "h⁻¹(h({lam})) = {back}");
+        }
+    }
+
+    #[test]
+    fn queue_step_conserves_mass(m in params_strategy(),
+                                 l in 0.0f64..1e4,
+                                 lam in 0.0f64..100.0) {
+        let sim = QueueSim::new(m);
+        let s = sim.step(0, l, lam);
+        prop_assert!((s.l_next - (s.l - s.departed + s.arrivals)).abs() < 1e-9);
+        prop_assert!(s.departed >= 0.0 && s.departed <= s.accepted + 1e-12);
+        prop_assert!(s.accepted <= s.l + 1e-12);
+        prop_assert!(s.l_next >= 0.0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn market_accounting_invariants(
+        bids in proptest::collection::vec((0.0f64..1.0, any::<bool>(), 1u32..20), 1..60),
+        seed in any::<u64>(),
+    ) {
+        let params =
+            MarketParams::new(Price::new(0.35), Price::new(0.02), 0.05, 0.02).unwrap();
+        let mut market = SpotMarket::new(params, Hours::from_minutes(5.0));
+        let mut rng = Rng::seed_from_u64(seed);
+        for &(frac, persistent, work) in &bids {
+            market.submit(BidRequest {
+                price: Price::new(0.02 + frac * 0.33),
+                kind: if persistent { BidKind::Persistent } else { BidKind::OneTime },
+                work: WorkModel::FixedSlots(work),
+            });
+        }
+        let reports = market.run(60, &mut rng);
+        for rec in market.records() {
+            // Charges are non-negative and bounded by slots_run × π̄ × slot.
+            prop_assert!(rec.charged.as_f64() >= 0.0);
+            let cap = rec.slots_run as f64 * 0.35 / 12.0;
+            prop_assert!(rec.charged.as_f64() <= cap + 1e-12);
+            // Finished fixed-work bids ran exactly their requirement.
+            if rec.phase == BidPhase::Finished {
+                if let WorkModel::FixedSlots(n) = rec.request.work {
+                    prop_assert_eq!(rec.slots_run, n);
+                }
+                prop_assert!(rec.closed_at.is_some());
+            }
+            // One-time bids never record more than one interruption.
+            if rec.request.kind == BidKind::OneTime {
+                prop_assert!(rec.interruptions <= 1);
+            }
+        }
+        // Demand never exceeds bids submitted; prices stay in bounds.
+        for r in &reports {
+            prop_assert!(r.demand <= bids.len());
+            prop_assert!(r.price >= params.pi_min && r.price <= params.pi_bar);
+        }
+        // Every bid is eventually closed or still open — no lost bids.
+        let open = market.open_bids();
+        let closed = market
+            .records()
+            .iter()
+            .filter(|r| r.closed_at.is_some())
+            .count();
+        prop_assert_eq!(open + closed, bids.len());
+    }
+}

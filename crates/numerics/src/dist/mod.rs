@@ -1,0 +1,148 @@
+//! Analytic continuous probability distributions.
+//!
+//! The paper models bid arrivals `Λ(t)` with Pareto and exponential
+//! distributions (§4.3) and user valuations with a uniform distribution
+//! (§4.1). Log-normal and Weibull are provided as well: they are the other
+//! two shapes commonly fitted to cloud workload inter-arrival data (see the
+//! paper's reference \[18\], "Beyond Poisson"), and the ablation benches use
+//! them as alternative arrival hypotheses.
+
+mod exponential;
+mod lognormal;
+mod pareto;
+mod uniform;
+mod weibull;
+
+pub use exponential::Exponential;
+pub use lognormal::LogNormal;
+pub use pareto::Pareto;
+pub use uniform::Uniform;
+pub use weibull::Weibull;
+
+use crate::rng::Rng;
+
+/// A continuous probability distribution on (a subset of) the real line.
+///
+/// Implementations must satisfy the usual coherence properties, which the
+/// workspace's property tests check for every implementation:
+///
+/// - `cdf` is non-decreasing, 0 at/below the lower support bound and → 1 at
+///   the upper bound;
+/// - `quantile(cdf(x)) ≈ x` on the interior of the support;
+/// - `pdf` integrates to 1 over the support;
+/// - `sample` draws match `cdf` (Kolmogorov–Smirnov).
+pub trait ContinuousDist {
+    /// Probability density at `x` (0 outside the support).
+    fn pdf(&self, x: f64) -> f64;
+
+    /// Cumulative probability `P(X <= x)`.
+    fn cdf(&self, x: f64) -> f64;
+
+    /// Inverse CDF. `q` is clamped to `[0, 1]`; `quantile(0)` is the lower
+    /// support bound and `quantile(1)` the upper (possibly `+inf`).
+    fn quantile(&self, q: f64) -> f64;
+
+    /// Expected value, or `f64::INFINITY` when it does not exist (e.g.
+    /// Pareto with `alpha <= 1`).
+    fn mean(&self) -> f64;
+
+    /// Variance, or `f64::INFINITY` when it does not exist.
+    fn variance(&self) -> f64;
+
+    /// Support `(lo, hi)`; `hi` may be `f64::INFINITY`.
+    fn support(&self) -> (f64, f64);
+
+    /// Draws one sample. The default implementation inverts the CDF on a
+    /// uniform open-(0,1) variate, which is exact for every distribution in
+    /// this module.
+    fn sample(&self, rng: &mut Rng) -> f64 {
+        self.quantile(rng.next_f64_open())
+    }
+
+    /// Draws `n` samples into a fresh vector.
+    fn sample_n(&self, rng: &mut Rng, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// A dynamically-dispatched distribution, for heterogeneous collections
+/// (e.g. the fitting harness trying several arrival hypotheses).
+pub type DynDist = Box<dyn ContinuousDist + Send + Sync>;
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Shared coherence checks run against every distribution.
+    use super::*;
+    use crate::integrate::adaptive_simpson;
+
+    /// Checks CDF/quantile/PDF/sampling coherence for a distribution.
+    pub fn check_coherence<D: ContinuousDist>(d: &D, seed: u64) {
+        let (lo, hi) = d.support();
+        // CDF boundary behaviour.
+        assert!(d.cdf(lo - 1.0) == 0.0, "cdf below support must be 0");
+        if hi.is_finite() {
+            assert!((d.cdf(hi) - 1.0).abs() < 1e-12, "cdf at hi must be 1");
+        } else {
+            assert!(d.cdf(1e12) > 0.999, "cdf must approach 1");
+        }
+        // Quantile inverts CDF.
+        for &q in &[0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let x = d.quantile(q);
+            assert!(
+                (d.cdf(x) - q).abs() < 1e-9,
+                "quantile/cdf mismatch at q={q}: x={x}, cdf={}",
+                d.cdf(x)
+            );
+        }
+        // CDF is non-decreasing across the bulk of the support.
+        let upper = if hi.is_finite() {
+            hi
+        } else {
+            d.quantile(0.999)
+        };
+        let mut prev = 0.0;
+        for i in 0..=200 {
+            let x = lo + (upper - lo) * i as f64 / 200.0;
+            let c = d.cdf(x);
+            assert!(c >= prev - 1e-12, "cdf decreasing at {x}");
+            assert!(d.pdf(x) >= 0.0, "negative pdf at {x}");
+            prev = c;
+        }
+        // PDF integrates to ~1 over the bulk of the support. Distributions
+        // with an infinite density at the boundary (e.g. Weibull k < 1)
+        // are integrated from a low quantile instead of the exact endpoint.
+        let q_hi = d.quantile(0.9999);
+        let (q_lo, expected_mass) = if d.pdf(lo).is_finite() {
+            (lo, 0.9999)
+        } else {
+            (d.quantile(1e-4), 0.9998)
+        };
+        let mass = adaptive_simpson(|x| d.pdf(x), q_lo, q_hi, 1e-9, 24);
+        assert!(
+            (mass - expected_mass).abs() < 1e-3,
+            "pdf mass over [{q_lo}, q(0.9999)] = {mass}"
+        );
+        // Samples match the CDF (one-sample KS at n = 4000).
+        let mut rng = Rng::seed_from_u64(seed);
+        let xs = d.sample_n(&mut rng, 4000);
+        let ks = crate::stats::ks_one_sample(&xs, |x| d.cdf(x)).expect("non-empty");
+        assert!(
+            ks.p_value > 1e-4,
+            "sampler rejected by KS: D = {}, p = {}",
+            ks.statistic,
+            ks.p_value
+        );
+        // Sample mean matches analytic mean when the latter is finite and
+        // the variance is finite (so the CLT applies cleanly).
+        if d.mean().is_finite() && d.variance().is_finite() {
+            let n = xs.len() as f64;
+            let m = xs.iter().sum::<f64>() / n;
+            let tol = 5.0 * (d.variance() / n).sqrt() + 1e-9;
+            assert!(
+                (m - d.mean()).abs() < tol,
+                "sample mean {m} vs analytic {}",
+                d.mean()
+            );
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Pareto (power-law) distribution.
+
+use super::ContinuousDist;
+use crate::{NumericsError, Result};
+
+/// Pareto distribution with scale `x_min > 0` and shape `alpha > 0`:
+///
+/// ```text
+/// f(x) = alpha * x_min^alpha / x^(alpha+1),   x >= x_min
+/// ```
+///
+/// The paper fits Pareto arrivals `Λ(t)` to the spot-price history with
+/// `Λ_min = h⁻¹(π_min)` (§4.3); the fitted shapes in Figure 3's caption are
+/// `alpha ∈ {5, 8, 9.5, 5.2}` — all with finite mean and variance, which is
+/// what Proposition 1's stability condition requires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    x_min: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidParameter`] if `x_min <= 0` or
+    /// `alpha <= 0` (or either is non-finite).
+    pub fn new(x_min: f64, alpha: f64) -> Result<Self> {
+        if !(x_min > 0.0) || !x_min.is_finite() {
+            return Err(NumericsError::InvalidParameter {
+                name: "x_min",
+                value: x_min,
+                requirement: "must be finite and > 0",
+            });
+        }
+        if !(alpha > 0.0) || !alpha.is_finite() {
+            return Err(NumericsError::InvalidParameter {
+                name: "alpha",
+                value: alpha,
+                requirement: "must be finite and > 0",
+            });
+        }
+        Ok(Pareto { x_min, alpha })
+    }
+
+    /// The scale (minimum value) parameter.
+    pub fn x_min(&self) -> f64 {
+        self.x_min
+    }
+
+    /// The shape (tail index) parameter.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl ContinuousDist for Pareto {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.x_min {
+            0.0
+        } else {
+            self.alpha * self.x_min.powf(self.alpha) / x.powf(self.alpha + 1.0)
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < self.x_min {
+            0.0
+        } else {
+            1.0 - (self.x_min / x).powf(self.alpha)
+        }
+    }
+
+    fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        if q >= 1.0 {
+            f64::INFINITY
+        } else {
+            self.x_min / (1.0 - q).powf(1.0 / self.alpha)
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        if self.alpha > 1.0 {
+            self.alpha * self.x_min / (self.alpha - 1.0)
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn variance(&self) -> f64 {
+        if self.alpha > 2.0 {
+            self.x_min * self.x_min * self.alpha / ((self.alpha - 1.0).powi(2) * (self.alpha - 2.0))
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn support(&self) -> (f64, f64) {
+        (self.x_min, f64::INFINITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::test_support::check_coherence;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Pareto::new(0.0, 1.0).is_err());
+        assert!(Pareto::new(-1.0, 1.0).is_err());
+        assert!(Pareto::new(1.0, 0.0).is_err());
+        assert!(Pareto::new(1.0, -2.0).is_err());
+        assert!(Pareto::new(f64::NAN, 1.0).is_err());
+        assert!(Pareto::new(1.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn coherence_paper_shapes() {
+        // The four fitted shapes from Figure 3's caption.
+        for (i, &alpha) in [5.0, 8.0, 9.5, 5.2].iter().enumerate() {
+            let d = Pareto::new(0.01, alpha).unwrap();
+            check_coherence(&d, 100 + i as u64);
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        let d = Pareto::new(1.0, 2.0).unwrap();
+        assert_eq!(d.pdf(0.5), 0.0);
+        assert!((d.pdf(1.0) - 2.0).abs() < 1e-12);
+        assert!((d.cdf(2.0) - 0.75).abs() < 1e-12);
+        assert!((d.quantile(0.75) - 2.0).abs() < 1e-12);
+        assert!((d.mean() - 2.0).abs() < 1e-12);
+        assert!(d.variance().is_infinite());
+    }
+
+    #[test]
+    fn heavy_tail_has_infinite_mean() {
+        let d = Pareto::new(1.0, 0.9).unwrap();
+        assert!(d.mean().is_infinite());
+        assert!(d.variance().is_infinite());
+    }
+
+    #[test]
+    fn finite_variance_above_two() {
+        let d = Pareto::new(2.0, 3.0).unwrap();
+        // Var = x_min^2 * a / ((a-1)^2 (a-2)) = 4*3/(4*1) = 3.
+        assert!((d.variance() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_edges() {
+        let d = Pareto::new(1.5, 4.0).unwrap();
+        assert_eq!(d.quantile(0.0), 1.5);
+        assert!(d.quantile(1.0).is_infinite());
+        assert_eq!(d.quantile(-3.0), 1.5); // clamped
+    }
+}

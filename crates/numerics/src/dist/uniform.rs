@@ -1,0 +1,113 @@
+//! Continuous uniform distribution.
+
+use super::ContinuousDist;
+use crate::{NumericsError, Result};
+
+/// Uniform distribution on `[lo, hi]`.
+///
+/// §4.1 of the paper models the distribution of user bid prices received by
+/// the provider as uniform on `[π_min, π̄]` (`f_p(x) = 1/(π̄ − π_min)`),
+/// which is what makes the accepted-bid count
+/// `N(t) = L(t)·(π̄ − π(t))/(π̄ − π_min)` linear in the spot price and the
+/// provider optimum (Eq. 3) closed-form.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform distribution on `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidInterval`] unless `lo < hi` and both
+    /// are finite.
+    pub fn new(lo: f64, hi: f64) -> Result<Self> {
+        if !(lo < hi) || !lo.is_finite() || !hi.is_finite() {
+            return Err(NumericsError::InvalidInterval { a: lo, b: hi });
+        }
+        Ok(Uniform { lo, hi })
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+}
+
+impl ContinuousDist for Uniform {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.lo || x > self.hi {
+            0.0
+        } else {
+            1.0 / (self.hi - self.lo)
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < self.lo {
+            0.0
+        } else if x >= self.hi {
+            1.0
+        } else {
+            (x - self.lo) / (self.hi - self.lo)
+        }
+    }
+
+    fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        self.lo + q * (self.hi - self.lo)
+    }
+
+    fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    fn variance(&self) -> f64 {
+        (self.hi - self.lo).powi(2) / 12.0
+    }
+
+    fn support(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::test_support::check_coherence;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Uniform::new(1.0, 1.0).is_err());
+        assert!(Uniform::new(2.0, 1.0).is_err());
+        assert!(Uniform::new(f64::NEG_INFINITY, 1.0).is_err());
+        assert!(Uniform::new(0.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn coherence() {
+        check_coherence(&Uniform::new(0.0, 1.0).unwrap(), 10);
+        check_coherence(&Uniform::new(-3.0, 7.5).unwrap(), 11);
+        // Price-like range: [pi_min, pi_bar] for r3.xlarge.
+        check_coherence(&Uniform::new(0.035, 0.35).unwrap(), 12);
+    }
+
+    #[test]
+    fn known_values() {
+        let d = Uniform::new(2.0, 6.0).unwrap();
+        assert!((d.pdf(3.0) - 0.25).abs() < 1e-12);
+        assert_eq!(d.pdf(1.0), 0.0);
+        assert_eq!(d.pdf(7.0), 0.0);
+        assert!((d.cdf(4.0) - 0.5).abs() < 1e-12);
+        assert!((d.quantile(0.25) - 3.0).abs() < 1e-12);
+        assert!((d.mean() - 4.0).abs() < 1e-12);
+        assert!((d.variance() - 16.0 / 12.0).abs() < 1e-12);
+    }
+}

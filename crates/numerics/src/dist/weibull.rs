@@ -1,0 +1,182 @@
+//! Weibull distribution.
+
+use super::ContinuousDist;
+use crate::{NumericsError, Result};
+
+/// Natural log of the gamma function, via the Lanczos approximation
+/// (absolute error below `1e-10` for positive arguments).
+pub(crate) fn ln_gamma(x: f64) -> f64 {
+    // Lanczos coefficients for g = 7, n = 9.
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (std::f64::consts::TAU).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Gamma function `Γ(x)`.
+pub(crate) fn gamma(x: f64) -> f64 {
+    ln_gamma(x).exp()
+}
+
+/// Weibull distribution with shape `k > 0` and scale `lambda > 0`:
+///
+/// ```text
+/// f(x) = (k/lambda) * (x/lambda)^(k-1) * exp(-(x/lambda)^k),  x >= 0
+/// ```
+///
+/// Included as an alternative arrival-process hypothesis for the fitting
+/// ablations (`k < 1` gives the bursty, heavy-tailed inter-arrival shape
+/// reported for datacenter request traces).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weibull {
+    k: f64,
+    lambda: f64,
+}
+
+impl Weibull {
+    /// Creates a Weibull distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidParameter`] if either parameter is
+    /// non-positive or non-finite.
+    pub fn new(k: f64, lambda: f64) -> Result<Self> {
+        if !(k > 0.0) || !k.is_finite() {
+            return Err(NumericsError::InvalidParameter {
+                name: "k",
+                value: k,
+                requirement: "must be finite and > 0",
+            });
+        }
+        if !(lambda > 0.0) || !lambda.is_finite() {
+            return Err(NumericsError::InvalidParameter {
+                name: "lambda",
+                value: lambda,
+                requirement: "must be finite and > 0",
+            });
+        }
+        Ok(Weibull { k, lambda })
+    }
+
+    /// Shape parameter.
+    pub fn shape(&self) -> f64 {
+        self.k
+    }
+
+    /// Scale parameter.
+    pub fn scale(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl ContinuousDist for Weibull {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            return 0.0;
+        }
+        if x == 0.0 {
+            // Limit depends on the shape; k < 1 diverges, k == 1 is 1/λ.
+            return if self.k < 1.0 {
+                f64::INFINITY
+            } else if self.k == 1.0 {
+                1.0 / self.lambda
+            } else {
+                0.0
+            };
+        }
+        let z = x / self.lambda;
+        (self.k / self.lambda) * z.powf(self.k - 1.0) * (-z.powf(self.k)).exp()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-(x / self.lambda).powf(self.k)).exp()
+        }
+    }
+
+    fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        if q >= 1.0 {
+            f64::INFINITY
+        } else {
+            self.lambda * (-(1.0 - q).ln()).powf(1.0 / self.k)
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.lambda * gamma(1.0 + 1.0 / self.k)
+    }
+
+    fn variance(&self) -> f64 {
+        let g1 = gamma(1.0 + 1.0 / self.k);
+        let g2 = gamma(1.0 + 2.0 / self.k);
+        self.lambda * self.lambda * (g2 - g1 * g1)
+    }
+
+    fn support(&self) -> (f64, f64) {
+        (0.0, f64::INFINITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::test_support::check_coherence;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Weibull::new(0.0, 1.0).is_err());
+        assert!(Weibull::new(1.0, 0.0).is_err());
+        assert!(Weibull::new(-1.0, 1.0).is_err());
+        assert!(Weibull::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(3) = 2, Γ(0.5) = sqrt(pi).
+        assert!(ln_gamma(1.0).abs() < 1e-10);
+        assert!(ln_gamma(2.0).abs() < 1e-10);
+        assert!((ln_gamma(3.0) - 2.0f64.ln()).abs() < 1e-10);
+        assert!((gamma(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-9);
+        assert!((gamma(5.0) - 24.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn shape_one_is_exponential() {
+        let w = Weibull::new(1.0, 3.0).unwrap();
+        let e = crate::dist::Exponential::new(3.0).unwrap();
+        for &x in &[0.1, 0.5, 1.0, 2.0, 5.0] {
+            assert!((w.pdf(x) - e.pdf(x)).abs() < 1e-12);
+            assert!((w.cdf(x) - e.cdf(x)).abs() < 1e-12);
+        }
+        assert!((w.mean() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coherence() {
+        check_coherence(&Weibull::new(2.0, 1.5).unwrap(), 30);
+        check_coherence(&Weibull::new(0.7, 1.0).unwrap(), 31);
+    }
+}

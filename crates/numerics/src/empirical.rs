@@ -1,0 +1,337 @@
+//! Empirical distributions built from observed samples.
+//!
+//! The paper's client computes bids from the *empirical* distribution of the
+//! last two months of spot prices (Figure 1's "price monitor"). Everything
+//! the strategies need — `F(p)`, quantiles, `E[π | π ≤ p]` (Eq. 9), and the
+//! set of distinct prices at which those quantities change — is computed
+//! exactly over the sample atoms via prefix sums, so each query is a binary
+//! search, not a pass over the data.
+
+use crate::{NumericsError, Result};
+
+/// An empirical distribution over a fixed set of `f64` samples.
+///
+/// Construction sorts the samples once and precomputes prefix sums; queries
+/// are `O(log n)`.
+///
+/// # Example
+///
+/// ```
+/// use spotbid_numerics::empirical::Empirical;
+/// let e = Empirical::from_samples(&[3.0, 1.0, 2.0, 2.0]).unwrap();
+/// assert_eq!(e.cdf(2.0), 0.75);            // 3 of 4 samples ≤ 2
+/// assert_eq!(e.mean_below(2.0), Some(5.0 / 3.0)); // E[X | X ≤ 2]
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Empirical {
+    /// Sorted samples.
+    sorted: Vec<f64>,
+    /// `prefix[i]` = sum of the first `i` sorted samples.
+    prefix: Vec<f64>,
+}
+
+impl Empirical {
+    /// Builds an empirical distribution from samples (any order; values must
+    /// be finite).
+    ///
+    /// # Errors
+    ///
+    /// [`NumericsError::EmptyInput`] for an empty slice, or
+    /// [`NumericsError::InvalidParameter`] if any sample is non-finite.
+    pub fn from_samples(samples: &[f64]) -> Result<Self> {
+        if samples.is_empty() {
+            return Err(NumericsError::EmptyInput {
+                routine: "Empirical::from_samples",
+            });
+        }
+        if let Some(&bad) = samples.iter().find(|x| !x.is_finite()) {
+            return Err(NumericsError::InvalidParameter {
+                name: "samples",
+                value: bad,
+                requirement: "all samples must be finite",
+            });
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        let mut prefix = Vec::with_capacity(sorted.len() + 1);
+        let mut acc = 0.0;
+        prefix.push(0.0);
+        for &x in &sorted {
+            acc += x;
+            prefix.push(acc);
+        }
+        Ok(Empirical { sorted, prefix })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false: construction rejects empty inputs.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty")
+    }
+
+    /// The sorted samples.
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Number of samples `<= x` (rank), via binary search.
+    pub fn count_le(&self, x: f64) -> usize {
+        self.sorted.partition_point(|&s| s <= x)
+    }
+
+    /// Empirical CDF: fraction of samples `<= x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        self.count_le(x) as f64 / self.len() as f64
+    }
+
+    /// Empirical quantile (inverse CDF, lower semantics): the smallest
+    /// sample `v` with `cdf(v) >= q`. `q` outside `[0,1]` is an error.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericsError::InvalidProbability`] if `q` is not in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&q) {
+            return Err(NumericsError::InvalidProbability { value: q });
+        }
+        if q <= 0.0 {
+            return Ok(self.min());
+        }
+        let k = ((q * self.len() as f64).ceil() as usize).clamp(1, self.len());
+        Ok(self.sorted[k - 1])
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.prefix[self.len()] / self.len() as f64
+    }
+
+    /// Sample variance (population form, divisor `n`).
+    pub fn variance(&self) -> f64 {
+        let m = self.mean();
+        self.sorted.iter().map(|x| (x - m).powi(2)).sum::<f64>() / self.len() as f64
+    }
+
+    /// Conditional mean `E[X | X <= x]`, or `None` when no sample is `<= x`.
+    ///
+    /// This is Eq. 9's expected charged price for a bid `x`, computed
+    /// exactly over the sample atoms.
+    pub fn mean_below(&self, x: f64) -> Option<f64> {
+        let k = self.count_le(x);
+        if k == 0 {
+            None
+        } else {
+            Some(self.prefix[k] / k as f64)
+        }
+    }
+
+    /// Partial sum `Σ_{s <= x} s` — the empirical analogue of
+    /// `∫_{lo}^{x} t f(t) dt` scaled by `n`.
+    pub fn sum_below(&self, x: f64) -> f64 {
+        self.prefix[self.count_le(x)]
+    }
+
+    /// The distinct sample values, ascending. The strategies' cost curves
+    /// only change at these atoms, so exact minimization scans this set.
+    pub fn atoms(&self) -> Vec<f64> {
+        let mut atoms = Vec::new();
+        for &x in &self.sorted {
+            if atoms.last() != Some(&x) {
+                atoms.push(x);
+            }
+        }
+        atoms
+    }
+
+    /// Equal-width histogram over `[min, max]` with `bins` bins.
+    ///
+    /// Returns `(bin_centers, densities)` normalized so the histogram
+    /// integrates to 1 (i.e., a density estimate, matching how Figure 3
+    /// plots the PDF of spot prices). The final bin is closed on the right.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericsError::EmptyInput`] if `bins == 0`.
+    pub fn histogram(&self, bins: usize) -> Result<(Vec<f64>, Vec<f64>)> {
+        if bins == 0 {
+            return Err(NumericsError::EmptyInput {
+                routine: "Empirical::histogram",
+            });
+        }
+        let lo = self.min();
+        let hi = self.max();
+        let width = if hi > lo {
+            (hi - lo) / bins as f64
+        } else {
+            1.0
+        };
+        let mut counts = vec![0usize; bins];
+        for &x in &self.sorted {
+            let i = (((x - lo) / width) as usize).min(bins - 1);
+            counts[i] += 1;
+        }
+        let n = self.len() as f64;
+        let centers = (0..bins).map(|i| lo + (i as f64 + 0.5) * width).collect();
+        let densities = counts.into_iter().map(|c| c as f64 / (n * width)).collect();
+        Ok((centers, densities))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(v: &[f64]) -> Empirical {
+        Empirical::from_samples(v).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Empirical::from_samples(&[]).is_err());
+        assert!(Empirical::from_samples(&[1.0, f64::NAN]).is_err());
+        assert!(Empirical::from_samples(&[f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn cdf_step_semantics() {
+        let d = e(&[1.0, 2.0, 2.0, 5.0]);
+        assert_eq!(d.cdf(0.5), 0.0);
+        assert_eq!(d.cdf(1.0), 0.25);
+        assert_eq!(d.cdf(1.5), 0.25);
+        assert_eq!(d.cdf(2.0), 0.75);
+        assert_eq!(d.cdf(5.0), 1.0);
+        assert_eq!(d.cdf(100.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let d = e(&[10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(d.quantile(0.0).unwrap(), 10.0);
+        assert_eq!(d.quantile(0.25).unwrap(), 10.0);
+        assert_eq!(d.quantile(0.26).unwrap(), 20.0);
+        assert_eq!(d.quantile(0.75).unwrap(), 30.0);
+        assert_eq!(d.quantile(1.0).unwrap(), 40.0);
+        assert!(d.quantile(1.5).is_err());
+        assert!(d.quantile(-0.1).is_err());
+    }
+
+    #[test]
+    fn quantile_cdf_roundtrip_property() {
+        let d = e(&[3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]);
+        for i in 1..=100 {
+            let q = i as f64 / 100.0;
+            let x = d.quantile(q).unwrap();
+            assert!(d.cdf(x) >= q - 1e-12, "q={q} x={x} cdf={}", d.cdf(x));
+        }
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        let d = e(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((d.mean() - 5.0).abs() < 1e-12);
+        assert!((d.variance() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_below_exact() {
+        let d = e(&[1.0, 2.0, 3.0, 10.0]);
+        assert_eq!(d.mean_below(0.5), None);
+        assert_eq!(d.mean_below(1.0), Some(1.0));
+        assert_eq!(d.mean_below(2.5), Some(1.5));
+        assert_eq!(d.mean_below(100.0), Some(4.0));
+    }
+
+    #[test]
+    fn mean_below_is_monotone() {
+        let d = e(&[0.03, 0.031, 0.032, 0.04, 0.05, 0.08, 0.2]);
+        let mut prev = f64::NEG_INFINITY;
+        for a in d.atoms() {
+            let m = d.mean_below(a).unwrap();
+            assert!(m >= prev, "conditional mean must not decrease");
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn sum_below_matches_prefix() {
+        let d = e(&[1.0, 2.0, 3.0]);
+        assert_eq!(d.sum_below(0.0), 0.0);
+        assert_eq!(d.sum_below(2.0), 3.0);
+        assert_eq!(d.sum_below(9.0), 6.0);
+    }
+
+    #[test]
+    fn atoms_dedup() {
+        let d = e(&[2.0, 1.0, 2.0, 2.0, 3.0, 1.0]);
+        assert_eq!(d.atoms(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn histogram_is_a_density() {
+        let d = e(&(0..1000).map(|i| i as f64 / 1000.0).collect::<Vec<_>>());
+        let (centers, dens) = d.histogram(20).unwrap();
+        assert_eq!(centers.len(), 20);
+        let width = centers[1] - centers[0];
+        let mass: f64 = dens.iter().map(|d| d * width).sum();
+        assert!((mass - 1.0).abs() < 1e-9, "mass {mass}");
+        // Uniform data → flat density ≈ 1/(max-min).
+        for &dv in &dens {
+            assert!((dv - 1.0 / 0.999).abs() < 0.1, "{dv}");
+        }
+    }
+
+    #[test]
+    fn histogram_degenerate_single_value() {
+        let d = e(&[5.0, 5.0, 5.0]);
+        let (_, dens) = d.histogram(4).unwrap();
+        assert!(dens.iter().sum::<f64>() > 0.0);
+        assert!(d.histogram(0).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn cdf_monotone(mut xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
+                        probe in -1e6f64..1e6) {
+            let d = Empirical::from_samples(&xs).unwrap();
+            prop_assert!(d.cdf(probe) >= 0.0 && d.cdf(probe) <= 1.0);
+            prop_assert!(d.cdf(probe) <= d.cdf(probe + 1.0));
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            prop_assert_eq!(d.sorted(), &xs[..]);
+        }
+
+        #[test]
+        fn mean_below_max_is_mean(xs in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+            let d = Empirical::from_samples(&xs).unwrap();
+            let m = d.mean_below(d.max()).unwrap();
+            prop_assert!((m - d.mean()).abs() < 1e-9);
+        }
+
+        #[test]
+        fn quantile_in_sample_set(xs in proptest::collection::vec(-1e3f64..1e3, 1..100),
+                                  q in 0.0f64..=1.0) {
+            let d = Empirical::from_samples(&xs).unwrap();
+            let v = d.quantile(q).unwrap();
+            prop_assert!(xs.contains(&v));
+        }
+    }
+}

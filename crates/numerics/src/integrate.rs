@@ -1,0 +1,170 @@
+//! Numerical integration.
+//!
+//! The bidding strategies evaluate `E[π | π ≤ p] = ∫ x f(x) dx / F(p)`
+//! (Eq. 9) for analytic price models, and the fitting code normalizes
+//! model PDFs over the observed price range. Both need reliable
+//! one-dimensional quadrature.
+
+/// Composite trapezoid rule with `n` panels.
+///
+/// Exact for affine integrands; `O(h^2)` otherwise. Used as a cheap
+/// cross-check against [`adaptive_simpson`] in tests and for integrands with
+/// step discontinuities where adaptivity offers no benefit.
+///
+/// # Panics
+///
+/// Panics if `n == 0` (internal misuse).
+pub fn trapezoid<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> f64 {
+    assert!(n > 0, "trapezoid needs at least one panel");
+    if a == b {
+        return 0.0;
+    }
+    let h = (b - a) / n as f64;
+    let mut acc = 0.5 * (f(a) + f(b));
+    for i in 1..n {
+        acc += f(a + i as f64 * h);
+    }
+    acc * h
+}
+
+/// Adaptive Simpson quadrature on `[a, b]` with absolute tolerance `tol`.
+///
+/// `max_depth` bounds recursion; 20–24 is ample for the smooth PDFs used in
+/// this workspace. When the depth limit is hit the best local estimate is
+/// returned rather than erroring: integrands here are probability densities
+/// whose worst case is a sharp but integrable peak, where the local estimate
+/// is still accurate to far better than simulation noise.
+pub fn adaptive_simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64, max_depth: u32) -> f64 {
+    if a == b {
+        return 0.0;
+    }
+    if a > b {
+        return -adaptive_simpson(f, b, a, tol, max_depth);
+    }
+    let m = 0.5 * (a + b);
+    let fa = f(a);
+    let fm = f(m);
+    let fb = f(b);
+    let whole = simpson_panel(a, b, fa, fm, fb);
+    simpson_recurse(&f, a, b, fa, fm, fb, whole, tol, max_depth)
+}
+
+fn simpson_panel(a: f64, b: f64, fa: f64, fm: f64, fb: f64) -> f64 {
+    (b - a) / 6.0 * (fa + 4.0 * fm + fb)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn simpson_recurse<F: Fn(f64) -> f64>(
+    f: &F,
+    a: f64,
+    b: f64,
+    fa: f64,
+    fm: f64,
+    fb: f64,
+    whole: f64,
+    tol: f64,
+    depth: u32,
+) -> f64 {
+    let m = 0.5 * (a + b);
+    let lm = 0.5 * (a + m);
+    let rm = 0.5 * (m + b);
+    let flm = f(lm);
+    let frm = f(rm);
+    let left = simpson_panel(a, m, fa, flm, fm);
+    let right = simpson_panel(m, b, fm, frm, fb);
+    let delta = left + right - whole;
+    if depth == 0 || delta.abs() <= 15.0 * tol {
+        // Richardson extrapolation of the two half-panel estimates.
+        left + right + delta / 15.0
+    } else {
+        simpson_recurse(f, a, m, fa, flm, fm, left, 0.5 * tol, depth - 1)
+            + simpson_recurse(f, m, b, fm, frm, fb, right, 0.5 * tol, depth - 1)
+    }
+}
+
+/// Cumulative trapezoid: returns the running integral of `f` sampled at the
+/// given sorted abscissae. `out[i]` approximates `∫_{xs[0]}^{xs[i]} f`.
+///
+/// Used to precompute `∫ x f(x) dx` tables for analytic price models so the
+/// per-bid-evaluation cost is a lookup, not a quadrature.
+pub fn cumulative_trapezoid(xs: &[f64], ys: &[f64]) -> Vec<f64> {
+    assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc = 0.0;
+    for i in 0..xs.len() {
+        if i > 0 {
+            acc += 0.5 * (ys[i] + ys[i - 1]) * (xs[i] - xs[i - 1]);
+        }
+        out.push(acc);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trapezoid_exact_for_linear() {
+        let v = trapezoid(|x| 2.0 * x + 1.0, 0.0, 4.0, 3);
+        assert!((v - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trapezoid_zero_width() {
+        assert_eq!(trapezoid(|x| x * x, 2.0, 2.0, 10), 0.0);
+    }
+
+    #[test]
+    fn simpson_polynomials_exact() {
+        // Simpson is exact for cubics.
+        let v = adaptive_simpson(|x| x * x * x - 2.0 * x, -1.0, 3.0, 1e-12, 20);
+        let exact = (3.0f64.powi(4) / 4.0 - 9.0) - (0.25 - 1.0);
+        assert!((v - exact).abs() < 1e-10, "{v} vs {exact}");
+    }
+
+    #[test]
+    fn simpson_transcendental() {
+        let v = adaptive_simpson(f64::sin, 0.0, std::f64::consts::PI, 1e-12, 24);
+        assert!((v - 2.0).abs() < 1e-10);
+        let v = adaptive_simpson(f64::exp, 0.0, 1.0, 1e-12, 24);
+        assert!((v - (std::f64::consts::E - 1.0)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn simpson_reversed_interval_negates() {
+        let a = adaptive_simpson(|x| x * x, 0.0, 2.0, 1e-10, 20);
+        let b = adaptive_simpson(|x| x * x, 2.0, 0.0, 1e-10, 20);
+        assert!((a + b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simpson_sharp_peak() {
+        // A narrow Gaussian bump: total mass 1.
+        let s = 1e-3;
+        let f =
+            |x: f64| (-0.5 * ((x - 0.5) / s).powi(2)).exp() / (s * (std::f64::consts::TAU).sqrt());
+        let v = adaptive_simpson(f, 0.0, 1.0, 1e-10, 40);
+        assert!((v - 1.0).abs() < 1e-6, "mass {v}");
+    }
+
+    #[test]
+    fn simpson_agrees_with_trapezoid() {
+        let f = |x: f64| (1.0 + x * x).ln();
+        let s = adaptive_simpson(f, 0.0, 2.0, 1e-10, 20);
+        let t = trapezoid(f, 0.0, 2.0, 200_000);
+        assert!((s - t).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cumulative_trapezoid_matches_analytic() {
+        let xs: Vec<f64> = (0..=1000).map(|i| i as f64 / 1000.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| x * x).collect();
+        let cum = cumulative_trapezoid(&xs, &ys);
+        assert_eq!(cum[0], 0.0);
+        // ∫_0^1 x^2 = 1/3.
+        assert!((cum[1000] - 1.0 / 3.0).abs() < 1e-6);
+        // Monotone for non-negative integrand.
+        assert!(cum.windows(2).all(|w| w[1] >= w[0]));
+    }
+}

@@ -1,0 +1,187 @@
+//! # spotbid-numerics
+//!
+//! Probability and numerical substrate for the `spotbid` workspace, the
+//! reproduction of *How to Bid the Cloud* (SIGCOMM 2015).
+//!
+//! The paper's bidding strategies are driven entirely by the spot-price
+//! distribution: they need PDFs, CDFs, quantiles, conditional expectations,
+//! distribution fitting (Figure 3), root finding (the `ψ⁻¹` inversion of
+//! Proposition 5), numerical integration (Eq. 9's conditional mean for
+//! analytic models), and statistical tests (the Kolmogorov–Smirnov day/night
+//! stationarity check in §4.3). The Rust ecosystem's numeric crates are thin
+//! in this area, so this crate implements exactly the pieces the paper needs,
+//! from scratch, with no dependencies.
+//!
+//! ## Modules
+//!
+//! - [`rng`] — a small, deterministic, seedable PRNG (xoshiro256++) so every
+//!   experiment in the workspace is reproducible from a `u64` seed.
+//! - [`dist`] — analytic continuous distributions (Pareto, exponential,
+//!   uniform, log-normal, Weibull) behind the [`ContinuousDist`] trait.
+//! - [`empirical`] — empirical distributions built from samples: ECDF,
+//!   quantiles, histograms, conditional means.
+//! - [`integrate`] — trapezoid and adaptive Simpson quadrature.
+//! - [`roots`] — bisection and Brent root finding.
+//! - [`optimize`] — golden-section search, refining grid search, and
+//!   Nelder–Mead, used for least-squares distribution fitting.
+//! - [`fit`] — histogram least-squares fitting and maximum-likelihood
+//!   estimators.
+//! - [`stats`] — descriptive statistics, mean-squared error, autocorrelation,
+//!   and the two-sample Kolmogorov–Smirnov test.
+//!
+//! ## Example
+//!
+//! ```
+//! use spotbid_numerics::dist::{ContinuousDist, Pareto};
+//! use spotbid_numerics::rng::Rng;
+//!
+//! let d = Pareto::new(1.0, 5.0).unwrap();
+//! let mut rng = Rng::seed_from_u64(7);
+//! let xs: Vec<f64> = (0..1000).map(|_| d.sample(&mut rng)).collect();
+//! let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+//! // Pareto(x_min = 1, alpha = 5) has mean alpha/(alpha-1) = 1.25.
+//! assert!((mean - 1.25).abs() < 0.05);
+//! ```
+
+#![warn(missing_docs)]
+// Parameter validation deliberately uses negated comparisons like
+// `!(x > 0.0)` so that NaN fails validation; the suggested `x <= 0.0`
+// would let NaN through.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+pub mod dist;
+pub mod empirical;
+pub mod fit;
+pub mod integrate;
+pub mod optimize;
+pub mod rng;
+pub mod roots;
+pub mod stats;
+
+pub use dist::ContinuousDist;
+pub use empirical::Empirical;
+pub use rng::Rng;
+
+use std::fmt;
+
+/// Errors produced by numerical routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumericsError {
+    /// A distribution parameter was out of its valid domain.
+    InvalidParameter {
+        /// Human-readable parameter name, e.g. `"alpha"`.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+        /// What the parameter must satisfy, e.g. `"must be > 0"`.
+        requirement: &'static str,
+    },
+    /// A bracketing root finder was called on an interval whose endpoints do
+    /// not bracket a sign change.
+    NoBracket {
+        /// Left endpoint of the attempted bracket.
+        a: f64,
+        /// Right endpoint of the attempted bracket.
+        b: f64,
+    },
+    /// An iterative routine failed to converge within its iteration budget.
+    NoConvergence {
+        /// Name of the routine that failed.
+        routine: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+    /// An input slice was empty where at least one element is required.
+    EmptyInput {
+        /// Name of the routine that received the empty input.
+        routine: &'static str,
+    },
+    /// A probability argument was outside `[0, 1]`.
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+    },
+    /// An interval `[a, b]` was invalid (e.g. `a >= b` or non-finite).
+    InvalidInterval {
+        /// Left endpoint.
+        a: f64,
+        /// Right endpoint.
+        b: f64,
+    },
+}
+
+impl fmt::Display for NumericsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericsError::InvalidParameter {
+                name,
+                value,
+                requirement,
+            } => write!(f, "invalid parameter {name} = {value}: {requirement}"),
+            NumericsError::NoBracket { a, b } => {
+                write!(f, "no sign change on [{a}, {b}]: cannot bracket a root")
+            }
+            NumericsError::NoConvergence {
+                routine,
+                iterations,
+            } => write!(
+                f,
+                "{routine} failed to converge after {iterations} iterations"
+            ),
+            NumericsError::EmptyInput { routine } => {
+                write!(f, "{routine} requires at least one input value")
+            }
+            NumericsError::InvalidProbability { value } => {
+                write!(f, "probability {value} is outside [0, 1]")
+            }
+            NumericsError::InvalidInterval { a, b } => {
+                write!(f, "invalid interval [{a}, {b}]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NumericsError {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, NumericsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = NumericsError::InvalidParameter {
+            name: "alpha",
+            value: -1.0,
+            requirement: "must be > 0",
+        };
+        assert!(e.to_string().contains("alpha"));
+        assert!(e.to_string().contains("-1"));
+
+        let e = NumericsError::NoBracket { a: 0.0, b: 1.0 };
+        assert!(e.to_string().contains("[0, 1]"));
+
+        let e = NumericsError::NoConvergence {
+            routine: "brent",
+            iterations: 100,
+        };
+        assert!(e.to_string().contains("brent"));
+
+        let e = NumericsError::EmptyInput { routine: "ecdf" };
+        assert!(e.to_string().contains("ecdf"));
+
+        let e = NumericsError::InvalidProbability { value: 2.0 };
+        assert!(e.to_string().contains('2'));
+
+        let e = NumericsError::InvalidInterval { a: 3.0, b: 1.0 };
+        assert!(e.to_string().contains("[3, 1]"));
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&NumericsError::EmptyInput { routine: "x" });
+    }
+}

@@ -1,0 +1,285 @@
+//! Scalar and low-dimensional minimization.
+//!
+//! Used in two places:
+//!
+//! - the user's cost functions `Φ_so`, `Φ_sp`, `Φ_mp` (Eqs. 10, 15, 19) are
+//!   minimized over the bid price — unimodal on smooth price models
+//!   (Proposition 5 proves first-decreasing-then-increasing), so
+//!   golden-section search applies; on empirical models the refining grid
+//!   search is the robust fallback;
+//! - Figure 3's least-squares fit of the model PDF to the empirical price
+//!   histogram over `(β, θ, α)` / `(β, θ, η)` uses Nelder–Mead.
+
+use crate::{NumericsError, Result};
+
+/// Golden-section search for the minimum of a unimodal `f` on `[a, b]`.
+///
+/// Returns `(x_min, f(x_min))` with `x` resolved to `tol`.
+///
+/// # Errors
+///
+/// [`NumericsError::InvalidInterval`] if the interval is malformed.
+pub fn golden_section_min<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> Result<(f64, f64)> {
+    if !(a < b) || !a.is_finite() || !b.is_finite() {
+        return Err(NumericsError::InvalidInterval { a, b });
+    }
+    let inv_phi = (5.0f64.sqrt() - 1.0) / 2.0; // 1/φ ≈ 0.618
+    let mut lo = a;
+    let mut hi = b;
+    let mut x1 = hi - inv_phi * (hi - lo);
+    let mut x2 = lo + inv_phi * (hi - lo);
+    let mut f1 = f(x1);
+    let mut f2 = f(x2);
+    while (hi - lo) > tol {
+        if f1 <= f2 {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - inv_phi * (hi - lo);
+            f1 = f(x1);
+        } else {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + inv_phi * (hi - lo);
+            f2 = f(x2);
+        }
+    }
+    let x = 0.5 * (lo + hi);
+    Ok((x, f(x)))
+}
+
+/// Refining grid search: evaluates `f` on `n`-point grids over `[a, b]`,
+/// zooming into the neighbourhood of the best point for `rounds` rounds.
+///
+/// Unlike golden-section this does not assume unimodality, so it is the
+/// safe choice for the piecewise-constant cost curves induced by empirical
+/// price distributions. Returns `(x_min, f(x_min))`.
+///
+/// # Errors
+///
+/// [`NumericsError::InvalidInterval`] if the interval is malformed, or
+/// [`NumericsError::EmptyInput`] if `n < 2`.
+pub fn grid_min_refine<F: Fn(f64) -> f64>(
+    f: F,
+    a: f64,
+    b: f64,
+    n: usize,
+    rounds: usize,
+) -> Result<(f64, f64)> {
+    if !(a <= b) || !a.is_finite() || !b.is_finite() {
+        return Err(NumericsError::InvalidInterval { a, b });
+    }
+    if n < 2 {
+        return Err(NumericsError::EmptyInput {
+            routine: "grid_min_refine",
+        });
+    }
+    let mut lo = a;
+    let mut hi = b;
+    let mut best_x = a;
+    let mut best_f = f64::INFINITY;
+    for _ in 0..rounds.max(1) {
+        let h = (hi - lo) / (n - 1) as f64;
+        let mut round_best_i = 0;
+        for i in 0..n {
+            let x = lo + i as f64 * h;
+            let v = f(x);
+            if v < best_f {
+                best_f = v;
+                best_x = x;
+                round_best_i = i;
+            }
+        }
+        // Zoom into one grid cell either side of the best point.
+        let new_lo = lo + round_best_i.saturating_sub(1) as f64 * h;
+        let new_hi = (lo + (round_best_i + 1) as f64 * h).min(hi);
+        if new_hi - new_lo < f64::EPSILON * (1.0 + hi.abs()) {
+            break;
+        }
+        lo = new_lo;
+        hi = new_hi;
+    }
+    Ok((best_x, best_f))
+}
+
+/// Nelder–Mead downhill-simplex minimization in `dim` dimensions.
+///
+/// `x0` is the initial point; `step` the initial simplex edge lengths.
+/// Stops after `max_iter` iterations or when the simplex's function-value
+/// spread falls below `ftol`. Returns `(x_min, f_min)`.
+///
+/// Standard coefficients (reflection 1, expansion 2, contraction ½,
+/// shrink ½). Restart-free; callers wanting robustness against local
+/// minima should multi-start with different `x0` (the fitting code does).
+///
+/// # Errors
+///
+/// [`NumericsError::EmptyInput`] if `x0` is empty or lengths mismatch.
+pub fn nelder_mead<F: Fn(&[f64]) -> f64>(
+    f: F,
+    x0: &[f64],
+    step: &[f64],
+    ftol: f64,
+    max_iter: usize,
+) -> Result<(Vec<f64>, f64)> {
+    let dim = x0.len();
+    if dim == 0 || step.len() != dim {
+        return Err(NumericsError::EmptyInput {
+            routine: "nelder_mead",
+        });
+    }
+    // Build initial simplex: x0 plus one vertex per coordinate offset.
+    let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(dim + 1);
+    simplex.push(x0.to_vec());
+    for i in 0..dim {
+        let mut v = x0.to_vec();
+        v[i] += if step[i] != 0.0 { step[i] } else { 1e-3 };
+        simplex.push(v);
+    }
+    let mut fv: Vec<f64> = simplex.iter().map(|v| f(v)).collect();
+
+    for _ in 0..max_iter {
+        // Order vertices by function value.
+        let mut idx: Vec<usize> = (0..=dim).collect();
+        idx.sort_by(|&i, &j| {
+            fv[i]
+                .partial_cmp(&fv[j])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let best = idx[0];
+        let worst = idx[dim];
+        let second_worst = idx[dim - 1];
+        if (fv[worst] - fv[best]).abs() <= ftol * (1.0 + fv[best].abs()) {
+            return Ok((simplex[best].clone(), fv[best]));
+        }
+        // Centroid of all but the worst vertex.
+        let mut centroid = vec![0.0; dim];
+        for (i, v) in simplex.iter().enumerate() {
+            if i != worst {
+                for d in 0..dim {
+                    centroid[d] += v[d] / dim as f64;
+                }
+            }
+        }
+        let lerp = |t: f64| -> Vec<f64> {
+            (0..dim)
+                .map(|d| centroid[d] + t * (centroid[d] - simplex[worst][d]))
+                .collect()
+        };
+        let xr = lerp(1.0);
+        let fr = f(&xr);
+        if fr < fv[best] {
+            let xe = lerp(2.0);
+            let fe = f(&xe);
+            if fe < fr {
+                simplex[worst] = xe;
+                fv[worst] = fe;
+            } else {
+                simplex[worst] = xr;
+                fv[worst] = fr;
+            }
+        } else if fr < fv[second_worst] {
+            simplex[worst] = xr;
+            fv[worst] = fr;
+        } else {
+            let xc = lerp(-0.5);
+            let fc = f(&xc);
+            if fc < fv[worst] {
+                simplex[worst] = xc;
+                fv[worst] = fc;
+            } else {
+                // Shrink towards the best vertex.
+                let best_v = simplex[best].clone();
+                for (i, v) in simplex.iter_mut().enumerate() {
+                    if i != best {
+                        for d in 0..dim {
+                            v[d] = best_v[d] + 0.5 * (v[d] - best_v[d]);
+                        }
+                        fv[i] = f(v);
+                    }
+                }
+            }
+        }
+    }
+    let (i, _) = fv
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .expect("simplex non-empty");
+    Ok((simplex[i].clone(), fv[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_section_quadratic() {
+        let (x, v) = golden_section_min(|x| (x - 1.7).powi(2) + 3.0, -10.0, 10.0, 1e-10).unwrap();
+        // Comparison-based minimization resolves x only to ~sqrt(eps) scale
+        // near a flat quadratic minimum, even with a tighter interval tol.
+        assert!((x - 1.7).abs() < 1e-6);
+        assert!((v - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn golden_section_boundary_minimum() {
+        let (x, _) = golden_section_min(|x| x, 2.0, 5.0, 1e-10).unwrap();
+        assert!((x - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn golden_section_bad_interval() {
+        assert!(golden_section_min(|x| x, 5.0, 2.0, 1e-8).is_err());
+    }
+
+    #[test]
+    fn grid_refine_multimodal_global() {
+        // Two minima; the global one at x ≈ 4.5 is the answer.
+        let f = |x: f64| (x - 1.0).powi(2).min((x - 4.5).powi(2) - 0.5);
+        let (x, _) = grid_min_refine(f, 0.0, 6.0, 101, 6).unwrap();
+        assert!((x - 4.5).abs() < 1e-3, "{x}");
+    }
+
+    #[test]
+    fn grid_refine_step_function() {
+        // Piecewise constant with the minimum plateau on [2, 3).
+        let f = |x: f64| if (2.0..3.0).contains(&x) { -1.0 } else { 0.0 };
+        let (x, v) = grid_min_refine(f, 0.0, 5.0, 51, 4).unwrap();
+        assert_eq!(v, -1.0);
+        assert!((2.0..3.0).contains(&x));
+    }
+
+    #[test]
+    fn grid_refine_validation() {
+        assert!(grid_min_refine(|x| x, 1.0, 0.0, 10, 2).is_err());
+        assert!(grid_min_refine(|x| x, 0.0, 1.0, 1, 2).is_err());
+        // Degenerate zero-width interval is allowed.
+        let (x, _) = grid_min_refine(|x| x, 2.0, 2.0, 5, 2).unwrap();
+        assert_eq!(x, 2.0);
+    }
+
+    #[test]
+    fn nelder_mead_rosenbrock() {
+        let rosen = |v: &[f64]| (1.0 - v[0]).powi(2) + 100.0 * (v[1] - v[0] * v[0]).powi(2);
+        let (x, fval) = nelder_mead(rosen, &[-1.2, 1.0], &[0.5, 0.5], 1e-14, 5000).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-4, "{x:?}");
+        assert!((x[1] - 1.0).abs() < 1e-4, "{x:?}");
+        assert!(fval < 1e-8);
+    }
+
+    #[test]
+    fn nelder_mead_3d_sphere() {
+        let f = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>();
+        let (x, fval) = nelder_mead(f, &[3.0, -2.0, 1.0], &[1.0, 1.0, 1.0], 1e-14, 5000).unwrap();
+        assert!(x.iter().all(|c| c.abs() < 1e-5), "{x:?}");
+        assert!(fval < 1e-9);
+    }
+
+    #[test]
+    fn nelder_mead_validation() {
+        assert!(nelder_mead(|_| 0.0, &[], &[], 1e-8, 10).is_err());
+        assert!(nelder_mead(|_| 0.0, &[1.0], &[], 1e-8, 10).is_err());
+    }
+}

@@ -1,0 +1,309 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every experiment in the workspace must be reproducible from a single
+//! `u64` seed (the paper repeats each EC2 experiment ten times; we repeat
+//! each simulated experiment over ten seeds). This module implements
+//! xoshiro256++ — a small, fast, well-tested generator — seeded through
+//! SplitMix64 so that even adjacent integer seeds produce decorrelated
+//! streams.
+
+/// A seedable xoshiro256++ pseudo-random number generator.
+///
+/// Not cryptographically secure; intended for simulation only.
+///
+/// # Example
+///
+/// ```
+/// use spotbid_numerics::rng::Rng;
+/// let mut a = Rng::seed_from_u64(42);
+/// let mut b = Rng::seed_from_u64(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+/// SplitMix64 step, used to expand a single `u64` seed into the four words
+/// of xoshiro state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng { s }
+    }
+
+    /// Returns the next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // Use the top 53 bits for a uniformly distributed mantissa.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform `f64` in the open interval `(0, 1)`.
+    ///
+    /// Useful for inverse-CDF sampling where an exact 0 would map to the
+    /// lower support bound (or `-inf` for unbounded distributions).
+    pub fn next_f64_open(&mut self) -> f64 {
+        loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                return u;
+            }
+        }
+    }
+
+    /// Returns a uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or either bound is non-finite (internal misuse,
+    /// not user input).
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "bad range");
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Returns a uniform `usize` in `[0, n)` using rejection to avoid modulo
+    /// bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn range_usize(&mut self, n: usize) -> usize {
+        assert!(n > 0, "range_usize(0)");
+        let n = n as u64;
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return (v % n) as usize;
+            }
+        }
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Samples a standard normal variate via the Box–Muller transform.
+    pub fn normal(&mut self) -> f64 {
+        let u1 = self.next_f64_open();
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Samples an exponential variate with the given mean, via inversion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean <= 0`.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        -mean * self.next_f64_open().ln()
+    }
+
+    /// Samples a Poisson variate with the given mean.
+    ///
+    /// Uses Knuth's product method for small means and a normal
+    /// approximation (rounded, clamped at zero) for large means, which is
+    /// accurate to well within simulation noise for `mean > 30`.
+    pub fn poisson(&mut self, mean: f64) -> u64 {
+        assert!(mean >= 0.0, "poisson mean must be non-negative");
+        if mean == 0.0 {
+            return 0;
+        }
+        if mean > 30.0 {
+            let x = mean + mean.sqrt() * self.normal();
+            return x.round().max(0.0) as u64;
+        }
+        let l = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= self.next_f64_open();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+
+    /// Fisher–Yates shuffle of a slice, in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.range_usize(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Forks an independent generator, advancing this one.
+    ///
+    /// Handy for giving each trial of an experiment its own stream while the
+    /// harness keeps a master generator.
+    pub fn fork(&mut self) -> Rng {
+        Rng::seed_from_u64(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Rng::seed_from_u64(123);
+        let mut b = Rng::seed_from_u64(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = Rng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let u = rng.next_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn next_f64_mean_is_half() {
+        let mut rng = Rng::seed_from_u64(5);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn range_usize_covers_all_values() {
+        let mut rng = Rng::seed_from_u64(11);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[rng.range_usize(7)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn range_f64_respects_bounds() {
+        let mut rng = Rng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = rng.range_f64(-2.0, 3.5);
+            assert!((-2.0..3.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = Rng::seed_from_u64(1);
+        assert!(!(0..100).any(|_| rng.chance(0.0)));
+        assert!((0..100).all(|_| rng.chance(1.0)));
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Rng::seed_from_u64(17);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = Rng::seed_from_u64(23);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.exponential(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_small_mean() {
+        let mut rng = Rng::seed_from_u64(29);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.poisson(4.0) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_mean_uses_normal_approx() {
+        let mut rng = Rng::seed_from_u64(31);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.poisson(100.0) as f64).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 0.5, "mean {mean}");
+        assert!((var - 100.0).abs() < 5.0, "var {var}");
+    }
+
+    #[test]
+    fn poisson_zero_mean() {
+        let mut rng = Rng::seed_from_u64(37);
+        assert_eq!(rng.poisson(0.0), 0);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::seed_from_u64(41);
+        let mut xs: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            xs,
+            (0..50).collect::<Vec<_>>(),
+            "shuffle left input in order"
+        );
+    }
+
+    #[test]
+    fn fork_produces_independent_streams() {
+        let mut parent = Rng::seed_from_u64(7);
+        let mut c1 = parent.fork();
+        let mut c2 = parent.fork();
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+}

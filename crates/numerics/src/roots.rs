@@ -1,0 +1,227 @@
+//! Scalar root finding.
+//!
+//! Proposition 5's optimal persistent bid is `p* = ψ⁻¹(t_k/t_r − 1)`; the
+//! inversion of `ψ` (and of `h` in the provider model) is done with the
+//! bracketing methods here. Both methods require a sign change on the input
+//! interval and return [`crate::NumericsError::NoBracket`] otherwise, which
+//! callers in `spotbid-core` surface as "no feasible bid".
+
+use crate::{NumericsError, Result};
+
+/// Bisection on `[a, b]` to absolute tolerance `tol` on `x`.
+///
+/// Robust and simple; ~50 iterations for full `f64` resolution. Exact
+/// endpoint roots are returned immediately.
+///
+/// # Errors
+///
+/// [`NumericsError::InvalidInterval`] if the interval is malformed, or
+/// [`NumericsError::NoBracket`] if `f(a)` and `f(b)` have the same sign.
+pub fn bisect<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> Result<f64> {
+    if !(a < b) || !a.is_finite() || !b.is_finite() {
+        return Err(NumericsError::InvalidInterval { a, b });
+    }
+    let mut lo = a;
+    let mut hi = b;
+    let mut flo = f(lo);
+    let fhi = f(hi);
+    if flo == 0.0 {
+        return Ok(lo);
+    }
+    if fhi == 0.0 {
+        return Ok(hi);
+    }
+    if flo.signum() == fhi.signum() {
+        return Err(NumericsError::NoBracket { a, b });
+    }
+    // 200 iterations is more than enough to reach any tol >= f64 epsilon
+    // scale on a finite interval.
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        let fmid = f(mid);
+        if fmid == 0.0 || (hi - lo) < tol {
+            return Ok(mid);
+        }
+        if fmid.signum() == flo.signum() {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+/// Brent's method on `[a, b]`: bisection safety with inverse-quadratic /
+/// secant acceleration. Converges superlinearly on smooth functions.
+///
+/// # Errors
+///
+/// Same contract as [`bisect`].
+pub fn brent<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, tol: f64) -> Result<f64> {
+    if !(a < b) || !a.is_finite() || !b.is_finite() {
+        return Err(NumericsError::InvalidInterval { a, b });
+    }
+    let mut xa = a;
+    let mut xb = b;
+    let mut fa = f(xa);
+    let mut fb = f(xb);
+    if fa == 0.0 {
+        return Ok(xa);
+    }
+    if fb == 0.0 {
+        return Ok(xb);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumericsError::NoBracket { a, b });
+    }
+    // Ensure |f(xb)| <= |f(xa)|: xb is the best iterate.
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut xa, &mut xb);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut xc = xa;
+    let mut fc = fa;
+    let mut mflag = true;
+    let mut xd = xa; // previous xc; only read after first iteration
+    for _ in 0..200 {
+        if fb == 0.0 || (xb - xa).abs() < tol {
+            return Ok(xb);
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            xa * fb * fc / ((fa - fb) * (fa - fc))
+                + xb * fa * fc / ((fb - fa) * (fb - fc))
+                + xc * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            xb - fb * (xb - xa) / (fb - fa)
+        };
+        let lo = 0.25 * (3.0 * xa + xb);
+        let between = if lo < xb {
+            (lo..=xb).contains(&s)
+        } else {
+            (xb..=lo).contains(&s)
+        };
+        let cond = !between
+            || (mflag && (s - xb).abs() >= 0.5 * (xb - xc).abs())
+            || (!mflag && (s - xb).abs() >= 0.5 * (xc - xd).abs())
+            || (mflag && (xb - xc).abs() < tol)
+            || (!mflag && (xc - xd).abs() < tol);
+        if cond {
+            s = 0.5 * (xa + xb);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+        let fs = f(s);
+        xd = xc;
+        xc = xb;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            xb = s;
+            fb = fs;
+        } else {
+            xa = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut xa, &mut xb);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Ok(xb)
+}
+
+/// Finds a sign-change bracket for `f` by scanning `n` equal subintervals of
+/// `[a, b]`, returning the first `(lo, hi)` with `f(lo)·f(hi) <= 0`.
+///
+/// The `ψ` function of Proposition 5 is only piecewise-smooth on empirical
+/// price models, so the core crate scans for a bracket before refining with
+/// [`brent`].
+pub fn scan_bracket<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> Option<(f64, f64)> {
+    if !(a < b) || n == 0 {
+        return None;
+    }
+    let h = (b - a) / n as f64;
+    let mut x0 = a;
+    let mut f0 = f(x0);
+    for i in 1..=n {
+        let x1 = a + i as f64 * h;
+        let f1 = f(x1);
+        if f0 == 0.0 || f0.signum() != f1.signum() {
+            return Some((x0, x1));
+        }
+        x0 = x1;
+        f0 = f1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_simple() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_endpoint_roots() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-12).unwrap(), 0.0);
+        assert_eq!(bisect(|x| x - 1.0, 0.0, 1.0, 1e-12).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn bisect_no_bracket() {
+        assert!(matches!(
+            bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-9),
+            Err(NumericsError::NoBracket { .. })
+        ));
+    }
+
+    #[test]
+    fn bisect_bad_interval() {
+        assert!(matches!(
+            bisect(|x| x, 1.0, 0.0, 1e-9),
+            Err(NumericsError::InvalidInterval { .. })
+        ));
+        assert!(bisect(|x| x, f64::NAN, 1.0, 1e-9).is_err());
+    }
+
+    #[test]
+    fn brent_matches_bisect() {
+        let f = |x: f64| x.cos() - x;
+        let rb = bisect(f, 0.0, 1.0, 1e-13).unwrap();
+        let rr = brent(f, 0.0, 1.0, 1e-13).unwrap();
+        assert!((rb - rr).abs() < 1e-10);
+        assert!((rr - 0.739_085_133_215_160_6).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_hard_function() {
+        // Nearly flat then steep: stress the safeguard logic.
+        let f = |x: f64| (x - 3.0).powi(3) + 1e-6 * (x - 3.0);
+        let r = brent(f, 0.0, 10.0, 1e-13).unwrap();
+        assert!((r - 3.0).abs() < 1e-6, "{r}");
+    }
+
+    #[test]
+    fn brent_no_bracket() {
+        assert!(brent(|_| 1.0, 0.0, 1.0, 1e-9).is_err());
+    }
+
+    #[test]
+    fn scan_bracket_finds_interior_root() {
+        let (lo, hi) = scan_bracket(|x| (x - 0.37).sin(), 0.0, 1.0, 50).unwrap();
+        assert!(lo <= 0.37 && 0.37 <= hi);
+    }
+
+    #[test]
+    fn scan_bracket_none_when_no_root() {
+        assert!(scan_bracket(|x| x * x + 1.0, -1.0, 1.0, 100).is_none());
+        assert!(scan_bracket(|x| x, 1.0, 0.0, 10).is_none());
+    }
+}

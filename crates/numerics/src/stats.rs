@@ -1,0 +1,473 @@
+//! Descriptive statistics and hypothesis tests.
+//!
+//! §4.3 of the paper uses a Kolmogorov–Smirnov test to check that daytime
+//! and nighttime spot prices come from similar distributions (p > 0.01,
+//! supporting the i.i.d. arrival assumption), reports fit quality as
+//! mean-squared error (< 1e-6), and cites the rapid decay of the spot
+//! price autocorrelation as the reason to predict with the marginal
+//! distribution rather than a time-series model.
+
+use crate::{NumericsError, Result};
+
+/// Arithmetic mean.
+///
+/// # Errors
+///
+/// [`NumericsError::EmptyInput`] on an empty slice.
+pub fn mean(xs: &[f64]) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(NumericsError::EmptyInput { routine: "mean" });
+    }
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Population variance (divisor `n`).
+///
+/// # Errors
+///
+/// [`NumericsError::EmptyInput`] on an empty slice.
+pub fn variance(xs: &[f64]) -> Result<f64> {
+    let m = mean(xs)?;
+    Ok(xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Population standard deviation.
+///
+/// # Errors
+///
+/// [`NumericsError::EmptyInput`] on an empty slice.
+pub fn std_dev(xs: &[f64]) -> Result<f64> {
+    Ok(variance(xs)?.sqrt())
+}
+
+/// Mean squared error between two equally long series.
+///
+/// # Errors
+///
+/// [`NumericsError::EmptyInput`] if empty or lengths mismatch.
+pub fn mse(a: &[f64], b: &[f64]) -> Result<f64> {
+    if a.is_empty() || a.len() != b.len() {
+        return Err(NumericsError::EmptyInput { routine: "mse" });
+    }
+    Ok(a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum::<f64>() / a.len() as f64)
+}
+
+/// Sample autocorrelation at the given lag.
+///
+/// Returns 0 for a constant series (zero variance) — the convention that
+/// suits "is there temporal structure?" checks.
+///
+/// # Errors
+///
+/// [`NumericsError::EmptyInput`] if `lag >= len`.
+pub fn autocorrelation(xs: &[f64], lag: usize) -> Result<f64> {
+    if xs.len() <= lag {
+        return Err(NumericsError::EmptyInput {
+            routine: "autocorrelation",
+        });
+    }
+    let m = mean(xs)?;
+    let denom: f64 = xs.iter().map(|x| (x - m).powi(2)).sum();
+    if denom == 0.0 {
+        return Ok(0.0);
+    }
+    let num: f64 = xs.windows(lag + 1).map(|w| (w[0] - m) * (w[lag] - m)).sum();
+    Ok(num / denom)
+}
+
+/// Result of a two-sample Kolmogorov–Smirnov test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsTest {
+    /// The KS statistic: the supremum distance between the two ECDFs.
+    pub statistic: f64,
+    /// Asymptotic p-value (Kolmogorov distribution approximation).
+    pub p_value: f64,
+}
+
+/// Two-sample Kolmogorov–Smirnov test.
+///
+/// Tests the null hypothesis that both samples are drawn from the same
+/// continuous distribution. The p-value uses the asymptotic Kolmogorov
+/// series, accurate for sample sizes above a few dozen — the paper applies
+/// this to thousands of five-minute price observations.
+///
+/// # Errors
+///
+/// [`NumericsError::EmptyInput`] if either sample is empty.
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> Result<KsTest> {
+    if a.is_empty() || b.is_empty() {
+        return Err(NumericsError::EmptyInput {
+            routine: "ks_two_sample",
+        });
+    }
+    let mut xa = a.to_vec();
+    let mut xb = b.to_vec();
+    xa.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    xb.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+    let (na, nb) = (xa.len(), xb.len());
+    let (mut ia, mut ib) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while ia < na && ib < nb {
+        let va = xa[ia];
+        let vb = xb[ib];
+        let x = va.min(vb);
+        while ia < na && xa[ia] <= x {
+            ia += 1;
+        }
+        while ib < nb && xb[ib] <= x {
+            ib += 1;
+        }
+        let fa = ia as f64 / na as f64;
+        let fb = ib as f64 / nb as f64;
+        d = d.max((fa - fb).abs());
+    }
+    let n_eff = (na as f64 * nb as f64) / (na + nb) as f64;
+    let lambda = (n_eff.sqrt() + 0.12 + 0.11 / n_eff.sqrt()) * d;
+    Ok(KsTest {
+        statistic: d,
+        p_value: kolmogorov_sf(lambda),
+    })
+}
+
+/// One-sample Kolmogorov–Smirnov test against an analytic CDF.
+///
+/// Tests whether `samples` are drawn from the continuous distribution
+/// whose CDF is `cdf`. Used by the workspace's distribution coherence
+/// checks to validate samplers against their own CDFs.
+///
+/// # Errors
+///
+/// [`NumericsError::EmptyInput`] for an empty sample.
+pub fn ks_one_sample<F: Fn(f64) -> f64>(samples: &[f64], cdf: F) -> Result<KsTest> {
+    if samples.is_empty() {
+        return Err(NumericsError::EmptyInput {
+            routine: "ks_one_sample",
+        });
+    }
+    let mut xs = samples.to_vec();
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let n = xs.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in xs.iter().enumerate() {
+        let f = cdf(x);
+        let lo = i as f64 / n;
+        let hi = (i + 1) as f64 / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    let sqrt_n = n.sqrt();
+    let lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+    Ok(KsTest {
+        statistic: d,
+        p_value: kolmogorov_sf(lambda),
+    })
+}
+
+/// Survival function of the Kolmogorov distribution,
+/// `Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} exp(−2 k² λ²)`.
+fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64 * lambda).powi(2)).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// Percentile of a slice (nearest-rank, `q` in `[0, 1]`), without requiring
+/// an [`crate::Empirical`] (one-shot use).
+///
+/// # Errors
+///
+/// [`NumericsError::EmptyInput`] on an empty slice, or
+/// [`NumericsError::InvalidProbability`] for `q` outside `[0, 1]`.
+pub fn percentile(xs: &[f64], q: f64) -> Result<f64> {
+    if xs.is_empty() {
+        return Err(NumericsError::EmptyInput {
+            routine: "percentile",
+        });
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(NumericsError::InvalidProbability { value: q });
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let k = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len());
+    Ok(v[k - 1])
+}
+
+/// Bootstrap percentile confidence interval for the mean of a sample.
+///
+/// Resamples with replacement `resamples` times and returns the
+/// `(lo, hi)` percentile interval at the given confidence level. More
+/// honest than the normal-approximation `ci95` for the small (n = 10),
+/// skewed trial sets the paper's experiments produce.
+///
+/// # Errors
+///
+/// [`NumericsError::EmptyInput`] on an empty sample or zero resamples;
+/// [`NumericsError::InvalidProbability`] for a confidence outside (0, 1).
+pub fn bootstrap_mean_ci(
+    xs: &[f64],
+    confidence: f64,
+    resamples: usize,
+    rng: &mut crate::rng::Rng,
+) -> Result<(f64, f64)> {
+    if xs.is_empty() || resamples == 0 {
+        return Err(NumericsError::EmptyInput {
+            routine: "bootstrap_mean_ci",
+        });
+    }
+    if !(0.0 < confidence && confidence < 1.0) {
+        return Err(NumericsError::InvalidProbability { value: confidence });
+    }
+    let n = xs.len();
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut acc = 0.0;
+        for _ in 0..n {
+            acc += xs[rng.range_usize(n)];
+        }
+        means.push(acc / n as f64);
+    }
+    let alpha = (1.0 - confidence) / 2.0;
+    let lo = percentile(&means, alpha)?;
+    let hi = percentile(&means, 1.0 - alpha)?;
+    Ok((lo, hi))
+}
+
+/// Summary statistics for a set of experiment trials: mean, standard
+/// deviation, and a 95% normal-approximation confidence half-width.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (divisor `n − 1`; 0 for a single trial).
+    pub std_dev: f64,
+    /// 95% confidence half-width `1.96·s/√n`.
+    pub ci95: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+/// Summarizes a set of trial outcomes (the paper repeats each experiment
+/// ten times and reports averages).
+///
+/// # Errors
+///
+/// [`NumericsError::EmptyInput`] on an empty slice.
+pub fn summarize(xs: &[f64]) -> Result<Summary> {
+    if xs.is_empty() {
+        return Err(NumericsError::EmptyInput {
+            routine: "summarize",
+        });
+    }
+    let n = xs.len();
+    let m = mean(xs)?;
+    let var = if n > 1 {
+        xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (n - 1) as f64
+    } else {
+        0.0
+    };
+    let s = var.sqrt();
+    let (mut lo, mut hi) = (xs[0], xs[0]);
+    for &x in xs {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    Ok(Summary {
+        n,
+        mean: m,
+        std_dev: s,
+        ci95: 1.96 * s / (n as f64).sqrt(),
+        min: lo,
+        max: hi,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{ContinuousDist, Exponential, Pareto, Uniform};
+    use crate::rng::Rng;
+
+    #[test]
+    fn basic_moments() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs).unwrap(), 2.5);
+        assert_eq!(variance(&xs).unwrap(), 1.25);
+        assert!((std_dev(&xs).unwrap() - 1.25f64.sqrt()).abs() < 1e-12);
+        assert!(mean(&[]).is_err());
+    }
+
+    #[test]
+    fn mse_basic() {
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 2.0]).unwrap(), 0.0);
+        assert_eq!(mse(&[0.0, 0.0], &[3.0, 4.0]).unwrap(), 12.5);
+        assert!(mse(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(mse(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn autocorrelation_of_iid_is_small() {
+        let mut rng = Rng::seed_from_u64(99);
+        let xs: Vec<f64> = (0..20_000).map(|_| rng.next_f64()).collect();
+        let r1 = autocorrelation(&xs, 1).unwrap();
+        assert!(r1.abs() < 0.03, "iid lag-1 autocorr {r1}");
+        assert_eq!(autocorrelation(&xs, 0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn autocorrelation_of_persistent_series_is_high() {
+        // AR(1) with phi = 0.95.
+        let mut rng = Rng::seed_from_u64(7);
+        let mut x = 0.0;
+        let xs: Vec<f64> = (0..20_000)
+            .map(|_| {
+                x = 0.95 * x + rng.normal();
+                x
+            })
+            .collect();
+        let r1 = autocorrelation(&xs, 1).unwrap();
+        assert!(r1 > 0.9, "AR(1) lag-1 autocorr {r1}");
+    }
+
+    #[test]
+    fn autocorrelation_constant_series() {
+        assert_eq!(autocorrelation(&[2.0; 10], 1).unwrap(), 0.0);
+        assert!(autocorrelation(&[1.0, 2.0], 5).is_err());
+    }
+
+    #[test]
+    fn ks_same_distribution_high_p() {
+        let d = Exponential::new(1.0).unwrap();
+        let mut rng = Rng::seed_from_u64(1);
+        let a = d.sample_n(&mut rng, 2000);
+        let b = d.sample_n(&mut rng, 2000);
+        let t = ks_two_sample(&a, &b).unwrap();
+        assert!(
+            t.p_value > 0.01,
+            "same-distribution samples rejected: p = {}",
+            t.p_value
+        );
+    }
+
+    #[test]
+    fn ks_different_distributions_low_p() {
+        let mut rng = Rng::seed_from_u64(2);
+        let a = Uniform::new(0.0, 1.0).unwrap().sample_n(&mut rng, 2000);
+        let b = Pareto::new(0.5, 3.0).unwrap().sample_n(&mut rng, 2000);
+        let t = ks_two_sample(&a, &b).unwrap();
+        assert!(t.p_value < 1e-6, "p = {}", t.p_value);
+        assert!(t.statistic > 0.2);
+    }
+
+    #[test]
+    fn ks_identical_samples_statistic_zero() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let t = ks_two_sample(&xs, &xs).unwrap();
+        assert_eq!(t.statistic, 0.0);
+        assert!((t.p_value - 1.0).abs() < 1e-12);
+        assert!(ks_two_sample(&[], &xs).is_err());
+    }
+
+    #[test]
+    fn ks_one_sample_accepts_own_distribution() {
+        let d = Exponential::new(2.0).unwrap();
+        let mut rng = Rng::seed_from_u64(5);
+        let xs = d.sample_n(&mut rng, 3000);
+        let t = ks_one_sample(&xs, |x| d.cdf(x)).unwrap();
+        assert!(t.p_value > 0.01, "p = {}", t.p_value);
+    }
+
+    #[test]
+    fn ks_one_sample_rejects_wrong_distribution() {
+        let d = Exponential::new(2.0).unwrap();
+        let wrong = Uniform::new(0.0, 4.0).unwrap();
+        let mut rng = Rng::seed_from_u64(6);
+        let xs = wrong.sample_n(&mut rng, 3000);
+        let t = ks_one_sample(&xs, |x| d.cdf(x)).unwrap();
+        assert!(t.p_value < 1e-6, "p = {}", t.p_value);
+        assert!(ks_one_sample(&[], |x| x).is_err());
+    }
+
+    #[test]
+    fn kolmogorov_sf_known_point() {
+        // Q(1.36) ≈ 0.049 — the classic 5% critical value.
+        let q = kolmogorov_sf(1.36);
+        assert!((q - 0.049).abs() < 0.002, "{q}");
+        assert_eq!(kolmogorov_sf(0.0), 1.0);
+        assert!(kolmogorov_sf(3.0) < 1e-6);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(percentile(&xs, 0.5).unwrap(), 3.0);
+        assert_eq!(percentile(&xs, 0.9).unwrap(), 5.0);
+        assert_eq!(percentile(&xs, 1.0).unwrap(), 5.0);
+        assert!(percentile(&xs, 1.1).is_err());
+        assert!(percentile(&[], 0.5).is_err());
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_the_mean() {
+        let mut rng = Rng::seed_from_u64(77);
+        let d = Exponential::new(2.0).unwrap();
+        let xs = d.sample_n(&mut rng, 40);
+        let m = mean(&xs).unwrap();
+        let (lo, hi) = bootstrap_mean_ci(&xs, 0.95, 2000, &mut rng).unwrap();
+        assert!(lo <= m && m <= hi, "CI [{lo}, {hi}] misses mean {m}");
+        assert!(hi - lo > 0.0);
+        // Wider confidence → wider interval.
+        let (lo99, hi99) = bootstrap_mean_ci(&xs, 0.99, 2000, &mut rng).unwrap();
+        assert!(hi99 - lo99 >= hi - lo - 1e-9);
+        // Coverage sanity over repeated experiments: the 95% CI contains
+        // the true mean (2.0) most of the time.
+        let mut covered = 0;
+        for _ in 0..60 {
+            let ys = d.sample_n(&mut rng, 30);
+            let (l, h) = bootstrap_mean_ci(&ys, 0.95, 400, &mut rng).unwrap();
+            if (l..=h).contains(&2.0) {
+                covered += 1;
+            }
+        }
+        assert!(covered >= 45, "coverage {covered}/60 too low");
+    }
+
+    #[test]
+    fn bootstrap_validation() {
+        let mut rng = Rng::seed_from_u64(1);
+        assert!(bootstrap_mean_ci(&[], 0.95, 100, &mut rng).is_err());
+        assert!(bootstrap_mean_ci(&[1.0], 0.95, 0, &mut rng).is_err());
+        assert!(bootstrap_mean_ci(&[1.0], 1.5, 100, &mut rng).is_err());
+        // Degenerate one-point sample: zero-width interval at the value.
+        let (lo, hi) = bootstrap_mean_ci(&[3.0], 0.95, 50, &mut rng).unwrap();
+        assert_eq!((lo, hi), (3.0, 3.0));
+    }
+
+    #[test]
+    fn summarize_trials() {
+        let s = summarize(&[10.0, 12.0, 8.0, 10.0]).unwrap();
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 10.0).abs() < 1e-12);
+        assert_eq!(s.min, 8.0);
+        assert_eq!(s.max, 12.0);
+        assert!(s.ci95 > 0.0);
+        let single = summarize(&[5.0]).unwrap();
+        assert_eq!(single.std_dev, 0.0);
+        assert_eq!(single.ci95, 0.0);
+    }
+}

@@ -1,0 +1,319 @@
+//! Importer for AWS `describe-spot-price-history` JSON dumps.
+//!
+//! The paper's client pulled its two-month window from the EC2 API; the
+//! CLI equivalent (`aws ec2 describe-spot-price-history`) emits
+//! irregular *price-change events*, newest first:
+//!
+//! ```json
+//! { "SpotPriceHistory": [
+//!     { "Timestamp": "2014-09-09T12:05:23.000Z",
+//!       "InstanceType": "r3.xlarge",
+//!       "ProductDescription": "Linux/UNIX",
+//!       "AvailabilityZone": "us-east-1a",
+//!       "SpotPrice": "0.032300" } ] }
+//! ```
+//!
+//! This module parses such dumps (anyone holding archived 2014 data can
+//! feed it straight in), filters to one instance type / product /
+//! availability zone, and resamples the change events onto the regular
+//! slot grid a [`SpotPriceHistory`] requires (step-function semantics:
+//! each slot carries the price of the latest change at or before it).
+
+use crate::history::{default_slot_len, SpotPriceHistory};
+use crate::TraceError;
+use serde::Deserialize;
+use spotbid_market::units::{Hours, Price};
+
+/// One price-change event from the dump.
+#[derive(Debug, Clone, Deserialize)]
+pub struct AwsPriceEvent {
+    /// ISO-8601 UTC timestamp of the change.
+    #[serde(rename = "Timestamp")]
+    pub timestamp: String,
+    /// Instance type, e.g. `"r3.xlarge"`.
+    #[serde(rename = "InstanceType")]
+    pub instance_type: String,
+    /// Product platform, e.g. `"Linux/UNIX"`.
+    #[serde(rename = "ProductDescription", default)]
+    pub product: String,
+    /// Availability zone, e.g. `"us-east-1a"`.
+    #[serde(rename = "AvailabilityZone", default)]
+    pub availability_zone: String,
+    /// The new spot price, as AWS's decimal string.
+    #[serde(rename = "SpotPrice")]
+    pub spot_price: String,
+}
+
+#[derive(Debug, Deserialize)]
+struct AwsDump {
+    #[serde(rename = "SpotPriceHistory")]
+    history: Vec<AwsPriceEvent>,
+}
+
+/// Selection of one price series out of a dump.
+#[derive(Debug, Clone, Default)]
+pub struct AwsFilter {
+    /// Required instance type (`None` accepts all — only sensible for
+    /// single-type dumps).
+    pub instance_type: Option<String>,
+    /// Required product description, e.g. `"Linux/UNIX"`.
+    pub product: Option<String>,
+    /// Required availability zone.
+    pub availability_zone: Option<String>,
+}
+
+impl AwsFilter {
+    /// Filter for one instance type, any zone, Linux pricing.
+    pub fn linux(instance_type: &str) -> Self {
+        AwsFilter {
+            instance_type: Some(instance_type.to_string()),
+            product: Some("Linux/UNIX".to_string()),
+            availability_zone: None,
+        }
+    }
+
+    fn matches(&self, e: &AwsPriceEvent) -> bool {
+        self.instance_type
+            .as_deref()
+            .is_none_or(|t| e.instance_type == t)
+            && self.product.as_deref().is_none_or(|p| e.product == p)
+            && self
+                .availability_zone
+                .as_deref()
+                .is_none_or(|z| e.availability_zone == z)
+    }
+}
+
+/// Parses an ISO-8601 UTC timestamp (`YYYY-MM-DDTHH:MM:SS[.fff]Z`) into
+/// seconds since the Unix epoch.
+///
+/// # Errors
+///
+/// [`TraceError::Parse`] on any malformed component.
+pub fn parse_timestamp(ts: &str) -> Result<f64, TraceError> {
+    let err = |what: &str| TraceError::Parse {
+        what: format!("timestamp {ts:?}: {what}"),
+    };
+    let ts = ts
+        .strip_suffix('Z')
+        .ok_or_else(|| err("missing Z suffix"))?;
+    let (date, time) = ts
+        .split_once('T')
+        .ok_or_else(|| err("missing T separator"))?;
+    let mut dparts = date.split('-');
+    let year: i64 = dparts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| err("bad year"))?;
+    let month: i64 = dparts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .filter(|m| (1..=12).contains(m))
+        .ok_or_else(|| err("bad month"))?;
+    let day: i64 = dparts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .filter(|d| (1..=31).contains(d))
+        .ok_or_else(|| err("bad day"))?;
+    let mut tparts = time.split(':');
+    let hour: f64 = tparts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .filter(|h| (0.0..24.0).contains(h))
+        .ok_or_else(|| err("bad hour"))?;
+    let minute: f64 = tparts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .filter(|m| (0.0..60.0).contains(m))
+        .ok_or_else(|| err("bad minute"))?;
+    let second: f64 = tparts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .filter(|s| (0.0..61.0).contains(s))
+        .ok_or_else(|| err("bad second"))?;
+    // Howard Hinnant's civil-days algorithm.
+    let y = if month <= 2 { year - 1 } else { year };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = (month + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + day - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    let days = era * 146_097 + doe - 719_468;
+    Ok(days as f64 * 86_400.0 + hour * 3600.0 + minute * 60.0 + second)
+}
+
+/// Parses a dump and resamples the selected series onto a regular grid.
+///
+/// `slot_len` defaults to five minutes when `None`. The grid starts at the
+/// first matching event and ends at the last; slots before a change carry
+/// the previous price (step function).
+///
+/// # Errors
+///
+/// [`TraceError::Parse`] for malformed JSON/fields, or
+/// [`TraceError::InvalidHistory`] when no event matches the filter.
+pub fn from_aws_json(
+    text: &str,
+    filter: &AwsFilter,
+    slot_len: Option<Hours>,
+) -> Result<SpotPriceHistory, TraceError> {
+    let dump: AwsDump = serde_json::from_str(text).map_err(|e| TraceError::Parse {
+        what: format!("aws json: {e}"),
+    })?;
+    let slot_len = slot_len.unwrap_or_else(default_slot_len);
+    let mut events: Vec<(f64, Price)> = Vec::new();
+    for e in dump.history.iter().filter(|e| filter.matches(e)) {
+        let t = parse_timestamp(&e.timestamp)?;
+        let p: f64 = e.spot_price.trim().parse().map_err(|_| TraceError::Parse {
+            what: format!("bad SpotPrice {:?}", e.spot_price),
+        })?;
+        events.push((t, Price::new(p)));
+    }
+    if events.is_empty() {
+        return Err(TraceError::InvalidHistory {
+            what: "no events match the filter".into(),
+        });
+    }
+    // AWS returns newest-first; sort oldest-first (stable on ties).
+    events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite timestamps"));
+    let t0 = events[0].0;
+    let t1 = events[events.len() - 1].0;
+    let slot_secs = slot_len.as_secs();
+    let n_slots = (((t1 - t0) / slot_secs).floor() as usize) + 1;
+    let mut prices = Vec::with_capacity(n_slots);
+    let mut idx = 0usize;
+    let mut current = events[0].1;
+    for s in 0..n_slots {
+        let slot_time = t0 + s as f64 * slot_secs;
+        while idx < events.len() && events[idx].0 <= slot_time {
+            current = events[idx].1;
+            idx += 1;
+        }
+        prices.push(current);
+    }
+    SpotPriceHistory::new(slot_len, prices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dump() -> String {
+        r#"{ "SpotPriceHistory": [
+            { "Timestamp": "2014-09-09T01:00:00.000Z", "InstanceType": "r3.xlarge",
+              "ProductDescription": "Linux/UNIX", "AvailabilityZone": "us-east-1a",
+              "SpotPrice": "0.050000" },
+            { "Timestamp": "2014-09-09T00:17:00.000Z", "InstanceType": "r3.xlarge",
+              "ProductDescription": "Linux/UNIX", "AvailabilityZone": "us-east-1a",
+              "SpotPrice": "0.034000" },
+            { "Timestamp": "2014-09-09T00:00:00.000Z", "InstanceType": "r3.xlarge",
+              "ProductDescription": "Linux/UNIX", "AvailabilityZone": "us-east-1a",
+              "SpotPrice": "0.032300" },
+            { "Timestamp": "2014-09-09T00:30:00.000Z", "InstanceType": "m3.xlarge",
+              "ProductDescription": "Linux/UNIX", "AvailabilityZone": "us-east-1a",
+              "SpotPrice": "0.990000" },
+            { "Timestamp": "2014-09-09T00:30:00.000Z", "InstanceType": "r3.xlarge",
+              "ProductDescription": "Windows", "AvailabilityZone": "us-east-1a",
+              "SpotPrice": "0.880000" }
+        ] }"#
+            .to_string()
+    }
+
+    #[test]
+    fn resamples_step_function() {
+        let h = from_aws_json(&dump(), &AwsFilter::linux("r3.xlarge"), None).unwrap();
+        // Events at 00:00 (0.0323), 00:17 (0.034), 01:00 (0.05): grid is
+        // 13 five-minute slots.
+        assert_eq!(h.len(), 13);
+        assert_eq!(h.price_at_slot(0), Some(Price::new(0.0323)));
+        assert_eq!(h.price_at_slot(3), Some(Price::new(0.0323))); // 00:15 < 00:17
+        assert_eq!(h.price_at_slot(4), Some(Price::new(0.034))); // 00:20
+        assert_eq!(h.price_at_slot(11), Some(Price::new(0.034))); // 00:55
+        assert_eq!(h.price_at_slot(12), Some(Price::new(0.05))); // 01:00
+    }
+
+    #[test]
+    fn filter_excludes_other_types_and_products() {
+        let h = from_aws_json(&dump(), &AwsFilter::linux("r3.xlarge"), None).unwrap();
+        // The m3 event (0.99) and Windows event (0.88) must not leak in.
+        assert!(h.max_price() < Price::new(0.1));
+        let m3 = from_aws_json(&dump(), &AwsFilter::linux("m3.xlarge"), None).unwrap();
+        assert_eq!(m3.len(), 1);
+        assert_eq!(m3.price_at_slot(0), Some(Price::new(0.99)));
+        assert!(from_aws_json(&dump(), &AwsFilter::linux("c3.xlarge"), None).is_err());
+    }
+
+    #[test]
+    fn zone_filter() {
+        let f = AwsFilter {
+            instance_type: Some("r3.xlarge".into()),
+            product: None,
+            availability_zone: Some("us-east-1b".into()),
+        };
+        assert!(from_aws_json(&dump(), &f, None).is_err());
+    }
+
+    #[test]
+    fn custom_slot_length() {
+        let h = from_aws_json(
+            &dump(),
+            &AwsFilter::linux("r3.xlarge"),
+            Some(Hours::from_minutes(30.0)),
+        )
+        .unwrap();
+        assert_eq!(h.len(), 3); // 00:00, 00:30, 01:00
+        assert_eq!(h.price_at_slot(1), Some(Price::new(0.034)));
+        assert_eq!(h.price_at_slot(2), Some(Price::new(0.05)));
+    }
+
+    #[test]
+    fn timestamp_parsing_known_values() {
+        // The Unix epoch and a known reference point.
+        assert_eq!(parse_timestamp("1970-01-01T00:00:00Z").unwrap(), 0.0);
+        assert_eq!(
+            parse_timestamp("1970-01-02T00:00:00.000Z").unwrap(),
+            86_400.0
+        );
+        // 2014-09-09 is 16322 days after the epoch.
+        assert_eq!(
+            parse_timestamp("2014-09-09T00:00:00Z").unwrap(),
+            16_322.0 * 86_400.0
+        );
+        // Leap-year handling: 2016-03-01 minus 2016-02-28 = 2 days.
+        let feb = parse_timestamp("2016-02-28T00:00:00Z").unwrap();
+        let mar = parse_timestamp("2016-03-01T00:00:00Z").unwrap();
+        assert_eq!(mar - feb, 2.0 * 86_400.0);
+        // Fractional seconds survive.
+        assert!((parse_timestamp("1970-01-01T00:00:30.500Z").unwrap() - 30.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timestamp_parsing_rejects_garbage() {
+        for bad in [
+            "2014-09-09T00:00:00",  // missing Z
+            "2014-09-09 00:00:00Z", // missing T
+            "2014-13-09T00:00:00Z", // bad month
+            "2014-09-32T00:00:00Z", // bad day
+            "2014-09-09T25:00:00Z", // bad hour
+            "2014-09-09T00:61:00Z", // bad minute
+            "not a date",
+        ] {
+            assert!(parse_timestamp(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn malformed_json_and_prices() {
+        assert!(matches!(
+            from_aws_json("{", &AwsFilter::default(), None),
+            Err(TraceError::Parse { .. })
+        ));
+        let bad_price = r#"{ "SpotPriceHistory": [
+            { "Timestamp": "2014-09-09T00:00:00Z", "InstanceType": "r3.xlarge",
+              "SpotPrice": "abc" } ] }"#;
+        assert!(matches!(
+            from_aws_json(bad_price, &AwsFilter::default(), None),
+            Err(TraceError::Parse { .. })
+        ));
+    }
+}

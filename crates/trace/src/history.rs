@@ -1,0 +1,266 @@
+//! Spot-price histories.
+//!
+//! A [`SpotPriceHistory`] is a regular time series of spot prices, one per
+//! pricing slot (Amazon updates the spot price roughly every five minutes —
+//! §3.2). The bidding client consumes the "two months immediately prior"
+//! (§7.1) as its empirical price distribution; the analysis code slices
+//! histories into day/night halves and sliding windows.
+
+use crate::TraceError;
+use serde::{Deserialize, Serialize};
+use spotbid_market::units::{Hours, Price};
+
+/// Default slot length: five minutes.
+pub fn default_slot_len() -> Hours {
+    Hours::from_minutes(5.0)
+}
+
+/// Number of slots in the paper's two-month collection window at the
+/// default slot length (61 days × 24 h × 12 slots/h).
+pub const TWO_MONTHS_SLOTS: usize = 61 * 24 * 12;
+
+/// A regularly sampled spot-price series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpotPriceHistory {
+    slot_len: Hours,
+    prices: Vec<Price>,
+}
+
+impl SpotPriceHistory {
+    /// Builds a history from per-slot prices.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::InvalidHistory`] if `prices` is empty, the slot length
+    /// is not positive, or any price is negative/non-finite.
+    pub fn new(slot_len: Hours, prices: Vec<Price>) -> Result<Self, TraceError> {
+        if prices.is_empty() {
+            return Err(TraceError::InvalidHistory {
+                what: "history must contain at least one price".into(),
+            });
+        }
+        if !slot_len.is_valid_duration() || slot_len <= Hours::ZERO {
+            return Err(TraceError::InvalidHistory {
+                what: format!("slot length {slot_len} must be positive"),
+            });
+        }
+        if let Some(bad) = prices.iter().find(|p| !p.is_valid_price()) {
+            return Err(TraceError::InvalidHistory {
+                what: format!("invalid price {bad} in history"),
+            });
+        }
+        Ok(SpotPriceHistory { slot_len, prices })
+    }
+
+    /// Slot length.
+    pub fn slot_len(&self) -> Hours {
+        self.slot_len
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.prices.len()
+    }
+
+    /// Always false: construction rejects empty histories.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Total covered duration.
+    pub fn duration(&self) -> Hours {
+        self.slot_len * self.len() as f64
+    }
+
+    /// Price in force during slot `i`, or `None` past the end.
+    pub fn price_at_slot(&self, i: usize) -> Option<Price> {
+        self.prices.get(i).copied()
+    }
+
+    /// Price in force at absolute time `t` from the start of the history
+    /// (step-function semantics), or `None` outside the covered range.
+    pub fn price_at(&self, t: Hours) -> Option<Price> {
+        if t < Hours::ZERO {
+            return None;
+        }
+        let i = (t / self.slot_len) as usize;
+        self.price_at_slot(i)
+    }
+
+    /// All prices, in slot order.
+    pub fn prices(&self) -> &[Price] {
+        &self.prices
+    }
+
+    /// Raw `f64` prices (for the numerics layer).
+    pub fn raw(&self) -> Vec<f64> {
+        self.prices.iter().map(|p| p.as_f64()).collect()
+    }
+
+    /// Minimum price observed.
+    pub fn min_price(&self) -> Price {
+        self.prices.iter().copied().fold(self.prices[0], Price::min)
+    }
+
+    /// Maximum price observed.
+    pub fn max_price(&self) -> Price {
+        self.prices.iter().copied().fold(self.prices[0], Price::max)
+    }
+
+    /// Mean price over the history.
+    pub fn mean_price(&self) -> Price {
+        let sum: f64 = self.prices.iter().map(|p| p.as_f64()).sum();
+        Price::new(sum / self.len() as f64)
+    }
+
+    /// A sub-history covering slots `[from, to)`.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::InvalidHistory`] when the range is empty or out of
+    /// bounds.
+    pub fn slice(&self, from: usize, to: usize) -> Result<SpotPriceHistory, TraceError> {
+        if from >= to || to > self.len() {
+            return Err(TraceError::InvalidHistory {
+                what: format!("invalid slice [{from}, {to}) of {} slots", self.len()),
+            });
+        }
+        SpotPriceHistory::new(self.slot_len, self.prices[from..to].to_vec())
+    }
+
+    /// The last `n` slots (all of them when `n >= len`), mirroring the
+    /// best-offline-price heuristic's "last 10 hours of history" window.
+    pub fn last_window(&self, n: usize) -> SpotPriceHistory {
+        let n = n.clamp(1, self.len());
+        SpotPriceHistory {
+            slot_len: self.slot_len,
+            prices: self.prices[self.len() - n..].to_vec(),
+        }
+    }
+
+    /// Splits prices by time of day: returns `(day, night)` raw prices,
+    /// where "day" is `[day_start, day_end)` hours within each 24-hour
+    /// cycle (the paper's §4.3 stationarity check).
+    pub fn day_night_split(&self, day_start: f64, day_end: f64) -> (Vec<f64>, Vec<f64>) {
+        let mut day = Vec::new();
+        let mut night = Vec::new();
+        for (i, p) in self.prices.iter().enumerate() {
+            let tod = (i as f64 * self.slot_len.as_f64()) % 24.0;
+            if tod >= day_start && tod < day_end {
+                day.push(p.as_f64());
+            } else {
+                night.push(p.as_f64());
+            }
+        }
+        (day, night)
+    }
+
+    /// Iterates `(slot_start_time, price)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Hours, Price)> + '_ {
+        self.prices
+            .iter()
+            .enumerate()
+            .map(move |(i, &p)| (self.slot_len * i as f64, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(prices: &[f64]) -> SpotPriceHistory {
+        SpotPriceHistory::new(
+            default_slot_len(),
+            prices.iter().map(|&p| Price::new(p)).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(SpotPriceHistory::new(default_slot_len(), vec![]).is_err());
+        assert!(SpotPriceHistory::new(Hours::ZERO, vec![Price::new(0.1)]).is_err());
+        assert!(SpotPriceHistory::new(Hours::new(-1.0), vec![Price::new(0.1)]).is_err());
+        assert!(SpotPriceHistory::new(default_slot_len(), vec![Price::new(-0.1)]).is_err());
+        assert!(SpotPriceHistory::new(default_slot_len(), vec![Price::new(f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn two_months_constant() {
+        assert_eq!(TWO_MONTHS_SLOTS, 17568);
+        let h = SpotPriceHistory::new(default_slot_len(), vec![Price::new(0.03); TWO_MONTHS_SLOTS])
+            .unwrap();
+        assert!((h.duration().as_f64() - 61.0 * 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_function_lookup() {
+        let h = hist(&[0.03, 0.05, 0.04]);
+        assert_eq!(h.price_at_slot(0), Some(Price::new(0.03)));
+        assert_eq!(h.price_at_slot(2), Some(Price::new(0.04)));
+        assert_eq!(h.price_at_slot(3), None);
+        // Within the first five minutes → first slot's price.
+        assert_eq!(h.price_at(Hours::from_minutes(2.0)), Some(Price::new(0.03)));
+        assert_eq!(h.price_at(Hours::from_minutes(5.0)), Some(Price::new(0.05)));
+        assert_eq!(
+            h.price_at(Hours::from_minutes(14.9)),
+            Some(Price::new(0.04))
+        );
+        assert_eq!(h.price_at(Hours::from_minutes(15.0)), None);
+        assert_eq!(h.price_at(Hours::new(-0.1)), None);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let h = hist(&[0.02, 0.06, 0.04]);
+        assert_eq!(h.min_price(), Price::new(0.02));
+        assert_eq!(h.max_price(), Price::new(0.06));
+        assert!((h.mean_price().as_f64() - 0.04).abs() < 1e-12);
+        assert_eq!(h.len(), 3);
+        assert!(!h.is_empty());
+    }
+
+    #[test]
+    fn slicing_and_windows() {
+        let h = hist(&[0.01, 0.02, 0.03, 0.04, 0.05]);
+        let s = h.slice(1, 4).unwrap();
+        assert_eq!(s.raw(), vec![0.02, 0.03, 0.04]);
+        assert!(h.slice(3, 3).is_err());
+        assert!(h.slice(0, 6).is_err());
+        let w = h.last_window(2);
+        assert_eq!(w.raw(), vec![0.04, 0.05]);
+        assert_eq!(h.last_window(100).len(), 5);
+        assert_eq!(h.last_window(0).len(), 1); // clamped to at least one slot
+    }
+
+    #[test]
+    fn day_night_split_counts() {
+        // 24 hours at 1-hour slots: day [8, 20) has 12 slots.
+        let prices: Vec<Price> = (0..24)
+            .map(|i| Price::new(0.01 + i as f64 * 0.001))
+            .collect();
+        let h = SpotPriceHistory::new(Hours::new(1.0), prices).unwrap();
+        let (day, night) = h.day_night_split(8.0, 20.0);
+        assert_eq!(day.len(), 12);
+        assert_eq!(night.len(), 12);
+        // Slot 8 is the first day slot.
+        assert!((day[0] - 0.018).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_yields_slot_times() {
+        let h = hist(&[0.03, 0.05]);
+        let pts: Vec<(Hours, Price)> = h.iter().collect();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].0, Hours::ZERO);
+        assert!((pts[1].0.as_minutes() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let h = hist(&[0.03, 0.05]);
+        let s = serde_json::to_string(&h).unwrap();
+        let back: SpotPriceHistory = serde_json::from_str(&s).unwrap();
+        assert_eq!(h, back);
+    }
+}

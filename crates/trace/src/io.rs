@@ -1,0 +1,198 @@
+//! Trace serialization: CSV and JSON round-tripping of price histories.
+//!
+//! CSV is the interchange format real spot-price dumps come in (one row per
+//! slot); JSON preserves the full struct via serde. Both are exercised by
+//! the benches so regenerated figures can be archived alongside their input
+//! traces.
+
+use crate::history::SpotPriceHistory;
+use crate::TraceError;
+use spotbid_market::units::{Hours, Price};
+use std::fs;
+use std::path::Path;
+
+/// Serializes a history to CSV text with header `slot,time_hours,price`.
+pub fn to_csv(history: &SpotPriceHistory) -> String {
+    let mut out = String::with_capacity(history.len() * 24 + 32);
+    out.push_str("slot,time_hours,price\n");
+    for (i, (t, p)) in history.iter().enumerate() {
+        out.push_str(&format!("{i},{:.9},{:.9}\n", t.as_f64(), p.as_f64()));
+    }
+    out
+}
+
+/// Parses a history from CSV text produced by [`to_csv`] (or any CSV with
+/// the same three columns). The slot length is inferred from the first two
+/// rows' timestamps; a single-row file uses the default five-minute slot.
+///
+/// # Errors
+///
+/// [`TraceError::Parse`] on malformed rows, [`TraceError::InvalidHistory`]
+/// when the parsed series violates history invariants.
+pub fn from_csv(text: &str) -> Result<SpotPriceHistory, TraceError> {
+    let mut times = Vec::new();
+    let mut prices = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || (lineno == 0 && line.starts_with("slot")) {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let parse_err = |what: &str| TraceError::Parse {
+            what: format!("line {}: {what}", lineno + 1),
+        };
+        let _slot = fields.next().ok_or_else(|| parse_err("missing slot"))?;
+        let t: f64 = fields
+            .next()
+            .ok_or_else(|| parse_err("missing time"))?
+            .trim()
+            .parse()
+            .map_err(|_| parse_err("bad time"))?;
+        let p: f64 = fields
+            .next()
+            .ok_or_else(|| parse_err("missing price"))?
+            .trim()
+            .parse()
+            .map_err(|_| parse_err("bad price"))?;
+        times.push(t);
+        prices.push(Price::new(p));
+    }
+    let slot_len = if times.len() >= 2 {
+        Hours::new(times[1] - times[0])
+    } else {
+        crate::history::default_slot_len()
+    };
+    SpotPriceHistory::new(slot_len, prices)
+}
+
+/// Writes CSV to a file.
+///
+/// # Errors
+///
+/// [`TraceError::Io`] on filesystem failure.
+pub fn save_csv(history: &SpotPriceHistory, path: &Path) -> Result<(), TraceError> {
+    fs::write(path, to_csv(history)).map_err(|e| TraceError::Io {
+        what: format!("writing {}: {e}", path.display()),
+    })
+}
+
+/// Reads CSV from a file.
+///
+/// # Errors
+///
+/// [`TraceError::Io`] on filesystem failure, plus [`from_csv`]'s errors.
+pub fn load_csv(path: &Path) -> Result<SpotPriceHistory, TraceError> {
+    let text = fs::read_to_string(path).map_err(|e| TraceError::Io {
+        what: format!("reading {}: {e}", path.display()),
+    })?;
+    from_csv(&text)
+}
+
+/// Serializes a history to JSON.
+pub fn to_json(history: &SpotPriceHistory) -> String {
+    serde_json::to_string(history).expect("history serialization is infallible")
+}
+
+/// Parses a history from JSON.
+///
+/// # Errors
+///
+/// [`TraceError::Parse`] on malformed JSON, [`TraceError::InvalidHistory`]
+/// if the decoded series violates history invariants.
+pub fn from_json(text: &str) -> Result<SpotPriceHistory, TraceError> {
+    let h: SpotPriceHistory = serde_json::from_str(text).map_err(|e| TraceError::Parse {
+        what: format!("json: {e}"),
+    })?;
+    // Re-validate: serde bypasses the constructor.
+    SpotPriceHistory::new(h.slot_len(), h.prices().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::default_slot_len;
+
+    fn hist() -> SpotPriceHistory {
+        SpotPriceHistory::new(
+            default_slot_len(),
+            vec![Price::new(0.0321), Price::new(0.0335), Price::new(0.0510)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let h = hist();
+        let csv = to_csv(&h);
+        assert!(csv.starts_with("slot,time_hours,price\n"));
+        assert_eq!(csv.lines().count(), 4);
+        let back = from_csv(&csv).unwrap();
+        assert_eq!(back.len(), h.len());
+        assert!((back.slot_len().as_f64() - h.slot_len().as_f64()).abs() < 1e-8);
+        for (a, b) in h.prices().iter().zip(back.prices()) {
+            assert!((a.as_f64() - b.as_f64()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn csv_parse_errors() {
+        assert!(matches!(
+            from_csv("slot,time_hours,price\n0,abc,0.1\n"),
+            Err(TraceError::Parse { .. })
+        ));
+        assert!(matches!(
+            from_csv("slot,time_hours,price\n0,0.0\n"),
+            Err(TraceError::Parse { .. })
+        ));
+        assert!(matches!(
+            from_csv("slot,time_hours,price\n"),
+            Err(TraceError::InvalidHistory { .. })
+        ));
+        // Negative price parses but fails history validation.
+        assert!(matches!(
+            from_csv("slot,time_hours,price\n0,0.0,-1.0\n"),
+            Err(TraceError::InvalidHistory { .. })
+        ));
+    }
+
+    #[test]
+    fn csv_single_row_uses_default_slot() {
+        let h = from_csv("slot,time_hours,price\n0,0.0,0.05\n").unwrap();
+        assert_eq!(h.len(), 1);
+        assert!((h.slot_len().as_minutes() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csv_ignores_blank_lines() {
+        let h = from_csv("slot,time_hours,price\n\n0,0.0,0.05\n\n1,0.0833,0.06\n").unwrap();
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let h = hist();
+        let back = from_json(&to_json(&h)).unwrap();
+        assert_eq!(h, back);
+        assert!(matches!(from_json("{"), Err(TraceError::Parse { .. })));
+        // Structurally valid JSON that violates invariants is rejected.
+        let bad = r#"{"slot_len":0.0,"prices":[0.1]}"#;
+        assert!(from_json(bad).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("spotbid_io_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.csv");
+        let h = hist();
+        save_csv(&h, &path).unwrap();
+        let back = load_csv(&path).unwrap();
+        assert_eq!(back.len(), 3);
+        fs::remove_file(&path).ok();
+        // Missing file → Io error.
+        assert!(matches!(
+            load_csv(&dir.join("nope.csv")),
+            Err(TraceError::Io { .. })
+        ));
+    }
+}

@@ -1,0 +1,94 @@
+//! # spotbid-trace
+//!
+//! Spot-price histories and their provenance for the *How to Bid the Cloud*
+//! reproduction: the EC2 instance catalog of Table 2 ([`catalog`]),
+//! regularly sampled price series ([`history`]), synthetic substitutes for
+//! the paper's 2014 Amazon dataset ([`synthetic`]), CSV/JSON serialization
+//! ([`io`]), an importer for archived AWS `describe-spot-price-history`
+//! dumps ([`aws`]), and the §4.3 statistical analyses ([`analyze`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use spotbid_trace::{catalog, synthetic, analyze};
+//! use spotbid_numerics::rng::Rng;
+//!
+//! let inst = catalog::by_name("c3.4xlarge").unwrap();
+//! // The i.i.d. variant (persistence 0) is the §4.2 equilibrium
+//! // assumption; the default is mildly sticky, like real 2014 traces.
+//! let cfg = synthetic::SyntheticConfig::for_instance(&inst).with_persistence(0.0);
+//! let mut rng = Rng::seed_from_u64(42);
+//! let history = synthetic::generate(&cfg, 12 * 24 * 7, &mut rng).unwrap();
+//! // Spot prices sit far below on-demand most of the time.
+//! assert!(history.mean_price().as_f64() < 0.2 * inst.on_demand.as_f64());
+//! let ks = analyze::ks_day_night(&history).unwrap();
+//! assert!(ks.p_value > 0.01); // i.i.d. generator: no diurnal shift
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analyze;
+pub mod aws;
+pub mod catalog;
+pub mod history;
+pub mod io;
+pub mod synthetic;
+
+pub use catalog::InstanceType;
+pub use history::SpotPriceHistory;
+
+use std::fmt;
+
+/// Errors produced by the trace crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// A price history (or generator configuration) violates invariants.
+    InvalidHistory {
+        /// Description of the violated invariant.
+        what: String,
+    },
+    /// Malformed CSV/JSON input.
+    Parse {
+        /// Description of the parse failure.
+        what: String,
+    },
+    /// Filesystem failure.
+    Io {
+        /// Description of the I/O failure.
+        what: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::InvalidHistory { what } => write!(f, "invalid history: {what}"),
+            TraceError::Parse { what } => write!(f, "parse error: {what}"),
+            TraceError::Io { what } => write!(f, "io error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(TraceError::InvalidHistory { what: "x".into() }
+            .to_string()
+            .contains("invalid history"));
+        assert!(TraceError::Parse { what: "y".into() }
+            .to_string()
+            .contains("parse"));
+        assert!(TraceError::Io { what: "z".into() }
+            .to_string()
+            .contains("io"));
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&TraceError::Parse {
+            what: String::new(),
+        });
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests of price histories, IO round-trips, and the
+//! synthetic generator's contracts.
+
+use proptest::prelude::*;
+use spotbid_market::units::{Hours, Price};
+use spotbid_numerics::rng::Rng;
+use spotbid_trace::history::{default_slot_len, SpotPriceHistory};
+use spotbid_trace::synthetic::{generate, SyntheticConfig};
+use spotbid_trace::{analyze, catalog, io};
+
+fn history_strategy() -> impl Strategy<Value = SpotPriceHistory> {
+    proptest::collection::vec(0.001f64..2.0, 1..300).prop_map(|ps| {
+        SpotPriceHistory::new(default_slot_len(), ps.into_iter().map(Price::new).collect()).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn csv_roundtrip_preserves_prices(h in history_strategy()) {
+        let back = io::from_csv(&io::to_csv(&h)).unwrap();
+        prop_assert_eq!(back.len(), h.len());
+        for (a, b) in h.prices().iter().zip(back.prices()) {
+            prop_assert!((a.as_f64() - b.as_f64()).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_exact(h in history_strategy()) {
+        let back = io::from_json(&io::to_json(&h)).unwrap();
+        prop_assert_eq!(back, h);
+    }
+
+    #[test]
+    fn slicing_partitions_the_history(h in history_strategy(), cut in 1usize..200) {
+        prop_assume!(h.len() >= 2);
+        let cut = cut.min(h.len() - 1);
+        let a = h.slice(0, cut).unwrap();
+        let b = h.slice(cut, h.len()).unwrap();
+        prop_assert_eq!(a.len() + b.len(), h.len());
+        let mut joined: Vec<Price> = a.prices().to_vec();
+        joined.extend_from_slice(b.prices());
+        prop_assert_eq!(joined, h.prices().to_vec());
+    }
+
+    #[test]
+    fn summary_stats_bracket_every_price(h in history_strategy()) {
+        let (lo, hi, mean) = (h.min_price(), h.max_price(), h.mean_price());
+        prop_assert!(lo <= mean && mean <= hi);
+        for &p in h.prices() {
+            prop_assert!(lo <= p && p <= hi);
+        }
+        prop_assert!((h.duration() / h.slot_len() - h.len() as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn price_at_matches_slot_indexing(h in history_strategy(), minutes in 0.0f64..2000.0) {
+        let t = Hours::from_minutes(minutes);
+        let by_time = h.price_at(t);
+        let idx = (t / h.slot_len()) as usize;
+        prop_assert_eq!(by_time, h.price_at_slot(idx));
+    }
+
+    #[test]
+    fn day_night_split_partitions(h in history_strategy(),
+                                  start in 0.0f64..12.0, len in 1.0f64..12.0) {
+        let (day, night) = h.day_night_split(start, start + len);
+        prop_assert_eq!(day.len() + night.len(), h.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generator_respects_configured_bounds(idx in 0usize..10, seed in any::<u64>(),
+                                            persistence in 0.0f64..0.95) {
+        let inst = &catalog::catalog()[idx];
+        let cfg = SyntheticConfig::for_instance(inst).with_persistence(persistence);
+        let h = generate(&cfg, 2000, &mut Rng::seed_from_u64(seed)).unwrap();
+        prop_assert!(h.min_price() >= cfg.floor);
+        prop_assert!(h.max_price() <= cfg.on_demand);
+        // The empirical distribution built from it is always constructible
+        // and consistent.
+        let emp = analyze::empirical_prices(&h).unwrap();
+        prop_assert_eq!(emp.len(), 2000);
+        prop_assert!((emp.mean() - h.mean_price().as_f64()).abs() < 1e-12);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn aws_timestamp_roundtrips_via_civil_days(
+        year in 1990i64..2100,
+        month in 1i64..=12,
+        day in 1i64..=28, // valid in every month
+        hour in 0u8..24,
+        minute in 0u8..60,
+        second in 0u8..60,
+    ) {
+        use spotbid_trace::aws::parse_timestamp;
+        let ts = format!("{year:04}-{month:02}-{day:02}T{hour:02}:{minute:02}:{second:02}Z");
+        let secs = parse_timestamp(&ts).unwrap();
+        // Invert: seconds → civil date, via the same algorithm's inverse.
+        let total = secs as i64;
+        let (days, rem) = (total.div_euclid(86_400), total.rem_euclid(86_400));
+        prop_assert_eq!(rem, i64::from(hour) * 3600 + i64::from(minute) * 60 + i64::from(second));
+        // Howard Hinnant's civil_from_days.
+        let z = days + 719_468;
+        let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+        let doe = z - era * 146_097;
+        let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+        let mp = (5 * doy + 2) / 153;
+        let d = doy - (153 * mp + 2) / 5 + 1;
+        let m = if mp < 10 { mp + 3 } else { mp - 9 };
+        let yy = if m <= 2 { y + 1 } else { y };
+        prop_assert_eq!((yy, m, d), (year, month, day), "{}", ts);
+    }
+
+    #[test]
+    fn aws_timestamps_are_strictly_ordered(
+        a in 0i64..4_000_000_000,
+        delta in 1i64..86_400,
+    ) {
+        use spotbid_trace::aws::parse_timestamp;
+        // Two timestamps `delta` seconds apart parse to values exactly
+        // `delta` apart — build them from the parsed inverse by probing
+        // epoch offsets directly.
+        let fmt = |secs: i64| {
+            let days = secs.div_euclid(86_400);
+            let rem = secs.rem_euclid(86_400);
+            let z = days + 719_468;
+            let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+            let doe = z - era * 146_097;
+            let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+            let y = yoe + era * 400;
+            let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+            let mp = (5 * doy + 2) / 153;
+            let d = doy - (153 * mp + 2) / 5 + 1;
+            let m = if mp < 10 { mp + 3 } else { mp - 9 };
+            let yy = if m <= 2 { y + 1 } else { y };
+            format!(
+                "{yy:04}-{m:02}-{d:02}T{:02}:{:02}:{:02}Z",
+                rem / 3600,
+                (rem % 3600) / 60,
+                rem % 60
+            )
+        };
+        let ta = parse_timestamp(&fmt(a)).unwrap();
+        let tb = parse_timestamp(&fmt(a + delta)).unwrap();
+        prop_assert!((ta - a as f64).abs() < 1e-6);
+        prop_assert!((tb - ta - delta as f64).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,81 @@
+//! The provider's side: spot prices from demand (§4).
+//!
+//! ```text
+//! cargo run --example market_simulation
+//! ```
+//!
+//! Shows the three layers of the provider model working together: the
+//! closed-form per-slot price (Eq. 3), the flow-level queue recursion
+//! converging to Proposition 2's equilibrium, and the per-bid market
+//! simulator interrupting a concrete low bid during a demand surge.
+
+use spotbid::market::equilibrium::equilibrium_price;
+use spotbid::market::provider::optimal_price;
+use spotbid::market::queue::QueueSim;
+use spotbid::market::sim::{BidKind, BidRequest, SpotMarket, WorkModel};
+use spotbid::market::units::{Hours, Price};
+use spotbid::market::MarketParams;
+use spotbid::numerics::rng::Rng;
+
+fn main() {
+    let params = MarketParams::new(Price::new(0.35), Price::new(0.02), 0.05, 0.02).unwrap();
+    println!(
+        "market: π̄ = {}, π_min = {}, β = {}, θ = {}\n",
+        params.pi_bar, params.pi_min, params.beta, params.theta
+    );
+
+    // 1. Price vs demand (Eq. 3): rises from (π̄−β)/2 toward π̄/2.
+    println!("demand L → optimal spot price:");
+    for l in [0.1, 1.0, 5.0, 20.0, 100.0, 10_000.0] {
+        println!("  L = {l:>8.1} → {}", optimal_price(&params, l));
+    }
+
+    // 2. Queue convergence (Eq. 4 / Prop. 2).
+    let sim = QueueSim::new(params);
+    let lambda = 1.0;
+    let l_star = sim.equilibrium_demand(lambda);
+    let steps = sim.run(40.0, std::iter::repeat_n(lambda, 3000));
+    println!("\nconstant arrivals λ = {lambda}: fixed point L* = {l_star:.3}");
+    for t in [0usize, 10, 100, 1000, 2999] {
+        println!(
+            "  t = {t:>4}: L = {:.3}  π* = {}",
+            steps[t].l, steps[t].price
+        );
+    }
+    println!(
+        "  h(λ) = {} (Prop. 2 equilibrium price)",
+        equilibrium_price(&params, lambda)
+    );
+
+    // 3. A concrete bid riding a demand surge in the per-bid simulator.
+    let mut market = SpotMarket::new(params, Hours::from_minutes(5.0));
+    let mut rng = Rng::seed_from_u64(4);
+    let victim = market.submit(BidRequest {
+        price: Price::new(0.16),
+        kind: BidKind::Persistent,
+        work: WorkModel::FixedSlots(6),
+    });
+    println!("\nper-bid simulation (persistent bid at $0.16/h for 6 slots of work):");
+    for slot in 0..10 {
+        if slot == 2 {
+            for _ in 0..400 {
+                market.submit(BidRequest {
+                    price: Price::new(0.34),
+                    kind: BidKind::Persistent,
+                    work: WorkModel::FixedSlots(2),
+                });
+            }
+            println!("  [slot 2: 400 high bids flood the market]");
+        }
+        let report = market.step(&mut rng);
+        let rec = market.record(victim).unwrap();
+        println!(
+            "  slot {slot}: demand {:>4}  price {}  victim {:?} (ran {} slots, {} interruptions)",
+            report.demand, report.price, rec.phase, rec.slots_run, rec.interruptions
+        );
+        if report.finished.contains(&victim) {
+            println!("  victim finished; total charged {}", rec.charged);
+            break;
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Minimal command-line argument parsing (no external dependencies).
+//!
+//! Supports `--flag value`, `--flag=value`, and bare boolean `--flag`,
+//! with typed accessors and an unknown-flag check so typos fail loudly.
+
+use std::collections::BTreeMap;
+
+/// Parsed arguments: a subcommand plus `--key value` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    subcommand: Option<String>,
+    flags: BTreeMap<String, String>,
+}
+
+/// A parse or validation failure, rendered to the user as-is.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw arguments (exclusive of the program name).
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError`] on stray positionals or a flag missing its value.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, ArgError> {
+        let mut args = Args::default();
+        let mut it = raw.into_iter().peekable();
+        if let Some(first) = it.peek() {
+            if !first.starts_with("--") {
+                args.subcommand = it.next();
+            }
+        }
+        while let Some(tok) = it.next() {
+            let Some(flag) = tok.strip_prefix("--") else {
+                return Err(ArgError(format!(
+                    "unexpected positional argument {tok:?} (flags are --key value)"
+                )));
+            };
+            if let Some((k, v)) = flag.split_once('=') {
+                args.flags.insert(k.to_string(), v.to_string());
+            } else if it.peek().is_some_and(|n| !n.starts_with("--")) {
+                let v = it.next().expect("peeked");
+                args.flags.insert(flag.to_string(), v);
+            } else {
+                // Bare boolean flag.
+                args.flags.insert(flag.to_string(), "true".to_string());
+            }
+        }
+        Ok(args)
+    }
+
+    /// The subcommand, if any.
+    pub fn subcommand(&self) -> Option<&str> {
+        self.subcommand.as_deref()
+    }
+
+    /// Raw string flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// Required string flag.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError`] naming the missing flag.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.get(key)
+            .ok_or_else(|| ArgError(format!("missing required flag --{key}")))
+    }
+
+    /// Typed flag with a default.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError`] when present but unparsable.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(s) => s
+                .parse()
+                .map_err(|_| ArgError(format!("flag --{key}: cannot parse {s:?}"))),
+        }
+    }
+
+    /// Boolean flag (present without value, or `--key true/false`).
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError`] on a non-boolean value.
+    pub fn get_bool(&self, key: &str) -> Result<bool, ArgError> {
+        self.get_or(key, false)
+    }
+
+    /// Rejects any flag outside the allowed set (typo guard).
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError`] naming the unknown flag.
+    pub fn check_known(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for k in self.flags.keys() {
+            if !allowed.contains(&k.as_str()) {
+                return Err(ArgError(format!(
+                    "unknown flag --{k} (expected one of: {})",
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Args {
+        Args::parse(v.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn subcommand_and_flags() {
+        let a = parse(&["bid", "--instance", "r3.xlarge", "--ts", "1.5"]);
+        assert_eq!(a.subcommand(), Some("bid"));
+        assert_eq!(a.get("instance"), Some("r3.xlarge"));
+        assert_eq!(a.get_or::<f64>("ts", 0.0).unwrap(), 1.5);
+        assert_eq!(a.get_or::<f64>("tr", 30.0).unwrap(), 30.0);
+    }
+
+    #[test]
+    fn equals_form_and_bools() {
+        let a = parse(&["run", "--seed=42", "--verbose", "--json", "false"]);
+        assert_eq!(a.get_or::<u64>("seed", 0).unwrap(), 42);
+        assert!(a.get_bool("verbose").unwrap());
+        assert!(!a.get_bool("json").unwrap());
+        assert!(!a.get_bool("absent").unwrap());
+    }
+
+    #[test]
+    fn no_subcommand() {
+        let a = parse(&["--help"]);
+        assert_eq!(a.subcommand(), None);
+        assert!(a.get_bool("help").unwrap());
+    }
+
+    #[test]
+    fn errors() {
+        assert!(Args::parse(["bid".into(), "stray".into()]).is_err());
+        let a = parse(&["bid", "--ts", "abc"]);
+        assert!(a.get_or::<f64>("ts", 0.0).is_err());
+        assert!(a.require("missing").is_err());
+        assert!(a.check_known(&["instance"]).is_err());
+        assert!(a.check_known(&["ts"]).is_ok());
+    }
+}

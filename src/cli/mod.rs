@@ -1,0 +1,4 @@
+//! The `spotbid` command-line interface.
+
+pub mod args;
+pub mod commands;

@@ -1,0 +1,26 @@
+//! `spotbid` — command-line entry point.
+//!
+//! See `spotbid --help` (or [`cli::commands::USAGE`]) for the command set.
+
+mod cli;
+
+use cli::args::Args;
+use cli::commands::dispatch;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match Args::parse(raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    match dispatch(&parsed) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

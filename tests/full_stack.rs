@@ -1,0 +1,121 @@
+//! Full-stack test: prices generated *endogenously* by the Section 4
+//! micro-market (many background bidders, per-slot optimal pricing) feed
+//! the Section 5 bidding pipeline, closing the provider→user loop that
+//! the paper keeps separate (its users consume exogenous EC2 prices).
+
+use spotbid::client::runtime::{run_job, run_job_with_fallback, RunStatus};
+use spotbid::core::price_model::EmpiricalPrices;
+use spotbid::core::{onetime, persistent, BidDecision, JobSpec, PriceModel};
+use spotbid::market::sim::{BidKind, BidRequest, SpotMarket, WorkModel};
+use spotbid::market::units::{Hours, Price};
+use spotbid::market::MarketParams;
+use spotbid::numerics::rng::Rng;
+use spotbid::trace::history::default_slot_len;
+use spotbid::trace::SpotPriceHistory;
+
+/// Runs the micro-market with random background bidders and returns the
+/// posted price series as a history.
+fn endogenous_prices(slots: usize, seed: u64) -> SpotPriceHistory {
+    let params = MarketParams::new(Price::new(0.35), Price::new(0.02), 0.05, 0.02).unwrap();
+    let mut market = SpotMarket::new(params, default_slot_len());
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut prices = Vec::with_capacity(slots);
+    for _ in 0..slots {
+        for _ in 0..rng.poisson(3.0) {
+            // One-time background bids keep the market stationary:
+            // rejected lowballs leave instead of accumulating demand and
+            // ratcheting the price upward forever.
+            market.submit(BidRequest {
+                price: Price::new(rng.range_f64(0.02, 0.35)),
+                kind: BidKind::OneTime,
+                work: WorkModel::Geometric,
+            });
+        }
+        prices.push(market.step(&mut rng).price);
+    }
+    SpotPriceHistory::new(default_slot_len(), prices).unwrap()
+}
+
+#[test]
+fn user_strategies_work_on_endogenous_prices() {
+    let history = endogenous_prices(6000, 0xF011);
+    let past = history.slice(0, 5000).unwrap();
+    let future = history.slice(5000, 6000).unwrap();
+    let model = EmpiricalPrices::from_history_with_cap(&past, Price::new(0.35)).unwrap();
+    let job = JobSpec::builder(1.0).recovery_secs(30.0).build().unwrap();
+
+    // The endogenous price law is narrow (demand-count driven), but the
+    // strategies must still produce coherent bids on it. Note the paper's
+    // "persistent bids below one-time bids" ordering does NOT have to
+    // hold here: with a near-degenerate price band, E[π | π ≤ p] barely
+    // rises with p, so the persistent optimum buys maximal acceptance and
+    // can sit above the one-time quantile — the ordering in Figures 6/
+    // Table 3 is a property of the heavy-tailed, floor-concentrated
+    // distributions of real spot markets, not of all price laws.
+    let one = onetime::optimal_bid(&model, &job).unwrap();
+    let per = persistent::optimal_bid(&model, &job).unwrap();
+    assert!(one.price <= model.on_demand());
+    assert!(per.price <= model.on_demand());
+    // Both bids are still no cheaper than the cheapest observed price and
+    // the persistent bid still undercuts on-demand cost.
+    assert!(per.price >= model.min_price());
+    assert!(per.expected_cost.as_f64() < 0.35 * job.execution.as_f64());
+
+    // Replaying the persistent bid against the endogenous future must
+    // complete and cost below the on-demand ceiling.
+    let out = run_job(
+        &future,
+        BidDecision::Spot {
+            price: per.price,
+            persistent: true,
+        },
+        &job,
+        0,
+    )
+    .unwrap();
+    assert_eq!(out.status, RunStatus::Completed);
+    assert!(out.cost.as_f64() <= 0.35 * job.execution.as_f64());
+}
+
+#[test]
+fn fallback_bounds_worst_case_cost_on_endogenous_prices() {
+    // Even an aggressive (low) one-time bid with on-demand fallback never
+    // pays more than on-demand plus one recovery replay.
+    let history = endogenous_prices(3000, 0xF012);
+    let past = history.slice(0, 2500).unwrap();
+    let future = history.slice(2500, 3000).unwrap();
+    let model = EmpiricalPrices::from_history_with_cap(&past, Price::new(0.35)).unwrap();
+    let job = JobSpec::builder(1.0).recovery_secs(60.0).build().unwrap();
+    let lowball = model.quantile(0.3).unwrap();
+    let out = run_job_with_fallback(
+        &future,
+        BidDecision::Spot {
+            price: lowball,
+            persistent: false,
+        },
+        &job,
+        0,
+        Price::new(0.35),
+    )
+    .unwrap();
+    assert!(out.completed());
+    let ceiling =
+        0.35 * (job.execution + job.recovery).as_f64() + lowball.as_f64() * job.execution.as_f64();
+    assert!(
+        out.cost.as_f64() <= ceiling + 1e-9,
+        "cost {} above worst-case ceiling {ceiling}",
+        out.cost
+    );
+    assert_eq!(out.remaining_work, Hours::ZERO);
+}
+
+#[test]
+fn endogenous_price_series_is_well_formed() {
+    let h = endogenous_prices(2000, 0xF013);
+    assert_eq!(h.len(), 2000);
+    // Prices live in the provider's feasible band.
+    assert!(h.min_price() >= Price::new(0.02));
+    assert!(h.max_price().as_f64() <= 0.35 / 2.0 + 1e-9, "above π̄/2");
+    // Determinism.
+    assert_eq!(h, endogenous_prices(2000, 0xF013));
+}

@@ -1,0 +1,115 @@
+//! The paper's quantitative claims, checked as integration tests over the
+//! experiment modules (the same code paths the figure binaries run, at
+//! reduced trial counts).
+
+use spotbid::core::mapreduce;
+use spotbid::core::price_model::EmpiricalPrices;
+use spotbid::core::{persistent, JobSpec};
+use spotbid::numerics::rng::Rng;
+use spotbid::trace::{catalog, synthetic};
+use spotbid_bench::experiments::{stability, table3};
+
+#[test]
+fn proposition2_equilibrium_price_is_iid_transform_of_arrivals() {
+    // At the queue fixed point the posted price equals h(λ) for every
+    // arrival hypothesis — the property that justifies bidding from the
+    // marginal price distribution.
+    for row in stability::run(0x9A9) {
+        assert!(
+            row.equilibrium_price_error < 1e-6,
+            "{}: {}",
+            row.arrivals,
+            row.equilibrium_price_error
+        );
+    }
+}
+
+#[test]
+fn table3_bid_structure_is_stable_across_seeds() {
+    // The orderings the paper's Table 3 exhibits must hold for every seed,
+    // not just a lucky one.
+    for seed in [1, 2, 3, 4, 5] {
+        for r in table3::run(seed) {
+            assert!(r.persistent_10s <= r.persistent_30s + 1e-12, "seed {seed}");
+            assert!(r.persistent_30s <= r.one_time + 1e-12, "seed {seed}");
+            assert!(r.one_time < r.on_demand, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn eq16_optimal_bid_depends_on_recovery_not_execution() {
+    // Proposition 5's structural insight, end to end over generated
+    // traces: doubling t_s leaves p* unchanged; doubling t_r moves it.
+    let inst = catalog::by_name("r3.4xlarge").unwrap();
+    let cfg = synthetic::SyntheticConfig::for_instance(&inst);
+    let h = synthetic::generate(&cfg, 17_568, &mut Rng::seed_from_u64(61)).unwrap();
+    let model = EmpiricalPrices::from_history_with_cap(&h, inst.on_demand).unwrap();
+    let bid = |ts: f64, tr: f64| {
+        persistent::optimal_bid(
+            &model,
+            &JobSpec::builder(ts).recovery_secs(tr).build().unwrap(),
+        )
+        .unwrap()
+        .price
+    };
+    assert_eq!(bid(1.0, 30.0), bid(4.0, 30.0));
+    assert_eq!(bid(2.0, 10.0), bid(8.0, 10.0));
+    assert!(bid(1.0, 10.0) <= bid(1.0, 60.0));
+}
+
+#[test]
+fn mapreduce_minimum_parallelism_is_the_paper_scale() {
+    // §7.2: "this minimum number of nodes ... can be as low as 3 or 4".
+    let job = JobSpec::builder(1.0)
+        .recovery_secs(30.0)
+        .overhead_secs(60.0)
+        .build()
+        .unwrap();
+    let mut seen = Vec::new();
+    for (i, (master, slave)) in catalog::table4_pairings().into_iter().enumerate() {
+        let mut rng = Rng::seed_from_u64(71 + i as u64);
+        let mh = synthetic::generate(
+            &synthetic::SyntheticConfig::for_instance(&master),
+            17_568,
+            &mut rng,
+        )
+        .unwrap();
+        let sh = synthetic::generate(
+            &synthetic::SyntheticConfig::for_instance(&slave),
+            17_568,
+            &mut rng,
+        )
+        .unwrap();
+        let mm = EmpiricalPrices::from_history_with_cap(&mh, master.on_demand).unwrap();
+        let sm = EmpiricalPrices::from_history_with_cap(&sh, slave.on_demand).unwrap();
+        let m = mapreduce::minimum_parallelism(&mm, &sm, &job, 64).unwrap();
+        assert!((1..=8).contains(&m), "{}: M̄ = {m}", slave.name);
+        seen.push(m);
+    }
+    // At least one pairing needs genuine parallelism (M̄ > 1).
+    assert!(seen.iter().any(|&m| m > 1), "{seen:?}");
+}
+
+#[test]
+fn interruptibility_bound_separates_feasible_jobs() {
+    // Eq. 14 through the public API: with t_r < t_k every bid is feasible;
+    // with t_r ≫ t_k only high-acceptance bids are.
+    let samples: Vec<f64> = (0..200).map(|i| 0.03 + (i % 50) as f64 * 0.002).collect();
+    let model =
+        EmpiricalPrices::from_samples(&samples, spotbid::market::units::Price::new(0.35)).unwrap();
+    let light = JobSpec::builder(1.0).recovery_secs(30.0).build().unwrap();
+    let rec = persistent::optimal_bid(&model, &light).unwrap();
+    assert!(rec.price.as_f64() > 0.0);
+    let heavy = JobSpec::builder(10.0)
+        .recovery(spotbid::market::units::Hours::new(1.0))
+        .build()
+        .unwrap();
+    // 1-hour recovery vs 5-minute slots: needs F > 1 − 1/12 ≈ 0.917.
+    let heavy_rec = persistent::optimal_bid(&model, &heavy).unwrap();
+    assert!(
+        heavy_rec.acceptance_prob > 0.9,
+        "heavy job must bid into the top decile, got F = {}",
+        heavy_rec.acceptance_prob
+    );
+}
