@@ -5,7 +5,7 @@
 //! months at 5-minute slots). These benches time our equivalents over the
 //! same history size.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use spotbid_bench::timing::bench_function;
 use spotbid_core::price_model::EmpiricalPrices;
 use spotbid_core::{mapreduce, onetime, persistent, JobSpec};
 use spotbid_numerics::rng::Rng;
@@ -21,22 +21,22 @@ fn model(name: &str, seed: u64) -> EmpiricalPrices {
     EmpiricalPrices::from_history_with_cap(&h, inst.on_demand).unwrap()
 }
 
-fn bench_bids(c: &mut Criterion) {
+fn bench_bids() {
     let m = model("c3.4xlarge", 1);
     let j1 = JobSpec::builder(1.0).build().unwrap();
     let j30 = JobSpec::builder(1.0).recovery_secs(30.0).build().unwrap();
-    c.bench_function("one_time_bid/two_months", |b| {
-        b.iter(|| onetime::optimal_bid(black_box(&m), black_box(&j1)).unwrap())
+    bench_function("one_time_bid/two_months", || {
+        onetime::optimal_bid(black_box(&m), black_box(&j1)).unwrap()
     });
-    c.bench_function("persistent_bid_scan/two_months", |b| {
-        b.iter(|| persistent::optimal_bid(black_box(&m), black_box(&j30)).unwrap())
+    bench_function("persistent_bid_scan/two_months", || {
+        persistent::optimal_bid(black_box(&m), black_box(&j30)).unwrap()
     });
-    c.bench_function("persistent_bid_psi/two_months", |b| {
-        b.iter(|| persistent::optimal_bid_psi(black_box(&m), black_box(&j30)))
+    bench_function("persistent_bid_psi/two_months", || {
+        persistent::optimal_bid_psi(black_box(&m), black_box(&j30))
     });
 }
 
-fn bench_mapreduce_plan(c: &mut Criterion) {
+fn bench_mapreduce_plan() {
     let mm = model("m3.xlarge", 2);
     let sm = model("c3.4xlarge", 3);
     let job = JobSpec::builder(1.0)
@@ -44,24 +44,22 @@ fn bench_mapreduce_plan(c: &mut Criterion) {
         .overhead_secs(60.0)
         .build()
         .unwrap();
-    c.bench_function("mapreduce_plan/two_months", |b| {
-        b.iter(|| mapreduce::plan(black_box(&mm), black_box(&sm), black_box(&job), 32).unwrap())
+    bench_function("mapreduce_plan/two_months", || {
+        mapreduce::plan(black_box(&mm), black_box(&sm), black_box(&job), 32).unwrap()
     });
 }
 
-fn bench_model_construction(c: &mut Criterion) {
+fn bench_model_construction() {
     let inst = catalog::by_name("r3.xlarge").unwrap();
     let cfg = SyntheticConfig::for_instance(&inst);
     let h = generate(&cfg, TWO_MONTHS_SLOTS, &mut Rng::seed_from_u64(4)).unwrap();
-    c.bench_function("empirical_model_build/two_months", |b| {
-        b.iter(|| EmpiricalPrices::from_history_with_cap(black_box(&h), inst.on_demand).unwrap())
+    bench_function("empirical_model_build/two_months", || {
+        EmpiricalPrices::from_history_with_cap(black_box(&h), inst.on_demand).unwrap()
     });
 }
 
-criterion_group!(
-    benches,
-    bench_bids,
-    bench_mapreduce_plan,
-    bench_model_construction
-);
-criterion_main!(benches);
+fn main() {
+    bench_bids();
+    bench_mapreduce_plan();
+    bench_model_construction();
+}

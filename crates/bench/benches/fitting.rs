@@ -1,40 +1,38 @@
 //! Microbenchmarks of distribution fitting (the Figure 3 pipeline).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use spotbid_bench::timing::bench_function;
 use spotbid_numerics::dist::{ContinuousDist, Exponential, Pareto};
 use spotbid_numerics::empirical::Empirical;
 use spotbid_numerics::fit::{mle_exponential, mle_pareto};
 use spotbid_numerics::rng::Rng;
 use std::hint::black_box;
 
-fn bench_mle(c: &mut Criterion) {
+fn bench_mle() {
     let mut rng = Rng::seed_from_u64(1);
     let pareto_samples = Pareto::new(0.01, 5.0).unwrap().sample_n(&mut rng, 17_568);
     let exp_samples = Exponential::new(0.001).unwrap().sample_n(&mut rng, 17_568);
-    c.bench_function("mle_pareto/two_months", |b| {
-        b.iter(|| mle_pareto(black_box(&pareto_samples), Some(0.01)).unwrap())
+    bench_function("mle_pareto/two_months", || {
+        mle_pareto(black_box(&pareto_samples), Some(0.01)).unwrap()
     });
-    c.bench_function("mle_exponential/two_months", |b| {
-        b.iter(|| mle_exponential(black_box(&exp_samples)).unwrap())
+    bench_function("mle_exponential/two_months", || {
+        mle_exponential(black_box(&exp_samples)).unwrap()
     });
 }
 
-fn bench_empirical(c: &mut Criterion) {
+fn bench_empirical() {
     let mut rng = Rng::seed_from_u64(2);
     let samples = Exponential::new(0.05).unwrap().sample_n(&mut rng, 17_568);
     let emp = Empirical::from_samples(&samples).unwrap();
-    c.bench_function("empirical_build/two_months", |b| {
-        b.iter(|| Empirical::from_samples(black_box(&samples)).unwrap())
+    bench_function("empirical_build/two_months", || {
+        Empirical::from_samples(black_box(&samples)).unwrap()
     });
-    c.bench_function("empirical_histogram/40_bins", |b| {
-        b.iter(|| emp.histogram(black_box(40)).unwrap())
+    bench_function("empirical_histogram/40_bins", || {
+        emp.histogram(black_box(40)).unwrap()
     });
-    c.bench_function("empirical_cdf_query", |b| {
-        b.iter(|| emp.cdf(black_box(0.06)))
-    });
+    bench_function("empirical_cdf_query", || emp.cdf(black_box(0.06)));
 }
 
-fn bench_fig3_family_fit(c: &mut Criterion) {
+fn bench_fig3_family_fit() {
     use spotbid_bench::experiments::fig3::{fit_family, ArrivalFamily};
     use spotbid_trace::analyze;
     use spotbid_trace::catalog::figure3_instances;
@@ -44,20 +42,21 @@ fn bench_fig3_family_fit(c: &mut Criterion) {
     let h = generate(&cfg, 17_568, &mut Rng::seed_from_u64(3)).unwrap();
     let (centers, dens) = analyze::price_histogram(&h, 24).unwrap();
     let (lo, hi) = (h.min_price().as_f64(), h.max_price().as_f64());
-    c.bench_function("fig3_pareto_fit/24_bins", |b| {
-        b.iter(|| {
-            fit_family(
-                ArrivalFamily::Pareto,
-                inst.on_demand.as_f64(),
-                black_box(lo),
-                hi,
-                &centers,
-                &dens,
-                &paper,
-            )
-        })
+    bench_function("fig3_pareto_fit/24_bins", || {
+        fit_family(
+            ArrivalFamily::Pareto,
+            inst.on_demand.as_f64(),
+            black_box(lo),
+            hi,
+            &centers,
+            &dens,
+            &paper,
+        )
     });
 }
 
-criterion_group!(benches, bench_mle, bench_empirical, bench_fig3_family_fit);
-criterion_main!(benches);
+fn main() {
+    bench_mle();
+    bench_empirical();
+    bench_fig3_family_fit();
+}

@@ -1,6 +1,6 @@
 //! Microbenchmarks of the provider-side market machinery.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use spotbid_bench::timing::{bench_function, bench_with_setup};
 use spotbid_market::provider::optimal_price;
 use spotbid_market::queue::QueueSim;
 use spotbid_market::sim::{BidKind, BidRequest, SpotMarket, WorkModel};
@@ -13,45 +13,41 @@ fn params() -> MarketParams {
     MarketParams::new(Price::new(0.35), Price::new(0.02), 0.05, 0.02).unwrap()
 }
 
-fn bench_optimal_price(c: &mut Criterion) {
+fn bench_optimal_price() {
     let m = params();
-    c.bench_function("provider_optimal_price", |b| {
-        b.iter(|| optimal_price(black_box(&m), black_box(42.0)))
+    bench_function("provider_optimal_price", || {
+        optimal_price(black_box(&m), black_box(42.0))
     });
 }
 
-fn bench_queue_recursion(c: &mut Criterion) {
+fn bench_queue_recursion() {
     let sim = QueueSim::new(params());
     let arrivals: Vec<f64> = (0..10_000).map(|i| 1.0 + (i % 7) as f64 * 0.1).collect();
-    c.bench_function("queue_recursion/10k_slots", |b| {
-        b.iter(|| sim.run(black_box(10.0), arrivals.iter().copied()))
+    bench_function("queue_recursion/10k_slots", || {
+        sim.run(black_box(10.0), arrivals.iter().copied())
     });
 }
 
-fn bench_micro_market(c: &mut Criterion) {
-    c.bench_function("spot_market_step/1k_bids", |b| {
-        b.iter_batched(
-            || {
-                let mut market = SpotMarket::new(params(), Hours::from_minutes(5.0));
-                for i in 0..1000 {
-                    market.submit(BidRequest {
-                        price: Price::new(0.02 + (i % 100) as f64 * 0.003),
-                        kind: BidKind::Persistent,
-                        work: WorkModel::FixedSlots(10),
-                    });
-                }
-                (market, Rng::seed_from_u64(1))
-            },
-            |(mut market, mut rng)| market.step(&mut rng),
-            criterion::BatchSize::SmallInput,
-        )
-    });
+fn bench_micro_market() {
+    bench_with_setup(
+        "spot_market_step/1k_bids",
+        || {
+            let mut market = SpotMarket::new(params(), Hours::from_minutes(5.0));
+            for i in 0..1000 {
+                market.submit(BidRequest {
+                    price: Price::new(0.02 + (i % 100) as f64 * 0.003),
+                    kind: BidKind::Persistent,
+                    work: WorkModel::FixedSlots(10),
+                });
+            }
+            (market, Rng::seed_from_u64(1))
+        },
+        |(mut market, mut rng)| market.step(&mut rng),
+    );
 }
 
-criterion_group!(
-    benches,
-    bench_optimal_price,
-    bench_queue_recursion,
-    bench_micro_market
-);
-criterion_main!(benches);
+fn main() {
+    bench_optimal_price();
+    bench_queue_recursion();
+    bench_micro_market();
+}

@@ -1,6 +1,6 @@
 //! Microbenchmarks of the trace-replay runtime and MapReduce scheduler.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use spotbid_bench::timing::bench_function;
 use spotbid_client::runtime::run_job;
 use spotbid_core::{BidDecision, JobSpec};
 use spotbid_mapred::schedule::{simulate, Availability, Phase, ScheduleConfig, TaskSpec};
@@ -10,7 +10,7 @@ use spotbid_trace::catalog;
 use spotbid_trace::synthetic::{generate, SyntheticConfig};
 use std::hint::black_box;
 
-fn bench_job_replay(c: &mut Criterion) {
+fn bench_job_replay() {
     let inst = catalog::by_name("r3.xlarge").unwrap();
     let cfg = SyntheticConfig::for_instance(&inst);
     let h = generate(&cfg, 12 * 24 * 14, &mut Rng::seed_from_u64(1)).unwrap();
@@ -19,12 +19,12 @@ fn bench_job_replay(c: &mut Criterion) {
         price: Price::new(0.034),
         persistent: true,
     };
-    c.bench_function("job_replay/2_week_trace", |b| {
-        b.iter(|| run_job(black_box(&h), decision, &job, 0).unwrap())
+    bench_function("job_replay/2_week_trace", || {
+        run_job(black_box(&h), decision, &job, 0).unwrap()
     });
 }
 
-fn bench_schedule(c: &mut Criterion) {
+fn bench_schedule() {
     let tasks: Vec<TaskSpec> = (0..64)
         .map(|i| TaskSpec {
             id: i,
@@ -37,15 +37,15 @@ fn bench_schedule(c: &mut Criterion) {
         recovery: Hours::from_secs(30.0),
         max_slots: 10_000,
     };
-    c.bench_function("mapreduce_schedule/64_tasks_8_slaves", |b| {
-        b.iter(|| {
-            simulate(black_box(&tasks), &cfg, |t| Availability {
-                master: true,
-                slaves: vec![t % 17 != 0; 8], // periodic outage
-            })
+    bench_function("mapreduce_schedule/64_tasks_8_slaves", || {
+        simulate(black_box(&tasks), &cfg, |t| Availability {
+            master: true,
+            slaves: vec![t % 17 != 0; 8], // periodic outage
         })
     });
 }
 
-criterion_group!(benches, bench_job_replay, bench_schedule);
-criterion_main!(benches);
+fn main() {
+    bench_job_replay();
+    bench_schedule();
+}

@@ -100,26 +100,25 @@ pub struct CorrelationPoint {
 pub fn correlation_sweep(cfg: &ExperimentConfig) -> Vec<CorrelationPoint> {
     let inst = catalog::by_name("r3.xlarge").unwrap();
     let job = JobSpec::builder(2.0).recovery_secs(30.0).build().unwrap();
-    [0.0, 0.5, 0.8, 0.95]
-        .iter()
-        .map(|&q| {
-            let trace_cfg = SyntheticConfig::for_instance(&inst).with_persistence(q);
-            let r = run_with_trace_config(
-                &inst,
-                &trace_cfg,
-                BiddingStrategy::OptimalPersistent,
-                &job,
-                cfg,
-            )
-            .unwrap();
-            CorrelationPoint {
-                persistence: q,
-                interruptions: r.interruptions.mean,
-                cost: r.cost.mean,
-                completion: r.completion_time.mean,
-            }
-        })
-        .collect()
+    let levels = [0.0, 0.5, 0.8, 0.95];
+    spotbid_exec::par_map(levels.len(), |i| {
+        let q = levels[i];
+        let trace_cfg = SyntheticConfig::for_instance(&inst).with_persistence(q);
+        let r = run_with_trace_config(
+            &inst,
+            &trace_cfg,
+            BiddingStrategy::OptimalPersistent,
+            &job,
+            cfg,
+        )
+        .unwrap();
+        CorrelationPoint {
+            persistence: q,
+            interruptions: r.interruptions.mean,
+            cost: r.cost.mean,
+            completion: r.completion_time.mean,
+        }
+    })
 }
 
 /// One point of the best-offline lookback sweep.
@@ -151,20 +150,20 @@ pub fn lookback_sweep(seed: u64, trials: usize) -> Vec<LookbackPoint> {
         .iter()
         .map(|&hours| {
             let window = (hours * 12.0) as usize;
-            let mut rng = Rng::seed_from_u64(seed ^ (hours as u64));
-            let mut bids = Vec::new();
-            let mut survived = 0usize;
-            for _ in 0..trials {
-                let h = generate(&cfg, window.max(run_slots) + 600 + run_slots, &mut rng).unwrap();
+            // Each trial runs on its own decorrelated substream of the
+            // per-lookback seed, so the point is reproducible at any
+            // thread count.
+            let outcomes = spotbid_exec::par_trials(seed ^ (hours as u64), trials, |_, rng| {
+                let h = generate(&cfg, window.max(run_slots) + 600 + run_slots, rng).unwrap();
                 let past = h.slice(0, h.len() - run_slots).unwrap();
                 let future = h.slice(h.len() - run_slots, h.len()).unwrap();
-                if let Some(bid) = baselines::best_offline_bid(&past, window, run_slots) {
-                    bids.push(bid.as_f64());
-                    if future.prices().iter().all(|&p| bid >= p) {
-                        survived += 1;
-                    }
-                }
-            }
+                baselines::best_offline_bid(&past, window, run_slots).map(|bid| {
+                    let survived = future.prices().iter().all(|&p| bid >= p);
+                    (bid.as_f64(), survived)
+                })
+            });
+            let bids: Vec<f64> = outcomes.iter().flatten().map(|&(b, _)| b).collect();
+            let survived = outcomes.iter().flatten().filter(|&&(_, s)| s).count();
             LookbackPoint {
                 lookback_hours: hours,
                 mean_bid: bids.iter().sum::<f64>() / bids.len().max(1) as f64,
@@ -195,21 +194,20 @@ pub fn overhead_sweep(seed: u64) -> Vec<OverheadPoint> {
     let h = generate(&cfg, 17_568, &mut Rng::seed_from_u64(seed)).unwrap();
     let model = EmpiricalPrices::from_history_with_cap(&h, inst.on_demand).unwrap();
     let job = JobSpec::builder(1.0).recovery_secs(30.0).build().unwrap();
-    [0.0, 5.0, 15.0, 30.0, 60.0, 120.0]
-        .iter()
-        .map(|&per_node_secs| {
-            let overhead = OverheadModel::Linear {
-                base: Hours::from_secs(30.0),
-                per_node: Hours::from_secs(per_node_secs),
-            };
-            let (m, rec) = best_m_with_overhead(&model, &job, &overhead, 32).unwrap();
-            OverheadPoint {
-                per_node_secs,
-                best_m: m,
-                cost: rec.expected_cost.as_f64(),
-            }
-        })
-        .collect()
+    let points = [0.0, 5.0, 15.0, 30.0, 60.0, 120.0];
+    spotbid_exec::par_map(points.len(), |i| {
+        let per_node_secs = points[i];
+        let overhead = OverheadModel::Linear {
+            base: Hours::from_secs(30.0),
+            per_node: Hours::from_secs(per_node_secs),
+        };
+        let (m, rec) = best_m_with_overhead(&model, &job, &overhead, 32).unwrap();
+        OverheadPoint {
+            per_node_secs,
+            best_m: m,
+            cost: rec.expected_cost.as_f64(),
+        }
+    })
 }
 
 /// One point of the checkpointing-vs-fixed-recovery comparison.
@@ -242,29 +240,28 @@ pub fn checkpoint_sweep(seed: u64) -> Vec<CheckpointPoint> {
         overhead: Hours::from_secs(10.0),
         reload: Hours::from_secs(30.0),
     };
-    [0.1, 0.3, 0.5, 0.8]
-        .iter()
-        .map(|&body| {
-            let mut cfg = SyntheticConfig::for_instance(&inst);
-            cfg.floor_prob = 1.0 - body;
-            cfg.body_scale = 0.25; // wide body so bids matter
-            let h = generate(
-                &cfg,
-                17_568,
-                &mut Rng::seed_from_u64(seed ^ (body * 100.0) as u64),
-            )
-            .unwrap();
-            let model = EmpiricalPrices::from_history_with_cap(&h, inst.on_demand).unwrap();
-            let fixed = persistent::optimal_bid(&model, &job).unwrap();
-            let ck = ck_bid(&model, &job, &spec).unwrap();
-            CheckpointPoint {
-                body_fraction: body,
-                fixed_cost: fixed.expected_cost.as_f64(),
-                checkpoint_cost: ck.expected_cost.as_f64(),
-                bid_ratio: ck.price / fixed.price,
-            }
-        })
-        .collect()
+    let bodies = [0.1, 0.3, 0.5, 0.8];
+    spotbid_exec::par_map(bodies.len(), |i| {
+        let body = bodies[i];
+        let mut cfg = SyntheticConfig::for_instance(&inst);
+        cfg.floor_prob = 1.0 - body;
+        cfg.body_scale = 0.25; // wide body so bids matter
+        let h = generate(
+            &cfg,
+            17_568,
+            &mut Rng::seed_from_u64(seed ^ (body * 100.0) as u64),
+        )
+        .unwrap();
+        let model = EmpiricalPrices::from_history_with_cap(&h, inst.on_demand).unwrap();
+        let fixed = persistent::optimal_bid(&model, &job).unwrap();
+        let ck = ck_bid(&model, &job, &spec).unwrap();
+        CheckpointPoint {
+            body_fraction: body,
+            fixed_cost: fixed.expected_cost.as_f64(),
+            checkpoint_cost: ck.expected_cost.as_f64(),
+            bid_ratio: ck.price / fixed.price,
+        }
+    })
 }
 
 /// Outcome of the collective-behaviour study.
@@ -294,9 +291,10 @@ pub struct CollectivePoint {
 /// quantile.
 pub fn collective_sweep(seed: u64) -> Vec<CollectivePoint> {
     let params = MarketParams::new(Price::new(0.35), Price::new(0.02), 0.05, 0.02).unwrap();
-    [0.0, 0.5, 1.0]
-        .iter()
-        .map(|&frac| {
+    let fractions = [0.0, 0.5, 1.0];
+    spotbid_exec::par_map(fractions.len(), |i| {
+        {
+            let frac = fractions[i];
             let mut rng = Rng::seed_from_u64(seed ^ ((frac * 100.0) as u64));
             let mut market = SpotMarket::new(params, Hours::from_minutes(5.0));
             let mut recent: Vec<f64> = vec![0.175];
@@ -336,8 +334,8 @@ pub fn collective_sweep(seed: u64) -> Vec<CollectivePoint> {
                 mean_open_bids: open_sum / prices.len() as f64,
                 throughput: finished as f64 / prices.len() as f64,
             }
-        })
-        .collect()
+        }
+    })
 }
 
 /// Risk curve: expected cost and cost spread across bid prices for a
@@ -359,10 +357,11 @@ pub fn risk_curve(seed: u64, trials: usize) -> Vec<(f64, f64, f64)> {
     candidates
         .into_iter()
         .map(|bid| {
-            let mut costs = Vec::new();
-            for t in 0..trials {
-                let mut trng = Rng::seed_from_u64(seed ^ (1000 + t as u64));
-                let h = generate(&cfg, 3000, &mut trng).unwrap();
+            // Trial `t`'s substream depends only on `(seed, t)` — every
+            // candidate bid replays the *same* traces, so the curve
+            // isolates the bid effect.
+            let costs: Vec<f64> = spotbid_exec::par_trials(seed, trials, |_, trng| {
+                let h = generate(&cfg, 3000, trng).unwrap();
                 let out = spotbid_client::runtime::run_job(
                     &h,
                     spotbid_core::BidDecision::Spot {
@@ -373,10 +372,11 @@ pub fn risk_curve(seed: u64, trials: usize) -> Vec<(f64, f64, f64)> {
                     0,
                 )
                 .unwrap();
-                if out.completed() {
-                    costs.push(out.cost.as_f64());
-                }
-            }
+                out.completed().then(|| out.cost.as_f64())
+            })
+            .into_iter()
+            .flatten()
+            .collect();
             let s = spotbid_numerics::stats::summarize(&costs).unwrap_or(
                 spotbid_numerics::stats::Summary {
                     n: 0,

@@ -245,12 +245,12 @@ pub fn fit_family(
     }
 }
 
-/// Runs the full Figure 3 reproduction.
+/// Runs the full Figure 3 reproduction, one panel per executor task.
 pub fn run(seed: u64, bins: usize) -> Vec<Fig3Panel> {
-    figure3_instances()
-        .into_iter()
-        .enumerate()
-        .map(|(i, (inst, paper_fit))| {
+    let panels = figure3_instances();
+    spotbid_exec::par_map(panels.len(), |i| {
+        {
+            let (inst, paper_fit) = panels[i].clone();
             let cfg = SyntheticConfig::for_instance(&inst);
             let mut rng = Rng::seed_from_u64(seed ^ (i as u64 + 1));
             let history = generate(&cfg, TWO_MONTHS_SLOTS, &mut rng).unwrap();
@@ -294,8 +294,8 @@ pub fn run(seed: u64, bins: usize) -> Vec<Fig3Panel> {
                 exponential,
                 ks_day_night_p: ks.p_value,
             }
-        })
-        .collect()
+        }
+    })
 }
 
 #[cfg(test)]

@@ -39,13 +39,14 @@ pub struct Fig5Row {
     pub fallback_savings: f64,
 }
 
-/// Runs Figure 5 over the five instance types.
+/// Runs Figure 5 over the five instance types, one executor task per
+/// instance.
 pub fn run(cfg: &ExperimentConfig) -> Vec<Fig5Row> {
     let job = JobSpec::builder(1.0).build().unwrap();
-    table3_instances()
-        .iter()
-        .enumerate()
-        .map(|(i, inst)| {
+    let instances = table3_instances();
+    spotbid_exec::par_map(instances.len(), |i| {
+        {
+            let inst = &instances[i];
             // Per-instance seed: real instance types see different demand,
             // so their traces must not be scaled copies of one another.
             let cfg = &ExperimentConfig {
@@ -84,8 +85,8 @@ pub fn run(cfg: &ExperimentConfig) -> Vec<Fig5Row> {
                 fallback_cost: fb.cost.mean,
                 fallback_savings: 1.0 - fb.cost.mean / on_demand_cost,
             }
-        })
-        .collect()
+        }
+    })
 }
 
 #[cfg(test)]

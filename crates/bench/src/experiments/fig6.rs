@@ -59,12 +59,13 @@ fn relative(r: &ExperimentResult, base_bid: f64, base_t: f64, base_c: f64) -> Re
     }
 }
 
-/// Runs Figure 6 over the five instance types.
+/// Runs Figure 6 over the five instance types, one executor task per
+/// instance.
 pub fn run(cfg: &ExperimentConfig) -> Vec<Fig6Row> {
-    table3_instances()
-        .iter()
-        .enumerate()
-        .map(|(i, inst)| {
+    let instances = table3_instances();
+    spotbid_exec::par_map(instances.len(), |i| {
+        {
+            let inst = &instances[i];
             // Per-instance seeds, as in Figure 5.
             let cfg = &ExperimentConfig {
                 seed: cfg.seed ^ (0x616 + i as u64),
@@ -91,8 +92,8 @@ pub fn run(cfg: &ExperimentConfig) -> Vec<Fig6Row> {
                 persistent_30s: relative(&p30, bb, bt, bc),
                 percentile_90: relative(&q90, bb, bt, bc),
             }
-        })
-        .collect()
+        }
+    })
 }
 
 #[cfg(test)]

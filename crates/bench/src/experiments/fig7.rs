@@ -49,7 +49,19 @@ pub struct Fig7Row {
 /// Number of trials per setting.
 pub const TRIALS: usize = 10;
 
-/// Runs Figure 7 over the five settings.
+/// Per-trial outcome collected before aggregation.
+struct Fig7Trial {
+    m: u32,
+    predicted: f64,
+    correct: bool,
+    completed: bool,
+    completion: f64,
+    cost: f64,
+}
+
+/// Runs Figure 7 over the five settings, one executor task per setting
+/// and the ten trials of each setting fanned out through
+/// [`spotbid_exec::par_trials`] on decorrelated substreams.
 ///
 /// The job is a 4-hour word count (rather than Table 3's 1-hour job): the
 /// paper's Common Crawl runs span multiple hours, and with a 1-hour job
@@ -62,68 +74,67 @@ pub fn run(seed: u64) -> Vec<Fig7Row> {
         .build()
         .unwrap();
     let horizon = 12 * 24 * 2; // two days of future per trial
-    table4_pairings()
-        .into_iter()
-        .enumerate()
-        .map(|(i, (master, slave))| {
-            let mut rng = Rng::seed_from_u64(seed ^ (0xF17 + i as u64));
-            let corpus = Corpus::generate(&CorpusConfig::default(), &mut rng).unwrap();
-            let mut completions = Vec::new();
-            let mut costs = Vec::new();
-            let mut predicted = Vec::new();
-            let mut m_used = 0;
-            let mut correct = true;
-            let mut completed = 0;
-            let mut od_row = None;
-            for _ in 0..TRIALS {
-                let mcfg = SyntheticConfig::for_instance(&master);
-                let scfg = SyntheticConfig::for_instance(&slave);
-                let mh = generate(&mcfg, TWO_MONTHS_SLOTS + horizon, &mut rng).unwrap();
-                let sh = generate(&scfg, TWO_MONTHS_SLOTS + horizon, &mut rng).unwrap();
-                let m_past = mh.slice(0, TWO_MONTHS_SLOTS).unwrap();
-                let s_past = sh.slice(0, TWO_MONTHS_SLOTS).unwrap();
-                let m_future = mh.slice(TWO_MONTHS_SLOTS, mh.len()).unwrap();
-                let s_future = sh.slice(TWO_MONTHS_SLOTS, sh.len()).unwrap();
-                let mm = EmpiricalPrices::from_history_with_cap(&m_past, master.on_demand).unwrap();
-                let sm = EmpiricalPrices::from_history_with_cap(&s_past, slave.on_demand).unwrap();
-                let p = plan(&mm, &sm, &job, 32).unwrap();
-                m_used = p.m;
-                predicted.push(p.total_cost.as_f64());
-                if od_row.is_none() {
-                    od_row = Some(
-                        run_on_demand(&corpus, p.m, &job, master.on_demand, slave.on_demand)
-                            .unwrap(),
-                    );
-                }
-                let out = run_on_spot(&corpus, &p, &job, &m_future, &s_future).unwrap();
-                correct &= out.result_correct;
-                if out.status == ScheduleStatus::Completed {
-                    completed += 1;
-                    completions.push(out.completion_time.as_f64());
-                    costs.push(out.total_cost().as_f64());
-                }
+    let pairings = table4_pairings();
+    spotbid_exec::par_map(pairings.len(), |i| {
+        let (master, slave) = pairings[i].clone();
+        let setting_seed = seed ^ (0xF17 + i as u64);
+        let mut rng = Rng::seed_from_u64(setting_seed);
+        let corpus = Corpus::generate(&CorpusConfig::default(), &mut rng).unwrap();
+        let trials = spotbid_exec::par_trials(setting_seed, TRIALS, |_, rng| {
+            let mcfg = SyntheticConfig::for_instance(&master);
+            let scfg = SyntheticConfig::for_instance(&slave);
+            let mh = generate(&mcfg, TWO_MONTHS_SLOTS + horizon, rng).unwrap();
+            let sh = generate(&scfg, TWO_MONTHS_SLOTS + horizon, rng).unwrap();
+            let m_past = mh.slice(0, TWO_MONTHS_SLOTS).unwrap();
+            let s_past = sh.slice(0, TWO_MONTHS_SLOTS).unwrap();
+            let m_future = mh.slice(TWO_MONTHS_SLOTS, mh.len()).unwrap();
+            let s_future = sh.slice(TWO_MONTHS_SLOTS, sh.len()).unwrap();
+            let mm = EmpiricalPrices::from_history_with_cap(&m_past, master.on_demand).unwrap();
+            let sm = EmpiricalPrices::from_history_with_cap(&s_past, slave.on_demand).unwrap();
+            let p = plan(&mm, &sm, &job, 32).unwrap();
+            let out = run_on_spot(&corpus, &p, &job, &m_future, &s_future).unwrap();
+            Fig7Trial {
+                m: p.m,
+                predicted: p.total_cost.as_f64(),
+                correct: out.result_correct,
+                completed: out.status == ScheduleStatus::Completed,
+                completion: out.completion_time.as_f64(),
+                cost: out.total_cost().as_f64(),
             }
-            let od = od_row.expect("at least one trial");
-            let spot_completion = summarize(&completions).map(|s| s.mean).unwrap_or(f64::NAN);
-            let spot_cost = summarize(&costs).map(|s| s.mean).unwrap_or(f64::NAN);
-            let od_completion = od.completion_time.as_f64();
-            let od_cost = od.total_cost().as_f64();
-            Fig7Row {
-                master_instance: master.name,
-                slave_instance: slave.name,
-                m: m_used,
-                spot_completion,
-                spot_cost,
-                od_completion,
-                od_cost,
-                predicted_cost: summarize(&predicted).map(|s| s.mean).unwrap_or(f64::NAN),
-                savings: 1.0 - spot_cost / od_cost,
-                completion_increase: spot_completion / od_completion - 1.0,
-                completion_rate: completed as f64 / TRIALS as f64,
-                all_results_correct: correct,
-            }
-        })
-        .collect()
+        });
+        let od = run_on_demand(&corpus, trials[0].m, &job, master.on_demand, slave.on_demand)
+            .unwrap();
+        let completions: Vec<f64> = trials
+            .iter()
+            .filter(|t| t.completed)
+            .map(|t| t.completion)
+            .collect();
+        let costs: Vec<f64> = trials
+            .iter()
+            .filter(|t| t.completed)
+            .map(|t| t.cost)
+            .collect();
+        let predicted: Vec<f64> = trials.iter().map(|t| t.predicted).collect();
+        let completed = completions.len();
+        let spot_completion = summarize(&completions).map(|s| s.mean).unwrap_or(f64::NAN);
+        let spot_cost = summarize(&costs).map(|s| s.mean).unwrap_or(f64::NAN);
+        let od_completion = od.completion_time.as_f64();
+        let od_cost = od.total_cost().as_f64();
+        Fig7Row {
+            master_instance: master.name,
+            slave_instance: slave.name,
+            m: trials.last().expect("at least one trial").m,
+            spot_completion,
+            spot_cost,
+            od_completion,
+            od_cost,
+            predicted_cost: summarize(&predicted).map(|s| s.mean).unwrap_or(f64::NAN),
+            savings: 1.0 - spot_cost / od_cost,
+            completion_increase: spot_completion / od_completion - 1.0,
+            completion_rate: completed as f64 / TRIALS as f64,
+            all_results_correct: trials.iter().all(|t| t.correct),
+        }
+    })
 }
 
 #[cfg(test)]

@@ -56,18 +56,18 @@ pub fn row_from_history(inst: &InstanceType, history: &SpotPriceHistory) -> Tabl
     }
 }
 
-/// Runs the full Table 3 reproduction over the five instance types.
+/// Runs the full Table 3 reproduction over the five instance types, one
+/// executor task per instance (per-instance seeding unchanged, so rows
+/// match the historical serial run exactly).
 pub fn run(seed: u64) -> Vec<Table3Row> {
-    table3_instances()
-        .iter()
-        .enumerate()
-        .map(|(i, inst)| {
-            let cfg = SyntheticConfig::for_instance(inst);
-            let mut rng = Rng::seed_from_u64(seed ^ (0x7AB3 + i as u64));
-            let h = generate(&cfg, TWO_MONTHS_SLOTS, &mut rng).unwrap();
-            row_from_history(inst, &h)
-        })
-        .collect()
+    let instances = table3_instances();
+    spotbid_exec::par_map(instances.len(), |i| {
+        let inst = &instances[i];
+        let cfg = SyntheticConfig::for_instance(inst);
+        let mut rng = Rng::seed_from_u64(seed ^ (0x7AB3 + i as u64));
+        let h = generate(&cfg, TWO_MONTHS_SLOTS, &mut rng).unwrap();
+        row_from_history(inst, &h)
+    })
 }
 
 #[cfg(test)]

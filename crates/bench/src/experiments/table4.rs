@@ -45,13 +45,14 @@ pub fn paper_job() -> JobSpec {
         .unwrap()
 }
 
-/// Runs Table 4 over the five pairings.
+/// Runs Table 4 over the five pairings, one executor task per pairing
+/// (per-pairing seeding unchanged, so rows match the serial run exactly).
 pub fn run(seed: u64) -> Vec<Table4Row> {
     let job = paper_job();
-    table4_pairings()
-        .into_iter()
-        .enumerate()
-        .map(|(i, (master, slave))| {
+    let pairings = table4_pairings();
+    spotbid_exec::par_map(pairings.len(), |i| {
+        {
+            let (master, slave) = pairings[i].clone();
             let mut rng = Rng::seed_from_u64(seed ^ (0x7AB4 + i as u64));
             let mh = generate(
                 &SyntheticConfig::for_instance(&master),
@@ -79,8 +80,8 @@ pub fn run(seed: u64) -> Vec<Table4Row> {
                 master_to_slave_ratio: p.master_cost.as_f64() / p.slaves.expected_cost.as_f64(),
                 plan: p,
             }
-        })
-        .collect()
+        }
+    })
 }
 
 #[cfg(test)]

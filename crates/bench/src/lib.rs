@@ -23,3 +23,4 @@
 
 pub mod experiments;
 pub mod report;
+pub mod timing;

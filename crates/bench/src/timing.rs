@@ -1,0 +1,122 @@
+//! Minimal wall-clock micro-benchmark harness.
+//!
+//! The container this workspace builds in has no access to external
+//! crates, so the benches use this dependency-free substitute for a
+//! benchmarking framework: warm up, run timed batches, and report
+//! min/mean/median per-iteration times on stdout. The numbers are for
+//! eyeballing order-of-magnitude claims (e.g. §7's 11.3 s one-time bid
+//! computation), not statistical comparison.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock budget for the measurement phase of one benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(500);
+/// Target wall-clock budget for the warm-up phase.
+const WARMUP_BUDGET: Duration = Duration::from_millis(100);
+/// Upper bound on recorded iterations, to keep memory bounded for very
+/// fast routines.
+const MAX_SAMPLES: usize = 10_000;
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Times `f` and prints a one-line summary: `name  min/median/mean`.
+pub fn bench_function<T>(name: &str, mut f: impl FnMut() -> T) {
+    // Warm-up: at least one call, until the budget is spent.
+    let warm_start = Instant::now();
+    loop {
+        black_box(f());
+        if warm_start.elapsed() >= WARMUP_BUDGET {
+            break;
+        }
+    }
+    // Measurement.
+    let mut samples = Vec::new();
+    let start = Instant::now();
+    while start.elapsed() < MEASURE_BUDGET && samples.len() < MAX_SAMPLES {
+        let t0 = Instant::now();
+        black_box(f());
+        samples.push(t0.elapsed());
+    }
+    samples.sort();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{name:<44} min {:>10}  median {:>10}  mean {:>10}  ({} iters)",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(mean),
+        samples.len()
+    );
+}
+
+/// As [`bench_function`], but rebuilds the routine's input with `setup`
+/// before every timed call (the setup cost is excluded from the timing).
+pub fn bench_with_setup<S, T>(
+    name: &str,
+    mut setup: impl FnMut() -> S,
+    mut routine: impl FnMut(S) -> T,
+) {
+    let warm_start = Instant::now();
+    loop {
+        black_box(routine(setup()));
+        if warm_start.elapsed() >= WARMUP_BUDGET {
+            break;
+        }
+    }
+    let mut samples = Vec::new();
+    let start = Instant::now();
+    while start.elapsed() < MEASURE_BUDGET && samples.len() < MAX_SAMPLES {
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        samples.push(t0.elapsed());
+    }
+    samples.sort();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{name:<44} min {:>10}  median {:>10}  mean {:>10}  ({} iters)",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(mean),
+        samples.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_all_magnitudes() {
+        assert_eq!(fmt_duration(Duration::from_nanos(5)), "5 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(5)), "5.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(5)), "5.000 s");
+    }
+
+    #[test]
+    fn harness_runs_a_trivial_function() {
+        let mut calls = 0u64;
+        bench_function("trivial", || {
+            calls += 1;
+            calls
+        });
+        assert!(calls > 0);
+        bench_with_setup("trivial_setup", || 3u64, |x| x * 2);
+    }
+}

@@ -1,0 +1,118 @@
+//! Golden-value regression tests.
+//!
+//! Pins the exact rows of `table3::run` and `stability::run` at the
+//! canonical seeds used by their binaries (`table3_bids`: 0x7AB3,
+//! `prop1_stability`: 0x57AB). Every experiment is a pure function of its
+//! seed (see DESIGN.md §5a), so these values are stable across thread
+//! counts and refactors — a diff here means the experiment's *output*
+//! changed, which must be a deliberate, reviewed decision.
+//!
+//! Regenerate the expected values with:
+//! `cargo test -p spotbid-bench --test golden -- --nocapture dump`
+//! (the `dump_golden_rows` test prints them in pasteable form).
+
+use spotbid_bench::experiments::{stability, table3};
+
+/// (instance, on_demand, one_time, persistent_10s, persistent_30s, best_offline)
+type Table3Golden = (&'static str, f64, f64, f64, f64, Option<f64>);
+/// (arrivals, lambda_mean, avg_queue_short, avg_queue_long,
+///  equilibrium_demand, top_bucket_drift, drift_threshold,
+///  equilibrium_price_error)
+type StabilityGolden = (&'static str, f64, f64, f64, f64, f64, f64, f64);
+
+#[test]
+#[ignore = "helper: prints current values for updating the pins below"]
+fn dump_golden_rows() {
+    for r in table3::run(0x7AB3) {
+        println!(
+            "(\"{}\", {:?}, {:?}, {:?}, {:?}, {:?}),",
+            r.instance, r.on_demand, r.one_time, r.persistent_10s, r.persistent_30s, r.best_offline
+        );
+    }
+    for r in stability::run(0x57AB) {
+        println!(
+            "(\"{}\", {:?}, {:?}, {:?}, {:?}, {:?}, {:?}, {:?}),",
+            r.arrivals,
+            r.lambda_mean,
+            r.avg_queue_short,
+            r.avg_queue_long,
+            r.equilibrium_demand,
+            r.top_bucket_drift,
+            r.drift_threshold,
+            r.equilibrium_price_error
+        );
+    }
+}
+
+#[test]
+fn table3_rows_are_pinned() {
+    let rows = table3::run(0x7AB3);
+    let expected: &[Table3Golden] = &[
+        ("r3.xlarge", 0.35, 0.04357230214206161, 0.03228811685793266, 0.03415723426696667, Some(0.0315)),
+        ("r3.2xlarge", 0.7, 0.08765168069270371, 0.06454478967095441, 0.06815122124364688, Some(0.063)),
+        ("r3.4xlarge", 1.4, 0.17710663323964643, 0.12908252557988, 0.13633065625806715, Some(0.126)),
+        ("c3.4xlarge", 0.84, 0.10886897309050811, 0.07746739555807867, 0.08165847707014652, Some(0.0756)),
+        ("c3.8xlarge", 1.68, 0.2134214984030957, 0.15471905793108753, 0.16339179116168612, Some(0.1512)),
+    ];
+    assert_eq!(rows.len(), expected.len());
+    for (r, e) in rows.iter().zip(expected) {
+        assert_eq!(r.instance, e.0);
+        assert_eq!(r.on_demand, e.1, "{} on_demand", r.instance);
+        assert_eq!(r.one_time, e.2, "{} one_time", r.instance);
+        assert_eq!(r.persistent_10s, e.3, "{} persistent_10s", r.instance);
+        assert_eq!(r.persistent_30s, e.4, "{} persistent_30s", r.instance);
+        assert_eq!(r.best_offline, e.5, "{} best_offline", r.instance);
+    }
+}
+
+#[test]
+fn stability_rows_are_pinned() {
+    let rows = stability::run(0x57AB);
+    let expected: &[StabilityGolden] = &[
+        (
+            "Pareto(0.5, 3.0)",
+            0.75,
+            70.69726941919002,
+            70.48769364898254,
+            70.45286506469475,
+            -974.1214091651613,
+            3357.244897959183,
+            2.7755575615628914e-17,
+        ),
+        (
+            "Exponential(1.0)",
+            1.0,
+            95.10739009411446,
+            94.22447335832787,
+            94.02234636871482,
+            -1899.3957025634852,
+            4539.183673469387,
+            2.7755575615628914e-17,
+        ),
+        (
+            "Poisson(1.0)",
+            1.0,
+            95.15664009897466,
+            94.15250633441246,
+            94.02234636871482,
+            -1787.0678553501737,
+            4539.183673469387,
+            2.7755575615628914e-17,
+        ),
+    ];
+    assert_eq!(rows.len(), expected.len());
+    for (r, e) in rows.iter().zip(expected) {
+        assert_eq!(r.arrivals, e.0);
+        assert_eq!(r.lambda_mean, e.1, "{} lambda_mean", r.arrivals);
+        assert_eq!(r.avg_queue_short, e.2, "{} avg_queue_short", r.arrivals);
+        assert_eq!(r.avg_queue_long, e.3, "{} avg_queue_long", r.arrivals);
+        assert_eq!(r.equilibrium_demand, e.4, "{} equilibrium_demand", r.arrivals);
+        assert_eq!(r.top_bucket_drift, e.5, "{} top_bucket_drift", r.arrivals);
+        assert_eq!(r.drift_threshold, e.6, "{} drift_threshold", r.arrivals);
+        assert_eq!(
+            r.equilibrium_price_error, e.7,
+            "{} equilibrium_price_error",
+            r.arrivals
+        );
+    }
+}

@@ -6,11 +6,11 @@
 //! exact costs and break them down by source (spot vs on-demand, master vs
 //! slave).
 
-use serde::{Deserialize, Serialize};
+use spotbid_json::{FromJson, Json, JsonError, ToJson};
 use spotbid_market::units::{Cost, Hours, Price};
 
 /// What a line item pays for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UsageKind {
     /// Spot-instance usage, charged at the slot's spot price.
     Spot,
@@ -18,8 +18,30 @@ pub enum UsageKind {
     OnDemand,
 }
 
+impl ToJson for UsageKind {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                UsageKind::Spot => "Spot",
+                UsageKind::OnDemand => "OnDemand",
+            }
+            .to_owned(),
+        )
+    }
+}
+
+impl FromJson for UsageKind {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_str()? {
+            "Spot" => Ok(UsageKind::Spot),
+            "OnDemand" => Ok(UsageKind::OnDemand),
+            other => Err(JsonError::new(format!("unknown usage kind `{other}`"))),
+        }
+    }
+}
+
 /// One charge: a duration of usage at a price.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LineItem {
     /// Slot index when the usage occurred.
     pub slot: u64,
@@ -40,10 +62,51 @@ impl LineItem {
     }
 }
 
+impl ToJson for LineItem {
+    fn to_json(&self) -> Json {
+        Json::Obj(
+            [
+                ("slot".to_owned(), self.slot.to_json()),
+                ("price".to_owned(), self.price.to_json()),
+                ("duration".to_owned(), self.duration.to_json()),
+                ("kind".to_owned(), self.kind.to_json()),
+                ("tag".to_owned(), self.tag.to_json()),
+            ]
+            .into(),
+        )
+    }
+}
+
+impl FromJson for LineItem {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(LineItem {
+            slot: u64::from_json(v.field("slot")?)?,
+            price: Price::from_json(v.field("price")?)?,
+            duration: Hours::from_json(v.field("duration")?)?,
+            kind: UsageKind::from_json(v.field("kind")?)?,
+            tag: u32::from_json(v.field("tag")?)?,
+        })
+    }
+}
+
 /// An accumulating bill.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Bill {
     items: Vec<LineItem>,
+}
+
+impl ToJson for Bill {
+    fn to_json(&self) -> Json {
+        Json::Obj([("items".to_owned(), self.items.to_json())].into())
+    }
+}
+
+impl FromJson for Bill {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Bill {
+            items: Vec::from_json(v.field("items")?)?,
+        })
+    }
 }
 
 impl Bill {
@@ -160,11 +223,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let mut b = Bill::new();
         b.charge_spot(3, Price::new(0.04), Hours::from_minutes(5.0), 7);
-        let s = serde_json::to_string(&b).unwrap();
-        let back: Bill = serde_json::from_str(&s).unwrap();
+        let s = spotbid_json::encode(&b);
+        let back: Bill = spotbid_json::decode(&s).unwrap();
         assert_eq!(b, back);
+        assert!(s.contains(r#""kind":"Spot""#), "{s}");
     }
 }

@@ -2,9 +2,11 @@
 //!
 //! §7 repeats every EC2 experiment ten times per instance type and reports
 //! averages; this module does the same over seeded synthetic traces, with
-//! trials running in parallel on scoped threads. Each trial draws a fresh
-//! two-month history (the client's price-monitor window), makes the bid at
-//! the end of it, and replays the job against a fresh future.
+//! trials fanned out through [`spotbid_exec::par_trials`] — each trial on
+//! its own decorrelated RNG substream, so results are bit-for-bit
+//! reproducible at any thread count. Each trial draws a fresh two-month
+//! history (the client's price-monitor window), makes the bid at the end
+//! of it, and replays the job against a fresh future.
 
 use crate::client::{SpotClient, TrialResult};
 use crate::ClientError;
@@ -162,39 +164,20 @@ pub fn run_with_trace_config(
         on_demand: inst.on_demand,
     };
     let total_slots = cfg.warmup_slots + cfg.horizon_slots;
-    let mut master = Rng::seed_from_u64(cfg.seed);
-    let seeds: Vec<u64> = (0..cfg.trials).map(|_| master.next_u64()).collect();
-
-    let mut slots: Vec<Option<Result<TrialResult, ClientError>>> = Vec::new();
-    slots.resize_with(cfg.trials, || None);
-    crossbeam::thread::scope(|scope| {
-        for (i, out) in slots.iter_mut().enumerate() {
-            let seed = seeds[i];
-            let job = *job;
-            let trace_cfg = trace_cfg.clone();
-            scope.spawn(move |_| {
-                let mut rng = Rng::seed_from_u64(seed);
-                let result = generate(&trace_cfg, total_slots, &mut rng)
-                    .map_err(ClientError::Trace)
-                    .and_then(|h| {
-                        client.run_at_with_fallback(
-                            &h,
-                            cfg.warmup_slots,
-                            &job,
-                            i as u32,
-                            cfg.on_demand_fallback,
-                        )
-                    });
-                *out = Some(result);
-            });
-        }
-    })
-    .expect("experiment worker panicked");
-
-    let mut trials = Vec::with_capacity(cfg.trials);
-    for slot in slots {
-        trials.push(slot.expect("every trial filled")?);
-    }
+    let outcomes = spotbid_exec::par_trials(cfg.seed, cfg.trials, |i, rng| {
+        generate(trace_cfg, total_slots, rng)
+            .map_err(ClientError::Trace)
+            .and_then(|h| {
+                client.run_at_with_fallback(
+                    &h,
+                    cfg.warmup_slots,
+                    job,
+                    i as u32,
+                    cfg.on_demand_fallback,
+                )
+            })
+    });
+    let trials = outcomes.into_iter().collect::<Result<Vec<_>, _>>()?;
     aggregate(trials)
 }
 

@@ -1,0 +1,248 @@
+//! Randomized tests of the bidding strategies' invariants over randomly
+//! generated empirical price models, driven by the workspace's seeded
+//! PRNG so every run is exactly reproducible.
+
+use spotbid_core::price_model::{EmpiricalPrices, PriceModel};
+use spotbid_core::{baselines, onetime, parallel, persistent, JobSpec};
+use spotbid_market::units::{Hours, Price};
+use spotbid_numerics::rng::Rng;
+
+/// Random price samples shaped like spot traces: a floor atom plus a
+/// positive spread, all below a cap.
+fn price_samples(rng: &mut Rng) -> (Vec<f64>, f64) {
+    let floor = rng.range_f64(0.01, 0.2);
+    let n = 20 + rng.range_usize(280);
+    let capx = rng.range_f64(0.3, 3.0);
+    let cap = floor * (1.0 + capx * 10.0);
+    let samples: Vec<f64> = (0..n)
+        .map(|_| {
+            let u = rng.next_f64();
+            if u < 0.5 {
+                floor
+            } else {
+                (floor + (u - 0.5) * 2.0 * (cap - floor)).min(cap)
+            }
+        })
+        .collect();
+    (samples, cap)
+}
+
+fn job(ts: f64, tr_s: f64) -> JobSpec {
+    JobSpec::builder(ts).recovery_secs(tr_s).build().unwrap()
+}
+
+#[test]
+fn persistent_bid_never_exceeds_onetime_bid() {
+    let mut rng = Rng::seed_from_u64(0xC04E_0001);
+    for _ in 0..64 {
+        let (samples, cap) = price_samples(&mut rng);
+        let tr = rng.range_f64(1.0, 250.0);
+        let model = EmpiricalPrices::from_samples(&samples, Price::new(cap)).unwrap();
+        let j = job(1.0, tr);
+        if let (Ok(one), Ok(per)) = (
+            onetime::optimal_bid(&model, &j),
+            persistent::optimal_bid(&model, &j),
+        ) {
+            assert!(
+                per.price <= one.price,
+                "persistent {} > one-time {}",
+                per.price,
+                one.price
+            );
+            assert!(per.expected_cost.as_f64() <= one.expected_cost.as_f64() + 1e-12);
+            assert!(per.expected_completion_time >= one.expected_completion_time);
+        }
+    }
+}
+
+#[test]
+fn optimal_bids_respect_the_on_demand_ceiling() {
+    let mut rng = Rng::seed_from_u64(0xC04E_0002);
+    for _ in 0..64 {
+        let (samples, cap) = price_samples(&mut rng);
+        let ts = rng.range_f64(0.2, 20.0);
+        let model = EmpiricalPrices::from_samples(&samples, Price::new(cap)).unwrap();
+        let j = job(ts, 30.0);
+        let od = Price::new(cap) * j.execution;
+        if let Ok(rec) = onetime::optimal_bid(&model, &j) {
+            assert!(rec.price <= model.on_demand());
+            assert!(rec.expected_cost <= od);
+        }
+        if let Ok(rec) = persistent::optimal_bid(&model, &j) {
+            assert!(rec.price <= model.on_demand());
+            assert!(rec.expected_cost <= od);
+        }
+    }
+}
+
+#[test]
+fn persistent_optimum_beats_every_candidate() {
+    let mut rng = Rng::seed_from_u64(0xC04E_0003);
+    for _ in 0..64 {
+        // The scan really is the argmin over candidates.
+        let (samples, cap) = price_samples(&mut rng);
+        let model = EmpiricalPrices::from_samples(&samples, Price::new(cap)).unwrap();
+        let j = job(1.0, 30.0);
+        if let Ok(rec) = persistent::optimal_bid(&model, &j) {
+            for p in model.bid_candidates() {
+                if let Some(c) = persistent::cost(&model, &j, p) {
+                    assert!(
+                        c.as_f64() >= rec.expected_cost.as_f64() - 1e-12,
+                        "candidate {p} beats the optimum"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn eq13_identities_hold_at_any_feasible_bid() {
+    let mut rng = Rng::seed_from_u64(0xC04E_0004);
+    for _ in 0..64 {
+        let (samples, cap) = price_samples(&mut rng);
+        let q = rng.range_f64(0.3, 1.0);
+        let model = EmpiricalPrices::from_samples(&samples, Price::new(cap)).unwrap();
+        let j = job(2.0, 30.0);
+        let p = model.quantile(q).unwrap();
+        if let (Some(run), Some(total), Some(n)) = (
+            persistent::expected_running_time(&model, &j, p),
+            persistent::expected_completion_time(&model, &j, p),
+            persistent::expected_interruptions(&model, &j, p),
+        ) {
+            // completion = running / F.
+            assert!((total.as_f64() * model.cdf(p) - run.as_f64()).abs() < 1e-9);
+            // Eq. 13's derivation: running = execution + (T·F(1−F)/t_k − 1)
+            // × recovery — with the *unclamped* transition count; the
+            // exposed count clamps it at zero.
+            let f = model.cdf(p);
+            let raw = total.as_f64() / j.slot.as_f64() * f * (1.0 - f) - 1.0;
+            assert!((run.as_f64() - j.execution.as_f64() - raw * j.recovery.as_f64()).abs() < 1e-9);
+            assert!((n - raw.max(0.0)).abs() < 1e-12);
+            // The clamped count keeps running ≥ execution in expectation
+            // only when interruptions are possible; at F = 1 the raw count
+            // is −1 and running dips below execution by t_r (the paper's
+            // formula counts the initial start as a transition).
+            if f < 1.0 {
+                assert!(run.as_f64() >= j.execution.as_f64() - j.recovery.as_f64() - 1e-9);
+            }
+        }
+    }
+}
+
+#[test]
+fn onetime_quantile_is_minimal_feasible() {
+    let mut rng = Rng::seed_from_u64(0xC04E_0005);
+    for _ in 0..64 {
+        let (samples, cap) = price_samples(&mut rng);
+        let ts = rng.range_f64(0.5, 6.0);
+        let model = EmpiricalPrices::from_samples(&samples, Price::new(cap)).unwrap();
+        let j = JobSpec::builder(ts).build().unwrap();
+        if let Ok(rec) = onetime::optimal_bid(&model, &j) {
+            assert!(onetime::satisfies_no_interruption(&model, &j, rec.price));
+            // No strictly cheaper candidate is feasible.
+            for p in model.bid_candidates() {
+                if p < rec.price {
+                    assert!(
+                        !onetime::satisfies_no_interruption(&model, &j, p),
+                        "cheaper feasible bid {p} exists below {}",
+                        rec.price
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_cost_decomposes_with_m() {
+    let mut rng = Rng::seed_from_u64(0xC04E_0006);
+    for _ in 0..64 {
+        let (samples, cap) = price_samples(&mut rng);
+        let m = 1 + rng.range_usize(11) as u32;
+        let model = EmpiricalPrices::from_samples(&samples, Price::new(cap)).unwrap();
+        let j = JobSpec::builder(1.0)
+            .recovery_secs(20.0)
+            .overhead_secs(40.0)
+            .build()
+            .unwrap();
+        let p = model.quantile(0.9).unwrap();
+        if let (Some(sum), Some(t)) = (
+            parallel::sum_running_time(&model, &j, m, p),
+            parallel::completion_time(&model, &j, m, p),
+        ) {
+            // Eq. 18: max_i T_i = ΣT_i·F/(M·F).
+            assert!((t.as_f64() * m as f64 * model.cdf(p) - sum.as_f64()).abs() < 1e-9);
+            // Cost = ΣT·F × E[π|π≤p].
+            let c = parallel::cost(&model, &j, m, p).unwrap();
+            let e = model.expected_price_below(p).unwrap();
+            assert!((c.as_f64() - sum.as_f64() * e.as_f64()).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn best_offline_is_a_lower_bound_on_window_maxima() {
+    let mut rng = Rng::seed_from_u64(0xC04E_0007);
+    for _ in 0..64 {
+        // p̂ must equal the max over SOME run-window and be ≤ the max over
+        // EVERY run-window.
+        use spotbid_trace::history::default_slot_len;
+        use spotbid_trace::SpotPriceHistory;
+        let (samples, _cap) = price_samples(&mut rng);
+        let run = 1 + rng.range_usize(9);
+        let prices: Vec<Price> = samples.iter().map(|&p| Price::new(p)).collect();
+        if prices.len() < run {
+            continue;
+        }
+        let h = SpotPriceHistory::new(default_slot_len(), prices.clone()).unwrap();
+        let b = baselines::best_offline_bid(&h, prices.len(), run).unwrap();
+        let maxima: Vec<Price> = prices
+            .windows(run)
+            .map(|w| w.iter().copied().fold(Price::ZERO, Price::max))
+            .collect();
+        assert!(maxima.contains(&b));
+        assert!(maxima.iter().all(|&m| b <= m));
+    }
+}
+
+#[test]
+fn zero_recovery_means_lowest_viable_bid() {
+    let mut rng = Rng::seed_from_u64(0xC04E_0008);
+    for _ in 0..64 {
+        let (samples, cap) = price_samples(&mut rng);
+        let model = EmpiricalPrices::from_samples(&samples, Price::new(cap)).unwrap();
+        let j = JobSpec::builder(1.0).build().unwrap();
+        if let Ok(rec) = persistent::optimal_bid(&model, &j) {
+            assert_eq!(rec.price, model.min_price());
+        }
+    }
+}
+
+#[test]
+fn job_spec_validation_total() {
+    let mut rng = Rng::seed_from_u64(0xC04E_0009);
+    for _ in 0..64 {
+        let ts = rng.range_f64(-5.0, 50.0);
+        let tr = rng.range_f64(-100.0, 5000.0);
+        let to = rng.range_f64(-100.0, 5000.0);
+        // The builder either yields a valid job or errors — never a
+        // half-valid job.
+        match JobSpec::builder(ts)
+            .recovery(Hours::from_secs(tr))
+            .overhead(Hours::from_secs(to))
+            .build()
+        {
+            Ok(j) => {
+                assert!(j.execution > Hours::ZERO);
+                assert!(j.recovery >= Hours::ZERO);
+                assert!(j.overhead >= Hours::ZERO);
+                assert!(j.recovery < j.execution);
+                assert!(j.validate().is_ok());
+            }
+            Err(_) => {
+                assert!(ts <= 0.0 || tr < 0.0 || to < 0.0 || tr / 3600.0 >= ts);
+            }
+        }
+    }
+}

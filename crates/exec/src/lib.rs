@@ -1,0 +1,290 @@
+//! # spotbid-exec
+//!
+//! Deterministic parallel Monte Carlo executor for the `spotbid`
+//! workspace.
+//!
+//! The paper repeats every EC2 experiment ten times (§7); the reproduction
+//! repeats every simulated experiment over ten seeds, and the sweep-scale
+//! extensions (portfolio contracts, feedback-control bidding) need orders
+//! of magnitude more trials. This crate gives every such loop one
+//! primitive, [`par_trials`], with a hard guarantee:
+//!
+//! > **The result is a pure function of `(seed, n)` — bit-for-bit
+//! > identical no matter how many threads run it.**
+//!
+//! Two ingredients make that true:
+//!
+//! 1. **Decorrelated substreams** — trial `i` draws from
+//!    [`RngStreams::stream(i)`](spotbid_numerics::rng::RngStreams), the
+//!    master generator advanced by `i` xoshiro256++ jumps of `2^128`
+//!    outputs. The variates a trial sees depend only on `(seed, i)`, never
+//!    on scheduling.
+//! 2. **Order-stable collection** — workers pull trial indices from a
+//!    shared atomic counter (self-scheduling, the classic work-stealing
+//!    discipline for uneven trial costs) but every result is placed back
+//!    into slot `i`, so the output `Vec` is always in trial order.
+//!
+//! ## Thread-count contract
+//!
+//! The worker count is, in priority order: a [`with_threads`] override in
+//! scope, the `SPOTBID_THREADS` environment variable, then the machine's
+//! available parallelism. `SPOTBID_THREADS=1` runs every trial inline on
+//! the calling thread and must — and does, by construction — reproduce the
+//! parallel result exactly.
+//!
+//! ## Example
+//!
+//! ```
+//! use spotbid_exec::{par_trials, with_threads};
+//!
+//! // Mean of one uniform draw per trial, over 64 decorrelated streams.
+//! let xs = par_trials(42, 64, |_i, rng| rng.next_f64());
+//! let serial = with_threads(1, || par_trials(42, 64, |_i, rng| rng.next_f64()));
+//! assert_eq!(xs, serial); // bit-for-bit, not approximately
+//! ```
+
+#![warn(missing_docs)]
+
+use spotbid_numerics::rng::{Rng, RngStreams};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Process-wide thread-count override; 0 means "no override".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Serializes [`with_threads`] scopes so concurrent tests can't clobber
+/// each other's override. Held only by the outermost scope on a thread
+/// (see `OVERRIDE_DEPTH`), so nesting can't self-deadlock.
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+thread_local! {
+    /// How many [`with_threads`] scopes are live on this thread.
+    static OVERRIDE_DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The number of worker threads the executor will use right now.
+///
+/// Priority: an active [`with_threads`] override, then `SPOTBID_THREADS`
+/// (positive integers only; anything else is ignored), then
+/// [`std::thread::available_parallelism`].
+pub fn thread_count() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::Acquire);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("SPOTBID_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `f` with the executor pinned to exactly `threads` workers,
+/// overriding `SPOTBID_THREADS` and the detected parallelism.
+///
+/// The override is process-wide (nested [`par_trials`] calls on worker
+/// threads see it too) and scopes are serialized by an internal lock, so
+/// determinism tests comparing a 1-thread and an N-thread run can't race.
+/// Since the executor's output never depends on the thread count, the
+/// override only changes *how* work runs, not *what* it produces.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    assert!(threads > 0, "with_threads(0)");
+    // Only the outermost scope on this thread takes the cross-thread lock;
+    // nested scopes just swap the override (re-locking would self-deadlock
+    // on the non-reentrant mutex).
+    let outermost = OVERRIDE_DEPTH.with(|d| {
+        let depth = d.get();
+        d.set(depth + 1);
+        depth == 0
+    });
+    let _guard = outermost.then(|| OVERRIDE_LOCK.lock().unwrap_or_else(PoisonError::into_inner));
+    let prev = THREAD_OVERRIDE.swap(threads, Ordering::AcqRel);
+    // Restore on unwind as well, so a panicking closure (e.g. a failing
+    // assertion inside a determinism test) doesn't leak the override.
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.store(self.0, Ordering::Release);
+            OVERRIDE_DEPTH.with(|d| d.set(d.get() - 1));
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Applies `f` to every index in `0..n` in parallel, returning results in
+/// index order.
+///
+/// Workers self-schedule off an atomic counter, so uneven per-index costs
+/// balance automatically; the output position of each result is its index,
+/// so the returned `Vec` is identical regardless of thread count. `f` must
+/// be deterministic in its index for the executor's reproducibility
+/// guarantee to extend to the caller.
+pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_map_threads(thread_count(), n, f)
+}
+
+/// As [`par_map`], with an explicit worker count.
+pub fn par_map_threads<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.clamp(1, n.max(1));
+    if threads == 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (f, next) = (&f, &next);
+    let per_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("executor worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    for (i, v) in per_worker.into_iter().flatten() {
+        slots[i] = Some(v);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index scheduled exactly once"))
+        .collect()
+}
+
+/// Runs `n` Monte Carlo trials in parallel, each on its own decorrelated
+/// substream of `seed`, returning results in trial order.
+///
+/// Trial `i` receives index `i` and a generator positioned at
+/// `RngStreams::new(seed).stream(i)`. The output is bit-for-bit identical
+/// for any thread count, including `SPOTBID_THREADS=1`.
+pub fn par_trials<T, F>(seed: u64, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &mut Rng) -> T + Sync,
+{
+    par_trials_threads(thread_count(), seed, n, f)
+}
+
+/// As [`par_trials`], with an explicit worker count.
+pub fn par_trials_threads<T, F>(threads: usize, seed: u64, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, &mut Rng) -> T + Sync,
+{
+    // The jump chain is sequential (stream i+1 = stream i jumped), so walk
+    // it once up front rather than per worker.
+    let streams = RngStreams::new(seed).streams(n);
+    let streams = &streams;
+    par_map_threads(threads, n, move |i| {
+        let mut rng = streams[i].clone();
+        f(i, &mut rng)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_index_order() {
+        for threads in [1, 2, 3, 8] {
+            let out = par_map_threads(threads, 100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        assert!(par_map_threads(4, 0, |i| i).is_empty());
+        assert_eq!(par_map_threads(4, 1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn par_trials_is_thread_count_invariant() {
+        // Uneven per-trial cost exercises the work-stealing path: trial i
+        // draws i variates before reporting, so late trials are much
+        // heavier than early ones.
+        let run = |threads| {
+            par_trials_threads(threads, 0xC10D, 64, |i, rng| {
+                let mut acc = 0u64;
+                for _ in 0..i {
+                    acc = acc.wrapping_add(rng.next_u64());
+                }
+                (i, acc, rng.next_f64())
+            })
+        };
+        let serial = run(1);
+        for threads in [2, 4, 16] {
+            assert_eq!(run(threads), serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_trials_depends_on_seed() {
+        let a = par_trials_threads(2, 1, 16, |_, rng| rng.next_u64());
+        let b = par_trials_threads(2, 2, 16, |_, rng| rng.next_u64());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn trial_streams_match_rng_streams() {
+        let out = par_trials_threads(3, 9, 8, |_, rng| rng.next_u64());
+        let fam = RngStreams::new(9);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, fam.stream(i as u64).next_u64(), "trial {i}");
+        }
+    }
+
+    #[test]
+    fn with_threads_pins_and_restores() {
+        let before = thread_count();
+        let inside = with_threads(3, thread_count);
+        assert_eq!(inside, 3);
+        assert_eq!(thread_count(), before);
+        // Nested scopes: innermost wins, outer restored afterwards.
+        let (outer, inner) = with_threads(2, || (thread_count(), with_threads(5, thread_count)));
+        assert_eq!((outer, inner), (2, 5));
+    }
+
+    #[test]
+    fn with_threads_restores_on_panic() {
+        let before = thread_count();
+        let r = std::panic::catch_unwind(|| with_threads(7, || panic!("boom")));
+        assert!(r.is_err());
+        assert_eq!(thread_count(), before);
+    }
+
+    #[test]
+    fn with_threads_drives_par_trials() {
+        let a = with_threads(1, || par_trials(5, 32, |_, rng| rng.next_u64()));
+        let b = with_threads(6, || par_trials(5, 32, |_, rng| rng.next_u64()));
+        assert_eq!(a, b);
+    }
+}

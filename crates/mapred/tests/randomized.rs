@@ -1,6 +1,6 @@
-//! Property-based tests of the MapReduce engine and scheduler.
+//! Randomized tests of the MapReduce engine and scheduler, driven by the
+//! workspace's seeded PRNG so every run is exactly reproducible.
 
-use proptest::prelude::*;
 use spotbid_mapred::corpus::{Corpus, CorpusConfig};
 use spotbid_mapred::engine::{run_local, shard};
 use spotbid_mapred::schedule::{
@@ -11,37 +11,47 @@ use spotbid_market::units::Hours;
 use spotbid_numerics::rng::Rng;
 use std::collections::HashMap;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn shard_is_a_partition(n in 0usize..5000, m in 1usize..64) {
+#[test]
+fn shard_is_a_partition() {
+    let mut rng = Rng::seed_from_u64(0x4D50_0001);
+    for _ in 0..48 {
+        let n = rng.range_usize(5000);
+        let m = 1 + rng.range_usize(63);
         let shards = shard(n, m);
-        prop_assert_eq!(shards.len(), m);
+        assert_eq!(shards.len(), m);
         // Contiguous, covering, non-overlapping.
         let mut expect = 0usize;
         for &(lo, hi) in &shards {
-            prop_assert_eq!(lo, expect);
-            prop_assert!(hi >= lo);
+            assert_eq!(lo, expect);
+            assert!(hi >= lo);
             expect = hi;
         }
-        prop_assert_eq!(expect, n);
+        assert_eq!(expect, n);
         // Balanced: sizes differ by at most one.
         let sizes: Vec<usize> = shards.iter().map(|(l, h)| h - l).collect();
         let (mn, mx) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
-        prop_assert!(mx - mn <= 1);
+        assert!(mx - mn <= 1);
     }
+}
 
-    #[test]
-    fn word_count_independent_of_topology(
-        docs in proptest::collection::vec("[a-d ]{0,30}", 0..20),
-        m in 1usize..8,
-        r in 1usize..8,
-    ) {
+#[test]
+fn word_count_independent_of_topology() {
+    let mut rng = Rng::seed_from_u64(0x4D50_0002);
+    const ALPHABET: [char; 5] = ['a', 'b', 'c', 'd', ' '];
+    for _ in 0..48 {
+        let n_docs = rng.range_usize(20);
+        let docs: Vec<String> = (0..n_docs)
+            .map(|_| {
+                let len = rng.range_usize(31);
+                (0..len).map(|_| ALPHABET[rng.range_usize(5)]).collect()
+            })
+            .collect();
+        let m = 1 + rng.range_usize(7);
+        let r = 1 + rng.range_usize(7);
         let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
         let reference = run_local(&WordCount, &refs, 1, 1);
         let distributed = run_local(&WordCount, &refs, m, r);
-        prop_assert_eq!(&distributed, &reference);
+        assert_eq!(&distributed, &reference);
         // And against a direct hash-map count.
         let mut direct: HashMap<String, u64> = HashMap::new();
         for d in &refs {
@@ -49,67 +59,83 @@ proptest! {
                 *direct.entry(w.to_string()).or_default() += 1;
             }
         }
-        prop_assert_eq!(distributed.len(), direct.len());
+        assert_eq!(distributed.len(), direct.len());
         for (k, v) in &distributed {
-            prop_assert_eq!(direct.get(k), Some(v), "word {}", k);
+            assert_eq!(direct.get(k), Some(v), "word {k}");
         }
     }
+}
 
-    #[test]
-    fn scheduler_conserves_tasks_under_failures(
-        n_map in 1usize..12,
-        n_reduce in 0usize..6,
-        minutes in 1.0f64..20.0,
-        slaves in 1usize..6,
-        outage_period in 2usize..20,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn scheduler_conserves_tasks_under_failures() {
+    let mut rng = Rng::seed_from_u64(0x4D50_0003);
+    let mut cases = 0;
+    while cases < 48 {
+        let n_map = 1 + rng.range_usize(11);
+        let n_reduce = rng.range_usize(6);
+        let minutes = rng.range_f64(1.0, 20.0);
+        let slaves = 1 + rng.range_usize(5);
+        let outage_period = 2 + rng.range_usize(18);
+        let seed = rng.next_u64();
         // A task must fit (with recovery) inside the window between
         // synchronized outages, or it can livelock — restarting from
         // scratch forever (see `too_long_tasks_livelock` below). Real
         // MapReduce avoids this by keeping tasks small.
-        prop_assume!((outage_period as f64 - 1.0) * 5.0 >= minutes + 1.0);
+        if (outage_period as f64 - 1.0) * 5.0 < minutes + 1.0 {
+            continue;
+        }
+        cases += 1;
         let mut tasks = Vec::new();
         for i in 0..n_map {
-            tasks.push(TaskSpec { id: i, phase: Phase::Map,
-                                  duration: Hours::from_minutes(minutes) });
+            tasks.push(TaskSpec {
+                id: i,
+                phase: Phase::Map,
+                duration: Hours::from_minutes(minutes),
+            });
         }
         for i in 0..n_reduce {
-            tasks.push(TaskSpec { id: n_map + i, phase: Phase::Reduce,
-                                  duration: Hours::from_minutes(minutes) });
+            tasks.push(TaskSpec {
+                id: n_map + i,
+                phase: Phase::Reduce,
+                duration: Hours::from_minutes(minutes),
+            });
         }
         let cfg = ScheduleConfig {
             slot: Hours::from_minutes(5.0),
             recovery: Hours::from_secs(30.0),
             max_slots: 50_000,
         };
-        let mut rng = Rng::seed_from_u64(seed);
+        let mut sim_rng = Rng::seed_from_u64(seed);
         let out = simulate(&tasks, &cfg, |t| {
             // Periodic synchronized outages plus random per-slave noise,
             // but never a master failure (that aborts by design).
             let stormy = t % outage_period == outage_period - 1;
             Availability {
                 master: true,
-                slaves: (0..slaves).map(|_| !stormy && !rng.chance(0.05)).collect(),
+                slaves: (0..slaves).map(|_| !stormy && !sim_rng.chance(0.05)).collect(),
             }
         });
         // With the master always up, every job eventually completes.
-        prop_assert_eq!(out.status, ScheduleStatus::Completed);
-        prop_assert_eq!(out.master_up.len(), out.slots_elapsed);
-        prop_assert_eq!(out.slaves_up.len(), out.slots_elapsed);
+        assert_eq!(out.status, ScheduleStatus::Completed);
+        assert_eq!(out.master_up.len(), out.slots_elapsed);
+        assert_eq!(out.slaves_up.len(), out.slots_elapsed);
         // Reschedules never exceed interruptions (only busy slaves lose
         // tasks).
-        prop_assert!(out.task_reschedules <= out.slave_interruptions);
+        assert!(out.task_reschedules <= out.slave_interruptions);
         // Lower bound: the serial work cannot beat perfect parallelism.
-        let total_work_slots =
-            (tasks.len() as f64 * minutes / 5.0 / slaves as f64).floor() as usize;
-        prop_assert!(out.slots_elapsed + 1 >= total_work_slots.max(1));
+        let total_work_slots = (tasks.len() as f64 * minutes / 5.0 / slaves as f64).floor() as usize;
+        assert!(out.slots_elapsed + 1 >= total_work_slots.max(1));
     }
+}
 
-    #[test]
-    fn corpus_shapes_hold(documents in 1usize..50, words in 1usize..100,
-
-                          vocab in 1usize..500, seed in any::<u64>()) {
+#[test]
+fn corpus_shapes_hold() {
+    let mut rng = Rng::seed_from_u64(0x4D50_0004);
+    for _ in 0..48 {
+        let documents = 1 + rng.range_usize(49);
+        let words = 1 + rng.range_usize(99);
+        let vocab = 1 + rng.range_usize(499);
+        let seed = rng.next_u64();
         let cfg = CorpusConfig {
             documents,
             words_per_doc: words,
@@ -117,23 +143,23 @@ proptest! {
             zipf_s: 1.0,
         };
         let c = Corpus::generate(&cfg, &mut Rng::seed_from_u64(seed)).unwrap();
-        prop_assert_eq!(c.len(), documents);
-        prop_assert_eq!(c.total_words(), documents * words);
+        assert_eq!(c.len(), documents);
+        assert_eq!(c.total_words(), documents * words);
         // Every word is a valid vocabulary token.
         for d in c.docs() {
             for w in d.split_whitespace() {
                 let rank: usize = w.strip_prefix('w').unwrap().parse().unwrap();
-                prop_assert!((1..=vocab).contains(&rank));
+                assert!((1..=vocab).contains(&rank));
             }
         }
     }
 }
 
-/// The livelock proptest found: a task whose duration exceeds the longest
-/// uninterrupted window restarts from scratch on every interruption and
-/// never finishes, no matter how long the schedule runs. This is the
-/// structural reason MapReduce keeps tasks small (and why
-/// `spot::build_tasks` splits maps into multiple waves).
+/// The livelock case randomized testing found: a task whose duration
+/// exceeds the longest uninterrupted window restarts from scratch on
+/// every interruption and never finishes, no matter how long the schedule
+/// runs. This is the structural reason MapReduce keeps tasks small (and
+/// why `spot::build_tasks` splits maps into multiple waves).
 #[test]
 fn too_long_tasks_livelock_under_periodic_outages() {
     let tasks = [TaskSpec {

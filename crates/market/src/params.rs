@@ -2,7 +2,7 @@
 
 use crate::units::Price;
 use crate::MarketError;
-use serde::{Deserialize, Serialize};
+use spotbid_json::{FromJson, Json, JsonError, ToJson};
 
 /// Parameters of the provider's spot-price optimization (§4.1).
 ///
@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// | `pi_min` | `π`          | minimum spot price: the provider's marginal cost |
 /// | `beta`   | `β`          | weight of the capacity-utilization term `β log(1+N)` |
 /// | `theta`  | `θ`          | fraction of running instances that finish per slot |
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MarketParams {
     /// On-demand price `π̄` — the maximum spot price.
     pub pi_bar: Price,
@@ -82,6 +82,31 @@ impl MarketParams {
     }
 }
 
+impl ToJson for MarketParams {
+    fn to_json(&self) -> Json {
+        Json::Obj(
+            [
+                ("pi_bar".to_owned(), self.pi_bar.to_json()),
+                ("pi_min".to_owned(), self.pi_min.to_json()),
+                ("beta".to_owned(), self.beta.to_json()),
+                ("theta".to_owned(), self.theta.to_json()),
+            ]
+            .into(),
+        )
+    }
+}
+
+impl FromJson for MarketParams {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(MarketParams {
+            pi_bar: Price::from_json(v.field("pi_bar")?)?,
+            pi_min: Price::from_json(v.field("pi_min")?)?,
+            beta: f64::from_json(v.field("beta")?)?,
+            theta: f64::from_json(v.field("theta")?)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,10 +147,12 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let m = p(0.35, 0.03, 0.3, 0.02).unwrap();
-        let s = serde_json::to_string(&m).unwrap();
-        let back: MarketParams = serde_json::from_str(&s).unwrap();
+        let s = spotbid_json::encode(&m);
+        let back: MarketParams = spotbid_json::decode(&s).unwrap();
         assert_eq!(m, back);
+        // Field names on the wire match the old serde derive.
+        assert_eq!(s, r#"{"beta":0.3,"pi_bar":0.35,"pi_min":0.03,"theta":0.02}"#);
     }
 }

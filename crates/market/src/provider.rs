@@ -298,28 +298,29 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
     use super::*;
-    use proptest::prelude::*;
+    use spotbid_numerics::rng::Rng;
 
-    proptest! {
-        #[test]
-        fn optimal_price_bounded_and_beats_grid(
-            pi_bar in 0.1f64..2.0,
-            pi_min_frac in 0.0f64..0.4,
-            beta in 0.0f64..0.5,
-            l in 0.01f64..1e4,
-        ) {
-            let pi_min = pi_bar * pi_min_frac;
+    #[test]
+    fn optimal_price_bounded_and_beats_grid() {
+        let mut rng = Rng::seed_from_u64(0x0917);
+        for _ in 0..256 {
+            let pi_bar = 0.1 + 1.9 * rng.next_f64();
+            let pi_min = pi_bar * (0.4 * rng.next_f64());
+            let beta = 0.5 * rng.next_f64();
+            let l = 10f64.powf(-2.0 + 6.0 * rng.next_f64());
             let m = MarketParams::new(Price::new(pi_bar), Price::new(pi_min), beta, 0.02).unwrap();
             let p = optimal_price(&m, l);
-            prop_assert!(p >= m.pi_min && p <= m.pi_bar);
+            assert!(p >= m.pi_min && p <= m.pi_bar);
             // The closed form is at least as good as any coarse grid point.
             let best = objective(&m, l, p);
             for i in 0..=50 {
                 let cand = Price::new(pi_min + (pi_bar - pi_min) * i as f64 / 50.0);
-                prop_assert!(objective(&m, l, cand) <= best + 1e-9,
-                             "grid point {cand} beats closed form {p}");
+                assert!(
+                    objective(&m, l, cand) <= best + 1e-9,
+                    "grid point {cand} beats closed form {p} (π̄={pi_bar} π={pi_min} β={beta} L={l})"
+                );
             }
         }
     }

@@ -16,10 +16,9 @@
 use crate::params::MarketParams;
 use crate::provider::{accepted_bids, optimal_price};
 use crate::units::Price;
-use serde::{Deserialize, Serialize};
 
 /// One slot of the flow-level queue recursion.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueueStep {
     /// Slot index.
     pub t: u64,

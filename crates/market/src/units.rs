@@ -6,14 +6,13 @@
 //! produce money — while staying `Copy` and arithmetic-friendly inside
 //! numeric kernels via [`Price::as_f64`] etc.
 
-use serde::{Deserialize, Serialize};
+use spotbid_json::{FromJson, Json, JsonError, ToJson};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
 
 /// A duration (or instant on a simulation clock), in hours.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Hours(f64);
 
 impl Hours {
@@ -138,8 +137,7 @@ impl fmt::Display for Hours {
 }
 
 /// A price in dollars per instance-hour.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Price(f64);
 
 impl Price {
@@ -221,8 +219,7 @@ impl fmt::Display for Price {
 }
 
 /// An amount of money in dollars.
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct Cost(f64);
 
 impl Cost {
@@ -298,6 +295,24 @@ impl fmt::Display for Cost {
         write!(f, "${:.4}", self.0)
     }
 }
+
+// All three units serialize transparently as bare numbers, matching the
+// wire format of the original `#[serde(transparent)]` derives.
+macro_rules! transparent_json {
+    ($($t:ident),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Num(self.0)
+            }
+        }
+        impl FromJson for $t {
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                Ok($t(v.as_num()?))
+            }
+        }
+    )*};
+}
+transparent_json!(Hours, Price, Cost);
 
 #[cfg(test)]
 mod tests {
@@ -386,5 +401,14 @@ mod tests {
     fn display_formats() {
         assert_eq!(Price::new(0.0323).to_string(), "$0.0323/h");
         assert_eq!(Cost::new(1.23456).to_string(), "$1.2346");
+    }
+
+    #[test]
+    fn units_serialize_as_bare_numbers() {
+        assert_eq!(spotbid_json::encode(&Price::new(0.35)), "0.35");
+        assert_eq!(spotbid_json::encode(&Hours::new(1.5)), "1.5");
+        assert_eq!(spotbid_json::encode(&Cost::new(0.07)), "0.07");
+        let p: Price = spotbid_json::decode("0.35").unwrap();
+        assert_eq!(p, Price::new(0.35));
     }
 }

@@ -1,0 +1,159 @@
+//! Randomized tests of the provider model and market simulator, driven
+//! by the workspace's own seeded PRNG so they are exactly reproducible.
+
+use spotbid_market::equilibrium::{equilibrium_price_unclamped, h_inverse};
+use spotbid_market::provider::{accepted_bids, objective, optimal_price};
+use spotbid_market::queue::QueueSim;
+use spotbid_market::sim::{BidKind, BidPhase, BidRequest, SpotMarket, WorkModel};
+use spotbid_market::units::{Hours, Price};
+use spotbid_market::MarketParams;
+use spotbid_numerics::rng::Rng;
+
+fn random_params(rng: &mut Rng) -> MarketParams {
+    let pi_bar = rng.range_f64(0.1, 2.0);
+    let pmin_frac = rng.range_f64(0.0, 0.4);
+    let beta = rng.range_f64(0.0, 0.5);
+    let theta = rng.range_f64(0.005, 0.5);
+    MarketParams::new(
+        Price::new(pi_bar),
+        Price::new(pi_bar * pmin_frac),
+        beta,
+        theta,
+    )
+    .unwrap()
+}
+
+#[test]
+fn optimal_price_is_optimal_and_bounded() {
+    let mut rng = Rng::seed_from_u64(0x4D4B_0001);
+    for _ in 0..128 {
+        let m = random_params(&mut rng);
+        let l = rng.range_f64(0.0, 1e5);
+        let p = optimal_price(&m, l);
+        assert!(p >= m.pi_min && p <= m.pi_bar);
+        // Beats a coarse grid of alternatives.
+        let best = objective(&m, l, p);
+        for i in 0..=40 {
+            let cand =
+                Price::new(m.pi_min.as_f64() + (m.pi_bar - m.pi_min).as_f64() * i as f64 / 40.0);
+            assert!(objective(&m, l, cand) <= best + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn accepted_bids_monotone_in_price() {
+    let mut rng = Rng::seed_from_u64(0x4D4B_0002);
+    for _ in 0..128 {
+        let m = random_params(&mut rng);
+        let l = rng.range_f64(0.1, 1000.0);
+        let mut last = f64::INFINITY;
+        for i in 0..=20 {
+            let p =
+                Price::new(m.pi_min.as_f64() + (m.pi_bar - m.pi_min).as_f64() * i as f64 / 20.0);
+            let n = accepted_bids(&m, l, p);
+            assert!(n <= last + 1e-12, "acceptance must fall as price rises");
+            assert!((0.0..=l).contains(&n));
+            last = n;
+        }
+    }
+}
+
+#[test]
+fn h_and_h_inverse_are_mutual_inverses() {
+    let mut rng = Rng::seed_from_u64(0x4D4B_0003);
+    for _ in 0..128 {
+        let m = random_params(&mut rng);
+        if m.beta <= 1e-6 {
+            continue;
+        }
+        // Log-uniform arrival level over [1e-6, 1e4].
+        let lam = 10f64.powf(rng.range_f64(-6.0, 4.0));
+        let price = equilibrium_price_unclamped(&m, lam);
+        assert!(price < m.pi_bar.as_f64() / 2.0);
+        if let Some(back) = h_inverse(&m, Price::new(price)) {
+            assert!(
+                (back - lam).abs() < 1e-6 * (1.0 + lam),
+                "h⁻¹(h({lam})) = {back}"
+            );
+        }
+    }
+}
+
+#[test]
+fn queue_step_conserves_mass() {
+    let mut rng = Rng::seed_from_u64(0x4D4B_0004);
+    for _ in 0..128 {
+        let m = random_params(&mut rng);
+        let l = rng.range_f64(0.0, 1e4);
+        let lam = rng.range_f64(0.0, 100.0);
+        let sim = QueueSim::new(m);
+        let s = sim.step(0, l, lam);
+        assert!((s.l_next - (s.l - s.departed + s.arrivals)).abs() < 1e-9);
+        assert!(s.departed >= 0.0 && s.departed <= s.accepted + 1e-12);
+        assert!(s.accepted <= s.l + 1e-12);
+        assert!(s.l_next >= 0.0);
+    }
+}
+
+#[test]
+fn market_accounting_invariants() {
+    let mut rng = Rng::seed_from_u64(0x4D4B_0005);
+    for _ in 0..24 {
+        let n_bids = 1 + rng.range_usize(59);
+        let bids: Vec<(f64, bool, u32)> = (0..n_bids)
+            .map(|_| {
+                (
+                    rng.next_f64(),
+                    rng.chance(0.5),
+                    1 + rng.range_usize(19) as u32,
+                )
+            })
+            .collect();
+        let params = MarketParams::new(Price::new(0.35), Price::new(0.02), 0.05, 0.02).unwrap();
+        let mut market = SpotMarket::new(params, Hours::from_minutes(5.0));
+        let mut sim_rng = Rng::seed_from_u64(rng.next_u64());
+        for &(frac, persistent, work) in &bids {
+            market.submit(BidRequest {
+                price: Price::new(0.02 + frac * 0.33),
+                kind: if persistent {
+                    BidKind::Persistent
+                } else {
+                    BidKind::OneTime
+                },
+                work: WorkModel::FixedSlots(work),
+            });
+        }
+        let reports = market.run(60, &mut sim_rng);
+        for rec in market.records() {
+            // Charges are non-negative and bounded by slots_run × π̄ × slot.
+            assert!(rec.charged.as_f64() >= 0.0);
+            let cap = rec.slots_run as f64 * 0.35 / 12.0;
+            assert!(rec.charged.as_f64() <= cap + 1e-12);
+            // Finished fixed-work bids ran exactly their requirement.
+            if rec.phase == BidPhase::Finished {
+                if let WorkModel::FixedSlots(n) = rec.request.work {
+                    assert_eq!(rec.slots_run, n);
+                }
+                assert!(rec.closed_at.is_some());
+            }
+            // One-time bids never record more than one interruption.
+            if rec.request.kind == BidKind::OneTime {
+                assert!(rec.interruptions <= 1);
+            }
+        }
+        // Demand never exceeds bids submitted; prices stay in bounds.
+        for r in &reports {
+            assert!(r.demand <= bids.len());
+            assert!(r.price >= params.pi_min && r.price <= params.pi_bar);
+        }
+        // Every bid is eventually closed or still open — no lost bids.
+        let open = market.open_bids();
+        let closed = market
+            .records()
+            .iter()
+            .filter(|r| r.closed_at.is_some())
+            .count();
+        assert_eq!(open + closed, bids.len());
+    }
+}

@@ -304,34 +304,49 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::rng::Rng;
 
-    proptest! {
-        #[test]
-        fn cdf_monotone(mut xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
-                        probe in -1e6f64..1e6) {
+    fn samples(rng: &mut Rng, max_len: usize, lo: f64, hi: f64) -> Vec<f64> {
+        let n = 1 + rng.range_usize(max_len);
+        (0..n).map(|_| rng.range_f64(lo, hi)).collect()
+    }
+
+    #[test]
+    fn cdf_monotone() {
+        let mut rng = Rng::seed_from_u64(0xE4B1);
+        for _ in 0..200 {
+            let mut xs = samples(&mut rng, 200, -1e6, 1e6);
+            let probe = rng.range_f64(-1e6, 1e6);
             let d = Empirical::from_samples(&xs).unwrap();
-            prop_assert!(d.cdf(probe) >= 0.0 && d.cdf(probe) <= 1.0);
-            prop_assert!(d.cdf(probe) <= d.cdf(probe + 1.0));
+            assert!(d.cdf(probe) >= 0.0 && d.cdf(probe) <= 1.0);
+            assert!(d.cdf(probe) <= d.cdf(probe + 1.0));
             xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            prop_assert_eq!(d.sorted(), &xs[..]);
+            assert_eq!(d.sorted(), &xs[..]);
         }
+    }
 
-        #[test]
-        fn mean_below_max_is_mean(xs in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+    #[test]
+    fn mean_below_max_is_mean() {
+        let mut rng = Rng::seed_from_u64(0xE4B2);
+        for _ in 0..100 {
+            let xs = samples(&mut rng, 100, -1e3, 1e3);
             let d = Empirical::from_samples(&xs).unwrap();
             let m = d.mean_below(d.max()).unwrap();
-            prop_assert!((m - d.mean()).abs() < 1e-9);
+            assert!((m - d.mean()).abs() < 1e-9);
         }
+    }
 
-        #[test]
-        fn quantile_in_sample_set(xs in proptest::collection::vec(-1e3f64..1e3, 1..100),
-                                  q in 0.0f64..=1.0) {
+    #[test]
+    fn quantile_in_sample_set() {
+        let mut rng = Rng::seed_from_u64(0xE4B3);
+        for _ in 0..100 {
+            let xs = samples(&mut rng, 100, -1e3, 1e3);
+            let q = rng.next_f64();
             let d = Empirical::from_samples(&xs).unwrap();
             let v = d.quantile(q).unwrap();
-            prop_assert!(xs.contains(&v));
+            assert!(xs.contains(&v));
         }
     }
 }

@@ -174,6 +174,125 @@ impl Rng {
     pub fn fork(&mut self) -> Rng {
         Rng::seed_from_u64(self.next_u64())
     }
+
+    /// Advances the state by `2^128` steps of [`Rng::next_u64`], as if that
+    /// many outputs had been drawn and discarded.
+    ///
+    /// This is the reference xoshiro256++ jump function: repeated jumps
+    /// partition the generator's period of `2^256 − 1` into `2^128`
+    /// non-overlapping subsequences of length `2^128`, so streams obtained
+    /// by successive jumps from one seed can never collide. It is the
+    /// seeding primitive behind [`RngStreams`].
+    pub fn jump(&mut self) {
+        self.polynomial_jump(&JUMP);
+    }
+
+    /// Advances the state by `2^192` steps — the reference long-jump.
+    ///
+    /// Useful for carving the period into `2^64` super-streams of `2^192`
+    /// outputs each, e.g. one per distributed worker, each of which can
+    /// then be subdivided further with [`Rng::jump`].
+    pub fn long_jump(&mut self) {
+        self.polynomial_jump(&LONG_JUMP);
+    }
+
+    /// Applies a jump polynomial: the new state is the linear combination
+    /// of future states selected by the set bits of `poly` (xoshiro's state
+    /// transition is F2-linear, so this computes the transition matrix
+    /// raised to the jump distance).
+    fn polynomial_jump(&mut self, poly: &[u64; 4]) {
+        let mut s = [0u64; 4];
+        for &word in poly {
+            for bit in 0..64 {
+                if word & (1u64 << bit) != 0 {
+                    s[0] ^= self.s[0];
+                    s[1] ^= self.s[1];
+                    s[2] ^= self.s[2];
+                    s[3] ^= self.s[3];
+                }
+                self.next_u64();
+            }
+        }
+        self.s = s;
+    }
+}
+
+/// The reference xoshiro256++ jump polynomial (distance `2^128`), from the
+/// authors' published implementation (Blackman & Vigna,
+/// <https://prng.di.unimi.it/xoshiro256plusplus.c>).
+pub const JUMP: [u64; 4] = [
+    0x180E_C6D3_3CFD_0ABA,
+    0xD5A6_1266_F0C9_392C,
+    0xA958_2618_E03F_C9AA,
+    0x39AB_DC45_29B1_661C,
+];
+
+/// The reference long-jump polynomial (distance `2^192`).
+pub const LONG_JUMP: [u64; 4] = [
+    0x76E1_5D3E_FEFD_CBBF,
+    0xC500_4E44_1C52_2FB3,
+    0x7771_0069_854E_E241,
+    0x3910_9BB0_2ACB_E635,
+];
+
+/// Decorrelated per-trial substreams derived from one master seed.
+///
+/// Stream `i` is the master generator advanced by `i` jumps of `2^128`
+/// outputs, so the streams are non-overlapping segments of the xoshiro
+/// period: trial `i` may draw up to `2^128` variates without ever touching
+/// trial `j`'s segment. This is what makes parallel Monte Carlo
+/// deterministic — the variates a trial sees depend only on `(seed, i)`,
+/// never on which thread runs it or in what order.
+///
+/// # Example
+///
+/// ```
+/// use spotbid_numerics::rng::RngStreams;
+/// let streams = RngStreams::new(42);
+/// let mut a = streams.stream(3);
+/// let mut b = RngStreams::new(42).stream(3);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct RngStreams {
+    base: Rng,
+}
+
+impl RngStreams {
+    /// Creates the stream family for a master seed.
+    pub fn new(master_seed: u64) -> Self {
+        RngStreams {
+            base: Rng::seed_from_u64(master_seed),
+        }
+    }
+
+    /// The `i`-th substream.
+    ///
+    /// Costs `i` jumps; when handing streams to every trial of an
+    /// experiment, prefer [`RngStreams::streams`], which walks the chain
+    /// once.
+    pub fn stream(&self, i: u64) -> Rng {
+        let mut r = self.base.clone();
+        for _ in 0..i {
+            r.jump();
+        }
+        r
+    }
+
+    /// The first `n` substreams, in order, computed with `n − 1` jumps.
+    pub fn streams(&self, n: usize) -> Vec<Rng> {
+        let mut out = Vec::with_capacity(n);
+        let mut cur = self.base.clone();
+        for i in 0..n {
+            if i + 1 == n {
+                out.push(cur);
+                break;
+            }
+            out.push(cur.clone());
+            cur.jump();
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -305,5 +424,125 @@ mod tests {
         let mut c1 = parent.fork();
         let mut c2 = parent.fork();
         assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn jump_constants_match_the_reference_polynomials() {
+        // Blackman & Vigna's xoshiro256plusplus.c, verbatim.
+        assert_eq!(
+            JUMP,
+            [
+                0x180ec6d33cfd0aba,
+                0xd5a61266f0c9392c,
+                0xa9582618e03fc9aa,
+                0x39abdc4529b1661c
+            ]
+        );
+        assert_eq!(
+            LONG_JUMP,
+            [
+                0x76e15d3efefdcbbf,
+                0xc5004e441c522fb3,
+                0x77710069854ee241,
+                0x39109bb02acbe635
+            ]
+        );
+    }
+
+    #[test]
+    fn polynomial_jump_selects_future_states() {
+        // The jump machinery computes a linear combination of future
+        // states: the polynomial with only bit k set must land exactly on
+        // the state reached by k plain steps. Checked for several k over
+        // several seeds — this validates the engine the reference
+        // constants plug into.
+        for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+            for k in [0u32, 1, 2, 5, 63, 64, 70, 200] {
+                let mut jumped = Rng::seed_from_u64(seed);
+                let mut poly = [0u64; 4];
+                poly[(k / 64) as usize] = 1u64 << (k % 64);
+                jumped.polynomial_jump(&poly);
+                let mut stepped = Rng::seed_from_u64(seed);
+                for _ in 0..k {
+                    stepped.next_u64();
+                }
+                assert_eq!(jumped, stepped, "seed {seed}, k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn jump_moves_to_a_disjoint_subsequence() {
+        let mut base = Rng::seed_from_u64(99);
+        let mut jumped = base.clone();
+        jumped.jump();
+        let near: Vec<u64> = (0..4096).map(|_| base.next_u64()).collect();
+        let far: Vec<u64> = (0..4096).map(|_| jumped.next_u64()).collect();
+        // The jumped stream is 2^128 steps ahead: no aligned collisions.
+        assert!(near.iter().zip(&far).all(|(a, b)| a != b));
+    }
+
+    #[test]
+    fn long_jump_differs_from_jump() {
+        let mut a = Rng::seed_from_u64(5);
+        let mut b = a.clone();
+        a.jump();
+        b.long_jump();
+        assert_ne!(a, b);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn streams_match_individually_jumped_streams() {
+        let fam = RngStreams::new(0xC10D);
+        let all = fam.streams(6);
+        assert_eq!(all.len(), 6);
+        for (i, s) in all.iter().enumerate() {
+            assert_eq!(*s, fam.stream(i as u64), "stream {i}");
+        }
+        assert!(fam.streams(0).is_empty());
+        assert_eq!(fam.streams(1)[0], fam.stream(0));
+    }
+
+    #[test]
+    fn streams_are_pairwise_decorrelated_and_never_equal() {
+        // Property sweep over master seeds: no two substreams share state,
+        // their outputs never collide position-wise over a window, and the
+        // empirical correlation between paired uniform draws is tiny.
+        for seed in [0u64, 1, 7, 0xC10D, u64::MAX] {
+            let fam = RngStreams::new(seed);
+            let streams = fam.streams(5);
+            for i in 0..streams.len() {
+                for j in (i + 1)..streams.len() {
+                    assert_ne!(streams[i], streams[j], "seed {seed}: {i} vs {j}");
+                    let mut a = streams[i].clone();
+                    let mut b = streams[j].clone();
+                    let n = 2048;
+                    let mut dot = 0.0;
+                    for _ in 0..n {
+                        let (x, y) = (a.next_f64() - 0.5, b.next_f64() - 0.5);
+                        assert!(x != y, "aligned collision between streams");
+                        dot += x * y;
+                    }
+                    // Var of the sample correlation of independent
+                    // uniforms is 1/n; 6 sigma ≈ 0.13 at n = 2048.
+                    let corr = dot / n as f64 / (1.0 / 12.0);
+                    assert!(corr.abs() < 0.13, "seed {seed}: corr({i},{j}) = {corr}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_master_seed_same_streams() {
+        let a = RngStreams::new(314);
+        let b = RngStreams::new(314);
+        for i in 0..4 {
+            let mut x = a.stream(i);
+            let mut y = b.stream(i);
+            for _ in 0..64 {
+                assert_eq!(x.next_u64(), y.next_u64());
+            }
+        }
     }
 }

@@ -21,33 +21,54 @@
 
 use crate::history::{default_slot_len, SpotPriceHistory};
 use crate::TraceError;
-use serde::Deserialize;
+use spotbid_json::{FromJson, Json, JsonError};
 use spotbid_market::units::{Hours, Price};
 
 /// One price-change event from the dump.
-#[derive(Debug, Clone, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AwsPriceEvent {
-    /// ISO-8601 UTC timestamp of the change.
-    #[serde(rename = "Timestamp")]
+    /// ISO-8601 UTC timestamp of the change (`"Timestamp"` on the wire).
     pub timestamp: String,
-    /// Instance type, e.g. `"r3.xlarge"`.
-    #[serde(rename = "InstanceType")]
+    /// Instance type, e.g. `"r3.xlarge"` (`"InstanceType"`).
     pub instance_type: String,
-    /// Product platform, e.g. `"Linux/UNIX"`.
-    #[serde(rename = "ProductDescription", default)]
+    /// Product platform, e.g. `"Linux/UNIX"` (`"ProductDescription"`,
+    /// empty when absent).
     pub product: String,
-    /// Availability zone, e.g. `"us-east-1a"`.
-    #[serde(rename = "AvailabilityZone", default)]
+    /// Availability zone, e.g. `"us-east-1a"` (`"AvailabilityZone"`,
+    /// empty when absent).
     pub availability_zone: String,
-    /// The new spot price, as AWS's decimal string.
-    #[serde(rename = "SpotPrice")]
+    /// The new spot price, as AWS's decimal string (`"SpotPrice"`).
     pub spot_price: String,
 }
 
-#[derive(Debug, Deserialize)]
+impl FromJson for AwsPriceEvent {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let optional = |key: &str| -> Result<String, JsonError> {
+            Ok(match v.field_opt(key)? {
+                Some(s) => s.as_str()?.to_owned(),
+                None => String::new(),
+            })
+        };
+        Ok(AwsPriceEvent {
+            timestamp: String::from_json(v.field("Timestamp")?)?,
+            instance_type: String::from_json(v.field("InstanceType")?)?,
+            product: optional("ProductDescription")?,
+            availability_zone: optional("AvailabilityZone")?,
+            spot_price: String::from_json(v.field("SpotPrice")?)?,
+        })
+    }
+}
+
 struct AwsDump {
-    #[serde(rename = "SpotPriceHistory")]
     history: Vec<AwsPriceEvent>,
+}
+
+impl FromJson for AwsDump {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(AwsDump {
+            history: Vec::from_json(v.field("SpotPriceHistory")?)?,
+        })
+    }
 }
 
 /// Selection of one price series out of a dump.
@@ -157,7 +178,7 @@ pub fn from_aws_json(
     filter: &AwsFilter,
     slot_len: Option<Hours>,
 ) -> Result<SpotPriceHistory, TraceError> {
-    let dump: AwsDump = serde_json::from_str(text).map_err(|e| TraceError::Parse {
+    let dump: AwsDump = spotbid_json::decode(text).map_err(|e| TraceError::Parse {
         what: format!("aws json: {e}"),
     })?;
     let slot_len = slot_len.unwrap_or_else(default_slot_len);

@@ -6,11 +6,11 @@
 //! rates in force during the paper's measurement window (Aug 14 – Oct 13,
 //! 2014); they are the `π̄` caps of the market model.
 
-use serde::{Deserialize, Serialize};
+use spotbid_json::{FromJson, Json, JsonError, ToJson};
 use spotbid_market::units::Price;
 
 /// Instance family, following Amazon's 2014 naming.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Family {
     /// Legacy general-purpose (m1).
     M1,
@@ -34,8 +34,35 @@ impl Family {
     }
 }
 
+impl ToJson for Family {
+    fn to_json(&self) -> Json {
+        // Unit variants serialize as their names, like the old derive.
+        Json::Str(
+            match self {
+                Family::M1 => "M1",
+                Family::M3 => "M3",
+                Family::R3 => "R3",
+                Family::C3 => "C3",
+            }
+            .to_owned(),
+        )
+    }
+}
+
+impl FromJson for Family {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v.as_str()? {
+            "M1" => Ok(Family::M1),
+            "M3" => Ok(Family::M3),
+            "R3" => Ok(Family::R3),
+            "C3" => Ok(Family::C3),
+            other => Err(JsonError::new(format!("unknown family `{other}`"))),
+        }
+    }
+}
+
 /// One EC2 instance type with its Table 2 sizing and on-demand price.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InstanceType {
     /// Full name, e.g. `"r3.xlarge"`.
     pub name: String,
@@ -68,10 +95,39 @@ impl InstanceType {
     }
 }
 
+impl ToJson for InstanceType {
+    fn to_json(&self) -> Json {
+        Json::Obj(
+            [
+                ("name".to_owned(), self.name.to_json()),
+                ("family".to_owned(), self.family.to_json()),
+                ("vcpu".to_owned(), self.vcpu.to_json()),
+                ("memory_gib".to_owned(), self.memory_gib.to_json()),
+                ("ssd".to_owned(), self.ssd.to_json()),
+                ("on_demand".to_owned(), self.on_demand.to_json()),
+            ]
+            .into(),
+        )
+    }
+}
+
+impl FromJson for InstanceType {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(InstanceType {
+            name: String::from_json(v.field("name")?)?,
+            family: Family::from_json(v.field("family")?)?,
+            vcpu: u32::from_json(v.field("vcpu")?)?,
+            memory_gib: f64::from_json(v.field("memory_gib")?)?,
+            ssd: <(u32, u32)>::from_json(v.field("ssd")?)?,
+            on_demand: Price::from_json(v.field("on_demand")?)?,
+        })
+    }
+}
+
 /// Parameters fitted in Figure 3's caption: the market parameters `(β, θ)`
 /// shared by both arrival hypotheses, the Pareto shape `α`, and the
 /// exponential mean `η`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PaperFit {
     /// Utilization weight `β`.
     pub beta: f64,
@@ -282,10 +338,13 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let i = by_name("r3.xlarge").unwrap();
-        let s = serde_json::to_string(&i).unwrap();
-        let back: InstanceType = serde_json::from_str(&s).unwrap();
+        let s = spotbid_json::encode(&i);
+        let back: InstanceType = spotbid_json::decode(&s).unwrap();
         assert_eq!(i, back);
+        // Families as strings, tuples as arrays — the old wire shapes.
+        assert!(s.contains(r#""family":"R3""#), "{s}");
+        assert!(s.contains(r#""ssd":[1.0,80.0]"#), "{s}");
     }
 }

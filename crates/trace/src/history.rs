@@ -7,7 +7,7 @@
 //! histories into day/night halves and sliding windows.
 
 use crate::TraceError;
-use serde::{Deserialize, Serialize};
+use spotbid_json::{FromJson, Json, JsonError, ToJson};
 use spotbid_market::units::{Hours, Price};
 
 /// Default slot length: five minutes.
@@ -20,10 +20,33 @@ pub fn default_slot_len() -> Hours {
 pub const TWO_MONTHS_SLOTS: usize = 61 * 24 * 12;
 
 /// A regularly sampled spot-price series.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SpotPriceHistory {
     slot_len: Hours,
     prices: Vec<Price>,
+}
+
+impl ToJson for SpotPriceHistory {
+    fn to_json(&self) -> Json {
+        Json::Obj(
+            [
+                ("slot_len".to_owned(), self.slot_len.to_json()),
+                ("prices".to_owned(), self.prices.to_json()),
+            ]
+            .into(),
+        )
+    }
+}
+
+impl FromJson for SpotPriceHistory {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        // Deliberately bypasses `new`'s validation, like the old derive;
+        // `io::from_json` re-validates and reports a domain error.
+        Ok(SpotPriceHistory {
+            slot_len: Hours::from_json(v.field("slot_len")?)?,
+            prices: Vec::<Price>::from_json(v.field("prices")?)?,
+        })
+    }
 }
 
 impl SpotPriceHistory {
@@ -257,10 +280,11 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let h = hist(&[0.03, 0.05]);
-        let s = serde_json::to_string(&h).unwrap();
-        let back: SpotPriceHistory = serde_json::from_str(&s).unwrap();
+        let s = spotbid_json::encode(&h);
+        let back: SpotPriceHistory = spotbid_json::decode(&s).unwrap();
         assert_eq!(h, back);
+        assert_eq!(s, r#"{"prices":[0.03,0.05],"slot_len":0.08333333333333333}"#);
     }
 }

@@ -1,7 +1,7 @@
 //! Trace serialization: CSV and JSON round-tripping of price histories.
 //!
 //! CSV is the interchange format real spot-price dumps come in (one row per
-//! slot); JSON preserves the full struct via serde. Both are exercised by
+//! slot); JSON preserves the full struct. Both are exercised by
 //! the benches so regenerated figures can be archived alongside their input
 //! traces.
 
@@ -90,7 +90,7 @@ pub fn load_csv(path: &Path) -> Result<SpotPriceHistory, TraceError> {
 
 /// Serializes a history to JSON.
 pub fn to_json(history: &SpotPriceHistory) -> String {
-    serde_json::to_string(history).expect("history serialization is infallible")
+    spotbid_json::encode(history)
 }
 
 /// Parses a history from JSON.
@@ -100,10 +100,10 @@ pub fn to_json(history: &SpotPriceHistory) -> String {
 /// [`TraceError::Parse`] on malformed JSON, [`TraceError::InvalidHistory`]
 /// if the decoded series violates history invariants.
 pub fn from_json(text: &str) -> Result<SpotPriceHistory, TraceError> {
-    let h: SpotPriceHistory = serde_json::from_str(text).map_err(|e| TraceError::Parse {
+    let h: SpotPriceHistory = spotbid_json::decode(text).map_err(|e| TraceError::Parse {
         what: format!("json: {e}"),
     })?;
-    // Re-validate: serde bypasses the constructor.
+    // Re-validate: decoding bypasses the constructor.
     SpotPriceHistory::new(h.slot_len(), h.prices().to_vec())
 }
 

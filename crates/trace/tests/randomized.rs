@@ -1,0 +1,178 @@
+//! Randomized tests of price histories, IO round-trips, and the
+//! synthetic generator's contracts, driven by the workspace's seeded
+//! PRNG so every run is exactly reproducible.
+
+use spotbid_market::units::{Hours, Price};
+use spotbid_numerics::rng::Rng;
+use spotbid_trace::history::{default_slot_len, SpotPriceHistory};
+use spotbid_trace::synthetic::{generate, SyntheticConfig};
+use spotbid_trace::{analyze, catalog, io};
+
+fn random_history(rng: &mut Rng) -> SpotPriceHistory {
+    let n = 1 + rng.range_usize(299);
+    let ps: Vec<Price> = (0..n).map(|_| Price::new(rng.range_f64(0.001, 2.0))).collect();
+    SpotPriceHistory::new(default_slot_len(), ps).unwrap()
+}
+
+#[test]
+fn csv_roundtrip_preserves_prices() {
+    let mut rng = Rng::seed_from_u64(0x7ACE_0001);
+    for _ in 0..96 {
+        let h = random_history(&mut rng);
+        let back = io::from_csv(&io::to_csv(&h)).unwrap();
+        assert_eq!(back.len(), h.len());
+        for (a, b) in h.prices().iter().zip(back.prices()) {
+            assert!((a.as_f64() - b.as_f64()).abs() < 1e-8);
+        }
+    }
+}
+
+#[test]
+fn json_roundtrip_is_exact() {
+    let mut rng = Rng::seed_from_u64(0x7ACE_0002);
+    for _ in 0..96 {
+        let h = random_history(&mut rng);
+        let back = io::from_json(&io::to_json(&h)).unwrap();
+        assert_eq!(back, h);
+    }
+}
+
+#[test]
+fn slicing_partitions_the_history() {
+    let mut rng = Rng::seed_from_u64(0x7ACE_0003);
+    for _ in 0..96 {
+        let h = random_history(&mut rng);
+        if h.len() < 2 {
+            continue;
+        }
+        let cut = (1 + rng.range_usize(199)).min(h.len() - 1);
+        let a = h.slice(0, cut).unwrap();
+        let b = h.slice(cut, h.len()).unwrap();
+        assert_eq!(a.len() + b.len(), h.len());
+        let mut joined: Vec<Price> = a.prices().to_vec();
+        joined.extend_from_slice(b.prices());
+        assert_eq!(joined, h.prices().to_vec());
+    }
+}
+
+#[test]
+fn summary_stats_bracket_every_price() {
+    let mut rng = Rng::seed_from_u64(0x7ACE_0004);
+    for _ in 0..96 {
+        let h = random_history(&mut rng);
+        let (lo, hi, mean) = (h.min_price(), h.max_price(), h.mean_price());
+        assert!(lo <= mean && mean <= hi);
+        for &p in h.prices() {
+            assert!(lo <= p && p <= hi);
+        }
+        assert!((h.duration() / h.slot_len() - h.len() as f64).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn price_at_matches_slot_indexing() {
+    let mut rng = Rng::seed_from_u64(0x7ACE_0005);
+    for _ in 0..96 {
+        let h = random_history(&mut rng);
+        let t = Hours::from_minutes(rng.range_f64(0.0, 2000.0));
+        let by_time = h.price_at(t);
+        let idx = (t / h.slot_len()) as usize;
+        assert_eq!(by_time, h.price_at_slot(idx));
+    }
+}
+
+#[test]
+fn day_night_split_partitions() {
+    let mut rng = Rng::seed_from_u64(0x7ACE_0006);
+    for _ in 0..96 {
+        let h = random_history(&mut rng);
+        let start = rng.range_f64(0.0, 12.0);
+        let len = rng.range_f64(1.0, 12.0);
+        let (day, night) = h.day_night_split(start, start + len);
+        assert_eq!(day.len() + night.len(), h.len());
+    }
+}
+
+#[test]
+fn generator_respects_configured_bounds() {
+    let mut rng = Rng::seed_from_u64(0x7ACE_0007);
+    for _ in 0..24 {
+        let idx = rng.range_usize(10);
+        let seed = rng.next_u64();
+        let persistence = rng.range_f64(0.0, 0.95);
+        let inst = &catalog::catalog()[idx];
+        let cfg = SyntheticConfig::for_instance(inst).with_persistence(persistence);
+        let h = generate(&cfg, 2000, &mut Rng::seed_from_u64(seed)).unwrap();
+        assert!(h.min_price() >= cfg.floor);
+        assert!(h.max_price() <= cfg.on_demand);
+        // The empirical distribution built from it is always constructible
+        // and consistent.
+        let emp = analyze::empirical_prices(&h).unwrap();
+        assert_eq!(emp.len(), 2000);
+        assert!((emp.mean() - h.mean_price().as_f64()).abs() < 1e-12);
+    }
+}
+
+/// Howard Hinnant's `civil_from_days`, the inverse of the epoch-day
+/// computation inside `parse_timestamp`.
+fn civil_from_secs(secs: i64) -> (i64, i64, i64, i64) {
+    let days = secs.div_euclid(86_400);
+    let rem = secs.rem_euclid(86_400);
+    let z = days + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let yy = if m <= 2 { y + 1 } else { y };
+    (yy, m, d, rem)
+}
+
+#[test]
+fn aws_timestamp_roundtrips_via_civil_days() {
+    use spotbid_trace::aws::parse_timestamp;
+    let mut rng = Rng::seed_from_u64(0x7ACE_0008);
+    for _ in 0..128 {
+        let year = 1990 + rng.range_usize(110) as i64;
+        let month = 1 + rng.range_usize(12) as i64;
+        let day = 1 + rng.range_usize(28) as i64; // valid in every month
+        let hour = rng.range_usize(24) as i64;
+        let minute = rng.range_usize(60) as i64;
+        let second = rng.range_usize(60) as i64;
+        let ts = format!("{year:04}-{month:02}-{day:02}T{hour:02}:{minute:02}:{second:02}Z");
+        let secs = parse_timestamp(&ts).unwrap();
+        // Invert: seconds → civil date, via the same algorithm's inverse.
+        let (yy, m, d, rem) = civil_from_secs(secs as i64);
+        assert_eq!(rem, hour * 3600 + minute * 60 + second);
+        assert_eq!((yy, m, d), (year, month, day), "{ts}");
+    }
+}
+
+#[test]
+fn aws_timestamps_are_strictly_ordered() {
+    use spotbid_trace::aws::parse_timestamp;
+    let mut rng = Rng::seed_from_u64(0x7ACE_0009);
+    // Two timestamps `delta` seconds apart parse to values exactly
+    // `delta` apart — build them from the parsed inverse by probing
+    // epoch offsets directly.
+    let fmt = |secs: i64| {
+        let (yy, m, d, rem) = civil_from_secs(secs);
+        format!(
+            "{yy:04}-{m:02}-{d:02}T{:02}:{:02}:{:02}Z",
+            rem / 3600,
+            (rem % 3600) / 60,
+            rem % 60
+        )
+    };
+    for _ in 0..128 {
+        let a = (rng.next_u64() % 4_000_000_000) as i64;
+        let delta = 1 + (rng.next_u64() % 86_399) as i64;
+        let ta = parse_timestamp(&fmt(a)).unwrap();
+        let tb = parse_timestamp(&fmt(a + delta)).unwrap();
+        assert!((ta - a as f64).abs() < 1e-6);
+        assert!((tb - ta - delta as f64).abs() < 1e-6);
+    }
+}
