@@ -36,6 +36,7 @@ fn bench_schedule() {
         slot: Hours::from_minutes(5.0),
         recovery: Hours::from_secs(30.0),
         max_slots: 10_000,
+        speculative: false,
     };
     bench_function("mapreduce_schedule/64_tasks_8_slaves", || {
         simulate(black_box(&tasks), &cfg, |t| Availability {

@@ -6,6 +6,7 @@
 //! exact costs and break them down by source (spot vs on-demand, master vs
 //! slave).
 
+use crate::ClientError;
 use spotbid_json::{FromJson, Json, JsonError, ToJson};
 use spotbid_market::units::{Cost, Hours, Price};
 
@@ -59,6 +60,30 @@ impl LineItem {
     /// The dollar amount of this item.
     pub fn amount(&self) -> Cost {
         self.price * self.duration
+    }
+
+    /// Validates the charge: price and duration must be finite and
+    /// non-negative, so every accepted item has a non-negative, finite
+    /// amount and bill totals stay monotone under accrual.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Billing`] describing the pathological field.
+    pub fn validate(&self) -> Result<(), ClientError> {
+        if !self.price.is_valid_price() {
+            return Err(ClientError::Billing {
+                what: format!("invalid price {:?} in charge at slot {}", self.price, self.slot),
+            });
+        }
+        if !self.duration.is_valid_duration() {
+            return Err(ClientError::Billing {
+                what: format!(
+                    "invalid duration {:?} in charge at slot {}",
+                    self.duration, self.slot
+                ),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -115,31 +140,83 @@ impl Bill {
         Bill::default()
     }
 
-    /// Records a charge.
-    pub fn charge(&mut self, item: LineItem) {
+    /// Records a validated charge, refusing pathological items.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Billing`] when the item's price or duration is NaN,
+    /// infinite, or negative; the bill is left untouched.
+    pub fn try_charge(&mut self, item: LineItem) -> Result<(), ClientError> {
+        item.validate()?;
         self.items.push(item);
+        Ok(())
     }
 
-    /// Convenience: records spot usage.
-    pub fn charge_spot(&mut self, slot: u64, price: Price, duration: Hours, tag: u32) {
-        self.charge(LineItem {
+    /// Records a charge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a pathological item (NaN/negative price or duration) —
+    /// internal misuse, not survivable input. Paths fed by untrusted or
+    /// fault-injected data must use [`Bill::try_charge`] instead.
+    pub fn charge(&mut self, item: LineItem) {
+        self.try_charge(item).expect("pathological line item");
+    }
+
+    /// Validated convenience: records spot usage.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Bill::try_charge`].
+    pub fn try_charge_spot(
+        &mut self,
+        slot: u64,
+        price: Price,
+        duration: Hours,
+        tag: u32,
+    ) -> Result<(), ClientError> {
+        self.try_charge(LineItem {
             slot,
             price,
             duration,
             kind: UsageKind::Spot,
             tag,
-        });
+        })
     }
 
-    /// Convenience: records on-demand usage.
-    pub fn charge_on_demand(&mut self, slot: u64, price: Price, duration: Hours, tag: u32) {
-        self.charge(LineItem {
+    /// Validated convenience: records on-demand usage.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Bill::try_charge`].
+    pub fn try_charge_on_demand(
+        &mut self,
+        slot: u64,
+        price: Price,
+        duration: Hours,
+        tag: u32,
+    ) -> Result<(), ClientError> {
+        self.try_charge(LineItem {
             slot,
             price,
             duration,
             kind: UsageKind::OnDemand,
             tag,
-        });
+        })
+    }
+
+    /// Convenience: records spot usage (panicking on pathological input,
+    /// like [`Bill::charge`]).
+    pub fn charge_spot(&mut self, slot: u64, price: Price, duration: Hours, tag: u32) {
+        self.try_charge_spot(slot, price, duration, tag)
+            .expect("pathological spot charge");
+    }
+
+    /// Convenience: records on-demand usage (panicking on pathological
+    /// input, like [`Bill::charge`]).
+    pub fn charge_on_demand(&mut self, slot: u64, price: Price, duration: Hours, tag: u32) {
+        self.try_charge_on_demand(slot, price, duration, tag)
+            .expect("pathological on-demand charge");
     }
 
     /// All line items, in charge order.
@@ -220,6 +297,54 @@ mod tests {
         a.absorb(b);
         assert_eq!(a.items().len(), 2);
         assert!((a.total().as_f64() - 0.09 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pathological_charges_are_refused() {
+        let mut b = Bill::new();
+        b.charge_spot(0, Price::new(0.04), Hours::from_minutes(5.0), 0);
+        let before = b.clone();
+        for (price, duration) in [
+            (f64::NAN, 0.1),
+            (f64::INFINITY, 0.1),
+            (-0.04, 0.1),
+            (0.04, f64::NAN),
+            (0.04, -1.0),
+            (0.04, f64::INFINITY),
+        ] {
+            let r = b.try_charge_spot(1, Price::new(price), Hours::new(duration), 0);
+            assert!(
+                matches!(r, Err(ClientError::Billing { .. })),
+                "({price}, {duration}) accepted"
+            );
+            let r = b.try_charge_on_demand(1, Price::new(price), Hours::new(duration), 0);
+            assert!(r.is_err(), "({price}, {duration}) accepted on-demand");
+        }
+        // Refused charges leave the bill untouched.
+        assert_eq!(b, before);
+        // Zero price/duration are legitimate (free slots, empty usage).
+        assert!(b.try_charge_spot(2, Price::ZERO, Hours::ZERO, 0).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "pathological")]
+    fn infallible_charge_panics_on_nan() {
+        let mut b = Bill::new();
+        b.charge_spot(0, Price::new(f64::NAN), Hours::new(0.1), 0);
+    }
+
+    #[test]
+    fn accrual_keeps_totals_monotone_and_finite() {
+        let mut b = Bill::new();
+        let mut prev = Cost::ZERO;
+        for i in 0..100u64 {
+            b.try_charge_spot(i, Price::new(0.01 * (i % 7) as f64), Hours::from_minutes(5.0), 0)
+                .unwrap();
+            let t = b.total();
+            assert!(t.as_f64().is_finite());
+            assert!(t >= prev, "total regressed at item {i}");
+            prev = t;
+        }
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub mod runtime;
 
 pub use client::{SpotClient, TrialResult};
 pub use experiment::{ExperimentConfig, ExperimentResult};
-pub use runtime::{JobOutcome, RunStatus};
+pub use runtime::{JobOutcome, MarketView, RecoveryPolicy, RunStatus};
 
 use std::fmt;
 
@@ -53,6 +53,12 @@ pub enum ClientError {
         /// Description of the problem.
         what: String,
     },
+    /// A pathological charge (NaN/negative price or duration) was refused
+    /// by the billing ledger instead of silently corrupting the bill.
+    Billing {
+        /// Description of the refused charge.
+        what: String,
+    },
 }
 
 impl fmt::Display for ClientError {
@@ -61,6 +67,7 @@ impl fmt::Display for ClientError {
             ClientError::Core(e) => write!(f, "core error: {e}"),
             ClientError::Trace(e) => write!(f, "trace error: {e}"),
             ClientError::InvalidConfig { what } => write!(f, "invalid config: {what}"),
+            ClientError::Billing { what } => write!(f, "billing error: {what}"),
         }
     }
 }
@@ -70,7 +77,7 @@ impl std::error::Error for ClientError {
         match self {
             ClientError::Core(e) => Some(e),
             ClientError::Trace(e) => Some(e),
-            ClientError::InvalidConfig { .. } => None,
+            ClientError::InvalidConfig { .. } | ClientError::Billing { .. } => None,
         }
     }
 }

@@ -30,6 +30,14 @@ pub enum RunStatus {
     /// remainder on an on-demand instance (§5.1's "users may default to
     /// on-demand instances if the jobs are not completed").
     CompletedWithFallback,
+    /// A resilient run hit its fault budget (too many reclamations or too
+    /// long a price-feed outage) and gracefully degraded: the remaining
+    /// work was finished on an on-demand instance.
+    DegradedToOnDemand,
+    /// A resilient run lost its price feed for longer than the recovery
+    /// policy tolerates and had no on-demand fallback: the client can no
+    /// longer manage its bid and gives up.
+    FeedLost,
 }
 
 /// Full accounting of one job run.
@@ -55,6 +63,12 @@ pub struct JobOutcome {
     /// Execution work still undone when the run ended (zero when
     /// completed).
     pub remaining_work: Hours,
+    /// Bid-independent capacity reclamations suffered while running
+    /// (always zero outside the resilient runtime).
+    pub reclamations: u32,
+    /// Slots during which the price feed was unobservable (always zero
+    /// outside the resilient runtime).
+    pub feed_outages: u32,
 }
 
 impl JobOutcome {
@@ -62,8 +76,82 @@ impl JobOutcome {
     pub fn completed(&self) -> bool {
         matches!(
             self.status,
-            RunStatus::Completed | RunStatus::OnDemand | RunStatus::CompletedWithFallback
+            RunStatus::Completed
+                | RunStatus::OnDemand
+                | RunStatus::CompletedWithFallback
+                | RunStatus::DegradedToOnDemand
         )
+    }
+}
+
+/// A per-slot view of the spot market as seen by a (possibly degraded)
+/// client. The clean implementation on [`SpotPriceHistory`] observes the
+/// true price every slot and is never reclaimed; fault-injection layers
+/// substitute views where observation and truth diverge.
+pub trait MarketView {
+    /// Number of slots in the view.
+    fn len(&self) -> usize;
+
+    /// Whether the view has no slots.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The price the client *observes* for `slot`; `None` models a price
+    /// feed outage (dropped record, NaN/negative observation discarded by
+    /// validation, delayed telemetry).
+    fn observed_price(&self, slot: usize) -> Option<Price>;
+
+    /// The true provider-side price for `slot`, which governs acceptance
+    /// and charging regardless of what the client sees.
+    fn true_price(&self, slot: usize) -> Price;
+
+    /// Whether the provider reclaims the client's capacity this slot
+    /// regardless of the bid (§3.2's interruptions are price-driven; real
+    /// EC2 also reclaims for its own reasons).
+    fn reclaimed(&self, slot: usize) -> bool;
+}
+
+impl MarketView for SpotPriceHistory {
+    fn len(&self) -> usize {
+        self.prices().len()
+    }
+
+    fn observed_price(&self, slot: usize) -> Option<Price> {
+        Some(self.prices()[slot])
+    }
+
+    fn true_price(&self, slot: usize) -> Price {
+        self.prices()[slot]
+    }
+
+    fn reclaimed(&self, _slot: usize) -> bool {
+        false
+    }
+}
+
+/// How much degradation a resilient run tolerates before giving up on
+/// spot, and what it falls back to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Consecutive feed-outage slots tolerated before the client declares
+    /// the feed lost.
+    pub max_feed_outage_slots: u32,
+    /// Capacity reclamations tolerated before the client abandons spot.
+    pub max_reclaims: u32,
+    /// On-demand price to finish the job at when the fault budget is
+    /// exhausted (or the run otherwise fails to complete). `None` means no
+    /// fallback: the run reports its failure status instead.
+    pub on_demand_fallback: Option<Price>,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_feed_outage_slots: 3,
+            max_reclaims: 4,
+            on_demand_fallback: None,
+        }
     }
 }
 
@@ -95,6 +183,8 @@ pub fn run_job(
                 bill,
                 bid: None,
                 remaining_work: Hours::ZERO,
+                reclamations: 0,
+                feed_outages: 0,
             })
         }
         BidDecision::Spot { price, persistent } => run_spot(future, price, persistent, job, tag),
@@ -149,6 +239,8 @@ fn run_spot(
         bill,
         bid: Some(bid),
         remaining_work: monitor.remaining_work(),
+        reclamations: 0,
+        feed_outages: 0,
     })
 }
 
@@ -184,6 +276,149 @@ pub fn run_job_with_fallback(
     out.running_time += fallback_work;
     out.cost = out.bill.total();
     out.remaining_work = Hours::ZERO;
+    Ok(out)
+}
+
+/// Runs a job against a possibly-faulty [`MarketView`] under a
+/// [`RecoveryPolicy`]: the hardened counterpart of [`run_job`].
+///
+/// Semantics, chosen so that a fault-free view reproduces [`run_job`]
+/// **exactly** (the chaos suite asserts bit-equality):
+///
+/// * Provider acceptance uses the *true* price (`bid >= truth`) and is
+///   vetoed by a capacity reclamation.
+/// * A persistent client additionally self-pauses (checkpoints and lets
+///   the slot go idle) whenever it *observes* a price above its bid —
+///   prudent when the observation may be stale. With a clean feed,
+///   observation equals truth, so this changes nothing.
+/// * Feed outages (no observable price) are counted; once more than
+///   `max_feed_outage_slots` run consecutively, the client can no longer
+///   manage its bid and stops — degrading to on-demand if the policy has a
+///   fallback, else ending with [`RunStatus::FeedLost`].
+/// * Reclamations while running are counted; past `max_reclaims` (with a
+///   fallback configured) the client abandons spot and degrades.
+/// * With a fallback configured, any non-completed ending degrades to
+///   on-demand (finishing `remaining_work`, plus one recovery replay if
+///   the job had started), mirroring [`run_job_with_fallback`].
+///
+/// All charges go through the validated billing path, so a view that
+/// manufactures pathological prices yields [`ClientError::Billing`], never
+/// a corrupt bill.
+///
+/// # Errors
+///
+/// [`ClientError::Core`] for invalid jobs, [`ClientError::Billing`] for
+/// pathological charges surfaced by the view.
+pub fn run_job_resilient<M: MarketView>(
+    view: &M,
+    decision: BidDecision,
+    job: &JobSpec,
+    tag: u32,
+    policy: &RecoveryPolicy,
+) -> Result<JobOutcome, ClientError> {
+    job.validate().map_err(ClientError::Core)?;
+    let (bid, persistent) = match decision {
+        BidDecision::OnDemand { price } => {
+            let mut bill = Bill::new();
+            bill.try_charge_on_demand(0, price, job.execution, tag)?;
+            return Ok(JobOutcome {
+                status: RunStatus::OnDemand,
+                completion_time: job.execution,
+                running_time: job.execution,
+                idle_time: Hours::ZERO,
+                interruptions: 0,
+                cost: bill.total(),
+                bill,
+                bid: None,
+                remaining_work: Hours::ZERO,
+                reclamations: 0,
+                feed_outages: 0,
+            });
+        }
+        BidDecision::Spot { price, persistent } => (price, persistent),
+    };
+    let mut monitor = JobMonitor::new(*job);
+    let mut bill = Bill::new();
+    let mut status = RunStatus::HistoryExhausted;
+    let mut reclamations = 0u32;
+    let mut feed_outages = 0u32;
+    let mut consecutive_outages = 0u32;
+    for slot in 0..view.len() {
+        let truth = view.true_price(slot);
+        let observed = view.observed_price(slot);
+        let reclaimed = view.reclaimed(slot);
+        if observed.is_none() {
+            feed_outages += 1;
+            consecutive_outages += 1;
+            if consecutive_outages > policy.max_feed_outage_slots {
+                if policy.on_demand_fallback.is_none() {
+                    status = RunStatus::FeedLost;
+                }
+                break;
+            }
+        } else {
+            consecutive_outages = 0;
+        }
+        let started = monitor.state() != JobState::Waiting;
+        if reclaimed && monitor.state() == JobState::Running {
+            reclamations += 1;
+        }
+        let provider_ok = bid >= truth && !reclaimed;
+        let accepted = if persistent {
+            // Self-pause on an observed spike; ride through outages (the
+            // provider still honours the standing request).
+            provider_ok && observed.is_none_or(|o| bid >= o)
+        } else {
+            provider_ok
+        };
+        if !accepted && !persistent && started {
+            monitor.advance(false);
+            status = RunStatus::TerminatedEarly;
+            break;
+        }
+        if !accepted && !persistent && !started {
+            status = RunStatus::TerminatedEarly;
+            break;
+        }
+        let event = monitor.advance(accepted);
+        if event.used > Hours::ZERO {
+            bill.try_charge_spot(slot as u64, truth, event.used, tag)?;
+        }
+        if event.finished {
+            status = RunStatus::Completed;
+            break;
+        }
+        if policy.on_demand_fallback.is_some() && reclamations > policy.max_reclaims {
+            break;
+        }
+    }
+    let mut out = JobOutcome {
+        status,
+        completion_time: monitor.elapsed(),
+        running_time: monitor.running_time(),
+        idle_time: monitor.idle_time() + monitor.waiting_time(),
+        interruptions: monitor.interruptions(),
+        cost: bill.total(),
+        bill,
+        bid: Some(bid),
+        remaining_work: monitor.remaining_work(),
+        reclamations,
+        feed_outages,
+    };
+    if !out.completed() && out.status != RunStatus::FeedLost {
+        if let Some(od) = policy.on_demand_fallback {
+            let started = out.running_time > Hours::ZERO;
+            let fallback_work =
+                out.remaining_work + if started { job.recovery } else { Hours::ZERO };
+            out.bill
+                .try_charge_on_demand(view.len() as u64, od, fallback_work, tag)?;
+            out.status = RunStatus::DegradedToOnDemand;
+            out.completion_time += fallback_work;
+            out.running_time += fallback_work;
+            out.cost = out.bill.total();
+            out.remaining_work = Hours::ZERO;
+        }
+    }
     Ok(out)
 }
 
@@ -352,6 +587,200 @@ mod tests {
         let j = job(0.1, 0.0);
         let out = run_job(&h, spot(0.10, true), &j, 0).unwrap();
         assert_eq!(out.status, RunStatus::Completed);
+    }
+
+    /// Scripted faulty market for resilient-runtime tests.
+    struct FaultView {
+        truth: Vec<Price>,
+        observed: Vec<Option<Price>>,
+        reclaim: Vec<bool>,
+    }
+
+    impl FaultView {
+        fn clean(prices: &[f64]) -> Self {
+            FaultView {
+                truth: prices.iter().map(|&p| Price::new(p)).collect(),
+                observed: prices.iter().map(|&p| Some(Price::new(p))).collect(),
+                reclaim: vec![false; prices.len()],
+            }
+        }
+    }
+
+    impl MarketView for FaultView {
+        fn len(&self) -> usize {
+            self.truth.len()
+        }
+        fn observed_price(&self, slot: usize) -> Option<Price> {
+            self.observed[slot]
+        }
+        fn true_price(&self, slot: usize) -> Price {
+            self.truth[slot]
+        }
+        fn reclaimed(&self, slot: usize) -> bool {
+            self.reclaim[slot]
+        }
+    }
+
+    fn no_fallback() -> RecoveryPolicy {
+        RecoveryPolicy::default()
+    }
+
+    #[test]
+    fn resilient_matches_run_job_on_clean_feed() {
+        // Bit-exact parity with the plain runtime on a fault-free view,
+        // across every scenario class the plain tests exercise.
+        let scenarios: [(&[f64], BidDecision, f64, f64); 6] = [
+            (&[0.03, 0.04, 0.05, 0.06], spot(0.10, true), 0.25, 30.0),
+            (
+                &[0.03, 0.20, 0.20, 0.03, 0.03, 0.03, 0.03],
+                spot(0.10, true),
+                0.25,
+                60.0,
+            ),
+            (&[0.03, 0.20, 0.03, 0.03], spot(0.10, false), 0.25, 0.0),
+            (&[0.20, 0.03], spot(0.10, false), 0.25, 0.0),
+            (&[0.20, 0.20, 0.03, 0.03], spot(0.10, true), 0.1, 0.0),
+            (&[0.03, 0.03], spot(0.10, true), 1.0, 0.0),
+        ];
+        for (prices, decision, ts, tr) in scenarios {
+            let h = hist(prices);
+            let j = job(ts, tr);
+            let plain = run_job(&h, decision, &j, 0).unwrap();
+            let resilient = run_job_resilient(&h, decision, &j, 0, &no_fallback()).unwrap();
+            assert_eq!(plain, resilient, "diverged on {prices:?}");
+            assert_eq!(resilient.reclamations, 0);
+            assert_eq!(resilient.feed_outages, 0);
+        }
+        // On-demand decisions too.
+        let h = hist(&[0.05]);
+        let j = job(1.0, 0.0);
+        let d = BidDecision::OnDemand {
+            price: Price::new(0.35),
+        };
+        assert_eq!(
+            run_job(&h, d, &j, 0).unwrap(),
+            run_job_resilient(&h, d, &j, 0, &no_fallback()).unwrap()
+        );
+    }
+
+    #[test]
+    fn reclamation_interrupts_despite_low_price() {
+        let mut v = FaultView::clean(&[0.03; 8]);
+        v.reclaim[1] = true;
+        let j = job(0.25, 60.0); // 15 min work, 1 min recovery
+        let out = run_job_resilient(&v, spot(0.10, true), &j, 0, &no_fallback()).unwrap();
+        assert_eq!(out.status, RunStatus::Completed);
+        assert_eq!(out.reclamations, 1);
+        assert_eq!(out.interruptions, 1, "reclaim counts as an interruption");
+        // Same shape as a price-spike interruption: 16 min on-instance.
+        assert!((out.running_time.as_minutes() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn too_many_reclaims_degrades_with_fallback() {
+        // Reclaim every other slot forever; max_reclaims = 1.
+        let n = 40;
+        let mut v = FaultView::clean(&[0.03; 40]);
+        for i in 0..n {
+            v.reclaim[i] = i % 2 == 1;
+        }
+        let policy = RecoveryPolicy {
+            max_reclaims: 1,
+            on_demand_fallback: Some(Price::new(0.35)),
+            ..RecoveryPolicy::default()
+        };
+        let j = job(1.0, 60.0);
+        let out = run_job_resilient(&v, spot(0.10, true), &j, 0, &policy).unwrap();
+        assert_eq!(out.status, RunStatus::DegradedToOnDemand);
+        assert!(out.completed());
+        assert_eq!(out.remaining_work, Hours::ZERO);
+        assert_eq!(out.reclamations, 2, "abandons spot past the budget");
+        assert!(out.cost.as_f64() > 0.0 && out.cost.as_f64().is_finite());
+    }
+
+    #[test]
+    fn feed_outage_is_ridden_out_within_budget() {
+        let mut v = FaultView::clean(&[0.03; 8]);
+        v.observed[1] = None;
+        v.observed[2] = None;
+        let j = job(0.25, 0.0);
+        let out = run_job_resilient(&v, spot(0.10, true), &j, 0, &no_fallback()).unwrap();
+        // The provider honours the standing persistent request during the
+        // blind slots; the run completes and the outage is just counted.
+        assert_eq!(out.status, RunStatus::Completed);
+        assert_eq!(out.feed_outages, 2);
+        assert_eq!(out.interruptions, 0);
+    }
+
+    #[test]
+    fn long_feed_outage_is_feed_lost_without_fallback() {
+        let mut v = FaultView::clean(&[0.03; 12]);
+        for i in 1..8 {
+            v.observed[i] = None;
+        }
+        let policy = RecoveryPolicy {
+            max_feed_outage_slots: 2,
+            ..RecoveryPolicy::default()
+        };
+        let j = job(1.0, 0.0);
+        let out = run_job_resilient(&v, spot(0.10, true), &j, 0, &policy).unwrap();
+        assert_eq!(out.status, RunStatus::FeedLost);
+        assert!(!out.completed());
+        assert_eq!(out.feed_outages, 3, "stops at the budget, not the end");
+        assert!(out.remaining_work > Hours::ZERO);
+    }
+
+    #[test]
+    fn long_feed_outage_degrades_with_fallback() {
+        let mut v = FaultView::clean(&[0.03; 12]);
+        for i in 1..12 {
+            v.observed[i] = None;
+        }
+        let policy = RecoveryPolicy {
+            max_feed_outage_slots: 2,
+            on_demand_fallback: Some(Price::new(0.35)),
+            ..RecoveryPolicy::default()
+        };
+        let j = job(1.0, 60.0);
+        let out = run_job_resilient(&v, spot(0.10, true), &j, 0, &policy).unwrap();
+        assert_eq!(out.status, RunStatus::DegradedToOnDemand);
+        assert!(out.completed());
+        // Runs through the first two blind slots (the provider honours the
+        // standing request): 15 min on spot, then 45 min work + 1 min
+        // recovery on demand.
+        let expect = 3.0 * 0.03 / 12.0 + 0.35 * (46.0 / 60.0);
+        assert!((out.cost.as_f64() - expect).abs() < 1e-12, "{}", out.cost);
+    }
+
+    #[test]
+    fn stale_observed_spike_pauses_persistent_client() {
+        // Truth stays cheap, but the client *sees* a spike in slot 1
+        // (e.g. a delayed observation of an old price).
+        let mut v = FaultView::clean(&[0.03; 8]);
+        v.observed[1] = Some(Price::new(0.50));
+        let j = job(0.25, 60.0);
+        let out = run_job_resilient(&v, spot(0.10, true), &j, 0, &no_fallback()).unwrap();
+        assert_eq!(out.status, RunStatus::Completed);
+        assert_eq!(out.interruptions, 1, "prudent self-pause on the spike");
+        // One-time requests trust the provider only: no self-pause.
+        let j = job(0.25, 0.0);
+        let out = run_job_resilient(&v, spot(0.10, false), &j, 0, &no_fallback()).unwrap();
+        assert_eq!(out.status, RunStatus::Completed);
+        assert_eq!(out.interruptions, 0);
+    }
+
+    #[test]
+    fn resilient_refuses_pathological_view_prices() {
+        // A view that manufactures a negative *true* price (which any bid
+        // beats, so the slot is accepted and charged) must surface a typed
+        // billing error, not a silently absurd bill. A NaN truth fails the
+        // acceptance comparison and simply idles the slot.
+        let mut v = FaultView::clean(&[0.03; 4]);
+        v.truth[1] = Price::new(-0.5);
+        v.observed[1] = Some(Price::new(0.03));
+        let j = job(0.25, 0.0);
+        let err = run_job_resilient(&v, spot(0.10, true), &j, 0, &no_fallback());
+        assert!(matches!(err, Err(ClientError::Billing { .. })), "{err:?}");
     }
 
     #[test]

@@ -200,6 +200,28 @@ pub fn optimal_bid<M: PriceModel>(
     Ok(best)
 }
 
+/// Fault injection knobs for the checkpoint replay: probabilities of the
+/// two storage failures a checkpointing job is exposed to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckpointFaults {
+    /// Probability that a checkpoint write fails: the write time `δ` is
+    /// spent, nothing becomes durable, and the job retries.
+    pub write_fail: f64,
+    /// Probability that the latest checkpoint is corrupt when reloaded
+    /// after an interruption: the job falls back one interval (`τ` of
+    /// durable work is lost) and pays a second reload.
+    pub corrupt_reload: f64,
+}
+
+impl CheckpointFaults {
+    /// No injected faults — [`replay_once_faulty`] with `NONE` is
+    /// bit-identical to [`replay_once`].
+    pub const NONE: CheckpointFaults = CheckpointFaults {
+        write_fail: 0.0,
+        corrupt_reload: 0.0,
+    };
+}
+
 /// One Monte Carlo replay of a checkpointing job against i.i.d. slot
 /// prices from the model, mirroring the analytic semantics exactly:
 /// productive progress checkpoints every `tau`, an interruption loses the
@@ -212,6 +234,37 @@ pub fn replay_once<M: PriceModel>(
     p: Price,
     tau: Hours,
     rng: &mut Rng,
+) -> (f64, f64) {
+    // The fault generator is never drawn from when both probabilities are
+    // zero, so any seed gives bit-parity.
+    let mut unused = Rng::seed_from_u64(0);
+    replay_once_faulty(
+        model,
+        job,
+        spec,
+        p,
+        tau,
+        rng,
+        &CheckpointFaults::NONE,
+        &mut unused,
+    )
+}
+
+/// As [`replay_once`], with storage faults injected from `fault_rng`
+/// according to `faults`. With [`CheckpointFaults::NONE`] the result is
+/// bit-identical to [`replay_once`] and `fault_rng` is left untouched —
+/// fault schedules and price draws come from decorrelated streams so
+/// injecting faults never perturbs the price path.
+#[allow(clippy::too_many_arguments)]
+pub fn replay_once_faulty<M: PriceModel>(
+    model: &M,
+    job: &JobSpec,
+    spec: &CheckpointSpec,
+    p: Price,
+    tau: Hours,
+    rng: &mut Rng,
+    faults: &CheckpointFaults,
+    fault_rng: &mut Rng,
 ) -> (f64, f64) {
     let slot = job.slot.as_f64();
     let tau = tau.as_f64();
@@ -250,8 +303,15 @@ pub fn replay_once<M: PriceModel>(
                     let write = delta.min(budget);
                     budget -= write;
                     pending += delta - write;
+                    if faults.write_fail > 0.0 && fault_rng.chance(faults.write_fail) {
+                        // Failed write: the time is spent, nothing becomes
+                        // durable; retry (within this slot if budget
+                        // remains, else across the pending spill-over).
+                        continue;
+                    }
                     durable += since_ckpt;
                     since_ckpt = 0.0;
+                    continue;
                 }
                 if step <= 0.0 && budget > 0.0 {
                     break;
@@ -274,6 +334,12 @@ pub fn replay_once<M: PriceModel>(
                 // reload on resume.
                 since_ckpt = 0.0;
                 pending = reload;
+                if faults.corrupt_reload > 0.0 && fault_rng.chance(faults.corrupt_reload) {
+                    // The latest checkpoint is corrupt: fall back one
+                    // interval and pay the wasted reload attempt too.
+                    durable = (durable - tau).max(0.0);
+                    pending += reload;
+                }
                 was_running = false;
             }
             elapsed += slot;
@@ -413,6 +479,78 @@ mod tests {
         }
         let od = m.on_demand() * j.execution;
         assert!(best.expected_cost < od);
+    }
+
+    #[test]
+    fn faultless_replay_is_bit_identical_to_replay_once() {
+        let m = model();
+        let j = JobSpec::builder(2.0).recovery_secs(30.0).build().unwrap();
+        let s = spec();
+        let p = m.quantile(0.85).unwrap();
+        let tau = optimal_interval(&m, &j, &s, p);
+        for seed in [1u64, 7, 42, 0xFA_17] {
+            let plain = replay_once(&m, &j, &s, p, tau, &mut Rng::seed_from_u64(seed));
+            let mut fault_rng = Rng::seed_from_u64(!seed);
+            let faulty = replay_once_faulty(
+                &m,
+                &j,
+                &s,
+                p,
+                tau,
+                &mut Rng::seed_from_u64(seed),
+                &CheckpointFaults::NONE,
+                &mut fault_rng,
+            );
+            assert_eq!(plain.0.to_bits(), faulty.0.to_bits(), "cost, seed {seed}");
+            assert_eq!(plain.1.to_bits(), faulty.1.to_bits(), "time, seed {seed}");
+            // The fault stream must be untouched with zero probabilities.
+            assert_eq!(
+                fault_rng.next_u64(),
+                Rng::seed_from_u64(!seed).next_u64(),
+                "fault rng drawn on the faultless path"
+            );
+        }
+    }
+
+    #[test]
+    fn storage_faults_only_ever_slow_the_job() {
+        let m = model();
+        let j = JobSpec::builder(2.0).recovery_secs(30.0).build().unwrap();
+        let s = spec();
+        let p = m.quantile(0.85).unwrap();
+        let tau = optimal_interval(&m, &j, &s, p);
+        let faults = CheckpointFaults {
+            write_fail: 0.5,
+            corrupt_reload: 0.5,
+        };
+        let n = 200;
+        let mut clean_t = 0.0;
+        let mut faulty_t = 0.0;
+        let mut clean_c = 0.0;
+        let mut faulty_c = 0.0;
+        for i in 0..n {
+            let (c, t) = replay_once(&m, &j, &s, p, tau, &mut Rng::seed_from_u64(i));
+            clean_c += c;
+            clean_t += t;
+            let (c, t) = replay_once_faulty(
+                &m,
+                &j,
+                &s,
+                p,
+                tau,
+                &mut Rng::seed_from_u64(i),
+                &faults,
+                &mut Rng::seed_from_u64(i ^ 0xF417),
+            );
+            assert!(c.is_finite() && t.is_finite());
+            assert!(c >= 0.0 && t >= 0.0);
+            faulty_c += c;
+            faulty_t += t;
+        }
+        // Injected storage failures cost time and money on average; they
+        // can never speed a job up.
+        assert!(faulty_t > clean_t, "{faulty_t} vs {clean_t}");
+        assert!(faulty_c > clean_c, "{faulty_c} vs {clean_c}");
     }
 
     #[test]

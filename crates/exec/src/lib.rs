@@ -47,8 +47,21 @@
 
 use spotbid_numerics::rng::{Rng, RngStreams};
 use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
+
+/// Renders a caught panic payload for re-reporting. Panics carry `&str` or
+/// `String` payloads in practice; anything else is reported opaquely.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
 
 /// Process-wide thread-count override; 0 means "no override".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -126,6 +139,16 @@ pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
 /// so the returned `Vec` is identical regardless of thread count. `f` must
 /// be deterministic in its index for the executor's reproducibility
 /// guarantee to extend to the caller.
+///
+/// # Panics
+///
+/// A panic inside `f` is contained per index: workers are not torn down
+/// mid-flight, remaining scheduling stops, and the executor re-panics on
+/// the calling thread with the **lowest** panicking index and its message
+/// (`"trial {i} panicked: …"`). The reported index is thread-count
+/// invariant — the counter hands indices out in order, so every index
+/// below the first observed panic has already been scheduled and any
+/// lower-index panic among them is always collected before reporting.
 pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
 where
     T: Send,
@@ -142,35 +165,64 @@ where
 {
     let threads = threads.clamp(1, n.max(1));
     if threads == 1 {
-        return (0..n).map(f).collect();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                Ok(v) => out.push(v),
+                Err(p) => panic!("trial {i} panicked: {}", panic_message(&*p)),
+            }
+        }
+        return out;
     }
     let next = AtomicUsize::new(0);
-    let (f, next) = (&f, &next);
-    let per_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+    let abort = AtomicBool::new(false);
+    let (f, next, abort) = (&f, &next, &abort);
+    type WorkerOut<T> = (Vec<(usize, T)>, Vec<(usize, String)>);
+    let per_worker: Vec<WorkerOut<T>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(move || {
                     let mut out = Vec::new();
+                    let mut panics = Vec::new();
                     loop {
+                        // Stop pulling fresh work once any trial panicked;
+                        // trials already pulled still run to completion so
+                        // the lowest panicking index is always observed.
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
-                        out.push((i, f(i)));
+                        match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                            Ok(v) => out.push((i, v)),
+                            Err(p) => {
+                                panics.push((i, panic_message(&*p)));
+                                abort.store(true, Ordering::Relaxed);
+                            }
+                        }
                     }
-                    out
+                    (out, panics)
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("executor worker panicked"))
+            .map(|h| h.join().expect("executor worker died outside a trial"))
             .collect()
     });
+    let mut panics: Vec<(usize, String)> = Vec::new();
     let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
-    for (i, v) in per_worker.into_iter().flatten() {
-        slots[i] = Some(v);
+    for (out, bad) in per_worker {
+        for (i, v) in out {
+            slots[i] = Some(v);
+        }
+        panics.extend(bad);
+    }
+    if let Some((i, msg)) = panics.into_iter().min_by_key(|(i, _)| *i) {
+        panic!("trial {i} panicked: {msg}");
     }
     slots
         .into_iter()
@@ -279,6 +331,54 @@ mod tests {
         let r = std::panic::catch_unwind(|| with_threads(7, || panic!("boom")));
         assert!(r.is_err());
         assert_eq!(thread_count(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "trial 3 panicked: boom at 3")]
+    fn serial_panic_reports_trial_index() {
+        par_map_threads(1, 8, |i| {
+            if i == 3 {
+                panic!("boom at {i}");
+            }
+            i
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "trial 3 panicked: boom at 3")]
+    fn parallel_panic_reports_trial_index() {
+        par_map_threads(4, 8, |i| {
+            if i == 3 {
+                panic!("boom at {i}");
+            }
+            i
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "trial 5 panicked")]
+    fn lowest_panicking_index_wins() {
+        // Indices 5.. all panic; whichever worker trips first, the report
+        // must name trial 5 — the reported index is thread-count invariant.
+        par_map_threads(4, 64, |i| {
+            if i >= 5 {
+                panic!("late boom {i}");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn panic_containment_in_par_trials() {
+        // The trial index survives through the RNG-wrapping layer too.
+        let caught = std::panic::catch_unwind(|| {
+            par_trials_threads(4, 7, 32, |i, _rng| {
+                assert!(i != 9, "chaos trial");
+                i
+            })
+        });
+        let msg = panic_message(&*caught.unwrap_err());
+        assert!(msg.contains("trial 9 panicked"), "{msg}");
     }
 
     #[test]

@@ -1,0 +1,57 @@
+//! Bridges a [`FaultSchedule`] into the MapReduce scheduler's
+//! availability model: crash-stop slave and master failures that are
+//! independent of any bid.
+
+use crate::schedule::FaultSchedule;
+use spotbid_mapred::schedule::Availability;
+
+/// The cluster availability at `slot` implied by the schedule: the master
+/// is up until its crash-stop slot (if any), and each slave is up unless
+/// its per-slot crash mask says otherwise. Feed this to
+/// `mapred::schedule::simulate` as the `avail` closure:
+///
+/// ```
+/// use spotbid_faults::{chaos_availability, FaultConfig, FaultSchedule};
+/// let sched = FaultSchedule::generate(1, 100, 4, &FaultConfig::default());
+/// let avail = |t: usize| chaos_availability(&sched, t);
+/// # let _ = avail;
+/// ```
+pub fn chaos_availability(schedule: &FaultSchedule, slot: usize) -> Availability {
+    let slot = slot.min(schedule.n_slots().saturating_sub(1));
+    Availability {
+        master: !schedule.master_down(slot),
+        slaves: (0..schedule.n_slaves())
+            .map(|s| !schedule.slave_down(slot, s))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::FaultConfig;
+
+    #[test]
+    fn availability_mirrors_the_schedule() {
+        let cfg = FaultConfig {
+            slave_crash: 0.3,
+            master_crash: 0.05,
+            ..FaultConfig::NONE
+        };
+        let s = FaultSchedule::generate(9, 80, 5, &cfg);
+        for t in 0..80 {
+            let a = chaos_availability(&s, t);
+            assert_eq!(a.master, !s.master_down(t));
+            assert_eq!(a.slaves.len(), 5);
+            for (i, up) in a.slaves.iter().enumerate() {
+                assert_eq!(*up, !s.slave_down(t, i));
+            }
+        }
+    }
+
+    #[test]
+    fn queries_past_the_schedule_hold_the_last_slot() {
+        let s = FaultSchedule::generate(2, 10, 3, &FaultConfig::default());
+        assert_eq!(chaos_availability(&s, 500), chaos_availability(&s, 9));
+    }
+}

@@ -1,0 +1,75 @@
+//! Deterministic, seed-driven fault injection for the spotbid stack.
+//!
+//! "How to Bid the Cloud" models interruptions as price-driven: a spot
+//! instance dies exactly when the market price exceeds the bid. Real
+//! deployments also suffer faults the paper's clean model abstracts away —
+//! price-feed gaps, corrupt trace records, stale observations,
+//! bid-independent capacity reclamations, flaky checkpoint storage, and
+//! crash-stop cluster nodes. This crate turns a single `fault_seed` into a
+//! bit-reproducible [`FaultSchedule`] covering all of those, so the
+//! hardened runtimes in `client`, `core`, `trace`, and `mapred` can be
+//! exercised under chaos while remaining exactly replayable.
+//!
+//! Determinism contract: each [`FaultKind`] draws its per-slot schedule
+//! from its own decorrelated [`RngStreams`] substream (`stream(kind)`), so
+//! re-weighting one fault kind never perturbs another kind's schedule, and
+//! the whole schedule is a pure function of
+//! `(fault_seed, n_slots, n_slaves, config)` — independent of thread
+//! count, iteration order, or which consumers actually sample it.
+
+pub mod cluster;
+pub mod market;
+pub mod schedule;
+
+pub use cluster::chaos_availability;
+pub use market::{corrupt_records, FaultyMarket};
+pub use schedule::{FaultConfig, FaultKind, FaultSchedule};
+
+use spotbid_core::checkpoint::CheckpointFaults;
+use spotbid_numerics::rng::{Rng, RngStreams};
+
+/// Maps a fault config's storage probabilities onto the checkpoint
+/// subsystem's fault model (`core::checkpoint::replay_once_faulty`).
+pub fn checkpoint_faults(cfg: &FaultConfig) -> CheckpointFaults {
+    CheckpointFaults {
+        write_fail: cfg.checkpoint_write_fail,
+        corrupt_reload: cfg.checkpoint_corruption,
+    }
+}
+
+/// The dedicated fault RNG for checkpoint storage faults. Checkpoint
+/// faults fire on checkpoint *events*, not market slots, so they cannot be
+/// precomputed per-slot like the rest of the schedule; instead the replay
+/// draws lazily from this stream, which occupies the same substream slot
+/// ([`FaultKind::CheckpointWriteFail`]) the precomputed kinds would.
+pub fn checkpoint_fault_rng(fault_seed: u64) -> Rng {
+    RngStreams::new(fault_seed).stream(FaultKind::CheckpointWriteFail as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoint_bridge_carries_probabilities() {
+        let cfg = FaultConfig {
+            checkpoint_write_fail: 0.25,
+            checkpoint_corruption: 0.125,
+            ..FaultConfig::NONE
+        };
+        let f = checkpoint_faults(&cfg);
+        assert_eq!(f.write_fail, 0.25);
+        assert_eq!(f.corrupt_reload, 0.125);
+    }
+
+    #[test]
+    fn checkpoint_fault_rng_is_seed_deterministic() {
+        let mut a = checkpoint_fault_rng(7);
+        let mut b = checkpoint_fault_rng(7);
+        let mut c = checkpoint_fault_rng(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!((0..8).any(|_| c.next_u64() != xs[0]));
+    }
+}

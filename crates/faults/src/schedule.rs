@@ -1,0 +1,394 @@
+//! Seeded fault schedules: `(fault_seed, n_slots, n_slaves, config)` →
+//! a precomputed, bit-reproducible plan of what breaks when.
+
+use spotbid_numerics::rng::{Rng, RngStreams};
+
+/// Every fault the injection layer knows how to cause.
+///
+/// The discriminant doubles as the [`RngStreams`] substream index the
+/// kind's schedule is drawn from, which is why the values are explicit:
+/// adding a kind must never renumber an existing one, or historical fault
+/// seeds would replay differently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// A price record never arrives: the slot is missing from the trace
+    /// and unobservable to the client.
+    TraceGap = 0,
+    /// The slot's record is delivered twice.
+    DuplicateRecord = 1,
+    /// The slot's record is delivered before its predecessor.
+    OutOfOrderRecord = 2,
+    /// The slot's record carries a NaN price.
+    NanPrice = 3,
+    /// The slot's record carries a negative price.
+    NegativePrice = 4,
+    /// The client observes an old price instead of the current one.
+    StaleObservation = 5,
+    /// The provider reclaims capacity this slot regardless of the bid.
+    CapacityReclamation = 6,
+    /// A checkpoint write fails: time is spent, nothing becomes durable.
+    CheckpointWriteFail = 7,
+    /// A checkpoint reloads corrupt: recovery falls back one interval.
+    CheckpointCorruption = 8,
+    /// A MapReduce slave crash-stops for the slot.
+    SlaveCrash = 9,
+    /// The MapReduce master crash-stops (permanently, from the first hit).
+    MasterCrash = 10,
+}
+
+impl FaultKind {
+    /// All kinds, in substream order.
+    pub const ALL: [FaultKind; 11] = [
+        FaultKind::TraceGap,
+        FaultKind::DuplicateRecord,
+        FaultKind::OutOfOrderRecord,
+        FaultKind::NanPrice,
+        FaultKind::NegativePrice,
+        FaultKind::StaleObservation,
+        FaultKind::CapacityReclamation,
+        FaultKind::CheckpointWriteFail,
+        FaultKind::CheckpointCorruption,
+        FaultKind::SlaveCrash,
+        FaultKind::MasterCrash,
+    ];
+}
+
+/// Per-slot fault probabilities. All must lie in `[0, 1]`; zero disables
+/// the kind entirely (its substream is still reserved, so toggling it
+/// does not disturb the other kinds' schedules).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// P(slot's trace record is missing).
+    pub gap: f64,
+    /// P(slot's trace record is duplicated).
+    pub duplicate: f64,
+    /// P(slot's trace record arrives before its predecessor).
+    pub out_of_order: f64,
+    /// P(slot's trace record carries a NaN price).
+    pub nan_price: f64,
+    /// P(slot's trace record carries a negative price).
+    pub negative_price: f64,
+    /// P(client observes a stale price this slot).
+    pub stale_observation: f64,
+    /// Maximum staleness in slots (the delay is uniform in
+    /// `1..=max_stale_delay` when a stale observation fires).
+    pub max_stale_delay: usize,
+    /// P(bid-independent capacity reclamation this slot).
+    pub reclamation: f64,
+    /// P(a checkpoint write fails), per checkpoint event.
+    pub checkpoint_write_fail: f64,
+    /// P(a checkpoint reloads corrupt), per interruption.
+    pub checkpoint_corruption: f64,
+    /// P(a given slave is down this slot), per slave per slot.
+    pub slave_crash: f64,
+    /// P(the master crash-stops this slot). Crash-stop: once down, the
+    /// master never returns.
+    pub master_crash: f64,
+}
+
+impl FaultConfig {
+    /// No faults at all. A schedule generated from this config must leave
+    /// every consumer bit-identical to its fault-free baseline.
+    pub const NONE: FaultConfig = FaultConfig {
+        gap: 0.0,
+        duplicate: 0.0,
+        out_of_order: 0.0,
+        nan_price: 0.0,
+        negative_price: 0.0,
+        stale_observation: 0.0,
+        max_stale_delay: 0,
+        reclamation: 0.0,
+        checkpoint_write_fail: 0.0,
+        checkpoint_corruption: 0.0,
+        slave_crash: 0.0,
+        master_crash: 0.0,
+    };
+}
+
+impl Default for FaultConfig {
+    /// Moderate chaos: every kind enabled except master crashes (which
+    /// kill a MapReduce job outright and are opted into explicitly).
+    fn default() -> Self {
+        FaultConfig {
+            gap: 0.03,
+            duplicate: 0.03,
+            out_of_order: 0.03,
+            nan_price: 0.02,
+            negative_price: 0.02,
+            stale_observation: 0.05,
+            max_stale_delay: 3,
+            reclamation: 0.02,
+            checkpoint_write_fail: 0.05,
+            checkpoint_corruption: 0.02,
+            slave_crash: 0.03,
+            master_crash: 0.0,
+        }
+    }
+}
+
+/// A fully materialised fault plan: for every slot (and slave), exactly
+/// which faults fire. Pure function of its generation inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSchedule {
+    n_slots: usize,
+    gap: Vec<bool>,
+    duplicate: Vec<bool>,
+    out_of_order: Vec<bool>,
+    nan_price: Vec<bool>,
+    negative_price: Vec<bool>,
+    /// 0 = fresh observation; `d > 0` = the client sees slot `t - d`'s price.
+    stale_delay: Vec<usize>,
+    reclamation: Vec<bool>,
+    /// `slave_down[slot][slave]`.
+    slave_down: Vec<Vec<bool>>,
+    /// First slot at which the master crash-stops, if any.
+    master_crash_slot: Option<usize>,
+}
+
+fn mask(rng: &mut Rng, n: usize, p: f64) -> Vec<bool> {
+    // Always draw n times so the substream position after generation is
+    // independent of p — a config tweak must not shift later draws.
+    (0..n).map(|_| rng.chance(p)).collect()
+}
+
+impl FaultSchedule {
+    /// Materialises the schedule. Each fault kind draws from substream
+    /// `kind as u64` of `RngStreams::new(fault_seed)`, in slot order (and,
+    /// for slave crashes, slave order within a slot), so the result is
+    /// bit-reproducible regardless of thread count or sampling order.
+    pub fn generate(fault_seed: u64, n_slots: usize, n_slaves: usize, cfg: &FaultConfig) -> Self {
+        let streams = RngStreams::new(fault_seed);
+        let rng_for = |kind: FaultKind| streams.stream(kind as u64);
+
+        let gap = mask(&mut rng_for(FaultKind::TraceGap), n_slots, cfg.gap);
+        let duplicate = mask(
+            &mut rng_for(FaultKind::DuplicateRecord),
+            n_slots,
+            cfg.duplicate,
+        );
+        let out_of_order = mask(
+            &mut rng_for(FaultKind::OutOfOrderRecord),
+            n_slots,
+            cfg.out_of_order,
+        );
+        let nan_price = mask(&mut rng_for(FaultKind::NanPrice), n_slots, cfg.nan_price);
+        let negative_price = mask(
+            &mut rng_for(FaultKind::NegativePrice),
+            n_slots,
+            cfg.negative_price,
+        );
+
+        let mut stale_rng = rng_for(FaultKind::StaleObservation);
+        let stale_delay = (0..n_slots)
+            .map(|_| {
+                if stale_rng.chance(cfg.stale_observation) && cfg.max_stale_delay > 0 {
+                    1 + stale_rng.range_usize(cfg.max_stale_delay)
+                } else {
+                    0
+                }
+            })
+            .collect();
+
+        let reclamation = mask(
+            &mut rng_for(FaultKind::CapacityReclamation),
+            n_slots,
+            cfg.reclamation,
+        );
+
+        let mut slave_rng = rng_for(FaultKind::SlaveCrash);
+        let slave_down = (0..n_slots)
+            .map(|_| mask(&mut slave_rng, n_slaves, cfg.slave_crash))
+            .collect();
+
+        let mut master_rng = rng_for(FaultKind::MasterCrash);
+        let master_crash_slot = mask(&mut master_rng, n_slots, cfg.master_crash)
+            .iter()
+            .position(|&hit| hit);
+
+        FaultSchedule {
+            n_slots,
+            gap,
+            duplicate,
+            out_of_order,
+            nan_price,
+            negative_price,
+            stale_delay,
+            reclamation,
+            slave_down,
+            master_crash_slot,
+        }
+    }
+
+    /// Number of slots the schedule covers.
+    pub fn n_slots(&self) -> usize {
+        self.n_slots
+    }
+
+    /// Number of slaves the schedule covers.
+    pub fn n_slaves(&self) -> usize {
+        self.slave_down.first().map_or(0, Vec::len)
+    }
+
+    /// Whether the slot's trace record is missing.
+    pub fn gap(&self, slot: usize) -> bool {
+        self.gap[slot]
+    }
+
+    /// Whether the slot's trace record is duplicated.
+    pub fn duplicate(&self, slot: usize) -> bool {
+        self.duplicate[slot]
+    }
+
+    /// Whether the slot's trace record arrives before its predecessor.
+    pub fn out_of_order(&self, slot: usize) -> bool {
+        self.out_of_order[slot]
+    }
+
+    /// Whether the slot's trace record carries a NaN price.
+    pub fn nan_price(&self, slot: usize) -> bool {
+        self.nan_price[slot]
+    }
+
+    /// Whether the slot's trace record carries a negative price.
+    pub fn negative_price(&self, slot: usize) -> bool {
+        self.negative_price[slot]
+    }
+
+    /// Observation staleness in slots (0 = fresh).
+    pub fn stale_delay(&self, slot: usize) -> usize {
+        self.stale_delay[slot]
+    }
+
+    /// Whether capacity is reclaimed this slot regardless of the bid.
+    pub fn reclaimed(&self, slot: usize) -> bool {
+        self.reclamation[slot]
+    }
+
+    /// Whether `slave` is crashed during `slot`.
+    pub fn slave_down(&self, slot: usize, slave: usize) -> bool {
+        self.slave_down[slot][slave]
+    }
+
+    /// Whether the master has crash-stopped by `slot` (inclusive).
+    pub fn master_down(&self, slot: usize) -> bool {
+        self.master_crash_slot.is_some_and(|t| slot >= t)
+    }
+
+    /// The distinct fault kinds that actually fire somewhere in the
+    /// schedule. Checkpoint kinds are event-driven (see
+    /// [`crate::checkpoint_fault_rng`]) and never appear here.
+    pub fn kinds_present(&self) -> Vec<FaultKind> {
+        let mut out = Vec::new();
+        let any = |v: &[bool]| v.iter().any(|&b| b);
+        if any(&self.gap) {
+            out.push(FaultKind::TraceGap);
+        }
+        if any(&self.duplicate) {
+            out.push(FaultKind::DuplicateRecord);
+        }
+        if any(&self.out_of_order) {
+            out.push(FaultKind::OutOfOrderRecord);
+        }
+        if any(&self.nan_price) {
+            out.push(FaultKind::NanPrice);
+        }
+        if any(&self.negative_price) {
+            out.push(FaultKind::NegativePrice);
+        }
+        if self.stale_delay.iter().any(|&d| d > 0) {
+            out.push(FaultKind::StaleObservation);
+        }
+        if any(&self.reclamation) {
+            out.push(FaultKind::CapacityReclamation);
+        }
+        if self.slave_down.iter().any(|row| row.iter().any(|&b| b)) {
+            out.push(FaultKind::SlaveCrash);
+        }
+        if self.master_crash_slot.is_some() {
+            out.push(FaultKind::MasterCrash);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_a_pure_function_of_its_inputs() {
+        let cfg = FaultConfig::default();
+        let a = FaultSchedule::generate(42, 500, 6, &cfg);
+        let b = FaultSchedule::generate(42, 500, 6, &cfg);
+        assert_eq!(a, b);
+        let c = FaultSchedule::generate(43, 500, 6, &cfg);
+        assert_ne!(a, c, "distinct seeds should give distinct schedules");
+    }
+
+    #[test]
+    fn zero_config_schedules_nothing() {
+        let s = FaultSchedule::generate(42, 300, 4, &FaultConfig::NONE);
+        assert!(s.kinds_present().is_empty());
+        for t in 0..300 {
+            assert!(!s.gap(t) && !s.reclaimed(t) && s.stale_delay(t) == 0);
+            assert!(!s.master_down(t));
+            for sl in 0..4 {
+                assert!(!s.slave_down(t, sl));
+            }
+        }
+    }
+
+    #[test]
+    fn default_config_exhibits_many_kinds() {
+        let s = FaultSchedule::generate(0xC1A05, 2000, 8, &FaultConfig::default());
+        let kinds = s.kinds_present();
+        assert!(
+            kinds.len() >= 6,
+            "expected >= 6 distinct kinds, got {kinds:?}"
+        );
+        // Master crashes are off by default: a crashed master would doom
+        // every MapReduce run in the sweep.
+        assert!(!kinds.contains(&FaultKind::MasterCrash));
+    }
+
+    #[test]
+    fn kind_substreams_are_independent() {
+        // Disabling one kind must not change any other kind's draws.
+        let full = FaultConfig::default();
+        let no_gaps = FaultConfig { gap: 0.0, ..full };
+        let a = FaultSchedule::generate(7, 400, 4, &full);
+        let b = FaultSchedule::generate(7, 400, 4, &no_gaps);
+        assert!(b.kinds_present().iter().all(|k| *k != FaultKind::TraceGap));
+        assert_eq!(a.duplicate, b.duplicate);
+        assert_eq!(a.nan_price, b.nan_price);
+        assert_eq!(a.stale_delay, b.stale_delay);
+        assert_eq!(a.reclamation, b.reclamation);
+        assert_eq!(a.slave_down, b.slave_down);
+    }
+
+    #[test]
+    fn master_crash_is_crash_stop() {
+        let cfg = FaultConfig {
+            master_crash: 0.2,
+            ..FaultConfig::NONE
+        };
+        let s = FaultSchedule::generate(11, 100, 2, &cfg);
+        let first = (0..100).position(|t| s.master_down(t));
+        let first = first.expect("p=0.2 over 100 slots should crash the master");
+        for t in 0..100 {
+            assert_eq!(s.master_down(t), t >= first, "crash-stop violated at {t}");
+        }
+    }
+
+    #[test]
+    fn stale_delays_respect_the_configured_bound() {
+        let cfg = FaultConfig {
+            stale_observation: 0.5,
+            max_stale_delay: 4,
+            ..FaultConfig::NONE
+        };
+        let s = FaultSchedule::generate(3, 1000, 1, &cfg);
+        assert!((0..1000).any(|t| s.stale_delay(t) > 0));
+        assert!((0..1000).all(|t| s.stale_delay(t) <= 4));
+    }
+}

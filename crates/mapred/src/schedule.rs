@@ -50,6 +50,13 @@ pub struct ScheduleConfig {
     pub recovery: Hours,
     /// Give up after this many slots.
     pub max_slots: usize,
+    /// Launch speculative backup copies of in-flight tasks on otherwise
+    /// idle slaves (MapReduce's classic straggler/loss mitigation): when a
+    /// slave has no pending work, it re-executes the lowest-id unfinished
+    /// single-copy task from scratch. Whichever copy finishes first wins;
+    /// losing copies are dropped. A task with a live backup is not
+    /// rescheduled when its primary's slave fails.
+    pub speculative: bool,
 }
 
 /// How the scheduled job ended.
@@ -77,6 +84,9 @@ pub struct ScheduleOutcome {
     pub slave_interruptions: u32,
     /// Tasks that had to be rescheduled after a slave failure.
     pub task_reschedules: u32,
+    /// Speculative backup copies launched (always zero unless
+    /// [`ScheduleConfig::speculative`] is set).
+    pub speculative_launches: u32,
     /// Per-slot uptime: `master_up[t]` and `slaves_up[t]` = number of
     /// slaves up in slot `t` — what billing charges for.
     pub master_up: Vec<bool>,
@@ -122,6 +132,9 @@ pub fn simulate<F: FnMut(usize) -> Availability>(
     let mut maps_left = pending_map.len();
     let mut done = vec![false; tasks.len()];
     let mut remaining_total = tasks.len();
+    // Live copies per task (primary + at most one speculative backup).
+    let mut copies = vec![0u32; tasks.len()];
+    let mut speculative_launches = 0u32;
 
     let mut states: Vec<SlaveState> = Vec::new();
     let mut pending_recovery: Vec<Hours> = Vec::new();
@@ -149,6 +162,7 @@ pub fn simulate<F: FnMut(usize) -> Availability>(
                 completion_time: cfg.slot * (t + 1) as f64,
                 slave_interruptions: interruptions,
                 task_reschedules: reschedules,
+                speculative_launches,
                 master_up: master_up_log,
                 slaves_up: slaves_up_log,
             };
@@ -162,12 +176,17 @@ pub fn simulate<F: FnMut(usize) -> Availability>(
             match (*state, up) {
                 (SlaveState::Busy { task, .. }, false) => {
                     interruptions += 1;
-                    reschedules += 1;
-                    // Task restarts from scratch elsewhere.
-                    let spec = &tasks[task];
-                    match spec.phase {
-                        Phase::Map => pending_map.push(task),
-                        Phase::Reduce => pending_reduce.push(task),
+                    copies[task] = copies[task].saturating_sub(1);
+                    // The task restarts from scratch elsewhere — unless a
+                    // speculative backup copy is still running, in which
+                    // case the loss costs nothing to reschedule.
+                    if !done[task] && copies[task] == 0 {
+                        reschedules += 1;
+                        let spec = &tasks[task];
+                        match spec.phase {
+                            Phase::Map => pending_map.push(task),
+                            Phase::Reduce => pending_reduce.push(task),
+                        }
                     }
                     *state = SlaveState::Down;
                     pending_recovery[i] = cfg.recovery;
@@ -198,12 +217,20 @@ pub fn simulate<F: FnMut(usize) -> Availability>(
             while budget > Hours::ZERO {
                 match *state {
                     SlaveState::Busy { task, remaining } => {
+                        if done[task] {
+                            // Another copy won the race; drop ours without
+                            // spending budget and look for fresh work.
+                            copies[task] = copies[task].saturating_sub(1);
+                            *state = SlaveState::Idle;
+                            continue;
+                        }
                         let spent = remaining.min(budget);
                         let left = remaining - spent;
                         budget -= spent;
                         if left <= Hours::new(1e-12) {
                             done[task] = true;
                             remaining_total -= 1;
+                            copies[task] = copies[task].saturating_sub(1);
                             if tasks[task].phase == Phase::Map {
                                 maps_left -= 1;
                             }
@@ -226,10 +253,32 @@ pub fn simulate<F: FnMut(usize) -> Availability>(
                         });
                         match next {
                             Some(task) => {
+                                copies[task] += 1;
                                 *state = SlaveState::Busy {
                                     task,
                                     remaining: tasks[task].duration,
                                 };
+                            }
+                            None if cfg.speculative => {
+                                // No pending work: speculatively re-execute
+                                // the lowest-id unfinished task that has no
+                                // backup yet, respecting the map barrier.
+                                let candidate = tasks.iter().find(|s| {
+                                    !done[s.id]
+                                        && copies[s.id] == 1
+                                        && (maps_left == 0 || s.phase == Phase::Map)
+                                });
+                                match candidate {
+                                    Some(spec) => {
+                                        copies[spec.id] += 1;
+                                        speculative_launches += 1;
+                                        *state = SlaveState::Busy {
+                                            task: spec.id,
+                                            remaining: spec.duration,
+                                        };
+                                    }
+                                    None => break,
+                                }
                             }
                             None => break,
                         }
@@ -246,6 +295,7 @@ pub fn simulate<F: FnMut(usize) -> Availability>(
                 completion_time: cfg.slot * (t + 1) as f64,
                 slave_interruptions: interruptions,
                 task_reschedules: reschedules,
+                speculative_launches,
                 master_up: master_up_log,
                 slaves_up: slaves_up_log,
             };
@@ -257,6 +307,7 @@ pub fn simulate<F: FnMut(usize) -> Availability>(
         completion_time: cfg.slot * cfg.max_slots as f64,
         slave_interruptions: interruptions,
         task_reschedules: reschedules,
+        speculative_launches,
         master_up: master_up_log,
         slaves_up: slaves_up_log,
     }
@@ -271,6 +322,14 @@ mod tests {
             slot: Hours::from_minutes(5.0),
             recovery: Hours::from_secs(30.0),
             max_slots: 10_000,
+            speculative: false,
+        }
+    }
+
+    fn spec_cfg() -> ScheduleConfig {
+        ScheduleConfig {
+            speculative: true,
+            ..cfg()
         }
     }
 
@@ -395,6 +454,70 @@ mod tests {
         assert_eq!(out.master_up.len(), out.slots_elapsed);
         assert_eq!(out.slaves_up.len(), out.slots_elapsed);
         assert!(out.slaves_up.iter().all(|&n| n == 3));
+    }
+
+    #[test]
+    fn speculative_backup_rescues_lost_task() {
+        // One 10-min map on 2 slaves; the primary's slave dies in slot 1.
+        // Without speculation the survivor restarts from scratch (3 slots);
+        // with it, the backup launched in slot 0 finishes in slot 1.
+        let t = tasks(1, 0, 10.0);
+        let avail = |slot: usize| Availability {
+            master: true,
+            slaves: vec![slot == 0, true],
+        };
+        let plain = simulate(&t, &cfg(), avail);
+        assert_eq!(plain.status, ScheduleStatus::Completed);
+        assert_eq!(plain.slots_elapsed, 3);
+        assert_eq!(plain.task_reschedules, 1);
+        assert_eq!(plain.speculative_launches, 0);
+        let spec = simulate(&t, &spec_cfg(), avail);
+        assert_eq!(spec.status, ScheduleStatus::Completed);
+        assert_eq!(spec.slots_elapsed, 2);
+        assert_eq!(spec.speculative_launches, 1);
+        assert_eq!(
+            spec.task_reschedules, 0,
+            "a live backup makes the loss free"
+        );
+    }
+
+    #[test]
+    fn losing_copy_is_dropped_when_primary_wins() {
+        // Primary finishes first; the backup holder must free itself and
+        // the run must complete exactly once.
+        let t = tasks(1, 1, 10.0);
+        let out = simulate(&t, &spec_cfg(), always_up(2));
+        assert_eq!(out.status, ScheduleStatus::Completed);
+        // Same completion as the unspeculated run — backups start later
+        // (from scratch) and never overtake a healthy primary here.
+        let plain = simulate(&t, &cfg(), always_up(2));
+        assert_eq!(out.slots_elapsed, plain.slots_elapsed);
+        assert!(out.speculative_launches >= 1);
+    }
+
+    #[test]
+    fn speculation_respects_map_barrier() {
+        // While the long map runs, the idle slave may back up the *map*,
+        // never start the reduce early: completion is unchanged.
+        let t = tasks(1, 1, 10.0);
+        let plain = simulate(&t, &cfg(), always_up(2));
+        let spec = simulate(&t, &spec_cfg(), always_up(2));
+        assert_eq!(spec.slots_elapsed, plain.slots_elapsed);
+        assert_eq!(spec.status, ScheduleStatus::Completed);
+    }
+
+    #[test]
+    fn double_failure_with_backup_still_requeues() {
+        // Both the primary and its backup die: the task must requeue and
+        // the job still completes on the returning slave.
+        let t = tasks(1, 0, 10.0);
+        let out = simulate(&t, &spec_cfg(), |slot| Availability {
+            master: true,
+            slaves: vec![slot == 0 || slot >= 2, slot == 0],
+        });
+        assert_eq!(out.status, ScheduleStatus::Completed);
+        assert!(out.task_reschedules >= 1);
+        assert_eq!(out.slave_interruptions, 2);
     }
 
     #[test]

@@ -77,6 +77,8 @@ pub struct MapReduceOutcome {
     pub slave_interruptions: u32,
     /// Tasks rescheduled after failures.
     pub task_reschedules: u32,
+    /// Speculative backup copies launched by the scheduler.
+    pub speculative_launches: u32,
     /// Whether the distributed word count matched the sequential
     /// reference (always checked; the data plane runs for real).
     pub result_correct: bool,
@@ -119,6 +121,8 @@ pub fn run_on_spot(
         slot: job.slot,
         recovery: job.recovery,
         max_slots: horizon,
+        // Spot slaves get interrupted; backup copies bound the work lost.
+        speculative: true,
     };
     let m = plan.m as usize;
     let master_bid = plan.master.price;
@@ -164,6 +168,8 @@ pub fn run_on_demand(
         slot: job.slot,
         recovery: job.recovery,
         max_slots: 1_000_000,
+        // On-demand instances never fail mid-run: no backups needed.
+        speculative: false,
     };
     let outcome = simulate(&tasks, &cfg, |_| Availability {
         master: true,
@@ -222,6 +228,7 @@ fn finish(
         bill,
         slave_interruptions: outcome.slave_interruptions,
         task_reschedules: outcome.task_reschedules,
+        speculative_launches: outcome.speculative_launches,
         result_correct,
     })
 }

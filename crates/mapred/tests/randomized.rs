@@ -104,6 +104,7 @@ fn scheduler_conserves_tasks_under_failures() {
             slot: Hours::from_minutes(5.0),
             recovery: Hours::from_secs(30.0),
             max_slots: 50_000,
+            speculative: false,
         };
         let mut sim_rng = Rng::seed_from_u64(seed);
         let out = simulate(&tasks, &cfg, |t| {
@@ -171,6 +172,7 @@ fn too_long_tasks_livelock_under_periodic_outages() {
         slot: Hours::from_minutes(5.0),
         recovery: Hours::from_secs(30.0),
         max_slots: 5000,
+        speculative: false,
     };
     let out = simulate(&tasks, &cfg, |t| Availability {
         master: true,

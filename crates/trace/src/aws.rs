@@ -188,6 +188,22 @@ pub fn from_aws_json(
         let p: f64 = e.spot_price.trim().parse().map_err(|_| TraceError::Parse {
             what: format!("bad SpotPrice {:?}", e.spot_price),
         })?;
+        // "NaN" and "-0.05" both parse as f64 — reject them here as
+        // corrupt records rather than letting them flow into the history
+        // (dumps arrive newest-first, so out-of-order timestamps are
+        // expected and sorted below, not faulted).
+        if !p.is_finite() {
+            return Err(TraceError::CorruptRecord {
+                index: events.len(),
+                fault: crate::RecordFault::NonFinitePrice,
+            });
+        }
+        if p < 0.0 {
+            return Err(TraceError::CorruptRecord {
+                index: events.len(),
+                fault: crate::RecordFault::NegativePrice,
+            });
+        }
         events.push((t, Price::new(p)));
     }
     if events.is_empty() {
@@ -335,6 +351,32 @@ mod tests {
         assert!(matches!(
             from_aws_json(bad_price, &AwsFilter::default(), None),
             Err(TraceError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn nan_and_negative_prices_are_corrupt_records() {
+        let nan_price = r#"{ "SpotPriceHistory": [
+            { "Timestamp": "2014-09-09T00:00:00Z", "InstanceType": "r3.xlarge",
+              "SpotPrice": "NaN" } ] }"#;
+        assert!(matches!(
+            from_aws_json(nan_price, &AwsFilter::default(), None),
+            Err(TraceError::CorruptRecord {
+                index: 0,
+                fault: crate::RecordFault::NonFinitePrice
+            })
+        ));
+        let neg_price = r#"{ "SpotPriceHistory": [
+            { "Timestamp": "2014-09-09T00:00:00Z", "InstanceType": "r3.xlarge",
+              "SpotPrice": "0.03" },
+            { "Timestamp": "2014-09-09T00:05:00Z", "InstanceType": "r3.xlarge",
+              "SpotPrice": "-0.05" } ] }"#;
+        assert!(matches!(
+            from_aws_json(neg_price, &AwsFilter::default(), None),
+            Err(TraceError::CorruptRecord {
+                index: 1,
+                fault: crate::RecordFault::NegativePrice
+            })
         ));
     }
 }

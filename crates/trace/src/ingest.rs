@@ -1,0 +1,385 @@
+//! Validating ingest: the hardened path from raw price records to a
+//! [`SpotPriceHistory`].
+//!
+//! Real spot-price feeds are messier than the paper's archived dump:
+//! records arrive with gaps, duplicates, out-of-order timestamps, and the
+//! occasional NaN or negative price (a stale cache, a wire glitch, a unit
+//! bug upstream). The happy-path constructors reject a whole series on the
+//! first bad value; this module adds the two disciplines a production
+//! ingest needs:
+//!
+//! - **strict** ([`ingest_strict`]): the first corrupt record fails the
+//!   load with a typed [`TraceError::CorruptRecord`] naming the record and
+//!   the violated invariant — for provenance-critical archives.
+//! - **repair** ([`ingest_repair`]): corrupt records are dropped,
+//!   out-of-order records re-sorted, duplicate timestamps collapsed
+//!   (latest write wins), and gaps filled by carrying the last good price
+//!   forward — step-function semantics, the same rule [`crate::aws`] uses
+//!   for resampling. Everything done to the input is tallied in an
+//!   [`IngestReport`] so callers can alarm on feed quality instead of
+//!   silently absorbing garbage.
+//!
+//! The chaos suite (`spotbid-faults`) drives both paths with seeded
+//! corruption and asserts the repaired history is always a valid,
+//! gap-free series that equals the clean input when no fault fired.
+
+use crate::history::SpotPriceHistory;
+use crate::TraceError;
+use spotbid_market::units::{Hours, Price};
+use std::fmt;
+
+/// One raw record of a price feed: a timestamp (hours on the feed's
+/// clock) and a price, exactly as parsed off the wire — no validation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RawRecord {
+    /// Observation time, in hours from the feed's epoch.
+    pub time_hours: f64,
+    /// Observed price, in $/hour.
+    pub price: f64,
+}
+
+/// The ways a single record can be invalid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordFault {
+    /// Price is NaN or infinite.
+    NonFinitePrice,
+    /// Price is negative.
+    NegativePrice,
+    /// Timestamp is NaN or infinite.
+    NonFiniteTime,
+    /// Timestamp is earlier than its predecessor's.
+    NonMonotonicTime,
+    /// Timestamp repeats an earlier record's.
+    DuplicateTime,
+}
+
+impl fmt::Display for RecordFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RecordFault::NonFinitePrice => "non-finite price",
+            RecordFault::NegativePrice => "negative price",
+            RecordFault::NonFiniteTime => "non-finite timestamp",
+            RecordFault::NonMonotonicTime => "non-monotonic timestamp",
+            RecordFault::DuplicateTime => "duplicate timestamp",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What the repairing ingest did to the input.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IngestReport {
+    /// Records in the input.
+    pub total: usize,
+    /// Records that survived validation.
+    pub accepted: usize,
+    /// Dropped records: `(input index, why)`.
+    pub dropped: Vec<(usize, RecordFault)>,
+    /// Records that arrived out of timestamp order and were re-sorted.
+    pub reordered: usize,
+    /// Duplicate-timestamp records collapsed (latest write wins).
+    pub deduplicated: usize,
+    /// Grid slots with no record of their own, filled by carrying the
+    /// previous price forward.
+    pub gap_slots_filled: usize,
+}
+
+impl IngestReport {
+    /// True when the input needed no intervention at all.
+    pub fn is_clean(&self) -> bool {
+        self.dropped.is_empty()
+            && self.reordered == 0
+            && self.deduplicated == 0
+            && self.gap_slots_filled == 0
+    }
+}
+
+/// Classifies the value-level fault of one record, if any.
+fn value_fault(r: &RawRecord) -> Option<RecordFault> {
+    if !r.time_hours.is_finite() {
+        Some(RecordFault::NonFiniteTime)
+    } else if !r.price.is_finite() {
+        Some(RecordFault::NonFinitePrice)
+    } else if r.price < 0.0 {
+        Some(RecordFault::NegativePrice)
+    } else {
+        None
+    }
+}
+
+/// Strict validation: returns the first corrupt record as a typed error.
+///
+/// Checks value-level faults plus timestamp monotonicity (each timestamp
+/// must be strictly greater than its predecessor's).
+///
+/// # Errors
+///
+/// [`TraceError::CorruptRecord`] naming the first offending record.
+pub fn validate(records: &[RawRecord]) -> Result<(), TraceError> {
+    let mut prev: Option<f64> = None;
+    for (i, r) in records.iter().enumerate() {
+        if let Some(fault) = value_fault(r) {
+            return Err(TraceError::CorruptRecord { index: i, fault });
+        }
+        if let Some(p) = prev {
+            if r.time_hours < p {
+                return Err(TraceError::CorruptRecord {
+                    index: i,
+                    fault: RecordFault::NonMonotonicTime,
+                });
+            }
+            if r.time_hours == p {
+                return Err(TraceError::CorruptRecord {
+                    index: i,
+                    fault: RecordFault::DuplicateTime,
+                });
+            }
+        }
+        prev = Some(r.time_hours);
+    }
+    Ok(())
+}
+
+/// Strict ingest: validates, then resamples onto the `slot_len` grid.
+///
+/// # Errors
+///
+/// [`TraceError::CorruptRecord`] for the first invalid record,
+/// [`TraceError::InvalidHistory`] for an empty input or bad slot length.
+pub fn ingest_strict(
+    records: &[RawRecord],
+    slot_len: Hours,
+) -> Result<SpotPriceHistory, TraceError> {
+    validate(records)?;
+    let (history, _report) = resample(records.to_vec(), slot_len, IngestReport::default())?;
+    Ok(history)
+}
+
+/// Repairing ingest: drops corrupt records, restores timestamp order,
+/// collapses duplicates (latest write wins), resamples onto the grid
+/// carrying the last good price over gaps, and reports every repair.
+///
+/// # Errors
+///
+/// [`TraceError::InvalidHistory`] when no record survives validation or
+/// the slot length is not positive.
+pub fn ingest_repair(
+    records: &[RawRecord],
+    slot_len: Hours,
+) -> Result<(SpotPriceHistory, IngestReport), TraceError> {
+    let mut report = IngestReport {
+        total: records.len(),
+        ..IngestReport::default()
+    };
+    let mut good: Vec<(usize, RawRecord)> = Vec::with_capacity(records.len());
+    for (i, r) in records.iter().enumerate() {
+        match value_fault(r) {
+            Some(fault) => report.dropped.push((i, fault)),
+            None => good.push((i, *r)),
+        }
+    }
+    if good.is_empty() {
+        return Err(TraceError::InvalidHistory {
+            what: format!("no record survived validation ({} dropped)", records.len()),
+        });
+    }
+    report.reordered = good
+        .windows(2)
+        .filter(|w| w[1].1.time_hours < w[0].1.time_hours)
+        .count();
+    // Stable sort keeps input order among equal timestamps, so "latest
+    // write wins" below is well-defined.
+    good.sort_by(|a, b| {
+        a.1.time_hours
+            .partial_cmp(&b.1.time_hours)
+            .expect("finite timestamps")
+    });
+    let mut deduped: Vec<RawRecord> = Vec::with_capacity(good.len());
+    for (_, r) in good {
+        match deduped.last_mut() {
+            Some(last) if last.time_hours == r.time_hours => {
+                *last = r;
+                report.deduplicated += 1;
+            }
+            _ => deduped.push(r),
+        }
+    }
+    report.accepted = deduped.len();
+    resample(deduped, slot_len, report)
+}
+
+/// Resamples sorted, deduplicated records onto a regular grid starting at
+/// the first record's timestamp, carrying prices forward over gaps.
+fn resample(
+    records: Vec<RawRecord>,
+    slot_len: Hours,
+    mut report: IngestReport,
+) -> Result<(SpotPriceHistory, IngestReport), TraceError> {
+    if !slot_len.is_valid_duration() || slot_len <= Hours::ZERO {
+        return Err(TraceError::InvalidHistory {
+            what: format!("slot length {slot_len} must be positive"),
+        });
+    }
+    if report.total == 0 {
+        report.total = records.len();
+        report.accepted = records.len();
+    }
+    let t0 = records[0].time_hours;
+    let t1 = records[records.len() - 1].time_hours;
+    let step = slot_len.as_f64();
+    let n_slots = (((t1 - t0) / step).round() as usize) + 1;
+    let mut prices = Vec::with_capacity(n_slots);
+    let mut idx = 0usize;
+    let mut current = records[0].price;
+    for s in 0..n_slots {
+        // Half-open slot window (s−½, s+½] in grid units: each record
+        // lands in its nearest slot.
+        let slot_end = t0 + (s as f64 + 0.5) * step;
+        let mut hit = false;
+        while idx < records.len() && records[idx].time_hours <= slot_end {
+            current = records[idx].price;
+            idx += 1;
+            hit = true;
+        }
+        if !hit {
+            report.gap_slots_filled += 1;
+        }
+        prices.push(Price::new(current));
+    }
+    let history = SpotPriceHistory::new(slot_len, prices)?;
+    Ok((history, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::default_slot_len;
+
+    fn rec(t: f64, p: f64) -> RawRecord {
+        RawRecord {
+            time_hours: t,
+            price: p,
+        }
+    }
+
+    fn grid(prices: &[f64]) -> Vec<RawRecord> {
+        let step = default_slot_len().as_f64();
+        prices
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| rec(i as f64 * step, p))
+            .collect()
+    }
+
+    #[test]
+    fn strict_accepts_clean_feed() {
+        let h = ingest_strict(&grid(&[0.03, 0.04, 0.05]), default_slot_len()).unwrap();
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.price_at_slot(1), Some(Price::new(0.04)));
+    }
+
+    #[test]
+    fn strict_rejects_each_fault_kind() {
+        let step = default_slot_len().as_f64();
+        let cases: Vec<(Vec<RawRecord>, usize, RecordFault)> = vec![
+            (
+                vec![rec(0.0, 0.03), rec(step, f64::NAN)],
+                1,
+                RecordFault::NonFinitePrice,
+            ),
+            (
+                vec![rec(0.0, 0.03), rec(step, -0.01)],
+                1,
+                RecordFault::NegativePrice,
+            ),
+            (
+                vec![rec(f64::INFINITY, 0.03)],
+                0,
+                RecordFault::NonFiniteTime,
+            ),
+            (
+                vec![rec(step, 0.03), rec(0.0, 0.04)],
+                1,
+                RecordFault::NonMonotonicTime,
+            ),
+            (
+                vec![rec(0.0, 0.03), rec(0.0, 0.04)],
+                1,
+                RecordFault::DuplicateTime,
+            ),
+        ];
+        for (records, index, fault) in cases {
+            match ingest_strict(&records, default_slot_len()) {
+                Err(TraceError::CorruptRecord { index: i, fault: f }) => {
+                    assert_eq!((i, f), (index, fault));
+                }
+                other => panic!("expected CorruptRecord, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn repair_on_clean_feed_is_identity() {
+        let clean = grid(&[0.03, 0.04, 0.05, 0.04]);
+        let (h, report) = ingest_repair(&clean, default_slot_len()).unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.accepted, 4);
+        assert_eq!(h.raw(), vec![0.03, 0.04, 0.05, 0.04]);
+    }
+
+    #[test]
+    fn repair_drops_bad_values_and_reports() {
+        let step = default_slot_len().as_f64();
+        let feed = vec![
+            rec(0.0, 0.03),
+            rec(step, f64::NAN),
+            rec(2.0 * step, -1.0),
+            rec(3.0 * step, 0.05),
+        ];
+        let (h, report) = ingest_repair(&feed, default_slot_len()).unwrap();
+        assert_eq!(report.dropped.len(), 2);
+        assert_eq!(report.dropped[0], (1, RecordFault::NonFinitePrice));
+        assert_eq!(report.dropped[1], (2, RecordFault::NegativePrice));
+        // Grid spans slot 0..=3; slots 1 and 2 are gap-filled with 0.03.
+        assert_eq!(h.raw(), vec![0.03, 0.03, 0.03, 0.05]);
+        assert_eq!(report.gap_slots_filled, 2);
+    }
+
+    #[test]
+    fn repair_sorts_and_dedups() {
+        let step = default_slot_len().as_f64();
+        let feed = vec![
+            rec(step, 0.04),
+            rec(0.0, 0.03),      // out of order
+            rec(step, 0.07),     // duplicate timestamp: this one wins
+            rec(2.0 * step, 0.05),
+        ];
+        let (h, report) = ingest_repair(&feed, default_slot_len()).unwrap();
+        assert_eq!(report.reordered, 1);
+        assert_eq!(report.deduplicated, 1);
+        assert_eq!(h.raw(), vec![0.03, 0.07, 0.05]);
+    }
+
+    #[test]
+    fn repair_fails_when_nothing_survives() {
+        let feed = vec![rec(0.0, f64::NAN), rec(1.0, -2.0)];
+        assert!(matches!(
+            ingest_repair(&feed, default_slot_len()),
+            Err(TraceError::InvalidHistory { .. })
+        ));
+    }
+
+    #[test]
+    fn repair_rejects_bad_slot_len() {
+        assert!(ingest_repair(&grid(&[0.03]), Hours::ZERO).is_err());
+        assert!(ingest_strict(&grid(&[0.03]), Hours::new(-1.0)).is_err());
+    }
+
+    #[test]
+    fn single_record_yields_single_slot() {
+        let (h, report) = ingest_repair(&[rec(7.0, 0.09)], default_slot_len()).unwrap();
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.price_at_slot(0), Some(Price::new(0.09)));
+        assert!(report.is_clean());
+    }
+}

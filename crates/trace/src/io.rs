@@ -27,10 +27,13 @@ pub fn to_csv(history: &SpotPriceHistory) -> String {
 ///
 /// # Errors
 ///
-/// [`TraceError::Parse`] on malformed rows, [`TraceError::InvalidHistory`]
-/// when the parsed series violates history invariants.
+/// [`TraceError::Parse`] on malformed rows,
+/// [`TraceError::CorruptRecord`] on rows carrying impossible values
+/// (NaN/negative price, non-finite or non-increasing timestamp), and
+/// [`TraceError::InvalidHistory`] when the parsed series violates history
+/// invariants.
 pub fn from_csv(text: &str) -> Result<SpotPriceHistory, TraceError> {
-    let mut times = Vec::new();
+    let mut times: Vec<f64> = Vec::new();
     let mut prices = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
@@ -54,6 +57,28 @@ pub fn from_csv(text: &str) -> Result<SpotPriceHistory, TraceError> {
             .trim()
             .parse()
             .map_err(|_| parse_err("bad price"))?;
+        // Value-level validation at the parse boundary: a CSV row that
+        // parses but cannot be a real observation is a corrupt record,
+        // reported by row index with a typed fault.
+        let index = times.len();
+        let corrupt = |fault: crate::RecordFault| TraceError::CorruptRecord { index, fault };
+        if !t.is_finite() {
+            return Err(corrupt(crate::RecordFault::NonFiniteTime));
+        }
+        if !p.is_finite() {
+            return Err(corrupt(crate::RecordFault::NonFinitePrice));
+        }
+        if p < 0.0 {
+            return Err(corrupt(crate::RecordFault::NegativePrice));
+        }
+        if let Some(&prev) = times.last() {
+            if t < prev {
+                return Err(corrupt(crate::RecordFault::NonMonotonicTime));
+            }
+            if t == prev {
+                return Err(corrupt(crate::RecordFault::DuplicateTime));
+            }
+        }
         times.push(t);
         prices.push(Price::new(p));
     }
@@ -148,10 +173,47 @@ mod tests {
             from_csv("slot,time_hours,price\n"),
             Err(TraceError::InvalidHistory { .. })
         ));
-        // Negative price parses but fails history validation.
+        // Negative price parses but is rejected as a corrupt record.
         assert!(matches!(
             from_csv("slot,time_hours,price\n0,0.0,-1.0\n"),
-            Err(TraceError::InvalidHistory { .. })
+            Err(TraceError::CorruptRecord {
+                index: 0,
+                fault: crate::RecordFault::NegativePrice
+            })
+        ));
+    }
+
+    #[test]
+    fn csv_rejects_corrupt_values_at_parse_time() {
+        // NaN parses as a valid f64 — it must still be rejected.
+        assert!(matches!(
+            from_csv("slot,time_hours,price\n0,0.0,0.1\n1,0.0833,NaN\n"),
+            Err(TraceError::CorruptRecord {
+                index: 1,
+                fault: crate::RecordFault::NonFinitePrice
+            })
+        ));
+        assert!(matches!(
+            from_csv("slot,time_hours,price\n0,0.0,0.1\n1,inf,0.2\n"),
+            Err(TraceError::CorruptRecord {
+                index: 1,
+                fault: crate::RecordFault::NonFiniteTime
+            })
+        ));
+        // Regressing and duplicate timestamps are typed faults too.
+        assert!(matches!(
+            from_csv("slot,time_hours,price\n0,0.0833,0.1\n1,0.0,0.2\n"),
+            Err(TraceError::CorruptRecord {
+                index: 1,
+                fault: crate::RecordFault::NonMonotonicTime
+            })
+        ));
+        assert!(matches!(
+            from_csv("slot,time_hours,price\n0,0.0,0.1\n1,0.0,0.2\n"),
+            Err(TraceError::CorruptRecord {
+                index: 1,
+                fault: crate::RecordFault::DuplicateTime
+            })
         ));
     }
 

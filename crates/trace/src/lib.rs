@@ -31,11 +31,13 @@ pub mod analyze;
 pub mod aws;
 pub mod catalog;
 pub mod history;
+pub mod ingest;
 pub mod io;
 pub mod synthetic;
 
 pub use catalog::InstanceType;
 pub use history::SpotPriceHistory;
+pub use ingest::{IngestReport, RawRecord, RecordFault};
 
 use std::fmt;
 
@@ -52,6 +54,16 @@ pub enum TraceError {
         /// Description of the parse failure.
         what: String,
     },
+    /// A structurally well-formed record carries an impossible value
+    /// (NaN/negative price, non-finite or regressing timestamp, …).
+    /// Strict ingest paths reject the whole input on the first such
+    /// record; the repairing path drops them and reports instead.
+    CorruptRecord {
+        /// Zero-based index of the offending record in the input.
+        index: usize,
+        /// Which invariant the record violates.
+        fault: RecordFault,
+    },
     /// Filesystem failure.
     Io {
         /// Description of the I/O failure.
@@ -64,6 +76,9 @@ impl fmt::Display for TraceError {
         match self {
             TraceError::InvalidHistory { what } => write!(f, "invalid history: {what}"),
             TraceError::Parse { what } => write!(f, "parse error: {what}"),
+            TraceError::CorruptRecord { index, fault } => {
+                write!(f, "corrupt record {index}: {fault}")
+            }
             TraceError::Io { what } => write!(f, "io error: {what}"),
         }
     }
