@@ -4,12 +4,15 @@
 
 use spotbid_bench::experiments::ablations;
 use spotbid_bench::report::{usd, Table};
+use spotbid_bench::timing::time_experiment;
 use spotbid_client::experiment::ExperimentConfig;
 
 fn main() {
     let mut t = Table::new("provider objectives — revenue vs clearing (capacity 10) vs welfare")
         .headers(["demand L", "revenue $/h", "clearing $/h", "welfare $/h"]);
-    for p in ablations::objective_sweep(10.0) {
+    for p in time_experiment("ablations/objective_sweep", || {
+        ablations::objective_sweep(10.0)
+    }) {
         t.row([
             format!("{:.0}", p.demand),
             usd(p.revenue_price),
@@ -24,7 +27,7 @@ fn main() {
         "optimal price $/h",
         "accepted bids",
     ]);
-    for p in ablations::beta_sweep() {
+    for p in time_experiment("ablations/beta_sweep", ablations::beta_sweep) {
         t.row([
             format!("{:.2}", p.beta),
             usd(p.price),
@@ -39,7 +42,9 @@ fn main() {
     };
     let mut t = Table::new("temporal correlation — i.i.d.-optimal persistent bid on sticky traces")
         .headers(["persistence", "interruptions", "cost $", "completion h"]);
-    for p in ablations::correlation_sweep(&cfg) {
+    for p in time_experiment("ablations/correlation_sweep", || {
+        ablations::correlation_sweep(&cfg)
+    }) {
         t.row([
             format!("{:.2}", p.persistence),
             format!("{:.2}", p.interruptions),
@@ -54,7 +59,9 @@ fn main() {
         "mean retrospective bid $/h",
         "survival of next hour",
     ]);
-    for p in ablations::lookback_sweep(0xAB2, 60) {
+    for p in time_experiment("ablations/lookback_sweep", || {
+        ablations::lookback_sweep(0xAB2, 60)
+    }) {
         t.row([
             format!("{:.0}", p.lookback_hours),
             usd(p.mean_bid),
@@ -68,7 +75,9 @@ fn main() {
         "best M",
         "cost $",
     ]);
-    for p in ablations::overhead_sweep(0xAB5) {
+    for p in time_experiment("ablations/overhead_sweep", || {
+        ablations::overhead_sweep(0xAB5)
+    }) {
         t.row([
             format!("{:.0}", p.per_node_secs),
             p.best_m.to_string(),
@@ -84,7 +93,9 @@ fn main() {
         "mean open bids",
         "throughput/slot",
     ]);
-    for p in ablations::collective_sweep(0xAB3) {
+    for p in time_experiment("ablations/collective_sweep", || {
+        ablations::collective_sweep(0xAB3)
+    }) {
         t.row([
             format!("{:.1}", p.strategic_fraction),
             usd(p.median_price),
@@ -102,7 +113,9 @@ fn main() {
             "checkpointing $",
             "bid ratio",
         ]);
-    for p in ablations::checkpoint_sweep(0xAB6) {
+    for p in time_experiment("ablations/checkpoint_sweep", || {
+        ablations::checkpoint_sweep(0xAB6)
+    }) {
         t.row([
             format!("{:.1}", p.body_fraction),
             usd(p.fixed_cost),
@@ -117,7 +130,9 @@ fn main() {
         "mean cost $",
         "cost std $",
     ]);
-    for (bid, mean, std) in ablations::risk_curve(0xAB4, 20) {
+    for (bid, mean, std) in time_experiment("ablations/risk_curve", || {
+        ablations::risk_curve(0xAB4, 20)
+    }) {
         t.row([usd(bid), usd(mean), usd(std)]);
     }
     print!("{}", t.render());

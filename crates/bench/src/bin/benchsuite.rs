@@ -1,0 +1,205 @@
+//! The statistical benchmark suite behind `BENCH_*.json`.
+//!
+//! Runs the named benchmarks that make up the repository's performance
+//! trajectory — the price-model kernels (optimized vs brute-force rescan),
+//! the market auction step, the bidding strategies, and the fig3/table3
+//! experiment replays — and writes the results as a `BENCH_<rev>.json`
+//! report for `benchdiff` to compare against the committed
+//! `BENCH_baseline.json`.
+//!
+//! ```text
+//! benchsuite [--out PATH]        # default: BENCH_<git_rev>.json
+//! SPOTBID_BENCH_BUDGET_MS=100    # reduced-budget mode (CI bench-quick)
+//! ```
+
+use spotbid_bench::experiments::{fig3, table3};
+use spotbid_bench::timing::{fmt_ns, git_rev, Harness};
+use spotbid_core::price_model::{EmpiricalPrices, PriceModel};
+use spotbid_core::{onetime, persistent, JobSpec};
+use spotbid_market::provider::optimal_price;
+use spotbid_market::sim::{BidKind, BidRequest, SpotMarket, WorkModel};
+use spotbid_market::units::{Hours, Price};
+use spotbid_market::MarketParams;
+use spotbid_numerics::empirical::brute;
+use spotbid_numerics::rng::Rng;
+use spotbid_trace::catalog;
+use spotbid_trace::history::TWO_MONTHS_SLOTS;
+use spotbid_trace::synthetic::{generate, SyntheticConfig};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Number of probe prices/probabilities cycled through per query benchmark,
+/// so the measured path sees varying (branch-unpredictable) inputs.
+const PROBES: usize = 256;
+
+fn probe_prices(max: f64) -> Vec<f64> {
+    // Deterministic low-discrepancy sweep of [0, 1.05·max]: golden-ratio
+    // rotation keeps successive probes far apart.
+    let mut x = 0.5f64;
+    (0..PROBES)
+        .map(|_| {
+            x = (x + 0.618_033_988_749_895) % 1.0;
+            x * max * 1.05
+        })
+        .collect()
+}
+
+fn price_model_benches(h: &mut Harness) -> (f64, f64) {
+    let inst = catalog::by_name("r3.xlarge").unwrap();
+    let cfg = SyntheticConfig::for_instance(&inst);
+    let hist = generate(&cfg, 10_000, &mut Rng::seed_from_u64(0xBE7C)).unwrap();
+    let model = EmpiricalPrices::from_history_with_cap(&hist, inst.on_demand).unwrap();
+    let mut sorted = hist.raw();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let probes = probe_prices(hist.max_price().as_f64());
+    let qs: Vec<f64> = (0..PROBES).map(|i| i as f64 / (PROBES - 1) as f64).collect();
+
+    let mut g = h.group("price_model");
+    g.bench("build/10k", || {
+        EmpiricalPrices::from_history_with_cap(black_box(&hist), inst.on_demand).unwrap()
+    });
+
+    let mut i = 0usize;
+    let cdf = g.bench("cdf/10k", || {
+        i = (i + 1) % PROBES;
+        model.cdf(Price::new(black_box(probes[i])))
+    });
+    let mut i = 0usize;
+    let cdf_brute = g.bench("cdf_brute/10k", || {
+        i = (i + 1) % PROBES;
+        brute::cdf(black_box(&sorted), black_box(probes[i]))
+    });
+    let mut i = 0usize;
+    g.bench("quantile/10k", || {
+        i = (i + 1) % PROBES;
+        model.quantile(black_box(qs[i])).unwrap()
+    });
+    let mut i = 0usize;
+    g.bench("expected_price_below/10k", || {
+        i = (i + 1) % PROBES;
+        model.expected_price_below(Price::new(black_box(probes[i])))
+    });
+    let mut i = 0usize;
+    let pm = g.bench("partial_moment/10k", || {
+        i = (i + 1) % PROBES;
+        model.partial_moment(Price::new(black_box(probes[i])))
+    });
+    let mut i = 0usize;
+    let pm_brute = g.bench("partial_moment_brute/10k", || {
+        i = (i + 1) % PROBES;
+        brute::sum_below(black_box(&sorted), black_box(probes[i])) / sorted.len() as f64
+    });
+    g.bench("bid_candidates/10k", || black_box(&model).bid_candidates());
+
+    (
+        cdf_brute.median_ns / cdf.median_ns,
+        pm_brute.median_ns / pm.median_ns,
+    )
+}
+
+fn market_benches(h: &mut Harness) {
+    let params = MarketParams::new(Price::new(0.35), Price::new(0.02), 0.05, 0.02).unwrap();
+    let mut g = h.group("market");
+    let mut d = 0.0f64;
+    g.bench("optimal_price", || {
+        d = (d + 17.0) % 5000.0;
+        optimal_price(black_box(&params), black_box(d))
+    });
+
+    // A steady-state market: 1000 persistent bids at the cap with
+    // effectively infinite work, so every step runs the full survivor loop
+    // at constant demand — the per-slot hot path in isolation.
+    let mut market = SpotMarket::new(params, Hours::from_minutes(5.0));
+    for _ in 0..1000 {
+        market.submit(BidRequest {
+            price: Price::new(0.35),
+            kind: BidKind::Persistent,
+            work: WorkModel::FixedSlots(u32::MAX),
+        });
+    }
+    let mut rng = Rng::seed_from_u64(0x5B1D);
+    g.throughput_items(1000).bench("spot_market_step/1k_bids", || {
+        black_box(market.step(&mut rng));
+    });
+}
+
+fn strategy_benches(h: &mut Harness) {
+    let inst = catalog::by_name("c3.4xlarge").unwrap();
+    let cfg = SyntheticConfig::for_instance(&inst);
+    let hist = generate(&cfg, TWO_MONTHS_SLOTS, &mut Rng::seed_from_u64(1)).unwrap();
+    let model = EmpiricalPrices::from_history_with_cap(&hist, inst.on_demand).unwrap();
+    let j1 = JobSpec::builder(1.0).build().unwrap();
+    let j30 = JobSpec::builder(1.0).recovery_secs(30.0).build().unwrap();
+    let mut g = h.group("strategy");
+    g.bench("onetime_bid/two_months", || {
+        onetime::optimal_bid(black_box(&model), black_box(&j1)).unwrap()
+    });
+    g.bench("persistent_bid/two_months", || {
+        persistent::optimal_bid(black_box(&model), black_box(&j30)).unwrap()
+    });
+}
+
+fn replay_benches(h: &mut Harness) {
+    let mut g = h.group("replay");
+    g.bench("table3/5_instances", || black_box(table3::run(0x7AB3)));
+    g.bench("fig3/4_panels", || black_box(fig3::run(0xF163, 24)));
+}
+
+fn main() -> ExitCode {
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(p) => out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--out requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: benchsuite [--out PATH]");
+                println!("  SPOTBID_BENCH_BUDGET_MS sets the per-benchmark budget (default 500)");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (see --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let out = out.unwrap_or_else(|| PathBuf::from(format!("BENCH_{}.json", git_rev())));
+
+    let mut h = Harness::from_env();
+    let (cdf_speedup, pm_speedup) = price_model_benches(&mut h);
+    market_benches(&mut h);
+    strategy_benches(&mut h);
+    replay_benches(&mut h);
+
+    // The headline the optimization work is judged by: optimized kernels vs
+    // the O(n) rescan at 10k samples.
+    let fmt_pair = |name: &str, speedup: f64| {
+        let opt = h.result(&format!("price_model/{name}/10k")).unwrap();
+        let brute = h.result(&format!("price_model/{name}_brute/10k")).unwrap();
+        println!(
+            "speedup {name} (brute/optimized): {speedup:.1}x ({} -> {})",
+            fmt_ns(brute.median_ns),
+            fmt_ns(opt.median_ns)
+        );
+    };
+    println!();
+    fmt_pair("cdf", cdf_speedup);
+    fmt_pair("partial_moment", pm_speedup);
+
+    match h.write(&out) {
+        Ok(()) => {
+            println!("wrote {} benchmarks to {}", h.results().len(), out.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -3,9 +3,10 @@
 
 use spotbid_bench::experiments::fig3;
 use spotbid_bench::report::Table;
+use spotbid_bench::timing::time_experiment;
 
 fn main() {
-    let panels = fig3::run(0xF163, 24);
+    let panels = time_experiment("fig3", || fig3::run(0xF163, 24));
     let mut t =
         Table::new("Figure 3 — spot-price PDF fits (two-month synthetic traces)").headers([
             "instance",

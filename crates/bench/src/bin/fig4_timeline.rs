@@ -2,9 +2,10 @@
 //! one day of spot prices.
 
 use spotbid_bench::experiments::fig4;
+use spotbid_bench::timing::time_experiment;
 
 fn main() {
-    let f = fig4::run(5, 4.0);
+    let f = time_experiment("fig4", || fig4::run(5, 4.0));
     println!("== Figure 4 — persistent job timeline (r3.xlarge-like day) ==");
     println!(
         "bid = ${:.4}/h   interruptions = {}   completed = {}",

@@ -2,10 +2,12 @@
 
 use spotbid_bench::experiments::fig5;
 use spotbid_bench::report::{pct, usd, Table};
+use spotbid_bench::timing::time_experiment;
 use spotbid_client::experiment::ExperimentConfig;
 
 fn main() {
     let cfg = ExperimentConfig::default();
+    let rows = time_experiment("fig5", || fig5::run(&cfg));
     let mut t = Table::new("Figure 5 — one-time spot vs on-demand cost (1-hour job, 10 trials)")
         .headers([
             "instance",
@@ -19,7 +21,7 @@ fn main() {
             "w/ fallback $",
             "fallback savings",
         ]);
-    for r in fig5::run(&cfg) {
+    for r in rows {
         t.row([
             r.instance,
             usd(r.on_demand_cost),

@@ -4,11 +4,12 @@
 
 use spotbid_bench::experiments::fig6;
 use spotbid_bench::report::{pct, usd, Table};
+use spotbid_bench::timing::time_experiment;
 use spotbid_client::experiment::ExperimentConfig;
 
 fn main() {
     let cfg = ExperimentConfig::default();
-    let rows = fig6::run(&cfg);
+    let rows = time_experiment("fig6", || fig6::run(&cfg));
     for (title, pick) in [
         ("Figure 6(a) — bid price vs one-time", 0usize),
         ("Figure 6(b) — completion time vs one-time", 1),

@@ -3,9 +3,10 @@
 
 use spotbid_bench::experiments::fig7;
 use spotbid_bench::report::{pct, usd, Table};
+use spotbid_bench::timing::time_experiment;
 
 fn main() {
-    let rows = fig7::run(0xF17);
+    let rows = time_experiment("fig7", || fig7::run(0xF17));
     let mut a = Table::new("Figure 7(a) — completion time (hours)").headers([
         "master/slave",
         "M",

@@ -2,8 +2,10 @@
 
 use spotbid_bench::experiments::stability;
 use spotbid_bench::report::Table;
+use spotbid_bench::timing::time_experiment;
 
 fn main() {
+    let rows = time_experiment("prop1_stability", || stability::run(0x57AB));
     let mut t = Table::new("Propositions 1–2 — queue stability and equilibrium").headers([
         "arrivals",
         "mean λ",
@@ -14,7 +16,7 @@ fn main() {
         "neg-drift threshold",
         "|π*(L*) − h(λ)|",
     ]);
-    for r in stability::run(0x57AB) {
+    for r in rows {
         t.row([
             r.arrivals,
             format!("{:.2}", r.lambda_mean),

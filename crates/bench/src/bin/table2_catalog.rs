@@ -2,8 +2,10 @@
 
 use spotbid_bench::experiments::table2;
 use spotbid_bench::report::{usd, Table};
+use spotbid_bench::timing::time_experiment;
 
 fn main() {
+    let rows = time_experiment("table2", table2::run);
     let mut t = Table::new("Table 2 — EC2 instance types (2014 us-east-1)").headers([
         "instance",
         "vCPU",
@@ -12,7 +14,7 @@ fn main() {
         "on-demand $/h",
         "spot floor $/h",
     ]);
-    for r in table2::run() {
+    for r in rows {
         t.row([
             r.name,
             r.vcpu.to_string(),

@@ -2,8 +2,10 @@
 
 use spotbid_bench::experiments::table3;
 use spotbid_bench::report::{usd, Table};
+use spotbid_bench::timing::time_experiment;
 
 fn main() {
+    let rows = time_experiment("table3", || table3::run(0x7AB3));
     let mut t = Table::new("Table 3 — optimal bid prices ($/h), 1-hour job").headers([
         "instance",
         "on-demand",
@@ -12,7 +14,7 @@ fn main() {
         "persistent p* (t_r=30s)",
         "best offline p̂ (10 h)",
     ]);
-    for r in table3::run(0x7AB3) {
+    for r in rows {
         t.row([
             r.instance,
             usd(r.on_demand),

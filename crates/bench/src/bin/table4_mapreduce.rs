@@ -3,8 +3,10 @@
 
 use spotbid_bench::experiments::table4;
 use spotbid_bench::report::{usd, Table};
+use spotbid_bench::timing::time_experiment;
 
 fn main() {
+    let rows = time_experiment("table4", || table4::run(0x7AB4));
     let mut t = Table::new("Table 4 — MapReduce plans (t_r = 30 s, t_o = 60 s)").headers([
         "master",
         "slave",
@@ -15,7 +17,7 @@ fn main() {
         "slave cost $",
         "master/slave",
     ]);
-    for r in table4::run(0x7AB4) {
+    for r in rows {
         t.row([
             r.master_instance,
             r.slave_instance,

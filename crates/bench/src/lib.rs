@@ -18,9 +18,15 @@
 //! | Table 4 | [`experiments::table4`] | `table4_mapreduce` |
 //! | Figure 7 | [`experiments::fig7`] | `fig7_mapreduce` |
 //! | §8 ablations | [`experiments::ablations`] | `ablations` |
+//!
+//! The crate also hosts the performance-trajectory tooling: the
+//! [`timing`] statistical harness, the [`regress`] diff logic, and the
+//! `benchsuite` / `benchdiff` binaries that write and compare
+//! `BENCH_*.json` reports (see DESIGN.md's regression policy).
 
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod regress;
 pub mod report;
 pub mod timing;

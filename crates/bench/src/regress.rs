@@ -1,0 +1,239 @@
+//! Benchmark regression detection: the logic behind the `benchdiff` binary.
+//!
+//! Compares a current `BENCH_*.json` report against a baseline and flags
+//! every benchmark whose median slowed by more than a configurable factor.
+//! The policy (documented in DESIGN.md) is deliberately simple: the
+//! comparison key is the median — robust to scheduler noise — and the
+//! threshold is a *ratio*, so one number covers nanosecond kernels and
+//! multi-second replays alike. Benchmarks present on only one side are
+//! reported but never fail the diff (they are additions/retirements, not
+//! regressions).
+
+use crate::timing::{fmt_ns, BenchResult};
+
+/// Default regression threshold: current median > 1.25× baseline fails.
+pub const DEFAULT_THRESHOLD: f64 = 1.25;
+
+/// Classification of one benchmark's baseline → current movement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Slowed beyond the threshold.
+    Regression,
+    /// Sped up beyond the reciprocal threshold.
+    Improvement,
+    /// Within the threshold band either way.
+    Unchanged,
+    /// Present only in the current report.
+    Added,
+    /// Present only in the baseline.
+    Removed,
+}
+
+/// One benchmark's comparison row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Benchmark name (`group/id`).
+    pub bench: String,
+    /// Baseline median, when the baseline has this benchmark.
+    pub baseline_ns: Option<f64>,
+    /// Current median, when the current report has this benchmark.
+    pub current_ns: Option<f64>,
+    /// `current / baseline` median ratio, when both sides exist.
+    pub ratio: Option<f64>,
+    /// The classification under the report's threshold.
+    pub verdict: Verdict,
+}
+
+/// A full comparison of two reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    /// Per-benchmark rows, in baseline order then added benchmarks.
+    pub rows: Vec<DiffRow>,
+    /// The regression threshold the verdicts were computed under.
+    pub threshold: f64,
+}
+
+impl DiffReport {
+    /// Rows classified as regressions.
+    pub fn regressions(&self) -> impl Iterator<Item = &DiffRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.verdict == Verdict::Regression)
+    }
+
+    /// True when any benchmark regressed past the threshold.
+    pub fn has_regressions(&self) -> bool {
+        self.regressions().next().is_some()
+    }
+
+    /// Renders the comparison as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<44} {:>12} {:>12} {:>8}  verdict\n",
+            "bench", "baseline", "current", "ratio"
+        ));
+        for r in &self.rows {
+            let fmt_side = |v: Option<f64>| v.map(fmt_ns).unwrap_or_else(|| "-".into());
+            let ratio = r
+                .ratio
+                .map(|x| format!("{x:.2}x"))
+                .unwrap_or_else(|| "-".into());
+            let verdict = match r.verdict {
+                Verdict::Regression => "REGRESSION",
+                Verdict::Improvement => "improvement",
+                Verdict::Unchanged => "ok",
+                Verdict::Added => "added",
+                Verdict::Removed => "removed",
+            };
+            out.push_str(&format!(
+                "{:<44} {:>12} {:>12} {:>8}  {verdict}\n",
+                r.bench,
+                fmt_side(r.baseline_ns),
+                fmt_side(r.current_ns),
+                ratio,
+            ));
+        }
+        let n = self.regressions().count();
+        out.push_str(&format!(
+            "{n} regression(s) at threshold {:.2}x\n",
+            self.threshold
+        ));
+        out
+    }
+}
+
+/// Compares `current` against `baseline` medians under `threshold`.
+///
+/// Rows follow baseline order; benchmarks new in `current` are appended in
+/// their report order.
+pub fn diff(baseline: &[BenchResult], current: &[BenchResult], threshold: f64) -> DiffReport {
+    assert!(
+        threshold.is_finite() && threshold >= 1.0,
+        "threshold must be a finite ratio >= 1, got {threshold}"
+    );
+    let mut rows = Vec::with_capacity(baseline.len());
+    for b in baseline {
+        let cur = current.iter().find(|c| c.bench == b.bench);
+        let row = match cur {
+            Some(c) => {
+                let ratio = c.median_ns / b.median_ns;
+                let verdict = if ratio > threshold {
+                    Verdict::Regression
+                } else if ratio < 1.0 / threshold {
+                    Verdict::Improvement
+                } else {
+                    Verdict::Unchanged
+                };
+                DiffRow {
+                    bench: b.bench.clone(),
+                    baseline_ns: Some(b.median_ns),
+                    current_ns: Some(c.median_ns),
+                    ratio: Some(ratio),
+                    verdict,
+                }
+            }
+            None => DiffRow {
+                bench: b.bench.clone(),
+                baseline_ns: Some(b.median_ns),
+                current_ns: None,
+                ratio: None,
+                verdict: Verdict::Removed,
+            },
+        };
+        rows.push(row);
+    }
+    for c in current {
+        if !baseline.iter().any(|b| b.bench == c.bench) {
+            rows.push(DiffRow {
+                bench: c.bench.clone(),
+                baseline_ns: None,
+                current_ns: Some(c.median_ns),
+                ratio: None,
+                verdict: Verdict::Added,
+            });
+        }
+    }
+    DiffReport { rows, threshold }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(bench: &str, median_ns: f64) -> BenchResult {
+        BenchResult {
+            bench: bench.into(),
+            median_ns,
+            p95_ns: median_ns * 1.1,
+            mad_ns: median_ns * 0.01,
+            iters: 100,
+            threads: 4,
+            git_rev: "test".into(),
+            items_per_sec: None,
+        }
+    }
+
+    #[test]
+    fn detects_injected_2x_regression() {
+        let baseline = vec![row("k/cdf", 100.0), row("k/quantile", 200.0)];
+        let current = vec![row("k/cdf", 200.0), row("k/quantile", 210.0)];
+        let d = diff(&baseline, &current, 1.25);
+        assert!(d.has_regressions());
+        let slow: Vec<&str> = d.regressions().map(|r| r.bench.as_str()).collect();
+        assert_eq!(slow, vec!["k/cdf"]);
+        assert_eq!(d.rows[0].verdict, Verdict::Regression);
+        assert!((d.rows[0].ratio.unwrap() - 2.0).abs() < 1e-12);
+        assert_eq!(d.rows[1].verdict, Verdict::Unchanged);
+    }
+
+    #[test]
+    fn improvements_do_not_fail() {
+        let baseline = vec![row("k/cdf", 100.0)];
+        let current = vec![row("k/cdf", 20.0)];
+        let d = diff(&baseline, &current, 1.25);
+        assert!(!d.has_regressions());
+        assert_eq!(d.rows[0].verdict, Verdict::Improvement);
+    }
+
+    #[test]
+    fn threshold_band_is_exclusive() {
+        // Exactly at the threshold is not a regression; just past it is.
+        let baseline = vec![row("k/a", 100.0), row("k/b", 100.0)];
+        let current = vec![row("k/a", 125.0), row("k/b", 125.1)];
+        let d = diff(&baseline, &current, 1.25);
+        assert_eq!(d.rows[0].verdict, Verdict::Unchanged);
+        assert_eq!(d.rows[1].verdict, Verdict::Regression);
+    }
+
+    #[test]
+    fn added_and_removed_are_informational() {
+        let baseline = vec![row("k/old", 100.0)];
+        let current = vec![row("k/new", 100.0)];
+        let d = diff(&baseline, &current, 1.25);
+        assert!(!d.has_regressions());
+        assert_eq!(d.rows.len(), 2);
+        assert_eq!(d.rows[0].verdict, Verdict::Removed);
+        assert_eq!(d.rows[1].verdict, Verdict::Added);
+        let text = d.render();
+        assert!(text.contains("removed") && text.contains("added"));
+        assert!(text.contains("0 regression(s)"));
+    }
+
+    #[test]
+    fn generous_threshold_tolerates_noise() {
+        // The CI bench-quick job runs with a 3x threshold: a 2.5x wobble on
+        // a shared runner passes, a 4x real regression does not.
+        let baseline = vec![row("k/a", 100.0), row("k/b", 100.0)];
+        let current = vec![row("k/a", 250.0), row("k/b", 400.0)];
+        let d = diff(&baseline, &current, 3.0);
+        let slow: Vec<&str> = d.regressions().map(|r| r.bench.as_str()).collect();
+        assert_eq!(slow, vec!["k/b"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be a finite ratio >= 1")]
+    fn rejects_sub_unit_threshold() {
+        diff(&[], &[], 0.5);
+    }
+}

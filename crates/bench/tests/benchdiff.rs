@@ -1,0 +1,106 @@
+//! End-to-end tests of the `benchdiff` binary's exit-code contract:
+//! 0 on clean/improved runs, 1 on a regression past the threshold
+//! (suppressed by `--warn-only`), 2 on usage or I/O errors.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("spotbid_benchdiff_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_report(path: &Path, rows: &[(&str, f64)]) {
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|(bench, median)| {
+            format!(
+                "{{\"bench\":\"{bench}\",\"median_ns\":{median},\"p95_ns\":{median},\
+                 \"mad_ns\":0,\"iters\":100,\"threads\":4,\"git_rev\":\"fixture\"}}"
+            )
+        })
+        .collect();
+    std::fs::write(path, format!("[{}]", entries.join(","))).unwrap();
+}
+
+fn benchdiff(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_benchdiff"))
+        .args(args)
+        .output()
+        .expect("run benchdiff")
+}
+
+#[test]
+fn exits_nonzero_on_injected_2x_regression() {
+    let dir = fixture_dir("regress");
+    let base = dir.join("base.json");
+    let cur = dir.join("cur.json");
+    write_report(&base, &[("k/cdf", 100.0), ("k/step", 500.0)]);
+    write_report(&cur, &[("k/cdf", 200.0), ("k/step", 510.0)]);
+    let out = benchdiff(&[base.to_str().unwrap(), cur.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("k/cdf") && text.contains("REGRESSION"), "{text}");
+    assert!(text.contains("1 regression(s)"), "{text}");
+}
+
+#[test]
+fn warn_only_suppresses_the_failure() {
+    let dir = fixture_dir("warn");
+    let base = dir.join("base.json");
+    let cur = dir.join("cur.json");
+    write_report(&base, &[("k/cdf", 100.0)]);
+    write_report(&cur, &[("k/cdf", 300.0)]);
+    let out = benchdiff(&[base.to_str().unwrap(), cur.to_str().unwrap(), "--warn-only"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("warning"));
+}
+
+#[test]
+fn improvements_and_threshold_pass() {
+    let dir = fixture_dir("improve");
+    let base = dir.join("base.json");
+    let cur = dir.join("cur.json");
+    // One 5x improvement, one wobble within the 3x CI threshold.
+    write_report(&base, &[("k/cdf", 500.0), ("k/step", 100.0)]);
+    write_report(&cur, &[("k/cdf", 100.0), ("k/step", 250.0)]);
+    let out = benchdiff(&[
+        base.to_str().unwrap(),
+        cur.to_str().unwrap(),
+        "--threshold",
+        "3.0",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("improvement"), "{text}");
+}
+
+#[test]
+fn io_and_usage_errors_exit_2() {
+    let dir = fixture_dir("errors");
+    let base = dir.join("base.json");
+    write_report(&base, &[("k/cdf", 100.0)]);
+    let missing = dir.join("nope.json");
+    let out = benchdiff(&[base.to_str().unwrap(), missing.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = benchdiff(&[base.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = benchdiff(&[
+        base.to_str().unwrap(),
+        base.to_str().unwrap(),
+        "--threshold",
+        "0.2",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn identical_reports_are_clean() {
+    let dir = fixture_dir("clean");
+    let base = dir.join("base.json");
+    write_report(&base, &[("k/cdf", 100.0), ("k/step", 500.0)]);
+    let out = benchdiff(&[base.to_str().unwrap(), base.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("0 regression(s)"));
+}

@@ -15,8 +15,8 @@ use spotbid_market::units::Price;
 use spotbid_numerics::rng::Rng;
 use spotbid_numerics::stats::{summarize, Summary};
 use spotbid_trace::catalog::InstanceType;
-use spotbid_trace::history::TWO_MONTHS_SLOTS;
-use spotbid_trace::synthetic::{generate, SyntheticConfig};
+use spotbid_trace::history::{SpotPriceHistory, TWO_MONTHS_SLOTS};
+use spotbid_trace::synthetic::{generate_into, SyntheticConfig};
 
 /// Experiment shape: trials, seeding, and trace sizing.
 #[derive(Debug, Clone, Copy)]
@@ -164,19 +164,30 @@ pub fn run_with_trace_config(
         on_demand: inst.on_demand,
     };
     let total_slots = cfg.warmup_slots + cfg.horizon_slots;
-    let outcomes = spotbid_exec::par_trials(cfg.seed, cfg.trials, |i, rng| {
-        generate(trace_cfg, total_slots, rng)
-            .map_err(ClientError::Trace)
-            .and_then(|h| {
-                client.run_at_with_fallback(
-                    &h,
-                    cfg.warmup_slots,
-                    job,
-                    i as u32,
-                    cfg.on_demand_fallback,
-                )
-            })
-    });
+    // Each worker owns one price buffer that round-trips through the
+    // per-trial `SpotPriceHistory`, so repeated trials reuse the two-month
+    // trace allocation instead of re-allocating it every time. The buffer
+    // is fully overwritten by `generate_into` before any read, keeping the
+    // trial a pure function of `(seed, i)` per the executor's contract.
+    let outcomes = spotbid_exec::par_trials_scratch(
+        cfg.seed,
+        cfg.trials,
+        Vec::new,
+        |i, rng, buf: &mut Vec<Price>| {
+            generate_into(trace_cfg, total_slots, rng, buf).map_err(ClientError::Trace)?;
+            let h = SpotPriceHistory::new(trace_cfg.slot_len, std::mem::take(buf))
+                .map_err(ClientError::Trace)?;
+            let out = client.run_at_with_fallback(
+                &h,
+                cfg.warmup_slots,
+                job,
+                i as u32,
+                cfg.on_demand_fallback,
+            );
+            *buf = h.into_prices();
+            out
+        },
+    );
     let trials = outcomes.into_iter().collect::<Result<Vec<_>, _>>()?;
     aggregate(trials)
 }

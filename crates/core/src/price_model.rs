@@ -69,6 +69,10 @@ pub trait PriceModel {
 pub struct EmpiricalPrices {
     emp: Empirical,
     on_demand: Price,
+    /// Distinct observed prices, deduplicated once at construction —
+    /// `bid_candidates` is called inside the strategies' minimization loops,
+    /// so re-deriving the atom set per call would dominate them.
+    candidates: Vec<Price>,
 }
 
 impl EmpiricalPrices {
@@ -102,10 +106,10 @@ impl EmpiricalPrices {
                 ),
             });
         }
-        let emp = Empirical::from_samples(&history.raw()).map_err(|e| CoreError::InvalidModel {
+        let emp = Empirical::from_vec(history.raw()).map_err(|e| CoreError::InvalidModel {
             what: format!("building empirical distribution: {e}"),
         })?;
-        Ok(EmpiricalPrices { emp, on_demand })
+        Ok(Self::from_parts(emp, on_demand))
     }
 
     /// Builds the model directly from raw price samples.
@@ -126,7 +130,16 @@ impl EmpiricalPrices {
                 ),
             });
         }
-        Ok(EmpiricalPrices { emp, on_demand })
+        Ok(Self::from_parts(emp, on_demand))
+    }
+
+    fn from_parts(emp: Empirical, on_demand: Price) -> Self {
+        let candidates = emp.distinct().iter().copied().map(Price::new).collect();
+        EmpiricalPrices {
+            emp,
+            on_demand,
+            candidates,
+        }
     }
 
     /// Number of underlying samples.
@@ -169,7 +182,7 @@ impl PriceModel for EmpiricalPrices {
     }
 
     fn bid_candidates(&self) -> Vec<Price> {
-        self.emp.atoms().into_iter().map(Price::new).collect()
+        self.candidates.clone()
     }
 }
 
@@ -347,6 +360,53 @@ mod tests {
         let c = m.bid_candidates();
         assert!(!c.is_empty());
         assert!(c.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn empirical_matches_brute_force_rescan_exactly() {
+        // The optimized binary-search/prefix-moment kernels must agree with
+        // an O(n) rescan of the raw history bit-for-bit, across randomized
+        // histories — this is the contract that lets the replay experiments
+        // stay deterministic across the optimization.
+        use spotbid_numerics::empirical::brute;
+        let mut rng = Rng::seed_from_u64(0xB1D5);
+        for round in 0..25 {
+            let cfg = SyntheticConfig::for_instance(&catalog::by_name("r3.xlarge").unwrap());
+            let n = 50 + rng.range_usize(2000);
+            let h = generate(&cfg, n, &mut rng).unwrap();
+            let m = EmpiricalPrices::from_history(&h).unwrap();
+            let mut sorted = h.raw();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for _ in 0..50 {
+                let p = Price::new(rng.range_f64(0.0, 0.4));
+                assert_eq!(
+                    m.cdf(p).to_bits(),
+                    brute::cdf(&sorted, p.as_f64()).to_bits(),
+                    "round {round} cdf at {p}"
+                );
+                assert_eq!(
+                    m.partial_moment(p).to_bits(),
+                    (brute::sum_below(&sorted, p.as_f64()) / n as f64).to_bits(),
+                    "round {round} partial_moment at {p}"
+                );
+                assert_eq!(
+                    m.expected_price_below(p).map(|e| e.as_f64().to_bits()),
+                    brute::mean_below(&sorted, p.as_f64()).map(f64::to_bits),
+                    "round {round} expected_price_below at {p}"
+                );
+                let q = rng.next_f64();
+                assert_eq!(
+                    m.quantile(q).unwrap().as_f64().to_bits(),
+                    brute::quantile(&sorted, q).to_bits(),
+                    "round {round} quantile at {q}"
+                );
+            }
+            // Cached candidates == dedup of the sorted history, in order.
+            let mut dedup = sorted.clone();
+            dedup.dedup();
+            let cands: Vec<f64> = m.bid_candidates().iter().map(|p| p.as_f64()).collect();
+            assert_eq!(cands, dedup, "round {round} candidates");
+        }
     }
 
     #[test]

@@ -163,11 +163,30 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    par_map_scratch_threads(threads, n, || (), |i, ()| f(i))
+}
+
+/// As [`par_map_threads`], with a per-worker scratch value created by
+/// `init` and threaded through every call that worker executes.
+///
+/// The scratch exists to let hot trial loops reuse allocations (price
+/// buffers, trace vectors) instead of reallocating per index — it is an
+/// **allocation cache, not a state channel**. The executor's determinism
+/// guarantee only extends to callers whose `f(i, scratch)` output is
+/// independent of whatever a previous call left in `scratch`; overwrite it
+/// fully before reading.
+pub fn par_map_scratch_threads<T, S, I, F>(threads: usize, n: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(usize, &mut S) -> T + Sync,
+{
     let threads = threads.clamp(1, n.max(1));
     if threads == 1 {
+        let mut scratch = init();
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
-            match catch_unwind(AssertUnwindSafe(|| f(i))) {
+            match catch_unwind(AssertUnwindSafe(|| f(i, &mut scratch))) {
                 Ok(v) => out.push(v),
                 Err(p) => panic!("trial {i} panicked: {}", panic_message(&*p)),
             }
@@ -176,12 +195,13 @@ where
     }
     let next = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
-    let (f, next, abort) = (&f, &next, &abort);
+    let (init, f, next, abort) = (&init, &f, &next, &abort);
     type WorkerOut<T> = (Vec<(usize, T)>, Vec<(usize, String)>);
     let per_worker: Vec<WorkerOut<T>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(move || {
+                    let mut scratch = init();
                     let mut out = Vec::new();
                     let mut panics = Vec::new();
                     loop {
@@ -195,7 +215,7 @@ where
                         if i >= n {
                             break;
                         }
-                        match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                        match catch_unwind(AssertUnwindSafe(|| f(i, &mut scratch))) {
                             Ok(v) => out.push((i, v)),
                             Err(p) => {
                                 panics.push((i, panic_message(&*p)));
@@ -257,6 +277,44 @@ where
     par_map_threads(threads, n, move |i| {
         let mut rng = streams[i].clone();
         f(i, &mut rng)
+    })
+}
+
+/// As [`par_trials`], with a per-worker scratch value created by `init`.
+///
+/// This is the allocation-hoisting variant for replay loops that build a
+/// large buffer (e.g. a two-month price trace) per trial: each worker
+/// creates one scratch with `init` and reuses it across every trial it
+/// executes. See [`par_map_scratch_threads`] for the determinism contract —
+/// `f` must fully overwrite the scratch before reading it, so its output
+/// stays a pure function of `(seed, i)`.
+pub fn par_trials_scratch<T, S, I, F>(seed: u64, n: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(usize, &mut Rng, &mut S) -> T + Sync,
+{
+    par_trials_scratch_threads(thread_count(), seed, n, init, f)
+}
+
+/// As [`par_trials_scratch`], with an explicit worker count.
+pub fn par_trials_scratch_threads<T, S, I, F>(
+    threads: usize,
+    seed: u64,
+    n: usize,
+    init: I,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(usize, &mut Rng, &mut S) -> T + Sync,
+{
+    let streams = RngStreams::new(seed).streams(n);
+    let streams = &streams;
+    par_map_scratch_threads(threads, n, init, move |i, scratch| {
+        let mut rng = streams[i].clone();
+        f(i, &mut rng, scratch)
     })
 }
 
@@ -386,5 +444,46 @@ mod tests {
         let a = with_threads(1, || par_trials(5, 32, |_, rng| rng.next_u64()));
         let b = with_threads(6, || par_trials(5, 32, |_, rng| rng.next_u64()));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scratch_reuses_buffers_and_stays_deterministic() {
+        // Each trial fills the scratch buffer from its substream and reports
+        // a digest; the result must be thread-count invariant even though
+        // workers reuse (and carry dirty contents between) buffers.
+        let run = |threads| {
+            par_trials_scratch_threads(threads, 0x5C4A, 48, Vec::new, |i, rng, buf: &mut Vec<u64>| {
+                buf.clear();
+                for _ in 0..(i % 7) + 1 {
+                    buf.push(rng.next_u64());
+                }
+                buf.iter().fold(0u64, |a, &x| a.wrapping_mul(31).wrapping_add(x))
+            })
+        };
+        let serial = run(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(run(threads), serial, "threads = {threads}");
+        }
+        // And the scratch path agrees with the plain path when the closure
+        // ignores the scratch entirely.
+        let plain = par_trials_threads(3, 0x5C4A, 48, |_i, rng| rng.next_u64());
+        let scratched =
+            par_trials_scratch_threads(3, 0x5C4A, 48, || (), |_i, rng, ()| rng.next_u64());
+        assert_eq!(plain, scratched);
+    }
+
+    #[test]
+    #[should_panic(expected = "trial 2 panicked")]
+    fn scratch_panic_reports_trial_index() {
+        par_map_scratch_threads(
+            4,
+            8,
+            || 0u32,
+            |i, s| {
+                *s += 1;
+                assert!(i != 2, "scratch boom");
+                i
+            },
+        );
     }
 }

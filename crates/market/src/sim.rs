@@ -120,8 +120,9 @@ pub struct SpotMarket {
     records: Vec<BidRecord>,
     /// Indices into `records` of bids still in the system.
     open: Vec<usize>,
-    /// Bids submitted since the last step, waiting for the next auction.
-    incoming: Vec<usize>,
+    /// Allocation cache for `step`'s survivor list: holds last slot's `open`
+    /// vector so stepping a long-lived market does not allocate per slot.
+    scratch: Vec<usize>,
 }
 
 impl SpotMarket {
@@ -133,7 +134,7 @@ impl SpotMarket {
             t: 0,
             records: Vec::new(),
             open: Vec::new(),
-            incoming: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 
@@ -161,7 +162,6 @@ impl SpotMarket {
             closed_at: None,
         });
         let idx = self.records.len() - 1;
-        self.incoming.push(idx);
         self.open.push(idx);
         id
     }
@@ -185,7 +185,6 @@ impl SpotMarket {
     /// progresses work, and charges running bids.
     pub fn step(&mut self, rng: &mut Rng) -> SlotReport {
         let t = self.t;
-        let is_new = |idx: usize, incoming: &[usize]| incoming.contains(&idx);
 
         // Demand: every open bid competes (carried-over pending persistent
         // bids, running instances re-asserting their bids, and new
@@ -203,7 +202,9 @@ impl SpotMarket {
             terminated: Vec::new(),
         };
 
-        let mut still_open = Vec::with_capacity(self.open.len());
+        let mut still_open = std::mem::take(&mut self.scratch);
+        still_open.clear();
+        still_open.reserve(self.open.len());
         for &idx in &self.open {
             let accepted = self.records[idx].request.price >= price;
             let was_running = self.records[idx].phase == BidPhase::Running;
@@ -252,12 +253,10 @@ impl SpotMarket {
                     }
                 }
             }
-            // `is_new` retained for clarity of intent; new and carried-over
-            // bids follow identical auction rules.
-            let _ = is_new;
         }
-        self.open = still_open;
-        self.incoming.clear();
+        // Swap the survivor list in and keep the old vector as next slot's
+        // scratch, so steady-state stepping reuses both allocations.
+        self.scratch = std::mem::replace(&mut self.open, still_open);
         self.t += 1;
         report
     }

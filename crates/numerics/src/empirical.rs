@@ -4,15 +4,23 @@
 //! last two months of spot prices (Figure 1's "price monitor"). Everything
 //! the strategies need — `F(p)`, quantiles, `E[π | π ≤ p]` (Eq. 9), and the
 //! set of distinct prices at which those quantities change — is computed
-//! exactly over the sample atoms via prefix sums, so each query is a binary
-//! search, not a pass over the data.
+//! exactly over the sample atoms: construction dedups the sorted samples
+//! into atoms once and records cumulative counts and prefix sums at the
+//! atom boundaries, so each query is a binary search over the (usually much
+//! smaller) atom set, not a pass over the data. The [`brute`] module keeps
+//! O(n) rescan reference implementations for validation and benchmarking.
 
 use crate::{NumericsError, Result};
 
 /// An empirical distribution over a fixed set of `f64` samples.
 ///
-/// Construction sorts the samples once and precomputes prefix sums; queries
-/// are `O(log n)`.
+/// Construction sorts the samples once, dedups them into atoms, and
+/// precomputes cumulative counts plus prefix sums at the atom boundaries;
+/// queries are `O(log k)` for `k` distinct values. All query results are
+/// bit-identical to a left-to-right prefix sum over the full sorted sample
+/// vector (the boundary sums are recorded *during* that accumulation, not
+/// recomputed per atom), so swapping in the atom index cannot perturb any
+/// downstream f64.
 ///
 /// # Example
 ///
@@ -26,8 +34,13 @@ use crate::{NumericsError, Result};
 pub struct Empirical {
     /// Sorted samples.
     sorted: Vec<f64>,
-    /// `prefix[i]` = sum of the first `i` sorted samples.
-    prefix: Vec<f64>,
+    /// Distinct sample values, ascending (the distribution's atoms).
+    atoms: Vec<f64>,
+    /// `atom_cum[i]` = number of samples `<= atoms[i - 1]` (`atom_cum[0] = 0`).
+    atom_cum: Vec<usize>,
+    /// `atom_prefix[i]` = sum of the first `atom_cum[i]` sorted samples,
+    /// accumulated left-to-right over the full sorted vector.
+    atom_prefix: Vec<f64>,
 }
 
 impl Empirical {
@@ -39,28 +52,49 @@ impl Empirical {
     /// [`NumericsError::EmptyInput`] for an empty slice, or
     /// [`NumericsError::InvalidParameter`] if any sample is non-finite.
     pub fn from_samples(samples: &[f64]) -> Result<Self> {
-        if samples.is_empty() {
+        Self::from_vec(samples.to_vec())
+    }
+
+    /// As [`from_samples`](Self::from_samples), but takes ownership of the
+    /// vector and sorts it in place, avoiding one O(n) copy — the model
+    /// rebuild in replay loops constructs an `Empirical` per trial, so the
+    /// copy is on a hot path.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`from_samples`](Self::from_samples).
+    pub fn from_vec(mut sorted: Vec<f64>) -> Result<Self> {
+        if sorted.is_empty() {
             return Err(NumericsError::EmptyInput {
                 routine: "Empirical::from_samples",
             });
         }
-        if let Some(&bad) = samples.iter().find(|x| !x.is_finite()) {
+        if let Some(&bad) = sorted.iter().find(|x| !x.is_finite()) {
             return Err(NumericsError::InvalidParameter {
                 name: "samples",
                 value: bad,
                 requirement: "all samples must be finite",
             });
         }
-        let mut sorted = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
-        let mut prefix = Vec::with_capacity(sorted.len() + 1);
+        let mut atoms = Vec::new();
+        let mut atom_cum = vec![0usize];
+        let mut atom_prefix = vec![0.0f64];
         let mut acc = 0.0;
-        prefix.push(0.0);
-        for &x in &sorted {
+        for (i, &x) in sorted.iter().enumerate() {
             acc += x;
-            prefix.push(acc);
+            if i + 1 == sorted.len() || sorted[i + 1] != x {
+                atoms.push(x);
+                atom_cum.push(i + 1);
+                atom_prefix.push(acc);
+            }
         }
-        Ok(Empirical { sorted, prefix })
+        Ok(Empirical {
+            sorted,
+            atoms,
+            atom_cum,
+            atom_prefix,
+        })
     }
 
     /// Number of samples.
@@ -88,9 +122,14 @@ impl Empirical {
         &self.sorted
     }
 
-    /// Number of samples `<= x` (rank), via binary search.
+    /// Number of samples `<= x` (rank), via binary search over the atoms.
     pub fn count_le(&self, x: f64) -> usize {
-        self.sorted.partition_point(|&s| s <= x)
+        self.atom_cum[self.atom_rank(x)]
+    }
+
+    /// Number of atoms `<= x` — the index into the boundary arrays.
+    fn atom_rank(&self, x: f64) -> usize {
+        self.atoms.partition_point(|&a| a <= x)
     }
 
     /// Empirical CDF: fraction of samples `<= x`.
@@ -117,7 +156,7 @@ impl Empirical {
 
     /// Sample mean.
     pub fn mean(&self) -> f64 {
-        self.prefix[self.len()] / self.len() as f64
+        self.atom_prefix[self.atoms.len()] / self.len() as f64
     }
 
     /// Sample variance (population form, divisor `n`).
@@ -131,30 +170,34 @@ impl Empirical {
     /// This is Eq. 9's expected charged price for a bid `x`, computed
     /// exactly over the sample atoms.
     pub fn mean_below(&self, x: f64) -> Option<f64> {
-        let k = self.count_le(x);
+        let r = self.atom_rank(x);
+        let k = self.atom_cum[r];
         if k == 0 {
             None
         } else {
-            Some(self.prefix[k] / k as f64)
+            Some(self.atom_prefix[r] / k as f64)
         }
     }
 
     /// Partial sum `Σ_{s <= x} s` — the empirical analogue of
     /// `∫_{lo}^{x} t f(t) dt` scaled by `n`.
     pub fn sum_below(&self, x: f64) -> f64 {
-        self.prefix[self.count_le(x)]
+        self.atom_prefix[self.atom_rank(x)]
     }
 
     /// The distinct sample values, ascending. The strategies' cost curves
     /// only change at these atoms, so exact minimization scans this set.
+    ///
+    /// Allocates a fresh vector; use [`distinct`](Self::distinct) to borrow
+    /// the cached atom set instead.
     pub fn atoms(&self) -> Vec<f64> {
-        let mut atoms = Vec::new();
-        for &x in &self.sorted {
-            if atoms.last() != Some(&x) {
-                atoms.push(x);
-            }
-        }
-        atoms
+        self.atoms.clone()
+    }
+
+    /// The distinct sample values, ascending, borrowed from the atom index
+    /// built at construction.
+    pub fn distinct(&self) -> &[f64] {
+        &self.atoms
     }
 
     /// Equal-width histogram over `[min, max]` with `bins` bins.
@@ -188,6 +231,60 @@ impl Empirical {
         let centers = (0..bins).map(|i| lo + (i as f64 + 0.5) * width).collect();
         let densities = counts.into_iter().map(|c| c as f64 / (n * width)).collect();
         Ok((centers, densities))
+    }
+}
+
+/// Brute-force O(n) rescan reference implementations of the [`Empirical`]
+/// queries.
+///
+/// These exist to (a) pin the optimized binary-search/prefix-sum paths to an
+/// obviously-correct definition in randomized equality tests, and (b) give
+/// the benchmark suite an honest "what the naive kernel costs" baseline.
+/// All functions take the *sorted* sample slice and accumulate left-to-right
+/// so floating-point results are bit-identical to the optimized paths.
+pub mod brute {
+    /// Rank by linear scan: number of samples `<= x`.
+    pub fn count_le(sorted: &[f64], x: f64) -> usize {
+        sorted.iter().filter(|&&s| s <= x).count()
+    }
+
+    /// Empirical CDF by full rescan.
+    pub fn cdf(sorted: &[f64], x: f64) -> f64 {
+        count_le(sorted, x) as f64 / sorted.len() as f64
+    }
+
+    /// Partial sum `Σ_{s <= x} s` by left-to-right rescan.
+    pub fn sum_below(sorted: &[f64], x: f64) -> f64 {
+        let mut acc = 0.0;
+        for &s in sorted {
+            if s > x {
+                break;
+            }
+            acc += s;
+        }
+        acc
+    }
+
+    /// Conditional mean `E[X | X <= x]` by rescan, `None` if no sample
+    /// qualifies.
+    pub fn mean_below(sorted: &[f64], x: f64) -> Option<f64> {
+        let k = count_le(sorted, x);
+        if k == 0 {
+            None
+        } else {
+            Some(sum_below(sorted, x) / k as f64)
+        }
+    }
+
+    /// Quantile (lower semantics) by linear scan for the k-th order
+    /// statistic; `q` must already be validated to `[0, 1]`.
+    pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+        if q <= 0.0 {
+            return sorted[0];
+        }
+        let n = sorted.len();
+        let k = ((q * n as f64).ceil() as usize).clamp(1, n);
+        sorted[k - 1]
     }
 }
 
@@ -347,6 +444,57 @@ mod randomized_tests {
             let d = Empirical::from_samples(&xs).unwrap();
             let v = d.quantile(q).unwrap();
             assert!(xs.contains(&v));
+        }
+    }
+
+    /// Histories with heavy atom repetition (quantized prices, like real spot
+    /// traces) exercise the dedup'd boundary arrays: every query must equal
+    /// the brute-force rescan *bit for bit*, not just approximately.
+    #[test]
+    fn atom_index_matches_brute_force_exactly() {
+        let mut rng = Rng::seed_from_u64(0xE4B4);
+        for round in 0..200 {
+            // Quantize to a coarse grid so duplicates are common.
+            let xs: Vec<f64> = samples(&mut rng, 300, 0.0, 1.0)
+                .into_iter()
+                .map(|x| (x * 50.0).floor() / 50.0)
+                .collect();
+            let d = Empirical::from_samples(&xs).unwrap();
+            for _ in 0..20 {
+                let probe = rng.range_f64(-0.1, 1.1);
+                assert_eq!(
+                    d.count_le(probe),
+                    brute::count_le(d.sorted(), probe),
+                    "round {round} probe {probe}"
+                );
+                assert_eq!(d.cdf(probe).to_bits(), brute::cdf(d.sorted(), probe).to_bits());
+                assert_eq!(
+                    d.sum_below(probe).to_bits(),
+                    brute::sum_below(d.sorted(), probe).to_bits()
+                );
+                assert_eq!(
+                    d.mean_below(probe).map(f64::to_bits),
+                    brute::mean_below(d.sorted(), probe).map(f64::to_bits)
+                );
+                let q = rng.next_f64();
+                assert_eq!(
+                    d.quantile(q).unwrap().to_bits(),
+                    brute::quantile(d.sorted(), q).to_bits()
+                );
+            }
+            assert_eq!(d.mean().to_bits(), brute::mean_below(d.sorted(), d.max()).unwrap().to_bits());
+            assert_eq!(d.atoms(), d.distinct());
+        }
+    }
+
+    #[test]
+    fn from_vec_matches_from_samples() {
+        let mut rng = Rng::seed_from_u64(0xE4B5);
+        for _ in 0..50 {
+            let xs = samples(&mut rng, 150, -10.0, 10.0);
+            let a = Empirical::from_samples(&xs).unwrap();
+            let b = Empirical::from_vec(xs).unwrap();
+            assert_eq!(a, b);
         }
     }
 }

@@ -120,6 +120,13 @@ impl SpotPriceHistory {
         self.prices.iter().map(|p| p.as_f64()).collect()
     }
 
+    /// Consumes the history, returning its price vector — lets replay loops
+    /// round-trip one buffer through [`SpotPriceHistory`] per trial instead
+    /// of allocating a fresh trace each time.
+    pub fn into_prices(self) -> Vec<Price> {
+        self.prices
+    }
+
     /// Minimum price observed.
     pub fn min_price(&self) -> Price {
         self.prices.iter().copied().fold(self.prices[0], Price::min)

@@ -185,13 +185,35 @@ pub fn generate(
     n_slots: usize,
     rng: &mut Rng,
 ) -> Result<SpotPriceHistory, TraceError> {
+    let mut prices = Vec::new();
+    generate_into(cfg, n_slots, rng, &mut prices)?;
+    SpotPriceHistory::new(cfg.slot_len, prices)
+}
+
+/// As [`generate`], but fills a caller-supplied buffer (cleared first)
+/// instead of allocating one — replay loops generate a fresh two-month
+/// trace per trial, so reusing the buffer removes the dominant per-trial
+/// allocation. The RNG call sequence is identical to [`generate`]'s, so a
+/// trial's prices depend only on the generator state, never on the buffer.
+///
+/// # Errors
+///
+/// Propagates configuration validation errors; `n_slots == 0` is invalid.
+/// The buffer is left cleared on error.
+pub fn generate_into(
+    cfg: &SyntheticConfig,
+    n_slots: usize,
+    rng: &mut Rng,
+    prices: &mut Vec<Price>,
+) -> Result<(), TraceError> {
+    prices.clear();
     cfg.validate()?;
     if n_slots == 0 {
         return Err(TraceError::InvalidHistory {
             what: "n_slots must be positive".into(),
         });
     }
-    let mut prices = Vec::with_capacity(n_slots);
+    prices.reserve(n_slots);
     let mut current = cfg.draw(rng, 0);
     for slot in 0..n_slots {
         if !prices.is_empty() && rng.chance(cfg.persistence) {
@@ -201,7 +223,7 @@ pub fn generate(
         }
         prices.push(current);
     }
-    SpotPriceHistory::new(cfg.slot_len, prices)
+    Ok(())
 }
 
 /// Generates `n_slots` of history by sampling the Section 4 equilibrium
@@ -356,6 +378,22 @@ mod tests {
         let a = generate(&cfg(), 100, &mut Rng::seed_from_u64(7)).unwrap();
         let b = generate(&cfg(), 100, &mut Rng::seed_from_u64(7)).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generate_into_matches_generate_despite_dirty_buffer() {
+        let fresh = generate(&cfg(), 500, &mut Rng::seed_from_u64(9)).unwrap();
+        // Reuse one buffer across trials, pre-polluted with garbage.
+        let mut buf = vec![Price::new(99.0); 3];
+        generate_into(&cfg(), 500, &mut Rng::seed_from_u64(9), &mut buf).unwrap();
+        assert_eq!(buf, fresh.prices());
+        // A second, differently-sized fill through the same buffer.
+        let fresh2 = generate(&cfg(), 120, &mut Rng::seed_from_u64(10)).unwrap();
+        generate_into(&cfg(), 120, &mut Rng::seed_from_u64(10), &mut buf).unwrap();
+        assert_eq!(buf, fresh2.prices());
+        // Errors leave the buffer cleared, not stale.
+        assert!(generate_into(&cfg(), 0, &mut Rng::seed_from_u64(1), &mut buf).is_err());
+        assert!(buf.is_empty());
     }
 
     #[test]
