@@ -146,6 +146,46 @@ fn replay_benches(h: &mut Harness) {
     g.bench("fig3/4_panels", || black_box(fig3::run(0xF163, 24)));
 }
 
+fn engine_benches(h: &mut Harness) {
+    use spotbid_core::strategy::BiddingStrategy;
+    use spotbid_core::BidDecision;
+    use spotbid_engine::{run_closed_loop, ClosedLoopConfig};
+
+    let inst = catalog::by_name("r3.xlarge").unwrap();
+    let cfg = SyntheticConfig::for_instance(&inst);
+    let hist = generate(&cfg, 600, &mut Rng::seed_from_u64(0xE61E)).unwrap();
+    let job = JobSpec::builder(2.0).recovery_secs(30.0).build().unwrap();
+    let decision = BidDecision::Spot {
+        price: hist.mean_price(),
+        persistent: true,
+    };
+    // The kernel-driven single-job replay: one driver, one billing
+    // observer, 600 slots — the per-slot cost of the event-buffered loop.
+    h.group("engine")
+        .throughput_items(600)
+        .bench("run_job/600_slots", || {
+            spotbid_engine::run_job(black_box(&hist), black_box(decision), &job, 0).unwrap()
+        });
+    let mut g = h.group("engine");
+
+    // A small multi-tenant closed loop: 4 strategy-driven bidders in an
+    // endogenous market, warmup + horizon = 160 market steps.
+    let loop_cfg = ClosedLoopConfig {
+        params: MarketParams::new(Price::new(0.35), Price::new(0.02), 0.05, 0.05).unwrap(),
+        slot_len: Hours::from_minutes(5.0),
+        on_demand: Price::new(0.35),
+        job: JobSpec::builder(1.0).recovery_secs(60.0).build().unwrap(),
+        warmup_slots: 40,
+        horizon_slots: 120,
+        background_arrivals: 3.0,
+        max_resubmissions: 4,
+    };
+    let strategies = [BiddingStrategy::FixedBid(Price::new(0.30)); 4];
+    g.bench("closed_loop/4_tenants_160_slots", || {
+        run_closed_loop(black_box(&strategies), black_box(&loop_cfg), 0xB1D).unwrap()
+    });
+}
+
 fn main() -> ExitCode {
     let mut out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
@@ -176,6 +216,7 @@ fn main() -> ExitCode {
     market_benches(&mut h);
     strategy_benches(&mut h);
     replay_benches(&mut h);
+    engine_benches(&mut h);
 
     // The headline the optimization work is judged by: optimized kernels vs
     // the O(n) rescan at 10k samples.

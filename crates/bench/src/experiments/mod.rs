@@ -1,6 +1,7 @@
 //! One module per reproduced table/figure.
 
 pub mod ablations;
+pub mod closedloop;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;

@@ -94,6 +94,18 @@ impl From<spotbid_trace::TraceError> for ClientError {
     }
 }
 
+impl From<spotbid_engine::EngineError> for ClientError {
+    fn from(e: spotbid_engine::EngineError) -> Self {
+        match e {
+            spotbid_engine::EngineError::Core(c) => ClientError::Core(c),
+            spotbid_engine::EngineError::Billing { what } => ClientError::Billing { what },
+            spotbid_engine::EngineError::InvalidConfig { what } => {
+                ClientError::InvalidConfig { what }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,159 +1,29 @@
 //! Trace-replay runtime: runs one job against a spot-price series under
 //! the exact EC2 spot rules of §3.2.
 //!
+//! Since the kernel refactor this module is a thin adapter: the replay
+//! loops live in `spotbid-engine` (`spotbid_engine::single`), where one
+//! `SpotJobDriver` advanced by the kernel implements both the plain and
+//! the resilient semantics. The functions here only translate
+//! `EngineError` into [`ClientError`]; the test suite below predates the
+//! refactor and pins the adapters to the original hand-rolled loops'
+//! behaviour bit for bit (the engine's own `tests/` directory additionally
+//! proves parity against frozen copies of the legacy implementations).
+//!
 //! The user here is a price-taker (the paper's standing assumption): the
 //! price series is given, and the runtime walks it slot by slot, driving a
-//! [`crate::job_monitor::JobMonitor`] and a
-//! [`crate::billing::Bill`]. One-time requests exit on the first
-//! rejection after starting (and are rejected outright if the first slot's
-//! price is above the bid); persistent requests ride out interruptions.
+//! [`crate::job_monitor::JobMonitor`] and a [`crate::billing::Bill`].
+//! One-time requests exit on the first rejection after starting (and are
+//! rejected outright if the first slot's price is above the bid);
+//! persistent requests ride out interruptions.
 
-use crate::billing::Bill;
-use crate::job_monitor::{JobMonitor, JobState};
 use crate::ClientError;
 use spotbid_core::{BidDecision, JobSpec};
-use spotbid_market::units::{Cost, Hours, Price};
+use spotbid_market::units::Price;
 use spotbid_trace::SpotPriceHistory;
 
-/// How a job's run ended.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum RunStatus {
-    /// All work completed on spot instances.
-    Completed,
-    /// One-time request terminated (or rejected) before completion.
-    TerminatedEarly,
-    /// The price series ended before the job could finish.
-    HistoryExhausted,
-    /// Ran on an on-demand instance (no spot involvement).
-    OnDemand,
-    /// Started on spot, was terminated/stranded, and finished the
-    /// remainder on an on-demand instance (§5.1's "users may default to
-    /// on-demand instances if the jobs are not completed").
-    CompletedWithFallback,
-    /// A resilient run hit its fault budget (too many reclamations or too
-    /// long a price-feed outage) and gracefully degraded: the remaining
-    /// work was finished on an on-demand instance.
-    DegradedToOnDemand,
-    /// A resilient run lost its price feed for longer than the recovery
-    /// policy tolerates and had no on-demand fallback: the client can no
-    /// longer manage its bid and gives up.
-    FeedLost,
-}
-
-/// Full accounting of one job run.
-#[derive(Debug, Clone, PartialEq)]
-pub struct JobOutcome {
-    /// How the run ended.
-    pub status: RunStatus,
-    /// Wall-clock time from submission to completion (or to the end of the
-    /// run for non-completed jobs).
-    pub completion_time: Hours,
-    /// Time on instances (execution + recovery replays).
-    pub running_time: Hours,
-    /// Idle time (outbid after starting) plus pre-start waiting.
-    pub idle_time: Hours,
-    /// Interruptions suffered.
-    pub interruptions: u32,
-    /// Total cost.
-    pub cost: Cost,
-    /// Itemized charges.
-    pub bill: Bill,
-    /// The price actually bid (`None` for on-demand runs).
-    pub bid: Option<Price>,
-    /// Execution work still undone when the run ended (zero when
-    /// completed).
-    pub remaining_work: Hours,
-    /// Bid-independent capacity reclamations suffered while running
-    /// (always zero outside the resilient runtime).
-    pub reclamations: u32,
-    /// Slots during which the price feed was unobservable (always zero
-    /// outside the resilient runtime).
-    pub feed_outages: u32,
-}
-
-impl JobOutcome {
-    /// Whether the job's work was completed (on spot or on demand).
-    pub fn completed(&self) -> bool {
-        matches!(
-            self.status,
-            RunStatus::Completed
-                | RunStatus::OnDemand
-                | RunStatus::CompletedWithFallback
-                | RunStatus::DegradedToOnDemand
-        )
-    }
-}
-
-/// A per-slot view of the spot market as seen by a (possibly degraded)
-/// client. The clean implementation on [`SpotPriceHistory`] observes the
-/// true price every slot and is never reclaimed; fault-injection layers
-/// substitute views where observation and truth diverge.
-pub trait MarketView {
-    /// Number of slots in the view.
-    fn len(&self) -> usize;
-
-    /// Whether the view has no slots.
-    fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// The price the client *observes* for `slot`; `None` models a price
-    /// feed outage (dropped record, NaN/negative observation discarded by
-    /// validation, delayed telemetry).
-    fn observed_price(&self, slot: usize) -> Option<Price>;
-
-    /// The true provider-side price for `slot`, which governs acceptance
-    /// and charging regardless of what the client sees.
-    fn true_price(&self, slot: usize) -> Price;
-
-    /// Whether the provider reclaims the client's capacity this slot
-    /// regardless of the bid (§3.2's interruptions are price-driven; real
-    /// EC2 also reclaims for its own reasons).
-    fn reclaimed(&self, slot: usize) -> bool;
-}
-
-impl MarketView for SpotPriceHistory {
-    fn len(&self) -> usize {
-        self.prices().len()
-    }
-
-    fn observed_price(&self, slot: usize) -> Option<Price> {
-        Some(self.prices()[slot])
-    }
-
-    fn true_price(&self, slot: usize) -> Price {
-        self.prices()[slot]
-    }
-
-    fn reclaimed(&self, _slot: usize) -> bool {
-        false
-    }
-}
-
-/// How much degradation a resilient run tolerates before giving up on
-/// spot, and what it falls back to.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct RecoveryPolicy {
-    /// Consecutive feed-outage slots tolerated before the client declares
-    /// the feed lost.
-    pub max_feed_outage_slots: u32,
-    /// Capacity reclamations tolerated before the client abandons spot.
-    pub max_reclaims: u32,
-    /// On-demand price to finish the job at when the fault budget is
-    /// exhausted (or the run otherwise fails to complete). `None` means no
-    /// fallback: the run reports its failure status instead.
-    pub on_demand_fallback: Option<Price>,
-}
-
-impl Default for RecoveryPolicy {
-    fn default() -> Self {
-        RecoveryPolicy {
-            max_feed_outage_slots: 3,
-            max_reclaims: 4,
-            on_demand_fallback: None,
-        }
-    }
-}
+pub use spotbid_engine::single::{JobOutcome, RecoveryPolicy, RunStatus};
+pub use spotbid_engine::source::MarketView;
 
 /// Runs a job against `future` starting at its first slot, under the given
 /// decision. The billing `tag` labels line items (use distinct tags for
@@ -168,80 +38,7 @@ pub fn run_job(
     job: &JobSpec,
     tag: u32,
 ) -> Result<JobOutcome, ClientError> {
-    job.validate().map_err(ClientError::Core)?;
-    match decision {
-        BidDecision::OnDemand { price } => {
-            let mut bill = Bill::new();
-            bill.charge_on_demand(0, price, job.execution, tag);
-            Ok(JobOutcome {
-                status: RunStatus::OnDemand,
-                completion_time: job.execution,
-                running_time: job.execution,
-                idle_time: Hours::ZERO,
-                interruptions: 0,
-                cost: bill.total(),
-                bill,
-                bid: None,
-                remaining_work: Hours::ZERO,
-                reclamations: 0,
-                feed_outages: 0,
-            })
-        }
-        BidDecision::Spot { price, persistent } => run_spot(future, price, persistent, job, tag),
-    }
-}
-
-fn run_spot(
-    future: &SpotPriceHistory,
-    bid: Price,
-    persistent: bool,
-    job: &JobSpec,
-    tag: u32,
-) -> Result<JobOutcome, ClientError> {
-    let mut monitor = JobMonitor::new(*job);
-    let mut bill = Bill::new();
-    let mut status = RunStatus::HistoryExhausted;
-    for (slot, &spot) in future.prices().iter().enumerate() {
-        let accepted = bid >= spot;
-        let started = monitor.state() != JobState::Waiting;
-        if !accepted && !persistent && started {
-            // A running/idle one-time request with the price above its bid
-            // is terminated by the provider and exits the system.
-            monitor.advance(false);
-            status = RunStatus::TerminatedEarly;
-            break;
-        }
-        if !accepted && !persistent && !started {
-            // A one-time request submitted below the current spot price is
-            // rejected outright (§3.2).
-            status = RunStatus::TerminatedEarly;
-            break;
-        }
-        let event = monitor.advance(accepted);
-        if event.used > Hours::ZERO {
-            // Charged at the spot price for the time actually used
-            // (the model's per-slot charging; partial final slots are
-            // charged pro-rata).
-            bill.charge_spot(slot as u64, spot, event.used, tag);
-        }
-        if event.finished {
-            status = RunStatus::Completed;
-            break;
-        }
-    }
-    Ok(JobOutcome {
-        status,
-        completion_time: monitor.elapsed(),
-        running_time: monitor.running_time(),
-        idle_time: monitor.idle_time() + monitor.waiting_time(),
-        interruptions: monitor.interruptions(),
-        cost: bill.total(),
-        bill,
-        bid: Some(bid),
-        remaining_work: monitor.remaining_work(),
-        reclamations: 0,
-        feed_outages: 0,
-    })
+    spotbid_engine::run_job(future, decision, job, tag).map_err(ClientError::from)
 }
 
 /// Runs a job with the §5.1 fallback: a spot run that ends without
@@ -259,51 +56,15 @@ pub fn run_job_with_fallback(
     tag: u32,
     on_demand: Price,
 ) -> Result<JobOutcome, ClientError> {
-    let mut out = run_job(future, decision, job, tag)?;
-    if out.completed() {
-        return Ok(out);
-    }
-    let started = out.running_time > Hours::ZERO;
-    let fallback_work = out.remaining_work + if started { job.recovery } else { Hours::ZERO };
-    out.bill.charge_on_demand(
-        future.len() as u64, // after the spot portion
-        on_demand,
-        fallback_work,
-        tag,
-    );
-    out.status = RunStatus::CompletedWithFallback;
-    out.completion_time += fallback_work;
-    out.running_time += fallback_work;
-    out.cost = out.bill.total();
-    out.remaining_work = Hours::ZERO;
-    Ok(out)
+    spotbid_engine::run_job_with_fallback(future, decision, job, tag, on_demand)
+        .map_err(ClientError::from)
 }
 
 /// Runs a job against a possibly-faulty [`MarketView`] under a
-/// [`RecoveryPolicy`]: the hardened counterpart of [`run_job`].
-///
-/// Semantics, chosen so that a fault-free view reproduces [`run_job`]
-/// **exactly** (the chaos suite asserts bit-equality):
-///
-/// * Provider acceptance uses the *true* price (`bid >= truth`) and is
-///   vetoed by a capacity reclamation.
-/// * A persistent client additionally self-pauses (checkpoints and lets
-///   the slot go idle) whenever it *observes* a price above its bid —
-///   prudent when the observation may be stale. With a clean feed,
-///   observation equals truth, so this changes nothing.
-/// * Feed outages (no observable price) are counted; once more than
-///   `max_feed_outage_slots` run consecutively, the client can no longer
-///   manage its bid and stops — degrading to on-demand if the policy has a
-///   fallback, else ending with [`RunStatus::FeedLost`].
-/// * Reclamations while running are counted; past `max_reclaims` (with a
-///   fallback configured) the client abandons spot and degrades.
-/// * With a fallback configured, any non-completed ending degrades to
-///   on-demand (finishing `remaining_work`, plus one recovery replay if
-///   the job had started), mirroring [`run_job_with_fallback`].
-///
-/// All charges go through the validated billing path, so a view that
-/// manufactures pathological prices yields [`ClientError::Billing`], never
-/// a corrupt bill.
+/// [`RecoveryPolicy`]: the hardened counterpart of [`run_job`]. A
+/// fault-free view reproduces [`run_job`] **exactly** (the chaos suite
+/// asserts bit-equality); see `spotbid_engine::run_job_resilient` for the
+/// full fault semantics.
 ///
 /// # Errors
 ///
@@ -316,115 +77,13 @@ pub fn run_job_resilient<M: MarketView>(
     tag: u32,
     policy: &RecoveryPolicy,
 ) -> Result<JobOutcome, ClientError> {
-    job.validate().map_err(ClientError::Core)?;
-    let (bid, persistent) = match decision {
-        BidDecision::OnDemand { price } => {
-            let mut bill = Bill::new();
-            bill.try_charge_on_demand(0, price, job.execution, tag)?;
-            return Ok(JobOutcome {
-                status: RunStatus::OnDemand,
-                completion_time: job.execution,
-                running_time: job.execution,
-                idle_time: Hours::ZERO,
-                interruptions: 0,
-                cost: bill.total(),
-                bill,
-                bid: None,
-                remaining_work: Hours::ZERO,
-                reclamations: 0,
-                feed_outages: 0,
-            });
-        }
-        BidDecision::Spot { price, persistent } => (price, persistent),
-    };
-    let mut monitor = JobMonitor::new(*job);
-    let mut bill = Bill::new();
-    let mut status = RunStatus::HistoryExhausted;
-    let mut reclamations = 0u32;
-    let mut feed_outages = 0u32;
-    let mut consecutive_outages = 0u32;
-    for slot in 0..view.len() {
-        let truth = view.true_price(slot);
-        let observed = view.observed_price(slot);
-        let reclaimed = view.reclaimed(slot);
-        if observed.is_none() {
-            feed_outages += 1;
-            consecutive_outages += 1;
-            if consecutive_outages > policy.max_feed_outage_slots {
-                if policy.on_demand_fallback.is_none() {
-                    status = RunStatus::FeedLost;
-                }
-                break;
-            }
-        } else {
-            consecutive_outages = 0;
-        }
-        let started = monitor.state() != JobState::Waiting;
-        if reclaimed && monitor.state() == JobState::Running {
-            reclamations += 1;
-        }
-        let provider_ok = bid >= truth && !reclaimed;
-        let accepted = if persistent {
-            // Self-pause on an observed spike; ride through outages (the
-            // provider still honours the standing request).
-            provider_ok && observed.is_none_or(|o| bid >= o)
-        } else {
-            provider_ok
-        };
-        if !accepted && !persistent && started {
-            monitor.advance(false);
-            status = RunStatus::TerminatedEarly;
-            break;
-        }
-        if !accepted && !persistent && !started {
-            status = RunStatus::TerminatedEarly;
-            break;
-        }
-        let event = monitor.advance(accepted);
-        if event.used > Hours::ZERO {
-            bill.try_charge_spot(slot as u64, truth, event.used, tag)?;
-        }
-        if event.finished {
-            status = RunStatus::Completed;
-            break;
-        }
-        if policy.on_demand_fallback.is_some() && reclamations > policy.max_reclaims {
-            break;
-        }
-    }
-    let mut out = JobOutcome {
-        status,
-        completion_time: monitor.elapsed(),
-        running_time: monitor.running_time(),
-        idle_time: monitor.idle_time() + monitor.waiting_time(),
-        interruptions: monitor.interruptions(),
-        cost: bill.total(),
-        bill,
-        bid: Some(bid),
-        remaining_work: monitor.remaining_work(),
-        reclamations,
-        feed_outages,
-    };
-    if !out.completed() && out.status != RunStatus::FeedLost {
-        if let Some(od) = policy.on_demand_fallback {
-            let started = out.running_time > Hours::ZERO;
-            let fallback_work =
-                out.remaining_work + if started { job.recovery } else { Hours::ZERO };
-            out.bill
-                .try_charge_on_demand(view.len() as u64, od, fallback_work, tag)?;
-            out.status = RunStatus::DegradedToOnDemand;
-            out.completion_time += fallback_work;
-            out.running_time += fallback_work;
-            out.cost = out.bill.total();
-            out.remaining_work = Hours::ZERO;
-        }
-    }
-    Ok(out)
+    spotbid_engine::run_job_resilient(view, decision, job, tag, policy).map_err(ClientError::from)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spotbid_market::units::{Cost, Hours};
     use spotbid_trace::history::default_slot_len;
 
     fn hist(prices: &[f64]) -> SpotPriceHistory {

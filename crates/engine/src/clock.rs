@@ -1,0 +1,60 @@
+//! The simulation clock: a slot counter with a fixed slot length.
+//!
+//! Every session in the workspace advances time in pricing slots (five
+//! minutes on EC2, Table 1's `t_k`). The clock is deliberately dumb — a
+//! counter plus a conversion to wall-clock hours — so that every layer
+//! agrees on what "slot `t`" means and determinism never depends on a
+//! hidden time source.
+
+use spotbid_market::units::Hours;
+
+/// A discrete-time clock counting pricing slots.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimClock {
+    slot: u64,
+    slot_len: Hours,
+}
+
+impl SimClock {
+    /// A clock at slot 0 with the given slot length.
+    pub fn new(slot_len: Hours) -> Self {
+        SimClock { slot: 0, slot_len }
+    }
+
+    /// The current slot index (number of completed ticks).
+    pub fn now(&self) -> u64 {
+        self.slot
+    }
+
+    /// The slot length.
+    pub fn slot_len(&self) -> Hours {
+        self.slot_len
+    }
+
+    /// Wall-clock time elapsed: `slot × slot_len`.
+    pub fn elapsed(&self) -> Hours {
+        self.slot_len * self.slot as f64
+    }
+
+    /// Advances to the next slot.
+    pub fn tick(&mut self) {
+        self.slot += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_and_elapsed() {
+        let mut c = SimClock::new(Hours::from_minutes(5.0));
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.elapsed(), Hours::ZERO);
+        c.tick();
+        c.tick();
+        assert_eq!(c.now(), 2);
+        assert!((c.elapsed().as_minutes() - 10.0).abs() < 1e-12);
+        assert!((c.slot_len().as_minutes() - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,127 @@
+//! The append-only event stream every layer emits instead of hand-rolled
+//! bookkeeping.
+//!
+//! Events are facts about one slot of simulated time: a price was posted, a
+//! tenant's bid was accepted, an instance was reclaimed, a charge accrued.
+//! Drivers emit them as they advance; the kernel fans each event out to the
+//! registered [`crate::Observer`]s in emission order, so any observer can
+//! reconstruct the full session (the billing ledger is just the fold of the
+//! [`Event::Charged`] items).
+//!
+//! `tenant` is the driver's billing tag — the same `u32` that appears in
+//! [`LineItem::tag`], so bills and event logs join on it.
+
+use crate::billing::LineItem;
+use spotbid_market::units::Price;
+
+/// One fact in a simulation session's append-only stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// The source posted the slot's market price.
+    PricePosted {
+        /// Slot index.
+        slot: u64,
+        /// The posted (true) spot price.
+        price: Price,
+    },
+    /// A tenant submitted a bid into the market.
+    BidSubmitted {
+        /// Slot index.
+        slot: u64,
+        /// The submitting tenant's billing tag.
+        tenant: u32,
+        /// The bid price.
+        price: Price,
+        /// Persistent (re-submitted when outbid) vs one-time.
+        persistent: bool,
+    },
+    /// A tenant's bid was (re-)accepted: its instance started running.
+    BidAccepted {
+        /// Slot index.
+        slot: u64,
+        /// The tenant's billing tag.
+        tenant: u32,
+    },
+    /// A running instance was interrupted (outbid) this slot.
+    Interrupted {
+        /// Slot index.
+        slot: u64,
+        /// The tenant's billing tag.
+        tenant: u32,
+    },
+    /// The provider reclaimed the tenant's capacity (fault injection).
+    Reclaimed {
+        /// Slot index.
+        slot: u64,
+        /// The tenant's billing tag.
+        tenant: u32,
+    },
+    /// A one-time bid below the posted price was rejected outright.
+    Rejected {
+        /// Slot index.
+        slot: u64,
+        /// The tenant's billing tag.
+        tenant: u32,
+    },
+    /// A charge accrued to some tenant's bill.
+    Charged {
+        /// The billed line item (its `tag` identifies the tenant).
+        item: LineItem,
+    },
+    /// A tenant's job finished.
+    Completed {
+        /// Slot index.
+        slot: u64,
+        /// The tenant's billing tag.
+        tenant: u32,
+    },
+    /// The tenant's price feed produced no observation this slot.
+    FeedOutage {
+        /// Slot index.
+        slot: u64,
+        /// The tenant's billing tag.
+        tenant: u32,
+    },
+}
+
+impl Event {
+    /// The tenant (billing tag) this event concerns, if any.
+    /// [`Event::PricePosted`] is market-wide and has none.
+    pub fn tenant(&self) -> Option<u32> {
+        match self {
+            Event::PricePosted { .. } => None,
+            Event::BidSubmitted { tenant, .. }
+            | Event::BidAccepted { tenant, .. }
+            | Event::Interrupted { tenant, .. }
+            | Event::Reclaimed { tenant, .. }
+            | Event::Rejected { tenant, .. }
+            | Event::Completed { tenant, .. }
+            | Event::FeedOutage { tenant, .. } => Some(*tenant),
+            Event::Charged { item } => Some(item.tag),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::billing::UsageKind;
+    use spotbid_market::units::Hours;
+
+    #[test]
+    fn tenant_extraction() {
+        assert_eq!(
+            Event::PricePosted { slot: 0, price: Price::new(0.04) }.tenant(),
+            None
+        );
+        assert_eq!(Event::BidAccepted { slot: 1, tenant: 7 }.tenant(), Some(7));
+        let item = LineItem {
+            slot: 2,
+            price: Price::new(0.05),
+            duration: Hours::from_minutes(5.0),
+            kind: UsageKind::Spot,
+            tag: 3,
+        };
+        assert_eq!(Event::Charged { item }.tenant(), Some(3));
+    }
+}

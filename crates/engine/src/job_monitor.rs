@@ -1,0 +1,292 @@
+//! The job monitor: per-slot state machine of a spot job's lifecycle.
+//!
+//! The paper's client tracks job status through DynamoDB writes from the
+//! instance (first run vs restarted-after-interruption) and simulates a
+//! recovery delay when an instance resumes. This module is the in-process
+//! equivalent: it advances a job one pricing slot at a time given whether
+//! the bid was accepted, accounting execution progress, recovery replay,
+//! idle waiting, and interruptions.
+
+use spotbid_core::JobSpec;
+use spotbid_market::units::Hours;
+
+/// The lifecycle state of a monitored job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Submitted but not yet started (bid has never been accepted).
+    Waiting,
+    /// Currently executing on an instance.
+    Running,
+    /// Interrupted and waiting for the price to fall below the bid.
+    Idle,
+    /// All work done.
+    Finished,
+}
+
+/// What happened in one slot, from the monitor's perspective.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotEvent {
+    /// State after the slot.
+    pub state: JobState,
+    /// Productive + recovery time consumed on the instance this slot.
+    pub used: Hours,
+    /// Whether this slot began a fresh interruption (running → idle).
+    pub interrupted: bool,
+    /// Whether the job finished during this slot.
+    pub finished: bool,
+}
+
+/// Tracks one job's progress through accept/reject slots.
+#[derive(Debug, Clone)]
+pub struct JobMonitor {
+    job: JobSpec,
+    state: JobState,
+    remaining_work: Hours,
+    pending_recovery: Hours,
+    interruptions: u32,
+    running_time: Hours,
+    waiting_time: Hours,
+    idle_time: Hours,
+}
+
+impl JobMonitor {
+    /// Starts monitoring a (validated) job.
+    pub fn new(job: JobSpec) -> Self {
+        JobMonitor {
+            remaining_work: job.execution,
+            job,
+            state: JobState::Waiting,
+            pending_recovery: Hours::ZERO,
+            interruptions: 0,
+            running_time: Hours::ZERO,
+            waiting_time: Hours::ZERO,
+            idle_time: Hours::ZERO,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> JobState {
+        self.state
+    }
+
+    /// Interruptions suffered so far.
+    pub fn interruptions(&self) -> u32 {
+        self.interruptions
+    }
+
+    /// Time spent actually on an instance (execution + recovery).
+    pub fn running_time(&self) -> Hours {
+        self.running_time
+    }
+
+    /// Time spent idle after at least one run (outbid).
+    pub fn idle_time(&self) -> Hours {
+        self.idle_time
+    }
+
+    /// Time spent waiting before the first acceptance.
+    pub fn waiting_time(&self) -> Hours {
+        self.waiting_time
+    }
+
+    /// Execution work still to do.
+    pub fn remaining_work(&self) -> Hours {
+        self.remaining_work
+    }
+
+    /// Total wall-clock time elapsed across all observed slots.
+    pub fn elapsed(&self) -> Hours {
+        self.running_time + self.idle_time + self.waiting_time
+    }
+
+    /// Advances one slot. `accepted` says whether the bid was at or above
+    /// the slot's spot price. Returns what happened; calling after
+    /// `Finished` is a no-op reporting the finished state.
+    pub fn advance(&mut self, accepted: bool) -> SlotEvent {
+        let slot = self.job.slot;
+        if self.state == JobState::Finished {
+            return SlotEvent {
+                state: JobState::Finished,
+                used: Hours::ZERO,
+                interrupted: false,
+                finished: false,
+            };
+        }
+        if !accepted {
+            return match self.state {
+                JobState::Running => {
+                    // Outbid mid-run: interruption. The *next* resume must
+                    // replay the recovery overhead.
+                    self.state = JobState::Idle;
+                    self.interruptions += 1;
+                    self.pending_recovery = self.job.recovery;
+                    self.idle_time += slot;
+                    SlotEvent {
+                        state: JobState::Idle,
+                        used: Hours::ZERO,
+                        interrupted: true,
+                        finished: false,
+                    }
+                }
+                JobState::Idle => {
+                    self.idle_time += slot;
+                    SlotEvent {
+                        state: JobState::Idle,
+                        used: Hours::ZERO,
+                        interrupted: false,
+                        finished: false,
+                    }
+                }
+                JobState::Waiting | JobState::Finished => {
+                    self.waiting_time += slot;
+                    SlotEvent {
+                        state: JobState::Waiting,
+                        used: Hours::ZERO,
+                        interrupted: false,
+                        finished: false,
+                    }
+                }
+            };
+        }
+        // Accepted: the instance runs for this slot. Recovery replays
+        // first, then productive work.
+        self.state = JobState::Running;
+        let mut budget = slot;
+        let recover = self.pending_recovery.min(budget);
+        self.pending_recovery -= recover;
+        budget -= recover;
+        let work = self.remaining_work.min(budget);
+        self.remaining_work -= work;
+        let used = recover + work;
+        self.running_time += used;
+        // Slot lengths like 5 min = 1/12 h are not exact in binary, so the
+        // last sliver of work can be a few ulps instead of zero; treat
+        // anything below a nanosecond as done.
+        const EPS: Hours = Hours::new_const(1e-12);
+        let finished = self.remaining_work <= EPS && self.pending_recovery <= EPS;
+        if finished {
+            self.state = JobState::Finished;
+        }
+        SlotEvent {
+            state: self.state,
+            used,
+            interrupted: false,
+            finished,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(ts_h: f64, tr_s: f64) -> JobSpec {
+        JobSpec::builder(ts_h).recovery_secs(tr_s).build().unwrap()
+    }
+
+    #[test]
+    fn uninterrupted_job_finishes_in_exact_slots() {
+        let mut m = JobMonitor::new(job(0.25, 30.0)); // 3 slots of 5 min
+        for i in 0..3 {
+            let e = m.advance(true);
+            assert_eq!(e.finished, i == 2, "slot {i}");
+        }
+        assert_eq!(m.state(), JobState::Finished);
+        assert_eq!(m.interruptions(), 0);
+        assert!((m.running_time().as_f64() - 0.25).abs() < 1e-12);
+        assert_eq!(m.idle_time(), Hours::ZERO);
+        // Further slots are no-ops.
+        let e = m.advance(true);
+        assert_eq!(e.used, Hours::ZERO);
+        assert!(!e.finished);
+    }
+
+    #[test]
+    fn partial_final_slot_counts_only_used_time() {
+        let mut m = JobMonitor::new(JobSpec::builder(0.1).build().unwrap()); // 6 min
+        m.advance(true); // 5 min done
+        let e = m.advance(true); // 1 min more
+        assert!(e.finished);
+        assert!((e.used.as_minutes() - 1.0).abs() < 1e-9);
+        assert!((m.running_time().as_minutes() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn waiting_before_first_acceptance() {
+        let mut m = JobMonitor::new(job(0.25, 30.0));
+        let e = m.advance(false);
+        assert_eq!(e.state, JobState::Waiting);
+        assert!(!e.interrupted, "pre-start rejection is not an interruption");
+        assert_eq!(m.interruptions(), 0);
+        assert!((m.waiting_time().as_minutes() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interruption_adds_recovery_replay() {
+        let mut m = JobMonitor::new(job(0.25, 60.0)); // 15 min work, 1 min recovery
+        m.advance(true); // 5 min work done, 10 remain
+        let e = m.advance(false); // interrupted
+        assert!(e.interrupted);
+        assert_eq!(e.state, JobState::Idle);
+        m.advance(false); // still idle
+        assert_eq!(m.interruptions(), 1);
+        // Resume: first minute replays recovery, 4 min productive.
+        let e = m.advance(true);
+        assert_eq!(e.state, JobState::Running);
+        assert!((m.remaining_work().as_minutes() - 6.0).abs() < 1e-9);
+        // Two more slots: 5 min, then 1 min to finish.
+        m.advance(true);
+        let e = m.advance(true);
+        assert!(e.finished);
+        // Total on-instance time = 15 min work + 1 min recovery.
+        assert!((m.running_time().as_minutes() - 16.0).abs() < 1e-9);
+        assert!((m.idle_time().as_minutes() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn double_interruption_replays_recovery_each_time() {
+        let mut m = JobMonitor::new(job(1.0, 30.0));
+        m.advance(true);
+        m.advance(false); // int 1
+        m.advance(true);
+        m.advance(false); // int 2
+        assert_eq!(m.interruptions(), 2);
+        // Finish it out.
+        let mut guard = 0;
+        while m.state() != JobState::Finished {
+            m.advance(true);
+            guard += 1;
+            assert!(guard < 100);
+        }
+        // Running time = 60 min work + 2 × 0.5 min recovery.
+        assert!((m.running_time().as_minutes() - 61.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovery_longer_than_slot_spans_slots() {
+        let long_recovery = JobSpec::builder(1.0)
+            .recovery(Hours::from_minutes(8.0))
+            .build()
+            .unwrap();
+        let mut m = JobMonitor::new(long_recovery);
+        m.advance(true); // 5 min work
+        m.advance(false); // interrupted: 8 min recovery pending
+        let e = m.advance(true); // 5 min of recovery replay, no work
+        assert!((e.used.as_minutes() - 5.0).abs() < 1e-9);
+        assert!((m.remaining_work().as_minutes() - 55.0).abs() < 1e-9);
+        let e = m.advance(true); // 3 min recovery + 2 min work
+        assert!((e.used.as_minutes() - 5.0).abs() < 1e-9);
+        assert!((m.remaining_work().as_minutes() - 53.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn elapsed_accounts_all_time() {
+        let mut m = JobMonitor::new(job(0.25, 30.0));
+        m.advance(false); // wait
+        m.advance(true); // run
+        m.advance(false); // idle (interrupted)
+        m.advance(true); // run
+        let total = m.elapsed().as_minutes();
+        assert!((total - 20.0).abs() < 0.6, "{total}"); // 4 slots ≈ 20 min
+    }
+}

@@ -1,0 +1,115 @@
+//! # spotbid-engine
+//!
+//! The discrete-time simulation kernel beneath every slot loop in the
+//! workspace. Before this crate existed the repository had three disjoint
+//! drivers — `market::SpotMarket::step` (the provider-side Figure-2 state
+//! machine), `client::runtime::run_job*` (per-job replay over a price
+//! trace), and `mapred::spot::run_on_spot` (its own loop over elapsed
+//! slots). They now share one substrate:
+//!
+//! - [`clock::SimClock`] — the slot counter every session advances;
+//! - [`source::PriceSource`] — where each slot's market signal comes from
+//!   (trace replay, a degraded [`source::MarketView`], or the live
+//!   Section-4 equilibrium market);
+//! - [`kernel::JobDriver`] — a per-tenant component advanced one slot at a
+//!   time (single spot jobs, MapReduce clusters, closed-loop bidders);
+//! - [`observer::Observer`] — pluggable hooks fed the append-only
+//!   [`event::Event`] stream (billing ledger, event log);
+//! - [`policy::BidPolicy`] — how a tenant turns observed prices into a
+//!   bid; `spotbid_core::BiddingStrategy` plugs in directly.
+//!
+//! The client and MapReduce runtimes are thin adapters over this kernel
+//! (bit-identical to their pre-kernel implementations — see the parity
+//! tests in `tests/`), and [`closedloop`] adds the capability none of the
+//! old loops had: N strategy-driven bidders submitting into one endogenous
+//! market whose posted price responds to their bids.
+
+#![warn(missing_docs)]
+
+pub mod billing;
+pub mod clock;
+pub mod closedloop;
+pub mod cluster;
+pub mod event;
+pub mod job_monitor;
+pub mod kernel;
+pub mod observer;
+pub mod policy;
+pub mod session;
+pub mod single;
+pub mod source;
+
+pub use billing::{Bill, LineItem, UsageKind};
+pub use clock::SimClock;
+pub use closedloop::{run_closed_loop, ClosedLoopConfig, ClosedLoopReport, TenantOutcome};
+pub use event::Event;
+pub use kernel::{DriverStatus, JobDriver, Kernel, StopReason};
+pub use observer::{BillingObserver, EventLog, Observer};
+pub use policy::BidPolicy;
+pub use session::run_market;
+pub use single::{
+    run_job, run_job_resilient, run_job_with_fallback, JobOutcome, RecoveryPolicy, RunStatus,
+};
+pub use source::{MarketView, PriceSource, SlotPrice, ViewSource};
+
+use std::fmt;
+
+/// Errors produced by the simulation kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A job/strategy error from `spotbid-core`.
+    Core(spotbid_core::CoreError),
+    /// A pathological charge (NaN/negative price or duration) was refused
+    /// by the billing ledger instead of silently corrupting the bill.
+    Billing {
+        /// Description of the refused charge.
+        what: String,
+    },
+    /// Invalid kernel or session configuration.
+    InvalidConfig {
+        /// Description of the problem.
+        what: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Core(e) => write!(f, "core error: {e}"),
+            EngineError::Billing { what } => write!(f, "billing error: {what}"),
+            EngineError::InvalidConfig { what } => write!(f, "invalid config: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Core(e) => Some(e),
+            EngineError::Billing { .. } | EngineError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<spotbid_core::CoreError> for EngineError {
+    fn from(e: spotbid_core::CoreError) -> Self {
+        EngineError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_source() {
+        let e = EngineError::Core(spotbid_core::CoreError::InvalidJob { what: "x".into() });
+        assert!(e.to_string().contains("core error"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = EngineError::Billing { what: "y".into() };
+        assert!(e.to_string().contains("billing error"));
+        assert!(std::error::Error::source(&e).is_none());
+        let e = EngineError::InvalidConfig { what: "z".into() };
+        assert!(e.to_string().contains("invalid config"));
+    }
+}

@@ -1,0 +1,156 @@
+//! Observers: pluggable sinks for the kernel's event stream.
+//!
+//! The kernel forwards every [`Event`] to each registered observer in
+//! emission order. Observers are how sessions grow bookkeeping without the
+//! drivers knowing: the billing ledger folds [`Event::Charged`] items into
+//! a [`Bill`], the event log keeps everything for offline inspection, and
+//! future metrics (utilisation, queue depth) slot in the same way.
+
+use crate::billing::Bill;
+use crate::event::Event;
+use crate::EngineError;
+
+/// A sink for simulation events.
+pub trait Observer {
+    /// Handles one event. An `Err` aborts the session — the kernel
+    /// propagates it to the caller with the event already delivered to
+    /// earlier observers (billing validation uses this to refuse
+    /// fault-corrupted charges).
+    ///
+    /// # Errors
+    ///
+    /// Implementation-defined; the kernel stops the session on the first
+    /// error.
+    fn on_event(&mut self, event: &Event) -> Result<(), EngineError>;
+}
+
+/// Folds [`Event::Charged`] items into a [`Bill`]; ignores everything else.
+#[derive(Debug, Clone, Default)]
+pub struct BillingObserver {
+    bill: Bill,
+    validate: bool,
+}
+
+impl BillingObserver {
+    /// A billing observer that validates every charge, refusing
+    /// pathological items with [`EngineError::Billing`] (use on paths fed
+    /// by untrusted or fault-injected data — mirrors `Bill::try_charge`).
+    pub fn validated() -> Self {
+        BillingObserver { bill: Bill::new(), validate: true }
+    }
+
+    /// A billing observer that panics on pathological charges (mirrors
+    /// `Bill::charge` — internal misuse, not survivable input).
+    pub fn unvalidated() -> Self {
+        BillingObserver { bill: Bill::new(), validate: false }
+    }
+
+    /// The accumulated bill so far.
+    pub fn bill(&self) -> &Bill {
+        &self.bill
+    }
+
+    /// Consumes the observer, returning the accumulated bill.
+    pub fn into_bill(self) -> Bill {
+        self.bill
+    }
+}
+
+impl Observer for BillingObserver {
+    fn on_event(&mut self, event: &Event) -> Result<(), EngineError> {
+        if let Event::Charged { item } = event {
+            if self.validate {
+                self.bill.try_charge(*item)?;
+            } else {
+                self.bill.charge(*item);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Records every event, in order.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    events: Vec<Event>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    /// The recorded events, in emission order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Consumes the log, returning the recorded events.
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+}
+
+impl Observer for EventLog {
+    fn on_event(&mut self, event: &Event) -> Result<(), EngineError> {
+        self.events.push(*event);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::billing::{LineItem, UsageKind};
+    use spotbid_market::units::{Hours, Price};
+
+    fn item(price: f64) -> LineItem {
+        LineItem {
+            slot: 0,
+            price: Price::new(price),
+            duration: Hours::from_minutes(5.0),
+            kind: UsageKind::Spot,
+            tag: 1,
+        }
+    }
+
+    #[test]
+    fn billing_observer_folds_charges() {
+        let mut obs = BillingObserver::validated();
+        obs.on_event(&Event::PricePosted { slot: 0, price: Price::new(0.04) })
+            .unwrap();
+        obs.on_event(&Event::Charged { item: item(0.04) }).unwrap();
+        obs.on_event(&Event::Charged { item: item(0.08) }).unwrap();
+        let bill = obs.into_bill();
+        assert_eq!(bill.items().len(), 2);
+        assert!((bill.total().as_f64() - 0.12 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validated_observer_refuses_nan_charge() {
+        let mut obs = BillingObserver::validated();
+        let r = obs.on_event(&Event::Charged { item: item(f64::NAN) });
+        assert!(matches!(r, Err(EngineError::Billing { .. })));
+        assert!(obs.bill().items().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "pathological")]
+    fn unvalidated_observer_panics_on_nan_charge() {
+        let mut obs = BillingObserver::unvalidated();
+        let _ = obs.on_event(&Event::Charged { item: item(f64::NAN) });
+    }
+
+    #[test]
+    fn event_log_records_in_order() {
+        let mut log = EventLog::new();
+        log.on_event(&Event::PricePosted { slot: 0, price: Price::new(0.04) })
+            .unwrap();
+        log.on_event(&Event::Completed { slot: 3, tenant: 2 }).unwrap();
+        let events = log.into_events();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[0], Event::PricePosted { slot: 0, .. }));
+        assert!(matches!(events[1], Event::Completed { slot: 3, tenant: 2 }));
+    }
+}

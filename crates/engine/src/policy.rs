@@ -1,0 +1,65 @@
+//! Bid policies: how a tenant turns observed prices into a bid, online.
+//!
+//! The paper's Sections 5–6 strategies decide a bid once from a fixed
+//! history; inside the kernel the decision point recurs — a closed-loop
+//! tenant re-decides every time its bid is terminated, against the history
+//! *it has observed so far*. [`BidPolicy`] is that online interface, and
+//! `spotbid_core::BiddingStrategy` plugs in directly (each call re-fits the
+//! empirical price model to the window it is handed).
+
+use crate::EngineError;
+use spotbid_core::{BidDecision, BiddingStrategy, JobSpec};
+use spotbid_market::units::Price;
+use spotbid_trace::SpotPriceHistory;
+
+/// An online bidding policy: consulted whenever the tenant must (re-)bid.
+pub trait BidPolicy {
+    /// Decides a bid for `job` from the prices `observed` so far, with
+    /// `on_demand` as the outside option.
+    ///
+    /// # Errors
+    ///
+    /// Policy-specific; a failed decision aborts the tenant's session.
+    fn decide(
+        &mut self,
+        observed: &SpotPriceHistory,
+        job: &JobSpec,
+        on_demand: Price,
+    ) -> Result<BidDecision, EngineError>;
+}
+
+/// Every offline strategy is trivially an online policy: re-resolve it
+/// against the currently-observed window at each decision point.
+impl BidPolicy for BiddingStrategy {
+    fn decide(
+        &mut self,
+        observed: &SpotPriceHistory,
+        job: &JobSpec,
+        on_demand: Price,
+    ) -> Result<BidDecision, EngineError> {
+        BiddingStrategy::decide(self, observed, job, on_demand).map_err(EngineError::Core)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotbid_market::units::Hours;
+
+    #[test]
+    fn strategy_is_an_online_policy() {
+        let h = SpotPriceHistory::new(
+            Hours::from_minutes(5.0),
+            (0..600).map(|i| Price::new(0.03 + 0.01 * ((i % 7) as f64))).collect(),
+        )
+        .unwrap();
+        let job = JobSpec::builder(1.0).build().unwrap();
+        let od = Price::new(0.35);
+        let mut policy: Box<dyn BidPolicy> = Box::new(BiddingStrategy::FixedBid(Price::new(0.1)));
+        let d = policy.decide(&h, &job, od).unwrap();
+        assert!(matches!(d, BidDecision::Spot { persistent: true, .. }));
+        let mut od_policy = BiddingStrategy::OnDemand;
+        let d = BidPolicy::decide(&mut od_policy, &h, &job, od).unwrap();
+        assert!(matches!(d, BidDecision::OnDemand { .. }));
+    }
+}

@@ -1,0 +1,180 @@
+//! Market sessions: the Section-4 equilibrium provider as a kernel
+//! [`PriceSource`].
+//!
+//! `spotbid_market` sits *below* the engine in the crate DAG, so
+//! `SpotMarket::run` itself cannot call the kernel; instead the engine
+//! wraps a borrowed market as [`MarketSource`] and [`run_market`] drives it
+//! through the kernel, emitting the full event stream ([`Event::PricePosted`]
+//! per slot, plus per-bid accepted/interrupted/finished/terminated events).
+//! The parity test in `tests/` proves a kernel-driven session consumes the
+//! same RNG draws and produces the same `SlotReport`s, bid records, and
+//! charges as a plain `SpotMarket::run` — they are the same simulation, one
+//! inverted around the kernel's loop.
+
+use crate::event::Event;
+use crate::kernel::Kernel;
+use crate::observer::Observer;
+use crate::source::PriceSource;
+use crate::EngineError;
+use spotbid_market::sim::{SlotReport, SpotMarket};
+use spotbid_numerics::rng::Rng;
+
+/// A borrowed [`SpotMarket`] + RNG as a kernel price source. Each `post`
+/// advances the market one slot; the quote is the full [`SlotReport`].
+///
+/// The market's own submitted bids are the demand — the kernel's aggregate
+/// driver demand is ignored here, because closed-loop drivers submit
+/// directly into the market via [`MarketSource::market_mut`] before the
+/// slot is posted.
+#[derive(Debug)]
+pub struct MarketSource<'a> {
+    market: &'a mut SpotMarket,
+    rng: &'a mut Rng,
+}
+
+impl<'a> MarketSource<'a> {
+    /// Wraps a market and the RNG that drives its geometric departures.
+    pub fn new(market: &'a mut SpotMarket, rng: &'a mut Rng) -> Self {
+        MarketSource { market, rng }
+    }
+
+    /// The wrapped market.
+    pub fn market(&self) -> &SpotMarket {
+        self.market
+    }
+
+    /// Mutable access to the wrapped market (bid submission).
+    pub fn market_mut(&mut self) -> &mut SpotMarket {
+        self.market
+    }
+}
+
+impl PriceSource for MarketSource<'_> {
+    type Quote = SlotReport;
+
+    fn post(&mut self, _slot: u64, _demand: usize) -> Option<SlotReport> {
+        Some(self.market.step(self.rng))
+    }
+
+    fn quote_events(&self, slot: u64, quote: &SlotReport, emit: &mut dyn FnMut(Event)) {
+        emit(Event::PricePosted { slot, price: quote.price });
+        for id in &quote.started {
+            emit(Event::BidAccepted { slot, tenant: id.0 as u32 });
+        }
+        for id in &quote.interrupted {
+            emit(Event::Interrupted { slot, tenant: id.0 as u32 });
+        }
+        for id in &quote.finished {
+            emit(Event::Completed { slot, tenant: id.0 as u32 });
+        }
+        for id in &quote.terminated {
+            emit(Event::Rejected { slot, tenant: id.0 as u32 });
+        }
+    }
+}
+
+/// Runs `slots` market slots through the kernel, fanning per-slot events
+/// out to `observers` and returning every [`SlotReport`] — the kernel-side
+/// equivalent of `SpotMarket::run` (bit-identical: same RNG draws, same
+/// reports, same bid records).
+///
+/// # Errors
+///
+/// The first observer error, with prior events already delivered.
+pub fn run_market(
+    market: &mut SpotMarket,
+    slots: usize,
+    rng: &mut Rng,
+    observers: &mut [&mut dyn Observer],
+) -> Result<Vec<SlotReport>, EngineError> {
+    struct Recorder {
+        reports: Vec<SlotReport>,
+    }
+    impl<'a> crate::kernel::JobDriver<MarketSource<'a>> for Recorder {
+        fn demand(&self) -> usize {
+            0 // a pure observer of the session, not a bidder
+        }
+        fn on_slot(
+            &mut self,
+            _slot: u64,
+            quote: &SlotReport,
+            _emit: &mut dyn FnMut(Event),
+        ) -> Result<crate::kernel::DriverStatus, EngineError> {
+            self.reports.push(quote.clone());
+            Ok(crate::kernel::DriverStatus::Active)
+        }
+    }
+    let slot_len = spotbid_market::units::Hours::from_minutes(5.0);
+    let mut kernel = Kernel::new(slot_len, MarketSource::new(market, rng));
+    let mut recorder = Recorder { reports: Vec::new() };
+    kernel.run(&mut [&mut recorder], observers, Some(slots as u64))?;
+    Ok(recorder.reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::EventLog;
+    use spotbid_market::params::MarketParams;
+    use spotbid_market::sim::{BidKind, BidRequest, WorkModel};
+    use spotbid_market::units::{Hours, Price};
+
+    fn market() -> SpotMarket {
+        let params = MarketParams::new(Price::new(0.35), Price::new(0.02), 0.05, 0.02).unwrap();
+        SpotMarket::new(params, Hours::from_minutes(5.0))
+    }
+
+    #[test]
+    fn kernel_session_matches_plain_run() {
+        let mut a = market();
+        let mut b = market();
+        for m in [&mut a, &mut b] {
+            m.submit(BidRequest {
+                price: Price::new(0.35),
+                kind: BidKind::Persistent,
+                work: WorkModel::Geometric,
+            });
+            m.submit(BidRequest {
+                price: Price::new(0.16),
+                kind: BidKind::OneTime,
+                work: WorkModel::FixedSlots(3),
+            });
+        }
+        let mut rng_a = Rng::seed_from_u64(42);
+        let mut rng_b = Rng::seed_from_u64(42);
+        let plain = a.run(50, &mut rng_a);
+        let kernel = run_market(&mut b, 50, &mut rng_b, &mut []).unwrap();
+        assert_eq!(plain, kernel);
+        assert_eq!(a.records(), b.records());
+        // Same RNG state afterwards: both consumed identical draws.
+        assert_eq!(rng_a.next_u64(), rng_b.next_u64());
+    }
+
+    #[test]
+    fn session_emits_per_bid_events() {
+        let mut m = market();
+        m.submit(BidRequest {
+            price: Price::new(0.35),
+            kind: BidKind::OneTime,
+            work: WorkModel::FixedSlots(2),
+        });
+        let mut rng = Rng::seed_from_u64(7);
+        let mut log = EventLog::new();
+        let reports = run_market(&mut m, 4, &mut rng, &mut [&mut log]).unwrap();
+        assert_eq!(reports.len(), 4);
+        let events = log.events();
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, Event::PricePosted { .. }))
+                .count(),
+            4
+        );
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::BidAccepted { slot: 0, tenant: 0 })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::Completed { slot: 1, tenant: 0 })));
+    }
+}

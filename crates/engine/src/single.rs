@@ -1,0 +1,536 @@
+//! Single-job sessions: one bidder replaying a price trace under the exact
+//! EC2 spot rules of §3.2, driven by the kernel.
+//!
+//! The user here is a price-taker (the paper's standing assumption): the
+//! price series is given, and a [`SpotJobDriver`] walks it slot by slot,
+//! driving a [`crate::job_monitor::JobMonitor`] and emitting charges into
+//! the billing observer. One-time requests exit on the first rejection
+//! after starting (and are rejected outright if the first slot's price is
+//! above the bid); persistent requests ride out interruptions.
+//!
+//! These free functions are the engine-side implementations behind
+//! `spotbid_client::runtime::{run_job, run_job_with_fallback,
+//! run_job_resilient}`; the client re-exports them as thin adapters. The
+//! parity tests in `tests/` prove the kernel-driven form is bit-identical
+//! to the pre-kernel hand-rolled loops.
+
+use crate::billing::{Bill, LineItem, UsageKind};
+use crate::event::Event;
+use crate::job_monitor::{JobMonitor, JobState};
+use crate::kernel::{DriverStatus, JobDriver, Kernel};
+use crate::observer::BillingObserver;
+use crate::source::{MarketView, PriceSource, SlotPrice, ViewSource};
+use crate::EngineError;
+use spotbid_core::{BidDecision, JobSpec};
+use spotbid_market::units::{Cost, Hours, Price};
+use spotbid_trace::SpotPriceHistory;
+
+/// How a job's run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// All work completed on spot instances.
+    Completed,
+    /// One-time request terminated (or rejected) before completion.
+    TerminatedEarly,
+    /// The price series ended before the job could finish.
+    HistoryExhausted,
+    /// Ran on an on-demand instance (no spot involvement).
+    OnDemand,
+    /// Started on spot, was terminated/stranded, and finished the
+    /// remainder on an on-demand instance (§5.1's "users may default to
+    /// on-demand instances if the jobs are not completed").
+    CompletedWithFallback,
+    /// A resilient run hit its fault budget (too many reclamations or too
+    /// long a price-feed outage) and gracefully degraded: the remaining
+    /// work was finished on an on-demand instance.
+    DegradedToOnDemand,
+    /// A resilient run lost its price feed for longer than the recovery
+    /// policy tolerates and had no on-demand fallback: the client can no
+    /// longer manage its bid and gives up.
+    FeedLost,
+}
+
+/// Full accounting of one job run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// How the run ended.
+    pub status: RunStatus,
+    /// Wall-clock time from submission to completion (or to the end of the
+    /// run for non-completed jobs).
+    pub completion_time: Hours,
+    /// Time on instances (execution + recovery replays).
+    pub running_time: Hours,
+    /// Idle time (outbid after starting) plus pre-start waiting.
+    pub idle_time: Hours,
+    /// Interruptions suffered.
+    pub interruptions: u32,
+    /// Total cost.
+    pub cost: Cost,
+    /// Itemized charges.
+    pub bill: Bill,
+    /// The price actually bid (`None` for on-demand runs).
+    pub bid: Option<Price>,
+    /// Execution work still undone when the run ended (zero when
+    /// completed).
+    pub remaining_work: Hours,
+    /// Bid-independent capacity reclamations suffered while running
+    /// (always zero outside the resilient runtime).
+    pub reclamations: u32,
+    /// Slots during which the price feed was unobservable (always zero
+    /// outside the resilient runtime).
+    pub feed_outages: u32,
+}
+
+impl JobOutcome {
+    /// Whether the job's work was completed (on spot or on demand).
+    pub fn completed(&self) -> bool {
+        matches!(
+            self.status,
+            RunStatus::Completed
+                | RunStatus::OnDemand
+                | RunStatus::CompletedWithFallback
+                | RunStatus::DegradedToOnDemand
+        )
+    }
+}
+
+/// How much degradation a resilient run tolerates before giving up on
+/// spot, and what it falls back to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Consecutive feed-outage slots tolerated before the client declares
+    /// the feed lost.
+    pub max_feed_outage_slots: u32,
+    /// Capacity reclamations tolerated before the client abandons spot.
+    pub max_reclaims: u32,
+    /// On-demand price to finish the job at when the fault budget is
+    /// exhausted (or the run otherwise fails to complete). `None` means no
+    /// fallback: the run reports its failure status instead.
+    pub on_demand_fallback: Option<Price>,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_feed_outage_slots: 3,
+            max_reclaims: 4,
+            on_demand_fallback: None,
+        }
+    }
+}
+
+/// One spot bidder advanced by the kernel: the §3.2 accept/terminate rules
+/// plus the resilient runtime's fault budgets.
+///
+/// On a fault-free view with a [`RecoveryPolicy::default`] this reduces
+/// exactly to the plain §3.2 replay (observation equals truth, no
+/// reclamations, no outages), which is why one driver serves both
+/// [`run_job`] and [`run_job_resilient`].
+#[derive(Debug)]
+pub struct SpotJobDriver {
+    monitor: JobMonitor,
+    bid: Price,
+    persistent: bool,
+    policy: RecoveryPolicy,
+    tag: u32,
+    status: RunStatus,
+    reclamations: u32,
+    feed_outages: u32,
+    consecutive_outages: u32,
+}
+
+impl SpotJobDriver {
+    /// A driver for one (validated) job bidding `bid`.
+    pub fn new(job: JobSpec, bid: Price, persistent: bool, policy: RecoveryPolicy, tag: u32) -> Self {
+        SpotJobDriver {
+            monitor: JobMonitor::new(job),
+            bid,
+            persistent,
+            policy,
+            tag,
+            status: RunStatus::HistoryExhausted,
+            reclamations: 0,
+            feed_outages: 0,
+            consecutive_outages: 0,
+        }
+    }
+
+    /// The run status so far (final once the session stops).
+    pub fn status(&self) -> RunStatus {
+        self.status
+    }
+
+    /// Folds the driver's final state and the accumulated bill into a
+    /// [`JobOutcome`].
+    pub fn into_outcome(self, bill: Bill) -> JobOutcome {
+        JobOutcome {
+            status: self.status,
+            completion_time: self.monitor.elapsed(),
+            running_time: self.monitor.running_time(),
+            idle_time: self.monitor.idle_time() + self.monitor.waiting_time(),
+            interruptions: self.monitor.interruptions(),
+            cost: bill.total(),
+            bill,
+            bid: Some(self.bid),
+            remaining_work: self.monitor.remaining_work(),
+            reclamations: self.reclamations,
+            feed_outages: self.feed_outages,
+        }
+    }
+}
+
+impl<S: PriceSource<Quote = SlotPrice>> JobDriver<S> for SpotJobDriver {
+    fn on_slot(
+        &mut self,
+        slot: u64,
+        quote: &SlotPrice,
+        emit: &mut dyn FnMut(Event),
+    ) -> Result<DriverStatus, EngineError> {
+        let tenant = self.tag;
+        let SlotPrice { truth, observed, reclaimed } = *quote;
+        if observed.is_none() {
+            self.feed_outages += 1;
+            self.consecutive_outages += 1;
+            emit(Event::FeedOutage { slot, tenant });
+            if self.consecutive_outages > self.policy.max_feed_outage_slots {
+                if self.policy.on_demand_fallback.is_none() {
+                    self.status = RunStatus::FeedLost;
+                }
+                return Ok(DriverStatus::Done);
+            }
+        } else {
+            self.consecutive_outages = 0;
+        }
+        let pre_state = self.monitor.state();
+        let started = pre_state != JobState::Waiting;
+        if reclaimed && pre_state == JobState::Running {
+            self.reclamations += 1;
+            emit(Event::Reclaimed { slot, tenant });
+        }
+        let provider_ok = self.bid >= truth && !reclaimed;
+        let accepted = if self.persistent {
+            // Self-pause on an observed spike; ride through outages (the
+            // provider still honours the standing request).
+            provider_ok && observed.is_none_or(|o| self.bid >= o)
+        } else {
+            provider_ok
+        };
+        if !accepted && !self.persistent {
+            if started {
+                // A running/idle one-time request with the price above its
+                // bid is terminated by the provider and exits the system.
+                let event = self.monitor.advance(false);
+                if event.interrupted {
+                    emit(Event::Interrupted { slot, tenant });
+                }
+            } else {
+                // A one-time request submitted below the current spot
+                // price is rejected outright (§3.2).
+                emit(Event::Rejected { slot, tenant });
+            }
+            self.status = RunStatus::TerminatedEarly;
+            return Ok(DriverStatus::Done);
+        }
+        let event = self.monitor.advance(accepted);
+        if accepted && pre_state != JobState::Running {
+            emit(Event::BidAccepted { slot, tenant });
+        }
+        if event.interrupted {
+            emit(Event::Interrupted { slot, tenant });
+        }
+        if event.used > Hours::ZERO {
+            // Charged at the *true* spot price for the time actually used
+            // (the model's per-slot charging; partial final slots are
+            // charged pro-rata).
+            emit(Event::Charged {
+                item: LineItem {
+                    slot,
+                    price: truth,
+                    duration: event.used,
+                    kind: UsageKind::Spot,
+                    tag: tenant,
+                },
+            });
+        }
+        if event.finished {
+            self.status = RunStatus::Completed;
+            emit(Event::Completed { slot, tenant });
+            return Ok(DriverStatus::Done);
+        }
+        if self.policy.on_demand_fallback.is_some() && self.reclamations > self.policy.max_reclaims
+        {
+            return Ok(DriverStatus::Done);
+        }
+        Ok(DriverStatus::Active)
+    }
+}
+
+/// An on-demand run: the whole job at `price`, no spot involvement.
+fn on_demand_outcome(
+    price: Price,
+    job: &JobSpec,
+    tag: u32,
+    validated: bool,
+) -> Result<JobOutcome, EngineError> {
+    let mut bill = Bill::new();
+    if validated {
+        bill.try_charge_on_demand(0, price, job.execution, tag)?;
+    } else {
+        bill.charge_on_demand(0, price, job.execution, tag);
+    }
+    Ok(JobOutcome {
+        status: RunStatus::OnDemand,
+        completion_time: job.execution,
+        running_time: job.execution,
+        idle_time: Hours::ZERO,
+        interruptions: 0,
+        cost: bill.total(),
+        bill,
+        bid: None,
+        remaining_work: Hours::ZERO,
+        reclamations: 0,
+        feed_outages: 0,
+    })
+}
+
+/// Runs a spot session over `view` through the kernel.
+fn run_spot_session<M: MarketView + ?Sized>(
+    view: &M,
+    bid: Price,
+    persistent: bool,
+    job: &JobSpec,
+    tag: u32,
+    policy: RecoveryPolicy,
+    validated: bool,
+) -> Result<JobOutcome, EngineError> {
+    let mut driver = SpotJobDriver::new(*job, bid, persistent, policy, tag);
+    let mut billing = if validated {
+        BillingObserver::validated()
+    } else {
+        BillingObserver::unvalidated()
+    };
+    let mut kernel = Kernel::new(job.slot, ViewSource::new(view));
+    kernel.run(&mut [&mut driver], &mut [&mut billing], None)?;
+    Ok(driver.into_outcome(billing.into_bill()))
+}
+
+/// Runs a job against `future` starting at its first slot, under the given
+/// decision. The billing `tag` labels line items (use distinct tags for
+/// MapReduce nodes).
+///
+/// # Errors
+///
+/// [`EngineError::Core`] for invalid jobs.
+pub fn run_job(
+    future: &SpotPriceHistory,
+    decision: BidDecision,
+    job: &JobSpec,
+    tag: u32,
+) -> Result<JobOutcome, EngineError> {
+    job.validate()?;
+    match decision {
+        BidDecision::OnDemand { price } => on_demand_outcome(price, job, tag, false),
+        BidDecision::Spot { price, persistent } => {
+            // A clean history never has outages or reclamations, so the
+            // default fault budgets are inert and this is the plain §3.2
+            // replay.
+            run_spot_session(future, price, persistent, job, tag, RecoveryPolicy::default(), false)
+        }
+    }
+}
+
+/// Runs a job with the §5.1 fallback: a spot run that ends without
+/// completing (a terminated one-time request, or a horizon running out)
+/// finishes its remaining work on an on-demand instance at `on_demand`,
+/// paying one extra recovery replay if the job had already started.
+///
+/// # Errors
+///
+/// Same contract as [`run_job`].
+pub fn run_job_with_fallback(
+    future: &SpotPriceHistory,
+    decision: BidDecision,
+    job: &JobSpec,
+    tag: u32,
+    on_demand: Price,
+) -> Result<JobOutcome, EngineError> {
+    let mut out = run_job(future, decision, job, tag)?;
+    if out.completed() {
+        return Ok(out);
+    }
+    let started = out.running_time > Hours::ZERO;
+    let fallback_work = out.remaining_work + if started { job.recovery } else { Hours::ZERO };
+    out.bill.charge_on_demand(
+        future.len() as u64, // after the spot portion
+        on_demand,
+        fallback_work,
+        tag,
+    );
+    out.status = RunStatus::CompletedWithFallback;
+    out.completion_time += fallback_work;
+    out.running_time += fallback_work;
+    out.cost = out.bill.total();
+    out.remaining_work = Hours::ZERO;
+    Ok(out)
+}
+
+/// Runs a job against a possibly-faulty [`MarketView`] under a
+/// [`RecoveryPolicy`]: the hardened counterpart of [`run_job`].
+///
+/// Semantics, chosen so that a fault-free view reproduces [`run_job`]
+/// **exactly** (the chaos suite asserts bit-equality):
+///
+/// * Provider acceptance uses the *true* price (`bid >= truth`) and is
+///   vetoed by a capacity reclamation.
+/// * A persistent client additionally self-pauses (checkpoints and lets
+///   the slot go idle) whenever it *observes* a price above its bid —
+///   prudent when the observation may be stale. With a clean feed,
+///   observation equals truth, so this changes nothing.
+/// * Feed outages (no observable price) are counted; once more than
+///   `max_feed_outage_slots` run consecutively, the client can no longer
+///   manage its bid and stops — degrading to on-demand if the policy has a
+///   fallback, else ending with [`RunStatus::FeedLost`].
+/// * Reclamations while running are counted; past `max_reclaims` (with a
+///   fallback configured) the client abandons spot and degrades.
+/// * With a fallback configured, any non-completed ending degrades to
+///   on-demand (finishing `remaining_work`, plus one recovery replay if
+///   the job had started), mirroring [`run_job_with_fallback`].
+///
+/// All charges go through the validated billing path, so a view that
+/// manufactures pathological prices yields [`EngineError::Billing`], never
+/// a corrupt bill.
+///
+/// # Errors
+///
+/// [`EngineError::Core`] for invalid jobs, [`EngineError::Billing`] for
+/// pathological charges surfaced by the view.
+pub fn run_job_resilient<M: MarketView>(
+    view: &M,
+    decision: BidDecision,
+    job: &JobSpec,
+    tag: u32,
+    policy: &RecoveryPolicy,
+) -> Result<JobOutcome, EngineError> {
+    job.validate()?;
+    let (bid, persistent) = match decision {
+        BidDecision::OnDemand { price } => return on_demand_outcome(price, job, tag, true),
+        BidDecision::Spot { price, persistent } => (price, persistent),
+    };
+    let mut out = run_spot_session(view, bid, persistent, job, tag, *policy, true)?;
+    if !out.completed() && out.status != RunStatus::FeedLost {
+        if let Some(od) = policy.on_demand_fallback {
+            let started = out.running_time > Hours::ZERO;
+            let fallback_work =
+                out.remaining_work + if started { job.recovery } else { Hours::ZERO };
+            out.bill
+                .try_charge_on_demand(view.len() as u64, od, fallback_work, tag)?;
+            out.status = RunStatus::DegradedToOnDemand;
+            out.completion_time += fallback_work;
+            out.running_time += fallback_work;
+            out.cost = out.bill.total();
+            out.remaining_work = Hours::ZERO;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotbid_trace::history::default_slot_len;
+
+    fn hist(prices: &[f64]) -> SpotPriceHistory {
+        SpotPriceHistory::new(
+            default_slot_len(),
+            prices.iter().map(|&p| Price::new(p)).collect(),
+        )
+        .unwrap()
+    }
+
+    fn job(ts: f64, tr_s: f64) -> JobSpec {
+        JobSpec::builder(ts).recovery_secs(tr_s).build().unwrap()
+    }
+
+    fn spot(bid: f64, persistent: bool) -> BidDecision {
+        BidDecision::Spot {
+            price: Price::new(bid),
+            persistent,
+        }
+    }
+
+    #[test]
+    fn on_demand_run() {
+        let h = hist(&[0.05]);
+        let j = job(1.0, 0.0);
+        let out = run_job(&h, BidDecision::OnDemand { price: Price::new(0.35) }, &j, 0).unwrap();
+        assert_eq!(out.status, RunStatus::OnDemand);
+        assert!((out.cost.as_f64() - 0.35).abs() < 1e-12);
+        assert_eq!(out.bid, None);
+        assert!(out.completed());
+    }
+
+    #[test]
+    fn smooth_spot_run_charges_spot_prices() {
+        let h = hist(&[0.03, 0.04, 0.05, 0.06]);
+        let j = job(0.25, 30.0);
+        let out = run_job(&h, spot(0.10, true), &j, 0).unwrap();
+        assert_eq!(out.status, RunStatus::Completed);
+        assert_eq!(out.interruptions, 0);
+        let expected = (0.03 + 0.04 + 0.05) / 12.0;
+        assert!((out.cost.as_f64() - expected).abs() < 1e-12, "{}", out.cost);
+    }
+
+    #[test]
+    fn onetime_rejected_at_submission() {
+        let h = hist(&[0.20, 0.03]);
+        let j = job(0.25, 0.0);
+        let out = run_job(&h, spot(0.10, false), &j, 0).unwrap();
+        assert_eq!(out.status, RunStatus::TerminatedEarly);
+        assert_eq!(out.cost, Cost::ZERO);
+    }
+
+    #[test]
+    fn fallback_completes_terminated_onetime() {
+        let h = hist(&[0.03, 0.20, 0.20]);
+        let j = job(0.25, 60.0);
+        let out =
+            run_job_with_fallback(&h, spot(0.10, false), &j, 0, Price::new(0.35)).unwrap();
+        assert_eq!(out.status, RunStatus::CompletedWithFallback);
+        let expect = 0.03 * (5.0 / 60.0) + 0.35 * (11.0 / 60.0);
+        assert!((out.cost.as_f64() - expect).abs() < 1e-12, "{}", out.cost);
+    }
+
+    #[test]
+    fn resilient_equals_plain_on_clean_history() {
+        let h = hist(&[0.03, 0.20, 0.20, 0.03, 0.03, 0.03, 0.03]);
+        let j = job(0.25, 60.0);
+        let plain = run_job(&h, spot(0.10, true), &j, 0).unwrap();
+        let resilient =
+            run_job_resilient(&h, spot(0.10, true), &j, 0, &RecoveryPolicy::default()).unwrap();
+        assert_eq!(plain, resilient);
+    }
+
+    #[test]
+    fn driver_emits_lifecycle_events() {
+        use crate::observer::EventLog;
+        let h = hist(&[0.20, 0.03, 0.20, 0.03, 0.03]);
+        let j = job(0.15, 60.0); // 9 min: needs 2 accepted slots
+        let mut driver =
+            SpotJobDriver::new(j, Price::new(0.10), true, RecoveryPolicy::default(), 5);
+        let mut log = EventLog::new();
+        let mut kernel = Kernel::new(j.slot, ViewSource::new(&h));
+        kernel.run(&mut [&mut driver], &mut [&mut log], None).unwrap();
+        let kinds: Vec<&Event> = log
+            .events()
+            .iter()
+            .filter(|e| e.tenant() == Some(5))
+            .collect();
+        // Waits (slot 0), accepted (slot 1), interrupted (slot 2),
+        // re-accepted (slot 3), completed (slot 4).
+        assert!(matches!(kinds[0], Event::BidAccepted { slot: 1, .. }), "{kinds:?}");
+        assert!(kinds.iter().any(|e| matches!(e, Event::Interrupted { slot: 2, .. })));
+        assert!(kinds.iter().any(|e| matches!(e, Event::BidAccepted { slot: 3, .. })));
+        assert!(kinds.iter().any(|e| matches!(e, Event::Completed { .. })));
+        assert!(kinds.iter().any(|e| matches!(e, Event::Charged { .. })));
+    }
+}

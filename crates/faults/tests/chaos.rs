@@ -356,6 +356,87 @@ fn mapreduce_answers_survive_cluster_chaos() {
 }
 
 #[test]
+fn zero_fault_chaos_through_the_engine_matches_clean_kernel_runs() {
+    // Same invariant as `zero_fault_chaos_is_bit_identical_to_the_clean_run`,
+    // but exercised against the engine crate directly (the client runtime
+    // is now a shim over it): a zero-fault `FaultyMarket` driven through
+    // the kernel's resilient driver must reproduce the clean kernel run
+    // bit for bit, and both must agree with the client-facing adapters.
+    let h = market_history(42, 600);
+    let sched = FaultSchedule::generate(base_fault_seed(), 600, 0, &FaultConfig::NONE);
+    let view = FaultyMarket::new(&h, &sched);
+    let job = job();
+    let policy = RecoveryPolicy::default();
+    for persistent in [true, false] {
+        for bid in [h.min_price(), h.mean_price(), h.max_price()] {
+            let decision = BidDecision::Spot {
+                price: bid,
+                persistent,
+            };
+            let clean = spotbid_engine::run_job(&h, decision, &job, 0).unwrap();
+            let chaotic =
+                spotbid_engine::run_job_resilient(&view, decision, &job, 0, &policy).unwrap();
+            assert_eq!(clean, chaotic, "zero faults must change nothing");
+            let via_client = run_job_resilient(&view, decision, &job, 0, &policy).unwrap();
+            assert_eq!(chaotic, via_client, "client shim diverged from engine");
+        }
+    }
+}
+
+#[test]
+fn closed_loop_market_is_bit_identical_across_thread_counts() {
+    // The multi-tenant closed loop — N strategy-driven bidders inside one
+    // endogenous market — is a pure function of its u64 seed, at any
+    // thread count. Digest every tenant outcome plus the aggregate price
+    // path statistics.
+    use spotbid_core::strategy::BiddingStrategy;
+    use spotbid_engine::{run_closed_loop, ClosedLoopConfig};
+    use spotbid_market::params::MarketParams;
+
+    let cfg = ClosedLoopConfig {
+        params: MarketParams::new(Price::new(0.35), Price::new(0.02), 0.05, 0.05).unwrap(),
+        slot_len: Hours::from_minutes(5.0),
+        on_demand: Price::new(0.35),
+        job: JobSpec::builder(1.0).recovery_secs(60.0).build().unwrap(),
+        warmup_slots: 60,
+        horizon_slots: 240,
+        background_arrivals: 3.0,
+        max_resubmissions: 4,
+    };
+    let strategies = [
+        BiddingStrategy::OptimalPersistent,
+        BiddingStrategy::Percentile(0.95),
+        BiddingStrategy::FixedBid(Price::new(0.30)),
+        BiddingStrategy::OptimalOneTime,
+    ];
+    let run = || {
+        par_trials(0xC105ED, 8, |i, _rng| {
+            let report = run_closed_loop(&strategies, &cfg, 0xB1D + i as u64).unwrap();
+            let mut digest = vec![
+                report.completed as u64,
+                report.mean_savings.to_bits(),
+                report.mean_price.as_f64().to_bits(),
+                report.peak_price.as_f64().to_bits(),
+                report.slots as u64,
+            ];
+            for t in &report.tenants {
+                digest.push(t.cost.as_f64().to_bits());
+                digest.push(t.savings.to_bits());
+                digest.push(u64::from(t.interruptions));
+                digest.push(t.spot_slots);
+            }
+            digest
+        })
+    };
+    let serial = with_threads(1, run);
+    let parallel = with_threads(4, run);
+    assert_eq!(
+        serial, parallel,
+        "closed-loop outcomes must not depend on thread count"
+    );
+}
+
+#[test]
 fn checkpoint_storage_chaos_is_deterministic_and_only_slows_jobs() {
     let inst = catalog::by_name("r3.xlarge").unwrap();
     let h = market_history(101, 8_000);

@@ -104,84 +104,142 @@ enum SlaveState {
     Down,
 }
 
-/// Simulates the job: `avail(t)` supplies slot `t`'s availability.
+/// The scheduler as a resumable per-slot state machine.
 ///
-/// The master starts the job at slot 0 (availability at slot 0 must
-/// include the master, or the job simply waits; a master that disappears
-/// *after* appearing fails the job).
-pub fn simulate<F: FnMut(usize) -> Availability>(
-    tasks: &[TaskSpec],
-    cfg: &ScheduleConfig,
-    mut avail: F,
-) -> ScheduleOutcome {
-    let mut pending_map: Vec<usize> = tasks
-        .iter()
-        .filter(|t| t.phase == Phase::Map)
-        .map(|t| t.id)
-        .collect();
-    let mut pending_reduce: Vec<usize> = tasks
-        .iter()
-        .filter(|t| t.phase == Phase::Reduce)
-        .map(|t| t.id)
-        .collect();
-    // Preserve submission order: assign lowest id first.
-    pending_map.sort_unstable();
-    pending_reduce.sort_unstable();
-    pending_map.reverse();
-    pending_reduce.reverse();
-    let mut maps_left = pending_map.len();
-    let mut done = vec![false; tasks.len()];
-    let mut remaining_total = tasks.len();
-    // Live copies per task (primary + at most one speculative backup).
-    let mut copies = vec![0u32; tasks.len()];
-    let mut speculative_launches = 0u32;
+/// [`simulate`] drives it in a closed loop from an availability closure;
+/// the kernel-backed cluster runtime in [`crate::spot`] instead advances
+/// it one [`step`](ScheduleSim::step) per kernel slot, deriving
+/// availability from the slot's price quote. Both paths run the identical
+/// transition code, so a schedule is bit-for-bit the same whichever loop
+/// drives it.
+#[derive(Debug, Clone)]
+pub struct ScheduleSim {
+    tasks: Vec<TaskSpec>,
+    cfg: ScheduleConfig,
+    pending_map: Vec<usize>,
+    pending_reduce: Vec<usize>,
+    maps_left: usize,
+    done: Vec<bool>,
+    remaining_total: usize,
+    /// Live copies per task (primary + at most one speculative backup).
+    copies: Vec<u32>,
+    speculative_launches: u32,
+    states: Vec<SlaveState>,
+    pending_recovery: Vec<Hours>,
+    master_seen_up: bool,
+    interruptions: u32,
+    reschedules: u32,
+    master_up_log: Vec<bool>,
+    slaves_up_log: Vec<u32>,
+    t: usize,
+}
 
-    let mut states: Vec<SlaveState> = Vec::new();
-    let mut pending_recovery: Vec<Hours> = Vec::new();
-    let mut master_seen_up = false;
-    let mut interruptions = 0u32;
-    let mut reschedules = 0u32;
-    let mut master_up_log = Vec::new();
-    let mut slaves_up_log = Vec::new();
-
-    for t in 0..cfg.max_slots {
-        let a = avail(t);
-        if states.len() < a.slaves.len() {
-            states.resize(a.slaves.len(), SlaveState::Down);
-            pending_recovery.resize(a.slaves.len(), Hours::ZERO);
+impl ScheduleSim {
+    /// Sets up a run of `tasks` under `cfg`, with no slots processed yet.
+    pub fn new(tasks: &[TaskSpec], cfg: &ScheduleConfig) -> Self {
+        let mut pending_map: Vec<usize> = tasks
+            .iter()
+            .filter(|t| t.phase == Phase::Map)
+            .map(|t| t.id)
+            .collect();
+        let mut pending_reduce: Vec<usize> = tasks
+            .iter()
+            .filter(|t| t.phase == Phase::Reduce)
+            .map(|t| t.id)
+            .collect();
+        // Preserve submission order: assign lowest id first.
+        pending_map.sort_unstable();
+        pending_reduce.sort_unstable();
+        pending_map.reverse();
+        pending_reduce.reverse();
+        let maps_left = pending_map.len();
+        ScheduleSim {
+            cfg: *cfg,
+            pending_map,
+            pending_reduce,
+            maps_left,
+            done: vec![false; tasks.len()],
+            remaining_total: tasks.len(),
+            copies: vec![0u32; tasks.len()],
+            speculative_launches: 0,
+            states: Vec::new(),
+            pending_recovery: Vec::new(),
+            master_seen_up: false,
+            interruptions: 0,
+            reschedules: 0,
+            master_up_log: Vec::new(),
+            slaves_up_log: Vec::new(),
+            t: 0,
+            tasks: tasks.to_vec(),
         }
-        master_up_log.push(a.master);
-        slaves_up_log.push(a.slaves.iter().filter(|&&u| u).count() as u32);
+    }
+
+    /// The next slot index [`step`](ScheduleSim::step) will process.
+    pub fn slot(&self) -> usize {
+        self.t
+    }
+
+    /// Whether the slot budget (`max_slots`) is spent.
+    pub fn timed_out(&self) -> bool {
+        self.t >= self.cfg.max_slots
+    }
+
+    /// Processes one slot under the given availability. Returns the
+    /// terminal status once the run ends — the driver must stop calling
+    /// [`step`](ScheduleSim::step) after that and pass the status to
+    /// [`into_outcome`](ScheduleSim::into_outcome).
+    pub fn step(&mut self, a: &Availability) -> Option<ScheduleStatus> {
+        if self.timed_out() {
+            return Some(ScheduleStatus::TimedOut);
+        }
+        if self.states.len() < a.slaves.len() {
+            self.states.resize(a.slaves.len(), SlaveState::Down);
+            self.pending_recovery.resize(a.slaves.len(), Hours::ZERO);
+        }
+        self.master_up_log.push(a.master);
+        self.slaves_up_log
+            .push(a.slaves.iter().filter(|&&u| u).count() as u32);
+        self.t += 1;
 
         if a.master {
-            master_seen_up = true;
-        } else if master_seen_up {
-            return ScheduleOutcome {
-                status: ScheduleStatus::MasterFailed,
-                slots_elapsed: t + 1,
-                completion_time: cfg.slot * (t + 1) as f64,
-                slave_interruptions: interruptions,
-                task_reschedules: reschedules,
-                speculative_launches,
-                master_up: master_up_log,
-                slaves_up: slaves_up_log,
-            };
+            self.master_seen_up = true;
+        } else if self.master_seen_up {
+            return Some(ScheduleStatus::MasterFailed);
         } else {
             // Job hasn't started: nothing happens this slot.
-            continue;
+            return self.timed_out().then_some(ScheduleStatus::TimedOut);
         }
+
+        // Borrow every piece by name so the per-slave loops below can hold
+        // `states` mutably while reading the task tables.
+        let ScheduleSim {
+            tasks,
+            cfg,
+            pending_map,
+            pending_reduce,
+            maps_left,
+            done,
+            remaining_total,
+            copies,
+            speculative_launches,
+            states,
+            pending_recovery,
+            interruptions,
+            reschedules,
+            ..
+        } = self;
 
         // Transitions: slaves going down lose their in-flight task.
         for (i, (&up, state)) in a.slaves.iter().zip(states.iter_mut()).enumerate() {
             match (*state, up) {
                 (SlaveState::Busy { task, .. }, false) => {
-                    interruptions += 1;
+                    *interruptions += 1;
                     copies[task] = copies[task].saturating_sub(1);
                     // The task restarts from scratch elsewhere — unless a
                     // speculative backup copy is still running, in which
                     // case the loss costs nothing to reschedule.
                     if !done[task] && copies[task] == 0 {
-                        reschedules += 1;
+                        *reschedules += 1;
                         let spec = &tasks[task];
                         match spec.phase {
                             Phase::Map => pending_map.push(task),
@@ -229,10 +287,10 @@ pub fn simulate<F: FnMut(usize) -> Availability>(
                         budget -= spent;
                         if left <= Hours::new(1e-12) {
                             done[task] = true;
-                            remaining_total -= 1;
+                            *remaining_total -= 1;
                             copies[task] = copies[task].saturating_sub(1);
                             if tasks[task].phase == Phase::Map {
-                                maps_left -= 1;
+                                *maps_left -= 1;
                             }
                             *state = SlaveState::Idle;
                         } else {
@@ -245,7 +303,7 @@ pub fn simulate<F: FnMut(usize) -> Availability>(
                     }
                     SlaveState::Idle => {
                         let next = pending_map.pop().or_else(|| {
-                            if maps_left == 0 {
+                            if *maps_left == 0 {
                                 pending_reduce.pop()
                             } else {
                                 None // reduce barrier: wait for maps
@@ -266,12 +324,12 @@ pub fn simulate<F: FnMut(usize) -> Availability>(
                                 let candidate = tasks.iter().find(|s| {
                                     !done[s.id]
                                         && copies[s.id] == 1
-                                        && (maps_left == 0 || s.phase == Phase::Map)
+                                        && (*maps_left == 0 || s.phase == Phase::Map)
                                 });
                                 match candidate {
                                     Some(spec) => {
                                         copies[spec.id] += 1;
-                                        speculative_launches += 1;
+                                        *speculative_launches += 1;
                                         *state = SlaveState::Busy {
                                             task: spec.id,
                                             remaining: spec.duration,
@@ -288,29 +346,48 @@ pub fn simulate<F: FnMut(usize) -> Availability>(
             }
         }
 
-        if remaining_total == 0 {
-            return ScheduleOutcome {
-                status: ScheduleStatus::Completed,
-                slots_elapsed: t + 1,
-                completion_time: cfg.slot * (t + 1) as f64,
-                slave_interruptions: interruptions,
-                task_reschedules: reschedules,
-                speculative_launches,
-                master_up: master_up_log,
-                slaves_up: slaves_up_log,
-            };
+        if self.remaining_total == 0 {
+            return Some(ScheduleStatus::Completed);
+        }
+        self.timed_out().then_some(ScheduleStatus::TimedOut)
+    }
+
+    /// Consumes the simulator into the run's outcome under the terminal
+    /// `status` returned by the last [`step`](ScheduleSim::step) (or
+    /// [`ScheduleStatus::TimedOut`] if the driving loop stopped first,
+    /// e.g. on an exhausted price source).
+    pub fn into_outcome(self, status: ScheduleStatus) -> ScheduleOutcome {
+        ScheduleOutcome {
+            status,
+            slots_elapsed: self.t,
+            completion_time: self.cfg.slot * self.t as f64,
+            slave_interruptions: self.interruptions,
+            task_reschedules: self.reschedules,
+            speculative_launches: self.speculative_launches,
+            master_up: self.master_up_log,
+            slaves_up: self.slaves_up_log,
         }
     }
-    ScheduleOutcome {
-        status: ScheduleStatus::TimedOut,
-        slots_elapsed: cfg.max_slots,
-        completion_time: cfg.slot * cfg.max_slots as f64,
-        slave_interruptions: interruptions,
-        task_reschedules: reschedules,
-        speculative_launches,
-        master_up: master_up_log,
-        slaves_up: slaves_up_log,
+}
+
+/// Simulates the job: `avail(t)` supplies slot `t`'s availability.
+///
+/// The master starts the job at slot 0 (availability at slot 0 must
+/// include the master, or the job simply waits; a master that disappears
+/// *after* appearing fails the job).
+pub fn simulate<F: FnMut(usize) -> Availability>(
+    tasks: &[TaskSpec],
+    cfg: &ScheduleConfig,
+    mut avail: F,
+) -> ScheduleOutcome {
+    let mut sim = ScheduleSim::new(tasks, cfg);
+    while !sim.timed_out() {
+        let a = avail(sim.slot());
+        if let Some(status) = sim.step(&a) {
+            return sim.into_outcome(status);
+        }
     }
+    sim.into_outcome(ScheduleStatus::TimedOut)
 }
 
 #[cfg(test)]

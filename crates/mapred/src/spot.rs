@@ -6,17 +6,32 @@
 //! the job is scheduled under interruptions, every up-slot is billed at
 //! the slot's spot price, and the word-count result is checked against the
 //! sequential reference execution.
+//!
+//! Since the kernel refactor both entry points run through
+//! `spotbid-engine`: a private `ClusterDriver` advances the resumable
+//! [`ScheduleSim`] one kernel slot at a time, deriving availability from
+//! the slot's [`ClusterQuote`], and bills through the kernel's event
+//! stream via [`cluster_slot_events`] — the one shared helper that
+//! replaced this module's two hand-rolled billing loops (spot and
+//! on-demand differed only in where prices came from and whether nodes
+//! could be down).
 
 use crate::corpus::Corpus;
 use crate::engine::{run_local, shard};
 use crate::schedule::{
-    simulate, Availability, Phase, ScheduleConfig, ScheduleOutcome, ScheduleStatus, TaskSpec,
+    Availability, Phase, ScheduleConfig, ScheduleOutcome, ScheduleSim, ScheduleStatus, TaskSpec,
 };
 use crate::wordcount::WordCount;
 use crate::MapRedError;
-use spotbid_client::billing::Bill;
 use spotbid_core::mapreduce::MapReducePlan;
 use spotbid_core::JobSpec;
+use spotbid_engine::cluster::{
+    cluster_slot_events, ClusterQuote, ConstantClusterSource, DualTraceSource,
+};
+use spotbid_engine::{
+    Bill, BillingObserver, DriverStatus, EngineError, Event, JobDriver, Kernel, PriceSource,
+    UsageKind,
+};
 use spotbid_market::units::{Cost, Hours, Price};
 use spotbid_trace::SpotPriceHistory;
 
@@ -91,6 +106,125 @@ impl MapReduceOutcome {
     }
 }
 
+/// How the cluster's two roles turn a slot's quote into availability and
+/// line items.
+#[derive(Debug, Clone, Copy)]
+enum ClusterPricing {
+    /// §3.2 spot rules per role: a node is up while its bid meets the
+    /// slot's price, and billed at that price.
+    Spot {
+        master_bid: Price,
+        slave_bid: Price,
+    },
+    /// Always up, billed at the quoted (on-demand) prices.
+    OnDemand,
+}
+
+/// Kernel driver for a master/slave cluster: one [`ScheduleSim`] step per
+/// kernel slot, availability derived from the slot's quote, billing
+/// emitted as `Event::Charged` through [`cluster_slot_events`].
+struct ClusterDriver {
+    sim: ScheduleSim,
+    pricing: ClusterPricing,
+    m: usize,
+    slot_len: Hours,
+    kind: UsageKind,
+    status: Option<ScheduleStatus>,
+    avail: Availability,
+}
+
+impl ClusterDriver {
+    fn new(tasks: &[TaskSpec], cfg: &ScheduleConfig, pricing: ClusterPricing, m: u32) -> Self {
+        let m = m as usize;
+        ClusterDriver {
+            sim: ScheduleSim::new(tasks, cfg),
+            pricing,
+            m,
+            slot_len: cfg.slot,
+            kind: match pricing {
+                ClusterPricing::Spot { .. } => UsageKind::Spot,
+                ClusterPricing::OnDemand => UsageKind::OnDemand,
+            },
+            status: None,
+            avail: Availability {
+                master: false,
+                slaves: Vec::with_capacity(m),
+            },
+        }
+    }
+
+    fn into_outcome(self) -> ScheduleOutcome {
+        // A driver the kernel stopped early (exhausted source or slot cap)
+        // never saw a terminal status: the schedule ran out of time.
+        let status = self.status.unwrap_or(ScheduleStatus::TimedOut);
+        self.sim.into_outcome(status)
+    }
+}
+
+impl<S: PriceSource<Quote = ClusterQuote>> JobDriver<S> for ClusterDriver {
+    fn on_slot(
+        &mut self,
+        slot: u64,
+        quote: &ClusterQuote,
+        emit: &mut dyn FnMut(Event),
+    ) -> Result<DriverStatus, EngineError> {
+        let (master_up, slave_up) = match self.pricing {
+            ClusterPricing::Spot {
+                master_bid,
+                slave_bid,
+            } => (
+                quote.master.map(|p| master_bid >= p).unwrap_or(false),
+                quote.slave.map(|p| slave_bid >= p).unwrap_or(false),
+            ),
+            ClusterPricing::OnDemand => (true, true),
+        };
+        self.avail.master = master_up;
+        self.avail.slaves.clear();
+        self.avail.slaves.resize(self.m, slave_up);
+        let status = self.sim.step(&self.avail);
+        cluster_slot_events(
+            slot,
+            self.slot_len,
+            if master_up { quote.master } else { None },
+            quote.slave,
+            if slave_up { self.m as u32 } else { 0 },
+            self.kind,
+            MASTER_TAG,
+            SLAVE_TAG,
+            emit,
+        );
+        if let Some(s) = status {
+            self.status = Some(s);
+            return Ok(DriverStatus::Done);
+        }
+        Ok(DriverStatus::Active)
+    }
+}
+
+/// Runs the cluster session to completion on the kernel and splits the
+/// result back into the scheduler outcome and the bill.
+fn run_cluster<S: PriceSource<Quote = ClusterQuote>>(
+    tasks: &[TaskSpec],
+    cfg: &ScheduleConfig,
+    pricing: ClusterPricing,
+    m: u32,
+    source: S,
+) -> Result<(ScheduleOutcome, Bill), MapRedError> {
+    let mut driver = ClusterDriver::new(tasks, cfg, pricing, m);
+    let mut billing = BillingObserver::unvalidated();
+    let mut kernel = Kernel::new(cfg.slot, source);
+    kernel
+        .run(
+            &mut [&mut driver],
+            &mut [&mut billing],
+            Some(cfg.max_slots as u64),
+        )
+        .map_err(|e| MapRedError::InvalidConfig {
+            what: format!("cluster session failed: {e}"),
+        })?;
+    Ok((driver.into_outcome(), billing.into_bill()))
+}
+
 /// Runs the word-count job on spot instances: the plan's master bid
 /// against `master_future`, its slave bids against `slave_future`.
 ///
@@ -110,7 +244,8 @@ pub fn run_on_spot(
             what: "plan has zero slaves".into(),
         });
     }
-    let horizon = master_future.len().min(slave_future.len());
+    let source = DualTraceSource::new(master_future, slave_future);
+    let horizon = source.horizon();
     if horizon == 0 {
         return Err(MapRedError::InvalidConfig {
             what: "empty future price series".into(),
@@ -124,24 +259,11 @@ pub fn run_on_spot(
         // Spot slaves get interrupted; backup copies bound the work lost.
         speculative: true,
     };
-    let m = plan.m as usize;
-    let master_bid = plan.master.price;
-    let slave_bid = plan.slaves.price;
-    let outcome = simulate(&tasks, &cfg, |t| {
-        let master = master_future
-            .price_at_slot(t)
-            .map(|p| master_bid >= p)
-            .unwrap_or(false);
-        let slave_up = slave_future
-            .price_at_slot(t)
-            .map(|p| slave_bid >= p)
-            .unwrap_or(false);
-        Availability {
-            master,
-            slaves: vec![slave_up; m],
-        }
-    });
-    let bill = bill_run(&outcome, job, master_future, slave_future);
+    let pricing = ClusterPricing::Spot {
+        master_bid: plan.master.price,
+        slave_bid: plan.slaves.price,
+    };
+    let (outcome, bill) = run_cluster(&tasks, &cfg, pricing, plan.m, source)?;
     finish(corpus, plan.m, outcome, bill)
 }
 
@@ -171,39 +293,12 @@ pub fn run_on_demand(
         // On-demand instances never fail mid-run: no backups needed.
         speculative: false,
     };
-    let outcome = simulate(&tasks, &cfg, |_| Availability {
-        master: true,
-        slaves: vec![true; m as usize],
-    });
-    let mut bill = Bill::new();
-    for t in 0..outcome.slots_elapsed {
-        bill.charge_on_demand(t as u64, master_od, job.slot, MASTER_TAG);
-        bill.charge_on_demand(t as u64, slave_od * m as f64, job.slot, SLAVE_TAG);
-    }
+    let source = ConstantClusterSource {
+        master: master_od,
+        slave: slave_od,
+    };
+    let (outcome, bill) = run_cluster(&tasks, &cfg, ClusterPricing::OnDemand, m, source)?;
     finish(corpus, m, outcome, bill)
-}
-
-fn bill_run(
-    outcome: &ScheduleOutcome,
-    job: &JobSpec,
-    master_future: &SpotPriceHistory,
-    slave_future: &SpotPriceHistory,
-) -> Bill {
-    let mut bill = Bill::new();
-    for t in 0..outcome.slots_elapsed {
-        if outcome.master_up.get(t).copied().unwrap_or(false) {
-            if let Some(p) = master_future.price_at_slot(t) {
-                bill.charge_spot(t as u64, p, job.slot, MASTER_TAG);
-            }
-        }
-        let n = outcome.slaves_up.get(t).copied().unwrap_or(0);
-        if n > 0 {
-            if let Some(p) = slave_future.price_at_slot(t) {
-                bill.charge_spot(t as u64, p * n as f64, job.slot, SLAVE_TAG);
-            }
-        }
-    }
-    bill
 }
 
 fn finish(
@@ -237,6 +332,7 @@ fn finish(
 mod tests {
     use super::*;
     use crate::corpus::CorpusConfig;
+    use crate::schedule::simulate;
     use spotbid_core::mapreduce::plan;
     use spotbid_core::price_model::EmpiricalPrices;
     use spotbid_numerics::rng::Rng;
@@ -370,5 +466,87 @@ mod tests {
         p.m = 0;
         assert!(run_on_spot(&corpus, &p, &job, &m_future, &s_future).is_err());
         assert!(run_on_demand(&corpus, 0, &job, Price::new(0.1), Price::new(0.1)).is_err());
+    }
+
+    #[test]
+    fn kernel_billing_matches_legacy_loops() {
+        // The shared `cluster_slot_events` helper must reproduce this
+        // module's pre-refactor billing loops bit for bit: master item
+        // then aggregated slave item per up-slot, only while priced.
+        let (_, p, job, m_future, s_future) = setup();
+        let source = DualTraceSource::new(&m_future, &s_future);
+        let horizon = source.horizon();
+        let tasks = build_tasks(&job, p.m);
+        let cfg = ScheduleConfig {
+            slot: job.slot,
+            recovery: job.recovery,
+            max_slots: horizon,
+            speculative: true,
+        };
+        let pricing = ClusterPricing::Spot {
+            master_bid: p.master.price,
+            slave_bid: p.slaves.price,
+        };
+        let (outcome, bill) = run_cluster(&tasks, &cfg, pricing, p.m, source).unwrap();
+
+        // Legacy loop, reconstructed from the schedule's uptime logs.
+        let mut legacy = Bill::new();
+        for t in 0..outcome.slots_elapsed {
+            if outcome.master_up.get(t).copied().unwrap_or(false) {
+                if let Some(price) = m_future.price_at_slot(t) {
+                    legacy.charge_spot(t as u64, price, job.slot, MASTER_TAG);
+                }
+            }
+            let n = outcome.slaves_up.get(t).copied().unwrap_or(0);
+            if n > 0 {
+                if let Some(price) = s_future.price_at_slot(t) {
+                    legacy.charge_spot(t as u64, price * n as f64, job.slot, SLAVE_TAG);
+                }
+            }
+        }
+        assert_eq!(bill, legacy);
+        assert!(!bill.items().is_empty());
+
+        // And the schedule itself matches the closure-driven simulate.
+        let m = p.m as usize;
+        let reference = simulate(&tasks, &cfg, |t| Availability {
+            master: m_future
+                .price_at_slot(t)
+                .map(|price| p.master.price >= price)
+                .unwrap_or(false),
+            slaves: vec![
+                s_future
+                    .price_at_slot(t)
+                    .map(|price| p.slaves.price >= price)
+                    .unwrap_or(false);
+                m
+            ],
+        });
+        assert_eq!(outcome, reference);
+    }
+
+    #[test]
+    fn kernel_on_demand_billing_matches_legacy_loop() {
+        let (_, p, job, _, _) = setup();
+        let (master_od, slave_od) = (Price::new(0.28), Price::new(0.84));
+        let tasks = build_tasks(&job, p.m);
+        let cfg = ScheduleConfig {
+            slot: job.slot,
+            recovery: job.recovery,
+            max_slots: 1_000_000,
+            speculative: false,
+        };
+        let source = ConstantClusterSource {
+            master: master_od,
+            slave: slave_od,
+        };
+        let (outcome, bill) =
+            run_cluster(&tasks, &cfg, ClusterPricing::OnDemand, p.m, source).unwrap();
+        let mut legacy = Bill::new();
+        for t in 0..outcome.slots_elapsed {
+            legacy.charge_on_demand(t as u64, master_od, job.slot, MASTER_TAG);
+            legacy.charge_on_demand(t as u64, slave_od * p.m as f64, job.slot, SLAVE_TAG);
+        }
+        assert_eq!(bill, legacy);
     }
 }

@@ -38,6 +38,12 @@ COMMANDS:
                --instance <type> [--ts 1.0] [--tr-secs 30]
                [--max-cost-std <$>] [--deadline-hours <h> --epsilon 0.05]
                [--trials 300] [--seed 1]
+  engine     closed-loop multi-tenant bidding on the simulation kernel:
+             N strategy-driven tenants in one endogenous spot market
+               [--tenants 4] [--strategy onetime|persistent|percentile|
+               fixed|ondemand] [--bid 0.30] [--percentile 0.9] [--ts 1.0]
+               [--tr-secs 60] [--warmup 100] [--horizon 500] [--arrivals 3.0]
+               [--pi-bar 0.35] [--pi-min 0.02] [--resubmit 4] [--seed 1]
   catalog    list the Table 2 instance types
 
 Every command accepts --help.";
@@ -345,6 +351,91 @@ pub fn cmd_risk(args: &Args) -> Result<String, ArgError> {
     ))
 }
 
+/// `spotbid engine`.
+pub fn cmd_engine(args: &Args) -> Result<String, ArgError> {
+    use spotbid_engine::{run_closed_loop, ClosedLoopConfig};
+    use spotbid_market::units::Price;
+    use spotbid_market::MarketParams;
+    args.check_known(&[
+        "tenants",
+        "strategy",
+        "bid",
+        "percentile",
+        "ts",
+        "tr-secs",
+        "warmup",
+        "horizon",
+        "arrivals",
+        "pi-bar",
+        "pi-min",
+        "resubmit",
+        "seed",
+        "help",
+    ])?;
+    let tenants: usize = args.get_or("tenants", 4)?;
+    let strategy = match args.get("strategy").unwrap_or("persistent") {
+        "onetime" => BiddingStrategy::OptimalOneTime,
+        "persistent" => BiddingStrategy::OptimalPersistent,
+        "percentile" => BiddingStrategy::Percentile(args.get_or("percentile", 0.9)?),
+        "fixed" => BiddingStrategy::FixedBid(Price::new(args.get_or("bid", 0.30)?)),
+        "ondemand" => BiddingStrategy::OnDemand,
+        other => return Err(ArgError(format!("unknown strategy {other:?}"))),
+    };
+    let pi_bar: f64 = args.get_or("pi-bar", 0.35)?;
+    let pi_min: f64 = args.get_or("pi-min", 0.02)?;
+    let params = MarketParams::new(Price::new(pi_bar), Price::new(pi_min), 0.05, 0.05)
+        .map_err(|e| ArgError(e.to_string()))?;
+    let job = JobSpec::builder(args.get_or("ts", 1.0)?)
+        .recovery_secs(args.get_or("tr-secs", 60.0)?)
+        .build()
+        .map_err(|e| ArgError(e.to_string()))?;
+    let cfg = ClosedLoopConfig {
+        params,
+        slot_len: job.slot,
+        on_demand: Price::new(pi_bar),
+        job,
+        warmup_slots: args.get_or("warmup", 100)?,
+        horizon_slots: args.get_or("horizon", 500)?,
+        background_arrivals: args.get_or("arrivals", 3.0)?,
+        max_resubmissions: args.get_or("resubmit", 4)?,
+    };
+    let seed: u64 = args.get_or("seed", 1)?;
+    let strategies = vec![strategy; tenants];
+    let report = run_closed_loop(&strategies, &cfg, seed).map_err(|e| ArgError(e.to_string()))?;
+    let mut out = format!(
+        "closed loop — {tenants} × {strategy:?} tenants, {} job, seed {seed}\n\
+         market: on-demand/π̄ ${pi_bar:.3}, π_min ${pi_min:.3}, background λ {:.1}/slot\n\
+         warmup {} slots, horizon {} slots ({})\n\n",
+        job.execution,
+        cfg.background_arrivals,
+        cfg.warmup_slots,
+        cfg.horizon_slots,
+        cfg.slot_len * cfg.horizon_slots as f64,
+    );
+    out.push_str("tenant  completed  spot slots  interrupts  resubmits       cost   savings\n");
+    for t in &report.tenants {
+        out.push_str(&format!(
+            "{:>6}  {:>9}  {:>10}  {:>10}  {:>9}  {:>9} {:>8.1}%\n",
+            t.tenant,
+            if t.completed { "yes" } else { "no" },
+            t.spot_slots,
+            t.interruptions,
+            t.resubmissions,
+            format!("${:.4}", t.cost.as_f64()),
+            t.savings * 100.0,
+        ));
+    }
+    out.push_str(&format!(
+        "\ncompleted in loop {}/{}   mean savings {:.1}%   posted price mean {} peak {}\n",
+        report.completed,
+        tenants,
+        report.mean_savings * 100.0,
+        report.mean_price,
+        report.peak_price,
+    ));
+    Ok(out)
+}
+
 /// `spotbid catalog`.
 pub fn cmd_catalog(args: &Args) -> Result<String, ArgError> {
     args.check_known(&["help"])?;
@@ -377,6 +468,7 @@ pub fn dispatch(args: &Args) -> Result<String, ArgError> {
         Some("analyze") => cmd_analyze(args),
         Some("mapreduce") => cmd_mapreduce(args),
         Some("risk") => cmd_risk(args),
+        Some("engine") => cmd_engine(args),
         Some("catalog") => cmd_catalog(args),
         Some(other) => Err(ArgError(format!("unknown command {other:?}\n\n{USAGE}"))),
         None => Ok(USAGE.to_string()),
@@ -486,6 +578,22 @@ mod tests {
         assert!(out.contains("risk-aware bid"));
         assert!(out.contains("P[miss deadline]"));
         assert!(run(&["risk", "--instance", "r3.xlarge", "--bad-flag", "1"]).is_err());
+    }
+
+    #[test]
+    fn engine_closed_loop() {
+        let argv = [
+            "engine", "--tenants", "2", "--strategy", "fixed", "--bid", "0.34", "--warmup", "20",
+            "--horizon", "80", "--seed", "3",
+        ];
+        let out = run(&argv).unwrap();
+        assert!(out.contains("closed loop — 2 ×"));
+        assert!(out.contains("completed in loop"));
+        assert!(out.contains("posted price mean"));
+        assert_eq!(out, run(&argv).unwrap(), "engine run is not seed-deterministic");
+        assert!(run(&["engine", "--strategy", "zzz"]).is_err());
+        assert!(run(&["engine", "--bogus", "1"]).is_err());
+        assert!(run(&["engine", "--warmup", "0"]).is_err());
     }
 
     #[test]

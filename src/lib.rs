@@ -13,6 +13,7 @@
 //! - [`market`] — the provider's pricing model and spot-market simulator.
 //! - [`trace`] — spot-price histories, instance catalog, synthetic traces.
 //! - [`core`] — **the paper's contribution**: optimal bidding strategies.
+//! - [`engine`] — the event-driven simulation kernel and closed-loop mode.
 //! - [`client`] — the bidding client (Figure 1) and experiment harness.
 //! - [`mapred`] — a miniature MapReduce engine running on spot instances.
 //!
@@ -43,6 +44,7 @@
 
 pub use spotbid_client as client;
 pub use spotbid_core as core;
+pub use spotbid_engine as engine;
 pub use spotbid_mapred as mapred;
 pub use spotbid_market as market;
 pub use spotbid_numerics as numerics;
