@@ -2,22 +2,27 @@
 //!
 //! Runs the named benchmarks that make up the repository's performance
 //! trajectory — the price-model kernels (optimized vs brute-force rescan),
-//! the market auction step, the bidding strategies, and the fig3/table3
-//! experiment replays — and writes the results as a `BENCH_<rev>.json`
-//! report for `benchdiff` to compare against the committed
-//! `BENCH_baseline.json`.
+//! the market auction step (including the bid-book at 100k/1M bids against
+//! the retained `sim::naive` scan), the bidding strategies, the fig3/table3
+//! experiment replays, and the closed loop up to 10k tenants — and writes
+//! the results as a `BENCH_<rev>.json` report for `benchdiff` to compare
+//! against the committed `BENCH_baseline.json`.
 //!
 //! ```text
-//! benchsuite [--out PATH]        # default: BENCH_<git_rev>.json
-//! SPOTBID_BENCH_BUDGET_MS=100    # reduced-budget mode (CI bench-quick)
+//! benchsuite [--out PATH] [--only SUBSTR]   # default: BENCH_<git_rev>.json
+//! SPOTBID_BENCH_BUDGET_MS=100               # reduced-budget mode (CI)
 //! ```
+//!
+//! `--only` keeps the sections whose name contains the substring — CI's
+//! scale-smoke step runs `--only scale` to exercise just the
+//! `market_scale`/`engine_scale` sections under a tight budget.
 
 use spotbid_bench::experiments::{fig3, table3};
 use spotbid_bench::timing::{fmt_ns, git_rev, Harness};
 use spotbid_core::price_model::{EmpiricalPrices, PriceModel};
 use spotbid_core::{onetime, persistent, JobSpec};
 use spotbid_market::provider::optimal_price;
-use spotbid_market::sim::{BidKind, BidRequest, SpotMarket, WorkModel};
+use spotbid_market::sim::{naive, BidKind, BidRequest, SpotMarket, WorkModel};
 use spotbid_market::units::{Hours, Price};
 use spotbid_market::MarketParams;
 use spotbid_numerics::empirical::brute;
@@ -45,7 +50,7 @@ fn probe_prices(max: f64) -> Vec<f64> {
         .collect()
 }
 
-fn price_model_benches(h: &mut Harness) -> (f64, f64) {
+fn price_model_benches(h: &mut Harness) {
     let inst = catalog::by_name("r3.xlarge").unwrap();
     let cfg = SyntheticConfig::for_instance(&inst);
     let hist = generate(&cfg, 10_000, &mut Rng::seed_from_u64(0xBE7C)).unwrap();
@@ -92,14 +97,29 @@ fn price_model_benches(h: &mut Harness) -> (f64, f64) {
     });
     g.bench("bid_candidates/10k", || black_box(&model).bid_candidates());
 
-    (
+    // The headline the original optimization work is judged by: optimized
+    // kernels vs the O(n) rescan at 10k samples.
+    println!();
+    println!(
+        "speedup cdf (brute/optimized): {:.1}x ({} -> {})",
         cdf_brute.median_ns / cdf.median_ns,
+        fmt_ns(cdf_brute.median_ns),
+        fmt_ns(cdf.median_ns)
+    );
+    println!(
+        "speedup partial_moment (brute/optimized): {:.1}x ({} -> {})",
         pm_brute.median_ns / pm.median_ns,
-    )
+        fmt_ns(pm_brute.median_ns),
+        fmt_ns(pm.median_ns)
+    );
+}
+
+fn market_params() -> MarketParams {
+    MarketParams::new(Price::new(0.35), Price::new(0.02), 0.05, 0.02).unwrap()
 }
 
 fn market_benches(h: &mut Harness) {
-    let params = MarketParams::new(Price::new(0.35), Price::new(0.02), 0.05, 0.02).unwrap();
+    let params = market_params();
     let mut g = h.group("market");
     let mut d = 0.0f64;
     g.bench("optimal_price", || {
@@ -124,6 +144,107 @@ fn market_benches(h: &mut Harness) {
     });
 }
 
+/// A bid price laddered over `[π_min, π̄)` by golden-ratio rotation —
+/// deterministic, uniform-ish, and maximally spread across the book's
+/// price buckets.
+fn laddered_price(params: &MarketParams, i: usize) -> Price {
+    let frac = (0.5 + i as f64 * 0.618_033_988_749_895) % 1.0;
+    Price::new(params.pi_min.as_f64() + frac * params.spread().as_f64())
+}
+
+/// One-time geometric churn arrivals submitted before each timed step, so
+/// the standing book sees real per-slot events (price wiggle, first
+/// auctions, departures) instead of a frozen fixed point.
+const CHURN_PER_STEP: usize = 16;
+
+fn standing_bid(params: &MarketParams, i: usize) -> BidRequest {
+    BidRequest {
+        price: laddered_price(params, i),
+        kind: BidKind::Persistent,
+        work: WorkModel::FixedSlots(u32::MAX),
+    }
+}
+
+fn churn_bid(params: &MarketParams, i: usize) -> BidRequest {
+    BidRequest {
+        price: laddered_price(params, i),
+        kind: BidKind::OneTime,
+        work: WorkModel::Geometric,
+    }
+}
+
+/// The market hot path at population scale: `n` standing persistent bids
+/// laddered across the price range plus [`CHURN_PER_STEP`] one-time
+/// arrivals per slot — identical workloads on the bid-book and on the
+/// retained `sim::naive` scan, so their `items_per_sec` ratio is the
+/// bid-book's honest speedup.
+fn market_scale_benches(h: &mut Harness) {
+    let params = market_params();
+    let slot = Hours::from_minutes(5.0);
+
+    // Bid-book at 100k standing bids.
+    let mut market = SpotMarket::new(params, slot);
+    for i in 0..100_000 {
+        market.submit(standing_bid(&params, i));
+    }
+    let mut rng = Rng::seed_from_u64(0x5CA1E);
+    // Absorb the initial 100k-bid first auction before timing steady state.
+    let first = market.step(&mut rng);
+    market.recycle(first);
+    let mut next = 100_000usize;
+    h.group("market_scale")
+        .throughput_items(100_000)
+        .bench("spot_market_step/100k_bids", || {
+            for _ in 0..CHURN_PER_STEP {
+                market.submit(churn_bid(&params, next));
+                next += 1;
+            }
+            let report = market.step(&mut rng);
+            let report = black_box(report);
+            market.recycle(report);
+        });
+
+    // The retained naive scan on the identical workload.
+    let mut market = naive::SpotMarket::new(params, slot);
+    for i in 0..100_000 {
+        market.submit(standing_bid(&params, i));
+    }
+    let mut rng = Rng::seed_from_u64(0x5CA1E);
+    black_box(market.step(&mut rng));
+    let mut next = 100_000usize;
+    h.group("market_scale")
+        .throughput_items(100_000)
+        .bench("spot_market_step_naive/100k_bids", || {
+            for _ in 0..CHURN_PER_STEP {
+                market.submit(churn_bid(&params, next));
+                next += 1;
+            }
+            black_box(market.step(&mut rng));
+        });
+
+    // A million-bid slot on the bid-book (the naive scan at 1M would burn
+    // the whole suite budget on warmup alone).
+    let mut market = SpotMarket::new(params, slot);
+    for i in 0..1_000_000 {
+        market.submit(standing_bid(&params, i));
+    }
+    let mut rng = Rng::seed_from_u64(0x5CA1E);
+    let first = market.step(&mut rng);
+    market.recycle(first);
+    let mut next = 1_000_000usize;
+    h.group("market_scale")
+        .throughput_items(1_000_000)
+        .bench("spot_market_step/1m_bids", || {
+            for _ in 0..CHURN_PER_STEP {
+                market.submit(churn_bid(&params, next));
+                next += 1;
+            }
+            let report = market.step(&mut rng);
+            let report = black_box(report);
+            market.recycle(report);
+        });
+}
+
 fn strategy_benches(h: &mut Harness) {
     let inst = catalog::by_name("c3.4xlarge").unwrap();
     let cfg = SyntheticConfig::for_instance(&inst);
@@ -144,6 +265,32 @@ fn replay_benches(h: &mut Harness) {
     let mut g = h.group("replay");
     g.bench("table3/5_instances", || black_box(table3::run(0x7AB3)));
     g.bench("fig3/4_panels", || black_box(fig3::run(0xF163, 24)));
+}
+
+fn closed_loop_config(warmup: usize, horizon: usize) -> spotbid_engine::ClosedLoopConfig {
+    spotbid_engine::ClosedLoopConfig {
+        params: MarketParams::new(Price::new(0.35), Price::new(0.02), 0.05, 0.05).unwrap(),
+        slot_len: Hours::from_minutes(5.0),
+        on_demand: Price::new(0.35),
+        job: JobSpec::builder(1.0).recovery_secs(60.0).build().unwrap(),
+        warmup_slots: warmup,
+        horizon_slots: horizon,
+        background_arrivals: 3.0,
+        max_resubmissions: 4,
+    }
+}
+
+/// A tenant mix dominated by cheap `FixedBid` decisions with a sprinkle of
+/// history-fitting strategies, as in the engine's scale suite.
+fn tenant_mix(n: usize) -> Vec<spotbid_core::strategy::BiddingStrategy> {
+    use spotbid_core::strategy::BiddingStrategy;
+    (0..n)
+        .map(|i| match i % 97 {
+            0 => BiddingStrategy::OptimalPersistent,
+            1 => BiddingStrategy::Percentile(0.90),
+            _ => BiddingStrategy::FixedBid(Price::new(0.05 + (i % 13) as f64 * 0.023)),
+        })
+        .collect()
 }
 
 fn engine_benches(h: &mut Harness) {
@@ -170,24 +317,48 @@ fn engine_benches(h: &mut Harness) {
 
     // A small multi-tenant closed loop: 4 strategy-driven bidders in an
     // endogenous market, warmup + horizon = 160 market steps.
-    let loop_cfg = ClosedLoopConfig {
-        params: MarketParams::new(Price::new(0.35), Price::new(0.02), 0.05, 0.05).unwrap(),
-        slot_len: Hours::from_minutes(5.0),
-        on_demand: Price::new(0.35),
-        job: JobSpec::builder(1.0).recovery_secs(60.0).build().unwrap(),
-        warmup_slots: 40,
-        horizon_slots: 120,
-        background_arrivals: 3.0,
-        max_resubmissions: 4,
-    };
+    let loop_cfg: ClosedLoopConfig = closed_loop_config(40, 120);
     let strategies = [BiddingStrategy::FixedBid(Price::new(0.30)); 4];
     g.bench("closed_loop/4_tenants_160_slots", || {
         run_closed_loop(black_box(&strategies), black_box(&loop_cfg), 0xB1D).unwrap()
     });
 }
 
+/// The sharded closed loop at population scale: 1k and 10k tenants over
+/// 80 market steps (20 warmup + 60 horizon).
+fn engine_scale_benches(h: &mut Harness) {
+    use spotbid_engine::run_closed_loop;
+
+    let cfg = closed_loop_config(20, 60);
+    for &tenants in &[1_000usize, 10_000] {
+        let strategies = tenant_mix(tenants);
+        let id = format!("closed_loop/{}k_tenants_80_slots", tenants / 1000);
+        h.group("engine_scale")
+            .throughput_items(tenants as u64)
+            .bench(&id, || {
+                run_closed_loop(black_box(&strategies), black_box(&cfg), 0x5CA1E).unwrap()
+            });
+    }
+}
+
+/// One named section: its `--only`-matchable name and its bench function.
+type Section = (&'static str, fn(&mut Harness));
+
+/// The suite's named sections, in run order. `--only SUBSTR` keeps those
+/// whose name contains the substring.
+const SECTIONS: &[Section] = &[
+    ("price_model", price_model_benches),
+    ("market", market_benches),
+    ("market_scale", market_scale_benches),
+    ("strategy", strategy_benches),
+    ("replay", replay_benches),
+    ("engine", engine_benches),
+    ("engine_scale", engine_scale_benches),
+];
+
 fn main() -> ExitCode {
     let mut out: Option<PathBuf> = None;
+    let mut only: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -198,9 +369,18 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--only" => match args.next() {
+                Some(s) => only = Some(s),
+                None => {
+                    eprintln!("--only requires a section substring");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: benchsuite [--out PATH]");
+                println!("usage: benchsuite [--out PATH] [--only SUBSTR]");
                 println!("  SPOTBID_BENCH_BUDGET_MS sets the per-benchmark budget (default 500)");
+                let names: Vec<&str> = SECTIONS.iter().map(|(n, _)| *n).collect();
+                println!("  sections: {}", names.join(", "));
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -211,27 +391,25 @@ fn main() -> ExitCode {
     }
     let out = out.unwrap_or_else(|| PathBuf::from(format!("BENCH_{}.json", git_rev())));
 
-    let mut h = Harness::from_env();
-    let (cdf_speedup, pm_speedup) = price_model_benches(&mut h);
-    market_benches(&mut h);
-    strategy_benches(&mut h);
-    replay_benches(&mut h);
-    engine_benches(&mut h);
-
-    // The headline the optimization work is judged by: optimized kernels vs
-    // the O(n) rescan at 10k samples.
-    let fmt_pair = |name: &str, speedup: f64| {
-        let opt = h.result(&format!("price_model/{name}/10k")).unwrap();
-        let brute = h.result(&format!("price_model/{name}_brute/10k")).unwrap();
-        println!(
-            "speedup {name} (brute/optimized): {speedup:.1}x ({} -> {})",
-            fmt_ns(brute.median_ns),
-            fmt_ns(opt.median_ns)
+    let selected: Vec<&Section> = SECTIONS
+        .iter()
+        .filter(|(name, _)| only.as_deref().is_none_or(|s| name.contains(s)))
+        .collect();
+    if selected.is_empty() {
+        let names: Vec<&str> = SECTIONS.iter().map(|(n, _)| *n).collect();
+        eprintln!(
+            "--only `{}` matches no section (have: {})",
+            only.as_deref().unwrap_or(""),
+            names.join(", ")
         );
-    };
-    println!();
-    fmt_pair("cdf", cdf_speedup);
-    fmt_pair("partial_moment", pm_speedup);
+        return ExitCode::from(2);
+    }
+
+    let mut h = Harness::from_env();
+    for (name, section) in &selected {
+        println!("== {name} ==");
+        section(&mut h);
+    }
 
     match h.write(&out) {
         Ok(()) => {

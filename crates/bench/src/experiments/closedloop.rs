@@ -16,8 +16,10 @@ use spotbid_engine::{run_closed_loop, ClosedLoopConfig, ClosedLoopReport};
 use spotbid_market::units::{Hours, Price};
 use spotbid_market::MarketParams;
 
-/// Tenant counts swept (the paper's single user, then powers of two).
-pub const TENANT_COUNTS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+/// Tenant counts swept: the paper's single user, powers of two up to the
+/// crowding knee, then the bid-book-era populations (1k, 10k) that the
+/// price-indexed market and sharded fleet make affordable.
+pub const TENANT_COUNTS: [usize; 8] = [1, 2, 4, 8, 16, 32, 1024, 10_000];
 
 /// One row of the sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,25 +74,40 @@ pub fn run_one(tenants: usize, seed: u64) -> ClosedLoopRow {
     row(tenants, &report)
 }
 
-/// Runs the full sweep, one executor task per tenant count (per-count
-/// seeding, so rows match a serial run exactly).
-pub fn run(seed: u64) -> Vec<ClosedLoopRow> {
-    spotbid_exec::par_map(TENANT_COUNTS.len(), |i| {
-        run_one(TENANT_COUNTS[i], seed ^ (0xC1_05ED + i as u64))
+/// Runs a prefix of the sweep — `counts` must be a leading slice of
+/// [`TENANT_COUNTS`], so per-count seeds (indexed by position) match the
+/// full sweep row-for-row. One executor task per tenant count.
+pub fn run_counts(counts: &[usize], seed: u64) -> Vec<ClosedLoopRow> {
+    spotbid_exec::par_map(counts.len(), |i| {
+        run_one(counts[i], seed ^ (0xC1_05ED + i as u64))
     })
+}
+
+/// Runs the full sweep (per-count seeding, so rows match a serial run
+/// exactly).
+pub fn run(seed: u64) -> Vec<ClosedLoopRow> {
+    run_counts(&TENANT_COUNTS, seed)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// The debug-friendly prefix of the sweep (the 1k/10k tails are
+    /// exercised in release by the `closedloop_tenants` bin and the
+    /// engine's scale suite; running them here would dominate `cargo
+    /// test`).
+    fn small() -> &'static [usize] {
+        &TENANT_COUNTS[..6]
+    }
+
     #[test]
     fn sweep_is_deterministic_and_covers_the_counts() {
-        let a = run(0xB1D);
-        let b = run(0xB1D);
+        let a = run_counts(small(), 0xB1D);
+        let b = run_counts(small(), 0xB1D);
         assert_eq!(a, b, "sweep is not a pure function of its seed");
-        assert_eq!(a.len(), TENANT_COUNTS.len());
-        for (row, &n) in a.iter().zip(TENANT_COUNTS.iter()) {
+        assert_eq!(a.len(), small().len());
+        for (row, &n) in a.iter().zip(small().iter()) {
             assert_eq!(row.tenants, n);
             assert!(row.mean_price.is_finite() && row.mean_price > 0.0);
             assert!(row.peak_price >= row.mean_price);
@@ -102,7 +119,7 @@ mod tests {
     fn crowding_raises_the_price_tenants_pay() {
         // The endogeneity headline: 32 tenants in the same market see a
         // higher mean price than a lone price-taker.
-        let rows = run(0xB1D);
+        let rows = run_counts(small(), 0xB1D);
         let lone = rows.first().unwrap();
         let crowd = rows.last().unwrap();
         assert!(
@@ -115,7 +132,7 @@ mod tests {
 
     #[test]
     fn tenants_still_complete_and_save_under_crowding() {
-        let rows = run(0x5EED);
+        let rows = run_counts(small(), 0x5EED);
         // A lone price-taker in a quiet market must complete on spot —
         // that's the paper's single-user regime.
         assert!(

@@ -66,6 +66,16 @@ impl DiffReport {
         self.regressions().next().is_some()
     }
 
+    /// Rows present only in the current report (new benchmarks).
+    pub fn added(&self) -> impl Iterator<Item = &DiffRow> {
+        self.rows.iter().filter(|r| r.verdict == Verdict::Added)
+    }
+
+    /// Rows present only in the baseline (retired benchmarks).
+    pub fn removed(&self) -> impl Iterator<Item = &DiffRow> {
+        self.rows.iter().filter(|r| r.verdict == Verdict::Removed)
+    }
+
     /// Renders the comparison as an aligned text table.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -92,6 +102,32 @@ impl DiffReport {
                 fmt_side(r.baseline_ns),
                 fmt_side(r.current_ns),
                 ratio,
+            ));
+        }
+        // Coverage delta, stated explicitly: a regenerated baseline must
+        // be auditable from the diff output alone, so benchmarks that
+        // entered or left the suite are summarized by name instead of
+        // silently riding along as table rows.
+        let names = |rows: Vec<&DiffRow>| {
+            rows.iter()
+                .map(|r| r.bench.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let added: Vec<&DiffRow> = self.added().collect();
+        if !added.is_empty() {
+            out.push_str(&format!(
+                "benchmarks added ({}): {}\n",
+                added.len(),
+                names(added)
+            ));
+        }
+        let removed: Vec<&DiffRow> = self.removed().collect();
+        if !removed.is_empty() {
+            out.push_str(&format!(
+                "benchmarks removed ({}): {}\n",
+                removed.len(),
+                names(removed)
             ));
         }
         let n = self.regressions().count();
@@ -170,6 +206,8 @@ mod tests {
             iters: 100,
             threads: 4,
             git_rev: "test".into(),
+            rustc: "rustc-test".into(),
+            cpus: 8,
             items_per_sec: None,
         }
     }
@@ -218,6 +256,20 @@ mod tests {
         let text = d.render();
         assert!(text.contains("removed") && text.contains("added"));
         assert!(text.contains("0 regression(s)"));
+        // The explicit coverage-delta summary, not just table rows.
+        assert!(text.contains("benchmarks added (1): k/new"), "{text}");
+        assert!(text.contains("benchmarks removed (1): k/old"), "{text}");
+        assert_eq!(d.added().count(), 1);
+        assert_eq!(d.removed().count(), 1);
+    }
+
+    #[test]
+    fn unchanged_suites_emit_no_coverage_summary() {
+        let baseline = vec![row("k/a", 100.0)];
+        let current = vec![row("k/a", 101.0)];
+        let text = diff(&baseline, &current, 1.25).render();
+        assert!(!text.contains("benchmarks added"), "{text}");
+        assert!(!text.contains("benchmarks removed"), "{text}");
     }
 
     #[test]

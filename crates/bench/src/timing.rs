@@ -87,6 +87,36 @@ pub fn git_rev() -> String {
         .unwrap_or_else(|| "unknown".to_owned())
 }
 
+/// The compiler version string, for tagging reports (medians are only
+/// comparable across runs built by the same rustc).
+///
+/// `SPOTBID_RUSTC` overrides; otherwise `rustc --version` is consulted,
+/// falling back to `"unknown"` when no toolchain is on the path.
+pub fn rustc_version() -> String {
+    if let Ok(v) = std::env::var("SPOTBID_RUSTC") {
+        let v = v.trim().to_owned();
+        if !v.is_empty() {
+            return v;
+        }
+    }
+    std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// Logical CPUs of the machine the run was taken on (0 when the platform
+/// cannot report it). Recorded next to `threads` so cross-machine
+/// `BENCH_*.json` trajectories can be normalized.
+pub fn logical_cpus() -> usize {
+    std::thread::available_parallelism().map_or(0, |n| n.get())
+}
+
 /// Nearest-rank percentile of an ascending-sorted slice (`q` in `[0, 1]`).
 fn percentile(sorted: &[f64], q: f64) -> f64 {
     debug_assert!(!sorted.is_empty());
@@ -168,6 +198,12 @@ pub struct BenchResult {
     pub threads: usize,
     /// Git revision the run was taken at.
     pub git_rev: String,
+    /// Compiler that built the benchmark (`rustc --version`); `"unknown"`
+    /// in reports predating this field.
+    pub rustc: String,
+    /// Logical CPUs of the host machine; 0 when unknown (including
+    /// reports predating this field).
+    pub cpus: usize,
     /// Items processed per second (present when the benchmark declared a
     /// per-iteration item count).
     pub items_per_sec: Option<f64>,
@@ -183,6 +219,8 @@ impl ToJson for BenchResult {
         m.insert("iters".into(), Json::Num(self.iters as f64));
         m.insert("threads".into(), Json::Num(self.threads as f64));
         m.insert("git_rev".into(), Json::Str(self.git_rev.clone()));
+        m.insert("rustc".into(), Json::Str(self.rustc.clone()));
+        m.insert("cpus".into(), Json::Num(self.cpus as f64));
         if let Some(t) = self.items_per_sec {
             m.insert("items_per_sec".into(), Json::Num(t));
         }
@@ -200,6 +238,18 @@ impl spotbid_json::FromJson for BenchResult {
             iters: v.field("iters")?.as_num()? as u64,
             threads: v.field("threads")?.as_num()? as usize,
             git_rev: v.field("git_rev")?.as_str()?.to_owned(),
+            // Optional with defaults: reports written before these fields
+            // existed must keep parsing (the committed baseline's history).
+            rustc: v
+                .field_opt("rustc")?
+                .map(Json::as_str)
+                .transpose()?
+                .map_or_else(|| "unknown".to_owned(), str::to_owned),
+            cpus: v
+                .field_opt("cpus")?
+                .map(Json::as_num)
+                .transpose()?
+                .map_or(0, |n| n as usize),
             items_per_sec: v
                 .field_opt("items_per_sec")?
                 .map(Json::as_num)
@@ -250,6 +300,8 @@ pub struct Harness {
     measure_budget: Duration,
     warmup_budget: Duration,
     git_rev: String,
+    rustc: String,
+    cpus: usize,
     threads: usize,
     quiet: bool,
     results: Vec<BenchResult>,
@@ -273,6 +325,8 @@ impl Harness {
             measure_budget: measure,
             warmup_budget: measure / 5,
             git_rev: git_rev(),
+            rustc: rustc_version(),
+            cpus: logical_cpus(),
             threads: spotbid_exec::thread_count(),
             quiet: false,
             results: Vec::new(),
@@ -324,6 +378,8 @@ impl Harness {
             iters: stats.iters,
             threads: self.threads,
             git_rev: self.git_rev.clone(),
+            rustc: self.rustc.clone(),
+            cpus: self.cpus,
             items_per_sec,
         };
         if !self.quiet {
@@ -509,6 +565,8 @@ pub fn time_experiment<T>(name: &str, f: impl FnOnce() -> T) -> T {
                 iters: 1,
                 threads: spotbid_exec::thread_count(),
                 git_rev: git_rev(),
+                rustc: rustc_version(),
+                cpus: logical_cpus(),
                 items_per_sec: None,
             };
             let mut report = read_report(&path).unwrap_or_default();
@@ -604,6 +662,8 @@ mod tests {
                 iters: 1_000_000,
                 threads: 8,
                 git_rev: "abc1234".into(),
+                rustc: "rustc 1.82.0 (f6e511eec 2024-10-15)".into(),
+                cpus: 16,
                 items_per_sec: Some(4.08e7),
             },
             BenchResult {
@@ -614,6 +674,8 @@ mod tests {
                 iters: 3,
                 threads: 8,
                 git_rev: "abc1234".into(),
+                rustc: "rustc 1.82.0 (f6e511eec 2024-10-15)".into(),
+                cpus: 16,
                 items_per_sec: None,
             },
         ];
@@ -621,9 +683,38 @@ mod tests {
         let back = parse_report(&text).unwrap();
         assert_eq!(back, rows);
         // Schema fields present by name in the serialized form.
-        for key in ["bench", "median_ns", "p95_ns", "mad_ns", "iters", "threads", "git_rev"] {
+        let keys = [
+            "bench", "median_ns", "p95_ns", "mad_ns", "iters", "threads", "git_rev", "rustc",
+            "cpus",
+        ];
+        for key in keys {
             assert!(text.contains(&format!("\"{key}\"")), "missing {key}");
         }
+    }
+
+    #[test]
+    fn pre_rustc_cpus_reports_still_parse() {
+        // Rows written before the rustc/cpus fields (e.g. the committed
+        // baseline's ancestors) must parse with explicit defaults.
+        let legacy = r#"[{"bench": "market/optimal_price", "median_ns": 10.0,
+            "p95_ns": 12.0, "mad_ns": 0.5, "iters": 100, "threads": 4,
+            "git_rev": "0ld5eed"}]"#;
+        let rows = parse_report(legacy).unwrap();
+        assert_eq!(rows[0].rustc, "unknown");
+        assert_eq!(rows[0].cpus, 0);
+        assert_eq!(rows[0].threads, 4);
+    }
+
+    #[test]
+    fn host_metadata_is_recorded() {
+        let mut h = Harness::with_budget(Duration::ZERO).quiet();
+        h.group("meta").bench("noop", || 0u8);
+        let r = &h.results()[0];
+        assert!(!r.rustc.is_empty());
+        // This workspace always builds with a real toolchain, so the
+        // harness must resolve an actual version (not the fallback).
+        assert!(r.rustc.starts_with("rustc "), "got {:?}", r.rustc);
+        assert!(r.cpus >= 1, "available_parallelism failed");
     }
 
     #[test]

@@ -96,6 +96,32 @@ fn io_and_usage_errors_exit_2() {
 }
 
 #[test]
+fn coverage_delta_is_reported_by_name() {
+    // Regenerating the baseline with a reshaped suite must be auditable:
+    // the diff names what entered and what left, and neither fails it.
+    let dir = fixture_dir("coverage");
+    let base = dir.join("base.json");
+    let cur = dir.join("cur.json");
+    write_report(&base, &[("k/cdf", 100.0), ("market/old_probe", 50.0)]);
+    write_report(
+        &cur,
+        &[("k/cdf", 100.0), ("market/100k_bids", 900.0), ("market/1m_bids", 9000.0)],
+    );
+    let out = benchdiff(&[base.to_str().unwrap(), cur.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("benchmarks added (2): market/100k_bids, market/1m_bids"),
+        "{text}"
+    );
+    assert!(
+        text.contains("benchmarks removed (1): market/old_probe"),
+        "{text}"
+    );
+    assert!(text.contains("0 regression(s)"), "{text}");
+}
+
+#[test]
 fn identical_reports_are_clean() {
     let dir = fixture_dir("clean");
     let base = dir.join("base.json");

@@ -13,9 +13,19 @@
 //! Background load keeps the market alive: each slot, `Poisson(λ)` one-time
 //! bidders with geometric work arrive, bidding uniformly over
 //! `[π_min, π̄]` — the paper's §4 uniform-bid assumption. Everything is
-//! deterministic from one `u64` seed via two [`RngStreams`] substreams
-//! (market departures and background arrivals); tenants themselves draw no
-//! randomness.
+//! deterministic from one `u64` seed via [`RngStreams`] substreams: stream
+//! 0 drives market departures, stream 1 the background arrivals, and
+//! streams 2+ are reserved one-per-decision-shard (see below); tenants
+//! themselves draw no randomness.
+//!
+//! Tenant evaluation is **sharded**: all tenants live in one
+//! [`TenantFleet`](self) kernel driver whose per-slot strategy decisions
+//! fan out across `spotbid-exec` workers in fixed 64-tenant shards
+//! (order-stable merge, one reserved RNG substream per shard), while bid
+//! submission and report processing stay serial in tenant order — so bid
+//! ids, event order, and results are identical to the legacy
+//! one-driver-per-tenant loop at any thread count, but a 10k-tenant slot
+//! resolves its decisions in parallel.
 
 use crate::billing::{LineItem, UsageKind};
 use crate::event::Event;
@@ -23,7 +33,7 @@ use crate::kernel::{DriverStatus, JobDriver, Kernel};
 use crate::observer::BillingObserver;
 use crate::source::PriceSource;
 use crate::EngineError;
-use spotbid_core::{BidDecision, BiddingStrategy, JobSpec};
+use spotbid_core::{BidDecision, BiddingStrategy, CoreError, JobSpec};
 use spotbid_market::params::MarketParams;
 use spotbid_market::sim::{BidId, BidKind, BidRequest, SlotReport, SpotMarket, WorkModel};
 use spotbid_market::units::{Cost, Hours, Price};
@@ -131,7 +141,8 @@ impl ClosedLoopSource {
 
     fn warmup(&mut self, slots: usize) {
         for _ in 0..slots {
-            self.advance();
+            let report = self.advance();
+            self.market.recycle(report);
         }
     }
 
@@ -152,6 +163,12 @@ impl PriceSource for ClosedLoopSource {
 
     fn quote_events(&self, slot: u64, quote: &SlotReport, emit: &mut dyn FnMut(Event)) {
         emit(Event::PricePosted { slot, price: quote.price });
+    }
+
+    fn reclaim(&mut self, quote: SlotReport) {
+        // Return the spent report's buffers to the market's arena, so the
+        // closed loop steps without per-slot event allocation.
+        self.market.recycle(quote);
     }
 }
 
@@ -218,22 +235,17 @@ impl TenantBidder {
     }
 }
 
-impl JobDriver<ClosedLoopSource> for TenantBidder {
-    fn before_slot(
+impl TenantBidder {
+    /// Acts on a resolved strategy decision: charges the on-demand path or
+    /// submits the spot bid. Serial per tenant — this is where bid ids are
+    /// assigned, so call order must be tenant order.
+    fn apply_decision(
         &mut self,
+        decision: BidDecision,
         slot: u64,
         source: &mut ClosedLoopSource,
         emit: &mut dyn FnMut(Event),
-    ) -> Result<(), EngineError> {
-        if !self.needs_submit || self.done_pending {
-            return Ok(());
-        }
-        self.needs_submit = false;
-        let history = source.observed()?;
-        let decision = self
-            .strategy
-            .decide(&history, &self.job, self.on_demand)
-            .map_err(EngineError::Core)?;
+    ) {
         match decision {
             BidDecision::OnDemand { price } => {
                 let work = self.remaining_work(source.slot_len);
@@ -263,25 +275,27 @@ impl JobDriver<ClosedLoopSource> for TenantBidder {
                 emit(Event::BidSubmitted { slot, tenant: self.tag, price, persistent });
             }
         }
-        Ok(())
     }
 
-    fn on_slot(
+    /// Advances the tenant one slot against the market's report. Event
+    /// vectors are id-sorted (the market's determinism contract), so each
+    /// membership test is a binary search, not a scan.
+    fn slot_update(
         &mut self,
         slot: u64,
         report: &SlotReport,
         emit: &mut dyn FnMut(Event),
-    ) -> Result<DriverStatus, EngineError> {
+    ) -> DriverStatus {
         if self.done_pending {
-            return Ok(DriverStatus::Done);
+            return DriverStatus::Done;
         }
         let Some(id) = self.bid_id else {
-            return Ok(DriverStatus::Active);
+            return DriverStatus::Active;
         };
-        let started = report.started.contains(&id);
-        let interrupted = report.interrupted.contains(&id);
-        let finished = report.finished.contains(&id);
-        let terminated = report.terminated.contains(&id);
+        let started = report.started.binary_search(&id).is_ok();
+        let interrupted = report.interrupted.binary_search(&id).is_ok();
+        let finished = report.finished.binary_search(&id).is_ok();
+        let terminated = report.terminated.binary_search(&id).is_ok();
         let ran = started || (self.running && !interrupted && !terminated);
         if started {
             self.running = true;
@@ -312,7 +326,7 @@ impl JobDriver<ClosedLoopSource> for TenantBidder {
         if finished {
             self.completed = true;
             emit(Event::Completed { slot, tenant: self.tag });
-            return Ok(DriverStatus::Done);
+            return DriverStatus::Done;
         }
         if terminated {
             emit(Event::Rejected { slot, tenant: self.tag });
@@ -321,10 +335,130 @@ impl JobDriver<ClosedLoopSource> for TenantBidder {
                 self.resubmissions += 1;
                 self.needs_submit = true;
             } else {
-                return Ok(DriverStatus::Done);
+                return DriverStatus::Done;
             }
         }
-        Ok(DriverStatus::Active)
+        DriverStatus::Active
+    }
+}
+
+/// Tenants per decision shard. Small enough that a partial last shard
+/// doesn't idle workers, large enough that shard overhead amortizes.
+const SHARD_SIZE: usize = 64;
+
+/// Every tenant as one kernel driver, with sharded decision evaluation.
+///
+/// Strategy resolution (`BiddingStrategy::decide`) is the per-slot hot
+/// spot at large N and is a pure function of the shared price history, so
+/// the fleet fans it out across `spotbid-exec` workers in fixed
+/// [`SHARD_SIZE`] shards and merges the decisions order-stably. Everything
+/// with market-visible side effects — bid submission (which assigns
+/// [`BidId`]s), event emission, report processing — stays serial in tenant
+/// order, so the fleet is bit-identical to the legacy
+/// one-driver-per-tenant loop at any `SPOTBID_THREADS`.
+///
+/// Each shard owns a reserved [`RngStreams`] substream (`2 + shard`; 0 and
+/// 1 belong to the market and the background process). Current strategies
+/// draw nothing from it — it exists so a future randomized strategy can
+/// draw per-shard without perturbing streams 0/1 or the merge order.
+struct TenantFleet {
+    tenants: Vec<TenantBidder>,
+    done: Vec<bool>,
+    shard_rngs: Vec<Rng>,
+    /// Scratch: indices of tenants that must (re-)bid this slot.
+    needy: Vec<u32>,
+}
+
+impl TenantFleet {
+    fn new(tenants: Vec<TenantBidder>, streams: &RngStreams) -> Self {
+        let max_shards = tenants.len().div_ceil(SHARD_SIZE);
+        let mut chain = streams.streams(2 + max_shards);
+        let shard_rngs = chain.split_off(2);
+        let done = vec![false; tenants.len()];
+        TenantFleet { tenants, done, shard_rngs, needy: Vec::new() }
+    }
+}
+
+impl JobDriver<ClosedLoopSource> for TenantFleet {
+    fn demand(&self) -> usize {
+        self.done.iter().filter(|&&d| !d).count()
+    }
+
+    fn before_slot(
+        &mut self,
+        slot: u64,
+        source: &mut ClosedLoopSource,
+        emit: &mut dyn FnMut(Event),
+    ) -> Result<(), EngineError> {
+        self.needy.clear();
+        for (i, t) in self.tenants.iter_mut().enumerate() {
+            if !self.done[i] && t.needs_submit && !t.done_pending {
+                t.needs_submit = false;
+                self.needy.push(i as u32);
+            }
+        }
+        if self.needy.is_empty() {
+            return Ok(());
+        }
+        // One history snapshot for the whole slot: `posted` only grows in
+        // `post`, so every tenant would observe the same prices anyway.
+        let history = source.observed()?;
+        let inputs: Vec<(BiddingStrategy, JobSpec, Price)> = self
+            .needy
+            .iter()
+            .map(|&i| {
+                let t = &self.tenants[i as usize];
+                (t.strategy, t.job, t.on_demand)
+            })
+            .collect();
+        let shards = inputs.len().div_ceil(SHARD_SIZE);
+        let shard_rngs = &self.shard_rngs;
+        let decisions: Vec<Vec<Result<BidDecision, CoreError>>> =
+            spotbid_exec::par_map(shards, |s| {
+                let mut _rng = shard_rngs[s].clone(); // reserved, see above
+                let lo = s * SHARD_SIZE;
+                let hi = (lo + SHARD_SIZE).min(inputs.len());
+                inputs[lo..hi]
+                    .iter()
+                    .map(|(strat, job, od)| strat.decide(&history, job, *od))
+                    .collect()
+            });
+        // Serial, ordered apply: bid ids and events come out exactly as if
+        // each tenant had decided in turn.
+        let mut flat = decisions.into_iter().flatten();
+        for k in 0..self.needy.len() {
+            let i = self.needy[k] as usize;
+            let decision = flat
+                .next()
+                .expect("one decision per needy tenant")
+                .map_err(EngineError::Core)?;
+            self.tenants[i].apply_decision(decision, slot, source, emit);
+        }
+        Ok(())
+    }
+
+    fn on_slot(
+        &mut self,
+        slot: u64,
+        report: &SlotReport,
+        emit: &mut dyn FnMut(Event),
+    ) -> Result<DriverStatus, EngineError> {
+        let mut all_done = true;
+        for i in 0..self.tenants.len() {
+            if self.done[i] {
+                continue;
+            }
+            if self.tenants[i].slot_update(slot, report, emit) == DriverStatus::Done {
+                self.done[i] = true;
+            } else {
+                all_done = false;
+            }
+        }
+        if all_done {
+            Ok(DriverStatus::Done)
+        } else {
+            Ok(DriverStatus::Active)
+        }
     }
 }
 
@@ -378,19 +512,19 @@ pub fn run_closed_loop(
     };
     source.warmup(cfg.warmup_slots);
 
-    let mut tenants: Vec<TenantBidder> = strategies
+    let tenants: Vec<TenantBidder> = strategies
         .iter()
         .enumerate()
         .map(|(i, s)| TenantBidder::new(*s, cfg, i as u32))
         .collect();
+    let mut fleet = TenantFleet::new(tenants, &streams);
     let mut billing = BillingObserver::validated();
     {
         let mut kernel = Kernel::new(cfg.slot_len, source);
-        let mut drivers: Vec<&mut dyn JobDriver<ClosedLoopSource>> =
-            tenants.iter_mut().map(|t| t as &mut dyn JobDriver<ClosedLoopSource>).collect();
-        kernel.run(&mut drivers, &mut [&mut billing], Some(cfg.horizon_slots as u64))?;
+        kernel.run(&mut [&mut fleet], &mut [&mut billing], Some(cfg.horizon_slots as u64))?;
         source = kernel.into_source();
     }
+    let tenants = fleet.tenants;
     let mut bill = billing.into_bill();
 
     // §5.1 fallback: finish incomplete tenants on demand so costs compare.

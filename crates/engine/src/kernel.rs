@@ -166,6 +166,9 @@ impl<S: PriceSource> Kernel<S> {
                     *done = true;
                 }
             }
+            // Hand the spent quote back so arena-backed sources can reuse
+            // its buffers next slot.
+            self.source.reclaim(quote);
             self.clock.tick();
         }
     }

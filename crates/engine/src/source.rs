@@ -85,6 +85,11 @@ pub trait PriceSource {
     /// [`Event::PricePosted`]). Called once per slot, before any driver
     /// sees the quote.
     fn quote_events(&self, _slot: u64, _quote: &Self::Quote, _emit: &mut dyn FnMut(Event)) {}
+
+    /// Takes a fully-consumed quote back after every driver has seen it,
+    /// so arena-backed sources (the live market's `SlotReport` buffers)
+    /// can reuse its allocations next slot. The default drops it.
+    fn reclaim(&mut self, _quote: Self::Quote) {}
 }
 
 /// Adapts any [`MarketView`] into a [`PriceSource`] replaying it slot by

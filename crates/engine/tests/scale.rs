@@ -1,0 +1,93 @@
+//! Scale determinism: the sharded closed loop at 10k tenants must be a
+//! pure function of its seed, independent of the worker count.
+//!
+//! The `TenantFleet` parallelizes only the pure decision stage; bid ids,
+//! events, and reports are produced serially in tenant order. These tests
+//! hold that contract at the target population: identical
+//! `ClosedLoopReport`s — and identical digests of the full per-tenant
+//! outcome stream — at 1 and 4 `spotbid-exec` workers.
+
+use spotbid_core::strategy::BiddingStrategy;
+use spotbid_core::JobSpec;
+use spotbid_engine::{run_closed_loop, ClosedLoopConfig, ClosedLoopReport};
+use spotbid_exec::with_threads;
+use spotbid_market::units::{Hours, Price};
+use spotbid_market::MarketParams;
+
+/// A short-horizon 10k-tenant session: FixedBid-heavy (cheap to decide in
+/// debug builds) with a sprinkling of history-fitting strategies so the
+/// sharded decision stage does real work.
+fn config() -> ClosedLoopConfig {
+    ClosedLoopConfig {
+        params: MarketParams::new(Price::new(0.35), Price::new(0.02), 0.05, 0.05).unwrap(),
+        slot_len: Hours::from_minutes(5.0),
+        on_demand: Price::new(0.35),
+        job: JobSpec::builder(1.0).recovery_secs(60.0).build().unwrap(),
+        warmup_slots: 10,
+        horizon_slots: 40,
+        background_arrivals: 3.0,
+        max_resubmissions: 2,
+    }
+}
+
+fn strategies(n: usize) -> Vec<BiddingStrategy> {
+    (0..n)
+        .map(|i| match i % 97 {
+            0 => BiddingStrategy::OptimalPersistent,
+            1 => BiddingStrategy::Percentile(0.90),
+            _ => BiddingStrategy::FixedBid(Price::new(0.05 + (i % 13) as f64 * 0.023)),
+        })
+        .collect()
+}
+
+/// FNV-1a over every field of every tenant outcome plus the aggregate
+/// price path — a digest of the full report, not just its summary.
+fn digest(report: &ClosedLoopReport) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut eat = |x: u64| {
+        for b in x.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    eat(report.completed as u64);
+    eat(report.slots);
+    eat(report.mean_savings.to_bits());
+    eat(report.mean_price.as_f64().to_bits());
+    eat(report.peak_price.as_f64().to_bits());
+    for t in &report.tenants {
+        eat(u64::from(t.tenant));
+        eat(u64::from(t.completed));
+        eat(t.spot_slots);
+        eat(u64::from(t.interruptions));
+        eat(u64::from(t.resubmissions));
+        eat(t.cost.as_f64().to_bits());
+        eat(t.savings.to_bits());
+    }
+    h
+}
+
+#[test]
+fn ten_k_tenants_identical_digests_at_1_and_4_threads() {
+    let strategies = strategies(10_000);
+    let cfg = config();
+    let one = with_threads(1, || run_closed_loop(&strategies, &cfg, 0x5CA1E).unwrap());
+    let four = with_threads(4, || run_closed_loop(&strategies, &cfg, 0x5CA1E).unwrap());
+    assert_eq!(digest(&one), digest(&four), "thread count leaked into the result");
+    assert_eq!(one, four);
+    assert_eq!(one.tenants.len(), 10_000);
+    // The market actually did something at this scale.
+    assert!(one.mean_price > Price::ZERO);
+    assert!(one.tenants.iter().any(|t| t.spot_slots > 0));
+}
+
+#[test]
+fn small_fleet_matches_itself_across_thread_counts() {
+    // Sub-shard population (needy < SHARD_SIZE): the single-shard path
+    // must be just as thread-invariant.
+    let strategies = strategies(17);
+    let cfg = config();
+    let a = with_threads(1, || run_closed_loop(&strategies, &cfg, 42).unwrap());
+    let b = with_threads(3, || run_closed_loop(&strategies, &cfg, 42).unwrap());
+    assert_eq!(a, b);
+}

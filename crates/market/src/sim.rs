@@ -14,6 +14,19 @@
 //! - running instances are charged the *spot price* (not their bid) per
 //!   slot.
 //!
+//! Two implementations share this contract. [`naive::SpotMarket`] is the
+//! original O(n)-per-slot scan, retained as the behavioral oracle. The
+//! default [`SpotMarket`] is a **price-indexed bid-book**: bids live in a
+//! struct-of-arrays store bucketed by bid price, the accept/reject
+//! partition for a posted price is a bucket-boundary lookup plus per-bucket
+//! range work, demand `L(t)` is tracked incrementally, and charges accrue
+//! lazily against a per-slot price table — so a slot over 10⁵–10⁶ bids
+//! costs time proportional to the *state changes* it causes, not to the
+//! book size. The book reproduces the naive path bit-identically (same
+//! reports, same RNG draw order, same float accumulation order); see
+//! DESIGN.md §5e for the layout and the determinism contract, and
+//! `tests/bidbook_equiv.rs` for the randomized equivalence suite.
+//!
 //! The simulator is the substrate for the provider-model validation and
 //! for the §8 "collective user behavior" ablation (many strategic bidders
 //! sharing one market). Individual price-taking users — the paper's main
@@ -23,6 +36,9 @@ use crate::params::MarketParams;
 use crate::provider::optimal_price;
 use crate::units::{Cost, Hours, Price};
 use spotbid_numerics::rng::Rng;
+use std::collections::BTreeMap;
+
+pub mod naive;
 
 /// How a bid requests to be treated on interruption (§3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +109,11 @@ pub struct BidRecord {
 }
 
 /// Per-slot outcome summary.
+///
+/// Every event vector is sorted ascending by [`BidId`] — i.e. by
+/// submission order. This is part of the determinism contract (DESIGN.md
+/// §5e): consumers may binary-search the vectors, and the bid-book and
+/// naive implementations agree on the order bit-for-bit.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SlotReport {
     /// Slot index.
@@ -111,30 +132,155 @@ pub struct SlotReport {
     pub terminated: Vec<BidId>,
 }
 
-/// A discrete-time spot market with endogenous prices.
+impl SlotReport {
+    /// An empty report (no events, zero price/demand), ready to be filled
+    /// by [`SpotMarket::step_into`].
+    pub fn empty() -> Self {
+        SlotReport {
+            t: 0,
+            demand: 0,
+            price: Price::ZERO,
+            started: Vec::new(),
+            interrupted: Vec::new(),
+            finished: Vec::new(),
+            terminated: Vec::new(),
+        }
+    }
+}
+
+/// Price buckets over `[π_min, π̄]`. 512 keeps the boundary bucket at
+/// ~0.2 % of the book while the per-slot bucket walk stays trivially
+/// cheap.
+const BUCKETS: usize = 512;
+
+// Per-bid state flags (the `flags` struct-of-arrays column).
+/// Still in the system (pending or running).
+const F_OPEN: u8 = 1 << 0;
+/// Currently running (member of its bucket's `running` list).
+const F_RUNNING: u8 = 1 << 1;
+/// Persistent kind (re-pends on interruption instead of exiting).
+const F_PERSISTENT: u8 = 1 << 2;
+/// Geometric work (draws `chance(θ)` every running slot).
+const F_GEOMETRIC: u8 = 1 << 3;
+/// Has been through at least one auction, so it lives in a bucket list
+/// and obeys the resident invariants (pending ⇒ bid < posted price,
+/// running ⇒ bid ≥ posted price).
+const F_RESIDENT: u8 = 1 << 4;
+
+/// One price bucket: the open bids whose price falls in its range, split
+/// by run state so each crossing scan touches only the side it moves.
+#[derive(Debug, Clone, Default)]
+struct Bucket {
+    pending: Vec<u32>,
+    running: Vec<u32>,
+}
+
+/// A discrete-time spot market with endogenous prices, stored as a
+/// price-indexed bid-book.
+///
+/// Drop-in successor of [`naive::SpotMarket`] with the same per-slot
+/// semantics and bit-identical output. The differences are operational:
+///
+/// - [`step`](Self::step) costs O(events + boundary-bucket + running
+///   geometric bids) instead of O(open bids);
+/// - charges accrue lazily, so [`record`](Self::record) and
+///   [`records`](Self::records) take `&mut self` (they settle the accrual
+///   before returning);
+/// - [`step_into`](Self::step_into)/[`recycle`](Self::recycle) let a
+///   driving loop reuse `SlotReport` buffers arena-style.
 #[derive(Debug, Clone)]
 pub struct SpotMarket {
     params: MarketParams,
     slot_len: Hours,
     t: u64,
     records: Vec<BidRecord>,
-    /// Indices into `records` of bids still in the system.
-    open: Vec<usize>,
-    /// Allocation cache for `step`'s survivor list: holds last slot's `open`
-    /// vector so stepping a long-lived market does not allocate per slot.
-    scratch: Vec<usize>,
+
+    // ---- struct-of-arrays hot columns, parallel to `records` ----
+    /// Bid price as a raw f64 (the per-bid accept/reject operand).
+    price_of: Vec<f64>,
+    /// `F_*` state bits.
+    flags: Vec<u8>,
+    /// First slot of the current running streak (valid while running);
+    /// charges for `[run_since, now)` are accrued but not yet settled.
+    run_since: Vec<u64>,
+    /// Scheduled finish slot (valid while a fixed-work bid is running).
+    due: Vec<u64>,
+    /// The bid's price bucket.
+    bucket_of: Vec<u32>,
+    /// Position within its current bucket list (pending or running).
+    pos_of: Vec<u32>,
+
+    // ---- the book ----
+    buckets: Vec<Bucket>,
+    bucket_lo: f64,
+    bucket_w: f64,
+    /// Bids submitted since the last step, in id order; they face their
+    /// first auction individually before joining the bucket lists.
+    incoming: Vec<u32>,
+    /// Incrementally-maintained demand `L(t)` (open bids).
+    open_count: usize,
+    /// Last posted price (`+∞` before the first step, when no residents
+    /// exist); crossings `[min(prev,new), max(prev,new))` bound the
+    /// buckets a slot must visit.
+    prev_price: f64,
+    /// `price_t × slot_len` for every completed slot: the replay table
+    /// that settles lazy charges in the same order, with the same
+    /// floating-point operands, as the naive per-slot accrual.
+    slot_charge: Vec<Cost>,
+    /// Running geometric bids, ascending by id — the per-slot RNG draw
+    /// order (one `chance(θ)` each, matching the naive submission-order
+    /// scan).
+    geo_run: Vec<u32>,
+    /// Fixed-work finish calendar: slot → bids scheduled to finish then.
+    /// Entries go stale when a bid is interrupted first; the pop
+    /// re-validates against `due`.
+    calendar: BTreeMap<u64, Vec<u32>>,
+
+    // ---- arenas ----
+    sc_started: Vec<u32>,
+    sc_rejected: Vec<u32>,
+    sc_geo_in: Vec<u32>,
+    sc_geo_next: Vec<u32>,
+    sc_fin_geo: Vec<u32>,
+    sc_fin_fixed: Vec<u32>,
+    sc_sync: Vec<u32>,
+    cal_pool: Vec<Vec<u32>>,
+    report_pool: Vec<Vec<BidId>>,
 }
 
 impl SpotMarket {
     /// Creates an empty market.
     pub fn new(params: MarketParams, slot_len: Hours) -> Self {
+        let spread = params.spread().as_f64();
         SpotMarket {
             params,
             slot_len,
             t: 0,
             records: Vec::new(),
-            open: Vec::new(),
-            scratch: Vec::new(),
+            price_of: Vec::new(),
+            flags: Vec::new(),
+            run_since: Vec::new(),
+            due: Vec::new(),
+            bucket_of: Vec::new(),
+            pos_of: Vec::new(),
+            buckets: vec![Bucket::default(); BUCKETS],
+            bucket_lo: params.pi_min.as_f64(),
+            bucket_w: spread / BUCKETS as f64,
+            incoming: Vec::new(),
+            open_count: 0,
+            prev_price: f64::INFINITY,
+            slot_charge: Vec::new(),
+            geo_run: Vec::new(),
+            calendar: BTreeMap::new(),
+            sc_started: Vec::new(),
+            sc_rejected: Vec::new(),
+            sc_geo_in: Vec::new(),
+            sc_geo_next: Vec::new(),
+            sc_fin_geo: Vec::new(),
+            sc_fin_fixed: Vec::new(),
+            sc_sync: Vec::new(),
+            cal_pool: Vec::new(),
+            report_pool: Vec::new(),
         }
     }
 
@@ -150,6 +296,10 @@ impl SpotMarket {
 
     /// Submits a bid; it competes from the next [`step`](Self::step) on.
     pub fn submit(&mut self, request: BidRequest) -> BidId {
+        assert!(
+            self.records.len() < u32::MAX as usize,
+            "bid-book index space exhausted"
+        );
         let id = BidId(self.records.len() as u64);
         self.records.push(BidRecord {
             id,
@@ -161,109 +311,455 @@ impl SpotMarket {
             interruptions: 0,
             closed_at: None,
         });
-        let idx = self.records.len() - 1;
-        self.open.push(idx);
+        let idx = (self.records.len() - 1) as u32;
+        let mut flags = F_OPEN;
+        if request.kind == BidKind::Persistent {
+            flags |= F_PERSISTENT;
+        }
+        if request.work == WorkModel::Geometric {
+            flags |= F_GEOMETRIC;
+        }
+        self.price_of.push(request.price.as_f64());
+        self.flags.push(flags);
+        self.run_since.push(0);
+        self.due.push(0);
+        self.bucket_of
+            .push(self.bucket_index(request.price.as_f64()) as u32);
+        self.pos_of.push(0);
+        self.incoming.push(idx);
+        self.open_count += 1;
         id
     }
 
     /// Read access to a bid's record.
-    pub fn record(&self, id: BidId) -> Option<&BidRecord> {
-        self.records.get(id.0 as usize)
+    ///
+    /// Settles the bid's lazily-accrued charges first (hence `&mut`); the
+    /// returned record is exactly what the naive implementation would
+    /// show.
+    pub fn record(&mut self, id: BidId) -> Option<&BidRecord> {
+        let i = id.0 as usize;
+        if i >= self.records.len() {
+            return None;
+        }
+        self.sync_one(i);
+        Some(&self.records[i])
     }
 
-    /// All bid records (submitted order).
-    pub fn records(&self) -> &[BidRecord] {
+    /// All bid records (submitted order), with every running bid's lazy
+    /// charge accrual settled.
+    pub fn records(&mut self) -> &[BidRecord] {
+        let mut pending = std::mem::take(&mut self.sc_sync);
+        pending.clear();
+        for b in &self.buckets {
+            pending.extend_from_slice(&b.running);
+        }
+        for &i in &pending {
+            self.sync_one(i as usize);
+        }
+        self.sc_sync = pending;
         &self.records
     }
 
     /// Number of bids still pending or running.
     pub fn open_bids(&self) -> usize {
-        self.open.len()
+        self.open_count
     }
 
     /// Advances one slot: runs the auction, interrupts/launches instances,
     /// progresses work, and charges running bids.
     pub fn step(&mut self, rng: &mut Rng) -> SlotReport {
+        let mut report = self.fresh_report();
+        self.step_into(rng, &mut report);
+        report
+    }
+
+    /// As [`step`](Self::step), but filling a caller-provided report whose
+    /// event buffers are reused (arena-style). Pair with
+    /// [`recycle`](Self::recycle) to step a long-lived market without
+    /// per-slot allocation.
+    pub fn step_into(&mut self, rng: &mut Rng, report: &mut SlotReport) {
         let t = self.t;
+        report.t = t;
+        report.demand = self.open_count;
+        report.started.clear();
+        report.interrupted.clear();
+        report.finished.clear();
+        report.terminated.clear();
 
-        // Demand: every open bid competes (carried-over pending persistent
-        // bids, running instances re-asserting their bids, and new
-        // arrivals) — the L(t) of Eq. 4.
-        let demand = self.open.len();
-        let price = optimal_price(&self.params, demand as f64);
+        let price = optimal_price(&self.params, self.open_count as f64);
+        report.price = price;
+        let pf = price.as_f64();
+        debug_assert_eq!(self.slot_charge.len() as u64, t);
+        self.slot_charge.push(price * self.slot_len);
 
-        let mut report = SlotReport {
-            t,
-            demand,
-            price,
-            started: Vec::new(),
-            interrupted: Vec::new(),
-            finished: Vec::new(),
-            terminated: Vec::new(),
-        };
+        let mut started = std::mem::take(&mut self.sc_started);
+        let mut rejected = std::mem::take(&mut self.sc_rejected);
+        let mut geo_in = std::mem::take(&mut self.sc_geo_in);
+        started.clear();
+        rejected.clear();
+        geo_in.clear();
 
-        let mut still_open = std::mem::take(&mut self.scratch);
-        still_open.clear();
-        still_open.reserve(self.open.len());
-        for &idx in &self.open {
-            let accepted = self.records[idx].request.price >= price;
-            let was_running = self.records[idx].phase == BidPhase::Running;
-            let rec = &mut self.records[idx];
-            if accepted {
-                if !was_running {
-                    rec.phase = BidPhase::Running;
-                    report.started.push(rec.id);
-                }
-                // Run for this slot: charge at the spot price.
-                rec.slots_run += 1;
-                rec.charged += price * self.slot_len;
-                let done = match rec.request.work {
-                    WorkModel::FixedSlots(n) => rec.slots_run >= n,
-                    WorkModel::Geometric => rng.chance(self.params.theta),
-                };
-                if done {
-                    rec.phase = BidPhase::Finished;
-                    rec.closed_at = Some(t);
-                    report.finished.push(rec.id);
+        // 1. Crossing scan over the resident book. Residents obey the
+        // price invariants w.r.t. the previous posted price `pp`, so the
+        // only state changes live in buckets overlapping
+        // [min(pp, pf), max(pp, pf)); buckets strictly inside the interval
+        // flip wholesale, the boundary bucket is compared per bid.
+        let pp = self.prev_price;
+        if pf > pp {
+            // Price rose: running bids in [pp, pf) are outbid.
+            let k_lo = self.bucket_index(pp);
+            let k_hi = self.bucket_index(pf);
+            for b in k_lo..=k_hi {
+                let mut list = std::mem::take(&mut self.buckets[b].running);
+                if b < k_hi {
+                    rejected.extend_from_slice(&list);
+                    list.clear();
                 } else {
-                    still_open.push(idx);
-                }
-            } else {
-                // Outbid.
-                match rec.request.kind {
-                    BidKind::OneTime => {
-                        // Running one-time: terminated mid-job. New one-time
-                        // below the spot price: rejected. Either way it
-                        // leaves the system (§3.2).
-                        rec.phase = BidPhase::Terminated;
-                        rec.closed_at = Some(t);
-                        if was_running {
-                            rec.interruptions += 1;
-                            report.interrupted.push(rec.id);
+                    let mut w = 0usize;
+                    for r in 0..list.len() {
+                        let i = list[r];
+                        if self.price_of[i as usize] >= pf {
+                            self.pos_of[i as usize] = w as u32;
+                            list[w] = i;
+                            w += 1;
+                        } else {
+                            rejected.push(i);
                         }
-                        report.terminated.push(rec.id);
                     }
-                    BidKind::Persistent => {
-                        if was_running {
-                            rec.interruptions += 1;
-                            report.interrupted.push(rec.id);
-                        }
-                        rec.phase = BidPhase::Pending;
-                        still_open.push(idx);
-                    }
+                    list.truncate(w);
                 }
+                self.buckets[b].running = list;
+            }
+        } else if pf < pp {
+            // Price fell: pending bids in [pf, pp) win their auction.
+            // (`pp` is +∞ only before the first step, when every bucket is
+            // empty — the scan is then a no-op walk.)
+            let k_lo = self.bucket_index(pf);
+            let k_hi = self.bucket_index(pp);
+            for b in k_lo..=k_hi {
+                let mut list = std::mem::take(&mut self.buckets[b].pending);
+                if b > k_lo {
+                    started.extend_from_slice(&list);
+                    list.clear();
+                } else {
+                    let mut w = 0usize;
+                    for r in 0..list.len() {
+                        let i = list[r];
+                        if self.price_of[i as usize] >= pf {
+                            started.push(i);
+                        } else {
+                            self.pos_of[i as usize] = w as u32;
+                            list[w] = i;
+                            w += 1;
+                        }
+                    }
+                    list.truncate(w);
+                }
+                self.buckets[b].pending = list;
             }
         }
-        // Swap the survivor list in and keep the old vector as next slot's
-        // scratch, so steady-state stepping reuses both allocations.
-        self.scratch = std::mem::replace(&mut self.open, still_open);
+        started.sort_unstable();
+        rejected.sort_unstable();
+
+        // 2. Outbid running residents: interruption for all, exit for
+        // one-time. Report order is id order — and resident ids all
+        // precede incoming ids, so the per-category appends below stay
+        // sorted.
+        for &i in &rejected {
+            let iu = i as usize;
+            self.flags[iu] &= !F_RUNNING;
+            debug_assert!(t > 0, "no residents can exist before the first step");
+            self.settle(iu, t - 1);
+            let persistent = self.flags[iu] & F_PERSISTENT != 0;
+            let rec = &mut self.records[iu];
+            rec.interruptions += 1;
+            report.interrupted.push(rec.id);
+            if persistent {
+                rec.phase = BidPhase::Pending;
+                let b = self.bucket_of[iu] as usize;
+                self.pos_of[iu] = self.buckets[b].pending.len() as u32;
+                self.buckets[b].pending.push(i);
+            } else {
+                rec.phase = BidPhase::Terminated;
+                rec.closed_at = Some(t);
+                report.terminated.push(rec.id);
+                self.flags[iu] &= !F_OPEN;
+                self.open_count -= 1;
+            }
+        }
+
+        // 3. First auction for bids submitted since the last step, in id
+        // order. Winners join the start set; persistent losers become
+        // pending residents; one-time losers exit immediately.
+        let incoming = std::mem::take(&mut self.incoming);
+        for &i in &incoming {
+            let iu = i as usize;
+            self.flags[iu] |= F_RESIDENT;
+            if self.price_of[iu] >= pf {
+                started.push(i);
+            } else if self.flags[iu] & F_PERSISTENT != 0 {
+                let b = self.bucket_of[iu] as usize;
+                self.pos_of[iu] = self.buckets[b].pending.len() as u32;
+                self.buckets[b].pending.push(i);
+            } else {
+                let rec = &mut self.records[iu];
+                rec.phase = BidPhase::Terminated;
+                rec.closed_at = Some(t);
+                report.terminated.push(rec.id);
+                self.flags[iu] &= !F_OPEN;
+                self.open_count -= 1;
+            }
+        }
+        self.incoming = incoming;
+        self.incoming.clear();
+
+        // 4. Launch the slot's winners: start the running streak, schedule
+        // fixed-work finishes on the calendar, enroll geometric bids for
+        // the draw pass.
+        for &i in &started {
+            let iu = i as usize;
+            self.flags[iu] |= F_RUNNING;
+            self.run_since[iu] = t;
+            let b = self.bucket_of[iu] as usize;
+            self.pos_of[iu] = self.buckets[b].running.len() as u32;
+            self.buckets[b].running.push(i);
+            self.records[iu].phase = BidPhase::Running;
+            report.started.push(self.records[iu].id);
+            if self.flags[iu] & F_GEOMETRIC != 0 {
+                geo_in.push(i);
+            } else {
+                let WorkModel::FixedSlots(n) = self.records[iu].request.work else {
+                    unreachable!()
+                };
+                // Settled at (re)start, so `slots_run` is exact here; a
+                // zero-slot request still occupies (and is charged for)
+                // the slot it is accepted in, matching the naive rule
+                // `slots_run >= n` checked after the increment.
+                let rem = n.saturating_sub(self.records[iu].slots_run);
+                let due = t + u64::from(rem.saturating_sub(1));
+                self.due[iu] = due;
+                let slot_list = self
+                    .calendar
+                    .entry(due)
+                    .or_insert_with(|| self.cal_pool.pop().unwrap_or_default());
+                slot_list.push(i);
+            }
+        }
+
+        // 5. Geometric draw pass: one `chance(θ)` per accepted geometric
+        // bid, ascending by id — bit-identical to the naive submission-
+        // order scan. `geo_run` carries last slot's survivors (entries
+        // interrupted or terminated above are skipped and dropped);
+        // `geo_in` carries this slot's starts; both are sorted and
+        // disjoint, so a linear merge preserves the global draw order.
+        let mut gr = std::mem::take(&mut self.geo_run);
+        let mut gnext = std::mem::take(&mut self.sc_geo_next);
+        let mut fin_geo = std::mem::take(&mut self.sc_fin_geo);
+        gnext.clear();
+        fin_geo.clear();
+        let (mut a, mut b) = (0usize, 0usize);
+        loop {
+            let from_old = match (gr.get(a), geo_in.get(b)) {
+                (None, None) => break,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (Some(&x), Some(&y)) => x < y,
+            };
+            let i = if from_old {
+                let i = gr[a];
+                a += 1;
+                if self.flags[i as usize] & F_RUNNING == 0 {
+                    continue; // went stale this slot (interrupted/terminated)
+                }
+                i
+            } else {
+                let i = geo_in[b];
+                b += 1;
+                i
+            };
+            let iu = i as usize;
+            if rng.chance(self.params.theta) {
+                self.settle(iu, t);
+                let rec = &mut self.records[iu];
+                rec.phase = BidPhase::Finished;
+                rec.closed_at = Some(t);
+                fin_geo.push(i);
+                self.flags[iu] &= !(F_RUNNING | F_OPEN);
+                self.remove_running(i);
+                self.open_count -= 1;
+            } else {
+                gnext.push(i);
+            }
+        }
+        self.geo_run = gnext;
+        gr.clear();
+        self.sc_geo_next = gr;
+
+        // 6. Calendar pop: fixed-work bids whose streak reaches its work
+        // requirement this slot. Entries are validated against `due` and
+        // the running flag, so interruptions (which reschedule on restart)
+        // leave only harmless stale entries behind.
+        let mut fin_fixed = std::mem::take(&mut self.sc_fin_fixed);
+        fin_fixed.clear();
+        if let Some(mut due_list) = self.calendar.remove(&t) {
+            for &i in &due_list {
+                let iu = i as usize;
+                if self.flags[iu] & F_RUNNING != 0 && self.due[iu] == t {
+                    fin_fixed.push(i);
+                }
+            }
+            due_list.clear();
+            self.cal_pool.push(due_list);
+            fin_fixed.sort_unstable();
+            for &i in &fin_fixed {
+                let iu = i as usize;
+                self.settle(iu, t);
+                let rec = &mut self.records[iu];
+                debug_assert!(matches!(
+                    rec.request.work,
+                    WorkModel::FixedSlots(n) if rec.slots_run >= n
+                ));
+                rec.phase = BidPhase::Finished;
+                rec.closed_at = Some(t);
+                self.flags[iu] &= !(F_RUNNING | F_OPEN);
+                self.remove_running(i);
+                self.open_count -= 1;
+            }
+        }
+
+        // 7. Finished = id-merge of the geometric and fixed finish sets.
+        let (mut a, mut b) = (0usize, 0usize);
+        loop {
+            let from_geo = match (fin_geo.get(a), fin_fixed.get(b)) {
+                (None, None) => break,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (Some(&x), Some(&y)) => x < y,
+            };
+            let i = if from_geo {
+                a += 1;
+                fin_geo[a - 1]
+            } else {
+                b += 1;
+                fin_fixed[b - 1]
+            };
+            report.finished.push(self.records[i as usize].id);
+        }
+
+        self.sc_started = started;
+        self.sc_rejected = rejected;
+        self.sc_geo_in = geo_in;
+        self.sc_fin_geo = fin_geo;
+        self.sc_fin_fixed = fin_fixed;
+        self.prev_price = pf;
         self.t += 1;
-        report
     }
 
     /// Runs `n` slots, returning every report.
     pub fn run(&mut self, n: usize, rng: &mut Rng) -> Vec<SlotReport> {
         (0..n).map(|_| self.step(rng)).collect()
+    }
+
+    /// Returns a consumed report's event buffers to the arena so the next
+    /// [`step`](Self::step)/[`step_into`](Self::step_into) reuses them.
+    pub fn recycle(&mut self, report: SlotReport) {
+        let SlotReport {
+            mut started,
+            mut interrupted,
+            mut finished,
+            mut terminated,
+            ..
+        } = report;
+        started.clear();
+        interrupted.clear();
+        finished.clear();
+        terminated.clear();
+        self.report_pool.push(started);
+        self.report_pool.push(interrupted);
+        self.report_pool.push(finished);
+        self.report_pool.push(terminated);
+    }
+
+    fn fresh_report(&mut self) -> SlotReport {
+        let mut take = || self.report_pool.pop().unwrap_or_default();
+        let started = take();
+        let interrupted = take();
+        let finished = take();
+        let terminated = take();
+        SlotReport {
+            t: 0,
+            demand: 0,
+            price: Price::ZERO,
+            started,
+            interrupted,
+            finished,
+            terminated,
+        }
+    }
+
+    /// The bucket whose exact range `[lo(b), lo(b+1))` contains `p`
+    /// (bucket 0 is open below, bucket `BUCKETS-1` open above; NaN maps to
+    /// bucket 0). The float division is repaired against the index-derived
+    /// boundaries, so wholesale bucket classification in the crossing scan
+    /// is sound even at one-ulp edges.
+    fn bucket_index(&self, p: f64) -> usize {
+        let raw = (p - self.bucket_lo) / self.bucket_w;
+        let mut i = if raw.is_finite() {
+            if raw <= 0.0 {
+                0
+            } else {
+                (raw as usize).min(BUCKETS - 1)
+            }
+        } else if raw == f64::INFINITY {
+            BUCKETS - 1
+        } else {
+            0
+        };
+        while i > 0 && p < self.bucket_lo + i as f64 * self.bucket_w {
+            i -= 1;
+        }
+        while i + 1 < BUCKETS && p >= self.bucket_lo + (i + 1) as f64 * self.bucket_w {
+            i += 1;
+        }
+        i
+    }
+
+    /// Removes a bid from its bucket's running list (swap-remove with
+    /// position fixup).
+    fn remove_running(&mut self, i: u32) {
+        let iu = i as usize;
+        let b = self.bucket_of[iu] as usize;
+        let p = self.pos_of[iu] as usize;
+        let list = &mut self.buckets[b].running;
+        debug_assert_eq!(list[p], i);
+        list.swap_remove(p);
+        if p < list.len() {
+            self.pos_of[list[p] as usize] = p as u32;
+        }
+    }
+
+    /// Settles the lazy charge accrual for slots `[run_since, end]`: the
+    /// same `charged += price_u × slot_len` sequence, in the same
+    /// chronological order, as the naive per-slot loop — so the float sums
+    /// are bit-identical.
+    fn settle(&mut self, iu: usize, end: u64) {
+        let since = self.run_since[iu];
+        if since > end {
+            return;
+        }
+        let rec = &mut self.records[iu];
+        for u in since..=end {
+            rec.charged += self.slot_charge[u as usize];
+        }
+        rec.slots_run += (end - since + 1) as u32;
+        self.run_since[iu] = end + 1;
+    }
+
+    /// Settles a single bid's accrual up to the last completed slot.
+    fn sync_one(&mut self, iu: usize) {
+        if self.flags[iu] & F_RUNNING != 0 && self.t > 0 {
+            self.settle(iu, self.t - 1);
+        }
     }
 }
 
@@ -412,5 +908,46 @@ mod tests {
         assert_eq!(m.records()[1].id, b);
         assert!(m.record(BidId(99)).is_none());
         assert_eq!(m.now(), 0);
+    }
+
+    #[test]
+    fn recycled_reports_do_not_change_results() {
+        // step_into over recycled buffers must match fresh step() output.
+        let mut m1 = market();
+        let mut m2 = market();
+        let mut r1 = Rng::seed_from_u64(9);
+        let mut r2 = Rng::seed_from_u64(9);
+        for i in 0..50u32 {
+            let req = bid(0.02 + f64::from(i % 30) * 0.012, BidKind::Persistent, 4);
+            m1.submit(req);
+            m2.submit(req);
+        }
+        let mut arena = SlotReport::empty();
+        for _ in 0..30 {
+            let fresh = m1.step(&mut r1);
+            m2.step_into(&mut r2, &mut arena);
+            assert_eq!(fresh, arena);
+            m1.recycle(fresh);
+        }
+        assert_eq!(m1.records(), m2.records());
+    }
+
+    #[test]
+    fn report_event_vectors_are_id_sorted() {
+        let mut m = market();
+        let mut rng = Rng::seed_from_u64(11);
+        for i in 0..500u32 {
+            m.submit(BidRequest {
+                price: Price::new(0.02 + f64::from(i % 97) * 0.0034),
+                kind: if i % 3 == 0 { BidKind::OneTime } else { BidKind::Persistent },
+                work: if i % 2 == 0 { WorkModel::Geometric } else { WorkModel::FixedSlots(3) },
+            });
+        }
+        for _ in 0..40 {
+            let rep = m.step(&mut rng);
+            for v in [&rep.started, &rep.interrupted, &rep.finished, &rep.terminated] {
+                assert!(v.windows(2).all(|w| w[0] < w[1]), "unsorted: {v:?}");
+            }
+        }
     }
 }

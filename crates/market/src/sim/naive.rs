@@ -1,0 +1,203 @@
+//! The reference per-bid market: a straight O(n) scan per slot.
+//!
+//! This is the original [`SpotMarket`](crate::sim::SpotMarket)
+//! implementation, retained verbatim as the behavioral oracle for the
+//! price-indexed bid-book that replaced it on the hot path. Every slot it
+//! walks *every* open bid, branches on the accept/reject comparison, and
+//! charges running bids one by one — simple, obviously correct, and O(n)
+//! per slot regardless of how few bids actually change state.
+//!
+//! The bid-book must reproduce this implementation **bit-identically**:
+//! same `SlotReport`s (same id order in every event vector), same RNG
+//! draw order (one `chance(θ)` per accepted geometric bid, in submission
+//! order), and same floating-point accumulation order for `charged`. The
+//! randomized equivalence suite (`tests/bidbook_equiv.rs`) holds the two
+//! implementations against each other across seeds, bid mixes, and price
+//! regimes.
+
+use super::{BidId, BidKind, BidPhase, BidRecord, BidRequest, SlotReport, WorkModel};
+use crate::params::MarketParams;
+use crate::provider::optimal_price;
+use crate::units::{Cost, Hours};
+use spotbid_numerics::rng::Rng;
+
+/// A discrete-time spot market with endogenous prices: the O(n)-per-slot
+/// reference implementation.
+#[derive(Debug, Clone)]
+pub struct SpotMarket {
+    params: MarketParams,
+    slot_len: Hours,
+    t: u64,
+    records: Vec<BidRecord>,
+    /// Indices into `records` of bids still in the system.
+    open: Vec<usize>,
+    /// Allocation cache for `step`'s survivor list: holds last slot's `open`
+    /// vector so stepping a long-lived market does not allocate per slot.
+    scratch: Vec<usize>,
+}
+
+impl SpotMarket {
+    /// Creates an empty market.
+    pub fn new(params: MarketParams, slot_len: Hours) -> Self {
+        SpotMarket {
+            params,
+            slot_len,
+            t: 0,
+            records: Vec::new(),
+            open: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The market parameters.
+    pub fn params(&self) -> &MarketParams {
+        &self.params
+    }
+
+    /// Current slot index (number of completed steps).
+    pub fn now(&self) -> u64 {
+        self.t
+    }
+
+    /// Submits a bid; it competes from the next [`step`](Self::step) on.
+    pub fn submit(&mut self, request: BidRequest) -> BidId {
+        let id = BidId(self.records.len() as u64);
+        self.records.push(BidRecord {
+            id,
+            request,
+            phase: BidPhase::Pending,
+            submitted_at: self.t,
+            slots_run: 0,
+            charged: Cost::ZERO,
+            interruptions: 0,
+            closed_at: None,
+        });
+        let idx = self.records.len() - 1;
+        self.open.push(idx);
+        id
+    }
+
+    /// Read access to a bid's record.
+    pub fn record(&self, id: BidId) -> Option<&BidRecord> {
+        self.records.get(id.0 as usize)
+    }
+
+    /// All bid records (submitted order).
+    pub fn records(&self) -> &[BidRecord] {
+        &self.records
+    }
+
+    /// Number of bids still pending or running.
+    pub fn open_bids(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Advances one slot: runs the auction, interrupts/launches instances,
+    /// progresses work, and charges running bids.
+    pub fn step(&mut self, rng: &mut Rng) -> SlotReport {
+        let t = self.t;
+
+        // Demand: every open bid competes (carried-over pending persistent
+        // bids, running instances re-asserting their bids, and new
+        // arrivals) — the L(t) of Eq. 4.
+        let demand = self.open.len();
+        let price = optimal_price(&self.params, demand as f64);
+
+        let mut report = SlotReport {
+            t,
+            demand,
+            price,
+            started: Vec::new(),
+            interrupted: Vec::new(),
+            finished: Vec::new(),
+            terminated: Vec::new(),
+        };
+
+        let mut still_open = std::mem::take(&mut self.scratch);
+        still_open.clear();
+        still_open.reserve(self.open.len());
+        for &idx in &self.open {
+            let accepted = self.records[idx].request.price >= price;
+            let was_running = self.records[idx].phase == BidPhase::Running;
+            let rec = &mut self.records[idx];
+            if accepted {
+                if !was_running {
+                    rec.phase = BidPhase::Running;
+                    report.started.push(rec.id);
+                }
+                // Run for this slot: charge at the spot price.
+                rec.slots_run += 1;
+                rec.charged += price * self.slot_len;
+                let done = match rec.request.work {
+                    WorkModel::FixedSlots(n) => rec.slots_run >= n,
+                    WorkModel::Geometric => rng.chance(self.params.theta),
+                };
+                if done {
+                    rec.phase = BidPhase::Finished;
+                    rec.closed_at = Some(t);
+                    report.finished.push(rec.id);
+                } else {
+                    still_open.push(idx);
+                }
+            } else {
+                // Outbid.
+                match rec.request.kind {
+                    BidKind::OneTime => {
+                        // Running one-time: terminated mid-job. New one-time
+                        // below the spot price: rejected. Either way it
+                        // leaves the system (§3.2).
+                        rec.phase = BidPhase::Terminated;
+                        rec.closed_at = Some(t);
+                        if was_running {
+                            rec.interruptions += 1;
+                            report.interrupted.push(rec.id);
+                        }
+                        report.terminated.push(rec.id);
+                    }
+                    BidKind::Persistent => {
+                        if was_running {
+                            rec.interruptions += 1;
+                            report.interrupted.push(rec.id);
+                        }
+                        rec.phase = BidPhase::Pending;
+                        still_open.push(idx);
+                    }
+                }
+            }
+        }
+        // Swap the survivor list in and keep the old vector as next slot's
+        // scratch, so steady-state stepping reuses both allocations.
+        self.scratch = std::mem::replace(&mut self.open, still_open);
+        self.t += 1;
+        report
+    }
+
+    /// Runs `n` slots, returning every report.
+    pub fn run(&mut self, n: usize, rng: &mut Rng) -> Vec<SlotReport> {
+        (0..n).map(|_| self.step(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Price;
+
+    #[test]
+    fn naive_lone_high_bid_runs_to_completion() {
+        let params = MarketParams::new(Price::new(0.35), Price::new(0.02), 0.05, 0.02).unwrap();
+        let mut m = SpotMarket::new(params, Hours::from_minutes(5.0));
+        let mut rng = Rng::seed_from_u64(1);
+        let id = m.submit(BidRequest {
+            price: Price::new(0.35),
+            kind: BidKind::OneTime,
+            work: WorkModel::FixedSlots(3),
+        });
+        let reports = m.run(5, &mut rng);
+        let rec = m.record(id).unwrap();
+        assert_eq!(rec.phase, BidPhase::Finished);
+        assert_eq!(rec.slots_run, 3);
+        assert_eq!(reports[2].finished, vec![id]);
+        assert_eq!(m.open_bids(), 0);
+    }
+}

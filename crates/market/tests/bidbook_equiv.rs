@@ -1,0 +1,235 @@
+//! Randomized exact-equivalence suite: the price-indexed bid-book vs the
+//! retained `sim::naive` oracle.
+//!
+//! The bid-book's contract (DESIGN.md §5e) is **bit-identical** output:
+//! the same `SlotReport`s slot by slot (same ids, same order in every
+//! event vector, same float price), the same `BidRecord`s (same `charged`
+//! float accumulation), and the same RNG draw order. These tests drive
+//! both implementations with identical submissions and identically-seeded
+//! RNGs across seeds, bid mixes, and price regimes — including the hostile
+//! ones: prices on exact bucket boundaries, below the price floor, above
+//! the cap, zero-slot jobs, and mid-run submission bursts.
+
+use spotbid_market::sim::{
+    naive, BidId, BidKind, BidRequest, SlotReport, SpotMarket, WorkModel,
+};
+use spotbid_market::units::{Hours, Price};
+use spotbid_market::MarketParams;
+use spotbid_numerics::rng::Rng;
+
+const BUCKETS: f64 = 512.0;
+
+fn params() -> MarketParams {
+    MarketParams::new(Price::new(0.35), Price::new(0.02), 0.05, 0.05).unwrap()
+}
+
+fn pair(p: MarketParams) -> (SpotMarket, naive::SpotMarket) {
+    let slot = Hours::from_minutes(5.0);
+    (SpotMarket::new(p, slot), naive::SpotMarket::new(p, slot))
+}
+
+/// A price regime: maps a uniform draw to a bid price.
+type PriceGen = fn(&MarketParams, &mut Rng) -> Price;
+
+fn uniform_price(p: &MarketParams, rng: &mut Rng) -> Price {
+    Price::new(rng.range_f64(p.pi_min.as_f64(), p.pi_bar.as_f64()))
+}
+
+/// Clusters around a few focal prices — deep buckets, heavy boundary work.
+fn clustered_price(p: &MarketParams, rng: &mut Rng) -> Price {
+    let focals = [0.05, 0.12, 0.175, 0.21, 0.34];
+    let f = focals[(rng.range_f64(0.0, focals.len() as f64) as usize).min(focals.len() - 1)];
+    let jitter = rng.range_f64(-0.004, 0.004);
+    Price::new((f + jitter).clamp(p.pi_min.as_f64(), p.pi_bar.as_f64()))
+}
+
+/// Exact bucket-boundary grid: `π_min + k·spread/512` — every price sits
+/// on a bucket edge, the worst case for the float bucket classifier.
+fn boundary_price(p: &MarketParams, rng: &mut Rng) -> Price {
+    let k = rng.range_f64(0.0, BUCKETS + 1.0).floor().min(BUCKETS);
+    Price::new(p.pi_min.as_f64() + k * (p.spread().as_f64() / BUCKETS))
+}
+
+/// Out-of-range prices: below the floor (never accepted) and above the
+/// cap (always accepted), exercising the open-ended edge buckets.
+fn extreme_price(p: &MarketParams, rng: &mut Rng) -> Price {
+    let u = rng.range_f64(0.0, 1.0);
+    if u < 0.4 {
+        Price::new(rng.range_f64(0.0, p.pi_min.as_f64()))
+    } else if u < 0.8 {
+        Price::new(rng.range_f64(p.pi_bar.as_f64(), 2.0 * p.pi_bar.as_f64()))
+    } else {
+        uniform_price(p, rng)
+    }
+}
+
+fn random_request(p: &MarketParams, gen: PriceGen, rng: &mut Rng) -> BidRequest {
+    let kind = if rng.chance(0.45) {
+        BidKind::OneTime
+    } else {
+        BidKind::Persistent
+    };
+    let work = if rng.chance(0.4) {
+        WorkModel::Geometric
+    } else {
+        // Includes 0-slot jobs (accepted-then-immediately-finished) and
+        // effectively-unbounded ones.
+        let draw = rng.range_f64(0.0, 1.0);
+        if draw < 0.05 {
+            WorkModel::FixedSlots(0)
+        } else if draw < 0.1 {
+            WorkModel::FixedSlots(u32::MAX)
+        } else {
+            WorkModel::FixedSlots((rng.range_f64(1.0, 20.0)) as u32)
+        }
+    };
+    BidRequest {
+        price: gen(p, rng),
+        kind,
+        work,
+    }
+}
+
+fn assert_sorted(rep: &SlotReport) {
+    for v in [&rep.started, &rep.interrupted, &rep.finished, &rep.terminated] {
+        assert!(
+            v.windows(2).all(|w| w[0] < w[1]),
+            "report t={} has an unsorted event vector: {v:?}",
+            rep.t
+        );
+    }
+}
+
+/// Core driver: identical submissions into both markets, identically
+/// seeded step RNGs, slot-by-slot `SlotReport` equality, interleaved
+/// mid-run `record()` reads, and final full-`records()` equality.
+fn run_equivalence(seed: u64, gen: PriceGen, initial: usize, slots: usize, churn: f64) {
+    let p = params();
+    let (mut book, mut base) = pair(p);
+    let mut sub_rng = Rng::seed_from_u64(seed);
+    let mut rng_book = Rng::seed_from_u64(seed ^ 0xFEED);
+    let mut rng_base = Rng::seed_from_u64(seed ^ 0xFEED);
+
+    for _ in 0..initial {
+        let req = random_request(&p, gen, &mut sub_rng);
+        assert_eq!(book.submit(req), base.submit(req));
+    }
+
+    for s in 0..slots {
+        // Mid-run submission bursts, occasionally heavy.
+        let burst = if sub_rng.chance(churn) {
+            if sub_rng.chance(0.1) {
+                40
+            } else {
+                1 + (sub_rng.range_f64(0.0, 4.0) as usize)
+            }
+        } else {
+            0
+        };
+        for _ in 0..burst {
+            let req = random_request(&p, gen, &mut sub_rng);
+            assert_eq!(book.submit(req), base.submit(req));
+        }
+        assert_eq!(book.open_bids(), base.open_bids(), "demand at slot {s}");
+
+        let rb = book.step(&mut rng_book);
+        let rn = base.step(&mut rng_base);
+        assert_eq!(rb, rn, "seed {seed} slot {s} diverged");
+        assert_sorted(&rb);
+
+        // Mid-run record reads (forces + checks the lazy charge sync).
+        if s % 7 == 3 && !base.records().is_empty() {
+            let probe = BidId((sub_rng.range_f64(0.0, base.records().len() as f64) as u64)
+                .min(base.records().len() as u64 - 1));
+            assert_eq!(book.record(probe), base.record(probe));
+        }
+    }
+
+    assert_eq!(book.records(), base.records(), "seed {seed} final records");
+    assert_eq!(book.open_bids(), base.open_bids());
+    assert_eq!(book.now(), base.now());
+}
+
+#[test]
+fn equivalent_under_uniform_prices() {
+    for seed in [1u64, 2, 3, 42, 0xDEAD] {
+        run_equivalence(seed, uniform_price, 200, 120, 0.7);
+    }
+}
+
+#[test]
+fn equivalent_under_clustered_prices() {
+    for seed in [7u64, 8, 9, 0xC0FFEE] {
+        run_equivalence(seed, clustered_price, 300, 100, 0.6);
+    }
+}
+
+#[test]
+fn equivalent_on_exact_bucket_boundaries() {
+    for seed in [11u64, 13, 17, 19] {
+        run_equivalence(seed, boundary_price, 250, 100, 0.5);
+    }
+}
+
+#[test]
+fn equivalent_under_out_of_range_prices() {
+    for seed in [23u64, 29, 31] {
+        run_equivalence(seed, extreme_price, 200, 90, 0.6);
+    }
+}
+
+#[test]
+fn equivalent_with_no_initial_bids_and_sparse_churn() {
+    // Exercises the empty book, the +∞ pre-first-step posted price, and
+    // slots where nothing happens at all.
+    for seed in [37u64, 41] {
+        run_equivalence(seed, uniform_price, 0, 150, 0.25);
+    }
+}
+
+#[test]
+fn equivalent_on_a_moderate_burst() {
+    // One 5k-bid burst: the bucket build and first-auction path at scale.
+    run_equivalence(0xB16B00B5 % 9973, uniform_price, 5000, 40, 0.3);
+}
+
+#[test]
+fn run_matches_stepwise_and_naive() {
+    let p = params();
+    let (mut book, mut base) = pair(p);
+    let mut sub = Rng::seed_from_u64(77);
+    for _ in 0..150 {
+        let req = random_request(&p, uniform_price, &mut sub);
+        book.submit(req);
+        base.submit(req);
+    }
+    let mut r1 = Rng::seed_from_u64(99);
+    let mut r2 = Rng::seed_from_u64(99);
+    let a = book.run(80, &mut r1);
+    let b = base.run(80, &mut r2);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn recycled_arena_path_matches_naive() {
+    // step_into + recycle (the engine's arena path) against the oracle.
+    let p = params();
+    let (mut book, mut base) = pair(p);
+    let mut sub = Rng::seed_from_u64(123);
+    let mut rb = Rng::seed_from_u64(321);
+    let mut rn = Rng::seed_from_u64(321);
+    let mut arena = SlotReport::empty();
+    for s in 0..120 {
+        if sub.chance(0.6) {
+            let req = random_request(&p, clustered_price, &mut sub);
+            book.submit(req);
+            base.submit(req);
+        }
+        book.step_into(&mut rb, &mut arena);
+        let expect = base.step(&mut rn);
+        assert_eq!(arena, expect, "slot {s}");
+        let done = std::mem::replace(&mut arena, SlotReport::empty());
+        book.recycle(done);
+    }
+    assert_eq!(book.records(), base.records());
+}
