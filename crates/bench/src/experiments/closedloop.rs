@@ -17,9 +17,9 @@ use spotbid_market::units::{Hours, Price};
 use spotbid_market::MarketParams;
 
 /// Tenant counts swept: the paper's single user, powers of two up to the
-/// crowding knee, then the bid-book-era populations (1k, 10k) that the
-/// price-indexed market and sharded fleet make affordable.
-pub const TENANT_COUNTS: [usize; 8] = [1, 2, 4, 8, 16, 32, 1024, 10_000];
+/// crowding knee, the bid-book-era populations (1k, 10k), then the 100k
+/// tail the event-driven wakeup fleet makes affordable.
+pub const TENANT_COUNTS: [usize; 9] = [1, 2, 4, 8, 16, 32, 1024, 10_000, 100_000];
 
 /// One row of the sweep.
 #[derive(Debug, Clone, PartialEq)]

@@ -29,4 +29,5 @@
 pub mod experiments;
 pub mod regress;
 pub mod report;
+pub mod suite;
 pub mod timing;

@@ -15,30 +15,41 @@
 //! `[π_min, π̄]` — the paper's §4 uniform-bid assumption. Everything is
 //! deterministic from one `u64` seed via [`RngStreams`] substreams: stream
 //! 0 drives market departures, stream 1 the background arrivals, and
-//! streams 2+ are reserved one-per-decision-shard (see below); tenants
-//! themselves draw no randomness.
+//! streams 2+ are reserved one-per-decision-shard; tenants themselves draw
+//! no randomness.
 //!
-//! Tenant evaluation is **sharded**: all tenants live in one
-//! [`TenantFleet`](self) kernel driver whose per-slot strategy decisions
-//! fan out across `spotbid-exec` workers in fixed 64-tenant shards
-//! (order-stable merge, one reserved RNG substream per shard), while bid
-//! submission and report processing stay serial in tenant order — so bid
-//! ids, event order, and results are identical to the legacy
-//! one-driver-per-tenant loop at any thread count, but a 10k-tenant slot
-//! resolves its decisions in parallel.
+//! Two tenant fleets share this contract, mirroring the market's own
+//! naive/bid-book split:
+//!
+//! - [`dense`] — the frozen per-slot fleet: every slot it scans every
+//!   tenant and binary-searches every live bid against the report. O(N)
+//!   per slot, obviously correct, retained verbatim as the behavioral
+//!   oracle.
+//! - the **wakeup fleet** (default, behind [`run_closed_loop`]) — a
+//!   struct-of-arrays fleet with price-indexed wakeup buckets and a
+//!   calendar queue: a tenant is touched only when the posted price
+//!   crosses *its* threshold, a scheduled event (expected finish, fresh
+//!   submission) fires, or it is running. A slot where nothing fires
+//!   costs O(1). Bit-identical to [`dense`] — same `BidId`s, events,
+//!   bills, and RNG stream reservations at any thread count — per the
+//!   DESIGN.md §5f contract, held by `tests/wakeup_equiv.rs`.
 
-use crate::billing::{LineItem, UsageKind};
+use crate::billing::Bill;
 use crate::event::Event;
-use crate::kernel::{DriverStatus, JobDriver, Kernel};
-use crate::observer::BillingObserver;
+use crate::observer::EventLog;
 use crate::source::PriceSource;
 use crate::EngineError;
-use spotbid_core::{BidDecision, BiddingStrategy, CoreError, JobSpec};
+use spotbid_core::{BiddingStrategy, JobSpec};
 use spotbid_market::params::MarketParams;
-use spotbid_market::sim::{BidId, BidKind, BidRequest, SlotReport, SpotMarket, WorkModel};
+use spotbid_market::sim::{BidKind, BidRequest, SlotReport, SpotMarket, WorkModel};
 use spotbid_market::units::{Cost, Hours, Price};
 use spotbid_numerics::rng::{Rng, RngStreams};
 use spotbid_trace::SpotPriceHistory;
+
+pub mod dense;
+mod wakeup;
+
+pub use wakeup::FleetStats;
 
 /// Configuration of one closed-loop session.
 #[derive(Debug, Clone, Copy)]
@@ -103,9 +114,34 @@ pub struct ClosedLoopReport {
     pub slots: u64,
 }
 
+/// A fault plan for one closed-loop session, indexed by **absolute** slot
+/// (warmup slots included). Both fleets consume faults through the shared
+/// `ClosedLoopSource`, so a faulted wakeup run stays bit-identical to
+/// the faulted dense run. Slots beyond a vector's length are fault-free.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoopFaults {
+    /// Feed gaps: the slot's posted price never reaches the tenants'
+    /// observed history (the market itself is unaffected).
+    pub gap: Vec<bool>,
+    /// Capacity reclamations: the provider takes every instance back this
+    /// slot regardless of bids (see `SpotMarket::reclaim_next_slot`).
+    pub reclaim: Vec<bool>,
+}
+
+impl LoopFaults {
+    fn gap_at(&self, slot: usize) -> bool {
+        self.gap.get(slot).copied().unwrap_or(false)
+    }
+
+    fn reclaim_at(&self, slot: usize) -> bool {
+        self.reclaim.get(slot).copied().unwrap_or(false)
+    }
+}
+
 /// An endogenous market as a kernel price source: each slot, background
 /// bidders arrive, then the market clears, and the posted price is
-/// appended to the history tenants observe.
+/// appended to the history tenants observe (unless a feed gap swallows
+/// it).
 #[derive(Debug)]
 struct ClosedLoopSource {
     market: SpotMarket,
@@ -116,11 +152,36 @@ struct ClosedLoopSource {
     bg_rng: Rng,
     arrivals: f64,
     slot_len: Hours,
+    /// Every price the market posted, in slot order (ground truth).
     posted: Vec<Price>,
+    /// The prices that reached the tenants' feed (gap slots omitted).
+    observed: Vec<Price>,
+    faults: Option<LoopFaults>,
 }
 
 impl ClosedLoopSource {
+    fn new(cfg: &ClosedLoopConfig, streams: &RngStreams, faults: Option<&LoopFaults>) -> Self {
+        ClosedLoopSource {
+            market: SpotMarket::new(cfg.params, cfg.slot_len),
+            market_rng: streams.stream(0),
+            bg_rng: streams.stream(1),
+            arrivals: cfg.background_arrivals,
+            slot_len: cfg.slot_len,
+            posted: Vec::new(),
+            observed: Vec::new(),
+            faults: faults.cloned(),
+        }
+    }
+
     fn advance(&mut self) -> SlotReport {
+        let slot = self.posted.len();
+        let (gap, reclaim) = match &self.faults {
+            Some(f) => (f.gap_at(slot), f.reclaim_at(slot)),
+            None => (false, false),
+        };
+        if reclaim {
+            self.market.reclaim_next_slot();
+        }
         let n = self.bg_rng.poisson(self.arrivals);
         let (lo, hi) = (
             self.market.params().pi_min.as_f64(),
@@ -136,6 +197,9 @@ impl ClosedLoopSource {
         }
         let report = self.market.step(&mut self.market_rng);
         self.posted.push(report.price);
+        if !gap {
+            self.observed.push(report.price);
+        }
         report
     }
 
@@ -146,9 +210,10 @@ impl ClosedLoopSource {
         }
     }
 
-    /// The history a tenant may observe (every price posted so far).
+    /// The history a tenant may observe (every price that reached the
+    /// feed so far).
     fn observed(&self) -> Result<SpotPriceHistory, EngineError> {
-        SpotPriceHistory::new(self.slot_len, self.posted.clone()).map_err(|e| {
+        SpotPriceHistory::new(self.slot_len, self.observed.clone()).map_err(|e| {
             EngineError::InvalidConfig { what: format!("observed history: {e}") }
         })
     }
@@ -172,315 +237,18 @@ impl PriceSource for ClosedLoopSource {
     }
 }
 
-/// One strategy-driven tenant: re-resolves its strategy against the
-/// observed history whenever it must (re-)bid, and tracks its bid through
-/// the market's per-slot reports.
-#[derive(Debug)]
-struct TenantBidder {
-    strategy: BiddingStrategy,
-    job: JobSpec,
-    on_demand: Price,
+/// Per-tenant final state, as both fleets hand it to the shared report
+/// assembly. Field-for-field what [`TenantOutcome`] needs before costs.
+struct TenantFinal {
     tag: u32,
-    slots_needed: u64,
-    slots_run: u64,
-    running: bool,
-    bid_id: Option<BidId>,
-    needs_submit: bool,
-    resubmissions: u32,
-    max_resubmissions: u32,
-    interruptions: u32,
+    strategy: BiddingStrategy,
     completed: bool,
-    /// Set when the strategy resolved to on-demand: charged in
-    /// `before_slot`, reported done at the next `on_slot`.
-    done_pending: bool,
+    slots_run: u64,
+    interruptions: u32,
+    resubmissions: u32,
 }
 
-impl TenantBidder {
-    fn new(strategy: BiddingStrategy, cfg: &ClosedLoopConfig, tag: u32) -> Self {
-        TenantBidder {
-            strategy,
-            job: cfg.job,
-            on_demand: cfg.on_demand,
-            tag,
-            slots_needed: cfg.job.slots_needed(),
-            slots_run: 0,
-            running: false,
-            bid_id: None,
-            needs_submit: true,
-            resubmissions: 0,
-            max_resubmissions: cfg.max_resubmissions,
-            interruptions: 0,
-            completed: false,
-            done_pending: false,
-        }
-    }
-
-    /// Execution work still undone, given the slots run so far.
-    fn remaining_work(&self, slot_len: Hours) -> Hours {
-        (self.job.execution - slot_len * self.slots_run as f64).max(Hours::ZERO)
-    }
-
-    fn outcome(&self, cost: Cost) -> TenantOutcome {
-        let od_cost = (self.on_demand * self.job.execution).as_f64();
-        TenantOutcome {
-            tenant: self.tag,
-            strategy: self.strategy,
-            completed: self.completed,
-            spot_slots: self.slots_run,
-            interruptions: self.interruptions,
-            resubmissions: self.resubmissions,
-            cost,
-            savings: 1.0 - cost.as_f64() / od_cost,
-        }
-    }
-}
-
-impl TenantBidder {
-    /// Acts on a resolved strategy decision: charges the on-demand path or
-    /// submits the spot bid. Serial per tenant — this is where bid ids are
-    /// assigned, so call order must be tenant order.
-    fn apply_decision(
-        &mut self,
-        decision: BidDecision,
-        slot: u64,
-        source: &mut ClosedLoopSource,
-        emit: &mut dyn FnMut(Event),
-    ) {
-        match decision {
-            BidDecision::OnDemand { price } => {
-                let work = self.remaining_work(source.slot_len);
-                if work > Hours::ZERO {
-                    emit(Event::Charged {
-                        item: LineItem {
-                            slot,
-                            price,
-                            duration: work,
-                            kind: UsageKind::OnDemand,
-                            tag: self.tag,
-                        },
-                    });
-                }
-                self.completed = true;
-                self.done_pending = true;
-                emit(Event::Completed { slot, tenant: self.tag });
-            }
-            BidDecision::Spot { price, persistent } => {
-                let remaining = (self.slots_needed - self.slots_run).max(1) as u32;
-                let id = source.market.submit(BidRequest {
-                    price,
-                    kind: if persistent { BidKind::Persistent } else { BidKind::OneTime },
-                    work: WorkModel::FixedSlots(remaining),
-                });
-                self.bid_id = Some(id);
-                emit(Event::BidSubmitted { slot, tenant: self.tag, price, persistent });
-            }
-        }
-    }
-
-    /// Advances the tenant one slot against the market's report. Event
-    /// vectors are id-sorted (the market's determinism contract), so each
-    /// membership test is a binary search, not a scan.
-    fn slot_update(
-        &mut self,
-        slot: u64,
-        report: &SlotReport,
-        emit: &mut dyn FnMut(Event),
-    ) -> DriverStatus {
-        if self.done_pending {
-            return DriverStatus::Done;
-        }
-        let Some(id) = self.bid_id else {
-            return DriverStatus::Active;
-        };
-        let started = report.started.binary_search(&id).is_ok();
-        let interrupted = report.interrupted.binary_search(&id).is_ok();
-        let finished = report.finished.binary_search(&id).is_ok();
-        let terminated = report.terminated.binary_search(&id).is_ok();
-        let ran = started || (self.running && !interrupted && !terminated);
-        if started {
-            self.running = true;
-            emit(Event::BidAccepted { slot, tenant: self.tag });
-        }
-        if interrupted {
-            self.interruptions += 1;
-            emit(Event::Interrupted { slot, tenant: self.tag });
-        }
-        if ran {
-            // The provider charges running bids the posted price per slot
-            // (§3.2); mirror the market's internal `charged` accrual in
-            // this tenant's own ledger.
-            self.slots_run += 1;
-            emit(Event::Charged {
-                item: LineItem {
-                    slot,
-                    price: report.price,
-                    duration: self.job.slot,
-                    kind: UsageKind::Spot,
-                    tag: self.tag,
-                },
-            });
-        }
-        if interrupted || terminated || finished {
-            self.running = false;
-        }
-        if finished {
-            self.completed = true;
-            emit(Event::Completed { slot, tenant: self.tag });
-            return DriverStatus::Done;
-        }
-        if terminated {
-            emit(Event::Rejected { slot, tenant: self.tag });
-            self.bid_id = None;
-            if self.resubmissions < self.max_resubmissions {
-                self.resubmissions += 1;
-                self.needs_submit = true;
-            } else {
-                return DriverStatus::Done;
-            }
-        }
-        DriverStatus::Active
-    }
-}
-
-/// Tenants per decision shard. Small enough that a partial last shard
-/// doesn't idle workers, large enough that shard overhead amortizes.
-const SHARD_SIZE: usize = 64;
-
-/// Every tenant as one kernel driver, with sharded decision evaluation.
-///
-/// Strategy resolution (`BiddingStrategy::decide`) is the per-slot hot
-/// spot at large N and is a pure function of the shared price history, so
-/// the fleet fans it out across `spotbid-exec` workers in fixed
-/// [`SHARD_SIZE`] shards and merges the decisions order-stably. Everything
-/// with market-visible side effects — bid submission (which assigns
-/// [`BidId`]s), event emission, report processing — stays serial in tenant
-/// order, so the fleet is bit-identical to the legacy
-/// one-driver-per-tenant loop at any `SPOTBID_THREADS`.
-///
-/// Each shard owns a reserved [`RngStreams`] substream (`2 + shard`; 0 and
-/// 1 belong to the market and the background process). Current strategies
-/// draw nothing from it — it exists so a future randomized strategy can
-/// draw per-shard without perturbing streams 0/1 or the merge order.
-struct TenantFleet {
-    tenants: Vec<TenantBidder>,
-    done: Vec<bool>,
-    shard_rngs: Vec<Rng>,
-    /// Scratch: indices of tenants that must (re-)bid this slot.
-    needy: Vec<u32>,
-}
-
-impl TenantFleet {
-    fn new(tenants: Vec<TenantBidder>, streams: &RngStreams) -> Self {
-        let max_shards = tenants.len().div_ceil(SHARD_SIZE);
-        let mut chain = streams.streams(2 + max_shards);
-        let shard_rngs = chain.split_off(2);
-        let done = vec![false; tenants.len()];
-        TenantFleet { tenants, done, shard_rngs, needy: Vec::new() }
-    }
-}
-
-impl JobDriver<ClosedLoopSource> for TenantFleet {
-    fn demand(&self) -> usize {
-        self.done.iter().filter(|&&d| !d).count()
-    }
-
-    fn before_slot(
-        &mut self,
-        slot: u64,
-        source: &mut ClosedLoopSource,
-        emit: &mut dyn FnMut(Event),
-    ) -> Result<(), EngineError> {
-        self.needy.clear();
-        for (i, t) in self.tenants.iter_mut().enumerate() {
-            if !self.done[i] && t.needs_submit && !t.done_pending {
-                t.needs_submit = false;
-                self.needy.push(i as u32);
-            }
-        }
-        if self.needy.is_empty() {
-            return Ok(());
-        }
-        // One history snapshot for the whole slot: `posted` only grows in
-        // `post`, so every tenant would observe the same prices anyway.
-        let history = source.observed()?;
-        let inputs: Vec<(BiddingStrategy, JobSpec, Price)> = self
-            .needy
-            .iter()
-            .map(|&i| {
-                let t = &self.tenants[i as usize];
-                (t.strategy, t.job, t.on_demand)
-            })
-            .collect();
-        let shards = inputs.len().div_ceil(SHARD_SIZE);
-        let shard_rngs = &self.shard_rngs;
-        let decisions: Vec<Vec<Result<BidDecision, CoreError>>> =
-            spotbid_exec::par_map(shards, |s| {
-                let mut _rng = shard_rngs[s].clone(); // reserved, see above
-                let lo = s * SHARD_SIZE;
-                let hi = (lo + SHARD_SIZE).min(inputs.len());
-                inputs[lo..hi]
-                    .iter()
-                    .map(|(strat, job, od)| strat.decide(&history, job, *od))
-                    .collect()
-            });
-        // Serial, ordered apply: bid ids and events come out exactly as if
-        // each tenant had decided in turn.
-        let mut flat = decisions.into_iter().flatten();
-        for k in 0..self.needy.len() {
-            let i = self.needy[k] as usize;
-            let decision = flat
-                .next()
-                .expect("one decision per needy tenant")
-                .map_err(EngineError::Core)?;
-            self.tenants[i].apply_decision(decision, slot, source, emit);
-        }
-        Ok(())
-    }
-
-    fn on_slot(
-        &mut self,
-        slot: u64,
-        report: &SlotReport,
-        emit: &mut dyn FnMut(Event),
-    ) -> Result<DriverStatus, EngineError> {
-        let mut all_done = true;
-        for i in 0..self.tenants.len() {
-            if self.done[i] {
-                continue;
-            }
-            if self.tenants[i].slot_update(slot, report, emit) == DriverStatus::Done {
-                self.done[i] = true;
-            } else {
-                all_done = false;
-            }
-        }
-        if all_done {
-            Ok(DriverStatus::Done)
-        } else {
-            Ok(DriverStatus::Active)
-        }
-    }
-}
-
-/// Runs one closed-loop session: warms the market up with background load,
-/// then lets one tenant per strategy bid into it for `horizon_slots`.
-/// Deterministic from `seed` (two [`RngStreams`] substreams: market
-/// departures and background arrivals).
-///
-/// Tenants left incomplete at the horizon finish their remaining work on
-/// demand (the §5.1 fallback), so every reported cost is for a completed
-/// job and savings are comparable across tenant counts.
-///
-/// # Errors
-///
-/// [`EngineError::InvalidConfig`] for empty strategy lists, zero warmup or
-/// horizon, or a non-finite arrival rate; [`EngineError::Core`] if a
-/// strategy fails to resolve.
-pub fn run_closed_loop(
-    strategies: &[BiddingStrategy],
-    cfg: &ClosedLoopConfig,
-    seed: u64,
-) -> Result<ClosedLoopReport, EngineError> {
+fn validate(strategies: &[BiddingStrategy], cfg: &ClosedLoopConfig) -> Result<(), EngineError> {
     if strategies.is_empty() {
         return Err(EngineError::InvalidConfig { what: "no tenants".into() });
     }
@@ -500,51 +268,53 @@ pub fn run_closed_loop(
             what: "job slot length must equal the market slot length".into(),
         });
     }
+    Ok(())
+}
 
-    let streams = RngStreams::new(seed);
-    let mut source = ClosedLoopSource {
-        market: SpotMarket::new(cfg.params, cfg.slot_len),
-        market_rng: streams.stream(0),
-        bg_rng: streams.stream(1),
-        arrivals: cfg.background_arrivals,
-        slot_len: cfg.slot_len,
-        posted: Vec::new(),
-    };
-    source.warmup(cfg.warmup_slots);
-
-    let tenants: Vec<TenantBidder> = strategies
-        .iter()
-        .enumerate()
-        .map(|(i, s)| TenantBidder::new(*s, cfg, i as u32))
-        .collect();
-    let mut fleet = TenantFleet::new(tenants, &streams);
-    let mut billing = BillingObserver::validated();
-    {
-        let mut kernel = Kernel::new(cfg.slot_len, source);
-        kernel.run(&mut [&mut fleet], &mut [&mut billing], Some(cfg.horizon_slots as u64))?;
-        source = kernel.into_source();
-    }
-    let tenants = fleet.tenants;
-    let mut bill = billing.into_bill();
-
-    // §5.1 fallback: finish incomplete tenants on demand so costs compare.
-    for t in &tenants {
-        if !t.completed {
-            let work = t.remaining_work(cfg.slot_len);
+/// §5.1 fallback plus aggregation, shared by both fleets: incomplete
+/// tenants finish their remaining work on demand (charged at the horizon
+/// close, in tag order — the float accumulation order is part of the
+/// bit-equivalence contract), then per-tenant outcomes and the price-path
+/// summary are folded into the report.
+fn assemble_report(
+    finals: &[TenantFinal],
+    bill: &mut Bill,
+    source: &ClosedLoopSource,
+    cfg: &ClosedLoopConfig,
+) -> Result<ClosedLoopReport, EngineError> {
+    for f in finals {
+        if !f.completed {
+            let work = (cfg.job.execution - cfg.slot_len * f.slots_run as f64).max(Hours::ZERO);
             if work > Hours::ZERO {
                 bill.try_charge_on_demand(
                     (cfg.warmup_slots + cfg.horizon_slots) as u64,
                     cfg.on_demand,
                     work,
-                    t.tag,
+                    f.tag,
                 )?;
             }
         }
     }
-
-    let outcomes: Vec<TenantOutcome> = tenants
+    let od_cost = (cfg.on_demand * cfg.job.execution).as_f64();
+    // One pass over the bill instead of a scan per tenant (tags are tenant
+    // indices here); per-tag accumulation order is unchanged, so costs stay
+    // bit-identical to the per-tag scans.
+    let totals = bill.totals_by_tag(finals.len());
+    let outcomes: Vec<TenantOutcome> = finals
         .iter()
-        .map(|t| t.outcome(bill.total_for_tag(t.tag)))
+        .map(|f| {
+            let cost = totals[f.tag as usize];
+            TenantOutcome {
+                tenant: f.tag,
+                strategy: f.strategy,
+                completed: f.completed,
+                spot_slots: f.slots_run,
+                interruptions: f.interruptions,
+                resubmissions: f.resubmissions,
+                cost,
+                savings: 1.0 - cost.as_f64() / od_cost,
+            }
+        })
         .collect();
     let visible = &source.posted[cfg.warmup_slots..];
     let mean_price = Price::new(
@@ -562,6 +332,61 @@ pub fn run_closed_loop(
         peak_price,
         slots: visible.len() as u64,
     })
+}
+
+/// Runs one closed-loop session on the event-driven wakeup fleet: warms
+/// the market up with background load, then lets one tenant per strategy
+/// bid into it for `horizon_slots`. Deterministic from `seed`, and
+/// bit-identical to [`dense::run_closed_loop`] at any thread count.
+///
+/// Tenants left incomplete at the horizon finish their remaining work on
+/// demand (the §5.1 fallback), so every reported cost is for a completed
+/// job and savings are comparable across tenant counts.
+///
+/// # Errors
+///
+/// [`EngineError::InvalidConfig`] for empty strategy lists, zero warmup or
+/// horizon, or a non-finite arrival rate; [`EngineError::Core`] if a
+/// strategy fails to resolve.
+pub fn run_closed_loop(
+    strategies: &[BiddingStrategy],
+    cfg: &ClosedLoopConfig,
+    seed: u64,
+) -> Result<ClosedLoopReport, EngineError> {
+    wakeup::run(strategies, cfg, seed, None, None).map(|(report, _)| report)
+}
+
+/// As [`run_closed_loop`], optionally fault-injected, also returning the
+/// fleet's wakeup statistics (processed/skipped slots, wakeup counts).
+///
+/// # Errors
+///
+/// As [`run_closed_loop`].
+pub fn run_closed_loop_with_stats(
+    strategies: &[BiddingStrategy],
+    cfg: &ClosedLoopConfig,
+    seed: u64,
+    faults: Option<&LoopFaults>,
+) -> Result<(ClosedLoopReport, FleetStats), EngineError> {
+    wakeup::run(strategies, cfg, seed, faults, None)
+}
+
+/// As [`run_closed_loop`], optionally fault-injected, also returning the
+/// full event stream and the fleet's wakeup statistics — the equivalence
+/// suite's view of a run.
+///
+/// # Errors
+///
+/// As [`run_closed_loop`].
+pub fn run_closed_loop_logged(
+    strategies: &[BiddingStrategy],
+    cfg: &ClosedLoopConfig,
+    seed: u64,
+    faults: Option<&LoopFaults>,
+) -> Result<(ClosedLoopReport, Vec<Event>, FleetStats), EngineError> {
+    let mut log = EventLog::new();
+    let (report, stats) = wakeup::run(strategies, cfg, seed, faults, Some(&mut log))?;
+    Ok((report, log.into_events(), stats))
 }
 
 #[cfg(test)]
@@ -656,5 +481,52 @@ mod tests {
         assert!(run_closed_loop(&[BiddingStrategy::OnDemand], &bad, 1).is_err());
         let bad = ClosedLoopConfig { slot_len: Hours::from_minutes(10.0), ..cfg };
         assert!(run_closed_loop(&[BiddingStrategy::OnDemand], &bad, 1).is_err());
+    }
+
+    #[test]
+    fn wakeup_matches_dense_on_a_small_session() {
+        // The in-crate smoke version of tests/wakeup_equiv.rs: identical
+        // reports, events, and skip accounting on one mixed session.
+        let strategies = [
+            BiddingStrategy::OptimalPersistent,
+            BiddingStrategy::Percentile(0.95),
+            BiddingStrategy::FixedBid(Price::new(0.30)),
+            BiddingStrategy::OptimalOneTime,
+            BiddingStrategy::OnDemand,
+        ];
+        let cfg = config();
+        let (wr, we, stats) = run_closed_loop_logged(&strategies, &cfg, 0xBEEF, None).unwrap();
+        let (dr, de) = dense::run_closed_loop_logged(&strategies, &cfg, 0xBEEF, None).unwrap();
+        assert_eq!(wr, dr);
+        assert_eq!(we, de);
+        assert!(stats.skipped_slots > 0, "a 400-slot tail should have quiet slots");
+    }
+
+    #[test]
+    fn faulted_wakeup_matches_faulted_dense() {
+        let strategies = [
+            BiddingStrategy::FixedBid(Price::new(0.30)),
+            BiddingStrategy::OptimalPersistent,
+        ];
+        let cfg = config();
+        let total = cfg.warmup_slots + cfg.horizon_slots;
+        let mut faults = LoopFaults {
+            gap: vec![false; total],
+            reclaim: vec![false; total],
+        };
+        for s in (0..total).step_by(17) {
+            faults.gap[s] = true;
+        }
+        // Jobs need 12 slots; an outage every 4th slot interrupts every
+        // tenant mid-run repeatedly.
+        for s in ((cfg.warmup_slots + 3)..total).step_by(4) {
+            faults.reclaim[s] = true;
+        }
+        let (wr, we, _) = run_closed_loop_logged(&strategies, &cfg, 0xFA17, Some(&faults)).unwrap();
+        let (dr, de) = dense::run_closed_loop_logged(&strategies, &cfg, 0xFA17, Some(&faults)).unwrap();
+        assert_eq!(wr, dr);
+        assert_eq!(we, de);
+        // Reclamations actually bit: somebody was interrupted.
+        assert!(wr.tenants.iter().any(|t| t.interruptions > 0), "{wr:?}");
     }
 }

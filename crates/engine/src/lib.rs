@@ -41,7 +41,10 @@ pub mod source;
 
 pub use billing::{Bill, LineItem, UsageKind};
 pub use clock::SimClock;
-pub use closedloop::{run_closed_loop, ClosedLoopConfig, ClosedLoopReport, TenantOutcome};
+pub use closedloop::{
+    run_closed_loop, run_closed_loop_logged, run_closed_loop_with_stats, ClosedLoopConfig,
+    ClosedLoopReport, FleetStats, LoopFaults, TenantOutcome,
+};
 pub use event::Event;
 pub use kernel::{DriverStatus, JobDriver, Kernel, StopReason};
 pub use observer::{BillingObserver, EventLog, Observer};

@@ -1,16 +1,23 @@
-//! Scale determinism: the sharded closed loop at 10k tenants must be a
-//! pure function of its seed, independent of the worker count.
+//! Scale determinism: the closed loop at 10k–1M tenants must be a pure
+//! function of its seed, independent of the worker count.
 //!
-//! The `TenantFleet` parallelizes only the pure decision stage; bid ids,
+//! The wakeup fleet parallelizes only the pure decision stage; bid ids,
 //! events, and reports are produced serially in tenant order. These tests
-//! hold that contract at the target population: identical
+//! hold that contract at the target populations: identical
 //! `ClosedLoopReport`s — and identical digests of the full per-tenant
-//! outcome stream — at 1 and 4 `spotbid-exec` workers.
+//! outcome stream — at 1 and 4 `spotbid-exec` workers, at 10k and 100k
+//! tenants (and 1M behind `SPOTBID_SCALE_FULL=1`), plus a 32-seed chaos
+//! sweep under `spotbid-faults` schedules (feed gaps, capacity
+//! reclamations) pinning the wakeup fleet to the frozen dense oracle.
 
 use spotbid_core::strategy::BiddingStrategy;
 use spotbid_core::JobSpec;
-use spotbid_engine::{run_closed_loop, ClosedLoopConfig, ClosedLoopReport};
+use spotbid_engine::closedloop::dense;
+use spotbid_engine::{
+    run_closed_loop, run_closed_loop_logged, ClosedLoopConfig, ClosedLoopReport, LoopFaults,
+};
 use spotbid_exec::with_threads;
+use spotbid_faults::{FaultConfig, FaultSchedule};
 use spotbid_market::units::{Hours, Price};
 use spotbid_market::MarketParams;
 
@@ -90,4 +97,65 @@ fn small_fleet_matches_itself_across_thread_counts() {
     let a = with_threads(1, || run_closed_loop(&strategies, &cfg, 42).unwrap());
     let b = with_threads(3, || run_closed_loop(&strategies, &cfg, 42).unwrap());
     assert_eq!(a, b);
+}
+
+#[test]
+fn hundred_k_tenants_identical_digests_at_1_and_4_threads() {
+    let strategies = strategies(100_000);
+    let cfg = config();
+    let one = with_threads(1, || run_closed_loop(&strategies, &cfg, 0x1000).unwrap());
+    let four = with_threads(4, || run_closed_loop(&strategies, &cfg, 0x1000).unwrap());
+    assert_eq!(digest(&one), digest(&four), "thread count leaked into the result");
+    assert_eq!(one, four);
+    assert_eq!(one.tenants.len(), 100_000);
+    assert!(one.tenants.iter().any(|t| t.spot_slots > 0));
+}
+
+/// CI-budgeted million-tenant smoke: run with `SPOTBID_SCALE_FULL=1`.
+/// Quiet-slot dominated (low fixed bids under a crowded market), so the
+/// wakeup fleet's skip path carries almost the whole horizon.
+#[test]
+fn million_tenants_smoke_behind_env_gate() {
+    if std::env::var("SPOTBID_SCALE_FULL").ok().as_deref() != Some("1") {
+        eprintln!("skipped: set SPOTBID_SCALE_FULL=1 to run the 1M smoke");
+        return;
+    }
+    let strategies = vec![BiddingStrategy::FixedBid(Price::new(0.03)); 1_000_000];
+    let cfg = ClosedLoopConfig { horizon_slots: 80, ..config() };
+    let one = with_threads(1, || run_closed_loop(&strategies, &cfg, 0x1_000_000).unwrap());
+    let four = with_threads(4, || run_closed_loop(&strategies, &cfg, 0x1_000_000).unwrap());
+    assert_eq!(digest(&one), digest(&four));
+    assert_eq!(one.tenants.len(), 1_000_000);
+}
+
+/// 32-seed chaos sweep: `spotbid-faults` schedules (feed gaps + capacity
+/// reclamations) driven through both fleets; the wakeup fleet must stay
+/// bit-identical to the frozen dense oracle under every plan.
+#[test]
+fn chaos_sweep_wakeup_matches_dense_under_faults() {
+    let chaos = FaultConfig {
+        gap: 0.06,
+        reclamation: 0.08,
+        ..FaultConfig::NONE
+    };
+    let cfg = ClosedLoopConfig { horizon_slots: 120, ..config() };
+    let total = cfg.warmup_slots + cfg.horizon_slots;
+    let strategies = strategies(48);
+    let mut any_interrupted = false;
+    for seed in 0..32u64 {
+        let schedule = FaultSchedule::generate(seed ^ 0xFA17, total, 1, &chaos);
+        let faults = LoopFaults {
+            gap: (0..total).map(|s| schedule.gap(s)).collect(),
+            reclaim: (0..total).map(|s| schedule.reclaimed(s)).collect(),
+        };
+        let (wr, we, _) =
+            run_closed_loop_logged(&strategies, &cfg, seed, Some(&faults)).unwrap();
+        let (dr, de) =
+            dense::run_closed_loop_logged(&strategies, &cfg, seed, Some(&faults)).unwrap();
+        assert_eq!(digest(&wr), digest(&dr), "seed {seed}: digests diverged");
+        assert_eq!(wr, dr, "seed {seed}: reports diverged");
+        assert_eq!(we, de, "seed {seed}: event streams diverged");
+        any_interrupted |= wr.tenants.iter().any(|t| t.interruptions > 0);
+    }
+    assert!(any_interrupted, "no reclamation ever bit across 32 seeds");
 }

@@ -235,6 +235,14 @@ pub struct SpotMarket {
     /// Entries go stale when a bid is interrupted first; the pop
     /// re-validates against `due`.
     calendar: BTreeMap<u64, Vec<u32>>,
+    /// Open bids displaced by a capacity reclamation (plus arrivals during
+    /// one): they are exempt from the resident price invariants, so they
+    /// sit outside the bucket lists and face an individual first-auction
+    /// pass on the next normal slot.
+    parked: Vec<u32>,
+    /// The next step is a capacity reclamation (set by
+    /// [`reclaim_next_slot`](Self::reclaim_next_slot)).
+    reclaim_next: bool,
 
     // ---- arenas ----
     sc_started: Vec<u32>,
@@ -272,6 +280,8 @@ impl SpotMarket {
             slot_charge: Vec::new(),
             geo_run: Vec::new(),
             calendar: BTreeMap::new(),
+            parked: Vec::new(),
+            reclaim_next: false,
             sc_started: Vec::new(),
             sc_rejected: Vec::new(),
             sc_geo_in: Vec::new(),
@@ -365,6 +375,19 @@ impl SpotMarket {
         self.open_count
     }
 
+    /// Marks the next [`step`](Self::step) as a bid-independent capacity
+    /// reclamation (the fault-injection hook): the provider still posts the
+    /// slot's price, but takes every instance back instead of auctioning.
+    /// All running bids are interrupted — persistent ones return to pending
+    /// and re-compete from the following slot, one-time ones exit
+    /// unfinished — while pending bids and fresh arrivals simply wait the
+    /// outage out. Nothing runs, so nothing is charged and no departure
+    /// randomness is drawn. Bit-identical to
+    /// [`naive::SpotMarket::reclaim_next_slot`].
+    pub fn reclaim_next_slot(&mut self) {
+        self.reclaim_next = true;
+    }
+
     /// Advances one slot: runs the auction, interrupts/launches instances,
     /// progresses work, and charges running bids.
     pub fn step(&mut self, rng: &mut Rng) -> SlotReport {
@@ -404,8 +427,45 @@ impl SpotMarket {
         // only state changes live in buckets overlapping
         // [min(pp, pf), max(pp, pf)); buckets strictly inside the interval
         // flip wholesale, the boundary bucket is compared per bid.
+        //
+        // A reclamation slot replaces the scan: every running bid is
+        // rejected regardless of price, and the pending residents a price
+        // fall would have started are parked instead (they must wait the
+        // outage out, but price < pf breaks the pending invariant, so they
+        // leave the bucket lists until their individual auction next slot).
         let pp = self.prev_price;
-        if pf > pp {
+        let reclaiming = std::mem::take(&mut self.reclaim_next);
+        if reclaiming {
+            for bucket in &mut self.buckets {
+                rejected.extend_from_slice(&bucket.running);
+                bucket.running.clear();
+            }
+            if pf < pp {
+                let k_lo = self.bucket_index(pf);
+                let k_hi = self.bucket_index(pp);
+                for b in k_lo..=k_hi {
+                    let mut list = std::mem::take(&mut self.buckets[b].pending);
+                    if b > k_lo {
+                        self.parked.extend_from_slice(&list);
+                        list.clear();
+                    } else {
+                        let mut w = 0usize;
+                        for r in 0..list.len() {
+                            let i = list[r];
+                            if self.price_of[i as usize] >= pf {
+                                self.parked.push(i);
+                            } else {
+                                self.pos_of[i as usize] = w as u32;
+                                list[w] = i;
+                                w += 1;
+                            }
+                        }
+                        list.truncate(w);
+                    }
+                    self.buckets[b].pending = list;
+                }
+            }
+        } else if pf > pp {
             // Price rose: running bids in [pp, pf) are outbid.
             let k_lo = self.bucket_index(pp);
             let k_hi = self.bucket_index(pf);
@@ -458,6 +518,37 @@ impl SpotMarket {
                 self.buckets[b].pending = list;
             }
         }
+
+        // 1b. Individual auctions for parked bids — non-empty only on the
+        // first normal slot after a reclamation. The reclamation emptied
+        // the running book, so `rejected` is empty here and the report's
+        // terminated order stays globally id-sorted: parked ids (pushed
+        // now, ascending) all precede this slot's incoming ids.
+        if !reclaiming && !self.parked.is_empty() {
+            debug_assert!(rejected.is_empty());
+            let mut parked = std::mem::take(&mut self.parked);
+            parked.sort_unstable();
+            for &i in &parked {
+                let iu = i as usize;
+                self.flags[iu] |= F_RESIDENT;
+                if self.price_of[iu] >= pf {
+                    started.push(i);
+                } else if self.flags[iu] & F_PERSISTENT != 0 {
+                    let b = self.bucket_of[iu] as usize;
+                    self.pos_of[iu] = self.buckets[b].pending.len() as u32;
+                    self.buckets[b].pending.push(i);
+                } else {
+                    let rec = &mut self.records[iu];
+                    rec.phase = BidPhase::Terminated;
+                    rec.closed_at = Some(t);
+                    report.terminated.push(rec.id);
+                    self.flags[iu] &= !F_OPEN;
+                    self.open_count -= 1;
+                }
+            }
+            parked.clear();
+            self.parked = parked;
+        }
         started.sort_unstable();
         rejected.sort_unstable();
 
@@ -476,9 +567,15 @@ impl SpotMarket {
             report.interrupted.push(rec.id);
             if persistent {
                 rec.phase = BidPhase::Pending;
-                let b = self.bucket_of[iu] as usize;
-                self.pos_of[iu] = self.buckets[b].pending.len() as u32;
-                self.buckets[b].pending.push(i);
+                if reclaiming {
+                    // Re-pended by the outage; its price may be ≥ pf, so it
+                    // waits outside the buckets for its re-auction.
+                    self.parked.push(i);
+                } else {
+                    let b = self.bucket_of[iu] as usize;
+                    self.pos_of[iu] = self.buckets[b].pending.len() as u32;
+                    self.buckets[b].pending.push(i);
+                }
             } else {
                 rec.phase = BidPhase::Terminated;
                 rec.closed_at = Some(t);
@@ -490,24 +587,29 @@ impl SpotMarket {
 
         // 3. First auction for bids submitted since the last step, in id
         // order. Winners join the start set; persistent losers become
-        // pending residents; one-time losers exit immediately.
+        // pending residents; one-time losers exit immediately. During a
+        // reclamation there is no auction to face: arrivals park and wait.
         let incoming = std::mem::take(&mut self.incoming);
-        for &i in &incoming {
-            let iu = i as usize;
-            self.flags[iu] |= F_RESIDENT;
-            if self.price_of[iu] >= pf {
-                started.push(i);
-            } else if self.flags[iu] & F_PERSISTENT != 0 {
-                let b = self.bucket_of[iu] as usize;
-                self.pos_of[iu] = self.buckets[b].pending.len() as u32;
-                self.buckets[b].pending.push(i);
-            } else {
-                let rec = &mut self.records[iu];
-                rec.phase = BidPhase::Terminated;
-                rec.closed_at = Some(t);
-                report.terminated.push(rec.id);
-                self.flags[iu] &= !F_OPEN;
-                self.open_count -= 1;
+        if reclaiming {
+            self.parked.extend_from_slice(&incoming);
+        } else {
+            for &i in &incoming {
+                let iu = i as usize;
+                self.flags[iu] |= F_RESIDENT;
+                if self.price_of[iu] >= pf {
+                    started.push(i);
+                } else if self.flags[iu] & F_PERSISTENT != 0 {
+                    let b = self.bucket_of[iu] as usize;
+                    self.pos_of[iu] = self.buckets[b].pending.len() as u32;
+                    self.buckets[b].pending.push(i);
+                } else {
+                    let rec = &mut self.records[iu];
+                    rec.phase = BidPhase::Terminated;
+                    rec.closed_at = Some(t);
+                    report.terminated.push(rec.id);
+                    self.flags[iu] &= !F_OPEN;
+                    self.open_count -= 1;
+                }
             }
         }
         self.incoming = incoming;
@@ -930,6 +1032,40 @@ mod tests {
             m1.recycle(fresh);
         }
         assert_eq!(m1.records(), m2.records());
+    }
+
+    #[test]
+    fn reclamation_interrupts_running_and_parks_persistent() {
+        let mut m = market();
+        let mut rng = Rng::seed_from_u64(13);
+        let p = m.submit(bid(0.35, BidKind::Persistent, 5));
+        let o = m.submit(bid(0.35, BidKind::OneTime, 5));
+        let r1 = m.step(&mut rng);
+        assert_eq!(r1.started, vec![p, o]);
+
+        m.reclaim_next_slot();
+        let r2 = m.step(&mut rng);
+        // Price still posted; everything running is taken back.
+        assert!(r2.price > Price::ZERO);
+        assert_eq!(r2.interrupted, vec![p, o]);
+        assert_eq!(r2.terminated, vec![o], "one-time exits unfinished");
+        assert!(r2.started.is_empty() && r2.finished.is_empty());
+        assert_eq!(m.record(p).unwrap().phase, BidPhase::Pending);
+        // Charged for the one pre-outage slot only.
+        assert_eq!(m.record(p).unwrap().slots_run, 1);
+
+        // Next normal slot: the parked persistent re-wins its auction and
+        // eventually finishes its remaining work.
+        let r3 = m.step(&mut rng);
+        assert_eq!(r3.started, vec![p]);
+        for _ in 0..6 {
+            m.step(&mut rng);
+        }
+        let rec = m.record(p).unwrap();
+        assert_eq!(rec.phase, BidPhase::Finished);
+        assert_eq!(rec.slots_run, 5);
+        assert_eq!(rec.interruptions, 1);
+        assert_eq!(m.open_bids(), 0);
     }
 
     #[test]

@@ -34,6 +34,9 @@ pub struct SpotMarket {
     /// Allocation cache for `step`'s survivor list: holds last slot's `open`
     /// vector so stepping a long-lived market does not allocate per slot.
     scratch: Vec<usize>,
+    /// The next step is a capacity reclamation (set by
+    /// [`reclaim_next_slot`](Self::reclaim_next_slot)).
+    reclaim_next: bool,
 }
 
 impl SpotMarket {
@@ -46,6 +49,7 @@ impl SpotMarket {
             records: Vec::new(),
             open: Vec::new(),
             scratch: Vec::new(),
+            reclaim_next: false,
         }
     }
 
@@ -92,6 +96,18 @@ impl SpotMarket {
         self.open.len()
     }
 
+    /// Marks the next [`step`](Self::step) as a bid-independent capacity
+    /// reclamation (the fault-injection hook): the provider still posts the
+    /// slot's price, but takes every instance back instead of auctioning.
+    /// All running bids are interrupted — persistent ones return to pending
+    /// and re-compete from the following slot, one-time ones exit
+    /// unfinished — while pending bids and fresh arrivals simply wait the
+    /// outage out. Nothing runs, so nothing is charged and no departure
+    /// randomness is drawn.
+    pub fn reclaim_next_slot(&mut self) {
+        self.reclaim_next = true;
+    }
+
     /// Advances one slot: runs the auction, interrupts/launches instances,
     /// progresses work, and charges running bids.
     pub fn step(&mut self, rng: &mut Rng) -> SlotReport {
@@ -116,6 +132,34 @@ impl SpotMarket {
         let mut still_open = std::mem::take(&mut self.scratch);
         still_open.clear();
         still_open.reserve(self.open.len());
+        if std::mem::take(&mut self.reclaim_next) {
+            // Capacity reclamation: no auction, no charges, no draws. Every
+            // running bid is interrupted; everything else waits in place.
+            for &idx in &self.open {
+                let was_running = self.records[idx].phase == BidPhase::Running;
+                let rec = &mut self.records[idx];
+                if was_running {
+                    rec.interruptions += 1;
+                    report.interrupted.push(rec.id);
+                    match rec.request.kind {
+                        BidKind::OneTime => {
+                            rec.phase = BidPhase::Terminated;
+                            rec.closed_at = Some(t);
+                            report.terminated.push(rec.id);
+                        }
+                        BidKind::Persistent => {
+                            rec.phase = BidPhase::Pending;
+                            still_open.push(idx);
+                        }
+                    }
+                } else {
+                    still_open.push(idx);
+                }
+            }
+            self.scratch = std::mem::replace(&mut self.open, still_open);
+            self.t += 1;
+            return report;
+        }
         for &idx in &self.open {
             let accepted = self.records[idx].request.price >= price;
             let was_running = self.records[idx].phase == BidPhase::Running;

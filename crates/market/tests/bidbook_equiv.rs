@@ -104,6 +104,20 @@ fn assert_sorted(rep: &SlotReport) {
 /// seeded step RNGs, slot-by-slot `SlotReport` equality, interleaved
 /// mid-run `record()` reads, and final full-`records()` equality.
 fn run_equivalence(seed: u64, gen: PriceGen, initial: usize, slots: usize, churn: f64) {
+    run_equivalence_reclaiming(seed, gen, initial, slots, churn, 0.0);
+}
+
+/// As [`run_equivalence`], with each slot independently being a capacity
+/// reclamation with probability `reclaim` (exercising the parked-bid
+/// path, including consecutive reclamations and arrivals mid-outage).
+fn run_equivalence_reclaiming(
+    seed: u64,
+    gen: PriceGen,
+    initial: usize,
+    slots: usize,
+    churn: f64,
+    reclaim: f64,
+) {
     let p = params();
     let (mut book, mut base) = pair(p);
     let mut sub_rng = Rng::seed_from_u64(seed);
@@ -129,6 +143,10 @@ fn run_equivalence(seed: u64, gen: PriceGen, initial: usize, slots: usize, churn
         for _ in 0..burst {
             let req = random_request(&p, gen, &mut sub_rng);
             assert_eq!(book.submit(req), base.submit(req));
+        }
+        if reclaim > 0.0 && sub_rng.chance(reclaim) {
+            book.reclaim_next_slot();
+            base.reclaim_next_slot();
         }
         assert_eq!(book.open_bids(), base.open_bids(), "demand at slot {s}");
 
@@ -191,6 +209,27 @@ fn equivalent_with_no_initial_bids_and_sparse_churn() {
 fn equivalent_on_a_moderate_burst() {
     // One 5k-bid burst: the bucket build and first-auction path at scale.
     run_equivalence(0xB16B00B5 % 9973, uniform_price, 5000, 40, 0.3);
+}
+
+#[test]
+fn equivalent_under_capacity_reclamations() {
+    // Scattered single-slot outages: parked running bids, parked pending
+    // sweeps, arrivals mid-outage, and the individual re-auction pass.
+    for seed in [43u64, 47, 53, 0xFA17] {
+        run_equivalence_reclaiming(seed, uniform_price, 250, 120, 0.6, 0.08);
+        run_equivalence_reclaiming(seed, clustered_price, 200, 100, 0.5, 0.08);
+    }
+}
+
+#[test]
+fn equivalent_under_heavy_reclamations() {
+    // Back-to-back outages: parked bids carried across consecutive
+    // reclamation slots, boundary prices, and out-of-range bids that sit
+    // parked through an outage.
+    for seed in [59u64, 61, 67] {
+        run_equivalence_reclaiming(seed, boundary_price, 150, 100, 0.5, 0.4);
+        run_equivalence_reclaiming(seed, extreme_price, 150, 100, 0.5, 0.4);
+    }
 }
 
 #[test]
