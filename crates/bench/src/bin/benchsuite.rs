@@ -119,6 +119,117 @@ fn price_model_benches(h: &mut Harness) {
     );
 }
 
+/// The serve crate's hot paths: the sliding-window model maintenance
+/// that keeps the advisory model current per feed record (vs the
+/// `price_model/build/10k` full rebuild above), and the end-to-end
+/// advisory query round-trip through a live in-process server —
+/// unloaded and with background sessions hammering the worker pool.
+fn serve_benches(h: &mut Harness) {
+    use spotbid_numerics::sliding::SlidingEmpirical;
+    use spotbid_serve::{ServeConfig, ServerHandle};
+    use spotbid_trace::ingest::RawRecord;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let inst = catalog::by_name("r3.xlarge").unwrap();
+    let cfg = SyntheticConfig::for_instance(&inst);
+    let hist = generate(&cfg, 10_000, &mut Rng::seed_from_u64(0xBE7C)).unwrap();
+    let prices = hist.raw();
+
+    let mut g = h.group("serve");
+
+    // Steady state at capacity: every push is an atom insert plus an
+    // oldest-atom evict — the O(log k) work a live feed record costs.
+    let window = 4096usize;
+    let mut sliding = SlidingEmpirical::new(window).unwrap();
+    for p in prices.iter().take(window) {
+        sliding.push(*p).unwrap();
+    }
+    let mut i = 0usize;
+    g.bench("sliding_push/4k", || {
+        i = (i + 1) % prices.len();
+        sliding.push(black_box(prices[i])).unwrap()
+    });
+
+    // Push + snapshot: the full cost of answering a query right after a
+    // record lands (cache invalidated, count-multiset replay rebuild).
+    let mut i = 0usize;
+    g.bench("sliding_push_snapshot/4k", || {
+        i = (i + 1) % prices.len();
+        sliding.push(black_box(prices[i])).unwrap();
+        sliding.snapshot().unwrap().len()
+    });
+
+    // A live server with a preloaded window; deadlines long enough that
+    // harness pauses between benches never evict the bench client.
+    let start_server = || -> ServerHandle {
+        let handle = spotbid_serve::start(ServeConfig {
+            read_timeout: std::time::Duration::from_secs(120),
+            write_timeout: std::time::Duration::from_secs(120),
+            ..ServeConfig::default()
+        })
+        .expect("start serve");
+        let mut m = handle.shared().model.lock().unwrap();
+        for (k, p) in prices.iter().take(window).enumerate() {
+            m.ingest(RawRecord {
+                time_hours: k as f64 * (1.0 / 12.0),
+                price: *p,
+            })
+            .unwrap();
+        }
+        drop(m);
+        handle
+    };
+    let connect = |handle: &ServerHandle| {
+        let sock = TcpStream::connect(handle.addr()).expect("connect");
+        sock.set_nodelay(true).unwrap();
+        (sock.try_clone().unwrap(), BufReader::new(sock))
+    };
+    let roundtrip = |writer: &mut TcpStream, reader: &mut BufReader<TcpStream>| {
+        writer
+            .write_all(b"{\"op\":\"advise\",\"strategy\":\"persistent\",\"ts_hours\":1.0,\"tr_secs\":30.0}\n")
+            .expect("write advise");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("read advise");
+        assert!(reply.contains("\"ok\":true"), "advisory failed: {reply}");
+        reply.len()
+    };
+
+    let handle = start_server();
+    let (mut writer, mut reader) = connect(&handle);
+    g.bench("query_roundtrip/persistent_advise", || {
+        roundtrip(&mut writer, &mut reader)
+    });
+
+    // The same round-trip while background sessions keep every worker
+    // busy with pings — queueing plus lock contention included.
+    let stop = Arc::new(AtomicBool::new(false));
+    let hammers: Vec<_> = (0..2)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            let (mut w, mut r) = connect(&handle);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    w.write_all(b"{\"op\":\"ping\"}\n").expect("hammer write");
+                    let mut line = String::new();
+                    r.read_line(&mut line).expect("hammer read");
+                }
+            })
+        })
+        .collect();
+    g.bench("query_roundtrip/under_load", || {
+        roundtrip(&mut writer, &mut reader)
+    });
+    stop.store(true, Ordering::Relaxed);
+    for hammer in hammers {
+        hammer.join().expect("hammer thread");
+    }
+    drop((writer, reader));
+    handle.stop();
+}
+
 fn market_params() -> MarketParams {
     MarketParams::new(Price::new(0.35), Price::new(0.02), 0.05, 0.02).unwrap()
 }
@@ -428,6 +539,7 @@ type Section = (&'static str, fn(&mut Harness));
 /// whose name contains the substring.
 const SECTIONS: &[Section] = &[
     ("price_model", price_model_benches),
+    ("serve", serve_benches),
     ("market", market_benches),
     ("market_scale", market_scale_benches),
     ("strategy", strategy_benches),

@@ -24,6 +24,11 @@ use spotbid_trace::SpotPriceHistory;
 
 pub use spotbid_engine::single::{JobOutcome, RecoveryPolicy, RunStatus};
 pub use spotbid_engine::source::MarketView;
+// The reconnect schedule the feed-outage budget is derived from
+// ([`RecoveryPolicy::from_backoff`]) — re-exported so client code
+// configures retries and budget from one place. The serve crate's
+// `FeedClient` sleeps through the same schedule in wall-clock time.
+pub use spotbid_numerics::backoff::{Backoff, BackoffConfig};
 
 /// Runs a job against `future` starting at its first slot, under the given
 /// decision. The billing `tag` labels line items (use distinct tags for
@@ -387,6 +392,34 @@ mod tests {
         assert!(!out.completed());
         assert_eq!(out.feed_outages, 3, "stops at the budget, not the end");
         assert!(out.remaining_work > Hours::ZERO);
+    }
+
+    /// A policy derived from a reconnect-backoff schedule behaves exactly
+    /// like the equivalent fixed budget: `max_retries` scheduled reconnect
+    /// attempts ⇔ `max_retries` tolerated outage slots. The wall-clock
+    /// delay sequence itself is pinned in `spotbid_numerics::backoff`.
+    #[test]
+    fn backoff_derived_policy_matches_fixed_budget() {
+        let cfg = BackoffConfig {
+            max_retries: 2,
+            ..BackoffConfig::default()
+        };
+        let policy = RecoveryPolicy::from_backoff(&cfg);
+        assert_eq!(policy.max_feed_outage_slots, 2);
+        let mut v = FaultView::clean(&[0.03; 12]);
+        for i in 1..8 {
+            v.observed[i] = None;
+        }
+        let j = job(1.0, 0.0);
+        let out = run_job_resilient(&v, spot(0.10, true), &j, 0, &policy).unwrap();
+        let fixed = RecoveryPolicy {
+            max_feed_outage_slots: 2,
+            ..RecoveryPolicy::default()
+        };
+        let out_fixed = run_job_resilient(&v, spot(0.10, true), &j, 0, &fixed).unwrap();
+        assert_eq!(out, out_fixed);
+        assert_eq!(out.status, RunStatus::FeedLost);
+        assert_eq!(out.feed_outages, 3, "budget exhausted on the attempt after");
     }
 
     #[test]

@@ -133,6 +133,27 @@ impl EmpiricalPrices {
         Ok(Self::from_parts(emp, on_demand))
     }
 
+    /// Builds the model from an already-constructed [`Empirical`]
+    /// distribution — the zero-copy path for streaming consumers (the serve
+    /// crate's sliding window maintains its `Empirical` incrementally and
+    /// must not pay a re-sort per advisory).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidModel`] when the cap lies below the
+    /// distribution's maximum.
+    pub fn from_empirical(emp: Empirical, on_demand: Price) -> Result<Self, CoreError> {
+        if on_demand.as_f64() < emp.max() {
+            return Err(CoreError::InvalidModel {
+                what: format!(
+                    "on-demand cap {on_demand} below observed maximum {}",
+                    emp.max()
+                ),
+            });
+        }
+        Ok(Self::from_parts(emp, on_demand))
+    }
+
     fn from_parts(emp: Empirical, on_demand: Price) -> Self {
         let candidates = emp.distinct().iter().copied().map(Price::new).collect();
         EmpiricalPrices {

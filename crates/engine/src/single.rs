@@ -23,6 +23,7 @@ use crate::source::{MarketView, PriceSource, SlotPrice, ViewSource};
 use crate::EngineError;
 use spotbid_core::{BidDecision, JobSpec};
 use spotbid_market::units::{Cost, Hours, Price};
+use spotbid_numerics::backoff::BackoffConfig;
 use spotbid_trace::SpotPriceHistory;
 
 /// How a job's run ended.
@@ -109,13 +110,29 @@ pub struct RecoveryPolicy {
     pub on_demand_fallback: Option<Price>,
 }
 
-impl Default for RecoveryPolicy {
-    fn default() -> Self {
+impl RecoveryPolicy {
+    /// Derives a policy from a reconnect-backoff schedule: the slot-driven
+    /// replay tolerates one feed-outage slot per scheduled reconnect
+    /// attempt, declaring the feed lost exactly when a real client sleeping
+    /// through `cfg`'s delays (the serve crate's `FeedClient`) would have
+    /// exhausted its retries. This is what keeps the simulated budget and
+    /// the wall-clock reconnect loop a single implementation — change the
+    /// schedule in [`BackoffConfig`], and both move together.
+    pub fn from_backoff(cfg: &BackoffConfig) -> Self {
         RecoveryPolicy {
-            max_feed_outage_slots: 3,
+            max_feed_outage_slots: cfg.max_retries,
             max_reclaims: 4,
             on_demand_fallback: None,
         }
+    }
+}
+
+impl Default for RecoveryPolicy {
+    /// The default feed-outage budget is not a free-standing constant: it
+    /// is the retry count of the workspace's default reconnect schedule,
+    /// [`BackoffConfig::default`] (3 retries, 100 ms doubling to a 2 s cap).
+    fn default() -> Self {
+        Self::from_backoff(&BackoffConfig::default())
     }
 }
 
@@ -498,6 +515,23 @@ mod tests {
         assert_eq!(out.status, RunStatus::CompletedWithFallback);
         let expect = 0.03 * (5.0 / 60.0) + 0.35 * (11.0 / 60.0);
         assert!((out.cost.as_f64() - expect).abs() < 1e-12, "{}", out.cost);
+    }
+
+    #[test]
+    fn recovery_policy_budget_derives_from_backoff_schedule() {
+        // The default budget IS the default reconnect schedule's retry count.
+        let default_cfg = BackoffConfig::default();
+        assert_eq!(
+            RecoveryPolicy::default().max_feed_outage_slots,
+            default_cfg.max_retries
+        );
+        assert_eq!(RecoveryPolicy::default(), RecoveryPolicy::from_backoff(&default_cfg));
+        // A longer schedule buys a proportionally longer outage budget.
+        let patient = BackoffConfig {
+            max_retries: 7,
+            ..BackoffConfig::default()
+        };
+        assert_eq!(RecoveryPolicy::from_backoff(&patient).max_feed_outage_slots, 7);
     }
 
     #[test]

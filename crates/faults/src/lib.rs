@@ -20,10 +20,12 @@
 pub mod cluster;
 pub mod market;
 pub mod schedule;
+pub mod server;
 
 pub use cluster::chaos_availability;
 pub use market::{corrupt_records, FaultyMarket};
 pub use schedule::{FaultConfig, FaultKind, FaultSchedule};
+pub use server::{ServerFaultConfig, ServerFaultKind, ServerFaultPlan};
 
 use spotbid_core::checkpoint::CheckpointFaults;
 use spotbid_numerics::rng::{Rng, RngStreams};

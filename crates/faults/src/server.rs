@@ -1,0 +1,286 @@
+//! Server-side fault plans: seeded chaos for the long-running bid-advisory
+//! server (`spotbid-serve`).
+//!
+//! The slot-indexed [`FaultSchedule`](crate::FaultSchedule) covers the
+//! batch/replay stack; a *server* faces a different surface — a streaming
+//! feed that disconnects or delivers garbage frames, and client sessions
+//! that half-open, dribble bytes, or storm the acceptor. This module
+//! materialises those as a [`ServerFaultPlan`]: per-*record* masks for the
+//! feed path and per-*session* masks for the session path, all drawn under
+//! the same determinism contract as the base schedule.
+//!
+//! Determinism contract: each [`ServerFaultKind`] owns the
+//! [`RngStreams`] substream equal to its discriminant. The discriminants
+//! continue the [`FaultKind`](crate::FaultKind) numbering (which ends at
+//! 10) so the two fault spaces can never collide on a substream, and —
+//! exactly like the base enum — adding a kind must never renumber an
+//! existing one, or historical fault seeds would replay differently.
+
+use spotbid_numerics::rng::{Rng, RngStreams};
+
+/// Every fault the server chaos harness knows how to cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ServerFaultKind {
+    /// The upstream price feed drops the connection after a record; the
+    /// server's `FeedClient` must reconnect through its backoff schedule.
+    FeedOutage = 11,
+    /// A feed record is delivered as an undecodable garbage frame.
+    CorruptFrame = 12,
+    /// A client connects, sends a partial frame, and goes silent without
+    /// closing — holding a session slot open.
+    HalfOpenSocket = 13,
+    /// A client dribbles its request a byte at a time (slow loris),
+    /// trying to outlast the server's read deadline.
+    SlowLorisClient = 14,
+    /// A client storms the acceptor with rapid connect/abandon cycles.
+    BurstReconnect = 15,
+}
+
+impl ServerFaultKind {
+    /// All kinds, in substream order.
+    pub const ALL: [ServerFaultKind; 5] = [
+        ServerFaultKind::FeedOutage,
+        ServerFaultKind::CorruptFrame,
+        ServerFaultKind::HalfOpenSocket,
+        ServerFaultKind::SlowLorisClient,
+        ServerFaultKind::BurstReconnect,
+    ];
+}
+
+/// Fault probabilities for a server chaos run. Feed kinds are per record;
+/// session kinds are per session. Zero disables a kind (its substream is
+/// still reserved, so toggling it does not disturb the others).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerFaultConfig {
+    /// P(the feed connection drops after a given record).
+    pub feed_outage: f64,
+    /// P(a given record is delivered as a corrupt frame).
+    pub corrupt_frame: f64,
+    /// P(a given session is a half-open socket).
+    pub half_open: f64,
+    /// P(a given session is a slow-loris client).
+    pub slow_loris: f64,
+    /// P(a given session is a connect/abandon burst).
+    pub burst_reconnect: f64,
+    /// Connections per burst when a burst-reconnect session fires.
+    pub burst_size: usize,
+}
+
+impl ServerFaultConfig {
+    /// No server faults at all. A plan generated from this config must
+    /// leave the server's answers bit-identical to a direct library call.
+    pub const NONE: ServerFaultConfig = ServerFaultConfig {
+        feed_outage: 0.0,
+        corrupt_frame: 0.0,
+        half_open: 0.0,
+        slow_loris: 0.0,
+        burst_reconnect: 0.0,
+        burst_size: 0,
+    };
+}
+
+impl Default for ServerFaultConfig {
+    /// Moderate chaos: a feed outage every ~30 records, a corrupt frame
+    /// every ~25, and a fifth of sessions misbehaving one way or another.
+    fn default() -> Self {
+        ServerFaultConfig {
+            feed_outage: 0.03,
+            corrupt_frame: 0.04,
+            half_open: 0.08,
+            slow_loris: 0.06,
+            burst_reconnect: 0.06,
+            burst_size: 4,
+        }
+    }
+}
+
+fn mask(rng: &mut Rng, n: usize, p: f64) -> Vec<bool> {
+    // Always draw n times so the substream position after generation is
+    // independent of p — a config tweak must not shift later draws.
+    (0..n).map(|_| rng.chance(p)).collect()
+}
+
+/// A fully materialised server fault plan: for every feed record and every
+/// client session, exactly what breaks. Pure function of
+/// `(fault_seed, n_records, n_sessions, config)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerFaultPlan {
+    outage_after: Vec<bool>,
+    corrupt_frame: Vec<bool>,
+    half_open: Vec<bool>,
+    slow_loris: Vec<bool>,
+    burst_reconnect: Vec<bool>,
+    burst_size: usize,
+}
+
+impl ServerFaultPlan {
+    /// Materialises the plan. Each fault kind draws from substream
+    /// `kind as u64` of `RngStreams::new(fault_seed)` — the same generator
+    /// construction as [`FaultSchedule::generate`](crate::FaultSchedule::generate),
+    /// in the substream slots 11–15 the base schedule leaves untouched.
+    pub fn generate(
+        fault_seed: u64,
+        n_records: usize,
+        n_sessions: usize,
+        cfg: &ServerFaultConfig,
+    ) -> Self {
+        let streams = RngStreams::new(fault_seed);
+        let rng_for = |kind: ServerFaultKind| streams.stream(kind as u64);
+
+        ServerFaultPlan {
+            outage_after: mask(
+                &mut rng_for(ServerFaultKind::FeedOutage),
+                n_records,
+                cfg.feed_outage,
+            ),
+            corrupt_frame: mask(
+                &mut rng_for(ServerFaultKind::CorruptFrame),
+                n_records,
+                cfg.corrupt_frame,
+            ),
+            half_open: mask(
+                &mut rng_for(ServerFaultKind::HalfOpenSocket),
+                n_sessions,
+                cfg.half_open,
+            ),
+            slow_loris: mask(
+                &mut rng_for(ServerFaultKind::SlowLorisClient),
+                n_sessions,
+                cfg.slow_loris,
+            ),
+            burst_reconnect: mask(
+                &mut rng_for(ServerFaultKind::BurstReconnect),
+                n_sessions,
+                cfg.burst_reconnect,
+            ),
+            burst_size: cfg.burst_size,
+        }
+    }
+
+    /// Number of feed records the plan covers.
+    pub fn n_records(&self) -> usize {
+        self.outage_after.len()
+    }
+
+    /// Number of client sessions the plan covers.
+    pub fn n_sessions(&self) -> usize {
+        self.half_open.len()
+    }
+
+    /// Does the feed drop its connection right after delivering record `i`?
+    pub fn outage_after(&self, i: usize) -> bool {
+        self.outage_after.get(i).copied().unwrap_or(false)
+    }
+
+    /// Is record `i` delivered as a corrupt (undecodable) frame?
+    pub fn corrupt_frame(&self, i: usize) -> bool {
+        self.corrupt_frame.get(i).copied().unwrap_or(false)
+    }
+
+    /// Is session `j` a half-open socket?
+    pub fn half_open(&self, j: usize) -> bool {
+        self.half_open.get(j).copied().unwrap_or(false)
+    }
+
+    /// Is session `j` a slow-loris client?
+    pub fn slow_loris(&self, j: usize) -> bool {
+        self.slow_loris.get(j).copied().unwrap_or(false)
+    }
+
+    /// Is session `j` a connect/abandon burst (and of how many
+    /// connections)? `None` when the session behaves.
+    pub fn burst_reconnect(&self, j: usize) -> Option<usize> {
+        if self.burst_reconnect.get(j).copied().unwrap_or(false) {
+            Some(self.burst_size)
+        } else {
+            None
+        }
+    }
+
+    /// Total faults the plan will fire, by kind — handy for asserting a
+    /// chaos run actually exercised something.
+    pub fn counts(&self) -> [(ServerFaultKind, usize); 5] {
+        let c = |v: &[bool]| v.iter().filter(|&&b| b).count();
+        [
+            (ServerFaultKind::FeedOutage, c(&self.outage_after)),
+            (ServerFaultKind::CorruptFrame, c(&self.corrupt_frame)),
+            (ServerFaultKind::HalfOpenSocket, c(&self.half_open)),
+            (ServerFaultKind::SlowLorisClient, c(&self.slow_loris)),
+            (ServerFaultKind::BurstReconnect, c(&self.burst_reconnect)),
+        ]
+    }
+
+    /// True when no fault fires anywhere in the plan.
+    pub fn is_clean(&self) -> bool {
+        self.counts().iter().all(|&(_, n)| n == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultKind;
+
+    #[test]
+    fn discriminants_continue_the_base_numbering() {
+        // The base enum ends at 10; the server kinds must pick up at 11
+        // and stay frozen (substream identity).
+        assert_eq!(FaultKind::MasterCrash as u64, 10);
+        let vals: Vec<u64> = ServerFaultKind::ALL.iter().map(|&k| k as u64).collect();
+        assert_eq!(vals, vec![11, 12, 13, 14, 15]);
+    }
+
+    #[test]
+    fn plan_is_seed_deterministic() {
+        let cfg = ServerFaultConfig::default();
+        let a = ServerFaultPlan::generate(7, 200, 16, &cfg);
+        let b = ServerFaultPlan::generate(7, 200, 16, &cfg);
+        assert_eq!(a, b);
+        let c = ServerFaultPlan::generate(8, 200, 16, &cfg);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn none_config_is_clean() {
+        let p = ServerFaultPlan::generate(7, 500, 64, &ServerFaultConfig::NONE);
+        assert!(p.is_clean());
+        assert!(p.burst_reconnect(3).is_none());
+        assert_eq!(p.n_records(), 500);
+        assert_eq!(p.n_sessions(), 64);
+    }
+
+    #[test]
+    fn default_config_fires_every_kind_somewhere() {
+        let p = ServerFaultPlan::generate(0xC1A05, 400, 64, &ServerFaultConfig::default());
+        for (kind, n) in p.counts() {
+            assert!(n > 0, "{kind:?} never fired in 400 records / 64 sessions");
+        }
+    }
+
+    #[test]
+    fn kinds_draw_from_independent_substreams() {
+        // Disabling one kind must not perturb any other kind's mask.
+        let cfg = ServerFaultConfig::default();
+        let quiet = ServerFaultConfig {
+            corrupt_frame: 0.0,
+            ..cfg
+        };
+        let a = ServerFaultPlan::generate(42, 300, 32, &cfg);
+        let b = ServerFaultPlan::generate(42, 300, 32, &quiet);
+        assert_eq!(a.outage_after, b.outage_after);
+        assert_eq!(a.half_open, b.half_open);
+        assert_eq!(a.slow_loris, b.slow_loris);
+        assert_eq!(a.burst_reconnect, b.burst_reconnect);
+        assert!(b.corrupt_frame.iter().all(|&x| !x));
+    }
+
+    #[test]
+    fn out_of_range_queries_are_quiet() {
+        let p = ServerFaultPlan::generate(1, 10, 2, &ServerFaultConfig::default());
+        assert!(!p.outage_after(999));
+        assert!(!p.corrupt_frame(999));
+        assert!(!p.half_open(999));
+        assert!(!p.slow_loris(999));
+        assert!(p.burst_reconnect(999).is_none());
+    }
+}

@@ -1,0 +1,276 @@
+//! Seeded bounded-exponential-backoff with jitter.
+//!
+//! Every retry loop in the workspace that waits between attempts — the
+//! serve crate's feed reconnects, the client runtime's feed-outage budget —
+//! derives its schedule from this one implementation so the two layers can
+//! never drift apart. The schedule is *deterministic*: delays are a pure
+//! function of the config, the `u64` seed, and the number of draws made so
+//! far, which is what lets the chaos harness replay a reconnect storm
+//! bit-for-bit from a seed.
+//!
+//! The shape is classic capped exponential backoff with multiplicative
+//! jitter: attempt `k` sleeps `min(base·2ᵏ, cap) · (1 − jitter·u_k)` where
+//! `u_k ∈ [0, 1)` comes from a seeded [`Rng`]. After `max_retries` draws the
+//! schedule is exhausted and [`Backoff::next_delay`] returns `None` — the
+//! caller's signal to give up (the client runtime declares the feed lost;
+//! the serve crate flips into degraded advisory mode).
+
+use std::time::Duration;
+
+use crate::rng::Rng;
+use crate::{NumericsError, Result};
+
+/// Parameters of a bounded-exponential-backoff schedule.
+///
+/// `jitter` is the *fraction* of each delay that may be shaved off by the
+/// seeded uniform draw (0 = pure exponential, 1 = full jitter down to zero).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackoffConfig {
+    /// Delay of the first retry (before jitter).
+    pub base: Duration,
+    /// Upper bound on any single delay (before jitter).
+    pub cap: Duration,
+    /// Number of retries before the schedule is exhausted.
+    pub max_retries: u32,
+    /// Fraction of each delay subject to jitter, in `[0, 1]`.
+    pub jitter: f64,
+}
+
+impl Default for BackoffConfig {
+    /// The workspace-wide feed-reconnect schedule: 100 ms doubling to a 2 s
+    /// cap, half-jittered, three retries. `max_retries = 3` is what the
+    /// client runtime's default [`RecoveryPolicy`] feed-outage budget is
+    /// derived from (see `spotbid-engine`'s `single` module).
+    ///
+    /// [`RecoveryPolicy`]: https://docs.rs/spotbid-engine
+    fn default() -> Self {
+        BackoffConfig {
+            base: Duration::from_millis(100),
+            cap: Duration::from_secs(2),
+            max_retries: 3,
+            jitter: 0.5,
+        }
+    }
+}
+
+impl BackoffConfig {
+    /// Validates the config: `jitter ∈ [0, 1]` and `base <= cap`.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericsError::InvalidParameter`] on violation (NaN jitter fails
+    /// the range check).
+    pub fn validate(&self) -> Result<()> {
+        if !(0.0..=1.0).contains(&self.jitter) {
+            return Err(NumericsError::InvalidParameter {
+                name: "jitter",
+                value: self.jitter,
+                requirement: "jitter fraction must be in [0, 1]",
+            });
+        }
+        if self.base > self.cap {
+            return Err(NumericsError::InvalidParameter {
+                name: "base",
+                value: self.base.as_secs_f64(),
+                requirement: "base delay must not exceed cap",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A deterministic, seeded backoff schedule in progress.
+///
+/// # Example
+///
+/// ```
+/// use spotbid_numerics::backoff::{Backoff, BackoffConfig};
+///
+/// let mut b = Backoff::new(BackoffConfig::default(), 7).unwrap();
+/// let mut delays = Vec::new();
+/// while let Some(d) = b.next_delay() {
+///     delays.push(d);
+/// }
+/// assert_eq!(delays.len(), 3);
+/// // Same seed → bit-identical schedule.
+/// let mut b2 = Backoff::new(BackoffConfig::default(), 7).unwrap();
+/// assert_eq!(b2.next_delay(), Some(delays[0]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    cfg: BackoffConfig,
+    rng: Rng,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// Starts a schedule from a validated config and a seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BackoffConfig::validate`].
+    pub fn new(cfg: BackoffConfig, seed: u64) -> Result<Self> {
+        cfg.validate()?;
+        Ok(Backoff {
+            cfg,
+            rng: Rng::seed_from_u64(seed),
+            attempt: 0,
+        })
+    }
+
+    /// The delay before the next retry, or `None` once `max_retries` draws
+    /// have been made — the signal to stop retrying.
+    pub fn next_delay(&mut self) -> Option<Duration> {
+        if self.attempt >= self.cfg.max_retries {
+            return None;
+        }
+        // min(base·2^k, cap): shifting past the cap saturates rather than
+        // overflowing, so huge retry counts stay well-defined.
+        let raw = self
+            .cfg
+            .base
+            .checked_mul(1u32.checked_shl(self.attempt).unwrap_or(u32::MAX))
+            .map_or(self.cfg.cap, |d| d.min(self.cfg.cap));
+        let u = self.rng.next_f64();
+        self.attempt += 1;
+        Some(raw.mul_f64(1.0 - self.cfg.jitter * u))
+    }
+
+    /// Number of delays drawn since construction or the last [`reset`].
+    ///
+    /// [`reset`]: Self::reset
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// True once the schedule has no delays left.
+    pub fn exhausted(&self) -> bool {
+        self.attempt >= self.cfg.max_retries
+    }
+
+    /// Rewinds the attempt counter after a success, restarting the
+    /// exponential ramp. The RNG is *not* rewound: later retry rounds keep
+    /// drawing fresh jitter, so the full delay stream stays a deterministic
+    /// function of the seed and the call sequence.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    /// The config this schedule was built from.
+    pub fn config(&self) -> &BackoffConfig {
+        &self.cfg
+    }
+}
+
+/// Collects one full schedule (all `max_retries` delays) for a config and
+/// seed. Convenience for tests and for budget derivation.
+///
+/// # Errors
+///
+/// Propagates [`BackoffConfig::validate`].
+pub fn schedule(cfg: BackoffConfig, seed: u64) -> Result<Vec<Duration>> {
+    let mut b = Backoff::new(cfg, seed)?;
+    let mut out = Vec::with_capacity(cfg.max_retries as usize);
+    while let Some(d) = b.next_delay() {
+        out.push(d);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(base_ms: u64, cap_ms: u64, retries: u32, jitter: f64) -> BackoffConfig {
+        BackoffConfig {
+            base: Duration::from_millis(base_ms),
+            cap: Duration::from_millis(cap_ms),
+            max_retries: retries,
+            jitter,
+        }
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(Backoff::new(cfg(100, 50, 3, 0.5), 1).is_err());
+        assert!(Backoff::new(cfg(10, 100, 3, 1.5), 1).is_err());
+        assert!(Backoff::new(cfg(10, 100, 3, -0.1), 1).is_err());
+        assert!(Backoff::new(cfg(10, 100, 3, f64::NAN), 1).is_err());
+        assert!(Backoff::new(cfg(10, 100, 3, 0.0), 1).is_ok());
+    }
+
+    #[test]
+    fn zero_jitter_is_pure_capped_exponential() {
+        let ds = schedule(cfg(100, 450, 5, 0.0), 9).unwrap();
+        let ms: Vec<u128> = ds.iter().map(Duration::as_millis).collect();
+        assert_eq!(ms, vec![100, 200, 400, 450, 450]);
+    }
+
+    #[test]
+    fn exhaustion_and_reset() {
+        let mut b = Backoff::new(cfg(1, 8, 2, 0.5), 3).unwrap();
+        assert!(!b.exhausted());
+        assert!(b.next_delay().is_some());
+        assert!(b.next_delay().is_some());
+        assert_eq!(b.attempts(), 2);
+        assert!(b.exhausted());
+        assert_eq!(b.next_delay(), None);
+        b.reset();
+        assert!(!b.exhausted());
+        assert!(b.next_delay().is_some());
+    }
+
+    /// The delay sequence is a deterministic function of (config, seed):
+    /// pinned here both against a from-first-principles recomputation and
+    /// against literal nanosecond values, so any change to the formula or
+    /// to the RNG consumption order is caught.
+    #[test]
+    fn pinned_deterministic_delay_sequence() {
+        let c = cfg(100, 2000, 4, 0.5);
+        let ds = schedule(c, 0xC1A05).unwrap();
+
+        // First principles: min(base·2^k, cap) · (1 − jitter·u_k).
+        let mut rng = Rng::seed_from_u64(0xC1A05);
+        for (k, d) in ds.iter().enumerate() {
+            let raw = Duration::from_millis(100 * (1 << k)).min(c.cap);
+            let expect = raw.mul_f64(1.0 - 0.5 * rng.next_f64());
+            assert_eq!(*d, expect, "attempt {k}");
+        }
+
+        // Literal snapshot: regressions in `Rng` itself would silently pass
+        // the recomputation above, but not this.
+        let nanos: Vec<u128> = ds.iter().map(Duration::as_nanos).collect();
+        assert_eq!(nanos, vec![65_466_137, 105_093_759, 371_405_760, 593_681_512]);
+    }
+
+    #[test]
+    fn same_seed_same_schedule_different_seed_differs() {
+        let c = cfg(50, 1000, 6, 0.9);
+        let a = schedule(c, 42).unwrap();
+        let b = schedule(c, 42).unwrap();
+        assert_eq!(a, b);
+        let other = schedule(c, 43).unwrap();
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn delays_respect_bounds() {
+        for seed in 0..32u64 {
+            let c = cfg(10, 160, 8, 1.0);
+            for (k, d) in schedule(c, seed).unwrap().iter().enumerate() {
+                let raw = Duration::from_millis(10 * (1u64 << k.min(4))).min(c.cap);
+                assert!(*d <= raw, "seed {seed} attempt {k}: {d:?} > {raw:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn huge_attempt_counts_saturate_at_cap() {
+        let mut b = Backoff::new(cfg(100, 500, 64, 0.0), 1).unwrap();
+        let mut last = Duration::ZERO;
+        for _ in 0..64 {
+            last = b.next_delay().unwrap();
+        }
+        assert_eq!(last, Duration::from_millis(500));
+    }
+}

@@ -97,6 +97,26 @@ impl Empirical {
         })
     }
 
+    /// Crate-internal: assembles an `Empirical` directly from precomputed
+    /// parts. The sliding-window builder ([`crate::sliding`]) materializes
+    /// exactly the post-sort state [`from_vec`](Self::from_vec) would have
+    /// produced — sorted vector, dedup'd atoms, and boundary arrays recorded
+    /// during one left-to-right accumulation — without paying for the sort.
+    /// Upholding those invariants is the caller's responsibility.
+    pub(crate) fn from_parts(
+        sorted: Vec<f64>,
+        atoms: Vec<f64>,
+        atom_cum: Vec<usize>,
+        atom_prefix: Vec<f64>,
+    ) -> Self {
+        Empirical {
+            sorted,
+            atoms,
+            atom_cum,
+            atom_prefix,
+        }
+    }
+
     /// Number of samples.
     pub fn len(&self) -> usize {
         self.sorted.len()

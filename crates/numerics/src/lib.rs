@@ -20,6 +20,11 @@
 //!   uniform, log-normal, Weibull) behind the [`ContinuousDist`] trait.
 //! - [`empirical`] — empirical distributions built from samples: ECDF,
 //!   quantiles, histograms, conditional means.
+//! - [`sliding`] — a bounded sliding window maintaining an [`empirical`]
+//!   distribution incrementally (O(log k) insert/evict, bit-equivalent
+//!   snapshots), for long-running streaming consumers.
+//! - [`backoff`] — seeded bounded-exponential-backoff + jitter schedules,
+//!   shared by every retry loop in the workspace.
 //! - [`integrate`] — trapezoid and adaptive Simpson quadrature.
 //! - [`roots`] — bisection and Brent root finding.
 //! - [`optimize`] — golden-section search, refining grid search, and
@@ -49,6 +54,7 @@
 // would let NaN through.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
+pub mod backoff;
 pub mod dist;
 pub mod empirical;
 pub mod fit;
@@ -56,6 +62,7 @@ pub mod integrate;
 pub mod optimize;
 pub mod rng;
 pub mod roots;
+pub mod sliding;
 pub mod stats;
 
 pub use dist::ContinuousDist;

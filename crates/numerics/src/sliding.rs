@@ -1,0 +1,367 @@
+//! Sliding-window incremental empirical distribution.
+//!
+//! A long-running bid-advisory server keeps "the last N spot prices" current
+//! under a streaming feed. Rebuilding [`Empirical`] from scratch on every
+//! record is an O(n log n) sort per update (the `price_model/build/10k`
+//! bench row, ~157 µs); this module maintains the same distribution
+//! incrementally: each insert/evict is an O(log k) atom-multiset update
+//! (`k` = distinct values), and a queryable snapshot is materialized lazily
+//! in a single *sort-free* O(n) pass.
+//!
+//! ## Bit-equivalence contract
+//!
+//! For any sequence of pushes, [`SlidingEmpirical::snapshot`] is
+//! **bit-identical** to `Empirical::from_vec` over the current window
+//! contents — full structural equality, including the `atom_prefix` sums,
+//! which both paths record during one left-to-right accumulation over the
+//! sorted samples. The one normalization making this possible: `-0.0` is
+//! canonicalized to `+0.0` on push (IEEE `==` already treats them as a
+//! single atom, but their bit patterns differ, and the multiset is keyed by
+//! bits). The window as observed through [`values`](SlidingEmpirical::values)
+//! therefore never contains `-0.0`.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::empirical::Empirical;
+use crate::{NumericsError, Result};
+
+/// Maps a finite `f64` to a `u64` whose unsigned order matches the float
+/// order (sign-flip trick): positives get the sign bit set, negatives are
+/// bitwise-complemented.
+fn key(x: f64) -> u64 {
+    let b = x.to_bits();
+    if b & (1 << 63) != 0 {
+        !b
+    } else {
+        b | (1 << 63)
+    }
+}
+
+/// Exact inverse of [`key`].
+fn unkey(k: u64) -> f64 {
+    if k & (1 << 63) != 0 {
+        f64::from_bits(k & !(1 << 63))
+    } else {
+        f64::from_bits(!k)
+    }
+}
+
+/// A bounded sliding window of samples with an incrementally-maintained
+/// empirical distribution.
+///
+/// # Example
+///
+/// ```
+/// use spotbid_numerics::sliding::SlidingEmpirical;
+/// use spotbid_numerics::empirical::Empirical;
+///
+/// let mut w = SlidingEmpirical::new(3).unwrap();
+/// for x in [5.0, 1.0, 2.0, 2.0] {
+///     w.push(x).unwrap(); // capacity 3: the 5.0 is evicted by the last push
+/// }
+/// let direct = Empirical::from_samples(&[1.0, 2.0, 2.0]).unwrap();
+/// assert_eq!(*w.snapshot().unwrap(), direct);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlidingEmpirical {
+    capacity: usize,
+    /// Window contents in arrival order (front = oldest).
+    window: VecDeque<f64>,
+    /// Atom multiset: monotone bit-key → occurrence count.
+    counts: BTreeMap<u64, usize>,
+    /// Lazily rebuilt snapshot, invalidated by any push/evict.
+    cache: Option<Empirical>,
+}
+
+impl SlidingEmpirical {
+    /// Creates an empty window holding at most `capacity` samples.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericsError::EmptyInput`] if `capacity == 0`.
+    pub fn new(capacity: usize) -> Result<Self> {
+        if capacity == 0 {
+            return Err(NumericsError::EmptyInput {
+                routine: "SlidingEmpirical::new",
+            });
+        }
+        Ok(SlidingEmpirical {
+            capacity,
+            window: VecDeque::with_capacity(capacity),
+            counts: BTreeMap::new(),
+            cache: None,
+        })
+    }
+
+    /// Appends a sample, evicting the oldest one first when the window is
+    /// full. Returns the evicted sample, if any. O(log k).
+    ///
+    /// # Errors
+    ///
+    /// [`NumericsError::InvalidParameter`] for non-finite samples (the
+    /// window is left untouched).
+    pub fn push(&mut self, x: f64) -> Result<Option<f64>> {
+        if !x.is_finite() {
+            return Err(NumericsError::InvalidParameter {
+                name: "sample",
+                value: x,
+                requirement: "samples must be finite",
+            });
+        }
+        // Canonicalize -0.0 → +0.0 (exact for every other finite value) so
+        // the bit-keyed multiset dedups exactly like `from_vec`'s `!=`.
+        let x = x + 0.0;
+        let evicted = if self.window.len() == self.capacity {
+            self.evict_oldest()
+        } else {
+            None
+        };
+        self.window.push_back(x);
+        *self.counts.entry(key(x)).or_insert(0) += 1;
+        self.cache = None;
+        Ok(evicted)
+    }
+
+    /// Removes and returns the oldest sample, or `None` if empty. O(log k).
+    pub fn evict_oldest(&mut self) -> Option<f64> {
+        let old = self.window.pop_front()?;
+        let k = key(old);
+        let c = self
+            .counts
+            .get_mut(&k)
+            .expect("window and multiset stay in sync");
+        *c -= 1;
+        if *c == 0 {
+            self.counts.remove(&k);
+        }
+        self.cache = None;
+        Some(old)
+    }
+
+    /// Empties the window.
+    pub fn clear(&mut self) {
+        self.window.clear();
+        self.counts.clear();
+        self.cache = None;
+    }
+
+    /// Number of samples currently in the window.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// True when the window holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// Maximum number of samples the window retains.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of distinct sample values currently in the window.
+    pub fn distinct_len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Window contents in arrival order (oldest first), `-0.0` already
+    /// canonicalized.
+    pub fn values(&self) -> impl Iterator<Item = f64> + '_ {
+        self.window.iter().copied()
+    }
+
+    /// The empirical distribution over the current window, bit-identical to
+    /// `Empirical::from_vec(self.values().collect())`.
+    ///
+    /// Rebuilt lazily after mutations in one sort-free O(n) pass over the
+    /// ordered atom multiset (the expensive O(n log n) sort is what the
+    /// incremental multiset replaces); repeated calls between mutations
+    /// return the cached value.
+    ///
+    /// # Errors
+    ///
+    /// [`NumericsError::EmptyInput`] when the window is empty.
+    pub fn snapshot(&mut self) -> Result<&Empirical> {
+        if self.window.is_empty() {
+            return Err(NumericsError::EmptyInput {
+                routine: "SlidingEmpirical::snapshot",
+            });
+        }
+        if self.cache.is_none() {
+            let n = self.window.len();
+            let mut sorted = Vec::with_capacity(n);
+            let mut atoms = Vec::with_capacity(self.counts.len());
+            let mut atom_cum = Vec::with_capacity(self.counts.len() + 1);
+            let mut atom_prefix = Vec::with_capacity(self.counts.len() + 1);
+            atom_cum.push(0);
+            atom_prefix.push(0.0);
+            let mut acc = 0.0;
+            // Replaying each atom `count` times reproduces `from_vec`'s
+            // left-to-right accumulation addition-for-addition, so every
+            // prefix sum lands on the same bits.
+            for (&k, &c) in &self.counts {
+                let v = unkey(k);
+                for _ in 0..c {
+                    sorted.push(v);
+                    acc += v;
+                }
+                atoms.push(v);
+                atom_cum.push(sorted.len());
+                atom_prefix.push(acc);
+            }
+            self.cache = Some(Empirical::from_parts(sorted, atoms, atom_cum, atom_prefix));
+        }
+        Ok(self.cache.as_ref().expect("cache just filled"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rebuild(w: &SlidingEmpirical) -> Empirical {
+        Empirical::from_vec(w.values().collect()).unwrap()
+    }
+
+    /// Structural equality plus explicit bit-level comparison of the prefix
+    /// sums (`PartialEq` on `f64` would let `-0.0 == +0.0` slip through).
+    fn assert_bit_equal(a: &Empirical, b: &Empirical) {
+        assert_eq!(a, b);
+        let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(a.sorted()), bits(b.sorted()));
+        assert_eq!(bits(&a.atoms()), bits(&b.atoms()));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(SlidingEmpirical::new(0).is_err());
+        let mut w = SlidingEmpirical::new(4).unwrap();
+        assert!(w.push(f64::NAN).is_err());
+        assert!(w.push(f64::INFINITY).is_err());
+        assert!(w.is_empty());
+        assert!(w.snapshot().is_err());
+    }
+
+    #[test]
+    fn key_is_monotone_and_invertible() {
+        let xs = [
+            f64::MIN,
+            -1e300,
+            -2.5,
+            -1.0,
+            -f64::MIN_POSITIVE,
+            0.0,
+            f64::MIN_POSITIVE,
+            0.031,
+            1.0,
+            1e300,
+            f64::MAX,
+        ];
+        for pair in xs.windows(2) {
+            assert!(key(pair[0]) < key(pair[1]), "{} vs {}", pair[0], pair[1]);
+        }
+        for &x in &xs {
+            assert_eq!(unkey(key(x)).to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn eviction_is_fifo_and_bounded() {
+        let mut w = SlidingEmpirical::new(3).unwrap();
+        assert_eq!(w.push(1.0).unwrap(), None);
+        assert_eq!(w.push(2.0).unwrap(), None);
+        assert_eq!(w.push(3.0).unwrap(), None);
+        assert_eq!(w.push(4.0).unwrap(), Some(1.0));
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.values().collect::<Vec<_>>(), vec![2.0, 3.0, 4.0]);
+        assert_eq!(w.evict_oldest(), Some(2.0));
+        assert_eq!(w.distinct_len(), 2);
+        w.clear();
+        assert!(w.evict_oldest().is_none());
+    }
+
+    #[test]
+    fn snapshot_matches_rebuild_on_duplicates() {
+        let mut w = SlidingEmpirical::new(8).unwrap();
+        for x in [0.031, 0.02, 0.031, 0.031, 0.05, 0.02] {
+            w.push(x).unwrap();
+        }
+        let direct = rebuild(&w);
+        assert_bit_equal(w.snapshot().unwrap(), &direct);
+        assert_eq!(w.snapshot().unwrap().distinct().len(), 3);
+    }
+
+    #[test]
+    fn negative_zero_is_canonicalized() {
+        let mut w = SlidingEmpirical::new(4).unwrap();
+        w.push(-0.0).unwrap();
+        w.push(0.0).unwrap();
+        w.push(-1.5).unwrap();
+        assert!(w.values().all(|v| v.to_bits() != (-0.0f64).to_bits()));
+        assert_eq!(w.distinct_len(), 2);
+        let direct = rebuild(&w);
+        assert_bit_equal(w.snapshot().unwrap(), &direct);
+    }
+
+    #[test]
+    fn snapshot_is_cached_between_mutations() {
+        let mut w = SlidingEmpirical::new(4).unwrap();
+        w.push(1.0).unwrap();
+        let first = w.snapshot().unwrap() as *const Empirical;
+        let second = w.snapshot().unwrap() as *const Empirical;
+        assert_eq!(first, second);
+        w.push(2.0).unwrap();
+        assert_eq!(w.snapshot().unwrap().len(), 2);
+    }
+
+    /// The acceptance criterion: across randomized insert/evict sequences
+    /// (quantized values so duplicates are common, mixed signs, interleaved
+    /// explicit evictions), every snapshot is bit-equivalent to a full
+    /// rebuild from the window contents.
+    #[test]
+    fn randomized_insert_evict_bit_equivalent_to_rebuild() {
+        use crate::rng::Rng;
+        let mut rng = Rng::seed_from_u64(0x511D);
+        for round in 0..50 {
+            let capacity = 1 + rng.range_usize(40);
+            let mut w = SlidingEmpirical::new(capacity).unwrap();
+            for step in 0..200 {
+                if !w.is_empty() && rng.chance(0.25) {
+                    w.evict_oldest();
+                } else {
+                    // Coarse grid in [-0.5, 0.5] → heavy atom repetition,
+                    // and the grid straddles zero so ±0.0 shows up.
+                    let x = (rng.range_f64(-0.5, 0.5) * 40.0).round() / 40.0;
+                    w.push(x).unwrap();
+                }
+                if w.is_empty() {
+                    assert!(w.snapshot().is_err());
+                } else if step % 7 == 0 || step == 199 {
+                    let direct = rebuild(&w);
+                    assert_bit_equal(w.snapshot().unwrap(), &direct);
+                    assert!(w.len() <= capacity, "round {round}");
+                }
+            }
+        }
+    }
+
+    /// Steady-state streaming (window at capacity, every push evicts) — the
+    /// serve crate's hot path.
+    #[test]
+    fn streaming_at_capacity_stays_equivalent() {
+        use crate::rng::Rng;
+        let mut rng = Rng::seed_from_u64(0x511E);
+        let mut w = SlidingEmpirical::new(64).unwrap();
+        for i in 0..512 {
+            let x = (rng.range_f64(0.01, 0.2) * 1000.0).floor() / 1000.0;
+            let evicted = w.push(x).unwrap();
+            assert_eq!(evicted.is_some(), i >= 64);
+            if i % 37 == 0 {
+                let direct = rebuild(&w);
+                assert_bit_equal(w.snapshot().unwrap(), &direct);
+            }
+        }
+        assert_eq!(w.len(), 64);
+    }
+}

@@ -1,0 +1,107 @@
+//! `spotbid-serve` — the long-running bid-advisory server.
+//!
+//! ```text
+//! spotbid-serve --feed HOST:PORT [--listen ADDR] [--workers N]
+//!               [--window N] [--on-demand PRICE] [--strict] [--seed S]
+//! ```
+//!
+//! Speaks line-delimited JSON on the listen socket; see the `wire` module
+//! docs (or DESIGN.md §5g) for the protocol.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use spotbid_market::units::Price;
+use spotbid_serve::{FeedConfig, ServeConfig, Validation};
+
+fn usage() -> &'static str {
+    "usage: spotbid-serve --feed HOST:PORT [--listen ADDR] [--workers N] \
+     [--window N] [--on-demand PRICE] [--strict] [--seed S]"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ServeConfig::default();
+    let mut feed_addr: Option<String> = None;
+    let mut seed = 0xFEEDu64;
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: usize| -> Option<&String> { args.get(i + 1) };
+        match args[i].as_str() {
+            "--feed" => match need(i) {
+                Some(v) => {
+                    feed_addr = Some(v.clone());
+                    i += 1;
+                }
+                None => return fail("--feed needs HOST:PORT"),
+            },
+            "--listen" => match need(i) {
+                Some(v) => {
+                    cfg.addr = v.clone();
+                    i += 1;
+                }
+                None => return fail("--listen needs ADDR"),
+            },
+            "--workers" => match need(i).and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => {
+                    cfg.workers = n;
+                    i += 1;
+                }
+                _ => return fail("--workers needs a positive integer"),
+            },
+            "--window" => match need(i).and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => {
+                    cfg.model.window = n;
+                    i += 1;
+                }
+                _ => return fail("--window needs a positive integer"),
+            },
+            "--on-demand" => match need(i).and_then(|v| v.parse::<f64>().ok()) {
+                Some(p) if p > 0.0 => {
+                    cfg.model.on_demand = Price::new(p);
+                    i += 1;
+                }
+                _ => return fail("--on-demand needs a positive price"),
+            },
+            "--seed" => match need(i).and_then(|v| v.parse::<u64>().ok()) {
+                Some(s) => {
+                    seed = s;
+                    i += 1;
+                }
+                None => return fail("--seed needs a u64"),
+            },
+            "--strict" => cfg.model.validation = Validation::Strict,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    let Some(feed_addr) = feed_addr else {
+        return fail("--feed is required");
+    };
+    let mut feed = FeedConfig::new(feed_addr);
+    feed.backoff_seed = seed;
+    cfg.feed = Some(feed);
+    if cfg.addr == ServeConfig::default().addr {
+        cfg.addr = "127.0.0.1:7583".to_string();
+    }
+
+    match spotbid_serve::start(cfg) {
+        Ok(handle) => {
+            println!("spotbid-serve listening on {}", handle.addr());
+            // Serve until the process is killed.
+            loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            }
+        }
+        Err(e) => fail(&format!("start failed: {e}")),
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("spotbid-serve: {msg}\n{}", usage());
+    ExitCode::FAILURE
+}

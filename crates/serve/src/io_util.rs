@@ -1,0 +1,117 @@
+//! Small shared IO pieces: bounded line reads and interruptible sleeps.
+
+use std::io::{self, BufRead};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Why a bounded line read stopped early.
+#[derive(Debug)]
+pub(crate) enum ReadLineError {
+    /// The line exceeded the size limit before a newline arrived.
+    Oversized,
+    /// The underlying read failed (timeouts surface as `WouldBlock` or
+    /// `TimedOut` depending on platform).
+    Io(io::Error),
+}
+
+impl ReadLineError {
+    /// True when the error is a read-deadline expiry — the slow-client /
+    /// half-open signal, as opposed to a hard connection error.
+    pub(crate) fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            ReadLineError::Io(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut
+        )
+    }
+}
+
+/// Reads one `\n`-terminated line into `buf` (newline included), refusing
+/// to buffer more than `max` bytes. Returns the number of bytes read; `0`
+/// means EOF before any byte. EOF after partial data yields the partial
+/// line (callers treat it as final).
+pub(crate) fn read_line_bounded(
+    r: &mut impl BufRead,
+    buf: &mut Vec<u8>,
+    max: usize,
+) -> Result<usize, ReadLineError> {
+    loop {
+        let (consumed, done) = {
+            let available = match r.fill_buf() {
+                Ok(b) => b,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(ReadLineError::Io(e)),
+            };
+            if available.is_empty() {
+                return Ok(buf.len()); // EOF
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    buf.extend_from_slice(&available[..=pos]);
+                    (pos + 1, true)
+                }
+                None => {
+                    buf.extend_from_slice(available);
+                    (available.len(), false)
+                }
+            }
+        };
+        r.consume(consumed);
+        if buf.len() > max {
+            return Err(ReadLineError::Oversized);
+        }
+        if done {
+            return Ok(buf.len());
+        }
+    }
+}
+
+/// Sleeps up to `total`, waking early (within ~20 ms) once `stop` is set —
+/// so backoff waits never hold up shutdown.
+pub(crate) fn sleep_checked(total: Duration, stop: &AtomicBool) {
+    let chunk = Duration::from_millis(20);
+    let mut remaining = total;
+    while remaining > Duration::ZERO {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let step = remaining.min(chunk);
+        std::thread::sleep(step);
+        remaining = remaining.saturating_sub(step);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn reads_lines_and_reports_eof() {
+        let data: &[u8] = b"one\ntwo\nthree";
+        let mut r = BufReader::new(data);
+        let mut buf = Vec::new();
+        assert_eq!(read_line_bounded(&mut r, &mut buf, 100).unwrap(), 4);
+        assert_eq!(buf, b"one\n");
+        buf.clear();
+        assert_eq!(read_line_bounded(&mut r, &mut buf, 100).unwrap(), 4);
+        buf.clear();
+        // Final partial line (no newline) is returned at EOF...
+        assert_eq!(read_line_bounded(&mut r, &mut buf, 100).unwrap(), 5);
+        assert_eq!(buf, b"three");
+        buf.clear();
+        // ...and the next read is a clean EOF.
+        assert_eq!(read_line_bounded(&mut r, &mut buf, 100).unwrap(), 0);
+    }
+
+    #[test]
+    fn oversized_lines_are_refused() {
+        let data = vec![b'x'; 1000];
+        let mut r = BufReader::new(&data[..]);
+        let mut buf = Vec::new();
+        assert!(matches!(
+            read_line_bounded(&mut r, &mut buf, 64),
+            Err(ReadLineError::Oversized)
+        ));
+    }
+}

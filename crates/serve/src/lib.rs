@@ -1,0 +1,49 @@
+//! # spotbid-serve
+//!
+//! A fault-hardened, long-running bid-advisory server for the `spotbid`
+//! workspace, the reproduction of *How to Bid the Cloud* (SIGCOMM 2015).
+//!
+//! The batch stack replays finished traces; this crate is the missing
+//! online piece: a std-only TCP server that ingests a **streaming price
+//! feed** and answers one-time / persistent / MapReduce bid-advisory
+//! queries for many concurrent sessions, staying correct while the world
+//! misbehaves. Robustness is the headline:
+//!
+//! - **feed path** ([`feed`]): a reconnecting client with a seeded
+//!   bounded-exponential-backoff schedule (`spotbid_numerics::backoff`,
+//!   the same implementation the client runtime's `RecoveryPolicy` budget
+//!   derives from), per-read deadlines, and strict/repair record
+//!   validation reusing `trace::ingest`'s `RecordFault` taxonomy. Feed
+//!   loss beyond the budget flips advisories into a *degraded* mode —
+//!   stamped stale-as-of, on-demand fallback recommended — instead of
+//!   crashing or refusing.
+//! - **model path** ([`model`]): the last N prices live in a
+//!   `SlidingEmpirical` window (O(log k) insert/evict, snapshots
+//!   bit-equivalent to a from-scratch rebuild), so keeping the model
+//!   current costs an atom update per record, not a re-sort.
+//! - **session path** ([`server`]): per-connection state machines under
+//!   read/write deadlines, slow-client eviction, typed error replies for
+//!   every malformed input ([`wire::ErrorKind`] — never a panic), a
+//!   bounded session queue that sheds load, and a supervisor that
+//!   respawns dead worker threads.
+//!
+//! The chaos wall lives in this crate's `tests/` directory: a 32-seed
+//! in-process harness driving scripted feed outages, corrupt frames,
+//! half-open sockets, slow-loris clients, and reconnect storms
+//! (`spotbid_faults::ServerFaultPlan`), asserting no panics, billing-sane
+//! advisories, in-budget degraded-mode transitions, and zero-fault runs
+//! answering **bit-identically** to direct library calls.
+
+#![warn(missing_docs)]
+
+mod io_util;
+
+pub mod feed;
+pub mod model;
+pub mod server;
+pub mod wire;
+
+pub use feed::FeedConfig;
+pub use model::{AdvisoryMode, ModelConfig, ModelState, Validation};
+pub use server::{start, ServeConfig, ServerHandle};
+pub use wire::{ErrorKind, Request, Strategy};

@@ -1,0 +1,528 @@
+//! The model path: a sliding price window kept current by the feed, and
+//! the advisory computations answered from it.
+//!
+//! Two design rules keep this layer honest:
+//!
+//! - **Everything advisory is a pure library call.** [`advise`] and
+//!   [`mapred_plan`] take an [`EmpiricalPrices`] and return core results;
+//!   the server only serializes them. The chaos wall exploits this: a
+//!   zero-fault server answer must be *string-identical* to calling these
+//!   functions directly on the same window.
+//! - **Degradation is a mode, not an error.** Once the window has data,
+//!   advisories never fail because the feed died — they are answered from
+//!   the last window, stamped [`AdvisoryMode::Degraded`] with a
+//!   stale-as-of timestamp, and recommend the on-demand fallback (the
+//!   portfolio-contract discipline: a stale spot recommendation is still
+//!   actionable if the client knows it is stale).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use spotbid_core::price_model::EmpiricalPrices;
+use spotbid_core::{mapreduce, onetime, persistent, CoreError, JobSpec};
+use spotbid_core::mapreduce::MapReducePlan;
+use spotbid_core::BidRecommendation;
+use spotbid_json::Json;
+use spotbid_market::units::Price;
+use spotbid_numerics::sliding::SlidingEmpirical;
+use spotbid_trace::ingest::{record_fault, RawRecord, RecordFault};
+
+use crate::wire::{ErrorKind, Strategy, WireError};
+
+/// How the feed path treats invalid records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Validation {
+    /// Drop the offending record, tally it, keep the connection — the
+    /// `trace::ingest` repair discipline, streamed.
+    #[default]
+    Repair,
+    /// Treat any invalid record as a poisoned connection: drop it *and*
+    /// force a reconnect, so a corrupted upstream is re-handshaken rather
+    /// than trusted.
+    Strict,
+}
+
+/// Advisory freshness, stamped on every advisory response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdvisoryMode {
+    /// No accepted record yet: advisories are refused
+    /// ([`ErrorKind::ModelUnavailable`]).
+    Warming,
+    /// Feed healthy; the window is current.
+    Live,
+    /// Feed lost beyond the reconnect budget; answers come from the last
+    /// window and recommend the on-demand fallback.
+    Degraded,
+}
+
+impl AdvisoryMode {
+    /// Wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AdvisoryMode::Warming => "warming",
+            AdvisoryMode::Live => "live",
+            AdvisoryMode::Degraded => "degraded",
+        }
+    }
+}
+
+/// Model-path configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelConfig {
+    /// Sliding-window capacity (last N accepted prices).
+    pub window: usize,
+    /// Configured on-demand price — the advisory cap and the degraded-mode
+    /// fallback recommendation. The effective cap rises with the observed
+    /// maximum so a price spike above the configured value cannot wedge
+    /// model construction.
+    pub on_demand: Price,
+    /// Strict or repairing record validation.
+    pub validation: Validation,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            window: 4096,
+            on_demand: Price::new(0.35),
+            validation: Validation::Repair,
+        }
+    }
+}
+
+/// Feed-health counters, all monotone, surfaced verbatim by `status`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FeedStats {
+    /// Records accepted into the window.
+    pub records_ok: u64,
+    /// Decodable records dropped by validation.
+    pub records_dropped: u64,
+    /// Undecodable feed frames skipped.
+    pub corrupt_frames: u64,
+    /// Reconnect attempts made (successful or not).
+    pub reconnects: u64,
+    /// Times the server entered degraded mode.
+    pub degraded_entries: u64,
+}
+
+/// The shared model state: window + feed health. Lives behind the server's
+/// mutex; queries clone out an [`Arc`]`<EmpiricalPrices>` snapshot so the
+/// advisory math runs outside the lock.
+#[derive(Debug)]
+pub struct ModelState {
+    cfg: ModelConfig,
+    window: SlidingEmpirical,
+    /// Timestamp of the last accepted record — the stale-as-of stamp.
+    last_time: Option<f64>,
+    /// Lazily rebuilt model over the current window.
+    cached: Option<Arc<EmpiricalPrices>>,
+    degraded: bool,
+    /// Consecutive failed reconnect attempts since the last good record.
+    stale_attempts: u32,
+    /// Monotone counters.
+    pub stats: FeedStats,
+}
+
+impl ModelState {
+    /// Creates an empty (warming) model.
+    ///
+    /// # Panics
+    ///
+    /// If `cfg.window == 0`.
+    pub fn new(cfg: ModelConfig) -> Self {
+        ModelState {
+            window: SlidingEmpirical::new(cfg.window).expect("window capacity must be positive"),
+            cfg,
+            last_time: None,
+            cached: None,
+            degraded: false,
+            stale_attempts: 0,
+            stats: FeedStats::default(),
+        }
+    }
+
+    /// Validates and ingests one feed record, streaming the
+    /// `trace::ingest` taxonomy: value faults via
+    /// [`record_fault`], order faults against the last accepted timestamp
+    /// (a repeat is [`RecordFault::DuplicateTime`], a regression
+    /// [`RecordFault::NonMonotonicTime`] — both dropped; a later window
+    /// rebuild cannot reorder history that was already served from).
+    ///
+    /// A good record resets staleness: the model returns to
+    /// [`AdvisoryMode::Live`].
+    ///
+    /// # Errors
+    ///
+    /// The classified [`RecordFault`] of a dropped record. Under
+    /// [`Validation::Strict`] the caller must also tear down the feed
+    /// connection; under [`Validation::Repair`] it just moves on.
+    pub fn ingest(&mut self, rec: RawRecord) -> Result<(), RecordFault> {
+        let fault = record_fault(&rec).or(match self.last_time {
+            Some(t) if rec.time_hours == t => Some(RecordFault::DuplicateTime),
+            Some(t) if rec.time_hours < t => Some(RecordFault::NonMonotonicTime),
+            _ => None,
+        });
+        if let Some(f) = fault {
+            self.stats.records_dropped += 1;
+            return Err(f);
+        }
+        self.window
+            .push(rec.price)
+            .expect("finite by classification");
+        self.cached = None;
+        self.last_time = Some(rec.time_hours);
+        self.stats.records_ok += 1;
+        self.stale_attempts = 0;
+        self.degraded = false;
+        Ok(())
+    }
+
+    /// Tallies an undecodable feed frame.
+    pub fn note_corrupt_frame(&mut self) {
+        self.stats.corrupt_frames += 1;
+    }
+
+    /// Tallies a reconnect attempt and marks answers one step staler.
+    pub fn note_reconnect(&mut self) {
+        self.stats.reconnects += 1;
+        self.stale_attempts = self.stale_attempts.saturating_add(1);
+    }
+
+    /// Flips into degraded mode (reconnect budget exhausted). Idempotent
+    /// until a good record restores [`AdvisoryMode::Live`].
+    pub fn mark_degraded(&mut self) {
+        if !self.degraded {
+            self.degraded = true;
+            self.stats.degraded_entries += 1;
+        }
+    }
+
+    /// The configured validation discipline.
+    pub fn validation(&self) -> Validation {
+        self.cfg.validation
+    }
+
+    /// Current advisory mode.
+    pub fn mode(&self) -> AdvisoryMode {
+        if self.window.is_empty() {
+            AdvisoryMode::Warming
+        } else if self.degraded {
+            AdvisoryMode::Degraded
+        } else {
+            AdvisoryMode::Live
+        }
+    }
+
+    /// Number of records currently in the window.
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Stale-as-of stamp: the last accepted record's feed timestamp.
+    pub fn as_of_hours(&self) -> Option<f64> {
+        self.last_time
+    }
+
+    /// Failed reconnect attempts since the last good record.
+    pub fn stale_attempts(&self) -> u32 {
+        self.stale_attempts
+    }
+
+    /// The advisory model over the current window, plus the freshness
+    /// stamps a response must carry. The `Arc` is cached until the window
+    /// changes, so a query burst between feed records builds the model
+    /// once.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorKind::ModelUnavailable`] while warming (no data yet);
+    /// [`ErrorKind::Internal`] only if model construction fails on a
+    /// non-empty window (a bug by construction: the cap is raised to the
+    /// observed maximum).
+    pub fn advisory_model(&mut self) -> Result<(Arc<EmpiricalPrices>, Stamp), WireError> {
+        if self.window.is_empty() {
+            return Err(WireError::new(
+                ErrorKind::ModelUnavailable,
+                "no price records ingested yet (warming up)",
+            ));
+        }
+        let stamp = Stamp {
+            mode: self.mode(),
+            as_of_hours: self.last_time.unwrap_or(0.0),
+            stale_attempts: self.stale_attempts,
+            window: self.window.len(),
+        };
+        if self.cached.is_none() {
+            let emp = self
+                .window
+                .snapshot()
+                .expect("window checked non-empty")
+                .clone();
+            // A spike above the configured on-demand price must not wedge
+            // the model: the effective cap is the larger of the two.
+            let cap = Price::new(self.cfg.on_demand.as_f64().max(emp.max()));
+            let model = EmpiricalPrices::from_empirical(emp, cap)
+                .map_err(|e| WireError::new(ErrorKind::Internal, format!("model build: {e}")))?;
+            self.cached = Some(Arc::new(model));
+        }
+        Ok((
+            Arc::clone(self.cached.as_ref().expect("cache just filled")),
+            stamp,
+        ))
+    }
+}
+
+/// Freshness metadata stamped on every advisory response.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stamp {
+    /// Live or degraded (never warming: warming refuses advisories).
+    pub mode: AdvisoryMode,
+    /// Feed timestamp of the newest window record.
+    pub as_of_hours: f64,
+    /// Failed reconnect attempts since that record.
+    pub stale_attempts: u32,
+    /// Window size the answer was computed over.
+    pub window: usize,
+}
+
+impl Stamp {
+    /// Writes the freshness fields into a response object.
+    pub fn stamp(&self, obj: &mut BTreeMap<String, Json>) {
+        obj.insert("mode".to_string(), Json::Str(self.mode.as_str().to_string()));
+        obj.insert("as_of_hours".to_string(), Json::Num(self.as_of_hours));
+        obj.insert("stale_attempts".to_string(), Json::Num(f64::from(self.stale_attempts)));
+        obj.insert("window".to_string(), Json::Num(self.window as f64));
+        obj.insert(
+            "fallback_recommended".to_string(),
+            Json::Bool(self.mode == AdvisoryMode::Degraded),
+        );
+    }
+}
+
+/// Builds the job spec an advisory request describes.
+///
+/// # Errors
+///
+/// [`CoreError::InvalidJob`] via the builder's validation.
+pub fn job_spec(ts_hours: f64, tr_secs: f64, to_secs: f64) -> Result<JobSpec, CoreError> {
+    JobSpec::builder(ts_hours)
+        .recovery_secs(tr_secs)
+        .overhead_secs(to_secs)
+        .build()
+}
+
+/// The one-time/persistent advisory — a direct library call, nothing
+/// server-specific.
+///
+/// # Errors
+///
+/// Whatever the core strategy returns for this window and job.
+pub fn advise(
+    model: &EmpiricalPrices,
+    strategy: Strategy,
+    ts_hours: f64,
+    tr_secs: f64,
+) -> Result<BidRecommendation, CoreError> {
+    let job = job_spec(ts_hours, tr_secs, 0.0)?;
+    match strategy {
+        Strategy::OneTime => onetime::optimal_bid(model, &job),
+        Strategy::Persistent => persistent::optimal_bid(model, &job),
+    }
+}
+
+/// The MapReduce advisory (Eq. 20), master and slaves priced from the same
+/// window.
+///
+/// # Errors
+///
+/// Whatever [`mapreduce::plan`] returns for this window and job.
+pub fn mapred_plan(
+    model: &EmpiricalPrices,
+    ts_hours: f64,
+    tr_secs: f64,
+    to_secs: f64,
+    m_max: u32,
+) -> Result<MapReducePlan, CoreError> {
+    let job = job_spec(ts_hours, tr_secs, to_secs)?;
+    mapreduce::plan(model, model, &job, m_max)
+}
+
+/// Serializes a [`BidRecommendation`] into response fields.
+pub fn recommendation_fields(rec: &BidRecommendation) -> BTreeMap<String, Json> {
+    let mut obj = BTreeMap::new();
+    obj.insert("bid".to_string(), Json::Num(rec.price.as_f64()));
+    obj.insert("acceptance_prob".to_string(), Json::Num(rec.acceptance_prob));
+    obj.insert(
+        "expected_hourly_price".to_string(),
+        Json::Num(rec.expected_hourly_price.as_f64()),
+    );
+    obj.insert("expected_cost".to_string(), Json::Num(rec.expected_cost.as_f64()));
+    obj.insert(
+        "expected_running_hours".to_string(),
+        Json::Num(rec.expected_running_time.as_f64()),
+    );
+    obj.insert(
+        "expected_completion_hours".to_string(),
+        Json::Num(rec.expected_completion_time.as_f64()),
+    );
+    obj.insert(
+        "expected_interruptions".to_string(),
+        Json::Num(rec.expected_interruptions),
+    );
+    obj
+}
+
+/// Serializes a [`MapReducePlan`] into response fields.
+pub fn mapred_fields(plan: &MapReducePlan) -> BTreeMap<String, Json> {
+    let mut obj = BTreeMap::new();
+    obj.insert("m".to_string(), Json::Num(f64::from(plan.m)));
+    obj.insert("master".to_string(), Json::Obj(recommendation_fields(&plan.master)));
+    obj.insert("slaves".to_string(), Json::Obj(recommendation_fields(&plan.slaves)));
+    obj.insert(
+        "worst_case_completion_hours".to_string(),
+        Json::Num(plan.worst_case_completion.as_f64()),
+    );
+    obj.insert("master_cost".to_string(), Json::Num(plan.master_cost.as_f64()));
+    obj.insert("total_cost".to_string(), Json::Num(plan.total_cost.as_f64()));
+    obj
+}
+
+/// Maps a core error onto the wire taxonomy: spec problems are the
+/// caller's fault ([`ErrorKind::InvalidParam`]); feasibility problems are
+/// honest advisory outcomes ([`ErrorKind::Infeasible`]); anything else
+/// would be a server bug.
+pub fn core_error(e: &CoreError) -> WireError {
+    let kind = match e {
+        CoreError::InvalidJob { .. } | CoreError::InvalidProbability { .. } => {
+            ErrorKind::InvalidParam
+        }
+        CoreError::NoFeasibleBid { .. } | CoreError::NotWorthwhile { .. } => ErrorKind::Infeasible,
+        CoreError::InvalidModel { .. } => ErrorKind::Internal,
+    };
+    WireError::new(kind, e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t: f64, p: f64) -> RawRecord {
+        RawRecord {
+            time_hours: t,
+            price: p,
+        }
+    }
+
+    fn fed(prices: &[f64]) -> ModelState {
+        let mut m = ModelState::new(ModelConfig::default());
+        for (i, &p) in prices.iter().enumerate() {
+            m.ingest(rec(i as f64 * 0.1, p)).unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn warming_until_first_record() {
+        let mut m = ModelState::new(ModelConfig::default());
+        assert_eq!(m.mode(), AdvisoryMode::Warming);
+        assert_eq!(
+            m.advisory_model().unwrap_err().kind,
+            ErrorKind::ModelUnavailable
+        );
+        m.ingest(rec(0.0, 0.03)).unwrap();
+        assert_eq!(m.mode(), AdvisoryMode::Live);
+        assert!(m.advisory_model().is_ok());
+    }
+
+    #[test]
+    fn streaming_validation_matches_taxonomy() {
+        let mut m = fed(&[0.03, 0.04]);
+        assert_eq!(
+            m.ingest(rec(0.2, f64::NAN)),
+            Err(RecordFault::NonFinitePrice)
+        );
+        assert_eq!(m.ingest(rec(0.2, -1.0)), Err(RecordFault::NegativePrice));
+        assert_eq!(
+            m.ingest(rec(f64::INFINITY, 0.05)),
+            Err(RecordFault::NonFiniteTime)
+        );
+        assert_eq!(m.ingest(rec(0.1, 0.05)), Err(RecordFault::DuplicateTime));
+        assert_eq!(
+            m.ingest(rec(0.05, 0.05)),
+            Err(RecordFault::NonMonotonicTime)
+        );
+        assert_eq!(m.stats.records_dropped, 5);
+        assert_eq!(m.stats.records_ok, 2);
+        assert_eq!(m.window_len(), 2, "dropped records never enter the window");
+    }
+
+    #[test]
+    fn degraded_entry_and_exit() {
+        let mut m = fed(&[0.03, 0.04]);
+        m.note_reconnect();
+        m.note_reconnect();
+        m.mark_degraded();
+        m.mark_degraded(); // idempotent
+        assert_eq!(m.mode(), AdvisoryMode::Degraded);
+        assert_eq!(m.stats.degraded_entries, 1);
+        assert_eq!(m.stale_attempts(), 2);
+        let (_, stamp) = m.advisory_model().unwrap();
+        assert_eq!(stamp.mode, AdvisoryMode::Degraded);
+        assert_eq!(stamp.stale_attempts, 2);
+        // Advisories still answered while degraded; a good record heals.
+        m.ingest(rec(0.5, 0.05)).unwrap();
+        assert_eq!(m.mode(), AdvisoryMode::Live);
+        assert_eq!(m.stale_attempts(), 0);
+    }
+
+    #[test]
+    fn spike_above_configured_cap_raises_effective_cap() {
+        let mut m = ModelState::new(ModelConfig {
+            on_demand: Price::new(0.10),
+            ..ModelConfig::default()
+        });
+        m.ingest(rec(0.0, 0.03)).unwrap();
+        m.ingest(rec(0.1, 0.50)).unwrap(); // spike above the configured cap
+        let (model, _) = m.advisory_model().unwrap();
+        use spotbid_core::PriceModel;
+        assert_eq!(model.on_demand(), Price::new(0.50));
+    }
+
+    #[test]
+    fn model_cache_survives_queries_and_invalidates_on_ingest() {
+        let mut m = fed(&[0.03, 0.04, 0.05]);
+        let (a, _) = m.advisory_model().unwrap();
+        let (b, _) = m.advisory_model().unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        m.ingest(rec(9.0, 0.06)).unwrap();
+        let (c, _) = m.advisory_model().unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(c.sample_count(), 4);
+    }
+
+    #[test]
+    fn advise_is_the_library_call() {
+        let prices = [0.03, 0.031, 0.04, 0.05, 0.08, 0.031, 0.03, 0.06];
+        let mut m = fed(&prices);
+        let (model, _) = m.advisory_model().unwrap();
+        let got = advise(&model, Strategy::OneTime, 1.0, 30.0).unwrap();
+        let direct = onetime::optimal_bid(
+            &*model,
+            &JobSpec::builder(1.0).recovery_secs(30.0).build().unwrap(),
+        )
+        .unwrap();
+        assert_eq!(got, direct);
+    }
+
+    #[test]
+    fn core_errors_map_to_taxonomy() {
+        assert_eq!(
+            core_error(&CoreError::InvalidJob { what: "x".into() }).kind,
+            ErrorKind::InvalidParam
+        );
+        assert_eq!(
+            core_error(&CoreError::NoFeasibleBid { why: "x".into() }).kind,
+            ErrorKind::Infeasible
+        );
+    }
+}

@@ -1,0 +1,421 @@
+//! The `spotbid-serve` wire protocol: line-delimited `spotbid-json`.
+//!
+//! One request per line, one response per line. Requests are JSON objects
+//! dispatched on an `"op"` field; responses always carry `"ok"` so a
+//! client can branch without sniffing shapes:
+//!
+//! ```text
+//! → {"op":"ping"}
+//! ← {"ok":true,"op":"ping"}
+//! → {"op":"advise","strategy":"persistent","ts_hours":1.0,"tr_secs":30.0}
+//! ← {"bid":0.031,"mode":"live",...,"ok":true,"op":"advise"}
+//! → {"op":"advise","strategy":"sideways"}
+//! ← {"error":{"detail":"...","kind":"invalid_param"},"ok":false}
+//! ```
+//!
+//! Responses serialize through [`spotbid_json`]'s sorted-key objects and
+//! shortest-roundtrip floats, so a response line is a pure function of the
+//! data — which is what lets the chaos wall assert *string* equality
+//! between a server answer and a direct library call.
+//!
+//! Malformed input never panics the session: every way a frame can be bad
+//! maps to a typed [`ErrorKind`] reply (see the module-level taxonomy).
+
+use spotbid_json::{from_str, Json, JsonError};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Which bidding strategy an `advise` request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// §3.2 one-time jobs: terminate on the first interruption.
+    OneTime,
+    /// §3.3 persistent jobs: ride out interruptions to completion.
+    Persistent,
+}
+
+impl Strategy {
+    /// Wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Strategy::OneTime => "onetime",
+            Strategy::Persistent => "persistent",
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Server/feed health and counters.
+    Status,
+    /// One-time or persistent bid advisory for a job.
+    Advise {
+        /// Strategy to bid under.
+        strategy: Strategy,
+        /// Execution time `t_s`, hours.
+        ts_hours: f64,
+        /// Recovery time `t_r`, seconds.
+        tr_secs: f64,
+    },
+    /// MapReduce plan (Eq. 20): master + `M` parallel slaves.
+    MapRed {
+        /// Per-slave execution time `t_s`, hours.
+        ts_hours: f64,
+        /// Recovery time `t_r`, seconds.
+        tr_secs: f64,
+        /// Parallelization overhead `t_o`, seconds.
+        to_secs: f64,
+        /// Largest parallelism to consider.
+        m_max: u32,
+    },
+    /// Test-only: makes the handling worker thread panic after replying,
+    /// to exercise the supervisor. Rejected as [`ErrorKind::UnknownOp`]
+    /// unless the server was configured with `enable_test_ops`.
+    CrashWorker,
+}
+
+/// The typed error taxonomy. Every failure a session can observe maps to
+/// exactly one kind; the wire string is `snake_case` of the variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The line was not valid JSON, or not an object with a string `"op"`.
+    MalformedFrame,
+    /// The `"op"` value names no known operation.
+    UnknownOp,
+    /// A parameter was missing, of the wrong type, or out of range
+    /// (including job specs the core rejects).
+    InvalidParam,
+    /// No price window yet: the server is still warming up its feed.
+    ModelUnavailable,
+    /// The strategy found no feasible bid (or spot is not worthwhile) for
+    /// this job under the current window.
+    Infeasible,
+    /// A single request line exceeded the frame-size limit.
+    OversizedFrame,
+    /// The session queue was full; retry after a backoff.
+    Overloaded,
+    /// A server-side invariant failed. Seeing this kind is a bug.
+    Internal,
+}
+
+impl ErrorKind {
+    /// Wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::MalformedFrame => "malformed_frame",
+            ErrorKind::UnknownOp => "unknown_op",
+            ErrorKind::InvalidParam => "invalid_param",
+            ErrorKind::ModelUnavailable => "model_unavailable",
+            ErrorKind::Infeasible => "infeasible",
+            ErrorKind::OversizedFrame => "oversized_frame",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A request-level failure: what kind, and a human-readable detail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireError {
+    /// Taxonomy bucket.
+    pub kind: ErrorKind,
+    /// Free-form diagnostic (never parsed by clients).
+    pub detail: String,
+}
+
+impl WireError {
+    /// Convenience constructor.
+    pub fn new(kind: ErrorKind, detail: impl Into<String>) -> Self {
+        WireError {
+            kind,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// Serializes an error reply line (no trailing newline).
+pub fn error_line(kind: ErrorKind, detail: &str) -> String {
+    let mut err = BTreeMap::new();
+    err.insert("kind".to_string(), Json::Str(kind.as_str().to_string()));
+    err.insert("detail".to_string(), Json::Str(detail.to_string()));
+    let mut obj = BTreeMap::new();
+    obj.insert("ok".to_string(), Json::Bool(false));
+    obj.insert("error".to_string(), Json::Obj(err));
+    spotbid_json::to_string(&Json::Obj(obj))
+}
+
+/// Serializes a success reply line from payload fields (no trailing
+/// newline); `"ok":true` and `"op"` are stamped here so every success
+/// reply is shaped consistently.
+pub fn ok_line(op: &str, fields: BTreeMap<String, Json>) -> String {
+    let mut obj = fields;
+    obj.insert("ok".to_string(), Json::Bool(true));
+    obj.insert("op".to_string(), Json::Str(op.to_string()));
+    spotbid_json::to_string(&Json::Obj(obj))
+}
+
+fn field_f64(obj: &Json, key: &str) -> Result<f64, WireError> {
+    let v = obj
+        .field(key)
+        .map_err(|_| WireError::new(ErrorKind::InvalidParam, format!("missing field {key:?}")))?;
+    v.as_num().map_err(|_| {
+        WireError::new(ErrorKind::InvalidParam, format!("field {key:?} must be a number"))
+    })
+}
+
+fn field_f64_or(obj: &Json, key: &str, default: f64) -> Result<f64, WireError> {
+    match obj.field_opt(key) {
+        Ok(Some(v)) => v.as_num().map_err(|_| {
+            WireError::new(ErrorKind::InvalidParam, format!("field {key:?} must be a number"))
+        }),
+        _ => Ok(default),
+    }
+}
+
+/// Parses one request line. Never panics on any input.
+///
+/// # Errors
+///
+/// [`WireError`] with [`ErrorKind::MalformedFrame`], [`ErrorKind::UnknownOp`],
+/// or [`ErrorKind::InvalidParam`].
+pub fn parse_request(line: &str) -> Result<Request, WireError> {
+    let json = from_str(line).map_err(|e: JsonError| {
+        WireError::new(ErrorKind::MalformedFrame, format!("not valid JSON: {e}"))
+    })?;
+    let op = json
+        .field("op")
+        .and_then(Json::as_str)
+        .map_err(|_| WireError::new(ErrorKind::MalformedFrame, "object must carry a string \"op\""))?;
+    match op {
+        "ping" => Ok(Request::Ping),
+        "status" => Ok(Request::Status),
+        "advise" => {
+            let strategy = match json.field("strategy").and_then(Json::as_str) {
+                Ok("onetime") => Strategy::OneTime,
+                Ok("persistent") => Strategy::Persistent,
+                Ok(other) => {
+                    return Err(WireError::new(
+                        ErrorKind::InvalidParam,
+                        format!("unknown strategy {other:?} (want \"onetime\" or \"persistent\")"),
+                    ))
+                }
+                Err(_) => {
+                    return Err(WireError::new(
+                        ErrorKind::InvalidParam,
+                        "missing string field \"strategy\"",
+                    ))
+                }
+            };
+            Ok(Request::Advise {
+                strategy,
+                ts_hours: field_f64(&json, "ts_hours")?,
+                tr_secs: field_f64_or(&json, "tr_secs", 0.0)?,
+            })
+        }
+        "mapred" => {
+            let m_max = field_f64(&json, "m_max")?;
+            if !(m_max.is_finite() && m_max >= 1.0 && m_max <= u32::MAX as f64) {
+                return Err(WireError::new(
+                    ErrorKind::InvalidParam,
+                    format!("m_max {m_max} must be an integer >= 1"),
+                ));
+            }
+            Ok(Request::MapRed {
+                ts_hours: field_f64(&json, "ts_hours")?,
+                tr_secs: field_f64_or(&json, "tr_secs", 0.0)?,
+                to_secs: field_f64_or(&json, "to_secs", 0.0)?,
+                m_max: m_max as u32,
+            })
+        }
+        "__crash_worker" => Ok(Request::CrashWorker),
+        other => Err(WireError::new(
+            ErrorKind::UnknownOp,
+            format!("unknown op {other:?}"),
+        )),
+    }
+}
+
+/// Parses one feed record line: `{"t":<hours>,"p":<price>}`. The values
+/// are *not* validated here — validation is `trace::ingest`'s job, so a
+/// NaN price is a decodable record carrying a fault, while garbage bytes
+/// are a corrupt frame.
+///
+/// # Errors
+///
+/// [`WireError`] with [`ErrorKind::MalformedFrame`] when the line does not
+/// decode to an object with numeric `"t"` and `"p"`.
+pub fn parse_feed_record(line: &str) -> Result<spotbid_trace::ingest::RawRecord, WireError> {
+    let json = from_str(line).map_err(|e: JsonError| {
+        WireError::new(ErrorKind::MalformedFrame, format!("feed frame: {e}"))
+    })?;
+    // NaN is unrepresentable in JSON, so the feed encodes non-finite
+    // prices as null; treat null as NaN to keep the fault taxonomy
+    // (NonFinitePrice) reachable from the wire.
+    let num_or_nan = |key: &str| -> Result<f64, WireError> {
+        let v = json.field(key).map_err(|_| {
+            WireError::new(ErrorKind::MalformedFrame, format!("feed frame missing {key:?}"))
+        })?;
+        match v {
+            Json::Null => Ok(f64::NAN),
+            other => other.as_num().map_err(|_| {
+                WireError::new(ErrorKind::MalformedFrame, format!("feed field {key:?} not a number"))
+            }),
+        }
+    };
+    Ok(spotbid_trace::ingest::RawRecord {
+        time_hours: num_or_nan("t")?,
+        price: num_or_nan("p")?,
+    })
+}
+
+/// Serializes a feed record line (no trailing newline) — the inverse of
+/// [`parse_feed_record`], used by the chaos harness's scripted feed and by
+/// anyone producing a feed.
+pub fn feed_record_line(r: &spotbid_trace::ingest::RawRecord) -> String {
+    let enc = |x: f64| if x.is_finite() { Json::Num(x) } else { Json::Null };
+    let mut obj = BTreeMap::new();
+    obj.insert("t".to_string(), enc(r.time_hours));
+    obj.insert("p".to_string(), enc(r.price));
+    spotbid_json::to_string(&Json::Obj(obj))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotbid_trace::ingest::RawRecord;
+
+    #[test]
+    fn parses_every_op() {
+        assert_eq!(parse_request(r#"{"op":"ping"}"#).unwrap(), Request::Ping);
+        assert_eq!(parse_request(r#"{"op":"status"}"#).unwrap(), Request::Status);
+        assert_eq!(
+            parse_request(r#"{"op":"advise","strategy":"onetime","ts_hours":2.0,"tr_secs":30.0}"#)
+                .unwrap(),
+            Request::Advise {
+                strategy: Strategy::OneTime,
+                ts_hours: 2.0,
+                tr_secs: 30.0
+            }
+        );
+        // tr_secs defaults to 0.
+        assert_eq!(
+            parse_request(r#"{"op":"advise","strategy":"persistent","ts_hours":1.0}"#).unwrap(),
+            Request::Advise {
+                strategy: Strategy::Persistent,
+                ts_hours: 1.0,
+                tr_secs: 0.0
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"mapred","ts_hours":1.0,"tr_secs":30.0,"to_secs":60.0,"m_max":16}"#)
+                .unwrap(),
+            Request::MapRed {
+                ts_hours: 1.0,
+                tr_secs: 30.0,
+                to_secs: 60.0,
+                m_max: 16
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"__crash_worker"}"#).unwrap(),
+            Request::CrashWorker
+        );
+    }
+
+    #[test]
+    fn malformed_frames_are_typed_not_panics() {
+        for line in [
+            "",
+            "not json at all",
+            "{",
+            "[1,2,3]",
+            "42",
+            r#"{"no_op":true}"#,
+            r#"{"op":7}"#,
+            "\u{0}\u{1}garbage\u{ff}",
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert_eq!(err.kind, ErrorKind::MalformedFrame, "line {line:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_op_and_bad_params_are_distinct_kinds() {
+        assert_eq!(
+            parse_request(r#"{"op":"frobnicate"}"#).unwrap_err().kind,
+            ErrorKind::UnknownOp
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"advise","strategy":"sideways","ts_hours":1.0}"#)
+                .unwrap_err()
+                .kind,
+            ErrorKind::InvalidParam
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"advise","strategy":"onetime"}"#)
+                .unwrap_err()
+                .kind,
+            ErrorKind::InvalidParam
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"advise","strategy":"onetime","ts_hours":"one"}"#)
+                .unwrap_err()
+                .kind,
+            ErrorKind::InvalidParam
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"mapred","ts_hours":1.0,"m_max":0}"#)
+                .unwrap_err()
+                .kind,
+            ErrorKind::InvalidParam
+        );
+    }
+
+    #[test]
+    fn error_lines_are_deterministic_json() {
+        let line = error_line(ErrorKind::UnknownOp, "unknown op \"x\"");
+        assert_eq!(
+            line,
+            r#"{"error":{"detail":"unknown op \"x\"","kind":"unknown_op"},"ok":false}"#
+        );
+        // Round-trips through the parser.
+        let json = from_str(&line).unwrap();
+        assert_eq!(json.field("ok").unwrap(), &Json::Bool(false));
+        assert_eq!(
+            json.field("error").unwrap().field("kind").unwrap(),
+            &Json::Str("unknown_op".to_string())
+        );
+    }
+
+    #[test]
+    fn feed_record_roundtrip_including_non_finite() {
+        let r = RawRecord {
+            time_hours: 1.25,
+            price: 0.031,
+        };
+        let line = feed_record_line(&r);
+        assert_eq!(line, r#"{"p":0.031,"t":1.25}"#);
+        assert_eq!(parse_feed_record(&line).unwrap(), r);
+
+        // Non-finite prices survive as NaN (the NonFinitePrice fault).
+        let bad = RawRecord {
+            time_hours: 2.0,
+            price: f64::NAN,
+        };
+        let parsed = parse_feed_record(&feed_record_line(&bad)).unwrap();
+        assert!(parsed.price.is_nan());
+        assert_eq!(parsed.time_hours, 2.0);
+
+        assert!(parse_feed_record("xx").is_err());
+        assert!(parse_feed_record(r#"{"t":1.0}"#).is_err());
+    }
+}

@@ -94,6 +94,19 @@ impl IngestReport {
     }
 }
 
+/// Classifies the value-level fault of one record, if any — the same
+/// check the batch paths below apply, exported for streaming consumers
+/// (the serve crate validates each feed record as it arrives, long before
+/// a whole window exists to batch-ingest).
+///
+/// Order-level faults ([`RecordFault::NonMonotonicTime`],
+/// [`RecordFault::DuplicateTime`]) need a predecessor and are not
+/// classified here; streaming callers check those against their own last
+/// accepted timestamp.
+pub fn record_fault(r: &RawRecord) -> Option<RecordFault> {
+    value_fault(r)
+}
+
 /// Classifies the value-level fault of one record, if any.
 fn value_fault(r: &RawRecord) -> Option<RecordFault> {
     if !r.time_hours.is_finite() {
@@ -373,6 +386,68 @@ mod tests {
     fn repair_rejects_bad_slot_len() {
         assert!(ingest_repair(&grid(&[0.03]), Hours::ZERO).is_err());
         assert!(ingest_strict(&grid(&[0.03]), Hours::new(-1.0)).is_err());
+    }
+
+    #[test]
+    fn record_fault_matches_batch_classification() {
+        assert_eq!(record_fault(&rec(0.0, 0.03)), None);
+        assert_eq!(
+            record_fault(&rec(0.0, f64::NAN)),
+            Some(RecordFault::NonFinitePrice)
+        );
+        assert_eq!(
+            record_fault(&rec(0.0, -0.5)),
+            Some(RecordFault::NegativePrice)
+        );
+        assert_eq!(
+            record_fault(&rec(f64::NAN, 0.03)),
+            Some(RecordFault::NonFiniteTime)
+        );
+    }
+
+    /// Interleaved fault kinds in one window: a gap, a duplicate timestamp,
+    /// an out-of-order record, and a corrupt value all present at once. The
+    /// per-kind tests above each isolate one repair; this pins how the
+    /// repairs compose — drop, then sort, then dedup, then gap-fill.
+    #[test]
+    fn repair_handles_interleaved_fault_kinds() {
+        let step = default_slot_len().as_f64();
+        let feed = vec![
+            rec(0.0, 0.03),
+            rec(step, f64::NAN),       // corrupt: dropped first
+            rec(3.0 * step, 0.06),     // arrives before slot 2's record
+            rec(2.0 * step, 0.05),     // out of order
+            rec(3.0 * step, 0.07),     // duplicate of slot 3: latest wins
+            // slots 4 and 5 are a gap
+            rec(6.0 * step, 0.04),
+        ];
+        let (h, report) = ingest_repair(&feed, default_slot_len()).unwrap();
+        assert_eq!(report.total, 6);
+        assert_eq!(report.dropped, vec![(1, RecordFault::NonFinitePrice)]);
+        assert_eq!(report.reordered, 1);
+        assert_eq!(report.deduplicated, 1);
+        // Slot 1 lost its only record to the drop, so it gap-fills too.
+        assert_eq!(report.gap_slots_filled, 3);
+        assert_eq!(report.accepted, 4);
+        assert!(!report.is_clean());
+        assert_eq!(h.raw(), vec![0.03, 0.03, 0.05, 0.07, 0.07, 0.07, 0.04]);
+    }
+
+    /// The dedup rule interacts with sorting: a duplicate pair split by an
+    /// out-of-order record must still resolve latest-*input*-write wins
+    /// (stable sort preserves input order among equal timestamps).
+    #[test]
+    fn repair_dedup_is_stable_across_reordering() {
+        let step = default_slot_len().as_f64();
+        let feed = vec![
+            rec(step, 0.10),       // first write for slot 1
+            rec(0.0, 0.03),        // out of order
+            rec(step, 0.20),       // second write for slot 1: must win
+            rec(2.0 * step, 0.05),
+        ];
+        let (h, report) = ingest_repair(&feed, default_slot_len()).unwrap();
+        assert_eq!(report.deduplicated, 1);
+        assert_eq!(h.raw(), vec![0.03, 0.20, 0.05]);
     }
 
     #[test]

@@ -353,7 +353,7 @@ pub fn cmd_risk(args: &Args) -> Result<String, ArgError> {
 
 /// `spotbid engine`.
 pub fn cmd_engine(args: &Args) -> Result<String, ArgError> {
-    use spotbid_engine::{run_closed_loop, ClosedLoopConfig};
+    use spotbid_engine::{run_closed_loop_with_stats, ClosedLoopConfig};
     use spotbid_market::units::Price;
     use spotbid_market::MarketParams;
     args.check_known(&[
@@ -401,7 +401,8 @@ pub fn cmd_engine(args: &Args) -> Result<String, ArgError> {
     };
     let seed: u64 = args.get_or("seed", 1)?;
     let strategies = vec![strategy; tenants];
-    let report = run_closed_loop(&strategies, &cfg, seed).map_err(|e| ArgError(e.to_string()))?;
+    let (report, stats) =
+        run_closed_loop_with_stats(&strategies, &cfg, seed, None).map_err(|e| ArgError(e.to_string()))?;
     let mut out = format!(
         "closed loop — {tenants} × {strategy:?} tenants, {} job, seed {seed}\n\
          market: on-demand/π̄ ${pi_bar:.3}, π_min ${pi_min:.3}, background λ {:.1}/slot\n\
@@ -432,6 +433,17 @@ pub fn cmd_engine(args: &Args) -> Result<String, ArgError> {
         report.mean_savings * 100.0,
         report.mean_price,
         report.peak_price,
+    ));
+    out.push_str(&format!(
+        "wakeup fleet: {} slots, {} skipped in O(1) ({:.1}%), {} tenant wakeups\n",
+        stats.slots,
+        stats.skipped_slots,
+        if stats.slots > 0 {
+            stats.skipped_slots as f64 / stats.slots as f64 * 100.0
+        } else {
+            0.0
+        },
+        stats.woken,
     ));
     Ok(out)
 }
@@ -590,6 +602,12 @@ mod tests {
         assert!(out.contains("closed loop — 2 ×"));
         assert!(out.contains("completed in loop"));
         assert!(out.contains("posted price mean"));
+        // The wakeup-fleet counters are part of the report. (The loop may
+        // stop before the horizon once every tenant completes, so the
+        // slot count is asserted present, not pinned.)
+        assert!(out.contains("wakeup fleet: "), "{out}");
+        assert!(out.contains("skipped in O(1)"), "{out}");
+        assert!(out.contains("tenant wakeups"), "{out}");
         assert_eq!(out, run(&argv).unwrap(), "engine run is not seed-deterministic");
         assert!(run(&["engine", "--strategy", "zzz"]).is_err());
         assert!(run(&["engine", "--bogus", "1"]).is_err());

@@ -16,6 +16,7 @@
 //! - [`engine`] — the event-driven simulation kernel and closed-loop mode.
 //! - [`client`] — the bidding client (Figure 1) and experiment harness.
 //! - [`mapred`] — a miniature MapReduce engine running on spot instances.
+//! - [`serve`] — a fault-hardened, long-running bid-advisory server.
 //!
 //! ## Quickstart
 //!
@@ -48,4 +49,5 @@ pub use spotbid_engine as engine;
 pub use spotbid_mapred as mapred;
 pub use spotbid_market as market;
 pub use spotbid_numerics as numerics;
+pub use spotbid_serve as serve;
 pub use spotbid_trace as trace;
