@@ -130,9 +130,9 @@ fn main() {
         "mean cost $",
         "cost std $",
     ]);
-    for (bid, mean, std) in time_experiment("ablations/risk_curve", || {
-        ablations::risk_curve(0xAB4, 20)
-    }) {
+    for (bid, mean, std) in
+        time_experiment("ablations/risk_curve", || ablations::risk_curve(0xAB4, 20))
+    {
         t.row([usd(bid), usd(mean), usd(std)]);
     }
     print!("{}", t.render());

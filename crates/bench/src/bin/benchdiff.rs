@@ -38,7 +38,9 @@ fn main() -> ExitCode {
             },
             "--warn-only" => warn_only = true,
             "--help" | "-h" => {
-                println!("usage: benchdiff <baseline.json> <current.json> [--threshold X] [--warn-only]");
+                println!(
+                    "usage: benchdiff <baseline.json> <current.json> [--threshold X] [--warn-only]"
+                );
                 return ExitCode::SUCCESS;
             }
             other if !other.starts_with('-') => paths.push(PathBuf::from(other)),

@@ -63,7 +63,9 @@ fn price_model_benches(h: &mut Harness) {
     let mut sorted = hist.raw();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let probes = probe_prices(hist.max_price().as_f64());
-    let qs: Vec<f64> = (0..PROBES).map(|i| i as f64 / (PROBES - 1) as f64).collect();
+    let qs: Vec<f64> = (0..PROBES)
+        .map(|i| i as f64 / (PROBES - 1) as f64)
+        .collect();
 
     let mut g = h.group("price_model");
     g.bench("build/10k", || {
@@ -255,9 +257,10 @@ fn market_benches(h: &mut Harness) {
         });
     }
     let mut rng = Rng::seed_from_u64(0x5B1D);
-    g.throughput_items(1000).bench("spot_market_step/1k_bids", || {
-        black_box(market.step(&mut rng));
-    });
+    g.throughput_items(1000)
+        .bench("spot_market_step/1k_bids", || {
+            black_box(market.step(&mut rng));
+        });
 }
 
 /// A bid price laddered over `[π_min, π̄)` by golden-ratio rotation —
@@ -328,15 +331,16 @@ fn market_scale_benches(h: &mut Harness) {
     let mut rng = Rng::seed_from_u64(0x5CA1E);
     black_box(market.step(&mut rng));
     let mut next = 100_000usize;
-    h.group("market_scale")
-        .throughput_items(100_000)
-        .bench("spot_market_step_naive/100k_bids", || {
+    h.group("market_scale").throughput_items(100_000).bench(
+        "spot_market_step_naive/100k_bids",
+        || {
             for _ in 0..CHURN_PER_STEP {
                 market.submit(churn_bid(&params, next));
                 next += 1;
             }
             black_box(market.step(&mut rng));
-        });
+        },
+    );
 
     // A million-bid slot on the bid-book (the naive scan at 1M would burn
     // the whole suite budget on warmup alone).
@@ -484,8 +488,7 @@ fn engine_scale_benches(h: &mut Harness) {
         .group("engine_scale")
         .throughput_items(10_000)
         .bench("closed_loop_quiet_dense/10k_tenants_2020_slots", || {
-            dense::run_closed_loop(black_box(&strategies), black_box(&quiet_cfg), 0x5CA1E)
-                .unwrap()
+            dense::run_closed_loop(black_box(&strategies), black_box(&quiet_cfg), 0x5CA1E).unwrap()
         });
     println!();
     println!(
@@ -599,7 +602,11 @@ fn main() -> ExitCode {
 
     match h.write(&out) {
         Ok(()) => {
-            println!("wrote {} benchmarks to {}", h.results().len(), out.display());
+            println!(
+                "wrote {} benchmarks to {}",
+                h.results().len(),
+                out.display()
+            );
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -102,8 +102,14 @@ pub fn run(seed: u64) -> Vec<Fig7Row> {
                 cost: out.total_cost().as_f64(),
             }
         });
-        let od = run_on_demand(&corpus, trials[0].m, &job, master.on_demand, slave.on_demand)
-            .unwrap();
+        let od = run_on_demand(
+            &corpus,
+            trials[0].m,
+            &job,
+            master.on_demand,
+            slave.on_demand,
+        )
+        .unwrap();
         let completions: Vec<f64> = trials
             .iter()
             .filter(|t| t.completed)

@@ -51,35 +51,33 @@ pub fn run(seed: u64) -> Vec<Table4Row> {
     let job = paper_job();
     let pairings = table4_pairings();
     spotbid_exec::par_map(pairings.len(), |i| {
-        {
-            let (master, slave) = pairings[i].clone();
-            let mut rng = Rng::seed_from_u64(seed ^ (0x7AB4 + i as u64));
-            let mh = generate(
-                &SyntheticConfig::for_instance(&master),
-                TWO_MONTHS_SLOTS,
-                &mut rng,
-            )
-            .unwrap();
-            let sh = generate(
-                &SyntheticConfig::for_instance(&slave),
-                TWO_MONTHS_SLOTS,
-                &mut rng,
-            )
-            .unwrap();
-            let mm = EmpiricalPrices::from_history_with_cap(&mh, master.on_demand).unwrap();
-            let sm = EmpiricalPrices::from_history_with_cap(&sh, slave.on_demand).unwrap();
-            let p = plan(&mm, &sm, &job, 32).unwrap();
-            Table4Row {
-                master_instance: master.name,
-                slave_instance: slave.name,
-                master_bid: p.master.price.as_f64(),
-                slave_bid: p.slaves.price.as_f64(),
-                m: p.m,
-                master_cost: p.master_cost.as_f64(),
-                slave_cost: p.slaves.expected_cost.as_f64(),
-                master_to_slave_ratio: p.master_cost.as_f64() / p.slaves.expected_cost.as_f64(),
-                plan: p,
-            }
+        let (master, slave) = pairings[i].clone();
+        let mut rng = Rng::seed_from_u64(seed ^ (0x7AB4 + i as u64));
+        let mh = generate(
+            &SyntheticConfig::for_instance(&master),
+            TWO_MONTHS_SLOTS,
+            &mut rng,
+        )
+        .unwrap();
+        let sh = generate(
+            &SyntheticConfig::for_instance(&slave),
+            TWO_MONTHS_SLOTS,
+            &mut rng,
+        )
+        .unwrap();
+        let mm = EmpiricalPrices::from_history_with_cap(&mh, master.on_demand).unwrap();
+        let sm = EmpiricalPrices::from_history_with_cap(&sh, slave.on_demand).unwrap();
+        let p = plan(&mm, &sm, &job, 32).unwrap();
+        Table4Row {
+            master_instance: master.name,
+            slave_instance: slave.name,
+            master_bid: p.master.price.as_f64(),
+            slave_bid: p.slaves.price.as_f64(),
+            m: p.m,
+            master_cost: p.master_cost.as_f64(),
+            slave_cost: p.slaves.expected_cost.as_f64(),
+            master_to_slave_ratio: p.master_cost.as_f64() / p.slaves.expected_cost.as_f64(),
+            plan: p,
         }
     })
 }

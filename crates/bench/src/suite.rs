@@ -56,7 +56,10 @@ mod tests {
     #[test]
     fn no_filter_keeps_every_section_in_order() {
         let all = select(SECTIONS, None).unwrap();
-        assert_eq!(names(&all), ["price_model", "market", "market_scale", "engine_scale"]);
+        assert_eq!(
+            names(&all),
+            ["price_model", "market", "market_scale", "engine_scale"]
+        );
     }
 
     #[test]

@@ -530,11 +530,7 @@ pub fn bench_function<T>(name: &str, f: impl FnMut() -> T) {
 
 /// As [`bench_function`], but rebuilds the routine's input with `setup`
 /// before every timed call (the setup cost is excluded from the timing).
-pub fn bench_with_setup<S, T>(
-    name: &str,
-    setup: impl FnMut() -> S,
-    routine: impl FnMut(S) -> T,
-) {
+pub fn bench_with_setup<S, T>(name: &str, setup: impl FnMut() -> S, routine: impl FnMut(S) -> T) {
     Harness::from_env()
         .group("bench")
         .bench_with_setup(name, setup, routine);
@@ -603,7 +599,8 @@ mod tests {
         assert!(calls > 0);
         assert!(stats.iters > 0);
         assert!(stats.median_ns >= 0.0);
-        h.group("t").bench_with_setup("trivial_setup", || 3u64, |x| x * 2);
+        h.group("t")
+            .bench_with_setup("trivial_setup", || 3u64, |x| x * 2);
         assert_eq!(h.results().len(), 2);
         assert_eq!(h.results()[0].bench, "t/trivial");
         assert!(h.result("t/trivial_setup").is_some());
@@ -684,7 +681,14 @@ mod tests {
         assert_eq!(back, rows);
         // Schema fields present by name in the serialized form.
         let keys = [
-            "bench", "median_ns", "p95_ns", "mad_ns", "iters", "threads", "git_rev", "rustc",
+            "bench",
+            "median_ns",
+            "p95_ns",
+            "mad_ns",
+            "iters",
+            "threads",
+            "git_rev",
+            "rustc",
             "cpus",
         ];
         for key in keys {
@@ -723,9 +727,9 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("report_roundtrip.json");
         let mut h = Harness::with_budget(Duration::from_millis(2)).quiet();
-        h.group("io").throughput_items(64).bench("spin", || {
-            (0..64).map(black_box).sum::<usize>()
-        });
+        h.group("io")
+            .throughput_items(64)
+            .bench("spin", || (0..64).map(black_box).sum::<usize>());
         h.write(&path).unwrap();
         let back = read_report(&path).unwrap();
         assert_eq!(back, h.results());

@@ -41,7 +41,10 @@ fn exits_nonzero_on_injected_2x_regression() {
     let out = benchdiff(&[base.to_str().unwrap(), cur.to_str().unwrap()]);
     assert_eq!(out.status.code(), Some(1), "{out:?}");
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("k/cdf") && text.contains("REGRESSION"), "{text}");
+    assert!(
+        text.contains("k/cdf") && text.contains("REGRESSION"),
+        "{text}"
+    );
     assert!(text.contains("1 regression(s)"), "{text}");
 }
 
@@ -105,7 +108,11 @@ fn coverage_delta_is_reported_by_name() {
     write_report(&base, &[("k/cdf", 100.0), ("market/old_probe", 50.0)]);
     write_report(
         &cur,
-        &[("k/cdf", 100.0), ("market/100k_bids", 900.0), ("market/1m_bids", 9000.0)],
+        &[
+            ("k/cdf", 100.0),
+            ("market/100k_bids", 900.0),
+            ("market/1m_bids", 9000.0),
+        ],
     );
     let out = benchdiff(&[base.to_str().unwrap(), cur.to_str().unwrap()]);
     assert_eq!(out.status.code(), Some(0), "{out:?}");

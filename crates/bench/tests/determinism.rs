@@ -28,7 +28,13 @@ fn client_experiment_is_thread_count_invariant() {
     let inst = catalog::by_name("r3.xlarge").unwrap();
     let job = JobSpec::builder(1.0).recovery_secs(30.0).build().unwrap();
     let run = || {
-        run_single_instance(&inst, BiddingStrategy::OptimalPersistent, &job, &quick_cfg()).unwrap()
+        run_single_instance(
+            &inst,
+            BiddingStrategy::OptimalPersistent,
+            &job,
+            &quick_cfg(),
+        )
+        .unwrap()
     };
     let a = with_threads(1, run);
     let b = with_threads(4, run);

@@ -48,11 +48,46 @@ fn dump_golden_rows() {
 fn table3_rows_are_pinned() {
     let rows = table3::run(0x7AB3);
     let expected: &[Table3Golden] = &[
-        ("r3.xlarge", 0.35, 0.04357230214206161, 0.03228811685793266, 0.03415723426696667, Some(0.0315)),
-        ("r3.2xlarge", 0.7, 0.08765168069270371, 0.06454478967095441, 0.06815122124364688, Some(0.063)),
-        ("r3.4xlarge", 1.4, 0.17710663323964643, 0.12908252557988, 0.13633065625806715, Some(0.126)),
-        ("c3.4xlarge", 0.84, 0.10886897309050811, 0.07746739555807867, 0.08165847707014652, Some(0.0756)),
-        ("c3.8xlarge", 1.68, 0.2134214984030957, 0.15471905793108753, 0.16339179116168612, Some(0.1512)),
+        (
+            "r3.xlarge",
+            0.35,
+            0.04357230214206161,
+            0.03228811685793266,
+            0.03415723426696667,
+            Some(0.0315),
+        ),
+        (
+            "r3.2xlarge",
+            0.7,
+            0.08765168069270371,
+            0.06454478967095441,
+            0.06815122124364688,
+            Some(0.063),
+        ),
+        (
+            "r3.4xlarge",
+            1.4,
+            0.17710663323964643,
+            0.12908252557988,
+            0.13633065625806715,
+            Some(0.126),
+        ),
+        (
+            "c3.4xlarge",
+            0.84,
+            0.10886897309050811,
+            0.07746739555807867,
+            0.08165847707014652,
+            Some(0.0756),
+        ),
+        (
+            "c3.8xlarge",
+            1.68,
+            0.2134214984030957,
+            0.15471905793108753,
+            0.16339179116168612,
+            Some(0.1512),
+        ),
     ];
     assert_eq!(rows.len(), expected.len());
     for (r, e) in rows.iter().zip(expected) {
@@ -106,7 +141,11 @@ fn stability_rows_are_pinned() {
         assert_eq!(r.lambda_mean, e.1, "{} lambda_mean", r.arrivals);
         assert_eq!(r.avg_queue_short, e.2, "{} avg_queue_short", r.arrivals);
         assert_eq!(r.avg_queue_long, e.3, "{} avg_queue_long", r.arrivals);
-        assert_eq!(r.equilibrium_demand, e.4, "{} equilibrium_demand", r.arrivals);
+        assert_eq!(
+            r.equilibrium_demand, e.4,
+            "{} equilibrium_demand",
+            r.arrivals
+        );
         assert_eq!(r.top_bucket_drift, e.5, "{} top_bucket_drift", r.arrivals);
         assert_eq!(r.drift_threshold, e.6, "{} drift_threshold", r.arrivals);
         assert_eq!(

@@ -74,11 +74,13 @@ fn run_episode(rng: &mut spotbid_numerics::rng::Rng) {
         prev_interruptions = m.interruptions();
         // The clock never leaks: elapsed == running + idle + waiting.
         let elapsed = m.elapsed().as_f64();
-        let parts =
-            m.running_time().as_f64() + m.idle_time().as_f64() + m.waiting_time().as_f64();
+        let parts = m.running_time().as_f64() + m.idle_time().as_f64() + m.waiting_time().as_f64();
         assert!((elapsed - parts).abs() < 1e-12, "clock leak at step {step}");
         // `finished` fires exactly on the edge into Finished.
-        assert_eq!(e.finished, from != JobState::Finished && to == JobState::Finished);
+        assert_eq!(
+            e.finished,
+            from != JobState::Finished && to == JobState::Finished
+        );
     }
 }
 

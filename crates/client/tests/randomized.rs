@@ -89,8 +89,7 @@ fn replay_bill_matches_price_trace() {
         assert!((out.bill.total_duration().as_f64() - out.running_time.as_f64()).abs() < 1e-9);
         // Completed persistent runs did all their work.
         if out.status == RunStatus::Completed {
-            let expect =
-                job.execution.as_f64() + out.interruptions as f64 * job.recovery.as_f64();
+            let expect = job.execution.as_f64() + out.interruptions as f64 * job.recovery.as_f64();
             assert!((out.running_time.as_f64() - expect).abs() < 1e-9);
         }
     }

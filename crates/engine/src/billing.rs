@@ -74,7 +74,10 @@ impl LineItem {
     pub fn validate(&self) -> Result<(), EngineError> {
         if !self.price.is_valid_price() {
             return Err(EngineError::Billing {
-                what: format!("invalid price {:?} in charge at slot {}", self.price, self.slot),
+                what: format!(
+                    "invalid price {:?} in charge at slot {}",
+                    self.price, self.slot
+                ),
             });
         }
         if !self.duration.is_valid_duration() {
@@ -307,7 +310,12 @@ mod tests {
         let slot = Hours::from_minutes(5.0);
         for i in 0..200u32 {
             let tag = i % 7;
-            b.charge_spot(u64::from(i), Price::new(0.01 + f64::from(i) * 0.003_7), slot, tag);
+            b.charge_spot(
+                u64::from(i),
+                Price::new(0.01 + f64::from(i) * 0.003_7),
+                slot,
+                tag,
+            );
             if i % 3 == 0 {
                 b.charge_on_demand(u64::from(i), Price::new(0.35), Hours::new(0.1), tag);
             }
@@ -385,8 +393,13 @@ mod tests {
         let mut b = Bill::new();
         let mut prev = Cost::ZERO;
         for i in 0..100u64 {
-            b.try_charge_spot(i, Price::new(0.01 * (i % 7) as f64), Hours::from_minutes(5.0), 0)
-                .unwrap();
+            b.try_charge_spot(
+                i,
+                Price::new(0.01 * (i % 7) as f64),
+                Hours::from_minutes(5.0),
+                0,
+            )
+            .unwrap();
             let t = b.total();
             assert!(t.as_f64().is_finite());
             assert!(t >= prev, "total regressed at item {i}");

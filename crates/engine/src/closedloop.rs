@@ -214,7 +214,9 @@ impl ClosedLoopSource {
     /// feed so far).
     fn observed(&self) -> Result<SpotPriceHistory, EngineError> {
         SpotPriceHistory::new(self.slot_len, self.observed.clone()).map_err(|e| {
-            EngineError::InvalidConfig { what: format!("observed history: {e}") }
+            EngineError::InvalidConfig {
+                what: format!("observed history: {e}"),
+            }
         })
     }
 }
@@ -227,7 +229,10 @@ impl PriceSource for ClosedLoopSource {
     }
 
     fn quote_events(&self, slot: u64, quote: &SlotReport, emit: &mut dyn FnMut(Event)) {
-        emit(Event::PricePosted { slot, price: quote.price });
+        emit(Event::PricePosted {
+            slot,
+            price: quote.price,
+        });
     }
 
     fn reclaim(&mut self, quote: SlotReport) {
@@ -250,7 +255,9 @@ struct TenantFinal {
 
 fn validate(strategies: &[BiddingStrategy], cfg: &ClosedLoopConfig) -> Result<(), EngineError> {
     if strategies.is_empty() {
-        return Err(EngineError::InvalidConfig { what: "no tenants".into() });
+        return Err(EngineError::InvalidConfig {
+            what: "no tenants".into(),
+        });
     }
     if cfg.warmup_slots == 0 || cfg.horizon_slots == 0 {
         return Err(EngineError::InvalidConfig {
@@ -259,7 +266,10 @@ fn validate(strategies: &[BiddingStrategy], cfg: &ClosedLoopConfig) -> Result<()
     }
     if !cfg.background_arrivals.is_finite() || cfg.background_arrivals < 0.0 {
         return Err(EngineError::InvalidConfig {
-            what: format!("background_arrivals {} must be finite and ≥ 0", cfg.background_arrivals),
+            what: format!(
+                "background_arrivals {} must be finite and ≥ 0",
+                cfg.background_arrivals
+            ),
         });
     }
     cfg.job.validate().map_err(EngineError::Core)?;
@@ -317,9 +327,8 @@ fn assemble_report(
         })
         .collect();
     let visible = &source.posted[cfg.warmup_slots..];
-    let mean_price = Price::new(
-        visible.iter().map(|p| p.as_f64()).sum::<f64>() / visible.len().max(1) as f64,
-    );
+    let mean_price =
+        Price::new(visible.iter().map(|p| p.as_f64()).sum::<f64>() / visible.len().max(1) as f64);
     let peak_price = visible
         .iter()
         .copied()
@@ -418,7 +427,10 @@ mod tests {
         let b = run_closed_loop(&strategies, &cfg, 0xC105ED).unwrap();
         assert_eq!(a, b);
         let c = run_closed_loop(&strategies, &cfg, 0xC105ED + 1).unwrap();
-        assert_ne!(a.mean_price, c.mean_price, "different seed, different market");
+        assert_ne!(
+            a.mean_price, c.mean_price,
+            "different seed, different market"
+        );
     }
 
     #[test]
@@ -455,9 +467,12 @@ mod tests {
         // More tenants → more accepted demand → higher posted prices
         // (Eq. 3's price rises with L). Compare 1 vs 24 aggressive
         // persistent bidders on the same seed.
-        let cfg = ClosedLoopConfig { background_arrivals: 1.0, ..config() };
-        let lone = run_closed_loop(&[BiddingStrategy::FixedBid(Price::new(0.34))], &cfg, 99)
-            .unwrap();
+        let cfg = ClosedLoopConfig {
+            background_arrivals: 1.0,
+            ..config()
+        };
+        let lone =
+            run_closed_loop(&[BiddingStrategy::FixedBid(Price::new(0.34))], &cfg, 99).unwrap();
         let crowd_strats = vec![BiddingStrategy::FixedBid(Price::new(0.34)); 24];
         let crowd = run_closed_loop(&crowd_strats, &cfg, 99).unwrap();
         assert!(
@@ -475,11 +490,20 @@ mod tests {
             run_closed_loop(&[], &cfg, 1),
             Err(EngineError::InvalidConfig { .. })
         ));
-        let bad = ClosedLoopConfig { warmup_slots: 0, ..cfg };
+        let bad = ClosedLoopConfig {
+            warmup_slots: 0,
+            ..cfg
+        };
         assert!(run_closed_loop(&[BiddingStrategy::OnDemand], &bad, 1).is_err());
-        let bad = ClosedLoopConfig { background_arrivals: f64::NAN, ..cfg };
+        let bad = ClosedLoopConfig {
+            background_arrivals: f64::NAN,
+            ..cfg
+        };
         assert!(run_closed_loop(&[BiddingStrategy::OnDemand], &bad, 1).is_err());
-        let bad = ClosedLoopConfig { slot_len: Hours::from_minutes(10.0), ..cfg };
+        let bad = ClosedLoopConfig {
+            slot_len: Hours::from_minutes(10.0),
+            ..cfg
+        };
         assert!(run_closed_loop(&[BiddingStrategy::OnDemand], &bad, 1).is_err());
     }
 
@@ -499,7 +523,10 @@ mod tests {
         let (dr, de) = dense::run_closed_loop_logged(&strategies, &cfg, 0xBEEF, None).unwrap();
         assert_eq!(wr, dr);
         assert_eq!(we, de);
-        assert!(stats.skipped_slots > 0, "a 400-slot tail should have quiet slots");
+        assert!(
+            stats.skipped_slots > 0,
+            "a 400-slot tail should have quiet slots"
+        );
     }
 
     #[test]
@@ -523,7 +550,8 @@ mod tests {
             faults.reclaim[s] = true;
         }
         let (wr, we, _) = run_closed_loop_logged(&strategies, &cfg, 0xFA17, Some(&faults)).unwrap();
-        let (dr, de) = dense::run_closed_loop_logged(&strategies, &cfg, 0xFA17, Some(&faults)).unwrap();
+        let (dr, de) =
+            dense::run_closed_loop_logged(&strategies, &cfg, 0xFA17, Some(&faults)).unwrap();
         assert_eq!(wr, dr);
         assert_eq!(we, de);
         // Reclamations actually bit: somebody was interrupted.

@@ -108,17 +108,29 @@ impl TenantBidder {
                 }
                 self.completed = true;
                 self.done_pending = true;
-                emit(Event::Completed { slot, tenant: self.tag });
+                emit(Event::Completed {
+                    slot,
+                    tenant: self.tag,
+                });
             }
             BidDecision::Spot { price, persistent } => {
                 let remaining = (self.slots_needed - self.slots_run).max(1) as u32;
                 let id = source.market.submit(BidRequest {
                     price,
-                    kind: if persistent { BidKind::Persistent } else { BidKind::OneTime },
+                    kind: if persistent {
+                        BidKind::Persistent
+                    } else {
+                        BidKind::OneTime
+                    },
                     work: WorkModel::FixedSlots(remaining),
                 });
                 self.bid_id = Some(id);
-                emit(Event::BidSubmitted { slot, tenant: self.tag, price, persistent });
+                emit(Event::BidSubmitted {
+                    slot,
+                    tenant: self.tag,
+                    price,
+                    persistent,
+                });
             }
         }
     }
@@ -145,11 +157,17 @@ impl TenantBidder {
         let ran = started || (self.running && !interrupted && !terminated);
         if started {
             self.running = true;
-            emit(Event::BidAccepted { slot, tenant: self.tag });
+            emit(Event::BidAccepted {
+                slot,
+                tenant: self.tag,
+            });
         }
         if interrupted {
             self.interruptions += 1;
-            emit(Event::Interrupted { slot, tenant: self.tag });
+            emit(Event::Interrupted {
+                slot,
+                tenant: self.tag,
+            });
         }
         if ran {
             // The provider charges running bids the posted price per slot
@@ -171,11 +189,17 @@ impl TenantBidder {
         }
         if finished {
             self.completed = true;
-            emit(Event::Completed { slot, tenant: self.tag });
+            emit(Event::Completed {
+                slot,
+                tenant: self.tag,
+            });
             return DriverStatus::Done;
         }
         if terminated {
-            emit(Event::Rejected { slot, tenant: self.tag });
+            emit(Event::Rejected {
+                slot,
+                tenant: self.tag,
+            });
             self.bid_id = None;
             if self.resubmissions < self.max_resubmissions {
                 self.resubmissions += 1;
@@ -221,7 +245,12 @@ impl TenantFleet {
         let mut chain = streams.streams(2 + max_shards);
         let shard_rngs = chain.split_off(2);
         let done = vec![false; tenants.len()];
-        TenantFleet { tenants, done, shard_rngs, needy: Vec::new() }
+        TenantFleet {
+            tenants,
+            done,
+            shard_rngs,
+            needy: Vec::new(),
+        }
     }
 }
 

@@ -346,13 +346,22 @@ impl WakeupFleet {
                 let remaining = (self.slots_needed - self.slots_run[tu]).max(1) as u32;
                 let id = source.market.submit(BidRequest {
                     price,
-                    kind: if persistent { BidKind::Persistent } else { BidKind::OneTime },
+                    kind: if persistent {
+                        BidKind::Persistent
+                    } else {
+                        BidKind::OneTime
+                    },
                     work: WorkModel::FixedSlots(remaining),
                 });
                 self.bid_id[tu] = id.0;
                 self.quota[tu] = self.slots_run[tu] + remaining as u64;
                 self.book.set_threshold(t, price.as_f64());
-                emit(Event::BidSubmitted { slot, tenant: t, price, persistent });
+                emit(Event::BidSubmitted {
+                    slot,
+                    tenant: t,
+                    price,
+                    persistent,
+                });
             }
         }
         self.fresh.push(t);
@@ -663,7 +672,12 @@ impl JobDriver<ClosedLoopSource> for WakeupFleet {
         // woken tenant still holding a live non-running bid
         // unconditionally for the next slot (chains across back-to-back
         // outages).
-        if self.reclaim_mask.get(slot as usize).copied().unwrap_or(false) {
+        if self
+            .reclaim_mask
+            .get(slot as usize)
+            .copied()
+            .unwrap_or(false)
+        {
             for &t in &order {
                 let tu = t as usize;
                 if self.flags[tu] & (T_DONE | T_RUNNING) == 0 && self.bid_id[tu] != NO_BID {
@@ -696,7 +710,9 @@ pub(super) fn run(
     // The fleet sees kernel slots (0-based after warmup); shift the
     // absolute-slot fault plan accordingly.
     let reclaim_mask: Vec<bool> = match faults {
-        Some(f) => (0..cfg.horizon_slots).map(|s| f.reclaim_at(cfg.warmup_slots + s)).collect(),
+        Some(f) => (0..cfg.horizon_slots)
+            .map(|s| f.reclaim_at(cfg.warmup_slots + s))
+            .collect(),
         None => Vec::new(),
     };
     let mut fleet = WakeupFleet::new(strategies, cfg, &streams, reclaim_mask);
@@ -735,8 +751,7 @@ mod tests {
     use super::*;
 
     fn book(n: usize) -> WakeupBook {
-        let params =
-            MarketParams::new(Price::new(0.35), Price::new(0.02), 0.05, 0.05).unwrap();
+        let params = MarketParams::new(Price::new(0.35), Price::new(0.02), 0.05, 0.05).unwrap();
         WakeupBook::new(n, &params)
     }
 
@@ -762,7 +777,10 @@ mod tests {
         for (k, list) in b.buckets.iter().enumerate() {
             for (p, &t) in list.iter().enumerate() {
                 let tu = t as usize;
-                assert!(registered[tu], "tenant {t} in bucket {k} but not registered");
+                assert!(
+                    registered[tu],
+                    "tenant {t} in bucket {k} but not registered"
+                );
                 assert_eq!(b.bucket_of[tu] as usize, k);
                 assert_eq!(b.pos_of[tu] as usize, p);
                 assert_eq!(b.bucket_index(b.threshold[tu]), k, "misfiled threshold");
@@ -832,7 +850,10 @@ mod tests {
             }
             // Soundness: nothing below pf is ever woken.
             for &t in &out {
-                assert!(b.threshold[t as usize] >= pf, "woke a threshold below the fall");
+                assert!(
+                    b.threshold[t as usize] >= pf,
+                    "woke a threshold below the fall"
+                );
             }
         }
     }
@@ -841,8 +862,7 @@ mod tests {
     fn calendar_entries_recycle_their_vectors() {
         // The pool keeps steady-state slots allocation-free; pushes after
         // a drain reuse the returned vector.
-        let params =
-            MarketParams::new(Price::new(0.35), Price::new(0.02), 0.05, 0.05).unwrap();
+        let params = MarketParams::new(Price::new(0.35), Price::new(0.02), 0.05, 0.05).unwrap();
         let cfg = ClosedLoopConfig {
             params,
             slot_len: Hours::from_minutes(5.0),
@@ -854,8 +874,7 @@ mod tests {
             max_resubmissions: 0,
         };
         let streams = RngStreams::new(1);
-        let mut fleet =
-            WakeupFleet::new(&[BiddingStrategy::OnDemand], &cfg, &streams, Vec::new());
+        let mut fleet = WakeupFleet::new(&[BiddingStrategy::OnDemand], &cfg, &streams, Vec::new());
         fleet.calendar_push(5, 1);
         fleet.calendar_push(5, 2 | UNCOND);
         let mut list = fleet.calendar.remove(&5).unwrap();

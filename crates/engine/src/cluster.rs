@@ -40,7 +40,11 @@ impl<'a> DualTraceSource<'a> {
     /// Replays `master` and `slave` from their first slots.
     pub fn new(master: &'a SpotPriceHistory, slave: &'a SpotPriceHistory) -> Self {
         let horizon = master.len().min(slave.len());
-        DualTraceSource { master, slave, horizon }
+        DualTraceSource {
+            master,
+            slave,
+            horizon,
+        }
     }
 
     /// Number of slots before the shorter trace runs out.
@@ -113,7 +117,13 @@ pub fn cluster_slot_events(
 ) {
     if let Some(price) = master_price {
         emit(Event::Charged {
-            item: LineItem { slot, price, duration, kind, tag: master_tag },
+            item: LineItem {
+                slot,
+                price,
+                duration,
+                kind,
+                tag: master_tag,
+            },
         });
     }
     if slaves_up > 0 {
@@ -158,7 +168,10 @@ mod tests {
 
     #[test]
     fn constant_source_never_exhausts() {
-        let mut src = ConstantClusterSource { master: Price::new(0.266), slave: Price::new(0.84) };
+        let mut src = ConstantClusterSource {
+            master: Price::new(0.266),
+            slave: Price::new(0.84),
+        };
         let q = src.post(1_000_000, 33).unwrap();
         assert_eq!(q.master, Some(Price::new(0.266)));
         assert_eq!(q.slave, Some(Price::new(0.84)));
@@ -179,11 +192,18 @@ mod tests {
             &mut |e| seen.push(e),
         );
         assert_eq!(seen.len(), 2);
-        let Event::Charged { item } = seen[0] else { panic!("{:?}", seen[0]) };
+        let Event::Charged { item } = seen[0] else {
+            panic!("{:?}", seen[0])
+        };
         assert_eq!((item.tag, item.price), (0, Price::new(0.10)));
-        let Event::Charged { item } = seen[1] else { panic!("{:?}", seen[1]) };
+        let Event::Charged { item } = seen[1] else {
+            panic!("{:?}", seen[1])
+        };
         assert_eq!(item.tag, 1);
-        assert!((item.price.as_f64() - 0.09).abs() < 1e-12, "3 slaves aggregated");
+        assert!(
+            (item.price.as_f64() - 0.09).abs() < 1e-12,
+            "3 slaves aggregated"
+        );
     }
 
     #[test]

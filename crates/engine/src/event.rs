@@ -111,7 +111,11 @@ mod tests {
     #[test]
     fn tenant_extraction() {
         assert_eq!(
-            Event::PricePosted { slot: 0, price: Price::new(0.04) }.tenant(),
+            Event::PricePosted {
+                slot: 0,
+                price: Price::new(0.04)
+            }
+            .tenant(),
             None
         );
         assert_eq!(Event::BidAccepted { slot: 1, tenant: 7 }.tenant(), Some(7));

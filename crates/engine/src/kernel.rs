@@ -90,7 +90,10 @@ pub struct Kernel<S: PriceSource> {
 impl<S: PriceSource> Kernel<S> {
     /// A kernel at slot 0 over `source`.
     pub fn new(slot_len: spotbid_market::units::Hours, source: S) -> Self {
-        Kernel { clock: SimClock::new(slot_len), source }
+        Kernel {
+            clock: SimClock::new(slot_len),
+            source,
+        }
     }
 
     /// The clock (current slot, slot length).
@@ -238,11 +241,12 @@ mod tests {
     fn stops_when_all_drivers_done() {
         let h = history(&[0.04, 0.05, 0.06, 0.07]);
         let mut k = Kernel::new(h.slot_len(), ViewSource::new(&h));
-        let mut d = CountDriver { n: 2, seen: Vec::new() };
+        let mut d = CountDriver {
+            n: 2,
+            seen: Vec::new(),
+        };
         let mut log = EventLog::new();
-        let stop = k
-            .run(&mut [&mut d], &mut [&mut log], None)
-            .unwrap();
+        let stop = k.run(&mut [&mut d], &mut [&mut log], None).unwrap();
         assert_eq!(stop, StopReason::AllDone);
         assert_eq!(d.seen, vec![Price::new(0.04), Price::new(0.05)]);
         assert_eq!(k.clock().now(), 2);
@@ -256,7 +260,10 @@ mod tests {
     fn stops_when_source_exhausts() {
         let h = history(&[0.04, 0.05]);
         let mut k = Kernel::new(h.slot_len(), ViewSource::new(&h));
-        let mut d = CountDriver { n: 10, seen: Vec::new() };
+        let mut d = CountDriver {
+            n: 10,
+            seen: Vec::new(),
+        };
         let stop = k.run(&mut [&mut d], &mut [], None).unwrap();
         assert_eq!(stop, StopReason::SourceExhausted);
         assert_eq!(d.seen.len(), 2);
@@ -266,7 +273,10 @@ mod tests {
     fn stops_at_max_slots() {
         let h = history(&[0.04, 0.05, 0.06]);
         let mut k = Kernel::new(h.slot_len(), ViewSource::new(&h));
-        let mut d = CountDriver { n: 10, seen: Vec::new() };
+        let mut d = CountDriver {
+            n: 10,
+            seen: Vec::new(),
+        };
         let stop = k.run(&mut [&mut d], &mut [], Some(1)).unwrap();
         assert_eq!(stop, StopReason::MaxSlots);
         assert_eq!(d.seen.len(), 1);
@@ -288,14 +298,19 @@ mod tests {
         impl Observer for Refuser {
             fn on_event(&mut self, event: &Event) -> Result<(), EngineError> {
                 if matches!(event, Event::Completed { .. }) {
-                    return Err(EngineError::Billing { what: "refused".into() });
+                    return Err(EngineError::Billing {
+                        what: "refused".into(),
+                    });
                 }
                 Ok(())
             }
         }
         let h = history(&[0.04, 0.05]);
         let mut k = Kernel::new(h.slot_len(), ViewSource::new(&h));
-        let mut d = CountDriver { n: 1, seen: Vec::new() };
+        let mut d = CountDriver {
+            n: 1,
+            seen: Vec::new(),
+        };
         let mut log = EventLog::new();
         let mut refuser = Refuser;
         let r = k.run(&mut [&mut d], &mut [&mut log, &mut refuser], None);

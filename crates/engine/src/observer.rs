@@ -36,13 +36,19 @@ impl BillingObserver {
     /// pathological items with [`EngineError::Billing`] (use on paths fed
     /// by untrusted or fault-injected data — mirrors `Bill::try_charge`).
     pub fn validated() -> Self {
-        BillingObserver { bill: Bill::new(), validate: true }
+        BillingObserver {
+            bill: Bill::new(),
+            validate: true,
+        }
     }
 
     /// A billing observer that panics on pathological charges (mirrors
     /// `Bill::charge` — internal misuse, not survivable input).
     pub fn unvalidated() -> Self {
-        BillingObserver { bill: Bill::new(), validate: false }
+        BillingObserver {
+            bill: Bill::new(),
+            validate: false,
+        }
     }
 
     /// The accumulated bill so far.
@@ -118,8 +124,11 @@ mod tests {
     #[test]
     fn billing_observer_folds_charges() {
         let mut obs = BillingObserver::validated();
-        obs.on_event(&Event::PricePosted { slot: 0, price: Price::new(0.04) })
-            .unwrap();
+        obs.on_event(&Event::PricePosted {
+            slot: 0,
+            price: Price::new(0.04),
+        })
+        .unwrap();
         obs.on_event(&Event::Charged { item: item(0.04) }).unwrap();
         obs.on_event(&Event::Charged { item: item(0.08) }).unwrap();
         let bill = obs.into_bill();
@@ -130,7 +139,9 @@ mod tests {
     #[test]
     fn validated_observer_refuses_nan_charge() {
         let mut obs = BillingObserver::validated();
-        let r = obs.on_event(&Event::Charged { item: item(f64::NAN) });
+        let r = obs.on_event(&Event::Charged {
+            item: item(f64::NAN),
+        });
         assert!(matches!(r, Err(EngineError::Billing { .. })));
         assert!(obs.bill().items().is_empty());
     }
@@ -139,15 +150,21 @@ mod tests {
     #[should_panic(expected = "pathological")]
     fn unvalidated_observer_panics_on_nan_charge() {
         let mut obs = BillingObserver::unvalidated();
-        let _ = obs.on_event(&Event::Charged { item: item(f64::NAN) });
+        let _ = obs.on_event(&Event::Charged {
+            item: item(f64::NAN),
+        });
     }
 
     #[test]
     fn event_log_records_in_order() {
         let mut log = EventLog::new();
-        log.on_event(&Event::PricePosted { slot: 0, price: Price::new(0.04) })
+        log.on_event(&Event::PricePosted {
+            slot: 0,
+            price: Price::new(0.04),
+        })
+        .unwrap();
+        log.on_event(&Event::Completed { slot: 3, tenant: 2 })
             .unwrap();
-        log.on_event(&Event::Completed { slot: 3, tenant: 2 }).unwrap();
         let events = log.into_events();
         assert_eq!(events.len(), 2);
         assert!(matches!(events[0], Event::PricePosted { slot: 0, .. }));

@@ -50,14 +50,22 @@ mod tests {
     fn strategy_is_an_online_policy() {
         let h = SpotPriceHistory::new(
             Hours::from_minutes(5.0),
-            (0..600).map(|i| Price::new(0.03 + 0.01 * ((i % 7) as f64))).collect(),
+            (0..600)
+                .map(|i| Price::new(0.03 + 0.01 * ((i % 7) as f64)))
+                .collect(),
         )
         .unwrap();
         let job = JobSpec::builder(1.0).build().unwrap();
         let od = Price::new(0.35);
         let mut policy: Box<dyn BidPolicy> = Box::new(BiddingStrategy::FixedBid(Price::new(0.1)));
         let d = policy.decide(&h, &job, od).unwrap();
-        assert!(matches!(d, BidDecision::Spot { persistent: true, .. }));
+        assert!(matches!(
+            d,
+            BidDecision::Spot {
+                persistent: true,
+                ..
+            }
+        ));
         let mut od_policy = BiddingStrategy::OnDemand;
         let d = BidPolicy::decide(&mut od_policy, &h, &job, od).unwrap();
         assert!(matches!(d, BidDecision::OnDemand { .. }));

@@ -57,18 +57,33 @@ impl PriceSource for MarketSource<'_> {
     }
 
     fn quote_events(&self, slot: u64, quote: &SlotReport, emit: &mut dyn FnMut(Event)) {
-        emit(Event::PricePosted { slot, price: quote.price });
+        emit(Event::PricePosted {
+            slot,
+            price: quote.price,
+        });
         for id in &quote.started {
-            emit(Event::BidAccepted { slot, tenant: id.0 as u32 });
+            emit(Event::BidAccepted {
+                slot,
+                tenant: id.0 as u32,
+            });
         }
         for id in &quote.interrupted {
-            emit(Event::Interrupted { slot, tenant: id.0 as u32 });
+            emit(Event::Interrupted {
+                slot,
+                tenant: id.0 as u32,
+            });
         }
         for id in &quote.finished {
-            emit(Event::Completed { slot, tenant: id.0 as u32 });
+            emit(Event::Completed {
+                slot,
+                tenant: id.0 as u32,
+            });
         }
         for id in &quote.terminated {
-            emit(Event::Rejected { slot, tenant: id.0 as u32 });
+            emit(Event::Rejected {
+                slot,
+                tenant: id.0 as u32,
+            });
         }
     }
 }
@@ -106,7 +121,9 @@ pub fn run_market(
     }
     let slot_len = spotbid_market::units::Hours::from_minutes(5.0);
     let mut kernel = Kernel::new(slot_len, MarketSource::new(market, rng));
-    let mut recorder = Recorder { reports: Vec::new() };
+    let mut recorder = Recorder {
+        reports: Vec::new(),
+    };
     kernel.run(&mut [&mut recorder], observers, Some(slots as u64))?;
     Ok(recorder.reports)
 }

@@ -158,7 +158,13 @@ pub struct SpotJobDriver {
 
 impl SpotJobDriver {
     /// A driver for one (validated) job bidding `bid`.
-    pub fn new(job: JobSpec, bid: Price, persistent: bool, policy: RecoveryPolicy, tag: u32) -> Self {
+    pub fn new(
+        job: JobSpec,
+        bid: Price,
+        persistent: bool,
+        policy: RecoveryPolicy,
+        tag: u32,
+    ) -> Self {
         SpotJobDriver {
             monitor: JobMonitor::new(job),
             bid,
@@ -204,7 +210,11 @@ impl<S: PriceSource<Quote = SlotPrice>> JobDriver<S> for SpotJobDriver {
         emit: &mut dyn FnMut(Event),
     ) -> Result<DriverStatus, EngineError> {
         let tenant = self.tag;
-        let SlotPrice { truth, observed, reclaimed } = *quote;
+        let SlotPrice {
+            truth,
+            observed,
+            reclaimed,
+        } = *quote;
         if observed.is_none() {
             self.feed_outages += 1;
             self.consecutive_outages += 1;
@@ -351,7 +361,15 @@ pub fn run_job(
             // A clean history never has outages or reclamations, so the
             // default fault budgets are inert and this is the plain §3.2
             // replay.
-            run_spot_session(future, price, persistent, job, tag, RecoveryPolicy::default(), false)
+            run_spot_session(
+                future,
+                price,
+                persistent,
+                job,
+                tag,
+                RecoveryPolicy::default(),
+                false,
+            )
         }
     }
 }
@@ -479,7 +497,15 @@ mod tests {
     fn on_demand_run() {
         let h = hist(&[0.05]);
         let j = job(1.0, 0.0);
-        let out = run_job(&h, BidDecision::OnDemand { price: Price::new(0.35) }, &j, 0).unwrap();
+        let out = run_job(
+            &h,
+            BidDecision::OnDemand {
+                price: Price::new(0.35),
+            },
+            &j,
+            0,
+        )
+        .unwrap();
         assert_eq!(out.status, RunStatus::OnDemand);
         assert!((out.cost.as_f64() - 0.35).abs() < 1e-12);
         assert_eq!(out.bid, None);
@@ -510,8 +536,7 @@ mod tests {
     fn fallback_completes_terminated_onetime() {
         let h = hist(&[0.03, 0.20, 0.20]);
         let j = job(0.25, 60.0);
-        let out =
-            run_job_with_fallback(&h, spot(0.10, false), &j, 0, Price::new(0.35)).unwrap();
+        let out = run_job_with_fallback(&h, spot(0.10, false), &j, 0, Price::new(0.35)).unwrap();
         assert_eq!(out.status, RunStatus::CompletedWithFallback);
         let expect = 0.03 * (5.0 / 60.0) + 0.35 * (11.0 / 60.0);
         assert!((out.cost.as_f64() - expect).abs() < 1e-12, "{}", out.cost);
@@ -525,13 +550,19 @@ mod tests {
             RecoveryPolicy::default().max_feed_outage_slots,
             default_cfg.max_retries
         );
-        assert_eq!(RecoveryPolicy::default(), RecoveryPolicy::from_backoff(&default_cfg));
+        assert_eq!(
+            RecoveryPolicy::default(),
+            RecoveryPolicy::from_backoff(&default_cfg)
+        );
         // A longer schedule buys a proportionally longer outage budget.
         let patient = BackoffConfig {
             max_retries: 7,
             ..BackoffConfig::default()
         };
-        assert_eq!(RecoveryPolicy::from_backoff(&patient).max_feed_outage_slots, 7);
+        assert_eq!(
+            RecoveryPolicy::from_backoff(&patient).max_feed_outage_slots,
+            7
+        );
     }
 
     #[test]
@@ -553,7 +584,9 @@ mod tests {
             SpotJobDriver::new(j, Price::new(0.10), true, RecoveryPolicy::default(), 5);
         let mut log = EventLog::new();
         let mut kernel = Kernel::new(j.slot, ViewSource::new(&h));
-        kernel.run(&mut [&mut driver], &mut [&mut log], None).unwrap();
+        kernel
+            .run(&mut [&mut driver], &mut [&mut log], None)
+            .unwrap();
         let kinds: Vec<&Event> = log
             .events()
             .iter()
@@ -561,9 +594,16 @@ mod tests {
             .collect();
         // Waits (slot 0), accepted (slot 1), interrupted (slot 2),
         // re-accepted (slot 3), completed (slot 4).
-        assert!(matches!(kinds[0], Event::BidAccepted { slot: 1, .. }), "{kinds:?}");
-        assert!(kinds.iter().any(|e| matches!(e, Event::Interrupted { slot: 2, .. })));
-        assert!(kinds.iter().any(|e| matches!(e, Event::BidAccepted { slot: 3, .. })));
+        assert!(
+            matches!(kinds[0], Event::BidAccepted { slot: 1, .. }),
+            "{kinds:?}"
+        );
+        assert!(kinds
+            .iter()
+            .any(|e| matches!(e, Event::Interrupted { slot: 2, .. })));
+        assert!(kinds
+            .iter()
+            .any(|e| matches!(e, Event::BidAccepted { slot: 3, .. })));
         assert!(kinds.iter().any(|e| matches!(e, Event::Completed { .. })));
         assert!(kinds.iter().any(|e| matches!(e, Event::Charged { .. })));
     }

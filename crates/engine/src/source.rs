@@ -128,7 +128,10 @@ impl<M: MarketView + ?Sized> PriceSource for ViewSource<'_, M> {
     }
 
     fn quote_events(&self, slot: u64, quote: &SlotPrice, emit: &mut dyn FnMut(Event)) {
-        emit(Event::PricePosted { slot, price: quote.truth });
+        emit(Event::PricePosted {
+            slot,
+            price: quote.truth,
+        });
     }
 }
 
@@ -171,9 +174,19 @@ mod tests {
     fn view_source_emits_price_posted() {
         let h = history(&[0.04]);
         let src = ViewSource::new(&h);
-        let q = SlotPrice { truth: Price::new(0.04), observed: None, reclaimed: false };
+        let q = SlotPrice {
+            truth: Price::new(0.04),
+            observed: None,
+            reclaimed: false,
+        };
         let mut seen = Vec::new();
         src.quote_events(7, &q, &mut |e| seen.push(e));
-        assert_eq!(seen, vec![Event::PricePosted { slot: 7, price: Price::new(0.04) }]);
+        assert_eq!(
+            seen,
+            vec![Event::PricePosted {
+                slot: 7,
+                price: Price::new(0.04)
+            }]
+        );
     }
 }

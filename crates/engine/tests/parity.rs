@@ -355,7 +355,12 @@ fn run_job_matches_legacy_on_random_traces() {
         }
     }
     // The sweep must actually exercise every non-fault status class.
-    for s in ["Completed", "TerminatedEarly", "HistoryExhausted", "OnDemand"] {
+    for s in [
+        "Completed",
+        "TerminatedEarly",
+        "HistoryExhausted",
+        "OnDemand",
+    ] {
         assert!(statuses.contains(s), "sweep never produced {s}");
     }
 }
@@ -368,8 +373,7 @@ fn run_job_with_fallback_matches_legacy() {
         let od = Price::new(0.35);
         for job in &job_shapes() {
             for &decision in &decisions() {
-                let new =
-                    spotbid_engine::run_job_with_fallback(&h, decision, job, 0, od).unwrap();
+                let new = spotbid_engine::run_job_with_fallback(&h, decision, job, 0, od).unwrap();
                 let old = legacy::run_job_with_fallback(&h, decision, job, 0, od).unwrap();
                 assert_eq!(new, old, "seed {seed}, job {job:?}, {decision:?}");
             }
@@ -400,16 +404,23 @@ fn run_job_resilient_matches_legacy_on_random_fault_scripts() {
             for &decision in &decisions() {
                 for policy in &policies {
                     let new =
-                        spotbid_engine::run_job_resilient(&view, decision, job, 1, policy)
-                            .unwrap();
+                        spotbid_engine::run_job_resilient(&view, decision, job, 1, policy).unwrap();
                     let old = legacy::run_job_resilient(&view, decision, job, 1, policy).unwrap();
-                    assert_eq!(new, old, "seed {seed}, job {job:?}, {decision:?}, {policy:?}");
+                    assert_eq!(
+                        new, old,
+                        "seed {seed}, job {job:?}, {decision:?}, {policy:?}"
+                    );
                     statuses.insert(format!("{:?}", new.status));
                 }
             }
         }
     }
-    for s in ["Completed", "FeedLost", "DegradedToOnDemand", "TerminatedEarly"] {
+    for s in [
+        "Completed",
+        "FeedLost",
+        "DegradedToOnDemand",
+        "TerminatedEarly",
+    ] {
         assert!(statuses.contains(s), "fault sweep never produced {s}");
     }
 }
@@ -429,7 +440,8 @@ fn resilient_error_parity_on_pathological_views() {
         price: Price::new(0.10),
         persistent: true,
     };
-    let new = spotbid_engine::run_job_resilient(&view, decision, &job, 0, &RecoveryPolicy::default());
+    let new =
+        spotbid_engine::run_job_resilient(&view, decision, &job, 0, &RecoveryPolicy::default());
     let old = legacy::run_job_resilient(&view, decision, &job, 0, &RecoveryPolicy::default());
     assert!(matches!(new, Err(EngineError::Billing { .. })), "{new:?}");
     match (new, old) {
@@ -469,8 +481,7 @@ fn market_session_matches_plain_run_on_random_books() {
         let mut rng_kernel = Rng::seed_from_u64(seed);
         let plain = plain_market.run(120, &mut rng_plain);
         let kernel =
-            spotbid_engine::run_market(&mut kernel_market, 120, &mut rng_kernel, &mut [])
-                .unwrap();
+            spotbid_engine::run_market(&mut kernel_market, 120, &mut rng_kernel, &mut []).unwrap();
         assert_eq!(plain, kernel, "seed {seed}");
         assert_eq!(plain_market.records(), kernel_market.records());
         assert_eq!(rng_plain.next_u64(), rng_kernel.next_u64(), "RNG diverged");
@@ -491,9 +502,14 @@ fn client_adapters_delegate_to_engine() {
     let via_client = spotbid_client::runtime::run_job(&h, decision, &job, 0).unwrap();
     let via_engine = spotbid_engine::run_job(&h, decision, &job, 0).unwrap();
     assert_eq!(via_client, via_engine);
-    let via_client =
-        spotbid_client::runtime::run_job_resilient(&h, decision, &job, 0, &RecoveryPolicy::default())
-            .unwrap();
+    let via_client = spotbid_client::runtime::run_job_resilient(
+        &h,
+        decision,
+        &job,
+        0,
+        &RecoveryPolicy::default(),
+    )
+    .unwrap();
     let via_engine =
         spotbid_engine::run_job_resilient(&h, decision, &job, 0, &RecoveryPolicy::default())
             .unwrap();

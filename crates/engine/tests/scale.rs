@@ -80,7 +80,11 @@ fn ten_k_tenants_identical_digests_at_1_and_4_threads() {
     let cfg = config();
     let one = with_threads(1, || run_closed_loop(&strategies, &cfg, 0x5CA1E).unwrap());
     let four = with_threads(4, || run_closed_loop(&strategies, &cfg, 0x5CA1E).unwrap());
-    assert_eq!(digest(&one), digest(&four), "thread count leaked into the result");
+    assert_eq!(
+        digest(&one),
+        digest(&four),
+        "thread count leaked into the result"
+    );
     assert_eq!(one, four);
     assert_eq!(one.tenants.len(), 10_000);
     // The market actually did something at this scale.
@@ -105,7 +109,11 @@ fn hundred_k_tenants_identical_digests_at_1_and_4_threads() {
     let cfg = config();
     let one = with_threads(1, || run_closed_loop(&strategies, &cfg, 0x1000).unwrap());
     let four = with_threads(4, || run_closed_loop(&strategies, &cfg, 0x1000).unwrap());
-    assert_eq!(digest(&one), digest(&four), "thread count leaked into the result");
+    assert_eq!(
+        digest(&one),
+        digest(&four),
+        "thread count leaked into the result"
+    );
     assert_eq!(one, four);
     assert_eq!(one.tenants.len(), 100_000);
     assert!(one.tenants.iter().any(|t| t.spot_slots > 0));
@@ -121,9 +129,16 @@ fn million_tenants_smoke_behind_env_gate() {
         return;
     }
     let strategies = vec![BiddingStrategy::FixedBid(Price::new(0.03)); 1_000_000];
-    let cfg = ClosedLoopConfig { horizon_slots: 80, ..config() };
-    let one = with_threads(1, || run_closed_loop(&strategies, &cfg, 0x1_000_000).unwrap());
-    let four = with_threads(4, || run_closed_loop(&strategies, &cfg, 0x1_000_000).unwrap());
+    let cfg = ClosedLoopConfig {
+        horizon_slots: 80,
+        ..config()
+    };
+    let one = with_threads(1, || {
+        run_closed_loop(&strategies, &cfg, 0x1_000_000).unwrap()
+    });
+    let four = with_threads(4, || {
+        run_closed_loop(&strategies, &cfg, 0x1_000_000).unwrap()
+    });
     assert_eq!(digest(&one), digest(&four));
     assert_eq!(one.tenants.len(), 1_000_000);
 }
@@ -138,7 +153,10 @@ fn chaos_sweep_wakeup_matches_dense_under_faults() {
         reclamation: 0.08,
         ..FaultConfig::NONE
     };
-    let cfg = ClosedLoopConfig { horizon_slots: 120, ..config() };
+    let cfg = ClosedLoopConfig {
+        horizon_slots: 120,
+        ..config()
+    };
     let total = cfg.warmup_slots + cfg.horizon_slots;
     let strategies = strategies(48);
     let mut any_interrupted = false;
@@ -148,8 +166,7 @@ fn chaos_sweep_wakeup_matches_dense_under_faults() {
             gap: (0..total).map(|s| schedule.gap(s)).collect(),
             reclaim: (0..total).map(|s| schedule.reclaimed(s)).collect(),
         };
-        let (wr, we, _) =
-            run_closed_loop_logged(&strategies, &cfg, seed, Some(&faults)).unwrap();
+        let (wr, we, _) = run_closed_loop_logged(&strategies, &cfg, seed, Some(&faults)).unwrap();
         let (dr, de) =
             dense::run_closed_loop_logged(&strategies, &cfg, seed, Some(&faults)).unwrap();
         assert_eq!(digest(&wr), digest(&dr), "seed {seed}: digests diverged");

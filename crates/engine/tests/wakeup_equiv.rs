@@ -130,7 +130,10 @@ fn sweep(gen: PriceGen, seeds: &[u64]) {
         let cfg = config(300);
         let (report, _, stats) = assert_equivalent(&strats, &cfg, seed, None);
         assert_eq!(report.tenants.len(), 60);
-        assert_eq!(stats.slots, report.slots, "every simulated slot was advanced");
+        assert_eq!(
+            stats.slots, report.slots,
+            "every simulated slot was advanced"
+        );
     }
 }
 
@@ -158,8 +161,12 @@ fn equivalent_under_out_of_range_thresholds() {
 fn equivalent_under_faults_across_regimes() {
     // Randomized fault plans: scattered feed gaps plus reclamation
     // outages (including back-to-back ones), across all four regimes.
-    let regimes: [PriceGen; 4] =
-        [uniform_price, clustered_price, boundary_price, extreme_price];
+    let regimes: [PriceGen; 4] = [
+        uniform_price,
+        clustered_price,
+        boundary_price,
+        extreme_price,
+    ];
     for (r, gen) in regimes.into_iter().enumerate() {
         for seed in [101u64 + r as u64, 0xFA17 + r as u64] {
             let cfg = config(200);
@@ -221,7 +228,9 @@ fn check_no_crossing_skipped(events: &[Event]) {
             .unwrap_or_else(|| panic!("slot {slot} has no PricePosted"));
         for e in evs.iter() {
             match e {
-                Event::BidSubmitted { tenant, price: bid, .. } => {
+                Event::BidSubmitted {
+                    tenant, price: bid, ..
+                } => {
                     live.insert(*tenant, (bid.as_f64(), false));
                 }
                 Event::BidAccepted { tenant, .. } => {
@@ -251,14 +260,20 @@ fn check_no_crossing_skipped(events: &[Event]) {
             }
         }
     }
-    assert!(crossings > 0, "the session never started a bid — vacuous run");
+    assert!(
+        crossings > 0,
+        "the session never started a bid — vacuous run"
+    );
 }
 
 #[test]
 fn no_threshold_between_consecutive_prices_is_skipped() {
     // Boundary thresholds are the hardest case for the sweep's bucket
     // filter; uniform gives broad coverage.
-    for (gen, seed) in [(boundary_price as PriceGen, 5u64), (uniform_price as PriceGen, 6u64)] {
+    for (gen, seed) in [
+        (boundary_price as PriceGen, 5u64),
+        (uniform_price as PriceGen, 6u64),
+    ] {
         let strats = strategies(80, gen, seed);
         let cfg = config(300);
         let (_, events, _) = run_closed_loop_logged(&strats, &cfg, seed, None).unwrap();
@@ -302,6 +317,9 @@ fn skip_count_equals_dense_zero_activity_slots() {
             stats.slots - active_slots.len() as u64,
             "seed {seed}: skip accounting diverged from the event stream"
         );
-        assert!(stats.skipped_slots > 0, "seed {seed}: a 250-slot tail should go quiet");
+        assert!(
+            stats.skipped_slots > 0,
+            "seed {seed}: a 250-slot tail should go quiet"
+        );
     }
 }

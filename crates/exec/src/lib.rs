@@ -452,13 +452,20 @@ mod tests {
         // a digest; the result must be thread-count invariant even though
         // workers reuse (and carry dirty contents between) buffers.
         let run = |threads| {
-            par_trials_scratch_threads(threads, 0x5C4A, 48, Vec::new, |i, rng, buf: &mut Vec<u64>| {
-                buf.clear();
-                for _ in 0..(i % 7) + 1 {
-                    buf.push(rng.next_u64());
-                }
-                buf.iter().fold(0u64, |a, &x| a.wrapping_mul(31).wrapping_add(x))
-            })
+            par_trials_scratch_threads(
+                threads,
+                0x5C4A,
+                48,
+                Vec::new,
+                |i, rng, buf: &mut Vec<u64>| {
+                    buf.clear();
+                    for _ in 0..(i % 7) + 1 {
+                        buf.push(rng.next_u64());
+                    }
+                    buf.iter()
+                        .fold(0u64, |a, &x| a.wrapping_mul(31).wrapping_add(x))
+                },
+            )
         };
         let serial = run(1);
         for threads in [2, 4, 8] {

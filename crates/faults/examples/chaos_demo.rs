@@ -51,7 +51,14 @@ fn main() {
     // Clean baseline, and the zero-fault parity check.
     let clean = run_job(&h, bid, &job, 0).unwrap();
     let none = FaultSchedule::generate(0xC1A05, h.len(), 0, &FaultConfig::NONE);
-    let parity = run_job_resilient(&FaultyMarket::new(&h, &none), bid, &job, 0, &RecoveryPolicy::default()).unwrap();
+    let parity = run_job_resilient(
+        &FaultyMarket::new(&h, &none),
+        bid,
+        &job,
+        0,
+        &RecoveryPolicy::default(),
+    )
+    .unwrap();
     assert_eq!(clean, parity, "zero faults must change nothing");
     row("clean feed", &clean);
 
@@ -64,7 +71,10 @@ fn main() {
         ..FaultConfig::default()
     };
     let sched = FaultSchedule::generate(0xC1A05, h.len(), 0, &harsh);
-    println!("\nfault schedule 0xC1A05 injects {:?}", sched.kinds_present());
+    println!(
+        "\nfault schedule 0xC1A05 injects {:?}",
+        sched.kinds_present()
+    );
     let view = FaultyMarket::new(&h, &sched);
     let degraded = run_job_resilient(&view, bid, &job, 0, &RecoveryPolicy::default()).unwrap();
     row("chaotic feed, no fallback", &degraded);

@@ -104,7 +104,9 @@ mod tests {
     use spotbid_market::units::Hours;
 
     fn clean_history(n: usize) -> SpotPriceHistory {
-        let prices = (0..n).map(|i| Price::new(0.01 + 0.001 * i as f64)).collect();
+        let prices = (0..n)
+            .map(|i| Price::new(0.01 + 0.001 * i as f64))
+            .collect();
         SpotPriceHistory::new(Hours::from_minutes(5.0), prices).unwrap()
     }
 

@@ -179,7 +179,10 @@ fn corrupted_feed_is_rejected_strictly_and_recovered_leniently() {
     );
     let (repaired, report) = ingest_repair(&records, h.slot_len()).unwrap();
     assert!(!report.is_clean());
-    assert!(!report.dropped.is_empty(), "nothing was dropped: {report:?}");
+    assert!(
+        !report.dropped.is_empty(),
+        "nothing was dropped: {report:?}"
+    );
     assert!(repaired.prices().iter().all(|p| p.is_valid_price()));
     assert!(!repaired.is_empty());
 }

@@ -210,7 +210,10 @@ impl<A: FromJson, B: FromJson> FromJson for (A, B) {
     fn from_json(v: &Json) -> Result<Self, JsonError> {
         let a = v.as_arr()?;
         if a.len() != 2 {
-            return Err(JsonError::new(format!("expected 2-tuple, got {} elems", a.len())));
+            return Err(JsonError::new(format!(
+                "expected 2-tuple, got {} elems",
+                a.len()
+            )));
         }
         Ok((A::from_json(&a[0])?, B::from_json(&a[1])?))
     }
@@ -587,7 +590,14 @@ mod tests {
 
     #[test]
     fn f64_round_trips_bit_for_bit() {
-        for x in [0.0, -0.0, 1.0 / 3.0, 6.626e-34, 1.7976931348623157e308, 0.1 + 0.2] {
+        for x in [
+            0.0,
+            -0.0,
+            1.0 / 3.0,
+            6.626e-34,
+            1.7976931348623157e308,
+            0.1 + 0.2,
+        ] {
             let s = to_string(&Json::Num(x));
             let back = from_str(&s).unwrap().as_num().unwrap();
             assert_eq!(back.to_bits(), x.to_bits(), "via {s}");
@@ -609,7 +619,9 @@ mod tests {
 
     #[test]
     fn rejects_malformed_input() {
-        for bad in ["{", "[1,", "{\"a\":}", "tru", "1.2.3", "\"\\x\"", "[] []", ""] {
+        for bad in [
+            "{", "[1,", "{\"a\":}", "tru", "1.2.3", "\"\\x\"", "[] []", "",
+        ] {
             assert!(from_str(bad).is_err(), "should reject {bad:?}");
         }
     }

@@ -112,10 +112,7 @@ impl MapReduceOutcome {
 enum ClusterPricing {
     /// §3.2 spot rules per role: a node is up while its bid meets the
     /// slot's price, and billed at that price.
-    Spot {
-        master_bid: Price,
-        slave_bid: Price,
-    },
+    Spot { master_bid: Price, slave_bid: Price },
     /// Always up, billed at the quoted (on-demand) prices.
     OnDemand,
 }

@@ -113,7 +113,9 @@ fn scheduler_conserves_tasks_under_failures() {
             let stormy = t % outage_period == outage_period - 1;
             Availability {
                 master: true,
-                slaves: (0..slaves).map(|_| !stormy && !sim_rng.chance(0.05)).collect(),
+                slaves: (0..slaves)
+                    .map(|_| !stormy && !sim_rng.chance(0.05))
+                    .collect(),
             }
         });
         // With the master always up, every job eventually completes.
@@ -124,7 +126,8 @@ fn scheduler_conserves_tasks_under_failures() {
         // tasks).
         assert!(out.task_reschedules <= out.slave_interruptions);
         // Lower bound: the serial work cannot beat perfect parallelism.
-        let total_work_slots = (tasks.len() as f64 * minutes / 5.0 / slaves as f64).floor() as usize;
+        let total_work_slots =
+            (tasks.len() as f64 * minutes / 5.0 / slaves as f64).floor() as usize;
         assert!(out.slots_elapsed + 1 >= total_work_slots.max(1));
     }
 }

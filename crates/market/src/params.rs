@@ -153,6 +153,9 @@ mod tests {
         let back: MarketParams = spotbid_json::decode(&s).unwrap();
         assert_eq!(m, back);
         // Field names on the wire match the old serde derive.
-        assert_eq!(s, r#"{"beta":0.3,"pi_bar":0.35,"pi_min":0.03,"theta":0.02}"#);
+        assert_eq!(
+            s,
+            r#"{"beta":0.3,"pi_bar":0.35,"pi_min":0.03,"theta":0.02}"#
+        );
     }
 }

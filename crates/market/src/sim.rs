@@ -1075,13 +1075,26 @@ mod tests {
         for i in 0..500u32 {
             m.submit(BidRequest {
                 price: Price::new(0.02 + f64::from(i % 97) * 0.0034),
-                kind: if i % 3 == 0 { BidKind::OneTime } else { BidKind::Persistent },
-                work: if i % 2 == 0 { WorkModel::Geometric } else { WorkModel::FixedSlots(3) },
+                kind: if i % 3 == 0 {
+                    BidKind::OneTime
+                } else {
+                    BidKind::Persistent
+                },
+                work: if i % 2 == 0 {
+                    WorkModel::Geometric
+                } else {
+                    WorkModel::FixedSlots(3)
+                },
             });
         }
         for _ in 0..40 {
             let rep = m.step(&mut rng);
-            for v in [&rep.started, &rep.interrupted, &rep.finished, &rep.terminated] {
+            for v in [
+                &rep.started,
+                &rep.interrupted,
+                &rep.finished,
+                &rep.terminated,
+            ] {
                 assert!(v.windows(2).all(|w| w[0] < w[1]), "unsorted: {v:?}");
             }
         }

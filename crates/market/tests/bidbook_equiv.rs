@@ -10,9 +10,7 @@
 //! ones: prices on exact bucket boundaries, below the price floor, above
 //! the cap, zero-slot jobs, and mid-run submission bursts.
 
-use spotbid_market::sim::{
-    naive, BidId, BidKind, BidRequest, SlotReport, SpotMarket, WorkModel,
-};
+use spotbid_market::sim::{naive, BidId, BidKind, BidRequest, SlotReport, SpotMarket, WorkModel};
 use spotbid_market::units::{Hours, Price};
 use spotbid_market::MarketParams;
 use spotbid_numerics::rng::Rng;
@@ -91,7 +89,12 @@ fn random_request(p: &MarketParams, gen: PriceGen, rng: &mut Rng) -> BidRequest 
 }
 
 fn assert_sorted(rep: &SlotReport) {
-    for v in [&rep.started, &rep.interrupted, &rep.finished, &rep.terminated] {
+    for v in [
+        &rep.started,
+        &rep.interrupted,
+        &rep.finished,
+        &rep.terminated,
+    ] {
         assert!(
             v.windows(2).all(|w| w[0] < w[1]),
             "report t={} has an unsorted event vector: {v:?}",
@@ -157,8 +160,10 @@ fn run_equivalence_reclaiming(
 
         // Mid-run record reads (forces + checks the lazy charge sync).
         if s % 7 == 3 && !base.records().is_empty() {
-            let probe = BidId((sub_rng.range_f64(0.0, base.records().len() as f64) as u64)
-                .min(base.records().len() as u64 - 1));
+            let probe = BidId(
+                (sub_rng.range_f64(0.0, base.records().len() as f64) as u64)
+                    .min(base.records().len() as u64 - 1),
+            );
             assert_eq!(book.record(probe), base.record(probe));
         }
     }

@@ -240,7 +240,10 @@ mod tests {
         // Literal snapshot: regressions in `Rng` itself would silently pass
         // the recomputation above, but not this.
         let nanos: Vec<u128> = ds.iter().map(Duration::as_nanos).collect();
-        assert_eq!(nanos, vec![65_466_137, 105_093_759, 371_405_760, 593_681_512]);
+        assert_eq!(
+            nanos,
+            vec![65_466_137, 105_093_759, 371_405_760, 593_681_512]
+        );
     }
 
     #[test]

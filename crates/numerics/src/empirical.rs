@@ -487,7 +487,10 @@ mod randomized_tests {
                     brute::count_le(d.sorted(), probe),
                     "round {round} probe {probe}"
                 );
-                assert_eq!(d.cdf(probe).to_bits(), brute::cdf(d.sorted(), probe).to_bits());
+                assert_eq!(
+                    d.cdf(probe).to_bits(),
+                    brute::cdf(d.sorted(), probe).to_bits()
+                );
                 assert_eq!(
                     d.sum_below(probe).to_bits(),
                     brute::sum_below(d.sorted(), probe).to_bits()
@@ -502,7 +505,10 @@ mod randomized_tests {
                     brute::quantile(d.sorted(), q).to_bits()
                 );
             }
-            assert_eq!(d.mean().to_bits(), brute::mean_below(d.sorted(), d.max()).unwrap().to_bits());
+            assert_eq!(
+                d.mean().to_bits(),
+                brute::mean_below(d.sorted(), d.max()).unwrap().to_bits()
+            );
             assert_eq!(d.atoms(), d.distinct());
         }
     }

@@ -115,7 +115,11 @@ fn stream_records(stream: TcpStream, shared: &Shared, backoff: &mut Backoff) {
                 // way this connection is dead. An oversized line also
                 // lands here: reconnecting is how framing re-synchronizes.
                 if !e.is_timeout() {
-                    shared.model.lock().expect("model lock").note_corrupt_frame();
+                    shared
+                        .model
+                        .lock()
+                        .expect("model lock")
+                        .note_corrupt_frame();
                 }
                 return;
             }
@@ -140,7 +144,11 @@ fn stream_records(stream: TcpStream, shared: &Shared, backoff: &mut Backoff) {
                 }
             }
             Err(_) => {
-                shared.model.lock().expect("model lock").note_corrupt_frame();
+                shared
+                    .model
+                    .lock()
+                    .expect("model lock")
+                    .note_corrupt_frame();
                 if strict {
                     return;
                 }

@@ -18,10 +18,10 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use spotbid_core::price_model::EmpiricalPrices;
-use spotbid_core::{mapreduce, onetime, persistent, CoreError, JobSpec};
 use spotbid_core::mapreduce::MapReducePlan;
+use spotbid_core::price_model::EmpiricalPrices;
 use spotbid_core::BidRecommendation;
+use spotbid_core::{mapreduce, onetime, persistent, CoreError, JobSpec};
 use spotbid_json::Json;
 use spotbid_market::units::Price;
 use spotbid_numerics::sliding::SlidingEmpirical;
@@ -288,9 +288,15 @@ pub struct Stamp {
 impl Stamp {
     /// Writes the freshness fields into a response object.
     pub fn stamp(&self, obj: &mut BTreeMap<String, Json>) {
-        obj.insert("mode".to_string(), Json::Str(self.mode.as_str().to_string()));
+        obj.insert(
+            "mode".to_string(),
+            Json::Str(self.mode.as_str().to_string()),
+        );
         obj.insert("as_of_hours".to_string(), Json::Num(self.as_of_hours));
-        obj.insert("stale_attempts".to_string(), Json::Num(f64::from(self.stale_attempts)));
+        obj.insert(
+            "stale_attempts".to_string(),
+            Json::Num(f64::from(self.stale_attempts)),
+        );
         obj.insert("window".to_string(), Json::Num(self.window as f64));
         obj.insert(
             "fallback_recommended".to_string(),
@@ -351,12 +357,18 @@ pub fn mapred_plan(
 pub fn recommendation_fields(rec: &BidRecommendation) -> BTreeMap<String, Json> {
     let mut obj = BTreeMap::new();
     obj.insert("bid".to_string(), Json::Num(rec.price.as_f64()));
-    obj.insert("acceptance_prob".to_string(), Json::Num(rec.acceptance_prob));
+    obj.insert(
+        "acceptance_prob".to_string(),
+        Json::Num(rec.acceptance_prob),
+    );
     obj.insert(
         "expected_hourly_price".to_string(),
         Json::Num(rec.expected_hourly_price.as_f64()),
     );
-    obj.insert("expected_cost".to_string(), Json::Num(rec.expected_cost.as_f64()));
+    obj.insert(
+        "expected_cost".to_string(),
+        Json::Num(rec.expected_cost.as_f64()),
+    );
     obj.insert(
         "expected_running_hours".to_string(),
         Json::Num(rec.expected_running_time.as_f64()),
@@ -376,14 +388,26 @@ pub fn recommendation_fields(rec: &BidRecommendation) -> BTreeMap<String, Json> 
 pub fn mapred_fields(plan: &MapReducePlan) -> BTreeMap<String, Json> {
     let mut obj = BTreeMap::new();
     obj.insert("m".to_string(), Json::Num(f64::from(plan.m)));
-    obj.insert("master".to_string(), Json::Obj(recommendation_fields(&plan.master)));
-    obj.insert("slaves".to_string(), Json::Obj(recommendation_fields(&plan.slaves)));
+    obj.insert(
+        "master".to_string(),
+        Json::Obj(recommendation_fields(&plan.master)),
+    );
+    obj.insert(
+        "slaves".to_string(),
+        Json::Obj(recommendation_fields(&plan.slaves)),
+    );
     obj.insert(
         "worst_case_completion_hours".to_string(),
         Json::Num(plan.worst_case_completion.as_f64()),
     );
-    obj.insert("master_cost".to_string(), Json::Num(plan.master_cost.as_f64()));
-    obj.insert("total_cost".to_string(), Json::Num(plan.total_cost.as_f64()));
+    obj.insert(
+        "master_cost".to_string(),
+        Json::Num(plan.master_cost.as_f64()),
+    );
+    obj.insert(
+        "total_cost".to_string(),
+        Json::Num(plan.total_cost.as_f64()),
+    );
     obj
 }
 

@@ -168,14 +168,20 @@ fn field_f64(obj: &Json, key: &str) -> Result<f64, WireError> {
         .field(key)
         .map_err(|_| WireError::new(ErrorKind::InvalidParam, format!("missing field {key:?}")))?;
     v.as_num().map_err(|_| {
-        WireError::new(ErrorKind::InvalidParam, format!("field {key:?} must be a number"))
+        WireError::new(
+            ErrorKind::InvalidParam,
+            format!("field {key:?} must be a number"),
+        )
     })
 }
 
 fn field_f64_or(obj: &Json, key: &str, default: f64) -> Result<f64, WireError> {
     match obj.field_opt(key) {
         Ok(Some(v)) => v.as_num().map_err(|_| {
-            WireError::new(ErrorKind::InvalidParam, format!("field {key:?} must be a number"))
+            WireError::new(
+                ErrorKind::InvalidParam,
+                format!("field {key:?} must be a number"),
+            )
         }),
         _ => Ok(default),
     }
@@ -191,10 +197,12 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
     let json = from_str(line).map_err(|e: JsonError| {
         WireError::new(ErrorKind::MalformedFrame, format!("not valid JSON: {e}"))
     })?;
-    let op = json
-        .field("op")
-        .and_then(Json::as_str)
-        .map_err(|_| WireError::new(ErrorKind::MalformedFrame, "object must carry a string \"op\""))?;
+    let op = json.field("op").and_then(Json::as_str).map_err(|_| {
+        WireError::new(
+            ErrorKind::MalformedFrame,
+            "object must carry a string \"op\"",
+        )
+    })?;
     match op {
         "ping" => Ok(Request::Ping),
         "status" => Ok(Request::Status),
@@ -262,12 +270,18 @@ pub fn parse_feed_record(line: &str) -> Result<spotbid_trace::ingest::RawRecord,
     // (NonFinitePrice) reachable from the wire.
     let num_or_nan = |key: &str| -> Result<f64, WireError> {
         let v = json.field(key).map_err(|_| {
-            WireError::new(ErrorKind::MalformedFrame, format!("feed frame missing {key:?}"))
+            WireError::new(
+                ErrorKind::MalformedFrame,
+                format!("feed frame missing {key:?}"),
+            )
         })?;
         match v {
             Json::Null => Ok(f64::NAN),
             other => other.as_num().map_err(|_| {
-                WireError::new(ErrorKind::MalformedFrame, format!("feed field {key:?} not a number"))
+                WireError::new(
+                    ErrorKind::MalformedFrame,
+                    format!("feed field {key:?} not a number"),
+                )
             }),
         }
     };
@@ -281,7 +295,13 @@ pub fn parse_feed_record(line: &str) -> Result<spotbid_trace::ingest::RawRecord,
 /// [`parse_feed_record`], used by the chaos harness's scripted feed and by
 /// anyone producing a feed.
 pub fn feed_record_line(r: &spotbid_trace::ingest::RawRecord) -> String {
-    let enc = |x: f64| if x.is_finite() { Json::Num(x) } else { Json::Null };
+    let enc = |x: f64| {
+        if x.is_finite() {
+            Json::Num(x)
+        } else {
+            Json::Null
+        }
+    };
     let mut obj = BTreeMap::new();
     obj.insert("t".to_string(), enc(r.time_hours));
     obj.insert("p".to_string(), enc(r.price));
@@ -296,7 +316,10 @@ mod tests {
     #[test]
     fn parses_every_op() {
         assert_eq!(parse_request(r#"{"op":"ping"}"#).unwrap(), Request::Ping);
-        assert_eq!(parse_request(r#"{"op":"status"}"#).unwrap(), Request::Status);
+        assert_eq!(
+            parse_request(r#"{"op":"status"}"#).unwrap(),
+            Request::Status
+        );
         assert_eq!(
             parse_request(r#"{"op":"advise","strategy":"onetime","ts_hours":2.0,"tr_secs":30.0}"#)
                 .unwrap(),
@@ -316,8 +339,10 @@ mod tests {
             }
         );
         assert_eq!(
-            parse_request(r#"{"op":"mapred","ts_hours":1.0,"tr_secs":30.0,"to_secs":60.0,"m_max":16}"#)
-                .unwrap(),
+            parse_request(
+                r#"{"op":"mapred","ts_hours":1.0,"tr_secs":30.0,"to_secs":60.0,"m_max":16}"#
+            )
+            .unwrap(),
             Request::MapRed {
                 ts_hours: 1.0,
                 tr_secs: 30.0,

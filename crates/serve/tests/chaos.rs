@@ -339,7 +339,8 @@ fn chaos_sweep_32_seeds() {
 
         // Interleave well-formed, malformed, and oversized traffic.
         let ctx = format!("seed {seed}");
-        let r = client.request(r#"{"op":"advise","strategy":"onetime","ts_hours":1.0,"tr_secs":30.0}"#);
+        let r =
+            client.request(r#"{"op":"advise","strategy":"onetime","ts_hours":1.0,"tr_secs":30.0}"#);
         if is_ok(&r) {
             assert_billing_sane(&r, &ctx);
         } else {
@@ -457,9 +458,8 @@ fn zero_fault_bit_identical_to_library() {
 
     // MapReduce too: master and slaves from the same window. (The job
     // must be long enough for Eq. 20 to be satisfiable on this window.)
-    let got = client.request_raw(
-        r#"{"op":"mapred","ts_hours":4.0,"tr_secs":60.0,"to_secs":120.0,"m_max":16}"#,
-    );
+    let got = client
+        .request_raw(r#"{"op":"mapred","ts_hours":4.0,"tr_secs":60.0,"to_secs":120.0,"m_max":16}"#);
     let plan = model::mapred_plan(&lib_model, 4.0, 60.0, 120.0, 16).expect("library mapred");
     let mut fields = model::mapred_fields(&plan);
     stamp.stamp(&mut fields);
@@ -609,7 +609,11 @@ fn supervisor_restarts_crashed_worker() {
     let status = poll_status(&mut client, Duration::from_secs(10), |s| {
         num(s, "workers_restarted") >= 1.0
     });
-    assert_eq!(num(&status, "worker_panics"), 0.0, "crash was a thread death, not a caught panic");
+    assert_eq!(
+        num(&status, "worker_panics"),
+        0.0,
+        "crash was a thread death, not a caught panic"
+    );
     assert!(is_ok(&client.request(r#"{"op":"ping"}"#)));
     let r = client.request(r#"{"op":"advise","strategy":"onetime","ts_hours":1.0}"#);
     assert!(is_ok(&r), "advisories must survive a worker restart: {r:?}");
@@ -648,14 +652,9 @@ fn slow_clients_are_evicted_and_overload_is_shed() {
 
     // A burst while the worker is busy: with queue depth 1, some of these
     // must be shed with an overloaded reply.
-    let mut burst: Vec<TcpStream> = (0..6)
-        .map(|_| TcpStream::connect(addr).unwrap())
-        .collect();
+    let mut burst: Vec<TcpStream> = (0..6).map(|_| TcpStream::connect(addr).unwrap()).collect();
     thread::sleep(Duration::from_millis(30));
-    let shed = handle
-        .shared()
-        .sessions_shed
-        .load(Ordering::Relaxed);
+    let shed = handle.shared().sessions_shed.load(Ordering::Relaxed);
     assert!(shed >= 1, "queue depth 1 + busy worker must shed ({shed})");
     burst.clear();
 

@@ -292,6 +292,9 @@ mod tests {
         let s = spotbid_json::encode(&h);
         let back: SpotPriceHistory = spotbid_json::decode(&s).unwrap();
         assert_eq!(h, back);
-        assert_eq!(s, r#"{"prices":[0.03,0.05],"slot_len":0.08333333333333333}"#);
+        assert_eq!(
+            s,
+            r#"{"prices":[0.03,0.05],"slot_len":0.08333333333333333}"#
+        );
     }
 }

@@ -363,8 +363,8 @@ mod tests {
         let step = default_slot_len().as_f64();
         let feed = vec![
             rec(step, 0.04),
-            rec(0.0, 0.03),      // out of order
-            rec(step, 0.07),     // duplicate timestamp: this one wins
+            rec(0.0, 0.03),  // out of order
+            rec(step, 0.07), // duplicate timestamp: this one wins
             rec(2.0 * step, 0.05),
         ];
         let (h, report) = ingest_repair(&feed, default_slot_len()).unwrap();
@@ -414,10 +414,10 @@ mod tests {
         let step = default_slot_len().as_f64();
         let feed = vec![
             rec(0.0, 0.03),
-            rec(step, f64::NAN),       // corrupt: dropped first
-            rec(3.0 * step, 0.06),     // arrives before slot 2's record
-            rec(2.0 * step, 0.05),     // out of order
-            rec(3.0 * step, 0.07),     // duplicate of slot 3: latest wins
+            rec(step, f64::NAN),   // corrupt: dropped first
+            rec(3.0 * step, 0.06), // arrives before slot 2's record
+            rec(2.0 * step, 0.05), // out of order
+            rec(3.0 * step, 0.07), // duplicate of slot 3: latest wins
             // slots 4 and 5 are a gap
             rec(6.0 * step, 0.04),
         ];
@@ -440,9 +440,9 @@ mod tests {
     fn repair_dedup_is_stable_across_reordering() {
         let step = default_slot_len().as_f64();
         let feed = vec![
-            rec(step, 0.10),       // first write for slot 1
-            rec(0.0, 0.03),        // out of order
-            rec(step, 0.20),       // second write for slot 1: must win
+            rec(step, 0.10), // first write for slot 1
+            rec(0.0, 0.03),  // out of order
+            rec(step, 0.20), // second write for slot 1: must win
             rec(2.0 * step, 0.05),
         ];
         let (h, report) = ingest_repair(&feed, default_slot_len()).unwrap();

@@ -10,7 +10,9 @@ use spotbid_trace::{analyze, catalog, io};
 
 fn random_history(rng: &mut Rng) -> SpotPriceHistory {
     let n = 1 + rng.range_usize(299);
-    let ps: Vec<Price> = (0..n).map(|_| Price::new(rng.range_f64(0.001, 2.0))).collect();
+    let ps: Vec<Price> = (0..n)
+        .map(|_| Price::new(rng.range_f64(0.001, 2.0)))
+        .collect();
     SpotPriceHistory::new(default_slot_len(), ps).unwrap()
 }
 

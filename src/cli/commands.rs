@@ -401,8 +401,8 @@ pub fn cmd_engine(args: &Args) -> Result<String, ArgError> {
     };
     let seed: u64 = args.get_or("seed", 1)?;
     let strategies = vec![strategy; tenants];
-    let (report, stats) =
-        run_closed_loop_with_stats(&strategies, &cfg, seed, None).map_err(|e| ArgError(e.to_string()))?;
+    let (report, stats) = run_closed_loop_with_stats(&strategies, &cfg, seed, None)
+        .map_err(|e| ArgError(e.to_string()))?;
     let mut out = format!(
         "closed loop — {tenants} × {strategy:?} tenants, {} job, seed {seed}\n\
          market: on-demand/π̄ ${pi_bar:.3}, π_min ${pi_min:.3}, background λ {:.1}/slot\n\
@@ -595,8 +595,19 @@ mod tests {
     #[test]
     fn engine_closed_loop() {
         let argv = [
-            "engine", "--tenants", "2", "--strategy", "fixed", "--bid", "0.34", "--warmup", "20",
-            "--horizon", "80", "--seed", "3",
+            "engine",
+            "--tenants",
+            "2",
+            "--strategy",
+            "fixed",
+            "--bid",
+            "0.34",
+            "--warmup",
+            "20",
+            "--horizon",
+            "80",
+            "--seed",
+            "3",
         ];
         let out = run(&argv).unwrap();
         assert!(out.contains("closed loop — 2 ×"));
@@ -608,7 +619,11 @@ mod tests {
         assert!(out.contains("wakeup fleet: "), "{out}");
         assert!(out.contains("skipped in O(1)"), "{out}");
         assert!(out.contains("tenant wakeups"), "{out}");
-        assert_eq!(out, run(&argv).unwrap(), "engine run is not seed-deterministic");
+        assert_eq!(
+            out,
+            run(&argv).unwrap(),
+            "engine run is not seed-deterministic"
+        );
         assert!(run(&["engine", "--strategy", "zzz"]).is_err());
         assert!(run(&["engine", "--bogus", "1"]).is_err());
         assert!(run(&["engine", "--warmup", "0"]).is_err());
