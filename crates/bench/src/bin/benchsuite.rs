@@ -365,6 +365,105 @@ fn market_scale_benches(h: &mut Harness) {
         });
 }
 
+/// The multi-market layer (DESIGN.md §5h): a `MarketSet` stepping M books
+/// per slot with per-market churn, the common-shock correlated arrival
+/// draw, and a small portfolio closed loop over 3 correlated markets.
+fn market_multi_benches(h: &mut Harness) {
+    use spotbid_core::portfolio::PortfolioStrategy;
+    use spotbid_core::strategy::BiddingStrategy;
+    use spotbid_engine::{run_portfolio_loop, PortfolioLoopConfig, PortfolioMarket};
+    use spotbid_market::multi::{CorrelatedArrivals, MarketSet, MarketSpec};
+    use spotbid_market::sim::SlotReport;
+
+    let params = market_params();
+    let slot = Hours::from_minutes(5.0);
+
+    // Four books of 25k standing bids each stepped in lockstep — the
+    // multi-market counterpart of `market_scale`'s 100k single-book slot.
+    const M: usize = 4;
+    let specs = (0..M)
+        .map(|m| MarketSpec::new(format!("m{m}"), params))
+        .collect();
+    let mut set = MarketSet::new(specs, slot).unwrap();
+    for m in 0..M {
+        for i in 0..25_000 {
+            set.submit(m, standing_bid(&params, i));
+        }
+    }
+    let mut rngs: Vec<Rng> = (0..M as u64)
+        .map(|m| Rng::seed_from_u64(0x5CA1E ^ m))
+        .collect();
+    let mut reports = vec![SlotReport::empty(); M];
+    // Absorb the first-auction wave before timing steady state.
+    set.step_into(&mut rngs, &mut reports);
+    let mut next = 25_000usize;
+    h.group("market_multi")
+        .throughput_items(100_000)
+        .bench("market_set_step/4x25k_bids", || {
+            for m in 0..M {
+                for k in 0..CHURN_PER_STEP / M {
+                    set.submit(m, churn_bid(&params, next + k));
+                }
+            }
+            next += CHURN_PER_STEP;
+            set.step_into(black_box(&mut rngs), black_box(&mut reports));
+        });
+
+    // The per-slot correlated background draw at M=8.
+    let arrivals = CorrelatedArrivals::new(2.0, vec![3.0; 8]).unwrap();
+    let mut shared = Rng::seed_from_u64(1);
+    let mut idio: Vec<Rng> = (2..10).map(Rng::seed_from_u64).collect();
+    let mut counts = Vec::new();
+    h.group("market_multi")
+        .bench("correlated_draws/8_markets", || {
+            arrivals.draw_into(&mut shared, &mut idio, black_box(&mut counts));
+        });
+
+    // A small portfolio closed loop: 16 mixed-strategy tenants across 3
+    // correlated markets, warmup + horizon = 160 slots per market.
+    let cfg = PortfolioLoopConfig {
+        markets: (0..3)
+            .map(|i| PortfolioMarket {
+                name: format!("zone-{i}"),
+                params: MarketParams::new(
+                    Price::new(0.35),
+                    Price::new(0.02 + 0.004 * i as f64),
+                    0.05,
+                    0.05,
+                )
+                .unwrap(),
+                idio_arrivals: 2.0,
+            })
+            .collect(),
+        shared_arrivals: 1.0,
+        slot_len: slot,
+        on_demand: Price::new(0.35),
+        job: JobSpec::builder(1.0).recovery_secs(60.0).build().unwrap(),
+        warmup_slots: 40,
+        horizon_slots: 120,
+        max_resubmissions: 4,
+    };
+    let strategies: Vec<PortfolioStrategy> = (0..16)
+        .map(|i| match i % 3 {
+            0 => PortfolioStrategy::ZoneFallback {
+                home: i % 3,
+                base: BiddingStrategy::OptimalPersistent,
+            },
+            1 => PortfolioStrategy::SplitEven {
+                base: BiddingStrategy::FixedBid(Price::new(0.30)),
+            },
+            _ => PortfolioStrategy::Contract {
+                spot_share: 0.5,
+                base: BiddingStrategy::OptimalPersistent,
+            },
+        })
+        .collect();
+    h.group("market_multi")
+        .bench("portfolio_loop/16_tenants_3_markets_160_slots", || {
+            run_portfolio_loop(black_box(&strategies), black_box(&cfg), 0x907F).unwrap()
+        });
+}
+
 fn strategy_benches(h: &mut Harness) {
     let inst = catalog::by_name("c3.4xlarge").unwrap();
     let cfg = SyntheticConfig::for_instance(&inst);
@@ -545,6 +644,7 @@ const SECTIONS: &[Section] = &[
     ("serve", serve_benches),
     ("market", market_benches),
     ("market_scale", market_scale_benches),
+    ("market_multi", market_multi_benches),
     ("strategy", strategy_benches),
     ("replay", replay_benches),
     ("engine", engine_benches),

@@ -1,0 +1,61 @@
+//! Portfolio bidding across M correlated markets: the strategy-family
+//! comparison against the single-market baseline, and the crowding sweep
+//! (does spreading demand across zones soften the crowding penalty?).
+
+use spotbid_bench::experiments::portfolio;
+use spotbid_bench::report::{pct, usd, Table};
+use spotbid_bench::timing::time_experiment;
+
+fn main() {
+    let (strategies, crowding) = time_experiment("portfolio_markets", || {
+        (
+            portfolio::run_strategies(8, 0x907F),
+            portfolio::run_crowding(&portfolio::TENANT_COUNTS, 0x907F),
+        )
+    });
+
+    let mut t = Table::new(
+        "Portfolio strategies — 8 tenants, 3 correlated markets, optimal-persistent base bids",
+    )
+    .headers([
+        "strategy",
+        "completed in loop",
+        "mean savings",
+        "home mean price",
+        "interruptions",
+        "replans",
+    ]);
+    for r in &strategies {
+        t.row([
+            r.strategy.to_string(),
+            r.completed.to_string(),
+            pct(r.mean_savings),
+            usd(r.mean_price),
+            r.interruptions.to_string(),
+            r.resubmissions.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!();
+
+    let mut t = Table::new(
+        "Crowding sweep — split-even portfolio vs single-market baseline, same per-count seeds",
+    )
+    .headers([
+        "tenants",
+        "single savings",
+        "portfolio savings",
+        "single mean price",
+        "portfolio home price",
+    ]);
+    for (single, split) in &crowding {
+        t.row([
+            single.tenants.to_string(),
+            pct(single.mean_savings),
+            pct(split.mean_savings),
+            usd(single.mean_price),
+            usd(split.mean_price),
+        ]);
+    }
+    print!("{}", t.render());
+}

@@ -54,12 +54,14 @@ pub mod onetime;
 pub mod overhead;
 pub mod parallel;
 pub mod persistent;
+pub mod portfolio;
 pub mod price_model;
 pub mod recommendation;
 pub mod risk;
 pub mod strategy;
 
 pub use job::JobSpec;
+pub use portfolio::{PortfolioLeg, PortfolioPlan, PortfolioStrategy};
 pub use price_model::{AnalyticPrices, EmpiricalPrices, PriceModel};
 pub use recommendation::BidRecommendation;
 pub use strategy::{BidDecision, BiddingStrategy};

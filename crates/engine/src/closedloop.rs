@@ -47,6 +47,7 @@ use spotbid_numerics::rng::{Rng, RngStreams};
 use spotbid_trace::SpotPriceHistory;
 
 pub mod dense;
+pub mod portfolio;
 mod wakeup;
 
 pub use wakeup::FleetStats;

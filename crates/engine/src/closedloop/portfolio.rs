@@ -1,0 +1,1035 @@
+//! The portfolio closed loop: N tenants holding positions in M correlated
+//! markets at once (DESIGN.md §5h).
+//!
+//! This is the multi-market sibling of the single-market closed loop: a
+//! [`MarketSet`] of M spot markets (instance types × zones) advances in
+//! lockstep under one kernel, background demand arrives through the
+//! common-shock [`CorrelatedArrivals`] process, and tenants resolve
+//! [`PortfolioStrategy`] plans — job splits, cross-zone fallback,
+//! spot/on-demand contracts — against the per-market observed histories.
+//!
+//! ## RNG stream layout
+//!
+//! Everything is deterministic from one `u64` seed via [`RngStreams`]:
+//!
+//! - stream `2m` — market `m`'s departure draws,
+//! - stream `2m+1` — market `m`'s idiosyncratic background arrivals
+//!   (count and bid prices),
+//! - stream `2M` — the shared arrival shock,
+//! - streams `2M+1 …` — reserved one-per-decision-shard (never drawn
+//!   from today, exactly like the single-market fleets).
+//!
+//! At `M = 1` with a zero shared rate this collapses to the historical
+//! layout — stream 0 market, stream 1 background, shared stream untouched
+//! (a zero-mean Poisson draws nothing) — which is what makes the
+//! degenerate-portfolio parity tests in `tests/portfolio.rs` possible:
+//! a one-market [`run_portfolio_loop`] with
+//! [`PortfolioStrategy::ZoneFallback`] reproduces [`super::run_closed_loop`]
+//! outcome-for-outcome and event-for-event.
+//!
+//! ## Determinism contract
+//!
+//! As in the single-market fleets (§5e/§5f): plan resolution is pure and
+//! fans out over `spotbid-exec` shards, while bid submission (which
+//! assigns per-market [`BidId`]s), event emission, and report processing
+//! stay serial in ascending tenant order, with each tenant's legs
+//! processed in plan order. The whole session is bit-identical at any
+//! `SPOTBID_THREADS`.
+
+use super::dense::SHARD_SIZE;
+use super::LoopFaults;
+use crate::billing::{LineItem, UsageKind};
+use crate::event::Event;
+use crate::kernel::{DriverStatus, JobDriver, Kernel};
+use crate::observer::{BillingObserver, EventLog, Observer};
+use crate::source::PriceSource;
+use crate::EngineError;
+use spotbid_core::portfolio::{PortfolioPlan, PortfolioStrategy};
+use spotbid_core::{BidDecision, CoreError, JobSpec};
+use spotbid_market::multi::{CorrelatedArrivals, MarketSet, MarketSpec};
+use spotbid_market::params::MarketParams;
+use spotbid_market::sim::{BidId, BidKind, BidRequest, SlotReport, WorkModel};
+use spotbid_market::units::{Cost, Hours, Price};
+use spotbid_numerics::rng::{Rng, RngStreams};
+use spotbid_trace::SpotPriceHistory;
+
+/// One member market of a portfolio session.
+#[derive(Debug, Clone)]
+pub struct PortfolioMarket {
+    /// Display name, e.g. `"m1.small/us-east-1a"`.
+    pub name: String,
+    /// Pricing parameters (Eq. 3) for this market.
+    pub params: MarketParams,
+    /// Mean idiosyncratic background arrivals per slot.
+    pub idio_arrivals: f64,
+}
+
+/// Configuration of one portfolio closed-loop session.
+#[derive(Debug, Clone)]
+pub struct PortfolioLoopConfig {
+    /// The member markets (M ≥ 1).
+    pub markets: Vec<PortfolioMarket>,
+    /// Mean shared-shock arrivals per slot, added to every market
+    /// (dials cross-market demand correlation; 0 = independent).
+    pub shared_arrivals: f64,
+    /// Pricing-slot length, shared by every market.
+    pub slot_len: Hours,
+    /// The on-demand price — every tenant's outside option.
+    pub on_demand: Price,
+    /// The job each tenant needs to run.
+    pub job: JobSpec,
+    /// Background-only slots before tenants may bid. Must be ≥ 1.
+    pub warmup_slots: usize,
+    /// Slots simulated with tenants in the market.
+    pub horizon_slots: usize,
+    /// Times a tenant whose leg was rejected/terminated may re-plan
+    /// before giving up on the lost work.
+    pub max_resubmissions: u32,
+}
+
+impl PortfolioLoopConfig {
+    /// The degenerate one-market portfolio equivalent of a single-market
+    /// [`super::ClosedLoopConfig`]: same market, same background process
+    /// (all idiosyncratic, zero shared shock), same horizon. Used by the
+    /// parity wall to pin the M=1 case to the historical path.
+    pub fn single(cfg: &super::ClosedLoopConfig, name: impl Into<String>) -> Self {
+        PortfolioLoopConfig {
+            markets: vec![PortfolioMarket {
+                name: name.into(),
+                params: cfg.params,
+                idio_arrivals: cfg.background_arrivals,
+            }],
+            shared_arrivals: 0.0,
+            slot_len: cfg.slot_len,
+            on_demand: cfg.on_demand,
+            job: cfg.job,
+            warmup_slots: cfg.warmup_slots,
+            horizon_slots: cfg.horizon_slots,
+            max_resubmissions: cfg.max_resubmissions,
+        }
+    }
+}
+
+/// What happened to one portfolio tenant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PortfolioTenantOutcome {
+    /// The tenant's billing tag (its index in the strategy slice).
+    pub tenant: u32,
+    /// The strategy it planned with.
+    pub strategy: PortfolioStrategy,
+    /// Whether its job's work was completed (on spot or on demand).
+    pub completed: bool,
+    /// Slots it ran on spot instances, summed across markets.
+    pub spot_slots: u64,
+    /// Interruptions suffered, summed across legs.
+    pub interruptions: u32,
+    /// Times it re-planned after a rejection/termination.
+    pub resubmissions: u32,
+    /// Total cost, including the on-demand completion of any work left
+    /// unfinished when the horizon closed.
+    pub cost: Cost,
+    /// Savings vs. running the whole job on demand: `1 − cost/(π̄·T_s)`.
+    pub savings: f64,
+}
+
+/// Aggregate result of one portfolio session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortfolioReport {
+    /// Per-tenant accounting, in tag order.
+    pub tenants: Vec<PortfolioTenantOutcome>,
+    /// Tenants whose work completed.
+    pub completed: usize,
+    /// Mean savings across tenants.
+    pub mean_savings: f64,
+    /// Per-market mean posted price over the tenant-visible horizon.
+    pub mean_price: Vec<Price>,
+    /// Per-market peak posted price over the tenant-visible horizon.
+    pub peak_price: Vec<Price>,
+    /// Slots simulated after warmup.
+    pub slots: u64,
+}
+
+/// M endogenous markets as one kernel price source: each slot the
+/// correlated background arrives, every market clears, and each posted
+/// price is appended to that market's observed history (unless a
+/// per-market feed gap swallows it).
+#[derive(Debug)]
+struct PortfolioSource {
+    set: MarketSet,
+    arrivals: CorrelatedArrivals,
+    /// Stream `2m`: market `m`'s departure draws.
+    market_rngs: Vec<Rng>,
+    /// Stream `2m+1`: market `m`'s idiosyncratic arrivals and prices.
+    arr_rngs: Vec<Rng>,
+    /// Stream `2M`: the shared shock (untouched when its rate is 0).
+    shared_rng: Rng,
+    slot_len: Hours,
+    /// Per-market posted prices, in slot order (ground truth).
+    posted: Vec<Vec<Price>>,
+    /// Per-market prices that reached the tenants' feed.
+    observed: Vec<Vec<Price>>,
+    faults: Option<Vec<LoopFaults>>,
+    /// Scratch: this slot's arrival counts.
+    counts: Vec<u64>,
+    /// Recycled report buffers (the quote arena).
+    spare: Option<Vec<SlotReport>>,
+}
+
+impl PortfolioSource {
+    fn new(
+        cfg: &PortfolioLoopConfig,
+        streams: &RngStreams,
+        faults: Option<&[LoopFaults]>,
+    ) -> Result<Self, EngineError> {
+        let m = cfg.markets.len();
+        let specs: Vec<MarketSpec> = cfg
+            .markets
+            .iter()
+            .map(|mk| MarketSpec::new(mk.name.clone(), mk.params))
+            .collect();
+        let set = MarketSet::new(specs, cfg.slot_len).map_err(|e| EngineError::InvalidConfig {
+            what: e.to_string(),
+        })?;
+        let arrivals = CorrelatedArrivals::new(
+            cfg.shared_arrivals,
+            cfg.markets.iter().map(|mk| mk.idio_arrivals).collect(),
+        )
+        .map_err(|e| EngineError::InvalidConfig {
+            what: e.to_string(),
+        })?;
+        // Streams 0..2M interleave (market, arrivals) per market; 2M is
+        // the shared shock. Decision shards reserve 2M+1… in the fleet.
+        let mut chain = streams.streams(2 * m + 1);
+        let shared_rng = chain.pop().expect("2M+1 streams");
+        let mut market_rngs = Vec::with_capacity(m);
+        let mut arr_rngs = Vec::with_capacity(m);
+        for (i, rng) in chain.into_iter().enumerate() {
+            if i % 2 == 0 {
+                market_rngs.push(rng);
+            } else {
+                arr_rngs.push(rng);
+            }
+        }
+        Ok(PortfolioSource {
+            set,
+            arrivals,
+            market_rngs,
+            arr_rngs,
+            shared_rng,
+            slot_len: cfg.slot_len,
+            posted: vec![Vec::new(); m],
+            observed: vec![Vec::new(); m],
+            faults: faults.map(<[LoopFaults]>::to_vec),
+            counts: Vec::new(),
+            spare: None,
+        })
+    }
+
+    fn advance_into(&mut self, reports: &mut [SlotReport]) {
+        let slot = self.posted[0].len();
+        if let Some(faults) = &self.faults {
+            for (m, f) in faults.iter().enumerate() {
+                if f.reclaim_at(slot) {
+                    self.set.reclaim_next_slot(m);
+                }
+            }
+        }
+        self.arrivals
+            .draw_into(&mut self.shared_rng, &mut self.arr_rngs, &mut self.counts);
+        for m in 0..self.set.len() {
+            let (lo, hi) = (
+                self.set.market(m).params().pi_min.as_f64(),
+                self.set.market(m).params().pi_bar.as_f64(),
+            );
+            let rng = &mut self.arr_rngs[m];
+            for _ in 0..self.counts[m] {
+                let price = Price::new(rng.range_f64(lo, hi));
+                self.set.submit(
+                    m,
+                    BidRequest {
+                        price,
+                        kind: BidKind::OneTime,
+                        work: WorkModel::Geometric,
+                    },
+                );
+            }
+        }
+        self.set.step_into(&mut self.market_rngs, reports);
+        for (m, report) in reports.iter().enumerate() {
+            self.posted[m].push(report.price);
+            let gap = self.faults.as_ref().is_some_and(|fs| fs[m].gap_at(slot));
+            if !gap {
+                self.observed[m].push(report.price);
+            }
+        }
+    }
+
+    fn warmup(&mut self, slots: usize) {
+        let mut reports = vec![SlotReport::empty(); self.set.len()];
+        for _ in 0..slots {
+            self.advance_into(&mut reports);
+        }
+        self.spare = Some(reports);
+    }
+
+    /// One observed history per market (every price that reached the feed
+    /// so far).
+    fn observed(&self) -> Result<Vec<SpotPriceHistory>, EngineError> {
+        self.observed
+            .iter()
+            .map(|prices| {
+                SpotPriceHistory::new(self.slot_len, prices.clone()).map_err(|e| {
+                    EngineError::InvalidConfig {
+                        what: format!("observed history: {e}"),
+                    }
+                })
+            })
+            .collect()
+    }
+}
+
+impl PriceSource for PortfolioSource {
+    type Quote = Vec<SlotReport>;
+
+    fn markets(&self) -> usize {
+        self.set.len()
+    }
+
+    fn post(&mut self, slot: u64, _demand: usize) -> Option<Vec<SlotReport>> {
+        self.post_many(slot, &[])
+    }
+
+    fn post_many(&mut self, _slot: u64, _demands: &[usize]) -> Option<Vec<SlotReport>> {
+        // Demand moves prices through the bids actually in each book, not
+        // through the kernel's aggregate (same as the single-market loop).
+        let mut reports = self
+            .spare
+            .take()
+            .unwrap_or_else(|| vec![SlotReport::empty(); self.set.len()]);
+        self.advance_into(&mut reports);
+        Some(reports)
+    }
+
+    fn quote_events(&self, slot: u64, quote: &Vec<SlotReport>, emit: &mut dyn FnMut(Event)) {
+        // One PricePosted per market, in market order (market identity is
+        // positional, exactly like the quote vector itself).
+        for report in quote {
+            emit(Event::PricePosted {
+                slot,
+                price: report.price,
+            });
+        }
+    }
+
+    fn reclaim(&mut self, quote: Vec<SlotReport>) {
+        self.spare = Some(quote);
+    }
+}
+
+/// One live spot position of a tenant.
+#[derive(Debug, Clone, Copy)]
+struct Leg {
+    market: u32,
+    bid_id: BidId,
+    /// Slots of work this leg was submitted for.
+    assigned: u32,
+    /// Slots it has run so far.
+    ran: u32,
+    running: bool,
+}
+
+/// One strategy-driven portfolio tenant: re-plans against the per-market
+/// histories whenever it must (re-)bid, and tracks every live leg through
+/// its market's slot report.
+#[derive(Debug)]
+struct PortfolioTenant {
+    strategy: PortfolioStrategy,
+    tag: u32,
+    /// Slots of work awaiting (re-)submission.
+    pending: u64,
+    /// Live spot legs, in plan (ascending-market) submission order.
+    legs: Vec<Leg>,
+    /// On-demand work already charged (contract legs and od decisions).
+    od_charged: Hours,
+    slots_run: u64,
+    interruptions: u32,
+    resubmissions: u32,
+    completed: bool,
+    done_pending: bool,
+    needs_submit: bool,
+    /// Lost work whose resubmission budget ran out is abandoned.
+    gave_up: bool,
+}
+
+impl PortfolioTenant {
+    fn new(strategy: PortfolioStrategy, cfg: &PortfolioLoopConfig, tag: u32) -> Self {
+        PortfolioTenant {
+            strategy,
+            tag,
+            pending: cfg.job.slots_needed(),
+            legs: Vec::new(),
+            od_charged: Hours::ZERO,
+            slots_run: 0,
+            interruptions: 0,
+            resubmissions: 0,
+            completed: false,
+            done_pending: false,
+            needs_submit: true,
+            gave_up: false,
+        }
+    }
+
+    /// Execution work still uncovered by spot slots run and on-demand
+    /// charges.
+    fn remaining_work(&self, job: &JobSpec) -> Hours {
+        (job.execution - job.slot * self.slots_run as f64 - self.od_charged).max(Hours::ZERO)
+    }
+
+    /// Acts on a resolved plan: charges on-demand legs and submits spot
+    /// legs, scaling each leg's assignment down to the work still pending.
+    /// Serial per tenant — per-market bid ids are assigned here, so call
+    /// order must be tenant order.
+    fn apply_plan(
+        &mut self,
+        plan: &PortfolioPlan,
+        job: &JobSpec,
+        slot: u64,
+        source: &mut PortfolioSource,
+        live: &mut [u32],
+        emit: &mut dyn FnMut(Event),
+    ) {
+        for leg in &plan.legs {
+            if self.pending == 0 {
+                break;
+            }
+            // A re-plan covers only the lost work: cap each leg at what is
+            // still pending (the first plan partitions exactly, so this is
+            // the identity there — and `max(1)` mirrors the single-market
+            // fleet's defensive floor).
+            let assigned = leg.slots.min(self.pending).max(1);
+            match leg.decision {
+                BidDecision::OnDemand { price } => {
+                    let work = (job.slot * assigned as f64).min(self.remaining_work(job));
+                    if work > Hours::ZERO {
+                        emit(Event::Charged {
+                            item: LineItem {
+                                slot,
+                                price,
+                                duration: work,
+                                kind: UsageKind::OnDemand,
+                                tag: self.tag,
+                            },
+                        });
+                        self.od_charged += work;
+                    }
+                    self.pending -= assigned;
+                }
+                BidDecision::Spot { price, persistent } => {
+                    let id = source.set.submit(
+                        leg.market,
+                        BidRequest {
+                            price,
+                            kind: if persistent {
+                                BidKind::Persistent
+                            } else {
+                                BidKind::OneTime
+                            },
+                            work: WorkModel::FixedSlots(assigned as u32),
+                        },
+                    );
+                    self.legs.push(Leg {
+                        market: leg.market as u32,
+                        bid_id: id,
+                        assigned: assigned as u32,
+                        ran: 0,
+                        running: false,
+                    });
+                    live[leg.market] += 1;
+                    self.pending -= assigned;
+                    emit(Event::BidSubmitted {
+                        slot,
+                        tenant: self.tag,
+                        price,
+                        persistent,
+                    });
+                }
+            }
+        }
+        if !self.completed && self.pending == 0 && self.legs.is_empty() {
+            // Everything was covered on demand: the job is done before the
+            // market even clears (same shape as the single-market
+            // on-demand decision).
+            self.completed = true;
+            self.done_pending = true;
+            emit(Event::Completed {
+                slot,
+                tenant: self.tag,
+            });
+        }
+    }
+
+    /// Advances the tenant one slot against every market's report. Legs
+    /// are processed in submission order; event vectors are id-sorted, so
+    /// each membership test is a binary search.
+    fn slot_update(
+        &mut self,
+        slot: u64,
+        reports: &[SlotReport],
+        job: &JobSpec,
+        max_resubmissions: u32,
+        live: &mut [u32],
+        emit: &mut dyn FnMut(Event),
+    ) -> DriverStatus {
+        if self.done_pending {
+            return DriverStatus::Done;
+        }
+        let mut k = 0;
+        while k < self.legs.len() {
+            let leg = &mut self.legs[k];
+            let report = &reports[leg.market as usize];
+            let id = leg.bid_id;
+            let started = report.started.binary_search(&id).is_ok();
+            let interrupted = report.interrupted.binary_search(&id).is_ok();
+            let finished = report.finished.binary_search(&id).is_ok();
+            let terminated = report.terminated.binary_search(&id).is_ok();
+            let ran = started || (leg.running && !interrupted && !terminated);
+            if started {
+                leg.running = true;
+                emit(Event::BidAccepted {
+                    slot,
+                    tenant: self.tag,
+                });
+            }
+            if interrupted {
+                self.interruptions += 1;
+                emit(Event::Interrupted {
+                    slot,
+                    tenant: self.tag,
+                });
+            }
+            if ran {
+                leg.ran += 1;
+                self.slots_run += 1;
+                emit(Event::Charged {
+                    item: LineItem {
+                        slot,
+                        price: report.price,
+                        duration: job.slot,
+                        kind: UsageKind::Spot,
+                        tag: self.tag,
+                    },
+                });
+            }
+            if interrupted || terminated || finished {
+                leg.running = false;
+            }
+            if finished {
+                live[leg.market as usize] -= 1;
+                self.legs.remove(k);
+                continue;
+            }
+            if terminated {
+                emit(Event::Rejected {
+                    slot,
+                    tenant: self.tag,
+                });
+                let lost = u64::from(leg.assigned - leg.ran);
+                live[leg.market as usize] -= 1;
+                self.legs.remove(k);
+                self.pending += lost;
+                if self.resubmissions < max_resubmissions {
+                    self.resubmissions += 1;
+                    self.needs_submit = true;
+                    // Cross-zone fallback: the next plan's home market is
+                    // the next zone over.
+                    if let PortfolioStrategy::ZoneFallback { home, base } = self.strategy {
+                        self.strategy = PortfolioStrategy::ZoneFallback {
+                            home: (home + 1) % reports.len(),
+                            base,
+                        };
+                    }
+                } else {
+                    self.gave_up = true;
+                }
+                continue;
+            }
+            k += 1;
+        }
+        if !self.completed && self.legs.is_empty() && self.pending == 0 {
+            self.completed = true;
+            emit(Event::Completed {
+                slot,
+                tenant: self.tag,
+            });
+            return DriverStatus::Done;
+        }
+        if self.gave_up && self.legs.is_empty() && !self.needs_submit {
+            return DriverStatus::Done;
+        }
+        DriverStatus::Active
+    }
+}
+
+/// Every portfolio tenant as one kernel driver, with sharded plan
+/// resolution — the multi-market counterpart of the dense fleet, same
+/// §5e/§5f contract: pure decisions fan out, market-visible side effects
+/// stay serial in ascending tenant order.
+struct PortfolioFleet {
+    tenants: Vec<PortfolioTenant>,
+    done: Vec<bool>,
+    shard_rngs: Vec<Rng>,
+    job: JobSpec,
+    on_demand: Price,
+    max_resubmissions: u32,
+    /// Live spot legs per market (the kernel's per-market demand signal).
+    live: Vec<u32>,
+    /// Scratch: indices of tenants that must (re-)plan this slot.
+    needy: Vec<u32>,
+}
+
+impl PortfolioFleet {
+    fn new(tenants: Vec<PortfolioTenant>, cfg: &PortfolioLoopConfig, streams: &RngStreams) -> Self {
+        let m = cfg.markets.len();
+        let max_shards = tenants.len().div_ceil(SHARD_SIZE);
+        // Shard streams live after the market/arrival/shared block.
+        let mut chain = streams.streams(2 * m + 1 + max_shards);
+        let shard_rngs = chain.split_off(2 * m + 1);
+        let done = vec![false; tenants.len()];
+        PortfolioFleet {
+            tenants,
+            done,
+            shard_rngs,
+            job: cfg.job,
+            on_demand: cfg.on_demand,
+            max_resubmissions: cfg.max_resubmissions,
+            live: vec![0; m],
+            needy: Vec::new(),
+        }
+    }
+}
+
+impl JobDriver<PortfolioSource> for PortfolioFleet {
+    fn demand(&self) -> usize {
+        self.live.iter().map(|&n| n as usize).sum()
+    }
+
+    fn demand_in(&self, market: usize) -> usize {
+        self.live[market] as usize
+    }
+
+    fn before_slot(
+        &mut self,
+        slot: u64,
+        source: &mut PortfolioSource,
+        emit: &mut dyn FnMut(Event),
+    ) -> Result<(), EngineError> {
+        self.needy.clear();
+        for (i, t) in self.tenants.iter_mut().enumerate() {
+            if !self.done[i] && t.needs_submit && !t.done_pending {
+                t.needs_submit = false;
+                self.needy.push(i as u32);
+            }
+        }
+        if self.needy.is_empty() {
+            return Ok(());
+        }
+        // One per-market history snapshot for the whole slot.
+        let histories = source.observed()?;
+        let inputs: Vec<PortfolioStrategy> = self
+            .needy
+            .iter()
+            .map(|&i| self.tenants[i as usize].strategy)
+            .collect();
+        let shards = inputs.len().div_ceil(SHARD_SIZE);
+        let shard_rngs = &self.shard_rngs;
+        let (job, on_demand) = (self.job, self.on_demand);
+        let plans: Vec<Vec<Result<PortfolioPlan, CoreError>>> =
+            spotbid_exec::par_map(shards, |s| {
+                let mut _rng = shard_rngs[s].clone(); // reserved, see module docs
+                let lo = s * SHARD_SIZE;
+                let hi = (lo + SHARD_SIZE).min(inputs.len());
+                inputs[lo..hi]
+                    .iter()
+                    .map(|strat| strat.decide(&histories, &job, on_demand))
+                    .collect()
+            });
+        // Serial, ordered apply: per-market bid ids and events come out
+        // exactly as if each tenant had planned in turn.
+        let mut flat = plans.into_iter().flatten();
+        for k in 0..self.needy.len() {
+            let i = self.needy[k] as usize;
+            let plan = flat
+                .next()
+                .expect("one plan per needy tenant")
+                .map_err(EngineError::Core)?;
+            self.tenants[i].apply_plan(&plan, &job, slot, source, &mut self.live, emit);
+        }
+        Ok(())
+    }
+
+    fn on_slot(
+        &mut self,
+        slot: u64,
+        reports: &Vec<SlotReport>,
+        emit: &mut dyn FnMut(Event),
+    ) -> Result<DriverStatus, EngineError> {
+        let mut all_done = true;
+        for i in 0..self.tenants.len() {
+            if self.done[i] {
+                continue;
+            }
+            let status = self.tenants[i].slot_update(
+                slot,
+                reports,
+                &self.job,
+                self.max_resubmissions,
+                &mut self.live,
+                emit,
+            );
+            if status == DriverStatus::Done {
+                self.done[i] = true;
+            } else {
+                all_done = false;
+            }
+        }
+        if all_done {
+            Ok(DriverStatus::Done)
+        } else {
+            Ok(DriverStatus::Active)
+        }
+    }
+}
+
+fn validate(
+    strategies: &[PortfolioStrategy],
+    cfg: &PortfolioLoopConfig,
+    faults: Option<&[LoopFaults]>,
+) -> Result<(), EngineError> {
+    if strategies.is_empty() {
+        return Err(EngineError::InvalidConfig {
+            what: "no tenants".into(),
+        });
+    }
+    if cfg.markets.is_empty() {
+        return Err(EngineError::InvalidConfig {
+            what: "no markets".into(),
+        });
+    }
+    if cfg.warmup_slots == 0 || cfg.horizon_slots == 0 {
+        return Err(EngineError::InvalidConfig {
+            what: "warmup_slots and horizon_slots must be ≥ 1".into(),
+        });
+    }
+    let bad = |r: f64| !r.is_finite() || r < 0.0;
+    if bad(cfg.shared_arrivals) || cfg.markets.iter().any(|m| bad(m.idio_arrivals)) {
+        return Err(EngineError::InvalidConfig {
+            what: "arrival rates must be finite and ≥ 0".into(),
+        });
+    }
+    cfg.job.validate().map_err(EngineError::Core)?;
+    if cfg.job.slot != cfg.slot_len {
+        return Err(EngineError::InvalidConfig {
+            what: "job slot length must equal the market slot length".into(),
+        });
+    }
+    if let Some(f) = faults {
+        if f.len() != cfg.markets.len() {
+            return Err(EngineError::InvalidConfig {
+                what: format!(
+                    "fault plans ({}) must match markets ({})",
+                    f.len(),
+                    cfg.markets.len()
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn run_portfolio(
+    strategies: &[PortfolioStrategy],
+    cfg: &PortfolioLoopConfig,
+    seed: u64,
+    faults: Option<&[LoopFaults]>,
+    log: Option<&mut EventLog>,
+) -> Result<PortfolioReport, EngineError> {
+    validate(strategies, cfg, faults)?;
+
+    let streams = RngStreams::new(seed);
+    let mut source = PortfolioSource::new(cfg, &streams, faults)?;
+    source.warmup(cfg.warmup_slots);
+
+    let tenants: Vec<PortfolioTenant> = strategies
+        .iter()
+        .enumerate()
+        .map(|(i, s)| PortfolioTenant::new(*s, cfg, i as u32))
+        .collect();
+    let mut fleet = PortfolioFleet::new(tenants, cfg, &streams);
+    let mut billing = BillingObserver::validated();
+    {
+        let mut kernel = Kernel::new(cfg.slot_len, source);
+        let horizon = Some(cfg.horizon_slots as u64);
+        match log {
+            Some(l) => kernel.run(
+                &mut [&mut fleet],
+                &mut [&mut billing as &mut dyn Observer, l],
+                horizon,
+            )?,
+            None => kernel.run(&mut [&mut fleet], &mut [&mut billing], horizon)?,
+        };
+        source = kernel.into_source();
+    }
+    let mut bill = billing.into_bill();
+
+    // §5.1 fallback: incomplete tenants finish their remaining work on
+    // demand at the horizon close, in tag order (the float accumulation
+    // order is part of the parity contract with the single-market loop).
+    for t in &fleet.tenants {
+        if !t.completed {
+            let work = t.remaining_work(&cfg.job);
+            if work > Hours::ZERO {
+                bill.try_charge_on_demand(
+                    (cfg.warmup_slots + cfg.horizon_slots) as u64,
+                    cfg.on_demand,
+                    work,
+                    t.tag,
+                )?;
+            }
+        }
+    }
+    let od_cost = (cfg.on_demand * cfg.job.execution).as_f64();
+    let totals = bill.totals_by_tag(fleet.tenants.len());
+    let outcomes: Vec<PortfolioTenantOutcome> = fleet
+        .tenants
+        .iter()
+        .map(|t| {
+            let cost = totals[t.tag as usize];
+            PortfolioTenantOutcome {
+                tenant: t.tag,
+                strategy: t.strategy,
+                completed: t.completed,
+                spot_slots: t.slots_run,
+                interruptions: t.interruptions,
+                resubmissions: t.resubmissions,
+                cost,
+                savings: 1.0 - cost.as_f64() / od_cost,
+            }
+        })
+        .collect();
+    let mut mean_price = Vec::with_capacity(cfg.markets.len());
+    let mut peak_price = Vec::with_capacity(cfg.markets.len());
+    let mut slots = 0;
+    for posted in &source.posted {
+        let visible = &posted[cfg.warmup_slots..];
+        mean_price.push(Price::new(
+            visible.iter().map(|p| p.as_f64()).sum::<f64>() / visible.len().max(1) as f64,
+        ));
+        peak_price.push(
+            visible
+                .iter()
+                .copied()
+                .fold(Price::ZERO, |a, b| if b > a { b } else { a }),
+        );
+        slots = visible.len() as u64;
+    }
+    Ok(PortfolioReport {
+        completed: outcomes.iter().filter(|o| o.completed).count(),
+        mean_savings: outcomes.iter().map(|o| o.savings).sum::<f64>() / outcomes.len() as f64,
+        tenants: outcomes,
+        mean_price,
+        peak_price,
+        slots,
+    })
+}
+
+/// Runs one portfolio closed-loop session: warms M correlated markets up
+/// with background load, then lets one tenant per strategy plan and bid
+/// across them for `horizon_slots`. Deterministic from `seed` at any
+/// thread count; at M=1 with [`PortfolioStrategy::ZoneFallback`] it
+/// reproduces the single-market [`super::run_closed_loop`] bit-for-bit
+/// (see `tests/portfolio.rs`).
+///
+/// Tenants left incomplete at the horizon finish their remaining work on
+/// demand (the §5.1 fallback), so every reported cost is for a completed
+/// job and savings are comparable across configurations.
+///
+/// # Errors
+///
+/// [`EngineError::InvalidConfig`] for empty strategy or market lists, zero
+/// warmup or horizon, non-finite arrival rates, or a fault-plan/market
+/// count mismatch; [`EngineError::Core`] if a strategy fails to resolve.
+pub fn run_portfolio_loop(
+    strategies: &[PortfolioStrategy],
+    cfg: &PortfolioLoopConfig,
+    seed: u64,
+) -> Result<PortfolioReport, EngineError> {
+    run_portfolio(strategies, cfg, seed, None, None)
+}
+
+/// As [`run_portfolio_loop`], optionally fault-injected (one
+/// [`LoopFaults`] plan per market), also returning the full event stream —
+/// the parity wall's view of a run.
+///
+/// # Errors
+///
+/// As [`run_portfolio_loop`].
+pub fn run_portfolio_loop_logged(
+    strategies: &[PortfolioStrategy],
+    cfg: &PortfolioLoopConfig,
+    seed: u64,
+    faults: Option<&[LoopFaults]>,
+) -> Result<(PortfolioReport, Vec<Event>), EngineError> {
+    let mut log = EventLog::new();
+    let report = run_portfolio(strategies, cfg, seed, faults, Some(&mut log))?;
+    Ok((report, log.into_events()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spotbid_core::BiddingStrategy;
+
+    fn market(name: &str, pi_min: f64, idio: f64) -> PortfolioMarket {
+        PortfolioMarket {
+            name: name.into(),
+            params: MarketParams::new(Price::new(0.35), Price::new(pi_min), 0.05, 0.05).unwrap(),
+            idio_arrivals: idio,
+        }
+    }
+
+    fn config(m: usize) -> PortfolioLoopConfig {
+        PortfolioLoopConfig {
+            markets: (0..m)
+                .map(|i| market(&format!("zone-{i}"), 0.02 + 0.005 * i as f64, 2.0))
+                .collect(),
+            shared_arrivals: 1.0,
+            slot_len: Hours::from_minutes(5.0),
+            on_demand: Price::new(0.35),
+            job: JobSpec::builder(1.0).recovery_secs(60.0).build().unwrap(),
+            warmup_slots: 60,
+            horizon_slots: 300,
+            max_resubmissions: 4,
+        }
+    }
+
+    fn strategies() -> Vec<PortfolioStrategy> {
+        vec![
+            PortfolioStrategy::ZoneFallback {
+                home: 0,
+                base: BiddingStrategy::FixedBid(Price::new(0.30)),
+            },
+            PortfolioStrategy::SplitEven {
+                base: BiddingStrategy::FixedBid(Price::new(0.32)),
+            },
+            PortfolioStrategy::Contract {
+                spot_share: 0.5,
+                base: BiddingStrategy::OptimalPersistent,
+            },
+        ]
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let cfg = config(3);
+        let strats = strategies();
+        let a = run_portfolio_loop(&strats, &cfg, 0xF011).unwrap();
+        let b = run_portfolio_loop(&strats, &cfg, 0xF011).unwrap();
+        assert_eq!(a, b);
+        let c = run_portfolio_loop(&strats, &cfg, 0xF012).unwrap();
+        assert_ne!(a.mean_price, c.mean_price);
+    }
+
+    #[test]
+    fn portfolio_tenants_complete_and_are_accounted() {
+        let cfg = config(4);
+        let report = run_portfolio_loop(&strategies(), &cfg, 42).unwrap();
+        assert_eq!(report.tenants.len(), 3);
+        assert_eq!(report.mean_price.len(), 4);
+        assert_eq!(report.peak_price.len(), 4);
+        for t in &report.tenants {
+            assert!(t.cost.as_f64().is_finite() && t.cost.as_f64() > 0.0);
+            assert!(t.savings <= 1.0);
+        }
+        // Quiet markets, near-π̄ bids: everyone should finish.
+        assert_eq!(report.completed, 3, "{report:?}");
+    }
+
+    #[test]
+    fn contract_share_zero_is_pure_on_demand() {
+        let cfg = config(2);
+        let report = run_portfolio_loop(
+            &[PortfolioStrategy::Contract {
+                spot_share: 0.0,
+                base: BiddingStrategy::FixedBid(Price::new(0.30)),
+            }],
+            &cfg,
+            7,
+        )
+        .unwrap();
+        let t = &report.tenants[0];
+        assert!(t.completed);
+        assert_eq!(t.spot_slots, 0);
+        assert!((t.cost.as_f64() - 0.35).abs() < 1e-12, "od × 1h job");
+        assert!(t.savings.abs() < 1e-12);
+    }
+
+    #[test]
+    fn zone_fallback_rotates_on_reclamation() {
+        // Market 0 is reclaimed every other slot after warmup (a reclaim
+        // on *every* slot would let pending bids wait the outage out
+        // forever — see `SpotMarket::reclaim_next_slot`); a one-time
+        // bidder whose home is 0 starts on a normal slot, is reclaimed on
+        // the next, and must fall back to market 1.
+        let cfg = config(2);
+        let total = cfg.warmup_slots + cfg.horizon_slots;
+        let mut f0 = LoopFaults {
+            gap: vec![false; total],
+            reclaim: vec![false; total],
+        };
+        for s in (cfg.warmup_slots..total).step_by(2) {
+            f0.reclaim[s] = true;
+        }
+        let faults = vec![f0, LoopFaults::default()];
+        let (report, events) = run_portfolio_loop_logged(
+            &[PortfolioStrategy::ZoneFallback {
+                home: 0,
+                base: BiddingStrategy::OptimalOneTime,
+            }],
+            &cfg,
+            11,
+            Some(&faults),
+        )
+        .unwrap();
+        let t = &report.tenants[0];
+        assert!(
+            t.resubmissions > 0,
+            "constant reclamation must force a fallback: {report:?}"
+        );
+        assert!(
+            events.iter().any(|e| matches!(e, Event::Rejected { .. })),
+            "the reclaimed one-time leg is rejected"
+        );
+        // Whatever happened, the job's work is fully accounted for.
+        assert!(t.cost.as_f64() > 0.0);
+    }
+
+    #[test]
+    fn invalid_configs_are_refused() {
+        let cfg = config(2);
+        let strats = strategies();
+        assert!(run_portfolio_loop(&[], &cfg, 1).is_err());
+        let bad = PortfolioLoopConfig {
+            markets: Vec::new(),
+            ..cfg.clone()
+        };
+        assert!(run_portfolio_loop(&strats, &bad, 1).is_err());
+        let bad = PortfolioLoopConfig {
+            shared_arrivals: f64::NAN,
+            ..cfg.clone()
+        };
+        assert!(run_portfolio_loop(&strats, &bad, 1).is_err());
+        // One fault plan for two markets.
+        let r = run_portfolio_loop_logged(&strats, &cfg, 1, Some(&[LoopFaults::default()]));
+        assert!(r.is_err());
+    }
+}

@@ -51,6 +51,18 @@ pub trait JobDriver<S: PriceSource> {
         1
     }
 
+    /// Capacity this driver demands from market `m` when the source quotes
+    /// several markets ([`PriceSource::markets`] > 1). The default places
+    /// the whole [`JobDriver::demand`] in market 0, so single-market
+    /// drivers never need to override; portfolio drivers split it.
+    fn demand_in(&self, market: usize) -> usize {
+        if market == 0 {
+            self.demand()
+        } else {
+            0
+        }
+    }
+
     /// Hook before the slot's quote is posted — where closed-loop bidders
     /// observe history and submit bids into the source.
     ///
@@ -132,6 +144,10 @@ impl<S: PriceSource> Kernel<S> {
     ) -> Result<StopReason, EngineError> {
         let mut done = vec![false; drivers.len()];
         let mut buf: Vec<Event> = Vec::new();
+        // Multi-market sources get per-market demand; the single-market
+        // path below is byte-identical to the pre-promotion kernel.
+        let markets = self.source.markets();
+        let mut demands = vec![0usize; markets];
         loop {
             let slot = self.clock.now();
             if max_slots.is_some_and(|m| slot >= m) {
@@ -148,13 +164,24 @@ impl<S: PriceSource> Kernel<S> {
                 flush(&mut buf, observers)?;
                 r?;
             }
-            let demand: usize = drivers
-                .iter()
-                .zip(&done)
-                .filter(|(_, &d)| !d)
-                .map(|(driver, _)| driver.demand())
-                .sum();
-            let Some(quote) = self.source.post(slot, demand) else {
+            let posted = if markets <= 1 {
+                let demand: usize = drivers
+                    .iter()
+                    .zip(&done)
+                    .filter(|(_, &d)| !d)
+                    .map(|(driver, _)| driver.demand())
+                    .sum();
+                self.source.post(slot, demand)
+            } else {
+                demands.iter_mut().for_each(|d| *d = 0);
+                for (driver, _) in drivers.iter().zip(&done).filter(|(_, &d)| !d) {
+                    for (m, d) in demands.iter_mut().enumerate() {
+                        *d += driver.demand_in(m);
+                    }
+                }
+                self.source.post_many(slot, &demands)
+            };
+            let Some(quote) = posted else {
                 return Ok(StopReason::SourceExhausted);
             };
             self.source.quote_events(slot, &quote, &mut |e| buf.push(e));
@@ -290,6 +317,82 @@ mod tests {
         let stop = k.run(&mut [], &mut [&mut log], None).unwrap();
         assert_eq!(stop, StopReason::SourceExhausted);
         assert_eq!(log.events().len(), 3, "one PricePosted per slot");
+    }
+
+    /// A toy two-market source that records the per-market demand vector
+    /// it was quoted with.
+    struct TwoMarketSource {
+        slots: u64,
+        seen: Vec<Vec<usize>>,
+    }
+
+    impl PriceSource for TwoMarketSource {
+        type Quote = u64;
+
+        fn markets(&self) -> usize {
+            2
+        }
+
+        fn post(&mut self, slot: u64, demand: usize) -> Option<u64> {
+            self.post_many(slot, &[demand, 0])
+        }
+
+        fn post_many(&mut self, slot: u64, demands: &[usize]) -> Option<u64> {
+            if slot >= self.slots {
+                return None;
+            }
+            self.seen.push(demands.to_vec());
+            Some(slot)
+        }
+    }
+
+    /// Demands one unit from every market; never finishes.
+    struct SplitDriver;
+
+    impl JobDriver<TwoMarketSource> for SplitDriver {
+        fn demand_in(&self, _market: usize) -> usize {
+            1
+        }
+
+        fn on_slot(
+            &mut self,
+            _slot: u64,
+            _quote: &u64,
+            _emit: &mut dyn FnMut(Event),
+        ) -> Result<DriverStatus, EngineError> {
+            Ok(DriverStatus::Active)
+        }
+    }
+
+    /// Default `demand_in` places the whole demand in market 0; never
+    /// finishes.
+    struct HomeDriver;
+
+    impl JobDriver<TwoMarketSource> for HomeDriver {
+        fn on_slot(
+            &mut self,
+            _slot: u64,
+            _quote: &u64,
+            _emit: &mut dyn FnMut(Event),
+        ) -> Result<DriverStatus, EngineError> {
+            Ok(DriverStatus::Active)
+        }
+    }
+
+    #[test]
+    fn multi_market_source_sees_per_market_demand() {
+        let src = TwoMarketSource {
+            slots: 2,
+            seen: Vec::new(),
+        };
+        let mut k = Kernel::new(Hours::from_minutes(5.0), src);
+        let mut split = SplitDriver;
+        let mut home = HomeDriver;
+        let stop = k.run(&mut [&mut split, &mut home], &mut [], None).unwrap();
+        assert_eq!(stop, StopReason::SourceExhausted);
+        // split contributes 1 to each market, home's default lands in
+        // market 0: [1+1, 1+0] per slot.
+        assert_eq!(k.source().seen, vec![vec![2, 1], vec![2, 1]]);
     }
 
     #[test]

@@ -73,13 +73,35 @@ pub struct SlotPrice {
 }
 
 /// The supply side of a kernel session.
+///
+/// A source quotes one or more markets per slot. Single-market sources —
+/// the historical case — implement [`PriceSource::post`] and inherit
+/// `markets() == 1`; multi-market sources (a `MarketSet` of instance
+/// types × zones) report their M and implement
+/// [`PriceSource::post_many`], receiving per-market demand. The kernel
+/// only takes the `post_many` path when `markets() > 1`, so promoting the
+/// trait left every existing source bit-identical.
 pub trait PriceSource {
     /// What the source posts each slot.
     type Quote;
 
+    /// Number of markets this source quotes each slot. Defaults to 1;
+    /// multi-market sources override.
+    fn markets(&self) -> usize {
+        1
+    }
+
     /// Posts the quote for `slot` given the aggregate `demand` (number of
     /// active drivers). `None` ends the session (source exhausted).
     fn post(&mut self, slot: u64, demand: usize) -> Option<Self::Quote>;
+
+    /// Posts the quote for `slot` given per-market demand (`demands[m]`
+    /// is the capacity wanted from market `m`). The default folds the
+    /// vector back into [`PriceSource::post`]; sources with
+    /// `markets() > 1` should override.
+    fn post_many(&mut self, slot: u64, demands: &[usize]) -> Option<Self::Quote> {
+        self.post(slot, demands.iter().sum())
+    }
 
     /// Emits the market-wide events describing a posted quote (e.g.
     /// [`Event::PricePosted`]). Called once per slot, before any driver

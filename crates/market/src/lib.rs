@@ -35,12 +35,14 @@
 pub mod arrivals;
 pub mod equilibrium;
 pub mod lyapunov;
+pub mod multi;
 pub mod params;
 pub mod provider;
 pub mod queue;
 pub mod sim;
 pub mod units;
 
+pub use multi::{CorrelatedArrivals, MarketSet, MarketSpec};
 pub use params::MarketParams;
 pub use units::{Cost, Hours, Price};
 

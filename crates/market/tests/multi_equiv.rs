@@ -1,0 +1,208 @@
+//! The M=1 `MarketSet` parity wall (DESIGN.md §5h).
+//!
+//! A one-member `MarketSet` is not a new market — it must be the *same*
+//! market: identical `SlotReport`s slot by slot (same ids, same order in
+//! every event vector, same float price) and identical final `BidRecord`s
+//! to a lone `SpotMarket` driven with the same submissions and an
+//! identically-seeded RNG. These tests hold that contract across the same
+//! four price regimes as the bid-book equivalence wall — uniform,
+//! clustered, exact bucket boundaries, and out-of-range extremes — plus
+//! capacity reclamations and the engine's `step_into` arena path.
+
+use spotbid_market::multi::{MarketSet, MarketSpec};
+use spotbid_market::sim::{BidKind, BidRequest, SlotReport, SpotMarket, WorkModel};
+use spotbid_market::units::{Hours, Price};
+use spotbid_market::MarketParams;
+use spotbid_numerics::rng::Rng;
+
+const BUCKETS: f64 = 512.0;
+
+fn params() -> MarketParams {
+    MarketParams::new(Price::new(0.35), Price::new(0.02), 0.05, 0.05).unwrap()
+}
+
+fn pair(p: MarketParams) -> (MarketSet, SpotMarket) {
+    let slot = Hours::from_minutes(5.0);
+    (
+        MarketSet::new(vec![MarketSpec::new("solo", p)], slot).unwrap(),
+        SpotMarket::new(p, slot),
+    )
+}
+
+/// A price regime: maps a uniform draw to a bid price (same generators as
+/// `bidbook_equiv.rs`).
+type PriceGen = fn(&MarketParams, &mut Rng) -> Price;
+
+fn uniform_price(p: &MarketParams, rng: &mut Rng) -> Price {
+    Price::new(rng.range_f64(p.pi_min.as_f64(), p.pi_bar.as_f64()))
+}
+
+/// Clusters around a few focal prices — deep buckets, heavy boundary work.
+fn clustered_price(p: &MarketParams, rng: &mut Rng) -> Price {
+    let focals = [0.05, 0.12, 0.175, 0.21, 0.34];
+    let f = focals[(rng.range_f64(0.0, focals.len() as f64) as usize).min(focals.len() - 1)];
+    let jitter = rng.range_f64(-0.004, 0.004);
+    Price::new((f + jitter).clamp(p.pi_min.as_f64(), p.pi_bar.as_f64()))
+}
+
+/// Exact bucket-boundary grid: `π_min + k·spread/512` — every price sits
+/// on a bucket edge, the worst case for the float bucket classifier.
+fn boundary_price(p: &MarketParams, rng: &mut Rng) -> Price {
+    let k = rng.range_f64(0.0, BUCKETS + 1.0).floor().min(BUCKETS);
+    Price::new(p.pi_min.as_f64() + k * (p.spread().as_f64() / BUCKETS))
+}
+
+/// Out-of-range prices: below the floor (never accepted) and above the
+/// cap (always accepted), exercising the open-ended edge buckets.
+fn extreme_price(p: &MarketParams, rng: &mut Rng) -> Price {
+    let u = rng.range_f64(0.0, 1.0);
+    if u < 0.4 {
+        Price::new(rng.range_f64(0.0, p.pi_min.as_f64()))
+    } else if u < 0.8 {
+        Price::new(rng.range_f64(p.pi_bar.as_f64(), 2.0 * p.pi_bar.as_f64()))
+    } else {
+        uniform_price(p, rng)
+    }
+}
+
+fn random_request(p: &MarketParams, gen: PriceGen, rng: &mut Rng) -> BidRequest {
+    let kind = if rng.chance(0.45) {
+        BidKind::OneTime
+    } else {
+        BidKind::Persistent
+    };
+    let work = if rng.chance(0.4) {
+        WorkModel::Geometric
+    } else {
+        let draw = rng.range_f64(0.0, 1.0);
+        if draw < 0.05 {
+            WorkModel::FixedSlots(0)
+        } else if draw < 0.1 {
+            WorkModel::FixedSlots(u32::MAX)
+        } else {
+            WorkModel::FixedSlots((rng.range_f64(1.0, 20.0)) as u32)
+        }
+    };
+    BidRequest {
+        price: gen(p, rng),
+        kind,
+        work,
+    }
+}
+
+/// Core driver: identical submissions into the one-member set and the lone
+/// market, identically seeded step RNGs, slot-by-slot `SlotReport`
+/// equality, and final full-`records()` equality.
+fn run_equivalence(
+    seed: u64,
+    gen: PriceGen,
+    initial: usize,
+    slots: usize,
+    churn: f64,
+    reclaim: f64,
+) {
+    let p = params();
+    let (mut set, mut lone) = pair(p);
+    let mut sub_rng = Rng::seed_from_u64(seed);
+    let mut rngs_set = vec![Rng::seed_from_u64(seed ^ 0xFEED)];
+    let mut rng_lone = Rng::seed_from_u64(seed ^ 0xFEED);
+
+    for _ in 0..initial {
+        let req = random_request(&p, gen, &mut sub_rng);
+        assert_eq!(set.submit(0, req), lone.submit(req));
+    }
+
+    for s in 0..slots {
+        let burst = if sub_rng.chance(churn) {
+            if sub_rng.chance(0.1) {
+                40
+            } else {
+                1 + (sub_rng.range_f64(0.0, 4.0) as usize)
+            }
+        } else {
+            0
+        };
+        for _ in 0..burst {
+            let req = random_request(&p, gen, &mut sub_rng);
+            assert_eq!(set.submit(0, req), lone.submit(req));
+        }
+        if reclaim > 0.0 && sub_rng.chance(reclaim) {
+            set.reclaim_next_slot(0);
+            lone.reclaim_next_slot();
+        }
+
+        let rs = set.step(&mut rngs_set);
+        let rl = lone.step(&mut rng_lone);
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0], rl, "seed {seed} slot {s} diverged");
+    }
+
+    assert_eq!(set.records(0), lone.records(), "seed {seed} final records");
+    assert_eq!(set.now(), lone.now());
+}
+
+#[test]
+fn singleton_set_equivalent_under_uniform_prices() {
+    for seed in [1u64, 2, 42, 0xDEAD] {
+        run_equivalence(seed, uniform_price, 200, 120, 0.7, 0.0);
+    }
+}
+
+#[test]
+fn singleton_set_equivalent_under_clustered_prices() {
+    for seed in [7u64, 9, 0xC0FFEE] {
+        run_equivalence(seed, clustered_price, 300, 100, 0.6, 0.0);
+    }
+}
+
+#[test]
+fn singleton_set_equivalent_on_exact_bucket_boundaries() {
+    for seed in [11u64, 13, 19] {
+        run_equivalence(seed, boundary_price, 250, 100, 0.5, 0.0);
+    }
+}
+
+#[test]
+fn singleton_set_equivalent_under_out_of_range_prices() {
+    for seed in [23u64, 29, 31] {
+        run_equivalence(seed, extreme_price, 200, 90, 0.6, 0.0);
+    }
+}
+
+#[test]
+fn singleton_set_equivalent_under_capacity_reclamations() {
+    for seed in [43u64, 53, 0xFA17] {
+        run_equivalence(seed, uniform_price, 250, 120, 0.6, 0.08);
+        run_equivalence(seed, boundary_price, 150, 100, 0.5, 0.4);
+    }
+}
+
+#[test]
+fn singleton_set_arena_path_matches_lone_market() {
+    // step_into with caller-owned reports (the engine's arena path)
+    // against a lone market's step, across every regime.
+    for (gen, seed) in [
+        (uniform_price as PriceGen, 123u64),
+        (clustered_price, 231),
+        (boundary_price, 312),
+        (extreme_price, 321),
+    ] {
+        let p = params();
+        let (mut set, mut lone) = pair(p);
+        let mut sub = Rng::seed_from_u64(seed);
+        let mut rngs = vec![Rng::seed_from_u64(seed ^ 0xA12A)];
+        let mut rl = Rng::seed_from_u64(seed ^ 0xA12A);
+        let mut arena = vec![SlotReport::empty(); 1];
+        for s in 0..120 {
+            if sub.chance(0.6) {
+                let req = random_request(&p, gen, &mut sub);
+                set.submit(0, req);
+                lone.submit(req);
+            }
+            set.step_into(&mut rngs, &mut arena);
+            let expect = lone.step(&mut rl);
+            assert_eq!(arena[0], expect, "slot {s}");
+        }
+        assert_eq!(set.records(0), lone.records());
+    }
+}
