@@ -27,7 +27,8 @@ use spotbid_bench::timing::{fmt_ns, git_rev, Harness};
 use spotbid_core::price_model::{EmpiricalPrices, PriceModel};
 use spotbid_core::{onetime, persistent, JobSpec};
 use spotbid_market::provider::optimal_price;
-use spotbid_market::sim::{naive, BidKind, BidRequest, SpotMarket, WorkModel};
+use spotbid_market::provider::ProviderPolicy;
+use spotbid_market::sim::{naive, BidKind, BidRequest, SpotMarket, Supply, WorkModel};
 use spotbid_market::units::{Hours, Price};
 use spotbid_market::MarketParams;
 use spotbid_numerics::empirical::brute;
@@ -365,6 +366,81 @@ fn market_scale_benches(h: &mut Harness) {
         });
 }
 
+/// The finite-capacity provider layer (DESIGN.md §5i). Two slots:
+///
+/// - `finite_step/100k_bids_8k_servers` — the identical workload as
+///   `market_scale`'s unbounded `spot_market_step/100k_bids`, on an 8192-
+///   server box, so the two sections' ratio is the honest cost of the
+///   clearing-price floor plus the per-slot eviction pass;
+/// - `reclaim_storm_step/20k_bids_4k_servers` — every standing bid above
+///   the clearing price, with half the box requested and released on
+///   demand around alternate steps, so each step reclaims running
+///   instances on the squeeze and mass-reactivates parked victims on the
+///   release.
+fn market_provider_benches(h: &mut Harness) {
+    let params = market_params();
+    let slot = Hours::from_minutes(5.0);
+
+    let supply = Supply::Finite {
+        capacity: 8192,
+        policy: ProviderPolicy::UtilizationTracking { od_cap: 4096 },
+    };
+    let mut market = SpotMarket::with_supply(params, slot, supply);
+    for i in 0..100_000 {
+        market.submit(standing_bid(&params, i));
+    }
+    let mut rng = Rng::seed_from_u64(0x5CA1E);
+    let first = market.step(&mut rng);
+    market.recycle(first);
+    let mut next = 100_000usize;
+    h.group("market_provider").throughput_items(100_000).bench(
+        "finite_step/100k_bids_8k_servers",
+        || {
+            for _ in 0..CHURN_PER_STEP {
+                market.submit(churn_bid(&params, next));
+                next += 1;
+            }
+            let report = market.step(&mut rng);
+            let report = black_box(report);
+            market.recycle(report);
+        },
+    );
+
+    // Bids laddered over [0.29, 0.35): all above the 20k-bid clearing
+    // price at either split, so capacity — not price — does the rationing.
+    let storm_bid = |i: usize| BidRequest {
+        price: Price::new(0.29 + ((0.5 + i as f64 * 0.618_033_988_749_895) % 1.0) * 0.06),
+        kind: BidKind::Persistent,
+        work: WorkModel::FixedSlots(u32::MAX),
+    };
+    let storm = Supply::Finite {
+        capacity: 4096,
+        policy: ProviderPolicy::UtilizationTracking { od_cap: 4096 },
+    };
+    let mut market = SpotMarket::with_supply(params, slot, storm);
+    for i in 0..20_000 {
+        market.submit(storm_bid(i));
+    }
+    let mut rng = Rng::seed_from_u64(0x5CA1E);
+    let first = market.step(&mut rng);
+    market.recycle(first);
+    let mut tick = 0u32;
+    h.group("market_provider").throughput_items(20_000).bench(
+        "reclaim_storm_step/20k_bids_4k_servers",
+        || {
+            if tick % 2 == 0 {
+                market.request_on_demand(2048);
+            } else {
+                market.release_on_demand(2048);
+            }
+            tick += 1;
+            let report = market.step(&mut rng);
+            let report = black_box(report);
+            market.recycle(report);
+        },
+    );
+}
+
 /// The multi-market layer (DESIGN.md §5h): a `MarketSet` stepping M books
 /// per slot with per-market churn, the common-shock correlated arrival
 /// draw, and a small portfolio closed loop over 3 correlated markets.
@@ -433,6 +509,7 @@ fn market_multi_benches(h: &mut Harness) {
                 )
                 .unwrap(),
                 idio_arrivals: 2.0,
+                supply: Supply::Unbounded,
             })
             .collect(),
         shared_arrivals: 1.0,
@@ -496,6 +573,9 @@ fn closed_loop_config(warmup: usize, horizon: usize) -> spotbid_engine::ClosedLo
         horizon_slots: horizon,
         background_arrivals: 3.0,
         max_resubmissions: 4,
+        supply: Supply::Unbounded,
+        od_arrivals: 0.0,
+        od_departure: 0.0,
     }
 }
 
@@ -644,6 +724,7 @@ const SECTIONS: &[Section] = &[
     ("serve", serve_benches),
     ("market", market_benches),
     ("market_scale", market_scale_benches),
+    ("market_provider", market_provider_benches),
     ("market_multi", market_multi_benches),
     ("strategy", strategy_benches),
     ("replay", replay_benches),

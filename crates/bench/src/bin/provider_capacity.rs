@@ -1,0 +1,56 @@
+//! Provider economics on a finite box: the capacity × tenant-load grid
+//! (DESIGN.md §5i) — revenue split, utilization, reclaims, rejections,
+//! and the price spike capacity binding puts into the posted path, with
+//! an unbounded baseline row (capacity ∞) at identical per-load seeds.
+
+use spotbid_bench::experiments::provider;
+use spotbid_bench::report::{pct, usd, Table};
+use spotbid_bench::timing::time_experiment;
+
+fn main() {
+    let rows = time_experiment("provider_capacity", || {
+        provider::run_grid(&provider::CAPACITIES, &provider::TENANTS, 0x9D01)
+    });
+
+    let mut t = Table::new(
+        "Provider economics — capacity × tenant load, optimal-persistent tenants, \
+         on-demand churn λ=1.5 (capacity ∞ = unbounded Eq. 3 baseline)",
+    )
+    .headers([
+        "capacity",
+        "tenants",
+        "mean price",
+        "peak price",
+        "utilization",
+        "spot revenue",
+        "od revenue",
+        "reclaims",
+        "od rejected",
+        "completed",
+        "mean savings",
+    ]);
+    for r in &rows {
+        t.row([
+            if r.capacity == 0 {
+                "∞".to_string()
+            } else {
+                r.capacity.to_string()
+            },
+            r.tenants.to_string(),
+            usd(r.mean_price),
+            usd(r.peak_price),
+            if r.capacity == 0 {
+                "—".to_string()
+            } else {
+                pct(r.mean_utilization)
+            },
+            usd(r.spot_revenue),
+            usd(r.od_revenue),
+            r.reclaims.to_string(),
+            r.od_rejections.to_string(),
+            r.completed.to_string(),
+            pct(r.mean_savings),
+        ]);
+    }
+    print!("{}", t.render());
+}

@@ -14,7 +14,7 @@ use spotbid_core::strategy::BiddingStrategy;
 use spotbid_core::JobSpec;
 use spotbid_engine::{run_closed_loop, ClosedLoopConfig, ClosedLoopReport};
 use spotbid_market::units::{Hours, Price};
-use spotbid_market::MarketParams;
+use spotbid_market::{MarketParams, Supply};
 
 /// Tenant counts swept: the paper's single user, powers of two up to the
 /// crowding knee, the bid-book-era populations (1k, 10k), then the 100k
@@ -52,6 +52,9 @@ pub fn config() -> ClosedLoopConfig {
         horizon_slots: 500,
         background_arrivals: 3.0,
         max_resubmissions: 4,
+        supply: Supply::Unbounded,
+        od_arrivals: 0.0,
+        od_departure: 0.0,
     }
 }
 

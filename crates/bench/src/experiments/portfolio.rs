@@ -17,7 +17,7 @@ use spotbid_core::strategy::BiddingStrategy;
 use spotbid_core::JobSpec;
 use spotbid_engine::{run_portfolio_loop, PortfolioLoopConfig, PortfolioMarket, PortfolioReport};
 use spotbid_market::units::{Hours, Price};
-use spotbid_market::MarketParams;
+use spotbid_market::{MarketParams, Supply};
 
 /// Tenant counts swept in the crowding comparison.
 pub const TENANT_COUNTS: [usize; 7] = [1, 2, 4, 8, 16, 32, 256];
@@ -62,6 +62,7 @@ pub fn config() -> PortfolioLoopConfig {
                 )
                 .unwrap(),
                 idio_arrivals: 2.0,
+                supply: Supply::Unbounded,
             })
             .collect(),
         shared_arrivals: 1.0,

@@ -1,0 +1,190 @@
+//! Provider economics under finite capacity (DESIGN.md §5i): what a
+//! C-server box earns from the two-sided spot/on-demand market as tenant
+//! load grows, and what binding capacity does to the posted price path.
+//!
+//! Unbounded Eq. 3 pricing never runs out of servers — the posted price
+//! is whatever revenue maximization says. A finite box adds a second
+//! regime: once accepted demand reaches the spot share of `C`, the
+//! clearing-price floor takes over, the posted price spikes, and growing
+//! on-demand demand reclaims running spot instances. This sweep measures
+//! both sides of the ledger — the provider's revenue split, utilization,
+//! reclaims, and rejections — and the tenant-visible fallout (savings,
+//! completion) across a capacity × tenant-load grid, with an unbounded
+//! baseline column (`capacity = 0`) at identical per-load seeds.
+
+use super::closedloop;
+use spotbid_core::strategy::BiddingStrategy;
+use spotbid_engine::{run_closed_loop, ClosedLoopConfig, ClosedLoopReport};
+use spotbid_market::{ProviderPolicy, Supply};
+
+/// Capacities swept; `0` encodes the unbounded baseline.
+pub const CAPACITIES: [u32; 4] = [0, 16, 64, 256];
+
+/// Tenant loads swept.
+pub const TENANTS: [usize; 3] = [8, 32, 256];
+
+/// One cell of the grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProviderRow {
+    /// Servers in the box (`0` = unbounded baseline).
+    pub capacity: u32,
+    /// Tenants bidding in the loop.
+    pub tenants: usize,
+    /// Mean posted price over the tenant-visible horizon.
+    pub mean_price: f64,
+    /// Peak posted price over the tenant-visible horizon.
+    pub peak_price: f64,
+    /// Mean `(spot_running + od_active) / C` across slots (0 when
+    /// unbounded).
+    pub mean_utilization: f64,
+    /// Spot-side provider revenue over the whole session.
+    pub spot_revenue: f64,
+    /// On-demand-side provider revenue over the whole session.
+    pub od_revenue: f64,
+    /// Running spot instances reclaimed by the provider.
+    pub reclaims: u64,
+    /// On-demand requests admitted.
+    pub od_admissions: u64,
+    /// On-demand requests turned away at the policy limit.
+    pub od_rejections: u64,
+    /// Tenants whose job completed (spot or on-demand top-up).
+    pub completed: usize,
+    /// Mean tenant savings over all-on-demand.
+    pub mean_savings: f64,
+}
+
+/// The closed-loop configuration for one capacity: the shared
+/// single-market experiment world, plus — on finite boxes — an on-demand
+/// churn process (λ = 1.5 arrivals/slot, 10 %/slot departures) competing
+/// for the same servers under a utilization-tracking half-split.
+pub fn config(capacity: u32) -> ClosedLoopConfig {
+    let (supply, od_arrivals, od_departure) = if capacity == 0 {
+        (Supply::Unbounded, 0.0, 0.0)
+    } else {
+        (
+            Supply::Finite {
+                capacity,
+                policy: ProviderPolicy::UtilizationTracking {
+                    od_cap: (capacity / 2).max(1),
+                },
+            },
+            1.5,
+            0.1,
+        )
+    };
+    ClosedLoopConfig {
+        supply,
+        od_arrivals,
+        od_departure,
+        ..closedloop::config()
+    }
+}
+
+fn row(capacity: u32, tenants: usize, report: &ClosedLoopReport) -> ProviderRow {
+    let p = report.provider.as_ref();
+    ProviderRow {
+        capacity,
+        tenants,
+        mean_price: report.mean_price.as_f64(),
+        peak_price: report.peak_price.as_f64(),
+        mean_utilization: p.map_or(0.0, |p| p.mean_utilization),
+        spot_revenue: p.map_or(0.0, |p| p.spot_revenue.as_f64()),
+        od_revenue: p.map_or(0.0, |p| p.od_revenue.as_f64()),
+        reclaims: p.map_or(0, |p| p.reclaims),
+        od_admissions: p.map_or(0, |p| p.od_admissions),
+        od_rejections: p.map_or(0, |p| p.od_rejections),
+        completed: report.completed,
+        mean_savings: report.mean_savings,
+    }
+}
+
+/// Runs one cell: `tenants` optimal-persistent bidders on a `capacity`
+/// box (0 = unbounded).
+pub fn run_one(capacity: u32, tenants: usize, seed: u64) -> ProviderRow {
+    let strategies = vec![BiddingStrategy::OptimalPersistent; tenants];
+    let report = run_closed_loop(&strategies, &config(capacity), seed).unwrap();
+    row(capacity, tenants, &report)
+}
+
+/// Runs the capacity × tenant-load grid, one executor task per cell.
+/// Seeds are derived from the tenant-load index only, so every capacity
+/// at a given load sees the identical arrival and decision streams — the
+/// capacity column is the only thing that changes across a load's rows.
+pub fn run_grid(capacities: &[u32], tenants: &[usize], seed: u64) -> Vec<ProviderRow> {
+    let cells: Vec<(u32, usize, u64)> = tenants
+        .iter()
+        .enumerate()
+        .flat_map(|(j, &n)| {
+            capacities
+                .iter()
+                .map(move |&c| (c, n, seed ^ (0x9D0_0110 + j as u64)))
+        })
+        .collect();
+    spotbid_exec::par_map(cells.len(), |i| {
+        let (c, n, s) = cells[i];
+        run_one(c, n, s)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Debug-friendly sub-grid (the 256-capacity and 256-tenant tails run
+    /// in release via the `provider_capacity` bin).
+    fn small_caps() -> &'static [u32] {
+        &CAPACITIES[..3]
+    }
+    fn small_tenants() -> &'static [usize] {
+        &TENANTS[..2]
+    }
+
+    #[test]
+    fn grid_is_deterministic_and_covers_the_cells() {
+        let a = run_grid(small_caps(), small_tenants(), 0x9D01);
+        let b = run_grid(small_caps(), small_tenants(), 0x9D01);
+        assert_eq!(a, b, "grid is not a pure function of its seed");
+        assert_eq!(a.len(), small_caps().len() * small_tenants().len());
+        for r in &a {
+            assert!(r.mean_price.is_finite() && r.mean_price > 0.0);
+            assert!(r.peak_price >= r.mean_price);
+            assert!(r.completed <= r.tenants);
+            if r.capacity == 0 {
+                assert_eq!((r.spot_revenue, r.od_revenue), (0.0, 0.0));
+                assert_eq!(r.reclaims, 0);
+            } else {
+                assert!(r.mean_utilization > 0.0 && r.mean_utilization <= 1.0 + 1e-12);
+                assert!(
+                    r.od_admissions > 0,
+                    "the churn process never admitted: {r:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binding_capacity_spikes_the_price_and_earns_od_revenue() {
+        // 32 tenants on a 16-server box vs the unbounded baseline at the
+        // identical seed: the clearing-price floor must lift the mean
+        // posted price, the provider must actually reclaim and earn on
+        // the on-demand side, and someone must get turned away.
+        let rows = run_grid(&[0, 16], &[32], 0x9D01);
+        let (free, tight) = (&rows[0], &rows[1]);
+        assert_eq!(free.capacity, 0);
+        assert_eq!(tight.capacity, 16);
+        assert!(
+            tight.mean_price > free.mean_price,
+            "capacity never bound: free {free:?} vs tight {tight:?}"
+        );
+        assert!(
+            tight.reclaims > 0,
+            "no provider-initiated reclamation: {tight:?}"
+        );
+        assert!(tight.od_revenue > 0.0, "{tight:?}");
+        assert!(
+            tight.od_rejections > 0,
+            "the half-split never filled: {tight:?}"
+        );
+        assert!(tight.mean_utilization > 0.5, "{tight:?}");
+    }
+}

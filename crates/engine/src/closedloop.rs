@@ -41,7 +41,9 @@ use crate::source::PriceSource;
 use crate::EngineError;
 use spotbid_core::{BiddingStrategy, JobSpec};
 use spotbid_market::params::MarketParams;
-use spotbid_market::sim::{BidKind, BidRequest, SlotReport, SpotMarket, WorkModel};
+use spotbid_market::sim::{
+    BidKind, BidRequest, ProviderReport, SlotReport, SpotMarket, Supply, WorkModel,
+};
 use spotbid_market::units::{Cost, Hours, Price};
 use spotbid_numerics::rng::{Rng, RngStreams};
 use spotbid_trace::SpotPriceHistory;
@@ -74,6 +76,16 @@ pub struct ClosedLoopConfig {
     /// Times a tenant whose bid was rejected/terminated may re-bid before
     /// giving up on spot.
     pub max_resubmissions: u32,
+    /// The market's supply model: unbounded Eq. 3 pricing (the default
+    /// regime, bit-identical to the pre-supply loop) or a finite provider
+    /// whose on-demand pool competes with the spot book for servers.
+    pub supply: Supply,
+    /// Mean on-demand instance requests per slot (`Poisson`); drawn from
+    /// a reserved substream, only under finite supply.
+    pub od_arrivals: f64,
+    /// Per-slot departure probability of each active on-demand instance
+    /// (geometric holding times); only under finite supply.
+    pub od_departure: f64,
 }
 
 /// What happened to one tenant.
@@ -113,6 +125,10 @@ pub struct ClosedLoopReport {
     pub peak_price: Price,
     /// Slots simulated after warmup.
     pub slots: u64,
+    /// The provider's side of the session — revenue, utilization,
+    /// reclamations, on-demand rejections over the **whole** run (warmup
+    /// included). `None` under unbounded supply.
+    pub provider: Option<ProviderReport>,
 }
 
 /// A fault plan for one closed-loop session, indexed by **absolute** slot
@@ -153,6 +169,12 @@ struct ClosedLoopSource {
     bg_rng: Rng,
     arrivals: f64,
     slot_len: Hours,
+    /// On-demand churn process — its own reserved substream (placed after
+    /// the decision shards), present only under finite supply so the
+    /// unbounded stream layout is untouched.
+    od_rng: Option<Rng>,
+    od_arrivals: f64,
+    od_departure: f64,
     /// Every price the market posted, in slot order (ground truth).
     posted: Vec<Price>,
     /// The prices that reached the tenants' feed (gap slots omitted).
@@ -161,13 +183,31 @@ struct ClosedLoopSource {
 }
 
 impl ClosedLoopSource {
-    fn new(cfg: &ClosedLoopConfig, streams: &RngStreams, faults: Option<&LoopFaults>) -> Self {
+    fn new(
+        cfg: &ClosedLoopConfig,
+        streams: &RngStreams,
+        faults: Option<&LoopFaults>,
+        n_tenants: usize,
+    ) -> Self {
+        // Streams 0/1 belong to the market and the background process and
+        // 2.. to the decision shards; the on-demand process reserves the
+        // next index after the shards, so it exists at any tenant count
+        // without shifting any pre-existing stream.
+        let od_rng = match cfg.supply {
+            Supply::Unbounded => None,
+            Supply::Finite { .. } => {
+                Some(streams.stream(2 + n_tenants.div_ceil(dense::SHARD_SIZE) as u64))
+            }
+        };
         ClosedLoopSource {
-            market: SpotMarket::new(cfg.params, cfg.slot_len),
+            market: SpotMarket::with_supply(cfg.params, cfg.slot_len, cfg.supply),
             market_rng: streams.stream(0),
             bg_rng: streams.stream(1),
             arrivals: cfg.background_arrivals,
             slot_len: cfg.slot_len,
+            od_rng,
+            od_arrivals: cfg.od_arrivals,
+            od_departure: cfg.od_departure,
             posted: Vec::new(),
             observed: Vec::new(),
             faults: faults.cloned(),
@@ -182,6 +222,24 @@ impl ClosedLoopSource {
         };
         if reclaim {
             self.market.reclaim_next_slot();
+        }
+        if let Some(od_rng) = self.od_rng.as_mut() {
+            // On-demand churn: each active instance departs with
+            // probability `od_departure`, then `Poisson(od_arrivals)` new
+            // requests contend for the pool — admissions shrink the spot
+            // share the market clears this slot, and may force it to
+            // reclaim running spot instances.
+            let mut departed = 0u32;
+            for _ in 0..self.market.od_active() {
+                if od_rng.chance(self.od_departure) {
+                    departed += 1;
+                }
+            }
+            self.market.release_on_demand(departed);
+            let requested = od_rng.poisson(self.od_arrivals).min(u64::from(u32::MAX)) as u32;
+            if requested > 0 {
+                self.market.request_on_demand(requested);
+            }
         }
         let n = self.bg_rng.poisson(self.arrivals);
         let (lo, hi) = (
@@ -273,6 +331,23 @@ fn validate(strategies: &[BiddingStrategy], cfg: &ClosedLoopConfig) -> Result<()
             ),
         });
     }
+    if !cfg.od_arrivals.is_finite() || cfg.od_arrivals < 0.0 {
+        return Err(EngineError::InvalidConfig {
+            what: format!("od_arrivals {} must be finite and ≥ 0", cfg.od_arrivals),
+        });
+    }
+    if !(0.0..=1.0).contains(&cfg.od_departure) {
+        return Err(EngineError::InvalidConfig {
+            what: format!("od_departure {} must be in [0, 1]", cfg.od_departure),
+        });
+    }
+    if let Supply::Finite { capacity, .. } = cfg.supply {
+        if capacity == 0 {
+            return Err(EngineError::InvalidConfig {
+                what: "finite supply needs capacity ≥ 1".into(),
+            });
+        }
+    }
     cfg.job.validate().map_err(EngineError::Core)?;
     if cfg.job.slot != cfg.slot_len {
         return Err(EngineError::InvalidConfig {
@@ -341,6 +416,7 @@ fn assemble_report(
         mean_price,
         peak_price,
         slots: visible.len() as u64,
+        provider: source.market.provider_report(),
     })
 }
 
@@ -413,6 +489,9 @@ mod tests {
             horizon_slots: 400,
             background_arrivals: 3.0,
             max_resubmissions: 4,
+            supply: Supply::Unbounded,
+            od_arrivals: 0.0,
+            od_departure: 0.0,
         }
     }
 

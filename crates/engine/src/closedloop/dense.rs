@@ -347,7 +347,7 @@ fn run_dense(
     validate(strategies, cfg)?;
 
     let streams = RngStreams::new(seed);
-    let mut source = ClosedLoopSource::new(cfg, &streams, faults);
+    let mut source = ClosedLoopSource::new(cfg, &streams, faults, strategies.len());
     source.warmup(cfg.warmup_slots);
 
     let tenants: Vec<TenantBidder> = strategies

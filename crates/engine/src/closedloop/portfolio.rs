@@ -48,7 +48,9 @@ use spotbid_core::portfolio::{PortfolioPlan, PortfolioStrategy};
 use spotbid_core::{BidDecision, CoreError, JobSpec};
 use spotbid_market::multi::{CorrelatedArrivals, MarketSet, MarketSpec};
 use spotbid_market::params::MarketParams;
-use spotbid_market::sim::{BidId, BidKind, BidRequest, SlotReport, WorkModel};
+use spotbid_market::sim::{
+    BidId, BidKind, BidRequest, ProviderReport, SlotReport, Supply, WorkModel,
+};
 use spotbid_market::units::{Cost, Hours, Price};
 use spotbid_numerics::rng::{Rng, RngStreams};
 use spotbid_trace::SpotPriceHistory;
@@ -62,6 +64,9 @@ pub struct PortfolioMarket {
     pub params: MarketParams,
     /// Mean idiosyncratic background arrivals per slot.
     pub idio_arrivals: f64,
+    /// Supply model: unbounded Eq. 3 pricing or a finite-capacity
+    /// provider with capacity evictions (DESIGN.md §5i). Members may mix.
+    pub supply: Supply,
 }
 
 /// Configuration of one portfolio closed-loop session.
@@ -98,6 +103,7 @@ impl PortfolioLoopConfig {
                 name: name.into(),
                 params: cfg.params,
                 idio_arrivals: cfg.background_arrivals,
+                supply: cfg.supply,
             }],
             shared_arrivals: 0.0,
             slot_len: cfg.slot_len,
@@ -147,6 +153,9 @@ pub struct PortfolioReport {
     pub peak_price: Vec<Price>,
     /// Slots simulated after warmup.
     pub slots: u64,
+    /// Per-market provider telemetry: `Some` for finite-capacity members
+    /// (revenue split, utilization, reclaims), `None` for unbounded ones.
+    pub provider: Vec<Option<ProviderReport>>,
 }
 
 /// M endogenous markets as one kernel price source: each slot the
@@ -185,7 +194,7 @@ impl PortfolioSource {
         let specs: Vec<MarketSpec> = cfg
             .markets
             .iter()
-            .map(|mk| MarketSpec::new(mk.name.clone(), mk.params))
+            .map(|mk| MarketSpec::with_supply(mk.name.clone(), mk.params, mk.supply))
             .collect();
         let set = MarketSet::new(specs, cfg.slot_len).map_err(|e| EngineError::InvalidConfig {
             what: e.to_string(),
@@ -832,6 +841,9 @@ fn run_portfolio(
         );
         slots = visible.len() as u64;
     }
+    let provider = (0..cfg.markets.len())
+        .map(|m| source.set.provider_report(m))
+        .collect();
     Ok(PortfolioReport {
         completed: outcomes.iter().filter(|o| o.completed).count(),
         mean_savings: outcomes.iter().map(|o| o.savings).sum::<f64>() / outcomes.len() as f64,
@@ -839,6 +851,7 @@ fn run_portfolio(
         mean_price,
         peak_price,
         slots,
+        provider,
     })
 }
 
@@ -894,6 +907,7 @@ mod tests {
             name: name.into(),
             params: MarketParams::new(Price::new(0.35), Price::new(pi_min), 0.05, 0.05).unwrap(),
             idio_arrivals: idio,
+            supply: Supply::Unbounded,
         }
     }
 

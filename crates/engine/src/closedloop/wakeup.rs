@@ -41,7 +41,7 @@ use crate::observer::{BillingObserver, EventLog, Observer};
 use crate::EngineError;
 use spotbid_core::{BidDecision, BiddingStrategy, CoreError, JobSpec};
 use spotbid_market::params::MarketParams;
-use spotbid_market::sim::{BidId, BidKind, BidRequest, SlotReport, WorkModel};
+use spotbid_market::sim::{BidId, BidKind, BidRequest, SlotReport, Supply, WorkModel};
 use spotbid_market::units::{Hours, Price};
 use spotbid_numerics::rng::{Rng, RngStreams};
 use std::collections::BTreeMap;
@@ -236,6 +236,10 @@ struct WakeupFleet {
     /// Kernel-slot-indexed reclamation outages (from [`LoopFaults`],
     /// warmup offset already applied). Empty when fault-free.
     reclaim_mask: Vec<bool>,
+    /// The market has finite supply: any slot may evict a pending winner
+    /// or restart a parked victim without a price crossing, so waiting
+    /// tenants stay calendar-armed instead of relying on price sweeps.
+    finite_supply: bool,
     shard_rngs: Vec<Rng>,
     stats: FleetStats,
 
@@ -284,6 +288,7 @@ impl WakeupFleet {
             active: n,
             prev_price: f64::INFINITY,
             reclaim_mask,
+            finite_supply: cfg.supply != Supply::Unbounded,
             shard_rngs,
             stats: FleetStats::default(),
             sc_woken: Vec::new(),
@@ -671,12 +676,17 @@ impl JobDriver<ClosedLoopSource> for WakeupFleet {
         // re-auctions — which a price sweep cannot predict. Re-arm every
         // woken tenant still holding a live non-running bid
         // unconditionally for the next slot (chains across back-to-back
-        // outages).
-        if self
-            .reclaim_mask
-            .get(slot as usize)
-            .copied()
-            .unwrap_or(false)
+        // outages). Finite supply makes *every* slot such a slot: the
+        // provider may evict a pending winner (no event) or restart a
+        // parked victim when capacity frees, neither tied to a price
+        // crossing — so waiting tenants stay armed until their bid
+        // starts or dies.
+        if self.finite_supply
+            || self
+                .reclaim_mask
+                .get(slot as usize)
+                .copied()
+                .unwrap_or(false)
         {
             for &t in &order {
                 let tu = t as usize;
@@ -704,7 +714,7 @@ pub(super) fn run(
     validate(strategies, cfg)?;
 
     let streams = RngStreams::new(seed);
-    let mut source = ClosedLoopSource::new(cfg, &streams, faults);
+    let mut source = ClosedLoopSource::new(cfg, &streams, faults, strategies.len());
     source.warmup(cfg.warmup_slots);
 
     // The fleet sees kernel slots (0-based after warmup); shift the
@@ -872,6 +882,9 @@ mod tests {
             horizon_slots: 1,
             background_arrivals: 0.0,
             max_resubmissions: 0,
+            supply: Supply::Unbounded,
+            od_arrivals: 0.0,
+            od_departure: 0.0,
         };
         let streams = RngStreams::new(1);
         let mut fleet = WakeupFleet::new(&[BiddingStrategy::OnDemand], &cfg, &streams, Vec::new());

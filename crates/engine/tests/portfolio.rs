@@ -21,7 +21,7 @@ use spotbid_engine::{
 };
 use spotbid_exec::with_threads;
 use spotbid_market::units::{Hours, Price};
-use spotbid_market::MarketParams;
+use spotbid_market::{MarketParams, Supply};
 
 fn single_config() -> ClosedLoopConfig {
     ClosedLoopConfig {
@@ -33,6 +33,9 @@ fn single_config() -> ClosedLoopConfig {
         horizon_slots: 240,
         background_arrivals: 3.0,
         max_resubmissions: 3,
+        supply: Supply::Unbounded,
+        od_arrivals: 0.0,
+        od_departure: 0.0,
     }
 }
 
@@ -196,6 +199,7 @@ fn multi_config() -> PortfolioLoopConfig {
                 )
                 .unwrap(),
                 idio_arrivals: 1.5,
+                supply: Supply::Unbounded,
             })
             .collect(),
         shared_arrivals: 1.5,

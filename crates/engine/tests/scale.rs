@@ -19,7 +19,7 @@ use spotbid_engine::{
 use spotbid_exec::with_threads;
 use spotbid_faults::{FaultConfig, FaultSchedule};
 use spotbid_market::units::{Hours, Price};
-use spotbid_market::MarketParams;
+use spotbid_market::{MarketParams, ProviderPolicy, Supply};
 
 /// A short-horizon 10k-tenant session: FixedBid-heavy (cheap to decide in
 /// debug builds) with a sprinkling of history-fitting strategies so the
@@ -34,6 +34,9 @@ fn config() -> ClosedLoopConfig {
         horizon_slots: 40,
         background_arrivals: 3.0,
         max_resubmissions: 2,
+        supply: Supply::Unbounded,
+        od_arrivals: 0.0,
+        od_departure: 0.0,
     }
 }
 
@@ -70,6 +73,17 @@ fn digest(report: &ClosedLoopReport) -> u64 {
         eat(u64::from(t.resubmissions));
         eat(t.cost.as_f64().to_bits());
         eat(t.savings.to_bits());
+    }
+    if let Some(p) = &report.provider {
+        eat(u64::from(p.capacity));
+        eat(p.slots);
+        eat(p.spot_revenue.as_f64().to_bits());
+        eat(p.od_revenue.as_f64().to_bits());
+        eat(p.reclaims);
+        eat(p.od_admissions);
+        eat(p.od_rejections);
+        eat(p.mean_utilization.to_bits());
+        eat(p.peak_price.as_f64().to_bits());
     }
     h
 }
@@ -141,6 +155,116 @@ fn million_tenants_smoke_behind_env_gate() {
     });
     assert_eq!(digest(&one), digest(&four));
     assert_eq!(one.tenants.len(), 1_000_000);
+}
+
+/// The finite-capacity variant of `config()`: a box small enough that
+/// capacity binds at these populations, with an on-demand churn process
+/// competing for the same servers.
+fn finite_config() -> ClosedLoopConfig {
+    ClosedLoopConfig {
+        supply: Supply::Finite {
+            capacity: 600,
+            policy: ProviderPolicy::UtilizationTracking { od_cap: 200 },
+        },
+        od_arrivals: 4.0,
+        od_departure: 0.15,
+        ..config()
+    }
+}
+
+/// Bids packed just under π̄, well above the 10k-tenant clearing price —
+/// accepted demand far exceeds the box, so the eviction path runs hot.
+fn aggressive_strategies(n: usize) -> Vec<BiddingStrategy> {
+    (0..n)
+        .map(|i| match i % 97 {
+            0 => BiddingStrategy::OptimalPersistent,
+            1 => BiddingStrategy::Percentile(0.90),
+            _ => BiddingStrategy::FixedBid(Price::new(0.30 + (i % 13) as f64 * 0.004)),
+        })
+        .collect()
+}
+
+#[test]
+fn finite_supply_ten_k_tenants_identical_digests_at_1_and_4_threads() {
+    // The finite-capacity closed loop — provider evictions, on-demand
+    // churn, clearing-price spikes — is just as much a pure function of
+    // its seed as the unbounded loop, at any worker count.
+    let strategies = aggressive_strategies(10_000);
+    let cfg = finite_config();
+    let one = with_threads(1, || run_closed_loop(&strategies, &cfg, 0x5CA1E).unwrap());
+    let four = with_threads(4, || run_closed_loop(&strategies, &cfg, 0x5CA1E).unwrap());
+    assert_eq!(
+        digest(&one),
+        digest(&four),
+        "thread count leaked into the finite-supply result"
+    );
+    assert_eq!(one, four);
+    let p = one.provider.as_ref().expect("finite run has a provider");
+    assert!(p.reclaims > 0, "capacity never bound at 10k tenants");
+    assert!(p.mean_utilization > 0.5, "the box sat idle: {p:?}");
+}
+
+/// 32-seed chaos sweep over the finite-capacity closed loop: fault
+/// schedules layered on top of provider evictions and on-demand churn.
+/// No panics, wakeup ≡ dense throughout, billing stays sane, and the
+/// zero-fault schedule reproduces the clean (fault-free) baseline.
+#[test]
+fn chaos_sweep_finite_supply_wakeup_matches_dense() {
+    let chaos = FaultConfig {
+        gap: 0.06,
+        reclamation: 0.08,
+        ..FaultConfig::NONE
+    };
+    let cfg = ClosedLoopConfig {
+        horizon_slots: 120,
+        supply: Supply::Finite {
+            capacity: 20,
+            policy: ProviderPolicy::UtilizationTracking { od_cap: 12 },
+        },
+        od_arrivals: 1.0,
+        od_departure: 0.2,
+        ..config()
+    };
+    let total = cfg.warmup_slots + cfg.horizon_slots;
+    let strategies = strategies(48);
+    let od_cost = 0.35;
+    let mut any_reclaimed = false;
+    for seed in 0..32u64 {
+        let schedule = FaultSchedule::generate(seed ^ 0xFA17, total, 1, &chaos);
+        let faults = LoopFaults {
+            gap: (0..total).map(|s| schedule.gap(s)).collect(),
+            reclaim: (0..total).map(|s| schedule.reclaimed(s)).collect(),
+        };
+        let (wr, we, _) = run_closed_loop_logged(&strategies, &cfg, seed, Some(&faults)).unwrap();
+        let (dr, de) =
+            dense::run_closed_loop_logged(&strategies, &cfg, seed, Some(&faults)).unwrap();
+        assert_eq!(digest(&wr), digest(&dr), "seed {seed}: digests diverged");
+        assert_eq!(wr, dr, "seed {seed}: reports diverged");
+        assert_eq!(we, de, "seed {seed}: event streams diverged");
+        // Billing sanity: every cost is finite and non-negative, and the
+        // reported savings are exactly `1 − cost/(π̄·Ts)`.
+        for t in &wr.tenants {
+            let cost = t.cost.as_f64();
+            assert!(cost.is_finite() && cost >= 0.0, "{t:?}");
+            assert!((t.savings - (1.0 - cost / od_cost)).abs() < 1e-12, "{t:?}");
+        }
+        any_reclaimed |= wr.provider.as_ref().is_some_and(|p| p.reclaims > 0);
+    }
+    assert!(
+        any_reclaimed,
+        "no provider eviction ever bit across 32 seeds"
+    );
+
+    // The all-clear schedule is not a different world: it must reproduce
+    // the fault-free baseline bit for bit.
+    let clear = LoopFaults {
+        gap: vec![false; total],
+        reclaim: vec![false; total],
+    };
+    let (zr, ze, _) = run_closed_loop_logged(&strategies, &cfg, 7, Some(&clear)).unwrap();
+    let (cr, ce, _) = run_closed_loop_logged(&strategies, &cfg, 7, None).unwrap();
+    assert_eq!(zr, cr, "zero-fault run diverged from the clean baseline");
+    assert_eq!(ze, ce);
 }
 
 /// 32-seed chaos sweep: `spotbid-faults` schedules (feed gaps + capacity

@@ -31,7 +31,7 @@ use spotbid_engine::{
     run_closed_loop_logged, ClosedLoopConfig, ClosedLoopReport, Event, FleetStats, LoopFaults,
 };
 use spotbid_market::units::{Hours, Price};
-use spotbid_market::MarketParams;
+use spotbid_market::{MarketParams, ProviderPolicy, Supply};
 use spotbid_numerics::rng::Rng;
 
 const BUCKETS: f64 = 512.0;
@@ -50,6 +50,9 @@ fn config(horizon_slots: usize) -> ClosedLoopConfig {
         horizon_slots,
         background_arrivals: 3.0,
         max_resubmissions: 4,
+        supply: Supply::Unbounded,
+        od_arrivals: 0.0,
+        od_departure: 0.0,
     }
 }
 
@@ -179,6 +182,66 @@ fn equivalent_under_faults_across_regimes() {
             let strats = strategies(40, gen, seed);
             assert_equivalent(&strats, &cfg, seed, Some(&faults));
         }
+    }
+}
+
+#[test]
+fn equivalent_under_finite_supply() {
+    // Finite-capacity provider: capacity evictions and on-demand churn
+    // interrupt running winners and restart parked victims on slots whose
+    // price path alone predicts neither — exactly the wakeups a pure
+    // threshold sweep cannot see. The fleet's unconditional calendar
+    // chain (DESIGN.md §5i) must keep it bit-identical to the dense
+    // oracle anyway.
+    let regimes: [PriceGen; 3] = [uniform_price, clustered_price, boundary_price];
+    let mut reclaims = 0u64;
+    for (r, gen) in regimes.into_iter().enumerate() {
+        for seed in [211u64 + r as u64, 0xF177 + r as u64] {
+            let cfg = ClosedLoopConfig {
+                supply: Supply::Finite {
+                    capacity: 40,
+                    policy: ProviderPolicy::UtilizationTracking { od_cap: 24 },
+                },
+                od_arrivals: 1.5,
+                od_departure: 0.25,
+                ..config(200)
+            };
+            let strats = strategies(60, gen, seed);
+            let (report, _, _) = assert_equivalent(&strats, &cfg, seed, None);
+            let p = report.provider.expect("finite run reports the provider");
+            assert_eq!(p.capacity, 40);
+            reclaims += p.reclaims;
+        }
+    }
+    assert!(
+        reclaims > 0,
+        "capacity never bound: the wall proved nothing"
+    );
+}
+
+#[test]
+fn equivalent_under_finite_supply_with_faults() {
+    // The reclamation-heavy wall: provider-initiated evictions layered
+    // under forced reclamation outages and feed gaps, on a tiny box so
+    // capacity binds nearly every slot.
+    for seed in [307u64, 0xFA57] {
+        let cfg = ClosedLoopConfig {
+            supply: Supply::Finite {
+                capacity: 24,
+                policy: ProviderPolicy::StaticSplit { reserved: 8 },
+            },
+            od_arrivals: 2.0,
+            od_departure: 0.3,
+            ..config(160)
+        };
+        let total = cfg.warmup_slots + cfg.horizon_slots;
+        let mut frng = Rng::seed_from_u64(seed ^ 0xFA151);
+        let faults = LoopFaults {
+            gap: (0..total).map(|_| frng.chance(0.05)).collect(),
+            reclaim: (0..total).map(|_| frng.chance(0.10)).collect(),
+        };
+        let strats = strategies(48, extreme_price, seed);
+        assert_equivalent(&strats, &cfg, seed, Some(&faults));
     }
 }
 

@@ -395,6 +395,7 @@ fn closed_loop_market_is_bit_identical_across_thread_counts() {
     use spotbid_core::strategy::BiddingStrategy;
     use spotbid_engine::{run_closed_loop, ClosedLoopConfig};
     use spotbid_market::params::MarketParams;
+    use spotbid_market::Supply;
 
     let cfg = ClosedLoopConfig {
         params: MarketParams::new(Price::new(0.35), Price::new(0.02), 0.05, 0.05).unwrap(),
@@ -405,6 +406,9 @@ fn closed_loop_market_is_bit_identical_across_thread_counts() {
         horizon_slots: 240,
         background_arrivals: 3.0,
         max_resubmissions: 4,
+        supply: Supply::Unbounded,
+        od_arrivals: 0.0,
+        od_departure: 0.0,
     };
     let strategies = [
         BiddingStrategy::OptimalPersistent,

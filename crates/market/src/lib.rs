@@ -44,6 +44,8 @@ pub mod units;
 
 pub use multi::{CorrelatedArrivals, MarketSet, MarketSpec};
 pub use params::MarketParams;
+pub use provider::ProviderPolicy;
+pub use sim::{ProviderReport, ProviderSlot, Supply};
 pub use units::{Cost, Hours, Price};
 
 use std::fmt;

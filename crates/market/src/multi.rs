@@ -28,7 +28,9 @@
 //! contract the single-market path pins.
 
 use crate::params::MarketParams;
-use crate::sim::{BidId, BidRecord, BidRequest, SlotReport, SpotMarket};
+use crate::sim::{
+    BidId, BidRecord, BidRequest, ProviderReport, ProviderSlot, SlotReport, SpotMarket, Supply,
+};
 use crate::units::Hours;
 use crate::MarketError;
 use spotbid_numerics::rng::Rng;
@@ -40,14 +42,23 @@ pub struct MarketSpec {
     pub name: String,
     /// Pricing parameters (Eq. 3) for this market.
     pub params: MarketParams,
+    /// Supply model (unbounded Eq. 3 pricing or a finite provider); each
+    /// member market owns its own capacity.
+    pub supply: Supply,
 }
 
 impl MarketSpec {
-    /// Convenience constructor.
+    /// Convenience constructor (unbounded supply).
     pub fn new(name: impl Into<String>, params: MarketParams) -> Self {
+        Self::with_supply(name, params, Supply::Unbounded)
+    }
+
+    /// Constructor with an explicit supply model.
+    pub fn with_supply(name: impl Into<String>, params: MarketParams, supply: Supply) -> Self {
         MarketSpec {
             name: name.into(),
             params,
+            supply,
         }
     }
 }
@@ -77,7 +88,7 @@ impl MarketSet {
         let mut names = Vec::with_capacity(specs.len());
         let mut markets = Vec::with_capacity(specs.len());
         for spec in specs {
-            markets.push(SpotMarket::new(spec.params, slot_len));
+            markets.push(SpotMarket::with_supply(spec.params, slot_len, spec.supply));
             names.push(spec.name);
         }
         Ok(MarketSet { names, markets })
@@ -127,6 +138,27 @@ impl MarketSet {
     /// Settled records of market `m`.
     pub fn records(&mut self, m: usize) -> &[BidRecord] {
         self.markets[m].records()
+    }
+
+    /// Requests `n` on-demand instances in market `m`; returns how many
+    /// were admitted (all of them under unbounded supply).
+    pub fn request_on_demand(&mut self, m: usize, n: u32) -> u32 {
+        self.markets[m].request_on_demand(n)
+    }
+
+    /// Releases `n` on-demand instances in market `m`.
+    pub fn release_on_demand(&mut self, m: usize, n: u32) {
+        self.markets[m].release_on_demand(n)
+    }
+
+    /// Per-slot provider telemetry for market `m` (empty when unbounded).
+    pub fn provider_slots(&self, m: usize) -> &[ProviderSlot] {
+        self.markets[m].provider_slots()
+    }
+
+    /// Aggregated provider report for market `m` (`None` when unbounded).
+    pub fn provider_report(&self, m: usize) -> Option<ProviderReport> {
+        self.markets[m].provider_report()
     }
 
     /// Steps every market one slot, in index order, each drawing from its

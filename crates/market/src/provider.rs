@@ -80,6 +80,54 @@ pub fn clearing_price(params: &MarketParams, l: f64, capacity: f64) -> Price {
     Price::new(raw).clamp(params.pi_min, params.pi_bar)
 }
 
+/// How a finite-capacity provider splits its `C` servers between the
+/// on-demand pool and the spot book (the two-stage-game shape of the
+/// fixed-vs-market pricing literature: the split is chosen ahead of the
+/// per-slot spot auction).
+///
+/// Used by [`Supply::Finite`](crate::sim::Supply); see DESIGN.md §5i for
+/// how the split feeds the per-slot clearing price and the eviction rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProviderPolicy {
+    /// A fixed partition: `reserved` servers are held for on-demand
+    /// admissions whether or not they are in use, and the spot book clears
+    /// against the remaining `C − reserved` every slot.
+    StaticSplit {
+        /// Servers permanently reserved for the on-demand pool.
+        reserved: u32,
+    },
+    /// A work-conserving split that tracks on-demand utilization: spot
+    /// clears against `C − od_active` (idle reserved servers are lent to
+    /// the spot book), and growing on-demand demand reclaims them back by
+    /// evicting the lowest-bid running spot instances.
+    UtilizationTracking {
+        /// Cap on concurrently admitted on-demand instances.
+        od_cap: u32,
+    },
+}
+
+impl ProviderPolicy {
+    /// Servers available to the spot book when `od_active` on-demand
+    /// instances are running under total capacity `capacity`.
+    pub fn spot_capacity(self, capacity: u32, od_active: u32) -> u32 {
+        match self {
+            ProviderPolicy::StaticSplit { reserved } => {
+                capacity.saturating_sub(reserved.max(od_active))
+            }
+            ProviderPolicy::UtilizationTracking { .. } => capacity.saturating_sub(od_active),
+        }
+    }
+
+    /// Cap on concurrently admitted on-demand instances under total
+    /// capacity `capacity`.
+    pub fn od_limit(self, capacity: u32) -> u32 {
+        match self {
+            ProviderPolicy::StaticSplit { reserved } => reserved.min(capacity),
+            ProviderPolicy::UtilizationTracking { od_cap } => od_cap.min(capacity),
+        }
+    }
+}
+
 /// The social-welfare-maximizing price (§8's "social welfare" provider
 /// objective): with uniformly distributed user valuations and a marginal
 /// serving cost of `π_min`, welfare
@@ -283,6 +331,29 @@ mod tests {
         let revenue = optimal_price(&m, l);
         assert!(revenue >= welfare_price(&m, l));
         assert!(clearing_price(&m, l, 1.0) > clearing_price(&m, l, 40.0));
+    }
+
+    #[test]
+    fn provider_policy_splits() {
+        let fixed = ProviderPolicy::StaticSplit { reserved: 16 };
+        assert_eq!(fixed.spot_capacity(64, 0), 48);
+        assert_eq!(
+            fixed.spot_capacity(64, 10),
+            48,
+            "static split ignores idle reserve"
+        );
+        assert_eq!(fixed.od_limit(64), 16);
+        assert_eq!(fixed.od_limit(8), 8, "reserve clamped to capacity");
+
+        let tracking = ProviderPolicy::UtilizationTracking { od_cap: 32 };
+        assert_eq!(
+            tracking.spot_capacity(64, 0),
+            64,
+            "idle servers lent to spot"
+        );
+        assert_eq!(tracking.spot_capacity(64, 20), 44);
+        assert_eq!(tracking.od_limit(64), 32);
+        assert_eq!(tracking.spot_capacity(64, 100), 0, "saturating");
     }
 
     #[test]

@@ -33,12 +33,123 @@
 //! setting — are simulated against a price *trace* by `spotbid-client`.
 
 use crate::params::MarketParams;
-use crate::provider::optimal_price;
+use crate::provider::{clearing_price, optimal_price, ProviderPolicy};
 use crate::units::{Cost, Hours, Price};
 use spotbid_numerics::rng::Rng;
 use std::collections::BTreeMap;
 
 pub mod naive;
+
+/// The server pool behind a market (DESIGN.md §5i).
+///
+/// [`Supply::Unbounded`] is the paper's Eq. 3 setting — every accepted bid
+/// gets an instance — and runs bit-identically to the historical path.
+/// [`Supply::Finite`] models a provider with `capacity` servers shared
+/// between the spot book and an on-demand pool: on-demand admissions
+/// ([`SpotMarket::request_on_demand`]) reserve servers first, the spot
+/// auction clears the remainder (the posted price is the *maximum* of the
+/// Eq. 3 revenue price and [`clearing_price`] at the spot share, so slack
+/// capacity reproduces Eq. 3 exactly), and when the winners outnumber the
+/// spot share the provider reclaims the lowest-bid instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Supply {
+    /// Every accepted bid runs (the historical Eq. 3 path).
+    Unbounded,
+    /// `capacity` servers split between spot and on-demand by `policy`.
+    Finite {
+        /// Total servers in the pool.
+        capacity: u32,
+        /// How the pool is split between spot and on-demand.
+        policy: ProviderPolicy,
+    },
+}
+
+/// Per-slot provider accounting under [`Supply::Finite`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProviderSlot {
+    /// Slot index.
+    pub t: u64,
+    /// The posted spot price.
+    pub price: Price,
+    /// Servers the spot book cleared against this slot.
+    pub spot_capacity: u32,
+    /// Spot instances that ran (and were charged) this slot.
+    pub spot_running: u32,
+    /// On-demand instances active through this slot.
+    pub od_active: u32,
+    /// Running spot instances evicted for capacity this slot.
+    pub reclaims: u32,
+    /// On-demand requests admitted since the previous slot.
+    pub od_admitted: u32,
+    /// On-demand requests refused since the previous slot.
+    pub od_rejected: u32,
+    /// Spot revenue this slot: posted price × slot length × instances.
+    pub spot_revenue: Cost,
+    /// On-demand revenue this slot: `π̄` × slot length × active instances.
+    pub od_revenue: Cost,
+}
+
+/// Cumulative provider accounting over a [`Supply::Finite`] session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProviderReport {
+    /// Total servers in the pool.
+    pub capacity: u32,
+    /// Slots accounted.
+    pub slots: u64,
+    /// Total spot revenue.
+    pub spot_revenue: Cost,
+    /// Total on-demand revenue.
+    pub od_revenue: Cost,
+    /// Total capacity reclamations of running spot instances.
+    pub reclaims: u64,
+    /// Total on-demand admissions.
+    pub od_admissions: u64,
+    /// Total on-demand rejections.
+    pub od_rejections: u64,
+    /// Mean `(spot_running + od_active) / capacity` across slots.
+    pub mean_utilization: f64,
+    /// Highest posted spot price.
+    pub peak_price: Price,
+}
+
+/// Folds a per-slot provider log into its cumulative report.
+pub(crate) fn aggregate_provider(capacity: u32, log: &[ProviderSlot]) -> ProviderReport {
+    let mut report = ProviderReport {
+        capacity,
+        slots: log.len() as u64,
+        spot_revenue: Cost::ZERO,
+        od_revenue: Cost::ZERO,
+        reclaims: 0,
+        od_admissions: 0,
+        od_rejections: 0,
+        mean_utilization: 0.0,
+        peak_price: Price::ZERO,
+    };
+    let mut busy = 0.0f64;
+    for slot in log {
+        report.spot_revenue += slot.spot_revenue;
+        report.od_revenue += slot.od_revenue;
+        report.reclaims += u64::from(slot.reclaims);
+        report.od_admissions += u64::from(slot.od_admitted);
+        report.od_rejections += u64::from(slot.od_rejected);
+        busy += f64::from(slot.spot_running + slot.od_active);
+        if slot.price > report.peak_price {
+            report.peak_price = slot.price;
+        }
+    }
+    if capacity > 0 && !log.is_empty() {
+        report.mean_utilization = busy / (f64::from(capacity) * log.len() as f64);
+    }
+    report
+}
+
+/// The reclaim ordering contract (DESIGN.md §5i): when capacity binds, the
+/// lowest bid is evicted first, and among equal bids the newest (highest
+/// id) goes first. A strict total order, so both market implementations
+/// select the identical victim set however their candidates are laid out.
+pub(crate) fn victim_order(pa: f64, ia: u64, pb: f64, ib: u64) -> std::cmp::Ordering {
+    pa.total_cmp(&pb).then(ib.cmp(&ia))
+}
 
 /// How a bid requests to be treated on interruption (§3.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -166,6 +277,9 @@ const F_GEOMETRIC: u8 = 1 << 3;
 /// and obeys the resident invariants (pending ⇒ bid < posted price,
 /// running ⇒ bid ≥ posted price).
 const F_RESIDENT: u8 = 1 << 4;
+/// Transient mark on a would-be starter evicted by the capacity pass
+/// (cleared while filtering the start set the same slot).
+const F_EVICT: u8 = 1 << 5;
 
 /// One price bucket: the open bids whose price falls in its range, split
 /// by run state so each crossing scan touches only the side it moves.
@@ -244,8 +358,22 @@ pub struct SpotMarket {
     /// [`reclaim_next_slot`](Self::reclaim_next_slot)).
     reclaim_next: bool,
 
+    // ---- finite-supply provider state (inert under `Unbounded`) ----
+    /// The server pool behind the market.
+    supply: Supply,
+    /// Currently admitted on-demand instances.
+    od_active: u32,
+    /// On-demand admissions since the last step (folded into the next
+    /// [`ProviderSlot`]).
+    od_admit_pending: u32,
+    /// On-demand rejections since the last step.
+    od_reject_pending: u32,
+    /// Per-slot provider accounting (finite supply only).
+    provider_log: Vec<ProviderSlot>,
+
     // ---- arenas ----
     sc_started: Vec<u32>,
+    sc_cand: Vec<u32>,
     sc_rejected: Vec<u32>,
     sc_geo_in: Vec<u32>,
     sc_geo_next: Vec<u32>,
@@ -257,8 +385,14 @@ pub struct SpotMarket {
 }
 
 impl SpotMarket {
-    /// Creates an empty market.
+    /// Creates an empty market with unbounded supply (the historical
+    /// default).
     pub fn new(params: MarketParams, slot_len: Hours) -> Self {
+        Self::with_supply(params, slot_len, Supply::Unbounded)
+    }
+
+    /// Creates an empty market backed by the given [`Supply`].
+    pub fn with_supply(params: MarketParams, slot_len: Hours, supply: Supply) -> Self {
         let spread = params.spread().as_f64();
         SpotMarket {
             params,
@@ -282,7 +416,13 @@ impl SpotMarket {
             calendar: BTreeMap::new(),
             parked: Vec::new(),
             reclaim_next: false,
+            supply,
+            od_active: 0,
+            od_admit_pending: 0,
+            od_reject_pending: 0,
+            provider_log: Vec::new(),
             sc_started: Vec::new(),
+            sc_cand: Vec::new(),
             sc_rejected: Vec::new(),
             sc_geo_in: Vec::new(),
             sc_geo_next: Vec::new(),
@@ -388,6 +528,69 @@ impl SpotMarket {
         self.reclaim_next = true;
     }
 
+    /// The server pool behind this market.
+    pub fn supply(&self) -> Supply {
+        self.supply
+    }
+
+    /// Currently admitted on-demand instances (0 under unbounded supply).
+    pub fn od_active(&self) -> u32 {
+        self.od_active
+    }
+
+    /// Servers the spot book will clear against next slot, or `None` under
+    /// unbounded supply.
+    pub fn spot_capacity(&self) -> Option<u32> {
+        match self.supply {
+            Supply::Unbounded => None,
+            Supply::Finite { capacity, policy } => {
+                Some(policy.spot_capacity(capacity, self.od_active))
+            }
+        }
+    }
+
+    /// Requests `n` on-demand instances from the pool, returning how many
+    /// were admitted. Admissions take effect immediately: the next slot's
+    /// spot share shrinks by what the policy charges against it, and a
+    /// [`Supply::Finite`] market bills each active instance `π̄ × slot_len`
+    /// per slot in its [`ProviderSlot`] log. Unbounded supply admits
+    /// everything and records nothing.
+    pub fn request_on_demand(&mut self, n: u32) -> u32 {
+        match self.supply {
+            Supply::Unbounded => n,
+            Supply::Finite { capacity, policy } => {
+                let limit = policy.od_limit(capacity);
+                let admitted = n.min(limit.saturating_sub(self.od_active));
+                self.od_active += admitted;
+                self.od_admit_pending += admitted;
+                self.od_reject_pending += n - admitted;
+                admitted
+            }
+        }
+    }
+
+    /// Releases `n` active on-demand instances back to the pool
+    /// (saturating; a no-op under unbounded supply).
+    pub fn release_on_demand(&mut self, n: u32) {
+        self.od_active = self.od_active.saturating_sub(n);
+    }
+
+    /// The per-slot provider accounting log (empty under unbounded
+    /// supply).
+    pub fn provider_slots(&self) -> &[ProviderSlot] {
+        &self.provider_log
+    }
+
+    /// Cumulative provider accounting, or `None` under unbounded supply.
+    pub fn provider_report(&self) -> Option<ProviderReport> {
+        match self.supply {
+            Supply::Unbounded => None,
+            Supply::Finite { capacity, .. } => {
+                Some(aggregate_provider(capacity, &self.provider_log))
+            }
+        }
+    }
+
     /// Advances one slot: runs the auction, interrupts/launches instances,
     /// progresses work, and charges running bids.
     pub fn step(&mut self, rng: &mut Rng) -> SlotReport {
@@ -409,7 +612,22 @@ impl SpotMarket {
         report.finished.clear();
         report.terminated.clear();
 
-        let price = optimal_price(&self.params, self.open_count as f64);
+        let price = match self.supply {
+            Supply::Unbounded => optimal_price(&self.params, self.open_count as f64),
+            Supply::Finite { capacity, policy } => {
+                // The spot share clears via the capacity price when it
+                // binds; slack capacity reproduces Eq. 3 exactly (`max`
+                // returns the revenue price's own float).
+                let cap = policy.spot_capacity(capacity, self.od_active);
+                let revenue = optimal_price(&self.params, self.open_count as f64);
+                let clearing = clearing_price(&self.params, self.open_count as f64, f64::from(cap));
+                if clearing > revenue {
+                    clearing
+                } else {
+                    revenue
+                }
+            }
+        };
         report.price = price;
         let pf = price.as_f64();
         debug_assert_eq!(self.slot_charge.len() as u64, t);
@@ -520,12 +738,16 @@ impl SpotMarket {
         }
 
         // 1b. Individual auctions for parked bids — non-empty only on the
-        // first normal slot after a reclamation. The reclamation emptied
-        // the running book, so `rejected` is empty here and the report's
-        // terminated order stays globally id-sorted: parked ids (pushed
-        // now, ascending) all precede this slot's incoming ids.
+        // first normal slot after a reclamation (or, under finite supply,
+        // after a capacity eviction). After a reclamation the running book
+        // is empty, so `rejected` is empty here and the report's terminated
+        // order stays globally id-sorted: parked ids (pushed now,
+        // ascending) all precede this slot's incoming ids. Under finite
+        // supply `rejected` can be non-empty — capacity eviction only
+        // parks persistent bids (which emit nothing here), and the repair
+        // sort in phase 3b restores id order whenever it runs.
         if !reclaiming && !self.parked.is_empty() {
-            debug_assert!(rejected.is_empty());
+            debug_assert!(rejected.is_empty() || self.supply != Supply::Unbounded);
             let mut parked = std::mem::take(&mut self.parked);
             parked.sort_unstable();
             for &i in &parked {
@@ -614,6 +836,107 @@ impl SpotMarket {
         }
         self.incoming = incoming;
         self.incoming.clear();
+
+        // 3b. Capacity enforcement (finite supply only): if the carried
+        // runners plus this slot's winners exceed the spot share, the
+        // provider reclaims the excess — lowest bid first, newest first
+        // among equal bids (`victim_order`, the §5i reclaim contract).
+        // Carried victims are interrupted like a price crossing (settled
+        // through the previous slot, persistent ones park for an
+        // individual re-auction, one-time ones exit); would-be starters
+        // are returned unlaunched (no start event — persistent park,
+        // one-time exit). The victim pass interleaves ids, so the event
+        // vectors it touched are re-sorted afterwards.
+        if let Supply::Finite { capacity, policy } = self.supply {
+            let spot_cap = policy.spot_capacity(capacity, self.od_active);
+            let mut cand = std::mem::take(&mut self.sc_cand);
+            cand.clear();
+            if !reclaiming {
+                for bucket in &self.buckets {
+                    cand.extend_from_slice(&bucket.running);
+                }
+                cand.extend_from_slice(&started);
+            }
+            let spot_running = cand.len().min(spot_cap as usize) as u32;
+            let mut reclaims = 0u32;
+            if cand.len() > spot_cap as usize {
+                let k = cand.len() - spot_cap as usize;
+                cand.sort_unstable_by(|&a, &b| {
+                    victim_order(
+                        self.price_of[a as usize],
+                        u64::from(a),
+                        self.price_of[b as usize],
+                        u64::from(b),
+                    )
+                });
+                for &i in &cand[..k] {
+                    let iu = i as usize;
+                    if self.flags[iu] & F_RUNNING != 0 {
+                        // A running instance reclaimed for the pool.
+                        reclaims += 1;
+                        self.remove_running(i);
+                        self.flags[iu] &= !F_RUNNING;
+                        self.settle(iu, t - 1);
+                        let persistent = self.flags[iu] & F_PERSISTENT != 0;
+                        let rec = &mut self.records[iu];
+                        rec.interruptions += 1;
+                        report.interrupted.push(rec.id);
+                        if persistent {
+                            rec.phase = BidPhase::Pending;
+                            self.parked.push(i);
+                        } else {
+                            rec.phase = BidPhase::Terminated;
+                            rec.closed_at = Some(t);
+                            report.terminated.push(rec.id);
+                            self.flags[iu] &= !F_OPEN;
+                            self.open_count -= 1;
+                        }
+                    } else {
+                        // A would-be starter: never launched this slot.
+                        self.flags[iu] |= F_EVICT;
+                        if self.flags[iu] & F_PERSISTENT != 0 {
+                            self.parked.push(i);
+                        } else {
+                            let rec = &mut self.records[iu];
+                            rec.phase = BidPhase::Terminated;
+                            rec.closed_at = Some(t);
+                            report.terminated.push(rec.id);
+                            self.flags[iu] &= !F_OPEN;
+                            self.open_count -= 1;
+                        }
+                    }
+                }
+                let mut w = 0usize;
+                for r in 0..started.len() {
+                    let i = started[r];
+                    if self.flags[i as usize] & F_EVICT != 0 {
+                        self.flags[i as usize] &= !F_EVICT;
+                    } else {
+                        started[w] = i;
+                        w += 1;
+                    }
+                }
+                started.truncate(w);
+                report.interrupted.sort_unstable();
+                report.terminated.sort_unstable();
+            }
+            cand.clear();
+            self.sc_cand = cand;
+            let spot_revenue = (price * self.slot_len) * f64::from(spot_running);
+            let od_revenue = (self.params.pi_bar * self.slot_len) * f64::from(self.od_active);
+            self.provider_log.push(ProviderSlot {
+                t,
+                price,
+                spot_capacity: spot_cap,
+                spot_running,
+                od_active: self.od_active,
+                reclaims,
+                od_admitted: std::mem::take(&mut self.od_admit_pending),
+                od_rejected: std::mem::take(&mut self.od_reject_pending),
+                spot_revenue,
+                od_revenue,
+            });
+        }
 
         // 4. Launch the slot's winners: start the running streak, schedule
         // fixed-work finishes on the calendar, enroll geometric bids for
@@ -1098,5 +1421,164 @@ mod tests {
                 assert!(v.windows(2).all(|w| w[0] < w[1]), "unsorted: {v:?}");
             }
         }
+    }
+
+    fn finite_market(capacity: u32, od_cap: u32) -> SpotMarket {
+        let params = MarketParams::new(Price::new(0.35), Price::new(0.02), 0.05, 0.02).unwrap();
+        SpotMarket::with_supply(
+            params,
+            Hours::from_minutes(5.0),
+            Supply::Finite {
+                capacity,
+                policy: ProviderPolicy::UtilizationTracking { od_cap },
+            },
+        )
+    }
+
+    fn mixed_submissions(m: &mut SpotMarket, n: u32) {
+        for i in 0..n {
+            m.submit(BidRequest {
+                price: Price::new(0.02 + f64::from(i % 97) * 0.0034),
+                kind: if i % 3 == 0 {
+                    BidKind::OneTime
+                } else {
+                    BidKind::Persistent
+                },
+                work: if i % 2 == 0 {
+                    WorkModel::Geometric
+                } else {
+                    WorkModel::FixedSlots(3)
+                },
+            });
+        }
+    }
+
+    #[test]
+    fn slack_finite_capacity_is_bit_identical_to_unbounded() {
+        // With capacity far above demand the clearing price sits below the
+        // revenue price, so the posted price — and every downstream event
+        // and float — must be Eq. 3's exact output.
+        let mut unbounded = market();
+        let mut finite = finite_market(100_000, 0);
+        let mut r1 = Rng::seed_from_u64(21);
+        let mut r2 = Rng::seed_from_u64(21);
+        mixed_submissions(&mut unbounded, 500);
+        mixed_submissions(&mut finite, 500);
+        for _ in 0..40 {
+            assert_eq!(unbounded.step(&mut r1), finite.step(&mut r2));
+        }
+        assert_eq!(unbounded.records(), finite.records());
+        assert!(unbounded.provider_report().is_none());
+        let rep = finite.provider_report().unwrap();
+        assert_eq!(rep.slots, 40);
+        assert_eq!(rep.reclaims, 0);
+        assert_eq!(finite.provider_slots().len(), 40);
+    }
+
+    #[test]
+    fn finite_capacity_evicts_lowest_bid_newest_first() {
+        // Three bids above the posted price but only two servers: the
+        // lowest bid is returned without ever launching.
+        let mut m = finite_market(2, 0);
+        let mut rng = Rng::seed_from_u64(31);
+        let low = m.submit(bid(0.20, BidKind::OneTime, 5));
+        let mid = m.submit(bid(0.25, BidKind::Persistent, 5));
+        let high = m.submit(bid(0.30, BidKind::Persistent, 5));
+        let rep = m.step(&mut rng);
+        assert_eq!(rep.started, vec![mid, high]);
+        assert_eq!(rep.terminated, vec![low], "one-time victim exits");
+        assert!(rep.interrupted.is_empty(), "never ran, so not interrupted");
+        assert_eq!(m.record(low).unwrap().phase, BidPhase::Terminated);
+        assert_eq!(m.record(low).unwrap().charged, Cost::ZERO);
+        let slot = m.provider_slots()[0];
+        assert_eq!(slot.spot_running, 2);
+        assert_eq!(slot.reclaims, 0, "fresh eviction is not a reclaim");
+
+        // Equal bids: the newest (highest id) loses the tie-break.
+        let mut m = finite_market(1, 0);
+        let older = m.submit(bid(0.30, BidKind::Persistent, 5));
+        let newer = m.submit(bid(0.30, BidKind::Persistent, 5));
+        let rep = m.step(&mut rng);
+        assert_eq!(rep.started, vec![older]);
+        assert_eq!(m.record(newer).unwrap().phase, BidPhase::Pending);
+    }
+
+    #[test]
+    fn on_demand_admissions_respect_the_policy_limit() {
+        let mut m = finite_market(10, 8);
+        assert_eq!(m.spot_capacity(), Some(10));
+        assert_eq!(m.request_on_demand(5), 5);
+        assert_eq!(m.request_on_demand(6), 3, "od_cap 8 caps the pool");
+        assert_eq!(m.od_active(), 8);
+        assert_eq!(m.spot_capacity(), Some(2));
+        m.release_on_demand(4);
+        assert_eq!(m.od_active(), 4);
+        assert_eq!(m.spot_capacity(), Some(6));
+        let mut rng = Rng::seed_from_u64(41);
+        m.step(&mut rng);
+        let slot = m.provider_slots()[0];
+        assert_eq!(slot.od_admitted, 8);
+        assert_eq!(slot.od_rejected, 3);
+        assert_eq!(slot.od_active, 4);
+        assert!(slot.od_revenue > Cost::ZERO);
+    }
+
+    #[test]
+    fn growing_on_demand_reclaims_running_spot_instances() {
+        // Three spot instances fill the machine; two on-demand admissions
+        // shrink the spot share to one, so the provider reclaims the two
+        // newest of the equal-bid runners.
+        let mut m = finite_market(3, 3);
+        let mut rng = Rng::seed_from_u64(43);
+        let a = m.submit(bid(0.30, BidKind::Persistent, 10));
+        let b = m.submit(bid(0.30, BidKind::Persistent, 10));
+        let c = m.submit(bid(0.30, BidKind::Persistent, 10));
+        let r1 = m.step(&mut rng);
+        assert_eq!(r1.started, vec![a, b, c]);
+
+        assert_eq!(m.request_on_demand(2), 2);
+        let r2 = m.step(&mut rng);
+        assert_eq!(r2.interrupted, vec![b, c]);
+        assert!(r2.terminated.is_empty(), "persistent victims park");
+        assert_eq!(m.record(a).unwrap().phase, BidPhase::Running);
+        assert_eq!(m.record(b).unwrap().interruptions, 1);
+        let slot = m.provider_slots()[1];
+        assert_eq!(slot.reclaims, 2);
+        assert_eq!(slot.spot_running, 1);
+        assert_eq!(slot.od_active, 2);
+
+        // Releasing the pool lets the parked victims re-win their auction.
+        m.release_on_demand(2);
+        let r3 = m.step(&mut rng);
+        assert_eq!(r3.started, vec![b, c]);
+    }
+
+    #[test]
+    fn binding_capacity_raises_the_posted_price() {
+        // Same demand, same bids: the capacity-bound market must post the
+        // clearing price, which sits above Eq. 3's revenue price.
+        let mut unbounded = market();
+        let mut finite = finite_market(4, 0);
+        let mut r1 = Rng::seed_from_u64(47);
+        let mut r2 = Rng::seed_from_u64(47);
+        for _ in 0..200 {
+            unbounded.submit(bid(0.35, BidKind::Persistent, 3));
+            finite.submit(bid(0.35, BidKind::Persistent, 3));
+        }
+        let free = unbounded.step(&mut r1);
+        let bound = finite.step(&mut r2);
+        assert!(
+            bound.price > free.price,
+            "binding capacity: {} vs {}",
+            bound.price,
+            free.price
+        );
+        let slot = finite.provider_slots()[0];
+        assert_eq!(slot.spot_running, 4);
+        assert_eq!(slot.spot_capacity, 4);
+        let rep = finite.provider_report().unwrap();
+        assert_eq!(rep.capacity, 4);
+        assert!(rep.mean_utilization > 0.99, "all servers busy");
+        assert_eq!(rep.peak_price, bound.price);
     }
 }

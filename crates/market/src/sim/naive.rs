@@ -15,9 +15,12 @@
 //! implementations against each other across seeds, bid mixes, and price
 //! regimes.
 
-use super::{BidId, BidKind, BidPhase, BidRecord, BidRequest, SlotReport, WorkModel};
+use super::{
+    aggregate_provider, victim_order, BidId, BidKind, BidPhase, BidRecord, BidRequest,
+    ProviderReport, ProviderSlot, SlotReport, Supply, WorkModel,
+};
 use crate::params::MarketParams;
-use crate::provider::optimal_price;
+use crate::provider::{clearing_price, optimal_price};
 use crate::units::{Cost, Hours};
 use spotbid_numerics::rng::Rng;
 
@@ -37,11 +40,26 @@ pub struct SpotMarket {
     /// The next step is a capacity reclamation (set by
     /// [`reclaim_next_slot`](Self::reclaim_next_slot)).
     reclaim_next: bool,
+    /// The supply model (unbounded Eq. 3 or a finite provider).
+    supply: Supply,
+    /// On-demand instances currently holding servers (finite supply only).
+    od_active: u32,
+    /// On-demand admissions since the last slot (drained into the log).
+    od_admit_pending: u32,
+    /// On-demand rejections since the last slot (drained into the log).
+    od_reject_pending: u32,
+    /// Per-slot provider telemetry (finite supply only).
+    provider_log: Vec<ProviderSlot>,
 }
 
 impl SpotMarket {
-    /// Creates an empty market.
+    /// Creates an empty market with unbounded supply.
     pub fn new(params: MarketParams, slot_len: Hours) -> Self {
+        Self::with_supply(params, slot_len, Supply::Unbounded)
+    }
+
+    /// Creates an empty market under the given supply model.
+    pub fn with_supply(params: MarketParams, slot_len: Hours, supply: Supply) -> Self {
         SpotMarket {
             params,
             slot_len,
@@ -50,6 +68,67 @@ impl SpotMarket {
             open: Vec::new(),
             scratch: Vec::new(),
             reclaim_next: false,
+            supply,
+            od_active: 0,
+            od_admit_pending: 0,
+            od_reject_pending: 0,
+            provider_log: Vec::new(),
+        }
+    }
+
+    /// The supply model this market prices against.
+    pub fn supply(&self) -> Supply {
+        self.supply
+    }
+
+    /// On-demand instances currently holding servers.
+    pub fn od_active(&self) -> u32 {
+        self.od_active
+    }
+
+    /// Servers currently available to the spot auction (`None` when
+    /// supply is unbounded).
+    pub fn spot_capacity(&self) -> Option<u32> {
+        match self.supply {
+            Supply::Unbounded => None,
+            Supply::Finite { capacity, policy } => {
+                Some(policy.spot_capacity(capacity, self.od_active))
+            }
+        }
+    }
+
+    /// Requests `n` on-demand instances; returns how many were admitted.
+    pub fn request_on_demand(&mut self, n: u32) -> u32 {
+        match self.supply {
+            Supply::Unbounded => n,
+            Supply::Finite { capacity, policy } => {
+                let limit = policy.od_limit(capacity);
+                let admitted = n.min(limit.saturating_sub(self.od_active));
+                self.od_active += admitted;
+                self.od_admit_pending += admitted;
+                self.od_reject_pending += n - admitted;
+                admitted
+            }
+        }
+    }
+
+    /// Releases `n` on-demand instances back to the pool.
+    pub fn release_on_demand(&mut self, n: u32) {
+        self.od_active = self.od_active.saturating_sub(n);
+    }
+
+    /// Per-slot provider telemetry (empty under unbounded supply).
+    pub fn provider_slots(&self) -> &[ProviderSlot] {
+        &self.provider_log
+    }
+
+    /// Aggregated provider report (`None` under unbounded supply).
+    pub fn provider_report(&self) -> Option<ProviderReport> {
+        match self.supply {
+            Supply::Unbounded => None,
+            Supply::Finite { capacity, .. } => {
+                Some(aggregate_provider(capacity, &self.provider_log))
+            }
         }
     }
 
@@ -117,7 +196,22 @@ impl SpotMarket {
         // bids, running instances re-asserting their bids, and new
         // arrivals) — the L(t) of Eq. 4.
         let demand = self.open.len();
-        let price = optimal_price(&self.params, demand as f64);
+        let price = match self.supply {
+            Supply::Unbounded => optimal_price(&self.params, demand as f64),
+            Supply::Finite { capacity, policy } => {
+                // Spot clears what on-demand has not reserved. With slack
+                // capacity the clearing price sits below the revenue price
+                // and `max` reproduces Eq. 3's exact float.
+                let cap = policy.spot_capacity(capacity, self.od_active);
+                let revenue = optimal_price(&self.params, demand as f64);
+                let clearing = clearing_price(&self.params, demand as f64, f64::from(cap));
+                if clearing > revenue {
+                    clearing
+                } else {
+                    revenue
+                }
+            }
+        };
 
         let mut report = SlotReport {
             t,
@@ -157,18 +251,100 @@ impl SpotMarket {
                 }
             }
             self.scratch = std::mem::replace(&mut self.open, still_open);
+            if let Supply::Finite { capacity, policy } = self.supply {
+                // An outage slot runs nothing: the provider logs an idle
+                // spot side so the telemetry stays one entry per slot.
+                self.provider_log.push(ProviderSlot {
+                    t,
+                    price,
+                    spot_capacity: policy.spot_capacity(capacity, self.od_active),
+                    spot_running: 0,
+                    od_active: self.od_active,
+                    reclaims: 0,
+                    od_admitted: std::mem::take(&mut self.od_admit_pending),
+                    od_rejected: std::mem::take(&mut self.od_reject_pending),
+                    spot_revenue: Cost::ZERO,
+                    od_revenue: (self.params.pi_bar * self.slot_len) * f64::from(self.od_active),
+                });
+            }
             self.t += 1;
             return report;
         }
+        // Finite supply: pick the provider's victims before the scan, so
+        // the charge/draw pass below can skip them — the bid-book evicts
+        // between the auction and the launch, so victims never charge,
+        // never draw departure randomness, and never emit a start event.
+        // Victims are the lowest-bid accepted bids, newest first among
+        // equal bids (`victim_order`, the §5i reclaim ordering contract).
+        let mut victims: Vec<usize> = Vec::new();
+        let mut spot_cap = u32::MAX;
+        if let Supply::Finite { capacity, policy } = self.supply {
+            spot_cap = policy.spot_capacity(capacity, self.od_active);
+            let mut accepted: Vec<usize> = self
+                .open
+                .iter()
+                .copied()
+                .filter(|&idx| self.records[idx].request.price >= price)
+                .collect();
+            if accepted.len() > spot_cap as usize {
+                let k = accepted.len() - spot_cap as usize;
+                accepted.sort_unstable_by(|&a, &b| {
+                    victim_order(
+                        self.records[a].request.price.as_f64(),
+                        a as u64,
+                        self.records[b].request.price.as_f64(),
+                        b as u64,
+                    )
+                });
+                victims = accepted[..k].to_vec();
+                victims.sort_unstable();
+            }
+        }
+        let mut spot_running = 0u32;
+        let mut reclaims = 0u32;
         for &idx in &self.open {
             let accepted = self.records[idx].request.price >= price;
             let was_running = self.records[idx].phase == BidPhase::Running;
+            let evicted = accepted && !victims.is_empty() && victims.binary_search(&idx).is_ok();
             let rec = &mut self.records[idx];
-            if accepted {
+            if accepted && evicted {
+                // Provider eviction: capacity is binding and this bid lost
+                // the reclaim ordering. A running victim is interrupted
+                // like a price crossing; a would-be starter is quietly
+                // returned without ever launching.
+                if was_running {
+                    reclaims += 1;
+                    rec.interruptions += 1;
+                    report.interrupted.push(rec.id);
+                    match rec.request.kind {
+                        BidKind::OneTime => {
+                            rec.phase = BidPhase::Terminated;
+                            rec.closed_at = Some(t);
+                            report.terminated.push(rec.id);
+                        }
+                        BidKind::Persistent => {
+                            rec.phase = BidPhase::Pending;
+                            still_open.push(idx);
+                        }
+                    }
+                } else {
+                    match rec.request.kind {
+                        BidKind::OneTime => {
+                            rec.phase = BidPhase::Terminated;
+                            rec.closed_at = Some(t);
+                            report.terminated.push(rec.id);
+                        }
+                        BidKind::Persistent => {
+                            still_open.push(idx);
+                        }
+                    }
+                }
+            } else if accepted {
                 if !was_running {
                     rec.phase = BidPhase::Running;
                     report.started.push(rec.id);
                 }
+                spot_running += 1;
                 // Run for this slot: charge at the spot price.
                 rec.slots_run += 1;
                 rec.charged += price * self.slot_len;
@@ -212,6 +388,22 @@ impl SpotMarket {
         // Swap the survivor list in and keep the old vector as next slot's
         // scratch, so steady-state stepping reuses both allocations.
         self.scratch = std::mem::replace(&mut self.open, still_open);
+        if let Supply::Finite { .. } = self.supply {
+            let spot_revenue = (price * self.slot_len) * f64::from(spot_running);
+            let od_revenue = (self.params.pi_bar * self.slot_len) * f64::from(self.od_active);
+            self.provider_log.push(ProviderSlot {
+                t,
+                price,
+                spot_capacity: spot_cap,
+                spot_running,
+                od_active: self.od_active,
+                reclaims,
+                od_admitted: std::mem::take(&mut self.od_admit_pending),
+                od_rejected: std::mem::take(&mut self.od_reject_pending),
+                spot_revenue,
+                od_revenue,
+            });
+        }
         self.t += 1;
         report
     }

@@ -10,7 +10,10 @@
 //! ones: prices on exact bucket boundaries, below the price floor, above
 //! the cap, zero-slot jobs, and mid-run submission bursts.
 
-use spotbid_market::sim::{naive, BidId, BidKind, BidRequest, SlotReport, SpotMarket, WorkModel};
+use spotbid_market::provider::ProviderPolicy;
+use spotbid_market::sim::{
+    naive, BidId, BidKind, BidRequest, SlotReport, SpotMarket, Supply, WorkModel,
+};
 use spotbid_market::units::{Hours, Price};
 use spotbid_market::MarketParams;
 use spotbid_numerics::rng::Rng;
@@ -24,6 +27,14 @@ fn params() -> MarketParams {
 fn pair(p: MarketParams) -> (SpotMarket, naive::SpotMarket) {
     let slot = Hours::from_minutes(5.0);
     (SpotMarket::new(p, slot), naive::SpotMarket::new(p, slot))
+}
+
+fn pair_finite(p: MarketParams, supply: Supply) -> (SpotMarket, naive::SpotMarket) {
+    let slot = Hours::from_minutes(5.0);
+    (
+        SpotMarket::with_supply(p, slot, supply),
+        naive::SpotMarket::with_supply(p, slot, supply),
+    )
 }
 
 /// A price regime: maps a uniform draw to a bid price.
@@ -121,8 +132,37 @@ fn run_equivalence_reclaiming(
     churn: f64,
     reclaim: f64,
 ) {
+    run_equivalence_supply(
+        seed,
+        gen,
+        initial,
+        slots,
+        churn,
+        reclaim,
+        Supply::Unbounded,
+        0.0,
+    );
+}
+
+/// The full driver: as [`run_equivalence_reclaiming`] under an arbitrary
+/// supply model, with each slot independently seeing an on-demand demand
+/// shift with probability `od_churn` (a request or a release, identical
+/// in both markets — the provider-initiated reclamation source). Under
+/// finite supply the per-slot provider telemetry and the final
+/// `ProviderReport` must also match bit-for-bit.
+#[allow(clippy::too_many_arguments)]
+fn run_equivalence_supply(
+    seed: u64,
+    gen: PriceGen,
+    initial: usize,
+    slots: usize,
+    churn: f64,
+    reclaim: f64,
+    supply: Supply,
+    od_churn: f64,
+) {
     let p = params();
-    let (mut book, mut base) = pair(p);
+    let (mut book, mut base) = pair_finite(p, supply);
     let mut sub_rng = Rng::seed_from_u64(seed);
     let mut rng_book = Rng::seed_from_u64(seed ^ 0xFEED);
     let mut rng_base = Rng::seed_from_u64(seed ^ 0xFEED);
@@ -151,12 +191,31 @@ fn run_equivalence_reclaiming(
             book.reclaim_next_slot();
             base.reclaim_next_slot();
         }
+        if od_churn > 0.0 && sub_rng.chance(od_churn) {
+            let n = 1 + (sub_rng.range_f64(0.0, 6.0) as u32);
+            if sub_rng.chance(0.5) {
+                assert_eq!(
+                    book.request_on_demand(n),
+                    base.request_on_demand(n),
+                    "od admissions at slot {s}"
+                );
+            } else {
+                book.release_on_demand(n);
+                base.release_on_demand(n);
+            }
+            assert_eq!(book.od_active(), base.od_active());
+        }
         assert_eq!(book.open_bids(), base.open_bids(), "demand at slot {s}");
 
         let rb = book.step(&mut rng_book);
         let rn = base.step(&mut rng_base);
         assert_eq!(rb, rn, "seed {seed} slot {s} diverged");
         assert_sorted(&rb);
+        assert_eq!(
+            book.provider_slots().last(),
+            base.provider_slots().last(),
+            "seed {seed} slot {s} provider telemetry diverged"
+        );
 
         // Mid-run record reads (forces + checks the lazy charge sync).
         if s % 7 == 3 && !base.records().is_empty() {
@@ -171,6 +230,15 @@ fn run_equivalence_reclaiming(
     assert_eq!(book.records(), base.records(), "seed {seed} final records");
     assert_eq!(book.open_bids(), base.open_bids());
     assert_eq!(book.now(), base.now());
+    assert_eq!(book.provider_slots(), base.provider_slots());
+    assert_eq!(book.provider_report(), base.provider_report());
+}
+
+fn finite(capacity: u32, od_cap: u32) -> Supply {
+    Supply::Finite {
+        capacity,
+        policy: ProviderPolicy::UtilizationTracking { od_cap },
+    }
 }
 
 #[test]
@@ -234,6 +302,58 @@ fn equivalent_under_heavy_reclamations() {
     for seed in [59u64, 61, 67] {
         run_equivalence_reclaiming(seed, boundary_price, 150, 100, 0.5, 0.4);
         run_equivalence_reclaiming(seed, extreme_price, 150, 100, 0.5, 0.4);
+    }
+}
+
+#[test]
+fn equivalent_under_finite_supply() {
+    // Binding, near-binding, and slack capacities: capacity evictions of
+    // fresh winners and carried runners, the clearing-price branch, and
+    // matching per-slot provider telemetry.
+    for seed in [71u64, 73, 79, 0xCAFE] {
+        run_equivalence_supply(seed, uniform_price, 250, 120, 0.7, 0.0, finite(64, 32), 0.3);
+        run_equivalence_supply(
+            seed,
+            clustered_price,
+            200,
+            100,
+            0.6,
+            0.0,
+            finite(24, 16),
+            0.4,
+        );
+        run_equivalence_supply(
+            seed,
+            uniform_price,
+            200,
+            100,
+            0.6,
+            0.0,
+            finite(100_000, 64),
+            0.3,
+        );
+    }
+}
+
+#[test]
+fn equivalent_under_finite_supply_reclamation_storm() {
+    // The reclamation-heavy regime: dense forced outages layered over
+    // provider-initiated reclamations from on-demand churn against a
+    // tight capacity — parked victims carried through outages, boundary
+    // and out-of-range bids evicted mid-flight.
+    for seed in [83u64, 89, 97, 0xFA57] {
+        run_equivalence_supply(seed, uniform_price, 200, 120, 0.6, 0.3, finite(48, 24), 0.5);
+        run_equivalence_supply(
+            seed,
+            boundary_price,
+            150,
+            100,
+            0.5,
+            0.3,
+            finite(16, 12),
+            0.5,
+        );
+        run_equivalence_supply(seed, extreme_price, 150, 100, 0.5, 0.3, finite(32, 16), 0.5);
     }
 }
 

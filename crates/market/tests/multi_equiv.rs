@@ -10,7 +10,8 @@
 //! capacity reclamations and the engine's `step_into` arena path.
 
 use spotbid_market::multi::{MarketSet, MarketSpec};
-use spotbid_market::sim::{BidKind, BidRequest, SlotReport, SpotMarket, WorkModel};
+use spotbid_market::provider::ProviderPolicy;
+use spotbid_market::sim::{BidKind, BidRequest, SlotReport, SpotMarket, Supply, WorkModel};
 use spotbid_market::units::{Hours, Price};
 use spotbid_market::MarketParams;
 use spotbid_numerics::rng::Rng;
@@ -22,10 +23,14 @@ fn params() -> MarketParams {
 }
 
 fn pair(p: MarketParams) -> (MarketSet, SpotMarket) {
+    pair_finite(p, Supply::Unbounded)
+}
+
+fn pair_finite(p: MarketParams, supply: Supply) -> (MarketSet, SpotMarket) {
     let slot = Hours::from_minutes(5.0);
     (
-        MarketSet::new(vec![MarketSpec::new("solo", p)], slot).unwrap(),
-        SpotMarket::new(p, slot),
+        MarketSet::new(vec![MarketSpec::with_supply("solo", p, supply)], slot).unwrap(),
+        SpotMarket::with_supply(p, slot, supply),
     )
 }
 
@@ -101,8 +106,35 @@ fn run_equivalence(
     churn: f64,
     reclaim: f64,
 ) {
+    run_equivalence_supply(
+        seed,
+        gen,
+        initial,
+        slots,
+        churn,
+        reclaim,
+        Supply::Unbounded,
+        0.0,
+    );
+}
+
+/// As [`run_equivalence`] under an arbitrary supply model, with each slot
+/// independently seeing an identical on-demand demand shift in both the
+/// set member and the lone market with probability `od_churn`. Finite
+/// supply also pins the per-slot provider telemetry and the final report.
+#[allow(clippy::too_many_arguments)]
+fn run_equivalence_supply(
+    seed: u64,
+    gen: PriceGen,
+    initial: usize,
+    slots: usize,
+    churn: f64,
+    reclaim: f64,
+    supply: Supply,
+    od_churn: f64,
+) {
     let p = params();
-    let (mut set, mut lone) = pair(p);
+    let (mut set, mut lone) = pair_finite(p, supply);
     let mut sub_rng = Rng::seed_from_u64(seed);
     let mut rngs_set = vec![Rng::seed_from_u64(seed ^ 0xFEED)];
     let mut rng_lone = Rng::seed_from_u64(seed ^ 0xFEED);
@@ -130,15 +162,35 @@ fn run_equivalence(
             set.reclaim_next_slot(0);
             lone.reclaim_next_slot();
         }
+        if od_churn > 0.0 && sub_rng.chance(od_churn) {
+            let n = 1 + (sub_rng.range_f64(0.0, 6.0) as u32);
+            if sub_rng.chance(0.5) {
+                assert_eq!(
+                    set.request_on_demand(0, n),
+                    lone.request_on_demand(n),
+                    "od admissions at slot {s}"
+                );
+            } else {
+                set.release_on_demand(0, n);
+                lone.release_on_demand(n);
+            }
+        }
 
         let rs = set.step(&mut rngs_set);
         let rl = lone.step(&mut rng_lone);
         assert_eq!(rs.len(), 1);
         assert_eq!(rs[0], rl, "seed {seed} slot {s} diverged");
+        assert_eq!(
+            set.provider_slots(0).last(),
+            lone.provider_slots().last(),
+            "seed {seed} slot {s} provider telemetry diverged"
+        );
     }
 
     assert_eq!(set.records(0), lone.records(), "seed {seed} final records");
     assert_eq!(set.now(), lone.now());
+    assert_eq!(set.provider_slots(0), lone.provider_slots());
+    assert_eq!(set.provider_report(0), lone.provider_report());
 }
 
 #[test]
@@ -174,6 +226,25 @@ fn singleton_set_equivalent_under_capacity_reclamations() {
     for seed in [43u64, 53, 0xFA17] {
         run_equivalence(seed, uniform_price, 250, 120, 0.6, 0.08);
         run_equivalence(seed, boundary_price, 150, 100, 0.5, 0.4);
+    }
+}
+
+#[test]
+fn singleton_set_equivalent_under_finite_supply() {
+    // Finite-capacity members: capacity evictions, on-demand churn, and —
+    // in the second regime — dense forced outages layered on top (the
+    // reclamation-heavy wall), all bit-identical to a lone finite market.
+    let tight = Supply::Finite {
+        capacity: 48,
+        policy: ProviderPolicy::UtilizationTracking { od_cap: 24 },
+    };
+    let tiny = Supply::Finite {
+        capacity: 16,
+        policy: ProviderPolicy::UtilizationTracking { od_cap: 12 },
+    };
+    for seed in [101u64, 103, 0xCAFE] {
+        run_equivalence_supply(seed, uniform_price, 250, 120, 0.7, 0.0, tight, 0.4);
+        run_equivalence_supply(seed, boundary_price, 150, 100, 0.5, 0.3, tiny, 0.5);
     }
 }
 

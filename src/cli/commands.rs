@@ -44,6 +44,8 @@ COMMANDS:
                fixed|ondemand] [--bid 0.30] [--percentile 0.9] [--ts 1.0]
                [--tr-secs 60] [--warmup 100] [--horizon 500] [--arrivals 3.0]
                [--pi-bar 0.35] [--pi-min 0.02] [--resubmit 4] [--seed 1]
+               [--capacity <servers> [--od-reserved <n>]
+               [--od-arrivals 0.0] [--od-departure 0.0]]  (finite provider)
   catalog    list the Table 2 instance types
 
 Every command accepts --help.";
@@ -355,7 +357,7 @@ pub fn cmd_risk(args: &Args) -> Result<String, ArgError> {
 pub fn cmd_engine(args: &Args) -> Result<String, ArgError> {
     use spotbid_engine::{run_closed_loop_with_stats, ClosedLoopConfig};
     use spotbid_market::units::Price;
-    use spotbid_market::MarketParams;
+    use spotbid_market::{MarketParams, ProviderPolicy, Supply};
     args.check_known(&[
         "tenants",
         "strategy",
@@ -369,6 +371,10 @@ pub fn cmd_engine(args: &Args) -> Result<String, ArgError> {
         "pi-bar",
         "pi-min",
         "resubmit",
+        "capacity",
+        "od-reserved",
+        "od-arrivals",
+        "od-departure",
         "seed",
         "help",
     ])?;
@@ -389,6 +395,26 @@ pub fn cmd_engine(args: &Args) -> Result<String, ArgError> {
         .recovery_secs(args.get_or("tr-secs", 60.0)?)
         .build()
         .map_err(|e| ArgError(e.to_string()))?;
+    let capacity: u32 = args.get_or("capacity", 0)?;
+    let supply = if capacity == 0 {
+        if args.get("od-reserved").is_some()
+            || args.get("od-arrivals").is_some()
+            || args.get("od-departure").is_some()
+        {
+            return Err(ArgError(
+                "--od-reserved/--od-arrivals/--od-departure require --capacity".into(),
+            ));
+        }
+        Supply::Unbounded
+    } else {
+        let policy = match args.get("od-reserved") {
+            Some(_) => ProviderPolicy::StaticSplit {
+                reserved: args.get_or("od-reserved", 0)?,
+            },
+            None => ProviderPolicy::UtilizationTracking { od_cap: capacity },
+        };
+        Supply::Finite { capacity, policy }
+    };
     let cfg = ClosedLoopConfig {
         params,
         slot_len: job.slot,
@@ -398,6 +424,9 @@ pub fn cmd_engine(args: &Args) -> Result<String, ArgError> {
         horizon_slots: args.get_or("horizon", 500)?,
         background_arrivals: args.get_or("arrivals", 3.0)?,
         max_resubmissions: args.get_or("resubmit", 4)?,
+        supply,
+        od_arrivals: args.get_or("od-arrivals", 0.0)?,
+        od_departure: args.get_or("od-departure", 0.0)?,
     };
     let seed: u64 = args.get_or("seed", 1)?;
     let strategies = vec![strategy; tenants];
@@ -445,6 +474,19 @@ pub fn cmd_engine(args: &Args) -> Result<String, ArgError> {
         },
         stats.woken,
     ));
+    if let Some(p) = &report.provider {
+        out.push_str(&format!(
+            "provider: {} servers, utilization {:.1}%, spot revenue ${:.2}, od revenue ${:.2}, \
+             {} reclaims, {} od admissions, {} od rejections\n",
+            p.capacity,
+            p.mean_utilization * 100.0,
+            p.spot_revenue.as_f64(),
+            p.od_revenue.as_f64(),
+            p.reclaims,
+            p.od_admissions,
+            p.od_rejections,
+        ));
+    }
     Ok(out)
 }
 
@@ -627,6 +669,49 @@ mod tests {
         assert!(run(&["engine", "--strategy", "zzz"]).is_err());
         assert!(run(&["engine", "--bogus", "1"]).is_err());
         assert!(run(&["engine", "--warmup", "0"]).is_err());
+    }
+
+    #[test]
+    fn engine_finite_capacity() {
+        let argv = [
+            "engine",
+            "--tenants",
+            "4",
+            "--strategy",
+            "fixed",
+            "--bid",
+            "0.34",
+            "--warmup",
+            "20",
+            "--horizon",
+            "80",
+            "--capacity",
+            "8",
+            "--od-arrivals",
+            "0.5",
+            "--od-departure",
+            "0.2",
+            "--seed",
+            "3",
+        ];
+        let out = run(&argv).unwrap();
+        // The provider line joins the report under --capacity, mirroring
+        // the wakeup-fleet counters.
+        assert!(out.contains("provider: 8 servers"), "{out}");
+        assert!(out.contains("utilization"), "{out}");
+        assert!(out.contains("reclaims"), "{out}");
+        assert_eq!(
+            out,
+            run(&argv).unwrap(),
+            "finite-capacity engine run is not seed-deterministic"
+        );
+        // Unbounded runs keep the historical report shape...
+        assert!(!run(&["engine", "--horizon", "40"])
+            .unwrap()
+            .contains("provider:"));
+        // ...and the on-demand knobs are rejected without a capacity.
+        assert!(run(&["engine", "--od-arrivals", "1.0"]).is_err());
+        assert!(run(&["engine", "--capacity", "0", "--od-reserved", "2"]).is_err());
     }
 
     #[test]
