@@ -7,10 +7,11 @@ use spotbid_bench::report::{pct, usd, Table};
 use spotbid_bench::timing::time_experiment;
 
 fn main() {
-    let (strategies, crowding) = time_experiment("portfolio_markets", || {
+    let (strategies, crowding, stats) = time_experiment("portfolio_markets", || {
         (
             portfolio::run_strategies(8, 0x907F),
             portfolio::run_crowding(&portfolio::TENANT_COUNTS, 0x907F),
+            portfolio::run_wakeup_stats(8, 0x907F),
         )
     });
 
@@ -36,6 +37,15 @@ fn main() {
         ]);
     }
     print!("{}", t.render());
+    println!(
+        "wakeup fleet (split-even, 8 tenants): {} slots, {} skipped in O(1) ({:.1}%), \
+         {} tenant wakeups, swept per market: {:?}",
+        stats.slots,
+        stats.skipped_slots,
+        100.0 * stats.skipped_slots as f64 / stats.slots.max(1) as f64,
+        stats.woken,
+        stats.swept,
+    );
     println!();
 
     let mut t = Table::new(

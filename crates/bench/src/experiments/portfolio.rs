@@ -15,7 +15,10 @@ use super::closedloop;
 use spotbid_core::portfolio::PortfolioStrategy;
 use spotbid_core::strategy::BiddingStrategy;
 use spotbid_core::JobSpec;
-use spotbid_engine::{run_portfolio_loop, PortfolioLoopConfig, PortfolioMarket, PortfolioReport};
+use spotbid_engine::{
+    run_portfolio_loop, run_portfolio_loop_with_stats, PortfolioFleetStats, PortfolioLoopConfig,
+    PortfolioMarket, PortfolioReport,
+};
 use spotbid_market::units::{Hours, Price};
 use spotbid_market::{MarketParams, Supply};
 
@@ -145,6 +148,20 @@ pub fn run_strategies(tenants: usize, seed: u64) -> Vec<PortfolioRow> {
         rows.push(run_one(strategy, label, tenants, seed));
     }
     rows
+}
+
+/// Wakeup accounting of one split-even portfolio session on the
+/// experiment's world: processed slots, O(1) skips, total wakeups, and
+/// per-market sweep-driven wake counts (DESIGN.md §5j).
+pub fn run_wakeup_stats(tenants: usize, seed: u64) -> PortfolioFleetStats {
+    let strategies = vec![
+        PortfolioStrategy::SplitEven {
+            base: BiddingStrategy::OptimalPersistent,
+        };
+        tenants
+    ];
+    let (_, stats) = run_portfolio_loop_with_stats(&strategies, &config(), seed).unwrap();
+    stats
 }
 
 /// The crowding sweep: split-even portfolio tenants vs the single-market

@@ -8,6 +8,18 @@
 //! [`PortfolioStrategy`] plans — job splits, cross-zone fallback,
 //! spot/on-demand contracts — against the per-market observed histories.
 //!
+//! Two fleet implementations share this module's source, validation, and
+//! report assembly (DESIGN.md §5j):
+//!
+//! - [`dense`] — the original fleet, every tenant re-evaluated every
+//!   slot. Frozen as the equivalence oracle, exactly like
+//!   [`crate::closedloop::dense`].
+//! - `wakeup` (private; behind [`run_portfolio_loop`]) — the event-driven
+//!   default: one price-indexed wakeup book per member market, a shared
+//!   pooled calendar, and O(1) skipping of slots where no market's wake
+//!   set fires. Bit-identical to [`dense`]
+//!   (`tests/portfolio_wakeup_equiv.rs`).
+//!
 //! ## RNG stream layout
 //!
 //! Everything is deterministic from one `u64` seed via [`RngStreams`]:
@@ -31,26 +43,27 @@
 //!
 //! As in the single-market fleets (§5e/§5f): plan resolution is pure and
 //! fans out over `spotbid-exec` shards, while bid submission (which
-//! assigns per-market [`BidId`]s), event emission, and report processing
-//! stay serial in ascending tenant order, with each tenant's legs
-//! processed in plan order. The whole session is bit-identical at any
-//! `SPOTBID_THREADS`.
+//! assigns per-market [`spotbid_market::sim::BidId`]s), event emission,
+//! and report processing stay serial in ascending tenant order, with each
+//! tenant's legs processed in plan order. The whole session is
+//! bit-identical at any `SPOTBID_THREADS`.
 
-use super::dense::SHARD_SIZE;
+pub mod dense;
+mod wakeup;
+
+pub use wakeup::PortfolioFleetStats;
+
 use super::LoopFaults;
-use crate::billing::{LineItem, UsageKind};
 use crate::event::Event;
-use crate::kernel::{DriverStatus, JobDriver, Kernel};
+use crate::kernel::{JobDriver, Kernel};
 use crate::observer::{BillingObserver, EventLog, Observer};
 use crate::source::PriceSource;
 use crate::EngineError;
-use spotbid_core::portfolio::{PortfolioPlan, PortfolioStrategy};
-use spotbid_core::{BidDecision, CoreError, JobSpec};
+use spotbid_core::portfolio::PortfolioStrategy;
+use spotbid_core::JobSpec;
 use spotbid_market::multi::{CorrelatedArrivals, MarketSet, MarketSpec};
 use spotbid_market::params::MarketParams;
-use spotbid_market::sim::{
-    BidId, BidKind, BidRequest, ProviderReport, SlotReport, Supply, WorkModel,
-};
+use spotbid_market::sim::{BidKind, BidRequest, ProviderReport, SlotReport, Supply, WorkModel};
 use spotbid_market::units::{Cost, Hours, Price};
 use spotbid_numerics::rng::{Rng, RngStreams};
 use spotbid_trace::SpotPriceHistory;
@@ -335,380 +348,6 @@ impl PriceSource for PortfolioSource {
     }
 }
 
-/// One live spot position of a tenant.
-#[derive(Debug, Clone, Copy)]
-struct Leg {
-    market: u32,
-    bid_id: BidId,
-    /// Slots of work this leg was submitted for.
-    assigned: u32,
-    /// Slots it has run so far.
-    ran: u32,
-    running: bool,
-}
-
-/// One strategy-driven portfolio tenant: re-plans against the per-market
-/// histories whenever it must (re-)bid, and tracks every live leg through
-/// its market's slot report.
-#[derive(Debug)]
-struct PortfolioTenant {
-    strategy: PortfolioStrategy,
-    tag: u32,
-    /// Slots of work awaiting (re-)submission.
-    pending: u64,
-    /// Live spot legs, in plan (ascending-market) submission order.
-    legs: Vec<Leg>,
-    /// On-demand work already charged (contract legs and od decisions).
-    od_charged: Hours,
-    slots_run: u64,
-    interruptions: u32,
-    resubmissions: u32,
-    completed: bool,
-    done_pending: bool,
-    needs_submit: bool,
-    /// Lost work whose resubmission budget ran out is abandoned.
-    gave_up: bool,
-}
-
-impl PortfolioTenant {
-    fn new(strategy: PortfolioStrategy, cfg: &PortfolioLoopConfig, tag: u32) -> Self {
-        PortfolioTenant {
-            strategy,
-            tag,
-            pending: cfg.job.slots_needed(),
-            legs: Vec::new(),
-            od_charged: Hours::ZERO,
-            slots_run: 0,
-            interruptions: 0,
-            resubmissions: 0,
-            completed: false,
-            done_pending: false,
-            needs_submit: true,
-            gave_up: false,
-        }
-    }
-
-    /// Execution work still uncovered by spot slots run and on-demand
-    /// charges.
-    fn remaining_work(&self, job: &JobSpec) -> Hours {
-        (job.execution - job.slot * self.slots_run as f64 - self.od_charged).max(Hours::ZERO)
-    }
-
-    /// Acts on a resolved plan: charges on-demand legs and submits spot
-    /// legs, scaling each leg's assignment down to the work still pending.
-    /// Serial per tenant — per-market bid ids are assigned here, so call
-    /// order must be tenant order.
-    fn apply_plan(
-        &mut self,
-        plan: &PortfolioPlan,
-        job: &JobSpec,
-        slot: u64,
-        source: &mut PortfolioSource,
-        live: &mut [u32],
-        emit: &mut dyn FnMut(Event),
-    ) {
-        for leg in &plan.legs {
-            if self.pending == 0 {
-                break;
-            }
-            // A re-plan covers only the lost work: cap each leg at what is
-            // still pending (the first plan partitions exactly, so this is
-            // the identity there — and `max(1)` mirrors the single-market
-            // fleet's defensive floor).
-            let assigned = leg.slots.min(self.pending).max(1);
-            match leg.decision {
-                BidDecision::OnDemand { price } => {
-                    let work = (job.slot * assigned as f64).min(self.remaining_work(job));
-                    if work > Hours::ZERO {
-                        emit(Event::Charged {
-                            item: LineItem {
-                                slot,
-                                price,
-                                duration: work,
-                                kind: UsageKind::OnDemand,
-                                tag: self.tag,
-                            },
-                        });
-                        self.od_charged += work;
-                    }
-                    self.pending -= assigned;
-                }
-                BidDecision::Spot { price, persistent } => {
-                    let id = source.set.submit(
-                        leg.market,
-                        BidRequest {
-                            price,
-                            kind: if persistent {
-                                BidKind::Persistent
-                            } else {
-                                BidKind::OneTime
-                            },
-                            work: WorkModel::FixedSlots(assigned as u32),
-                        },
-                    );
-                    self.legs.push(Leg {
-                        market: leg.market as u32,
-                        bid_id: id,
-                        assigned: assigned as u32,
-                        ran: 0,
-                        running: false,
-                    });
-                    live[leg.market] += 1;
-                    self.pending -= assigned;
-                    emit(Event::BidSubmitted {
-                        slot,
-                        tenant: self.tag,
-                        price,
-                        persistent,
-                    });
-                }
-            }
-        }
-        if !self.completed && self.pending == 0 && self.legs.is_empty() {
-            // Everything was covered on demand: the job is done before the
-            // market even clears (same shape as the single-market
-            // on-demand decision).
-            self.completed = true;
-            self.done_pending = true;
-            emit(Event::Completed {
-                slot,
-                tenant: self.tag,
-            });
-        }
-    }
-
-    /// Advances the tenant one slot against every market's report. Legs
-    /// are processed in submission order; event vectors are id-sorted, so
-    /// each membership test is a binary search.
-    fn slot_update(
-        &mut self,
-        slot: u64,
-        reports: &[SlotReport],
-        job: &JobSpec,
-        max_resubmissions: u32,
-        live: &mut [u32],
-        emit: &mut dyn FnMut(Event),
-    ) -> DriverStatus {
-        if self.done_pending {
-            return DriverStatus::Done;
-        }
-        let mut k = 0;
-        while k < self.legs.len() {
-            let leg = &mut self.legs[k];
-            let report = &reports[leg.market as usize];
-            let id = leg.bid_id;
-            let started = report.started.binary_search(&id).is_ok();
-            let interrupted = report.interrupted.binary_search(&id).is_ok();
-            let finished = report.finished.binary_search(&id).is_ok();
-            let terminated = report.terminated.binary_search(&id).is_ok();
-            let ran = started || (leg.running && !interrupted && !terminated);
-            if started {
-                leg.running = true;
-                emit(Event::BidAccepted {
-                    slot,
-                    tenant: self.tag,
-                });
-            }
-            if interrupted {
-                self.interruptions += 1;
-                emit(Event::Interrupted {
-                    slot,
-                    tenant: self.tag,
-                });
-            }
-            if ran {
-                leg.ran += 1;
-                self.slots_run += 1;
-                emit(Event::Charged {
-                    item: LineItem {
-                        slot,
-                        price: report.price,
-                        duration: job.slot,
-                        kind: UsageKind::Spot,
-                        tag: self.tag,
-                    },
-                });
-            }
-            if interrupted || terminated || finished {
-                leg.running = false;
-            }
-            if finished {
-                live[leg.market as usize] -= 1;
-                self.legs.remove(k);
-                continue;
-            }
-            if terminated {
-                emit(Event::Rejected {
-                    slot,
-                    tenant: self.tag,
-                });
-                let lost = u64::from(leg.assigned - leg.ran);
-                live[leg.market as usize] -= 1;
-                self.legs.remove(k);
-                self.pending += lost;
-                if self.resubmissions < max_resubmissions {
-                    self.resubmissions += 1;
-                    self.needs_submit = true;
-                    // Cross-zone fallback: the next plan's home market is
-                    // the next zone over.
-                    if let PortfolioStrategy::ZoneFallback { home, base } = self.strategy {
-                        self.strategy = PortfolioStrategy::ZoneFallback {
-                            home: (home + 1) % reports.len(),
-                            base,
-                        };
-                    }
-                } else {
-                    self.gave_up = true;
-                }
-                continue;
-            }
-            k += 1;
-        }
-        if !self.completed && self.legs.is_empty() && self.pending == 0 {
-            self.completed = true;
-            emit(Event::Completed {
-                slot,
-                tenant: self.tag,
-            });
-            return DriverStatus::Done;
-        }
-        if self.gave_up && self.legs.is_empty() && !self.needs_submit {
-            return DriverStatus::Done;
-        }
-        DriverStatus::Active
-    }
-}
-
-/// Every portfolio tenant as one kernel driver, with sharded plan
-/// resolution — the multi-market counterpart of the dense fleet, same
-/// §5e/§5f contract: pure decisions fan out, market-visible side effects
-/// stay serial in ascending tenant order.
-struct PortfolioFleet {
-    tenants: Vec<PortfolioTenant>,
-    done: Vec<bool>,
-    shard_rngs: Vec<Rng>,
-    job: JobSpec,
-    on_demand: Price,
-    max_resubmissions: u32,
-    /// Live spot legs per market (the kernel's per-market demand signal).
-    live: Vec<u32>,
-    /// Scratch: indices of tenants that must (re-)plan this slot.
-    needy: Vec<u32>,
-}
-
-impl PortfolioFleet {
-    fn new(tenants: Vec<PortfolioTenant>, cfg: &PortfolioLoopConfig, streams: &RngStreams) -> Self {
-        let m = cfg.markets.len();
-        let max_shards = tenants.len().div_ceil(SHARD_SIZE);
-        // Shard streams live after the market/arrival/shared block.
-        let mut chain = streams.streams(2 * m + 1 + max_shards);
-        let shard_rngs = chain.split_off(2 * m + 1);
-        let done = vec![false; tenants.len()];
-        PortfolioFleet {
-            tenants,
-            done,
-            shard_rngs,
-            job: cfg.job,
-            on_demand: cfg.on_demand,
-            max_resubmissions: cfg.max_resubmissions,
-            live: vec![0; m],
-            needy: Vec::new(),
-        }
-    }
-}
-
-impl JobDriver<PortfolioSource> for PortfolioFleet {
-    fn demand(&self) -> usize {
-        self.live.iter().map(|&n| n as usize).sum()
-    }
-
-    fn demand_in(&self, market: usize) -> usize {
-        self.live[market] as usize
-    }
-
-    fn before_slot(
-        &mut self,
-        slot: u64,
-        source: &mut PortfolioSource,
-        emit: &mut dyn FnMut(Event),
-    ) -> Result<(), EngineError> {
-        self.needy.clear();
-        for (i, t) in self.tenants.iter_mut().enumerate() {
-            if !self.done[i] && t.needs_submit && !t.done_pending {
-                t.needs_submit = false;
-                self.needy.push(i as u32);
-            }
-        }
-        if self.needy.is_empty() {
-            return Ok(());
-        }
-        // One per-market history snapshot for the whole slot.
-        let histories = source.observed()?;
-        let inputs: Vec<PortfolioStrategy> = self
-            .needy
-            .iter()
-            .map(|&i| self.tenants[i as usize].strategy)
-            .collect();
-        let shards = inputs.len().div_ceil(SHARD_SIZE);
-        let shard_rngs = &self.shard_rngs;
-        let (job, on_demand) = (self.job, self.on_demand);
-        let plans: Vec<Vec<Result<PortfolioPlan, CoreError>>> =
-            spotbid_exec::par_map(shards, |s| {
-                let mut _rng = shard_rngs[s].clone(); // reserved, see module docs
-                let lo = s * SHARD_SIZE;
-                let hi = (lo + SHARD_SIZE).min(inputs.len());
-                inputs[lo..hi]
-                    .iter()
-                    .map(|strat| strat.decide(&histories, &job, on_demand))
-                    .collect()
-            });
-        // Serial, ordered apply: per-market bid ids and events come out
-        // exactly as if each tenant had planned in turn.
-        let mut flat = plans.into_iter().flatten();
-        for k in 0..self.needy.len() {
-            let i = self.needy[k] as usize;
-            let plan = flat
-                .next()
-                .expect("one plan per needy tenant")
-                .map_err(EngineError::Core)?;
-            self.tenants[i].apply_plan(&plan, &job, slot, source, &mut self.live, emit);
-        }
-        Ok(())
-    }
-
-    fn on_slot(
-        &mut self,
-        slot: u64,
-        reports: &Vec<SlotReport>,
-        emit: &mut dyn FnMut(Event),
-    ) -> Result<DriverStatus, EngineError> {
-        let mut all_done = true;
-        for i in 0..self.tenants.len() {
-            if self.done[i] {
-                continue;
-            }
-            let status = self.tenants[i].slot_update(
-                slot,
-                reports,
-                &self.job,
-                self.max_resubmissions,
-                &mut self.live,
-                emit,
-            );
-            if status == DriverStatus::Done {
-                self.done[i] = true;
-            } else {
-                all_done = false;
-            }
-        }
-        if all_done {
-            Ok(DriverStatus::Done)
-        } else {
-            Ok(DriverStatus::Active)
-        }
-    }
-}
-
 fn validate(
     strategies: &[PortfolioStrategy],
     cfg: &PortfolioLoopConfig,
@@ -755,25 +394,42 @@ fn validate(
     Ok(())
 }
 
-fn run_portfolio(
+/// One tenant's session-final state, extracted from a fleet for the
+/// shared report assembly — everything the §5.1 fallback and the outcome
+/// rows need, independent of the fleet's internal layout.
+struct TenantFinal {
+    tag: u32,
+    strategy: PortfolioStrategy,
+    completed: bool,
+    spot_slots: u64,
+    interruptions: u32,
+    resubmissions: u32,
+    /// Execution work still uncovered at the horizon close (the §5.1
+    /// on-demand fallback charge for incomplete tenants).
+    remaining: Hours,
+}
+
+/// The shared session shell both fleets run under: validation, source
+/// construction and warmup, the kernel loop, the §5.1 fallback, and the
+/// report assembly — all in a fixed order so every float accumulates
+/// identically whichever fleet ran. Returns the fleet alongside the
+/// report so callers can read fleet-specific telemetry.
+fn run_session<F: JobDriver<PortfolioSource>>(
     strategies: &[PortfolioStrategy],
     cfg: &PortfolioLoopConfig,
     seed: u64,
     faults: Option<&[LoopFaults]>,
     log: Option<&mut EventLog>,
-) -> Result<PortfolioReport, EngineError> {
+    make_fleet: impl FnOnce(&RngStreams) -> F,
+    finals: impl FnOnce(&F) -> Vec<TenantFinal>,
+) -> Result<(PortfolioReport, F), EngineError> {
     validate(strategies, cfg, faults)?;
 
     let streams = RngStreams::new(seed);
     let mut source = PortfolioSource::new(cfg, &streams, faults)?;
     source.warmup(cfg.warmup_slots);
 
-    let tenants: Vec<PortfolioTenant> = strategies
-        .iter()
-        .enumerate()
-        .map(|(i, s)| PortfolioTenant::new(*s, cfg, i as u32))
-        .collect();
-    let mut fleet = PortfolioFleet::new(tenants, cfg, &streams);
+    let mut fleet = make_fleet(&streams);
     let mut billing = BillingObserver::validated();
     {
         let mut kernel = Kernel::new(cfg.slot_len, source);
@@ -789,27 +445,24 @@ fn run_portfolio(
         source = kernel.into_source();
     }
     let mut bill = billing.into_bill();
+    let finals = finals(&fleet);
 
     // §5.1 fallback: incomplete tenants finish their remaining work on
     // demand at the horizon close, in tag order (the float accumulation
     // order is part of the parity contract with the single-market loop).
-    for t in &fleet.tenants {
-        if !t.completed {
-            let work = t.remaining_work(&cfg.job);
-            if work > Hours::ZERO {
-                bill.try_charge_on_demand(
-                    (cfg.warmup_slots + cfg.horizon_slots) as u64,
-                    cfg.on_demand,
-                    work,
-                    t.tag,
-                )?;
-            }
+    for t in &finals {
+        if !t.completed && t.remaining > Hours::ZERO {
+            bill.try_charge_on_demand(
+                (cfg.warmup_slots + cfg.horizon_slots) as u64,
+                cfg.on_demand,
+                t.remaining,
+                t.tag,
+            )?;
         }
     }
     let od_cost = (cfg.on_demand * cfg.job.execution).as_f64();
-    let totals = bill.totals_by_tag(fleet.tenants.len());
-    let outcomes: Vec<PortfolioTenantOutcome> = fleet
-        .tenants
+    let totals = bill.totals_by_tag(finals.len());
+    let outcomes: Vec<PortfolioTenantOutcome> = finals
         .iter()
         .map(|t| {
             let cost = totals[t.tag as usize];
@@ -817,7 +470,7 @@ fn run_portfolio(
                 tenant: t.tag,
                 strategy: t.strategy,
                 completed: t.completed,
-                spot_slots: t.slots_run,
+                spot_slots: t.spot_slots,
                 interruptions: t.interruptions,
                 resubmissions: t.resubmissions,
                 cost,
@@ -844,7 +497,7 @@ fn run_portfolio(
     let provider = (0..cfg.markets.len())
         .map(|m| source.set.provider_report(m))
         .collect();
-    Ok(PortfolioReport {
+    let report = PortfolioReport {
         completed: outcomes.iter().filter(|o| o.completed).count(),
         mean_savings: outcomes.iter().map(|o| o.savings).sum::<f64>() / outcomes.len() as f64,
         tenants: outcomes,
@@ -852,7 +505,8 @@ fn run_portfolio(
         peak_price,
         slots,
         provider,
-    })
+    };
+    Ok((report, fleet))
 }
 
 /// Runs one portfolio closed-loop session: warms M correlated markets up
@@ -861,6 +515,9 @@ fn run_portfolio(
 /// thread count; at M=1 with [`PortfolioStrategy::ZoneFallback`] it
 /// reproduces the single-market [`super::run_closed_loop`] bit-for-bit
 /// (see `tests/portfolio.rs`).
+///
+/// Runs the event-driven wakeup fleet; [`dense::run_portfolio_loop`] is
+/// the frozen dense oracle it is held bit-identical to.
 ///
 /// Tenants left incomplete at the horizon finish their remaining work on
 /// demand (the §5.1 fallback), so every reported cost is for a completed
@@ -876,7 +533,22 @@ pub fn run_portfolio_loop(
     cfg: &PortfolioLoopConfig,
     seed: u64,
 ) -> Result<PortfolioReport, EngineError> {
-    run_portfolio(strategies, cfg, seed, None, None)
+    wakeup::run(strategies, cfg, seed, None, None).map(|(report, _)| report)
+}
+
+/// As [`run_portfolio_loop`], also returning the wakeup fleet's
+/// [`PortfolioFleetStats`] (slots skipped in O(1), wakeups processed,
+/// per-market sweep counts).
+///
+/// # Errors
+///
+/// As [`run_portfolio_loop`].
+pub fn run_portfolio_loop_with_stats(
+    strategies: &[PortfolioStrategy],
+    cfg: &PortfolioLoopConfig,
+    seed: u64,
+) -> Result<(PortfolioReport, PortfolioFleetStats), EngineError> {
+    wakeup::run(strategies, cfg, seed, None, None)
 }
 
 /// As [`run_portfolio_loop`], optionally fault-injected (one
@@ -893,7 +565,7 @@ pub fn run_portfolio_loop_logged(
     faults: Option<&[LoopFaults]>,
 ) -> Result<(PortfolioReport, Vec<Event>), EngineError> {
     let mut log = EventLog::new();
-    let report = run_portfolio(strategies, cfg, seed, faults, Some(&mut log))?;
+    let (report, _) = wakeup::run(strategies, cfg, seed, faults, Some(&mut log))?;
     Ok((report, log.into_events()))
 }
 
@@ -966,6 +638,39 @@ mod tests {
         }
         // Quiet markets, near-π̄ bids: everyone should finish.
         assert_eq!(report.completed, 3, "{report:?}");
+    }
+
+    #[test]
+    fn wakeup_default_matches_dense_oracle_smoke() {
+        // The full four-regime wall lives in
+        // `tests/portfolio_wakeup_equiv.rs`; this in-tree smoke keeps the
+        // contract visible next to the implementation.
+        let cfg = config(3);
+        let strats = strategies();
+        let a = run_portfolio_loop(&strats, &cfg, 0xD0_11AB).unwrap();
+        let b = dense::run_portfolio_loop(&strats, &cfg, 0xD0_11AB).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stats_report_skipped_slots_on_quiet_sessions() {
+        // The high bidders start immediately and finish fast; the
+        // below-floor persistent bid pends forever, pinning the session
+        // to the full horizon — whose tail must then skip in O(1).
+        let cfg = config(2);
+        let mut strats = strategies();
+        strats.push(PortfolioStrategy::ZoneFallback {
+            home: 0,
+            base: BiddingStrategy::FixedBid(Price::new(0.005)),
+        });
+        let (report, stats) = run_portfolio_loop_with_stats(&strats, &cfg, 0x57A7).unwrap();
+        assert_eq!(stats.slots, cfg.horizon_slots as u64);
+        assert_eq!(stats.swept.len(), 2);
+        assert!(
+            stats.skipped_slots > 0,
+            "quiet session must skip slots: {stats:?} {report:?}"
+        );
+        assert!(stats.woken > 0);
     }
 
     #[test]

@@ -12,7 +12,9 @@
 //! - **calendar** hits: tenants whose running bid is due to finish this
 //!   slot (scheduled at start from the bid's remaining slots, exactly the
 //!   market's own finish calendar), plus unconditional re-wakes armed
-//!   after a capacity-reclamation outage while a tenant's bid sits parked;
+//!   while a tenant's bid sits parked — after a capacity-reclamation
+//!   outage, or after the finite-supply capacity pass named the bid in
+//!   [`SlotReport::evicted`] (the per-slot capacity delta);
 //! - **swept** tenants: when the price falls from `p_prev` to `p`, the
 //!   price-indexed wakeup buckets yield every pending tenant whose bid
 //!   threshold lies in `[p, p_prev)` — the only pendings the market can
@@ -41,7 +43,7 @@ use crate::observer::{BillingObserver, EventLog, Observer};
 use crate::EngineError;
 use spotbid_core::{BidDecision, BiddingStrategy, CoreError, JobSpec};
 use spotbid_market::params::MarketParams;
-use spotbid_market::sim::{BidId, BidKind, BidRequest, SlotReport, Supply, WorkModel};
+use spotbid_market::sim::{BidId, BidKind, BidRequest, SlotReport, WorkModel};
 use spotbid_market::units::{Hours, Price};
 use spotbid_numerics::rng::{Rng, RngStreams};
 use std::collections::BTreeMap;
@@ -236,10 +238,11 @@ struct WakeupFleet {
     /// Kernel-slot-indexed reclamation outages (from [`LoopFaults`],
     /// warmup offset already applied). Empty when fault-free.
     reclaim_mask: Vec<bool>,
-    /// The market has finite supply: any slot may evict a pending winner
-    /// or restart a parked victim without a price crossing, so waiting
-    /// tenants stay calendar-armed instead of relying on price sweeps.
-    finite_supply: bool,
+    /// Target slot of each tenant's last unconditional calendar arm: the
+    /// already-armed guard that keeps back-to-back outages (or an outage
+    /// coinciding with a capacity eviction) from pushing duplicate
+    /// entries into one wake list.
+    armed_until: Vec<u64>,
     shard_rngs: Vec<Rng>,
     stats: FleetStats,
 
@@ -288,7 +291,7 @@ impl WakeupFleet {
             active: n,
             prev_price: f64::INFINITY,
             reclaim_mask,
-            finite_supply: cfg.supply != Supply::Unbounded,
+            armed_until: vec![0; n],
             shard_rngs,
             stats: FleetStats::default(),
             sc_woken: Vec::new(),
@@ -316,6 +319,17 @@ impl WakeupFleet {
             .entry(slot)
             .or_insert_with(|| pool.pop().unwrap_or_default())
             .push(entry);
+    }
+
+    /// Arms an unconditional wake at `slot`, at most once per tenant per
+    /// target slot (kernel slots start at 0, so armed targets are ≥ 1 and
+    /// the zero-initialized column never aliases a real arm).
+    fn arm_uncond(&mut self, slot: u64, t: u32) {
+        let tu = t as usize;
+        if self.armed_until[tu] != slot {
+            self.armed_until[tu] = slot;
+            self.calendar_push(slot, t | UNCOND);
+        }
     }
 
     /// Acts on a resolved strategy decision — byte-for-byte the dense
@@ -671,27 +685,37 @@ impl JobDriver<ClosedLoopSource> for WakeupFleet {
         self.sc_removed = removed;
         self.merge_running();
 
-        // Reclamation outage: the market parked every displaced and
-        // incoming bid, and resolves them at the next slot's individual
-        // re-auctions — which a price sweep cannot predict. Re-arm every
-        // woken tenant still holding a live non-running bid
-        // unconditionally for the next slot (chains across back-to-back
-        // outages). Finite supply makes *every* slot such a slot: the
-        // provider may evict a pending winner (no event) or restart a
-        // parked victim when capacity frees, neither tied to a price
-        // crossing — so waiting tenants stay armed until their bid
-        // starts or dies.
-        if self.finite_supply
-            || self
-                .reclaim_mask
-                .get(slot as usize)
-                .copied()
-                .unwrap_or(false)
-        {
+        // Parked bids resolve at the next slot's individual re-auctions —
+        // which a price sweep cannot predict — so their owners are armed
+        // unconditionally for the next slot. Two things park a bid:
+        //
+        // - a reclamation outage (every displaced and incoming bid): every
+        //   woken tenant still holding a live non-running bid is re-armed,
+        //   chaining across back-to-back outages;
+        // - the finite-supply capacity pass: the market names the exact
+        //   victim set in `report.evicted`, so only those bids' owners
+        //   re-arm — every victim's owner is awake this slot (running
+        //   victims were in the running list; would-be starters were
+        //   swept, fresh, or parked-armed), so scanning `order` is
+        //   complete. Quiet slots stay skippable under `Supply::Finite`.
+        let outage = self
+            .reclaim_mask
+            .get(slot as usize)
+            .copied()
+            .unwrap_or(false);
+        if outage || !report.evicted.is_empty() {
             for &t in &order {
                 let tu = t as usize;
-                if self.flags[tu] & (T_DONE | T_RUNNING) == 0 && self.bid_id[tu] != NO_BID {
-                    self.calendar_push(slot + 1, t | UNCOND);
+                if self.flags[tu] & (T_DONE | T_RUNNING) != 0 || self.bid_id[tu] == NO_BID {
+                    continue;
+                }
+                if outage
+                    || report
+                        .evicted
+                        .binary_search(&BidId(self.bid_id[tu]))
+                        .is_ok()
+                {
+                    self.arm_uncond(slot + 1, t);
                 }
             }
         }
@@ -759,6 +783,7 @@ pub(super) fn run(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spotbid_market::sim::Supply;
 
     fn book(n: usize) -> WakeupBook {
         let params = MarketParams::new(Price::new(0.35), Price::new(0.02), 0.05, 0.05).unwrap();
@@ -866,6 +891,46 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn repeated_uncond_arms_pin_single_wake_entry() {
+        // The already-armed guard: arming the same tenant for the same
+        // target slot twice (back-to-back outages, or an outage plus a
+        // capacity eviction in one slot) must leave exactly one entry in
+        // that slot's wake list — and must not suppress arms for other
+        // slots or other tenants.
+        let params = MarketParams::new(Price::new(0.35), Price::new(0.02), 0.05, 0.05).unwrap();
+        let cfg = ClosedLoopConfig {
+            params,
+            slot_len: Hours::from_minutes(5.0),
+            on_demand: Price::new(0.35),
+            job: JobSpec::builder(1.0).recovery_secs(60.0).build().unwrap(),
+            warmup_slots: 1,
+            horizon_slots: 1,
+            background_arrivals: 0.0,
+            max_resubmissions: 0,
+            supply: Supply::Unbounded,
+            od_arrivals: 0.0,
+            od_departure: 0.0,
+        };
+        let streams = RngStreams::new(1);
+        let strategies = [BiddingStrategy::OnDemand; 3];
+        let mut fleet = WakeupFleet::new(&strategies, &cfg, &streams, Vec::new());
+        fleet.arm_uncond(5, 1);
+        fleet.arm_uncond(5, 1); // duplicate arm, same target slot
+        fleet.arm_uncond(5, 2);
+        fleet.arm_uncond(6, 1); // different target slot still arms
+        assert_eq!(
+            fleet.calendar.get(&5).unwrap().as_slice(),
+            &[1 | UNCOND, 2 | UNCOND],
+            "slot-5 wake list"
+        );
+        assert_eq!(
+            fleet.calendar.get(&6).unwrap().as_slice(),
+            &[1 | UNCOND],
+            "slot-6 wake list"
+        );
     }
 
     #[test]

@@ -42,8 +42,9 @@ pub mod source;
 pub use billing::{Bill, LineItem, UsageKind};
 pub use clock::SimClock;
 pub use closedloop::portfolio::{
-    run_portfolio_loop, run_portfolio_loop_logged, PortfolioLoopConfig, PortfolioMarket,
-    PortfolioReport, PortfolioTenantOutcome,
+    run_portfolio_loop, run_portfolio_loop_logged, run_portfolio_loop_with_stats,
+    PortfolioFleetStats, PortfolioLoopConfig, PortfolioMarket, PortfolioReport,
+    PortfolioTenantOutcome,
 };
 pub use closedloop::{
     run_closed_loop, run_closed_loop_logged, run_closed_loop_with_stats, ClosedLoopConfig,

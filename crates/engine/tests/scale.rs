@@ -6,7 +6,8 @@
 //! hold that contract at the target populations: identical
 //! `ClosedLoopReport`s — and identical digests of the full per-tenant
 //! outcome stream — at 1 and 4 `spotbid-exec` workers, at 10k and 100k
-//! tenants (and 1M behind `SPOTBID_SCALE_FULL=1`), plus a 32-seed chaos
+//! tenants (and 1M — single-market and 2-market portfolio — behind
+//! `SPOTBID_SCALE_FULL=1`), plus a 32-seed chaos
 //! sweep under `spotbid-faults` schedules (feed gaps, capacity
 //! reclamations) pinning the wakeup fleet to the frozen dense oracle.
 
@@ -157,6 +158,58 @@ fn million_tenants_smoke_behind_env_gate() {
     assert_eq!(one.tenants.len(), 1_000_000);
 }
 
+/// Nightly million-tenant portfolio smoke: run with `SPOTBID_SCALE_FULL=1`.
+/// Split-even legs across two correlated markets, quiet-slot dominated
+/// like the single-market smoke above — the §5j wakeup fleet must stay a
+/// pure function of its seed at this population too.
+#[test]
+fn million_tenant_portfolio_smoke_behind_env_gate() {
+    use spotbid_core::portfolio::PortfolioStrategy;
+    use spotbid_engine::{run_portfolio_loop, PortfolioLoopConfig, PortfolioMarket};
+
+    if std::env::var("SPOTBID_SCALE_FULL").ok().as_deref() != Some("1") {
+        eprintln!("skipped: set SPOTBID_SCALE_FULL=1 to run the 1M portfolio smoke");
+        return;
+    }
+    let strategies = vec![
+        PortfolioStrategy::SplitEven {
+            base: BiddingStrategy::FixedBid(Price::new(0.03)),
+        };
+        1_000_000
+    ];
+    let cfg = PortfolioLoopConfig {
+        markets: (0..2)
+            .map(|i| PortfolioMarket {
+                name: format!("zone-{i}"),
+                params: MarketParams::new(
+                    Price::new(0.35),
+                    Price::new(0.02 + 0.004 * i as f64),
+                    0.05,
+                    0.05,
+                )
+                .unwrap(),
+                idio_arrivals: 2.0,
+                supply: Supply::Unbounded,
+            })
+            .collect(),
+        shared_arrivals: 1.0,
+        slot_len: Hours::from_minutes(5.0),
+        on_demand: Price::new(0.35),
+        job: JobSpec::builder(1.0).recovery_secs(60.0).build().unwrap(),
+        warmup_slots: 10,
+        horizon_slots: 60,
+        max_resubmissions: 2,
+    };
+    let one = with_threads(1, || {
+        run_portfolio_loop(&strategies, &cfg, 0x1_000_000).unwrap()
+    });
+    let four = with_threads(4, || {
+        run_portfolio_loop(&strategies, &cfg, 0x1_000_000).unwrap()
+    });
+    assert_eq!(one, four, "thread count leaked into the portfolio result");
+    assert_eq!(one.tenants.len(), 1_000_000);
+}
+
 /// The finite-capacity variant of `config()`: a box small enough that
 /// capacity binds at these populations, with an on-demand churn process
 /// competing for the same servers.
@@ -202,6 +255,31 @@ fn finite_supply_ten_k_tenants_identical_digests_at_1_and_4_threads() {
     let p = one.provider.as_ref().expect("finite run has a provider");
     assert!(p.reclaims > 0, "capacity never bound at 10k tenants");
     assert!(p.mean_utilization > 0.5, "the box sat idle: {p:?}");
+}
+
+#[test]
+fn finite_supply_quiet_session_still_skips_slots() {
+    // 100k low bidders under a finite box: the clearing price sits far
+    // above every bid, nothing ever starts, and the capacity pass evicts
+    // nobody — so the wakeup fleet must skip the tail in O(1) exactly as
+    // it does unbounded. (This is the regression wall for the old
+    // finite-supply unconditional re-arm, which woke every tenant every
+    // slot and zeroed `skipped_slots` the moment supply went finite.)
+    let strategies = vec![BiddingStrategy::FixedBid(Price::new(0.021)); 100_000];
+    let cfg = ClosedLoopConfig {
+        horizon_slots: 50,
+        ..finite_config()
+    };
+    let (report, stats) =
+        spotbid_engine::run_closed_loop_with_stats(&strategies, &cfg, 0x5C1E7, None).unwrap();
+    assert_eq!(stats.slots, 50);
+    assert!(
+        stats.skipped_slots > 0,
+        "a quiet finite-supply session must still skip slots: {stats:?}"
+    );
+    let p = report.provider.expect("finite run reports the provider");
+    assert_eq!(p.reclaims, 0, "nothing ran, so nothing was evicted");
+    assert_eq!(report.completed, 0);
 }
 
 /// 32-seed chaos sweep over the finite-capacity closed loop: fault

@@ -79,6 +79,13 @@ pub struct ProviderSlot {
     pub od_active: u32,
     /// Running spot instances evicted for capacity this slot.
     pub reclaims: u32,
+    /// Would-be starters the capacity pass returned unlaunched this slot
+    /// (fresh-accept evictions: they appear in [`SlotReport::evicted`] but
+    /// never started, so they are not reclaims).
+    pub fresh_evictions: u32,
+    /// Previously-parked bids that relaunched this slot (their individual
+    /// re-auction won and survived the capacity pass).
+    pub parked_restarts: u32,
     /// On-demand requests admitted since the previous slot.
     pub od_admitted: u32,
     /// On-demand requests refused since the previous slot.
@@ -102,6 +109,11 @@ pub struct ProviderReport {
     pub od_revenue: Cost,
     /// Total capacity reclamations of running spot instances.
     pub reclaims: u64,
+    /// Total would-be starters returned unlaunched by the capacity pass.
+    pub fresh_evictions: u64,
+    /// Total parked bids that relaunched after a capacity eviction or
+    /// reclamation outage.
+    pub parked_restarts: u64,
     /// Total on-demand admissions.
     pub od_admissions: u64,
     /// Total on-demand rejections.
@@ -120,6 +132,8 @@ pub(crate) fn aggregate_provider(capacity: u32, log: &[ProviderSlot]) -> Provide
         spot_revenue: Cost::ZERO,
         od_revenue: Cost::ZERO,
         reclaims: 0,
+        fresh_evictions: 0,
+        parked_restarts: 0,
         od_admissions: 0,
         od_rejections: 0,
         mean_utilization: 0.0,
@@ -130,6 +144,8 @@ pub(crate) fn aggregate_provider(capacity: u32, log: &[ProviderSlot]) -> Provide
         report.spot_revenue += slot.spot_revenue;
         report.od_revenue += slot.od_revenue;
         report.reclaims += u64::from(slot.reclaims);
+        report.fresh_evictions += u64::from(slot.fresh_evictions);
+        report.parked_restarts += u64::from(slot.parked_restarts);
         report.od_admissions += u64::from(slot.od_admitted);
         report.od_rejections += u64::from(slot.od_rejected);
         busy += f64::from(slot.spot_running + slot.od_active);
@@ -241,6 +257,13 @@ pub struct SlotReport {
     pub finished: Vec<BidId>,
     /// One-time bids that exited unfinished this slot.
     pub terminated: Vec<BidId>,
+    /// Bids the capacity pass evicted this slot (running victims *and*
+    /// would-be starters returned unlaunched) — the deterministic per-slot
+    /// capacity delta. Always empty under [`Supply::Unbounded`] and on
+    /// reclamation-outage slots; a consumer that wakes only the owners of
+    /// these bids (plus genuine price crossings) sees every
+    /// capacity-induced state change.
+    pub evicted: Vec<BidId>,
 }
 
 impl SlotReport {
@@ -255,6 +278,7 @@ impl SlotReport {
             interrupted: Vec::new(),
             finished: Vec::new(),
             terminated: Vec::new(),
+            evicted: Vec::new(),
         }
     }
 }
@@ -354,6 +378,11 @@ pub struct SpotMarket {
     /// sit outside the bucket lists and face an individual first-auction
     /// pass on the next normal slot.
     parked: Vec<u32>,
+    /// Bids currently running — the summed length of the bucket running
+    /// lists between steps. Lets the finite-supply capacity pass skip its
+    /// all-buckets candidate gather when the carried runners plus this
+    /// slot's winners already fit under the spot share.
+    running_count: u32,
     /// The next step is a capacity reclamation (set by
     /// [`reclaim_next_slot`](Self::reclaim_next_slot)).
     reclaim_next: bool,
@@ -380,6 +409,10 @@ pub struct SpotMarket {
     sc_fin_geo: Vec<u32>,
     sc_fin_fixed: Vec<u32>,
     sc_sync: Vec<u32>,
+    /// Parked bids that won their individual re-auction this slot (phase
+    /// 1b), pending the capacity pass: survivors count as
+    /// [`ProviderSlot::parked_restarts`].
+    sc_parked_started: Vec<u32>,
     cal_pool: Vec<Vec<u32>>,
     report_pool: Vec<Vec<BidId>>,
 }
@@ -415,6 +448,7 @@ impl SpotMarket {
             geo_run: Vec::new(),
             calendar: BTreeMap::new(),
             parked: Vec::new(),
+            running_count: 0,
             reclaim_next: false,
             supply,
             od_active: 0,
@@ -429,6 +463,7 @@ impl SpotMarket {
             sc_fin_geo: Vec::new(),
             sc_fin_fixed: Vec::new(),
             sc_sync: Vec::new(),
+            sc_parked_started: Vec::new(),
             cal_pool: Vec::new(),
             report_pool: Vec::new(),
         }
@@ -611,6 +646,7 @@ impl SpotMarket {
         report.interrupted.clear();
         report.finished.clear();
         report.terminated.clear();
+        report.evicted.clear();
 
         let price = match self.supply {
             Supply::Unbounded => optimal_price(&self.params, self.open_count as f64),
@@ -746,6 +782,7 @@ impl SpotMarket {
         // supply `rejected` can be non-empty — capacity eviction only
         // parks persistent bids (which emit nothing here), and the repair
         // sort in phase 3b restores id order whenever it runs.
+        self.sc_parked_started.clear();
         if !reclaiming && !self.parked.is_empty() {
             debug_assert!(rejected.is_empty() || self.supply != Supply::Unbounded);
             let mut parked = std::mem::take(&mut self.parked);
@@ -755,6 +792,7 @@ impl SpotMarket {
                 self.flags[iu] |= F_RESIDENT;
                 if self.price_of[iu] >= pf {
                     started.push(i);
+                    self.sc_parked_started.push(i);
                 } else if self.flags[iu] & F_PERSISTENT != 0 {
                     let b = self.bucket_of[iu] as usize;
                     self.pos_of[iu] = self.buckets[b].pending.len() as u32;
@@ -781,6 +819,7 @@ impl SpotMarket {
         for &i in &rejected {
             let iu = i as usize;
             self.flags[iu] &= !F_RUNNING;
+            self.running_count -= 1;
             debug_assert!(t > 0, "no residents can exist before the first step");
             self.settle(iu, t - 1);
             let persistent = self.flags[iu] & F_PERSISTENT != 0;
@@ -849,16 +888,27 @@ impl SpotMarket {
         // vectors it touched are re-sorted afterwards.
         if let Supply::Finite { capacity, policy } = self.supply {
             let spot_cap = policy.spot_capacity(capacity, self.od_active);
+            // The candidate gather walks every bucket; skip it when the
+            // carried runners plus this slot's winners already fit under
+            // the spot share (no eviction possible), keeping quiet
+            // finite-supply slots O(1) like their unbounded counterparts.
+            // An outage slot has no candidates at all: step 1 dumped every
+            // runner and step 2 settled them, so `running_count` is 0 and
+            // the auction never ran (`started` is empty).
+            let carried = self.running_count as usize + started.len();
+            debug_assert!(!reclaiming || carried == 0);
             let mut cand = std::mem::take(&mut self.sc_cand);
             cand.clear();
-            if !reclaiming {
+            if carried > spot_cap as usize {
                 for bucket in &self.buckets {
                     cand.extend_from_slice(&bucket.running);
                 }
                 cand.extend_from_slice(&started);
+                debug_assert_eq!(cand.len(), carried);
             }
-            let spot_running = cand.len().min(spot_cap as usize) as u32;
+            let spot_running = carried.min(spot_cap as usize) as u32;
             let mut reclaims = 0u32;
+            let mut fresh_evictions = 0u32;
             if cand.len() > spot_cap as usize {
                 let k = cand.len() - spot_cap as usize;
                 cand.sort_unstable_by(|&a, &b| {
@@ -871,11 +921,13 @@ impl SpotMarket {
                 });
                 for &i in &cand[..k] {
                     let iu = i as usize;
+                    report.evicted.push(self.records[iu].id);
                     if self.flags[iu] & F_RUNNING != 0 {
                         // A running instance reclaimed for the pool.
                         reclaims += 1;
                         self.remove_running(i);
                         self.flags[iu] &= !F_RUNNING;
+                        self.running_count -= 1;
                         self.settle(iu, t - 1);
                         let persistent = self.flags[iu] & F_PERSISTENT != 0;
                         let rec = &mut self.records[iu];
@@ -893,6 +945,7 @@ impl SpotMarket {
                         }
                     } else {
                         // A would-be starter: never launched this slot.
+                        fresh_evictions += 1;
                         self.flags[iu] |= F_EVICT;
                         if self.flags[iu] & F_PERSISTENT != 0 {
                             self.parked.push(i);
@@ -919,9 +972,15 @@ impl SpotMarket {
                 started.truncate(w);
                 report.interrupted.sort_unstable();
                 report.terminated.sort_unstable();
+                report.evicted.sort_unstable();
             }
             cand.clear();
             self.sc_cand = cand;
+            let parked_restarts = self
+                .sc_parked_started
+                .iter()
+                .filter(|&&i| started.binary_search(&i).is_ok())
+                .count() as u32;
             let spot_revenue = (price * self.slot_len) * f64::from(spot_running);
             let od_revenue = (self.params.pi_bar * self.slot_len) * f64::from(self.od_active);
             self.provider_log.push(ProviderSlot {
@@ -931,6 +990,8 @@ impl SpotMarket {
                 spot_running,
                 od_active: self.od_active,
                 reclaims,
+                fresh_evictions,
+                parked_restarts,
                 od_admitted: std::mem::take(&mut self.od_admit_pending),
                 od_rejected: std::mem::take(&mut self.od_reject_pending),
                 spot_revenue,
@@ -941,6 +1002,7 @@ impl SpotMarket {
         // 4. Launch the slot's winners: start the running streak, schedule
         // fixed-work finishes on the calendar, enroll geometric bids for
         // the draw pass.
+        self.running_count += started.len() as u32;
         for &i in &started {
             let iu = i as usize;
             self.flags[iu] |= F_RUNNING;
@@ -1010,6 +1072,7 @@ impl SpotMarket {
                 rec.closed_at = Some(t);
                 fin_geo.push(i);
                 self.flags[iu] &= !(F_RUNNING | F_OPEN);
+                self.running_count -= 1;
                 self.remove_running(i);
                 self.open_count -= 1;
             } else {
@@ -1047,6 +1110,7 @@ impl SpotMarket {
                 rec.phase = BidPhase::Finished;
                 rec.closed_at = Some(t);
                 self.flags[iu] &= !(F_RUNNING | F_OPEN);
+                self.running_count -= 1;
                 self.remove_running(i);
                 self.open_count -= 1;
             }
@@ -1093,16 +1157,19 @@ impl SpotMarket {
             mut interrupted,
             mut finished,
             mut terminated,
+            mut evicted,
             ..
         } = report;
         started.clear();
         interrupted.clear();
         finished.clear();
         terminated.clear();
+        evicted.clear();
         self.report_pool.push(started);
         self.report_pool.push(interrupted);
         self.report_pool.push(finished);
         self.report_pool.push(terminated);
+        self.report_pool.push(evicted);
     }
 
     fn fresh_report(&mut self) -> SlotReport {
@@ -1111,6 +1178,7 @@ impl SpotMarket {
         let interrupted = take();
         let finished = take();
         let terminated = take();
+        let evicted = take();
         SlotReport {
             t: 0,
             demand: 0,
@@ -1119,6 +1187,7 @@ impl SpotMarket {
             interrupted,
             finished,
             terminated,
+            evicted,
         }
     }
 

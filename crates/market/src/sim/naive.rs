@@ -34,6 +34,13 @@ pub struct SpotMarket {
     records: Vec<BidRecord>,
     /// Indices into `records` of bids still in the system.
     open: Vec<usize>,
+    /// Mirror of the bid-book's parked set, as a per-bid flag: true while
+    /// a bid sits outside the resident invariants awaiting its individual
+    /// re-auction (displaced by a reclamation outage or a capacity
+    /// eviction, or submitted during an outage). Tracked so the per-slot
+    /// provider telemetry (`parked_restarts`) matches the bid-book
+    /// bit-for-bit.
+    parked: Vec<bool>,
     /// Allocation cache for `step`'s survivor list: holds last slot's `open`
     /// vector so stepping a long-lived market does not allocate per slot.
     scratch: Vec<usize>,
@@ -66,6 +73,7 @@ impl SpotMarket {
             t: 0,
             records: Vec::new(),
             open: Vec::new(),
+            parked: Vec::new(),
             scratch: Vec::new(),
             reclaim_next: false,
             supply,
@@ -157,6 +165,7 @@ impl SpotMarket {
         });
         let idx = self.records.len() - 1;
         self.open.push(idx);
+        self.parked.push(false);
         id
     }
 
@@ -221,6 +230,7 @@ impl SpotMarket {
             interrupted: Vec::new(),
             finished: Vec::new(),
             terminated: Vec::new(),
+            evicted: Vec::new(),
         };
 
         let mut still_open = std::mem::take(&mut self.scratch);
@@ -243,10 +253,19 @@ impl SpotMarket {
                         }
                         BidKind::Persistent => {
                             rec.phase = BidPhase::Pending;
+                            // Displaced by the outage: waits outside the
+                            // resident invariants for its re-auction.
+                            self.parked[idx] = true;
                             still_open.push(idx);
                         }
                     }
                 } else {
+                    // Arrivals during the outage park unconditionally; so
+                    // do pending bids the skipped auction would have
+                    // started (bid at or above the posted price).
+                    if rec.submitted_at == t || rec.request.price >= price {
+                        self.parked[idx] = true;
+                    }
                     still_open.push(idx);
                 }
             }
@@ -261,6 +280,8 @@ impl SpotMarket {
                     spot_running: 0,
                     od_active: self.od_active,
                     reclaims: 0,
+                    fresh_evictions: 0,
+                    parked_restarts: 0,
                     od_admitted: std::mem::take(&mut self.od_admit_pending),
                     od_rejected: std::mem::take(&mut self.od_reject_pending),
                     spot_revenue: Cost::ZERO,
@@ -298,14 +319,21 @@ impl SpotMarket {
                 });
                 victims = accepted[..k].to_vec();
                 victims.sort_unstable();
+                // The capacity delta: every victim this slot, id order.
+                report
+                    .evicted
+                    .extend(victims.iter().map(|&idx| self.records[idx].id));
             }
         }
         let mut spot_running = 0u32;
         let mut reclaims = 0u32;
+        let mut fresh_evictions = 0u32;
+        let mut parked_restarts = 0u32;
         for &idx in &self.open {
             let accepted = self.records[idx].request.price >= price;
             let was_running = self.records[idx].phase == BidPhase::Running;
             let evicted = accepted && !victims.is_empty() && victims.binary_search(&idx).is_ok();
+            let was_parked = std::mem::take(&mut self.parked[idx]);
             let rec = &mut self.records[idx];
             if accepted && evicted {
                 // Provider eviction: capacity is binding and this bid lost
@@ -324,10 +352,14 @@ impl SpotMarket {
                         }
                         BidKind::Persistent => {
                             rec.phase = BidPhase::Pending;
+                            // Parks for an individual re-auction, like the
+                            // bid-book's capacity-evicted runners.
+                            self.parked[idx] = true;
                             still_open.push(idx);
                         }
                     }
                 } else {
+                    fresh_evictions += 1;
                     match rec.request.kind {
                         BidKind::OneTime => {
                             rec.phase = BidPhase::Terminated;
@@ -335,6 +367,7 @@ impl SpotMarket {
                             report.terminated.push(rec.id);
                         }
                         BidKind::Persistent => {
+                            self.parked[idx] = true;
                             still_open.push(idx);
                         }
                     }
@@ -343,6 +376,9 @@ impl SpotMarket {
                 if !was_running {
                     rec.phase = BidPhase::Running;
                     report.started.push(rec.id);
+                    if was_parked {
+                        parked_restarts += 1;
+                    }
                 }
                 spot_running += 1;
                 // Run for this slot: charge at the spot price.
@@ -398,6 +434,8 @@ impl SpotMarket {
                 spot_running,
                 od_active: self.od_active,
                 reclaims,
+                fresh_evictions,
+                parked_restarts,
                 od_admitted: std::mem::take(&mut self.od_admit_pending),
                 od_rejected: std::mem::take(&mut self.od_reject_pending),
                 spot_revenue,

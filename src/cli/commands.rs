@@ -39,12 +39,13 @@ COMMANDS:
                [--max-cost-std <$>] [--deadline-hours <h> --epsilon 0.05]
                [--trials 300] [--seed 1]
   engine     closed-loop multi-tenant bidding on the simulation kernel:
-             N strategy-driven tenants in one endogenous spot market
+             N strategy-driven tenants in one endogenous spot market, or
+             across M correlated markets with --markets (split-even legs)
                [--tenants 4] [--strategy onetime|persistent|percentile|
                fixed|ondemand] [--bid 0.30] [--percentile 0.9] [--ts 1.0]
                [--tr-secs 60] [--warmup 100] [--horizon 500] [--arrivals 3.0]
                [--pi-bar 0.35] [--pi-min 0.02] [--resubmit 4] [--seed 1]
-               [--capacity <servers> [--od-reserved <n>]
+               [--markets 1] [--capacity <servers> [--od-reserved <n>]
                [--od-arrivals 0.0] [--od-departure 0.0]]  (finite provider)
   catalog    list the Table 2 instance types
 
@@ -375,6 +376,7 @@ pub fn cmd_engine(args: &Args) -> Result<String, ArgError> {
         "od-reserved",
         "od-arrivals",
         "od-departure",
+        "markets",
         "seed",
         "help",
     ])?;
@@ -429,6 +431,13 @@ pub fn cmd_engine(args: &Args) -> Result<String, ArgError> {
         od_departure: args.get_or("od-departure", 0.0)?,
     };
     let seed: u64 = args.get_or("seed", 1)?;
+    let markets: usize = args.get_or("markets", 1)?;
+    if markets == 0 {
+        return Err(ArgError("--markets must be at least 1".into()));
+    }
+    if markets > 1 {
+        return cmd_engine_portfolio(markets, tenants, strategy, &cfg, seed);
+    }
     let strategies = vec![strategy; tenants];
     let (report, stats) = run_closed_loop_with_stats(&strategies, &cfg, seed, None)
         .map_err(|e| ArgError(e.to_string()))?;
@@ -487,6 +496,113 @@ pub fn cmd_engine(args: &Args) -> Result<String, ArgError> {
             p.od_rejections,
         ));
     }
+    Ok(out)
+}
+
+/// `spotbid engine --markets M`: the same tenants spread split-even
+/// across M correlated zones (market 0 keeps the requested floor, each
+/// sibling sits $0.004 higher; a third of the background load is the
+/// shared shock). Finite `--capacity` applies to every member; the
+/// on-demand churn process is single-market only.
+fn cmd_engine_portfolio(
+    markets: usize,
+    tenants: usize,
+    base: BiddingStrategy,
+    cfg: &spotbid_engine::ClosedLoopConfig,
+    seed: u64,
+) -> Result<String, ArgError> {
+    use spotbid_core::portfolio::PortfolioStrategy;
+    use spotbid_engine::{run_portfolio_loop_with_stats, PortfolioLoopConfig, PortfolioMarket};
+    use spotbid_market::units::Price;
+    use spotbid_market::MarketParams;
+    if cfg.od_arrivals != 0.0 || cfg.od_departure != 0.0 {
+        return Err(ArgError(
+            "--od-arrivals/--od-departure are single-market only (drop --markets)".into(),
+        ));
+    }
+    let pcfg = PortfolioLoopConfig {
+        markets: (0..markets)
+            .map(|i| {
+                Ok(PortfolioMarket {
+                    name: format!("zone-{i}"),
+                    params: MarketParams::new(
+                        cfg.params.pi_bar,
+                        Price::new(cfg.params.pi_min.as_f64() + 0.004 * i as f64),
+                        0.05,
+                        0.05,
+                    )
+                    .map_err(|e| ArgError(e.to_string()))?,
+                    idio_arrivals: cfg.background_arrivals * 2.0 / 3.0,
+                    supply: cfg.supply,
+                })
+            })
+            .collect::<Result<_, ArgError>>()?,
+        shared_arrivals: cfg.background_arrivals / 3.0,
+        slot_len: cfg.slot_len,
+        on_demand: cfg.on_demand,
+        job: cfg.job,
+        warmup_slots: cfg.warmup_slots,
+        horizon_slots: cfg.horizon_slots,
+        max_resubmissions: cfg.max_resubmissions,
+    };
+    let strategies = vec![PortfolioStrategy::SplitEven { base }; tenants];
+    let (report, stats) = run_portfolio_loop_with_stats(&strategies, &pcfg, seed)
+        .map_err(|e| ArgError(e.to_string()))?;
+    let mut out = format!(
+        "portfolio closed loop — {tenants} × split-even({base:?}) tenants over {markets} zones, \
+         {} job, seed {seed}\n\
+         background λ {:.1}/slot per zone ({:.1} shared), warmup {} slots, horizon {} slots\n\n",
+        cfg.job.execution,
+        cfg.background_arrivals,
+        pcfg.shared_arrivals,
+        pcfg.warmup_slots,
+        pcfg.horizon_slots,
+    );
+    out.push_str("tenant  completed  spot slots  interrupts  replans       cost   savings\n");
+    for t in &report.tenants {
+        out.push_str(&format!(
+            "{:>6}  {:>9}  {:>10}  {:>10}  {:>7}  {:>9} {:>8.1}%\n",
+            t.tenant,
+            if t.completed { "yes" } else { "no" },
+            t.spot_slots,
+            t.interruptions,
+            t.resubmissions,
+            format!("${:.4}", t.cost.as_f64()),
+            t.savings * 100.0,
+        ));
+    }
+    out.push_str(&format!(
+        "\ncompleted in loop {}/{}   mean savings {:.1}%\n",
+        report.completed,
+        tenants,
+        report.mean_savings * 100.0,
+    ));
+    for (m, market) in pcfg.markets.iter().enumerate() {
+        out.push_str(&format!(
+            "{}: posted price mean {} peak {}, {} sweep wakeups",
+            market.name, report.mean_price[m], report.peak_price[m], stats.swept[m],
+        ));
+        if let Some(p) = &report.provider[m] {
+            out.push_str(&format!(
+                ", provider {} servers, utilization {:.1}%, {} reclaims",
+                p.capacity,
+                p.mean_utilization * 100.0,
+                p.reclaims,
+            ));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "wakeup fleet: {} slots, {} skipped in O(1) ({:.1}%), {} tenant wakeups\n",
+        stats.slots,
+        stats.skipped_slots,
+        if stats.slots > 0 {
+            stats.skipped_slots as f64 / stats.slots as f64 * 100.0
+        } else {
+            0.0
+        },
+        stats.woken,
+    ));
     Ok(out)
 }
 
@@ -712,6 +828,68 @@ mod tests {
         // ...and the on-demand knobs are rejected without a capacity.
         assert!(run(&["engine", "--od-arrivals", "1.0"]).is_err());
         assert!(run(&["engine", "--capacity", "0", "--od-reserved", "2"]).is_err());
+    }
+
+    #[test]
+    fn engine_portfolio_markets() {
+        let argv = [
+            "engine",
+            "--tenants",
+            "3",
+            "--strategy",
+            "fixed",
+            "--bid",
+            "0.34",
+            "--warmup",
+            "20",
+            "--horizon",
+            "80",
+            "--markets",
+            "3",
+            "--seed",
+            "3",
+        ];
+        let out = run(&argv).unwrap();
+        assert!(out.contains("portfolio closed loop — 3 ×"), "{out}");
+        assert!(out.contains("over 3 zones"), "{out}");
+        // Per-zone summaries plus the shared wakeup-fleet counters.
+        for zone in ["zone-0", "zone-1", "zone-2"] {
+            assert!(out.contains(zone), "{out}");
+        }
+        assert!(out.contains("sweep wakeups"), "{out}");
+        assert!(out.contains("wakeup fleet: "), "{out}");
+        assert!(out.contains("skipped in O(1)"), "{out}");
+        assert_eq!(
+            out,
+            run(&argv).unwrap(),
+            "portfolio engine run is not seed-deterministic"
+        );
+        // Finite capacity applies per zone; the od churn stays
+        // single-market.
+        let finite = run(&[
+            "engine",
+            "--tenants",
+            "2",
+            "--horizon",
+            "40",
+            "--markets",
+            "2",
+            "--capacity",
+            "6",
+        ])
+        .unwrap();
+        assert!(finite.contains("provider 6 servers"), "{finite}");
+        assert!(run(&["engine", "--markets", "0"]).is_err());
+        assert!(run(&[
+            "engine",
+            "--markets",
+            "2",
+            "--capacity",
+            "6",
+            "--od-arrivals",
+            "1.0"
+        ])
+        .is_err());
     }
 
     #[test]
